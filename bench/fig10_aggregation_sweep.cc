@@ -1,0 +1,61 @@
+// Figure 10: the full aggregation sweep — bit widths {10,31,32,33,50,63,64}
+// x placements {OS default/single socket, interleaved, replicated} x
+// languages {C++, Java} x machines {2x8-core, 2x18-core}; reporting time,
+// retired instructions, and memory bandwidth (the figure's three panels).
+#include <cstdio>
+
+#include "report/table.h"
+#include "sim/workloads.h"
+
+namespace {
+
+const uint32_t kWidths[] = {10, 31, 32, 33, 50, 63, 64};
+
+struct PlacementCol {
+  const char* name;
+  sa::smart::PlacementSpec placement;
+};
+
+const PlacementCol kPlacements[] = {
+    {"single", sa::smart::PlacementSpec::SingleSocket(0)},
+    {"interleaved", sa::smart::PlacementSpec::Interleaved()},
+    {"replicated", sa::smart::PlacementSpec::Replicated()},
+};
+
+void Panel(const sa::sim::MachineModel& machine, bool java) {
+  std::printf("--- %s, %s ---\n", java ? "Java" : "C++", machine.spec().name.c_str());
+  sa::report::Table table({"bits", "placement", "time", "instructions", "mem b/w"});
+  for (const uint32_t bits : kWidths) {
+    for (const auto& col : kPlacements) {
+      sa::sim::AggregationConfig config;
+      config.bits = bits;
+      config.placement = col.placement;
+      config.java = java;
+      const auto r = sa::sim::SimulateAggregation(machine, config);
+      table.AddRow({std::to_string(bits), col.name, sa::report::Ms(r.seconds),
+                    sa::report::Giga(r.total_instructions), sa::report::Gbps(r.total_mem_gbps)});
+    }
+    if (bits != kWidths[std::size(kWidths) - 1]) {
+      table.AddRule();
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 10: aggregating two arrays — bit compression x placement sweep\n");
+  std::printf("(OS default equals single socket here: single-threaded first touch, §5.1)\n\n");
+  for (const auto& spec :
+       {sa::sim::MachineSpec::OracleX5_8Core(), sa::sim::MachineSpec::OracleX5_18Core()}) {
+    const sa::sim::MachineModel machine(spec);
+    Panel(machine, /*java=*/false);
+    Panel(machine, /*java=*/true);
+  }
+
+  std::printf("Paper anchor points (18-core, C++): 64-bit single 201 ms, interleaved 122 ms,\n"
+              "replicated 109 ms; 33-bit replicated 62 ms; compression up to 4x on the OS\n"
+              "default placement; compression hurts single/replicated on the 8-core machine.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Microbenchmarks of the bit-compression codec (Functions 1-3): getter,
+// initializer, and chunk unpack across representative widths, plus the
+// 32/64-bit specializations. Run via google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/bits.h"
+#include "common/random.h"
+#include "smart/dispatch.h"
+
+namespace {
+
+std::vector<uint64_t> MakeWords(uint64_t elems, uint32_t bits) {
+  const uint64_t chunks = (elems + sa::kChunkElems - 1) / sa::kChunkElems;
+  std::vector<uint64_t> words(chunks * sa::WordsPerChunk(bits));
+  const auto& codec = sa::smart::CodecFor(bits);
+  sa::Xoshiro256 rng(bits);
+  for (uint64_t i = 0; i < elems; ++i) {
+    codec.init(words.data(), i, rng() & sa::LowMask(bits));
+  }
+  return words;
+}
+
+void BM_CodecGetSequential(benchmark::State& state) {
+  const auto bits = static_cast<uint32_t>(state.range(0));
+  constexpr uint64_t kN = 1 << 16;
+  const auto words = MakeWords(kN, bits);
+  const auto& codec = sa::smart::CodecFor(bits);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < kN; ++i) {
+      sum += codec.get(words.data(), i);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_CodecGetSequential)->Arg(7)->Arg(10)->Arg(32)->Arg(33)->Arg(50)->Arg(64);
+
+void BM_CodecGetRandom(benchmark::State& state) {
+  const auto bits = static_cast<uint32_t>(state.range(0));
+  constexpr uint64_t kN = 1 << 16;
+  const auto words = MakeWords(kN, bits);
+  const auto& codec = sa::smart::CodecFor(bits);
+  // Pre-generated random index stream (excluded from the timed region).
+  std::vector<uint32_t> indices(1 << 14);
+  sa::Xoshiro256 rng(99);
+  for (auto& idx : indices) {
+    idx = static_cast<uint32_t>(rng.Below(kN));
+  }
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (const uint32_t idx : indices) {
+      sum += codec.get(words.data(), idx);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * indices.size()));
+}
+BENCHMARK(BM_CodecGetRandom)->Arg(10)->Arg(32)->Arg(33)->Arg(64);
+
+void BM_CodecInit(benchmark::State& state) {
+  const auto bits = static_cast<uint32_t>(state.range(0));
+  constexpr uint64_t kN = 1 << 16;
+  auto words = MakeWords(kN, bits);
+  const auto& codec = sa::smart::CodecFor(bits);
+  const uint64_t mask = sa::LowMask(bits);
+  for (auto _ : state) {
+    for (uint64_t i = 0; i < kN; ++i) {
+      codec.init(words.data(), i, i & mask);
+    }
+    benchmark::DoNotOptimize(words.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_CodecInit)->Arg(10)->Arg(32)->Arg(33)->Arg(64);
+
+void BM_CodecInitAtomic(benchmark::State& state) {
+  const auto bits = static_cast<uint32_t>(state.range(0));
+  constexpr uint64_t kN = 1 << 16;
+  auto words = MakeWords(kN, bits);
+  const auto& codec = sa::smart::CodecFor(bits);
+  const uint64_t mask = sa::LowMask(bits);
+  for (auto _ : state) {
+    for (uint64_t i = 0; i < kN; ++i) {
+      codec.init_atomic(words.data(), i, i & mask);
+    }
+    benchmark::DoNotOptimize(words.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_CodecInitAtomic)->Arg(10)->Arg(33)->Arg(64);
+
+void BM_CodecUnpack(benchmark::State& state) {
+  const auto bits = static_cast<uint32_t>(state.range(0));
+  constexpr uint64_t kN = 1 << 16;
+  const auto words = MakeWords(kN, bits);
+  const auto& codec = sa::smart::CodecFor(bits);
+  uint64_t out[sa::kChunkElems];
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (uint64_t chunk = 0; chunk < kN / sa::kChunkElems; ++chunk) {
+      codec.unpack(words.data(), chunk, out);
+      sum += out[0] + out[63];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_CodecUnpack)->Arg(7)->Arg(10)->Arg(32)->Arg(33)->Arg(50)->Arg(64);
+
+}  // namespace

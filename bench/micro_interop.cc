@@ -1,0 +1,106 @@
+// Per-access cost of each Fig. 3 interop path, in ns/element.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "interop/access_paths.h"
+#include "platform/topology.h"
+#include "smart/smart_array.h"
+
+namespace {
+
+constexpr uint64_t kN = 1 << 20;
+
+struct Fixture {
+  Fixture() {
+    data.resize(kN);
+    sa::Xoshiro256 rng(3);
+    for (auto& v : data) {
+      v = rng() & 0xFFFF;
+    }
+    managed = vm.NewLongArray(kN);
+    vm.Resolve(managed).storage = data;
+    ref = env.RegisterNativeArray(data.data(), kN);
+    const auto topo = sa::platform::Topology::Host();
+    smart = sa::smart::SmartArray::Allocate(kN, sa::smart::PlacementSpec::OsDefault(), 64, topo);
+    for (uint64_t i = 0; i < kN; ++i) {
+      smart->Init(i, data[i]);
+    }
+  }
+  std::vector<uint64_t> data;
+  sa::interop::ManagedRuntime vm;
+  sa::interop::BoundaryEnv env{vm};
+  sa::interop::Handle managed = sa::interop::kNullHandle;
+  sa::interop::NativeRef ref = 0;
+  std::unique_ptr<sa::smart::SmartArray> smart;
+};
+
+Fixture& Fix() {
+  static Fixture fixture;
+  return fixture;
+}
+
+void BM_PathCpp(benchmark::State& state) {
+  auto& f = Fix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa::interop::AggregateNativeCpp(f.data.data(), kN));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_PathCpp);
+
+void BM_PathManagedCompiled(benchmark::State& state) {
+  auto& f = Fix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa::interop::AggregateManagedCompiled(f.vm, f.managed));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_PathManagedCompiled);
+
+void BM_PathManagedInterpreted(benchmark::State& state) {
+  auto& f = Fix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa::interop::AggregateManagedInterpreted(f.vm, f.managed));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_PathManagedInterpreted);
+
+void BM_PathJniPerElement(benchmark::State& state) {
+  auto& f = Fix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa::interop::AggregateViaJni(f.env, f.ref, kN));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_PathJniPerElement);
+
+void BM_PathJniRegion(benchmark::State& state) {
+  auto& f = Fix();
+  const auto region = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa::interop::AggregateViaJniRegion(f.env, f.ref, kN, region));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_PathJniRegion)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_PathUnsafe(benchmark::State& state) {
+  auto& f = Fix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa::interop::AggregateViaUnsafe(f.data.data(), kN));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_PathUnsafe);
+
+void BM_PathSmartArray(benchmark::State& state) {
+  auto& f = Fix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa::interop::AggregateViaSmartArray(*f.smart));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_PathSmartArray);
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Iterator microbenchmarks: the virtual SmartArrayIterator hierarchy vs the
+// compile-time TypedIterator vs the C-ABI entry-point iterator — the §4.3
+// claim that specializing on the width removes dispatch overhead.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "smart/dispatch.h"
+#include "smart/entry_points.h"
+#include "smart/iterator.h"
+
+namespace {
+
+constexpr uint64_t kN = 1 << 18;
+
+std::unique_ptr<sa::smart::SmartArray> MakeArray(uint32_t bits) {
+  static const auto topo = sa::platform::Topology::Host();
+  auto array =
+      sa::smart::SmartArray::Allocate(kN, sa::smart::PlacementSpec::OsDefault(), bits, topo);
+  sa::Xoshiro256 rng(bits);
+  for (uint64_t i = 0; i < kN; ++i) {
+    array->Init(i, rng() & array->max_value());
+  }
+  return array;
+}
+
+void BM_VirtualIterator(benchmark::State& state) {
+  const auto array = MakeArray(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto it = sa::smart::SmartArrayIterator::Allocate(*array, 0, 0);
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < kN; ++i) {
+      sum += it->Get();
+      it->Next();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_VirtualIterator)->Arg(10)->Arg(32)->Arg(33)->Arg(64);
+
+void BM_TypedIterator(benchmark::State& state) {
+  const auto array = MakeArray(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    const uint64_t sum = sa::smart::WithBits(array->bits(), [&](auto bits_const) -> uint64_t {
+      constexpr uint32_t kBits = bits_const();
+      sa::smart::TypedIterator<kBits> it(array->GetReplica(0), 0);
+      uint64_t s = 0;
+      for (uint64_t i = 0; i < kN; ++i) {
+        s += it.Get();
+        it.Next();
+      }
+      return s;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_TypedIterator)->Arg(10)->Arg(32)->Arg(33)->Arg(64);
+
+void BM_EntryPointIterator(benchmark::State& state) {
+  // The path a foreign runtime takes: C-ABI iterator with the width passed
+  // as a scalar (Function 4's Java loop after bits-profiling).
+  const auto array = MakeArray(static_cast<uint32_t>(state.range(0)));
+  const uint32_t bits = array->bits();
+  for (auto _ : state) {
+    void* it = saIterAllocate(array.get(), 0);
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < kN; ++i) {
+      sum += saIterGetWithBits(it, bits);
+      saIterNextWithBits(it, bits);
+    }
+    saIterFree(it);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_EntryPointIterator)->Arg(10)->Arg(32)->Arg(33)->Arg(64);
+
+void BM_RandomAccessGetter(benchmark::State& state) {
+  // Random access has no iterator help: Function 1 per element.
+  const auto array = MakeArray(static_cast<uint32_t>(state.range(0)));
+  const uint64_t* replica = array->GetReplica(0);
+  std::vector<uint32_t> indices(1 << 14);
+  sa::Xoshiro256 rng(5);
+  for (auto& idx : indices) {
+    idx = static_cast<uint32_t>(rng.Below(kN));
+  }
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (const uint32_t idx : indices) {
+      sum += array->Get(idx, replica);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * indices.size()));
+}
+BENCHMARK(BM_RandomAccessGetter)->Arg(10)->Arg(32)->Arg(33)->Arg(64);
+
+}  // namespace

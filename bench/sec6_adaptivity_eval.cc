@@ -1,0 +1,56 @@
+// §6.3: adaptivity evaluation. Runs the two-step selector over the full
+// (benchmark x bit width x machine x language x memory scenario) grid and
+// reports the paper's accuracy metrics:
+//   paper: step 1 correct in 62/64, step 2 in 86/96 (wrong picks 4.8% worse
+//   on average), end-to-end 30/32, within 0.2% of optimal on average, and
+//   11.7% better than the best static configuration.
+#include <cstdio>
+
+#include "adapt/cases.h"
+#include "report/table.h"
+
+int main() {
+  std::printf("Section 6.3: adaptivity evaluation against simulated ground truth\n\n");
+
+  sa::adapt::CaseGridOptions options;  // both machines, 4 widths, 3 scenarios
+  const auto cases = sa::adapt::BuildFullCaseGrid(options);
+  const auto outcome = sa::adapt::EvaluateAdaptivity(cases);
+
+  sa::report::Table table({"metric", "paper", "reproduced"});
+  auto frac = [](int a, int b) {
+    return std::to_string(a) + "/" + std::to_string(b) + " (" +
+           sa::report::Num(100.0 * a / std::max(1, b), 1) + "%)";
+  };
+  table.AddRow({"step 1: correct placement", "62/64 (96.9%)",
+                frac(outcome.step1_correct, outcome.step1_cases)});
+  table.AddRow({"step 2: correct compression", "86/96 (89.6%)",
+                frac(outcome.step2_correct, outcome.step2_cases)});
+  table.AddRow({"step 2: avg loss when wrong", "4.8%",
+                sa::report::Num(outcome.step2_avg_error_when_wrong_pct, 1) + "%"});
+  table.AddRow({"end-to-end: correct configuration", "30/32 (93.8%)",
+                frac(outcome.overall_correct, outcome.overall_cases)});
+  table.AddRow({"avg distance from optimal", "0.2%",
+                sa::report::Num(outcome.avg_pct_from_optimal, 2) + "%"});
+  table.AddRow({"improvement over best static", "11.7%",
+                sa::report::Num(outcome.improvement_over_best_static_pct, 1) + "%"});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("best static configuration: %s\n\n", outcome.best_static_name.c_str());
+
+  // Per-case detail for the cases where the selector strayed from optimal.
+  sa::report::Table misses({"case", "chosen", "optimal", "loss"});
+  int shown = 0;
+  for (const auto& pc : outcome.cases) {
+    const double loss = (pc.chosen_seconds - pc.optimal_seconds) / pc.optimal_seconds * 100.0;
+    if (loss > 1.0) {
+      misses.AddRow({pc.name, ToString(pc.chosen), ToString(pc.optimal),
+                     sa::report::Num(loss, 1) + "%"});
+      ++shown;
+    }
+  }
+  if (shown > 0) {
+    std::printf("cases losing >1%% to the optimum:\n%s\n", misses.ToString().c_str());
+  } else {
+    std::printf("no case loses more than 1%% to the optimal configuration.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table 1: machine characteristics measured with (simulated) Intel MLC.
+#include <cstdio>
+
+#include "report/table.h"
+#include "sim/mlc.h"
+
+int main() {
+  std::printf("Table 1: Oracle X5-2 machine characteristics via simulated MLC probes\n\n");
+
+  const sa::sim::MachineSpec specs[] = {sa::sim::MachineSpec::OracleX5_8Core(),
+                                        sa::sim::MachineSpec::OracleX5_18Core()};
+  const struct {
+    const char* metric;
+    double paper[2];
+  } rows[] = {
+      {"Local latency (ns)", {77, 85}},
+      {"Remote latency (ns)", {130, 132}},
+      {"Local B/W (GB/s)", {49.3, 43.8}},
+      {"Remote B/W (GB/s)", {8.0, 26.8}},
+      {"Total local B/W (GB/s)", {98.6, 87.6}},
+  };
+
+  sa::sim::MlcReport reports[2];
+  for (int m = 0; m < 2; ++m) {
+    reports[m] = sa::sim::MeasureMlc(sa::sim::MachineModel(specs[m]));
+  }
+
+  sa::report::Table table({"metric", "2x8-core paper", "2x8-core probe", "2x18-core paper",
+                           "2x18-core probe"});
+  auto value = [](const sa::sim::MlcReport& r, int metric) {
+    switch (metric) {
+      case 0:
+        return r.local_latency_ns;
+      case 1:
+        return r.remote_latency_ns;
+      case 2:
+        return r.local_bw_gbps;
+      case 3:
+        return r.remote_bw_gbps;
+      default:
+        return r.total_local_bw_gbps;
+    }
+  };
+  for (int i = 0; i < 5; ++i) {
+    table.AddRow({rows[i].metric, sa::report::Num(rows[i].paper[0], 1),
+                  sa::report::Num(value(reports[0], i), 1), sa::report::Num(rows[i].paper[1], 1),
+                  sa::report::Num(value(reports[1], i), 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "adapt/adaptive_array.h"
+
+#include "common/macros.h"
+
+namespace sa::adapt {
+
+AdaptiveArray::AdaptiveArray(std::unique_ptr<smart::SmartArray> array, rts::WorkerPool& pool,
+                             const platform::Topology& topology, MachineCaps machine,
+                             SoftwareHints hints, ArrayCosts costs)
+    : array_(std::move(array)),
+      pool_(&pool),
+      topology_(&topology),
+      machine_(machine),
+      hints_(hints),
+      costs_(costs),
+      data_bits_(smart::MinimalBits(pool, *array_)) {}
+
+Configuration AdaptiveArray::current() const {
+  return {array_->placement(), array_->bits() < 64};
+}
+
+void AdaptiveArray::ObserveProfile(const WorkloadCounters& counters) {
+  last_profile_ = counters;
+}
+
+bool AdaptiveArray::MaybeAdapt() {
+  SA_CHECK_MSG(last_profile_.has_value(), "observe a profile before adapting");
+  SelectorInputs inputs;
+  inputs.machine = machine_;
+  inputs.hints = hints_;
+  inputs.counters = *last_profile_;
+  inputs.costs = costs_;
+  inputs.compression_ratio = static_cast<double>(data_bits_) / 64.0;
+
+  const SelectorResult result = ChooseConfiguration(inputs);
+  if (result.chosen == current()) {
+    return false;
+  }
+  const uint32_t new_bits = result.chosen.compressed ? data_bits_ : 64;
+  array_ = smart::Restructure(*pool_, *array_, result.chosen.placement, new_bits, *topology_);
+  ++adaptations_;
+  return true;
+}
+
+}  // namespace sa::adapt

@@ -1,0 +1,57 @@
+// AdaptiveArray: the dynamic adaptation loop of §6/§7 — observe a
+// workload's counters, re-run the two-step selection, and restructure the
+// array on the fly when a different configuration is predicted to win
+// ("re-apply its adaptivity workflow to select a potentially new set of
+// smart functionalities", §7; "restructure the array on the fly", §6).
+#ifndef SA_ADAPT_ADAPTIVE_ARRAY_H_
+#define SA_ADAPT_ADAPTIVE_ARRAY_H_
+
+#include <memory>
+
+#include "adapt/selector.h"
+#include "rts/worker_pool.h"
+#include "smart/restructure.h"
+#include "smart/smart_array.h"
+
+namespace sa::adapt {
+
+class AdaptiveArray {
+ public:
+  // Takes ownership of `array`; adaptation decisions are made for `machine`
+  // under `hints`/`costs`. The array's *data* width (least bits required)
+  // is measured once up front and fixes the compression ratio.
+  AdaptiveArray(std::unique_ptr<smart::SmartArray> array, rts::WorkerPool& pool,
+                const platform::Topology& topology, MachineCaps machine, SoftwareHints hints,
+                ArrayCosts costs);
+
+  const smart::SmartArray& array() const { return *array_; }
+  smart::SmartArray& array() { return *array_; }
+
+  // Configuration the storage currently implements.
+  Configuration current() const;
+  uint32_t data_bits() const { return data_bits_; }
+  int adaptations() const { return adaptations_; }
+
+  // Feeds the PCM-style counters measured on the most recent loop/iteration.
+  void ObserveProfile(const WorkloadCounters& counters);
+
+  // Re-runs the §6 selection against the last observed profile and
+  // restructures if the decision differs from the current configuration.
+  // Returns true when the array was rebuilt.
+  bool MaybeAdapt();
+
+ private:
+  std::unique_ptr<smart::SmartArray> array_;
+  rts::WorkerPool* pool_;
+  const platform::Topology* topology_;
+  MachineCaps machine_;
+  SoftwareHints hints_;
+  ArrayCosts costs_;
+  uint32_t data_bits_;
+  std::optional<WorkloadCounters> last_profile_;
+  int adaptations_ = 0;
+};
+
+}  // namespace sa::adapt
+
+#endif  // SA_ADAPT_ADAPTIVE_ARRAY_H_

@@ -1,0 +1,181 @@
+#include "adapt/cases.h"
+
+#include "common/bits.h"
+#include "common/macros.h"
+
+namespace sa::adapt {
+namespace {
+
+// Storage ratio of width-w elements vs 64-bit storage (whole-chunk layout).
+double CompressionRatio(uint32_t bits) { return static_cast<double>(bits) / 64.0; }
+
+EvalCase MakeAggregationCase(const std::shared_ptr<sim::MachineModel>& machine,
+                             const sim::CostModel& cost, uint32_t data_bits, bool java,
+                             MemoryScenario scenario) {
+  sim::AggregationConfig profile_config;
+  profile_config.bits = 64;  // profiling runs uncompressed...
+  profile_config.placement = smart::PlacementSpec::Interleaved();  // ...interleaved (§6)
+  profile_config.java = java;
+  const sim::RunReport profile =
+      sim::SimulateAggregation(*machine, profile_config, cost);
+
+  EvalCase c;
+  c.name = std::string("aggregation-") + (java ? "java" : "cpp") + "-" +
+           std::to_string(data_bits) + "bit @ " + machine->spec().name + " [" +
+           ToString(scenario) + "]";
+  c.scenario = scenario;
+  c.inputs.machine = MachineCaps::FromSpec(machine->spec());
+  c.inputs.hints.read_only = true;
+  c.inputs.hints.mostly_reads = true;
+  c.inputs.hints.linear_passes = 10.0;  // the benchmark's repeated iterations (§5)
+  c.inputs.counters = CountersFromReport(
+      profile, *machine, /*accesses_per_unit=*/profile_config.num_arrays,
+      /*elem_bytes=*/8.0,
+      /*dataset_bytes=*/static_cast<double>(sim::AggregationFootprintBytes(profile_config)),
+      /*random_fraction=*/0.0);
+  c.inputs.costs = ArrayCosts::FromCostModel(cost);
+  c.inputs.compression_ratio = CompressionRatio(data_bits);
+
+  c.run_seconds = [machine, cost, data_bits, java](const Configuration& config) {
+    sim::AggregationConfig run;
+    run.bits = config.compressed ? data_bits : 64;
+    run.placement = config.placement;
+    run.java = java;
+    return sim::SimulateAggregation(*machine, run, cost).seconds;
+  };
+  return c;
+}
+
+EvalCase MakeDegreeCase(const std::shared_ptr<sim::MachineModel>& machine,
+                        const sim::CostModel& cost, uint32_t data_bits,
+                        MemoryScenario scenario) {
+  sim::DegreeCentralityConfig profile_config;
+  profile_config.index_bits = 64;
+  profile_config.placement = smart::PlacementSpec::Interleaved();
+  const sim::RunReport profile =
+      sim::SimulateDegreeCentrality(*machine, profile_config, cost);
+
+  const double dataset_bytes = 2.0 * 8.0 * static_cast<double>(profile_config.vertices);
+
+  EvalCase c;
+  c.name = "degree-centrality-java-" + std::to_string(data_bits) + "bit @ " +
+           machine->spec().name + " [" + ToString(scenario) + "]";
+  c.scenario = scenario;
+  c.inputs.machine = MachineCaps::FromSpec(machine->spec());
+  c.inputs.hints.read_only = true;
+  c.inputs.hints.mostly_reads = true;
+  c.inputs.hints.linear_passes = 10.0;
+  c.inputs.counters = CountersFromReport(profile, *machine, /*accesses_per_unit=*/2.0,
+                                         /*elem_bytes=*/8.0, dataset_bytes,
+                                         /*random_fraction=*/0.0);
+  c.inputs.costs = ArrayCosts::FromCostModel(cost);
+  c.inputs.compression_ratio = CompressionRatio(data_bits);
+
+  c.run_seconds = [machine, cost, data_bits](const Configuration& config) {
+    sim::DegreeCentralityConfig run;
+    run.index_bits = config.compressed ? data_bits : 64;
+    run.placement = config.placement;
+    return sim::SimulateDegreeCentrality(*machine, run, cost).seconds;
+  };
+  return c;
+}
+
+sim::PageRankConfig PageRankVariant(bool compressed, const smart::PlacementSpec& placement) {
+  sim::PageRankConfig config;
+  config.placement = placement;
+  if (compressed) {  // Fig. 12's "V+E"
+    config.index_bits = 31;
+    config.degree_bits = 22;
+    config.edge_bits = 26;
+  }
+  return config;
+}
+
+EvalCase MakePageRankCase(const std::shared_ptr<sim::MachineModel>& machine,
+                          const sim::CostModel& cost, MemoryScenario scenario) {
+  sim::PageRankConfig profile_config = PageRankVariant(false, smart::PlacementSpec::Interleaved());
+  const sim::RunReport profile = sim::SimulatePageRank(*machine, profile_config, cost);
+
+  EvalCase c;
+  c.name = "pagerank-java-twitter @ " + machine->spec().name + " [" + ToString(scenario) + "]";
+  c.scenario = scenario;
+  c.inputs.machine = MachineCaps::FromSpec(machine->spec());
+  c.inputs.hints.read_only = true;
+  c.inputs.hints.mostly_reads = true;
+  // 15 convergence iterations pass over every array (§5.2); the rank/degree
+  // gathers are random.
+  c.inputs.hints.linear_passes = 15.0;
+  c.inputs.hints.random_passes = 15.0;
+  const double random_fraction = 2.0 / 3.0;  // rank + degree gathers of 3 accesses/edge
+  c.inputs.counters = CountersFromReport(profile, *machine, /*accesses_per_unit=*/3.0,
+                                         /*elem_bytes=*/8.0,
+                                         static_cast<double>(sim::PageRankFootprintBytes(
+                                             PageRankVariant(false, profile_config.placement))),
+                                         random_fraction);
+  c.inputs.costs = ArrayCosts::FromCostModel(cost);
+  c.inputs.compression_ratio =
+      static_cast<double>(sim::PageRankFootprintBytes(
+          PageRankVariant(true, profile_config.placement))) /
+      static_cast<double>(
+          sim::PageRankFootprintBytes(PageRankVariant(false, profile_config.placement)));
+
+  c.run_seconds = [machine, cost](const Configuration& config) {
+    return sim::SimulatePageRank(*machine, PageRankVariant(config.compressed, config.placement),
+                                 cost)
+        .seconds;
+  };
+  return c;
+}
+
+}  // namespace
+
+std::vector<EvalCase> BuildPageRankCases(const sim::MachineSpec& spec,
+                                         const CaseGridOptions& options) {
+  auto machine = std::make_shared<sim::MachineModel>(spec);
+  std::vector<EvalCase> cases;
+  for (const MemoryScenario scenario : options.scenarios) {
+    cases.push_back(MakePageRankCase(machine, options.cost, scenario));
+  }
+  return cases;
+}
+
+std::vector<EvalCase> BuildAggregationCases(const sim::MachineSpec& spec,
+                                            const CaseGridOptions& options) {
+  auto machine = std::make_shared<sim::MachineModel>(spec);
+  std::vector<EvalCase> cases;
+  for (const uint32_t bits : options.bit_widths) {
+    SA_CHECK(bits >= 1 && bits <= 64);
+    for (const bool java : {false, true}) {
+      for (const MemoryScenario scenario : options.scenarios) {
+        cases.push_back(MakeAggregationCase(machine, options.cost, bits, java, scenario));
+      }
+    }
+  }
+  return cases;
+}
+
+std::vector<EvalCase> BuildDegreeCentralityCases(const sim::MachineSpec& spec,
+                                                 const CaseGridOptions& options) {
+  auto machine = std::make_shared<sim::MachineModel>(spec);
+  std::vector<EvalCase> cases;
+  for (const uint32_t bits : options.bit_widths) {
+    for (const MemoryScenario scenario : options.scenarios) {
+      cases.push_back(MakeDegreeCase(machine, options.cost, bits, scenario));
+    }
+  }
+  return cases;
+}
+
+std::vector<EvalCase> BuildFullCaseGrid(const CaseGridOptions& options) {
+  std::vector<EvalCase> all;
+  for (const auto& spec :
+       {sim::MachineSpec::OracleX5_8Core(), sim::MachineSpec::OracleX5_18Core()}) {
+    auto agg = BuildAggregationCases(spec, options);
+    all.insert(all.end(), agg.begin(), agg.end());
+    auto degree = BuildDegreeCentralityCases(spec, options);
+    all.insert(all.end(), degree.begin(), degree.end());
+  }
+  return all;
+}
+
+}  // namespace sa::adapt

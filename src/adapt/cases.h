@@ -1,0 +1,46 @@
+// Builders that turn the paper's evaluation workloads into adaptivity
+// evaluation cases (§6.3): profile each workload in the standard profiling
+// configuration (uncompressed, interleaved), derive counters, and wire a
+// simulator-backed ground-truth runner.
+#ifndef SA_ADAPT_CASES_H_
+#define SA_ADAPT_CASES_H_
+
+#include <memory>
+
+#include "adapt/evaluation.h"
+#include "sim/workloads.h"
+
+namespace sa::adapt {
+
+struct CaseGridOptions {
+  std::vector<uint32_t> bit_widths = {10, 33, 50, 63};  // data widths to sweep
+  std::vector<MemoryScenario> scenarios = {MemoryScenario::kPlenty,
+                                           MemoryScenario::kNoUncompressedReplication,
+                                           MemoryScenario::kNoReplicationAtAll};
+  sim::CostModel cost = sim::CostModel::Default();
+};
+
+// Aggregation cases (C++ and Java) for one machine.
+std::vector<EvalCase> BuildAggregationCases(const sim::MachineSpec& spec,
+                                            const CaseGridOptions& options);
+
+// Degree-centrality cases (Java/PGX) for one machine.
+std::vector<EvalCase> BuildDegreeCentralityCases(const sim::MachineSpec& spec,
+                                                 const CaseGridOptions& options);
+
+// PageRank cases — EXTENSION beyond the paper's §6 limitation ("our
+// adaptivity is not yet extended to multiple smart arrays, such as those
+// used in our PageRank experiments"). One decision governs the whole CSR
+// array group: the compressed alternative is the Fig. 12 "V+E" variant and
+// the compression ratio is the group's footprint ratio. Bit widths in the
+// grid options are ignored (the graph fixes them).
+std::vector<EvalCase> BuildPageRankCases(const sim::MachineSpec& spec,
+                                         const CaseGridOptions& options);
+
+// The full grid over both Table 1 machines, as bench/sec6_adaptivity_eval
+// reports it.
+std::vector<EvalCase> BuildFullCaseGrid(const CaseGridOptions& options);
+
+}  // namespace sa::adapt
+
+#endif  // SA_ADAPT_CASES_H_

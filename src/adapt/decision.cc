@@ -1,0 +1,143 @@
+#include "adapt/decision.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace sa::adapt {
+namespace {
+
+// Replicas must fit with some headroom for the rest of the application.
+constexpr double kMemoryHeadroom = 0.8;
+
+// Multiple passes are needed to amortize replica initialization (§6.1,
+// "multiple accesses per element"); random passes amortize faster because
+// each replicated access saves a remote round-trip, not just bandwidth.
+constexpr double kLinearPassesForReplication = 2.0;
+constexpr double kRandomPassesForReplication = 1.0;
+
+}  // namespace
+
+bool AllLocalSpeedupBeatsRemoteSlowdown(const MachineCaps& machine,
+                                        const WorkloadCounters& counters) {
+  if (counters.exec_current_per_socket <= 0.0 || counters.bw_current_memory <= 0.0) {
+    return false;
+  }
+  // §6.1: how fast could the local socket compute, free of memory limits?
+  const double improvement_exec = machine.exec_max_per_socket / counters.exec_current_per_socket;
+
+  // Scale the spec'd maxima to the best utilization the workload achieved on
+  // its bottleneck link ("bandwidth lost due to latency", §6.1).
+  const double scale =
+      std::max(0.5, std::max(counters.max_mem_utilization, counters.max_ic_utilization));
+  const double bw_max_memory = machine.bw_max_memory * scale;
+  const double bw_max_ic = machine.bw_max_interconnect * scale;
+
+  // Local socket with all-local accesses, assuming the remote socket
+  // saturates the interconnect out of the same memory.
+  const double improvement_bw =
+      (bw_max_memory - bw_max_ic) / counters.bw_current_memory;
+  const double speedup_local = std::min(improvement_exec, std::max(0.0, improvement_bw));
+
+  // Remote socket with all-remote accesses (expected < 1: a slowdown).
+  const double speedup_remote = bw_max_ic / counters.bw_current_memory;
+
+  const double single_socket_estimate = (speedup_local + speedup_remote) / 2.0;
+
+  // Pinning must also beat what interleaving achieves under the same
+  // counters (~1 for the profiling configuration itself; more when the
+  // counters were adjusted for compression and the interconnect relaxed).
+  const double interleaved_estimate =
+      std::min(improvement_exec,
+               std::min(bw_max_memory, 2.0 * bw_max_ic) / counters.bw_current_memory);
+
+  return single_socket_estimate > std::max(1.0, interleaved_estimate);
+}
+
+WorkloadCounters AdjustCountersForCompression(const MachineCaps& machine,
+                                              const WorkloadCounters& counters,
+                                              const ArrayCosts& costs,
+                                              double compression_ratio) {
+  SA_CHECK(compression_ratio > 0.0 && compression_ratio <= 1.0);
+  WorkloadCounters adjusted = counters;
+  const double accesses_per_socket = counters.accesses_per_second / machine.sockets;
+  const double cost_per_access =
+      costs.compressed_linear_cycles * (1.0 - counters.random_fraction) +
+      costs.compressed_random_cycles * counters.random_fraction;
+  adjusted.exec_current_per_socket += accesses_per_socket * cost_per_access;
+  adjusted.bw_current_memory = std::max(
+      1.0, counters.bw_current_memory -
+               accesses_per_socket * (1.0 - compression_ratio) * counters.elem_bytes);
+  return adjusted;
+}
+
+bool SpaceForReplication(const MachineCaps& machine, const WorkloadCounters& counters,
+                         double compression_ratio, bool compressed) {
+  const double footprint =
+      counters.dataset_bytes * (compressed ? compression_ratio : 1.0);
+  return footprint <= machine.mem_bytes_per_socket * kMemoryHeadroom;
+}
+
+smart::PlacementSpec SelectPlacementUncompressed(const MachineCaps& machine,
+                                                 const SoftwareHints& hints,
+                                                 const WorkloadCounters& counters,
+                                                 bool space_for_replication) {
+  // Not memory bound: placement cannot help much; interleaving is the
+  // symmetric default (also the profiling configuration, §6).
+  if (!counters.memory_bound()) {
+    return smart::PlacementSpec::Interleaved();
+  }
+  // Replication only for read-only data with room for the replicas.
+  if (hints.read_only && space_for_replication) {
+    if (counters.significant_random()) {
+      // Random accesses pay remote latency per access; replication is worth
+      // it as soon as the (cheaper) random-amortization bound is met.
+      if (hints.random_passes >= kRandomPassesForReplication) {
+        return smart::PlacementSpec::Replicated();
+      }
+    } else if (hints.linear_passes >= kLinearPassesForReplication) {
+      return smart::PlacementSpec::Replicated();
+    }
+  }
+  if (AllLocalSpeedupBeatsRemoteSlowdown(machine, counters)) {
+    return smart::PlacementSpec::SingleSocket(0);
+  }
+  return smart::PlacementSpec::Interleaved();
+}
+
+std::optional<smart::PlacementSpec> SelectPlacementCompressed(const MachineCaps& machine,
+                                                              const SoftwareHints& hints,
+                                                              const WorkloadCounters& counters,
+                                                              bool space_for_replication,
+                                                              const ArrayCosts& costs,
+                                                              double compression_ratio) {
+  // Compression trades CPU for bandwidth; without a memory bound there is
+  // nothing to buy (Fig. 13b's first exit).
+  if (!counters.memory_bound()) {
+    return std::nullopt;
+  }
+  // Writers re-pack elements on every store; only mostly-read data qualifies.
+  if (!hints.mostly_reads) {
+    return std::nullopt;
+  }
+  // "Every access requires a number of words to be loaded, making random
+  // accesses more expensive than with uncompressed data" (§6.1): a heavily
+  // random workload loses more to per-access decompression than it saves.
+  if (counters.significant_random() && hints.random_passes > hints.linear_passes) {
+    return std::nullopt;
+  }
+  if (hints.read_only && space_for_replication &&
+      hints.linear_passes >= kLinearPassesForReplication) {
+    return smart::PlacementSpec::Replicated();
+  }
+  // Placement comparisons happen in the compressed regime: decompression
+  // cycles added, bandwidth demand reduced (§6.2's adjustment).
+  const WorkloadCounters adjusted =
+      AdjustCountersForCompression(machine, counters, costs, compression_ratio);
+  if (AllLocalSpeedupBeatsRemoteSlowdown(machine, adjusted)) {
+    return smart::PlacementSpec::SingleSocket(0);
+  }
+  return smart::PlacementSpec::Interleaved();
+}
+
+}  // namespace sa::adapt

@@ -1,0 +1,57 @@
+// Step 1 of the adaptivity workflow: placement candidate selection via the
+// flow diagrams of Fig. 13 (paper §6.1).
+#ifndef SA_ADAPT_DECISION_H_
+#define SA_ADAPT_DECISION_H_
+
+#include <optional>
+
+#include "adapt/specs.h"
+
+namespace sa::adapt {
+
+// "All local speedup > all remote slowdown" (§6.1): whether pinning the data
+// to one socket would help on this machine/workload, computed from the
+// execution-rate and bandwidth improvements the paper defines. The single-
+// socket estimate must also beat what interleaving itself would achieve
+// under the same counters (for the profiling configuration that estimate is
+// ~1, the paper's break-even; for compression-adjusted counters it reflects
+// the interconnect relief compression buys).
+bool AllLocalSpeedupBeatsRemoteSlowdown(const MachineCaps& machine,
+                                        const WorkloadCounters& counters);
+
+// Counters as they would look if the workload ran bit-compressed: the
+// §6.2 adjustment (decompression cycles added, bandwidth demand scaled)
+// applied to profiling-run counters so the Fig. 13b diagram reasons about
+// the compressed regime.
+WorkloadCounters AdjustCountersForCompression(const MachineCaps& machine,
+                                              const WorkloadCounters& counters,
+                                              const ArrayCosts& costs,
+                                              double compression_ratio);
+
+// Whether each socket has room for a full replica of the dataset
+// (`compressed` scales the footprint by `compression_ratio`).
+bool SpaceForReplication(const MachineCaps& machine, const WorkloadCounters& counters,
+                         double compression_ratio, bool compressed);
+
+// Fig. 13a: candidate placement for uncompressed data.
+// `space_for_replication` is passed explicitly so the evaluation can rerun
+// the diagram under the paper's "insufficient memory" scenarios (§6.3).
+smart::PlacementSpec SelectPlacementUncompressed(const MachineCaps& machine,
+                                                 const SoftwareHints& hints,
+                                                 const WorkloadCounters& counters,
+                                                 bool space_for_replication);
+
+// Fig. 13b: candidate placement for compressed data, or nullopt for the
+// diagram's "No Compression" outcome. `counters` are the profiling-run
+// (uncompressed) measurements; the diagram internally reasons about the
+// compressed regime via AdjustCountersForCompression.
+std::optional<smart::PlacementSpec> SelectPlacementCompressed(const MachineCaps& machine,
+                                                              const SoftwareHints& hints,
+                                                              const WorkloadCounters& counters,
+                                                              bool space_for_replication,
+                                                              const ArrayCosts& costs,
+                                                              double compression_ratio);
+
+}  // namespace sa::adapt
+
+#endif  // SA_ADAPT_DECISION_H_

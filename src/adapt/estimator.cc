@@ -1,0 +1,87 @@
+#include "adapt/estimator.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace sa::adapt {
+namespace {
+
+// Effective maximum memory bandwidth available to the team on `socket`
+// under `placement`, from the machine description (§6.2: "the ratio of the
+// maximum memory bandwidth for each candidate placement relative to the
+// current bandwidth").
+double MaxBandwidthFor(const MachineCaps& machine, const smart::PlacementSpec& placement,
+                       int socket) {
+  switch (placement.kind) {
+    case smart::Placement::kReplicated:
+      return machine.bw_max_memory;  // all accesses local
+    case smart::Placement::kInterleaved:
+    case smart::Placement::kOsDefault:
+      // Half of a team's bytes cross the interconnect; the stream advances
+      // at the pace of its slower constituent.
+      return std::min(machine.bw_max_memory, 2.0 * machine.bw_max_interconnect);
+    case smart::Placement::kSingleSocket:
+      if (socket == placement.socket) {
+        // The local team shares its channel with the remote team's pulls.
+        return std::max(0.0, machine.bw_max_memory - machine.bw_max_interconnect);
+      }
+      return machine.bw_max_interconnect;
+  }
+  return machine.bw_max_memory;
+}
+
+}  // namespace
+
+double EstimateConfigSpeedup(const MachineCaps& machine, const WorkloadCounters& counters,
+                             const ArrayCosts& costs, const Configuration& config,
+                             double compression_ratio) {
+  SA_CHECK(compression_ratio > 0.0 && compression_ratio <= 1.0);
+  SA_CHECK(counters.exec_current_per_socket > 0.0 && counters.bw_current_memory > 0.0);
+
+  const double accesses_per_socket = counters.accesses_per_second / machine.sockets;
+
+  // §6.2: add the decompression compute and subtract the bandwidth saved.
+  double exec_candidate = counters.exec_current_per_socket;
+  double bw_candidate = counters.bw_current_memory;
+  if (config.compressed) {
+    const double cost_per_access =
+        costs.compressed_linear_cycles * (1.0 - counters.random_fraction) +
+        costs.compressed_random_cycles * counters.random_fraction;
+    exec_candidate += accesses_per_socket * cost_per_access;
+    bw_candidate -= accesses_per_socket * (1.0 - compression_ratio) * counters.elem_bytes;
+    bw_candidate = std::max(bw_candidate, 1.0);
+  }
+
+  // Scale spec maxima to what the workload demonstrably achieves.
+  const double scale =
+      std::max(0.5, std::max(counters.max_mem_utilization, counters.max_ic_utilization));
+
+  double sum_speedup = 0.0;
+  for (int s = 0; s < machine.sockets; ++s) {
+    const double exec_ratio = machine.exec_max_per_socket / exec_candidate;
+    const double bw_ratio =
+        MaxBandwidthFor(machine, config.placement, s) * scale / bw_candidate;
+    sum_speedup += std::min(exec_ratio, bw_ratio);
+  }
+  return sum_speedup / machine.sockets;
+}
+
+Configuration ChooseBetweenCandidates(const MachineCaps& machine,
+                                      const WorkloadCounters& counters, const ArrayCosts& costs,
+                                      const smart::PlacementSpec& uncompressed_candidate,
+                                      const std::optional<smart::PlacementSpec>& compressed_candidate,
+                                      double compression_ratio) {
+  const Configuration uncompressed{uncompressed_candidate, false};
+  if (!compressed_candidate.has_value()) {
+    return uncompressed;
+  }
+  const Configuration compressed{*compressed_candidate, true};
+  const double su =
+      EstimateConfigSpeedup(machine, counters, costs, uncompressed, compression_ratio);
+  const double sc =
+      EstimateConfigSpeedup(machine, counters, costs, compressed, compression_ratio);
+  return sc > su ? compressed : uncompressed;
+}
+
+}  // namespace sa::adapt

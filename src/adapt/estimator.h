@@ -1,0 +1,28 @@
+// Step 2 of the adaptivity workflow: analytic speedup estimation in the
+// style of Pandia (paper §6.2), used to decide between the uncompressed and
+// compressed placement candidates.
+#ifndef SA_ADAPT_ESTIMATOR_H_
+#define SA_ADAPT_ESTIMATOR_H_
+
+#include "adapt/specs.h"
+
+namespace sa::adapt {
+
+// Estimated speedup of running under `config`, relative to the profiling
+// configuration the counters were collected on (uncompressed interleaved).
+// `compression_ratio` is the compressed/uncompressed size ratio r in (0,1].
+double EstimateConfigSpeedup(const MachineCaps& machine, const WorkloadCounters& counters,
+                             const ArrayCosts& costs, const Configuration& config,
+                             double compression_ratio);
+
+// Chooses between the step-1 candidates by estimated speedup ("we then
+// choose the configuration predicted to be the fastest", §6.2).
+Configuration ChooseBetweenCandidates(const MachineCaps& machine,
+                                      const WorkloadCounters& counters, const ArrayCosts& costs,
+                                      const smart::PlacementSpec& uncompressed_candidate,
+                                      const std::optional<smart::PlacementSpec>& compressed_candidate,
+                                      double compression_ratio);
+
+}  // namespace sa::adapt
+
+#endif  // SA_ADAPT_ESTIMATOR_H_

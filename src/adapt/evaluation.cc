@@ -1,0 +1,182 @@
+#include "adapt/evaluation.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/macros.h"
+
+namespace sa::adapt {
+namespace {
+
+// A pick within this fraction of the class optimum counts as correct: when
+// the bottleneck lies outside the placed arrays (e.g. CPU-bound decode),
+// several configurations tie exactly and any of them is "the best".
+constexpr double kTiePct = 0.01;
+
+bool ReplicationAllowed(MemoryScenario scenario, bool compressed) {
+  switch (scenario) {
+    case MemoryScenario::kPlenty:
+      return true;
+    case MemoryScenario::kNoUncompressedReplication:
+      return compressed;  // compression makes the replicas fit (§6.1)
+    case MemoryScenario::kNoReplicationAtAll:
+      return false;
+  }
+  return true;
+}
+
+// Best configuration among `candidates` by simulated time.
+std::pair<Configuration, double> BestOf(const std::vector<Configuration>& candidates,
+                                        const EvalCase& c) {
+  SA_CHECK(!candidates.empty());
+  Configuration best = candidates.front();
+  double best_seconds = std::numeric_limits<double>::infinity();
+  for (const Configuration& config : candidates) {
+    const double t = c.run_seconds(config);
+    if (t < best_seconds) {
+      best_seconds = t;
+      best = config;
+    }
+  }
+  return {best, best_seconds};
+}
+
+std::string ConfigKey(const Configuration& c) { return ToString(c); }
+
+}  // namespace
+
+const char* ToString(MemoryScenario scenario) {
+  switch (scenario) {
+    case MemoryScenario::kPlenty:
+      return "plenty-of-memory";
+    case MemoryScenario::kNoUncompressedReplication:
+      return "no-uncompressed-replication";
+    case MemoryScenario::kNoReplicationAtAll:
+      return "no-replication";
+  }
+  return "?";
+}
+
+std::vector<Configuration> CandidateConfigurations(MemoryScenario scenario) {
+  std::vector<Configuration> out;
+  const smart::PlacementSpec placements[] = {
+      smart::PlacementSpec::SingleSocket(0),
+      smart::PlacementSpec::Interleaved(),
+      smart::PlacementSpec::Replicated(),
+  };
+  for (const bool compressed : {false, true}) {
+    for (const auto& p : placements) {
+      if (p.kind == smart::Placement::kReplicated &&
+          !ReplicationAllowed(scenario, compressed)) {
+        continue;
+      }
+      out.push_back({p, compressed});
+    }
+  }
+  return out;
+}
+
+EvalOutcome EvaluateAdaptivity(const std::vector<EvalCase>& cases) {
+  EvalOutcome outcome;
+  double sum_pct_from_optimal = 0.0;
+  double sum_step2_error_pct = 0.0;
+  int step2_wrong = 0;
+  std::map<std::string, double> static_totals;       // config -> total seconds
+  std::map<std::string, Configuration> static_cfgs;  // only over feasible-everywhere configs
+  double chosen_total = 0.0;
+
+  for (const EvalCase& c : cases) {
+    SelectorInputs inputs = c.inputs;
+    inputs.space_for_uncompressed_replication =
+        ReplicationAllowed(c.scenario, /*compressed=*/false);
+    inputs.space_for_compressed_replication = ReplicationAllowed(c.scenario, /*compressed=*/true);
+
+    const SelectorResult result = ChooseConfiguration(inputs);
+    const std::vector<Configuration> all = CandidateConfigurations(c.scenario);
+
+    // ---- Step 1 accuracy: each diagram's placement vs the best placement
+    // within its compression class.
+    for (const bool compressed : {false, true}) {
+      std::vector<Configuration> in_class;
+      for (const Configuration& config : all) {
+        if (config.compressed == compressed) {
+          in_class.push_back(config);
+        }
+      }
+      std::optional<smart::PlacementSpec> picked =
+          compressed ? result.compressed_candidate
+                     : std::optional<smart::PlacementSpec>(result.uncompressed_candidate);
+      if (!picked.has_value()) {
+        continue;  // diagram said "no compression"; step 1 made no placement call
+      }
+      ++outcome.step1_cases;
+      const auto [best, best_seconds] = BestOf(in_class, c);
+      // Correct = chose the best placement, or one measurably as good
+      // (configurations whose bottleneck lies elsewhere tie exactly).
+      const double picked_seconds = c.run_seconds({*picked, compressed});
+      if (best.placement == *picked || picked_seconds <= best_seconds * (1.0 + kTiePct)) {
+        ++outcome.step1_correct;
+      }
+    }
+
+    // ---- Step 2 accuracy: between the two candidates, did the estimator
+    // pick the faster one?
+    if (result.compressed_candidate.has_value()) {
+      ++outcome.step2_cases;
+      const Configuration uncompressed{result.uncompressed_candidate, false};
+      const Configuration compressed{*result.compressed_candidate, true};
+      const double tu = c.run_seconds(uncompressed);
+      const double tc = c.run_seconds(compressed);
+      const Configuration& faster = tu <= tc ? uncompressed : compressed;
+      const double t_picked = result.chosen == uncompressed ? tu : tc;
+      if (faster == result.chosen || t_picked <= std::min(tu, tc) * (1.0 + kTiePct)) {
+        ++outcome.step2_correct;
+      } else {
+        ++step2_wrong;
+        const double t_chosen = c.run_seconds(result.chosen);
+        const double t_best = std::min(tu, tc);
+        sum_step2_error_pct += (t_chosen - t_best) / t_best * 100.0;
+      }
+    }
+
+    // ---- Overall accuracy vs the exhaustive optimum.
+    ++outcome.overall_cases;
+    const auto [optimal, optimal_seconds] = BestOf(all, c);
+    const double chosen_seconds = c.run_seconds(result.chosen);
+    if (optimal == result.chosen || chosen_seconds <= optimal_seconds * (1.0 + kTiePct)) {
+      ++outcome.overall_correct;
+    }
+    sum_pct_from_optimal += (chosen_seconds - optimal_seconds) / optimal_seconds * 100.0;
+    chosen_total += chosen_seconds;
+
+    // Static baselines: accumulate over configurations feasible in every
+    // scenario (no replication, so the static config always exists).
+    for (const Configuration& config : CandidateConfigurations(
+             MemoryScenario::kNoReplicationAtAll)) {
+      static_totals[ConfigKey(config)] += c.run_seconds(config);
+      static_cfgs.emplace(ConfigKey(config), config);
+    }
+
+    outcome.cases.push_back(
+        {c.name, result.chosen, optimal, chosen_seconds, optimal_seconds});
+  }
+
+  if (outcome.overall_cases > 0) {
+    outcome.avg_pct_from_optimal = sum_pct_from_optimal / outcome.overall_cases;
+  }
+  if (step2_wrong > 0) {
+    outcome.step2_avg_error_when_wrong_pct = sum_step2_error_pct / step2_wrong;
+  }
+  if (!static_totals.empty() && chosen_total > 0.0) {
+    auto best_static = std::min_element(
+        static_totals.begin(), static_totals.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    outcome.best_static_name = best_static->first;
+    outcome.improvement_over_best_static_pct =
+        (best_static->second - chosen_total) / chosen_total * 100.0;
+  }
+  return outcome;
+}
+
+}  // namespace sa::adapt

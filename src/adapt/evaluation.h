@@ -1,0 +1,68 @@
+// §6.3 adaptivity evaluation harness: runs the two-step selector over a
+// grid of (benchmark, bit width, machine, language, memory scenario) cases,
+// compares each decision against exhaustive ground truth from the machine
+// simulator, and reports the paper's accuracy metrics — step-1 and step-2
+// correctness counts, distance from the optimal configuration, and the
+// improvement over the best static configuration.
+#ifndef SA_ADAPT_EVALUATION_H_
+#define SA_ADAPT_EVALUATION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adapt/selector.h"
+
+namespace sa::adapt {
+
+// The §6.3 memory scenarios: the diagrams are re-run pretending replication
+// does not fit, first uncompressed, then compressed as well.
+enum class MemoryScenario {
+  kPlenty,
+  kNoUncompressedReplication,
+  kNoReplicationAtAll,
+};
+
+const char* ToString(MemoryScenario scenario);
+
+struct EvalCase {
+  std::string name;
+  SelectorInputs inputs;  // counters already profiled (uncompressed interleaved)
+  MemoryScenario scenario = MemoryScenario::kPlenty;
+  // Simulated execution time of this workload under a given configuration.
+  std::function<double(const Configuration&)> run_seconds;
+};
+
+struct EvalOutcome {
+  int step1_cases = 0;
+  int step1_correct = 0;
+  int step2_cases = 0;
+  int step2_correct = 0;
+  double step2_avg_error_when_wrong_pct = 0.0;
+
+  int overall_cases = 0;
+  int overall_correct = 0;
+  double avg_pct_from_optimal = 0.0;
+  double improvement_over_best_static_pct = 0.0;
+  std::string best_static_name;
+
+  struct PerCase {
+    std::string name;
+    Configuration chosen;
+    Configuration optimal;
+    double chosen_seconds = 0.0;
+    double optimal_seconds = 0.0;
+  };
+  std::vector<PerCase> cases;
+};
+
+// All configurations the evaluation searches over (3 placements x 2
+// compression states), filtered per scenario.
+std::vector<Configuration> CandidateConfigurations(MemoryScenario scenario);
+
+// Runs the full evaluation over `cases`.
+EvalOutcome EvaluateAdaptivity(const std::vector<EvalCase>& cases);
+
+}  // namespace sa::adapt
+
+#endif  // SA_ADAPT_EVALUATION_H_

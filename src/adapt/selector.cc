@@ -1,0 +1,60 @@
+#include "adapt/selector.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace sa::adapt {
+
+WorkloadCounters CountersFromReport(const sim::RunReport& report,
+                                    const sim::MachineModel& machine,
+                                    double accesses_per_unit, double elem_bytes,
+                                    double dataset_bytes, double random_fraction) {
+  const sim::MachineSpec& spec = machine.spec();
+  WorkloadCounters c;
+  SA_CHECK(report.seconds > 0.0);
+
+  double cycles_util = 0.0;
+  double mem_util = 0.0;
+  double mem_gbps = 0.0;
+  for (int s = 0; s < spec.sockets; ++s) {
+    cycles_util += report.cycles_utilization[s];
+    mem_util = std::max(mem_util, report.mem_utilization[s]);
+    mem_gbps += report.mem_gbps[s];
+  }
+  cycles_util /= spec.sockets;
+
+  c.exec_current_per_socket =
+      cycles_util * spec.cores_per_socket * spec.cycles_per_second_per_core();
+  c.bw_current_memory = mem_gbps * 1e9 / spec.sockets;
+  c.max_mem_utilization = mem_util;
+  c.max_ic_utilization = report.max_ic_utilization;
+  c.accesses_per_second = report.total_work / report.seconds * accesses_per_unit;
+  c.elem_bytes = elem_bytes;
+  c.dataset_bytes = dataset_bytes;
+  c.random_fraction = random_fraction;
+  return c;
+}
+
+SelectorResult ChooseConfiguration(const SelectorInputs& inputs) {
+  const bool space_uncompressed =
+      inputs.space_for_uncompressed_replication.value_or(SpaceForReplication(
+          inputs.machine, inputs.counters, inputs.compression_ratio, /*compressed=*/false));
+  const bool space_compressed =
+      inputs.space_for_compressed_replication.value_or(SpaceForReplication(
+          inputs.machine, inputs.counters, inputs.compression_ratio, /*compressed=*/true));
+
+  SelectorResult result;
+  result.uncompressed_candidate = SelectPlacementUncompressed(
+      inputs.machine, inputs.hints, inputs.counters, space_uncompressed);
+  result.compressed_candidate =
+      SelectPlacementCompressed(inputs.machine, inputs.hints, inputs.counters, space_compressed,
+                                inputs.costs, inputs.compression_ratio);
+  result.chosen = ChooseBetweenCandidates(inputs.machine, inputs.counters, inputs.costs,
+                                          result.uncompressed_candidate,
+                                          result.compressed_candidate,
+                                          inputs.compression_ratio);
+  return result;
+}
+
+}  // namespace sa::adapt

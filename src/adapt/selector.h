@@ -1,0 +1,46 @@
+// End-to-end adaptive configuration selection (paper §6): counters from a
+// profiling run -> step 1 (Fig. 13 placement candidates) -> step 2 (analytic
+// compression decision) -> chosen Configuration.
+#ifndef SA_ADAPT_SELECTOR_H_
+#define SA_ADAPT_SELECTOR_H_
+
+#include "adapt/decision.h"
+#include "adapt/estimator.h"
+#include "adapt/specs.h"
+#include "sim/machine_model.h"
+
+namespace sa::adapt {
+
+// Derives PCM-style workload counters from a simulator run report.
+// `accesses_per_unit` is element accesses per work unit, `elem_bytes` the
+// uncompressed element size, `dataset_bytes` the uncompressed footprint, and
+// `random_fraction` the share of accesses that are random.
+WorkloadCounters CountersFromReport(const sim::RunReport& report,
+                                    const sim::MachineModel& machine,
+                                    double accesses_per_unit, double elem_bytes,
+                                    double dataset_bytes, double random_fraction);
+
+struct SelectorInputs {
+  MachineCaps machine;
+  SoftwareHints hints;
+  WorkloadCounters counters;
+  ArrayCosts costs;
+  double compression_ratio = 1.0;  // bits_min / 64
+  // Overridable for the §6.3 "insufficient memory" scenarios; when nullopt
+  // the space tests run against the machine/counters.
+  std::optional<bool> space_for_uncompressed_replication;
+  std::optional<bool> space_for_compressed_replication;
+};
+
+struct SelectorResult {
+  smart::PlacementSpec uncompressed_candidate;            // Fig. 13a
+  std::optional<smart::PlacementSpec> compressed_candidate;  // Fig. 13b
+  Configuration chosen;                                   // after step 2
+};
+
+// Runs the full two-step selection.
+SelectorResult ChooseConfiguration(const SelectorInputs& inputs);
+
+}  // namespace sa::adapt
+
+#endif  // SA_ADAPT_SELECTOR_H_

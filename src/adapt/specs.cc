@@ -1,0 +1,21 @@
+#include "adapt/specs.h"
+
+namespace sa::adapt {
+
+MachineCaps MachineCaps::FromSpec(const sim::MachineSpec& spec) {
+  MachineCaps caps;
+  caps.sockets = spec.sockets;
+  caps.mem_bytes_per_socket = spec.mem_gb_per_socket * 1e9;
+  caps.exec_max_per_socket = spec.cores_per_socket * spec.cycles_per_second_per_core();
+  caps.bw_max_memory = spec.local_bw_bytes() * spec.mem_stream_efficiency;
+  caps.bw_max_interconnect = spec.remote_bw_bytes() * spec.ic_stream_efficiency;
+  return caps;
+}
+
+std::string ToString(const Configuration& config) {
+  std::string s = ToString(config.placement);
+  s += config.compressed ? " + compressed" : " (uncompressed)";
+  return s;
+}
+
+}  // namespace sa::adapt

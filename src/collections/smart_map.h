@@ -1,0 +1,59 @@
+// Smart map: read-mostly u64 -> u64 map over smart arrays (paper §7: "to
+// trade size against performance we can use hashing instead of trees to
+// index the smart arrays. This provides O(1) access times on average and
+// data locality on hash collisions").
+//
+// Open addressing with linear probing: collisions probe *adjacent* slots of
+// the same smart array, which is exactly the locality argument — a probe
+// sequence stays within one or two cache lines of the bit-packed keys array.
+// Keys and values live in separate smart arrays so each packs at its own
+// width, and all placements compose.
+#ifndef SA_COLLECTIONS_SMART_MAP_H_
+#define SA_COLLECTIONS_SMART_MAP_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "platform/topology.h"
+#include "smart/smart_array.h"
+
+namespace sa::collections {
+
+class SmartMap {
+ public:
+  // Builds the map from key/value pairs (later duplicates overwrite earlier
+  // ones). `load_factor` in (0, 0.9]; the table is sized to the next power
+  // of two with at most that occupancy.
+  SmartMap(std::span<const std::pair<uint64_t, uint64_t>> pairs,
+           const smart::PlacementSpec& placement, const platform::Topology& topology,
+           double load_factor = 0.5);
+
+  uint64_t size() const { return size_; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t footprint_bytes() const;
+
+  // Lookup, reading the replicas of `socket`.
+  std::optional<uint64_t> Get(uint64_t key, int socket = 0) const;
+  bool Contains(uint64_t key, int socket = 0) const { return Get(key, socket).has_value(); }
+
+  // Probe-length statistics (collision locality; reported by the benches).
+  double average_probe_length() const { return avg_probe_length_; }
+  uint64_t max_probe_length() const { return max_probe_length_; }
+
+ private:
+  uint64_t SlotOf(uint64_t key) const;
+
+  uint64_t size_ = 0;
+  uint64_t capacity_ = 0;  // power of two
+  double avg_probe_length_ = 0.0;
+  uint64_t max_probe_length_ = 0;
+  std::unique_ptr<smart::SmartArray> occupied_;  // 1-bit per slot
+  std::unique_ptr<smart::SmartArray> keys_;
+  std::unique_ptr<smart::SmartArray> values_;
+};
+
+}  // namespace sa::collections
+
+#endif  // SA_COLLECTIONS_SMART_MAP_H_

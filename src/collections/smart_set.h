@@ -1,0 +1,67 @@
+// Smart set: the first of the paper's envisioned smart *collections* (§7).
+//
+// A read-only set of 64-bit integers stored in a smart array, so every NUMA
+// placement and bit width composes with it. Two data layouts, §7's example
+// trade-off ("we can readily use smart arrays to implement data layouts for
+// sets ... by encoding binary trees into arrays, where accessing individual
+// elements can require up to log2 n non-local accesses"):
+//  * kSorted    — classic sorted array + binary search;
+//  * kEytzinger — the BFS (heap-order) encoding of the balanced binary
+//                 search tree into an array: the same log2 n probes but a
+//                 predictable top-down access pattern that prefetches well.
+#ifndef SA_COLLECTIONS_SMART_SET_H_
+#define SA_COLLECTIONS_SMART_SET_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "platform/topology.h"
+#include "smart/smart_array.h"
+
+namespace sa::collections {
+
+enum class SetLayout {
+  kSorted,
+  kEytzinger,
+};
+
+const char* ToString(SetLayout layout);
+
+class SmartSet {
+ public:
+  // Builds the set from `values` (duplicates removed). The payload smart
+  // array uses `placement` and the least bits required for the largest
+  // value.
+  SmartSet(std::span<const uint64_t> values, SetLayout layout,
+           const smart::PlacementSpec& placement, const platform::Topology& topology);
+
+  SmartSet(std::initializer_list<uint64_t> values, SetLayout layout,
+           const smart::PlacementSpec& placement, const platform::Topology& topology)
+      : SmartSet(std::span<const uint64_t>(values.begin(), values.size()), layout, placement,
+                 topology) {}
+
+  uint64_t size() const { return size_; }
+  SetLayout layout() const { return layout_; }
+  uint64_t footprint_bytes() const { return data_->footprint_bytes(); }
+  uint32_t bits() const { return data_->bits(); }
+
+  // Membership test; reads the replica of `socket` (as SmartArray::GetReplica).
+  bool Contains(uint64_t value, int socket = 0) const;
+
+  // Number of set elements in [lo, hi] — the range-count analytics query.
+  // Only supported by the kSorted layout (order is implicit there).
+  uint64_t CountRange(uint64_t lo, uint64_t hi, int socket = 0) const;
+
+  // Elements in ascending order (materializes; for tests and small sets).
+  std::vector<uint64_t> ToSortedVector(int socket = 0) const;
+
+ private:
+  uint64_t size_ = 0;
+  SetLayout layout_;
+  std::unique_ptr<smart::SmartArray> data_;
+};
+
+}  // namespace sa::collections
+
+#endif  // SA_COLLECTIONS_SMART_SET_H_

@@ -1,0 +1,61 @@
+// Bit-manipulation helpers shared by the bit-compression code paths.
+#ifndef SA_COMMON_BITS_H_
+#define SA_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace sa {
+
+// Number of payload bits in the machine word the packed layout is built on.
+inline constexpr uint32_t kWordBits = 64;
+
+// Elements per logical chunk of a bit-compressed array. 64 elements of any
+// width 1..64 always end exactly on a 64-bit word boundary (64*BITS % 64 == 0),
+// which is what lets one chunk codec serve every width (paper §4.2).
+inline constexpr uint32_t kChunkElems = 64;
+
+// Returns a mask with the low `bits` bits set. `bits` must be in [1, 64].
+constexpr uint64_t LowMask(uint32_t bits) {
+  SA_DCHECK(bits >= 1 && bits <= 64);
+  return bits == 64 ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+}
+
+// Minimum number of bits needed to store `value` (at least 1, so that a
+// zero-filled array still has a representable width).
+constexpr uint32_t BitsForValue(uint64_t value) {
+  return value == 0 ? 1u : static_cast<uint32_t>(kWordBits - std::countl_zero(value));
+}
+
+// Minimum number of bits needed to store every value in [0, n).
+constexpr uint32_t BitsForCount(uint64_t n) { return n <= 1 ? 1u : BitsForValue(n - 1); }
+
+// Words occupied by one chunk of `bits`-wide elements: 64 * bits / 64 == bits.
+constexpr uint64_t WordsPerChunk(uint32_t bits) {
+  SA_DCHECK(bits >= 1 && bits <= 64);
+  return bits;
+}
+
+// Words needed to store `length` elements of `bits` width, whole chunks plus
+// the words touched by a trailing partial chunk.
+constexpr uint64_t WordsForLength(uint64_t length, uint32_t bits) {
+  const uint64_t full_chunks = length / kChunkElems;
+  const uint64_t tail = length % kChunkElems;
+  uint64_t words = full_chunks * WordsPerChunk(bits);
+  if (tail != 0) {
+    words += (tail * bits + kWordBits - 1) / kWordBits;
+  }
+  return words;
+}
+
+// Rounds `v` up to a multiple of `alignment` (a power of two).
+constexpr uint64_t AlignUp(uint64_t v, uint64_t alignment) {
+  SA_DCHECK(std::has_single_bit(alignment));
+  return (v + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace sa
+
+#endif  // SA_COMMON_BITS_H_

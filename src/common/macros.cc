@@ -1,0 +1,15 @@
+#include "common/macros.h"
+
+namespace sa::internal {
+
+void CheckFailed(const char* file, int line, const char* expr, const char* msg) {
+  if (msg != nullptr && msg[0] != '\0') {
+    std::fprintf(stderr, "SA_CHECK failed at %s:%d: %s (%s)\n", file, line, expr, msg);
+  } else {
+    std::fprintf(stderr, "SA_CHECK failed at %s:%d: %s\n", file, line, expr);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace sa::internal

@@ -1,0 +1,43 @@
+// Core assertion and hinting macros used across the smartarrays libraries.
+//
+// SA_CHECK is always on (release included): invariant violations in a data
+// layout library corrupt user data silently, so we fail fast.
+// SA_DCHECK compiles out in NDEBUG builds and is used on hot paths.
+#ifndef SA_COMMON_MACROS_H_
+#define SA_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sa::internal {
+
+// Prints a formatted check-failure message and aborts. Out of line so that
+// the cold path does not bloat callers.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr, const char* msg);
+
+}  // namespace sa::internal
+
+#define SA_CHECK_IMPL(cond, msg)                                        \
+  do {                                                                  \
+    if (__builtin_expect(!(cond), 0)) {                                 \
+      ::sa::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg));    \
+    }                                                                   \
+  } while (0)
+
+// Always-on invariant check.
+#define SA_CHECK(cond) SA_CHECK_IMPL(cond, "")
+// Always-on invariant check with an explanatory message.
+#define SA_CHECK_MSG(cond, msg) SA_CHECK_IMPL(cond, (msg))
+
+#ifdef NDEBUG
+#define SA_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define SA_DCHECK(cond) SA_CHECK(cond)
+#endif
+
+#define SA_LIKELY(x) __builtin_expect(!!(x), 1)
+#define SA_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+#endif  // SA_COMMON_MACROS_H_

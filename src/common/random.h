@@ -1,0 +1,70 @@
+// Deterministic, fast pseudo-random generators for dataset construction.
+//
+// The paper's aggregation datasets are built with
+//   a[i] = (i + random(0,1,2)) & ((1 << bits) - 1)            (§5.1)
+// and the graph generators need reproducible streams; std::mt19937_64 is
+// slower and its stream is implementation-pinned anyway, so we carry our own
+// splitmix64/xoshiro256** pair (public-domain algorithms by Vigna et al.).
+#ifndef SA_COMMON_RANDOM_H_
+#define SA_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace sa {
+
+// SplitMix64: used for seeding and for cheap stateless hashing of indices.
+constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// xoshiro256**: the workhorse generator. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit constexpr Xoshiro256(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x = SplitMix64(x);
+      word = x;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  constexpr uint64_t operator()() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound) without modulo bias for our purposes (Lemire's
+  // multiply-shift reduction; the bias is < 2^-64 * bound, negligible here).
+  constexpr uint64_t Below(uint64_t bound) {
+    return static_cast<uint64_t>((static_cast<__uint128_t>((*this)()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace sa
+
+#endif  // SA_COMMON_RANDOM_H_

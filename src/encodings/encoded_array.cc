@@ -1,0 +1,249 @@
+#include "encodings/encoded_array.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/bits.h"
+#include "common/macros.h"
+#include "smart/dispatch.h"
+#include "smart/iterator.h"
+
+namespace sa::encodings {
+namespace {
+
+std::unique_ptr<smart::SmartArray> PackValues(std::span<const uint64_t> values, uint32_t bits,
+                                              const smart::PlacementSpec& placement,
+                                              const platform::Topology& topology) {
+  auto array = smart::SmartArray::Allocate(values.size(), placement, bits, topology);
+  const auto& codec = smart::CodecFor(bits);
+  for (int r = 0; r < array->num_replicas(); ++r) {
+    uint64_t* replica = array->MutableReplica(r);
+    for (uint64_t i = 0; i < values.size(); ++i) {
+      codec.init(replica, i, values[i]);
+    }
+  }
+  return array;
+}
+
+uint32_t MaxBits(std::span<const uint64_t> values) {
+  uint64_t max_value = 0;
+  for (const uint64_t v : values) {
+    max_value = std::max(max_value, v);
+  }
+  return BitsForValue(max_value);
+}
+
+}  // namespace
+
+std::unique_ptr<EncodedArray> EncodedArray::Encode(std::span<const uint64_t> values,
+                                                   std::optional<Encoding> encoding,
+                                                   const smart::PlacementSpec& placement,
+                                                   const platform::Topology& topology) {
+  SA_CHECK_MSG(!values.empty(), "cannot encode an empty array");
+  const Encoding chosen = encoding.value_or(ChooseEncoding(AnalyzeValues(values)));
+  switch (chosen) {
+    case Encoding::kBitPacked:
+      return std::make_unique<BitPackedArray>(values, placement, topology);
+    case Encoding::kDictionary:
+      return std::make_unique<DictionaryArray>(values, placement, topology);
+    case Encoding::kRunLength:
+      return std::make_unique<RunLengthArray>(values, placement, topology);
+    case Encoding::kFrameOfReference:
+      return std::make_unique<FrameOfReferenceArray>(values, placement, topology);
+  }
+  return nullptr;
+}
+
+// ---- BitPackedArray ----
+
+BitPackedArray::BitPackedArray(std::span<const uint64_t> values,
+                               const smart::PlacementSpec& placement,
+                               const platform::Topology& topology)
+    : EncodedArray(values.size(), Encoding::kBitPacked) {
+  data_ = PackValues(values, MaxBits(values), placement, topology);
+}
+
+uint64_t BitPackedArray::Get(uint64_t index, int socket) const {
+  return data_->Get(index, data_->GetReplica(socket));
+}
+
+void BitPackedArray::Decode(uint64_t begin, uint64_t end, int socket, uint64_t* out) const {
+  smart::WithBits(data_->bits(), [&](auto bits_const) {
+    constexpr uint32_t kBits = bits_const();
+    smart::TypedIterator<kBits> it(data_->GetReplica(socket), begin);
+    for (uint64_t i = begin; i < end; ++i) {
+      *out++ = it.Get();
+      it.Next();
+    }
+    return 0;
+  });
+}
+
+uint64_t BitPackedArray::footprint_bytes() const { return data_->footprint_bytes(); }
+
+// ---- DictionaryArray ----
+
+DictionaryArray::DictionaryArray(std::span<const uint64_t> values,
+                                 const smart::PlacementSpec& placement,
+                                 const platform::Topology& topology)
+    : EncodedArray(values.size(), Encoding::kDictionary) {
+  // Sorted dictionary; code order preserves value order, so range predicates
+  // can run on codes directly (the column-store trick).
+  std::vector<uint64_t> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::map<uint64_t, uint64_t> code_of;
+  for (uint64_t c = 0; c < sorted.size(); ++c) {
+    code_of[sorted[c]] = c;
+  }
+
+  dictionary_ = PackValues(sorted, 64, placement, topology);
+  std::vector<uint64_t> codes(values.size());
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    codes[i] = code_of.at(values[i]);
+  }
+  codes_ = PackValues(codes, BitsForCount(sorted.size()), placement, topology);
+}
+
+uint64_t DictionaryArray::Get(uint64_t index, int socket) const {
+  const uint64_t code = codes_->Get(index, codes_->GetReplica(socket));
+  return dictionary_->Get(code, dictionary_->GetReplica(socket));
+}
+
+void DictionaryArray::Decode(uint64_t begin, uint64_t end, int socket, uint64_t* out) const {
+  const uint64_t* dict = dictionary_->GetReplica(socket);
+  smart::WithBits(codes_->bits(), [&](auto bits_const) {
+    constexpr uint32_t kBits = bits_const();
+    smart::TypedIterator<kBits> it(codes_->GetReplica(socket), begin);
+    for (uint64_t i = begin; i < end; ++i) {
+      *out++ = smart::BitCompressedArray<64>::GetImpl(dict, it.Get());
+      it.Next();
+    }
+    return 0;
+  });
+}
+
+uint64_t DictionaryArray::footprint_bytes() const {
+  return dictionary_->footprint_bytes() + codes_->footprint_bytes();
+}
+
+// ---- RunLengthArray ----
+
+RunLengthArray::RunLengthArray(std::span<const uint64_t> values,
+                               const smart::PlacementSpec& placement,
+                               const platform::Topology& topology)
+    : EncodedArray(values.size(), Encoding::kRunLength) {
+  std::vector<uint64_t> starts;
+  std::vector<uint64_t> run_values;
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    if (i == 0 || values[i] != values[i - 1]) {
+      starts.push_back(i);
+      run_values.push_back(values[i]);
+    }
+  }
+  run_starts_ = PackValues(starts, BitsForValue(values.size() - 1), placement, topology);
+  run_values_ = PackValues(run_values, MaxBits(run_values), placement, topology);
+}
+
+uint64_t RunLengthArray::FindRun(uint64_t index, const uint64_t* starts_replica) const {
+  // Largest run whose start <= index (starts are strictly increasing).
+  const auto& codec = smart::CodecFor(run_starts_->bits());
+  uint64_t lo = 0;
+  uint64_t hi = run_starts_->length();  // exclusive
+  while (hi - lo > 1) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (codec.get(starts_replica, mid) <= index) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint64_t RunLengthArray::Get(uint64_t index, int socket) const {
+  SA_DCHECK(index < length_);
+  const uint64_t run = FindRun(index, run_starts_->GetReplica(socket));
+  return run_values_->Get(run, run_values_->GetReplica(socket));
+}
+
+void RunLengthArray::Decode(uint64_t begin, uint64_t end, int socket, uint64_t* out) const {
+  const uint64_t* starts = run_starts_->GetReplica(socket);
+  const uint64_t* rvalues = run_values_->GetReplica(socket);
+  const auto& starts_codec = smart::CodecFor(run_starts_->bits());
+  const auto& values_codec = smart::CodecFor(run_values_->bits());
+  uint64_t run = FindRun(begin, starts);
+  const uint64_t num_runs = run_values_->length();
+  uint64_t next_start = run + 1 < num_runs ? starts_codec.get(starts, run + 1) : length_;
+  uint64_t value = values_codec.get(rvalues, run);
+  for (uint64_t i = begin; i < end; ++i) {
+    while (SA_UNLIKELY(i >= next_start)) {
+      ++run;
+      value = values_codec.get(rvalues, run);
+      next_start = run + 1 < num_runs ? starts_codec.get(starts, run + 1) : length_;
+    }
+    *out++ = value;
+  }
+}
+
+uint64_t RunLengthArray::footprint_bytes() const {
+  return run_starts_->footprint_bytes() + run_values_->footprint_bytes();
+}
+
+// ---- FrameOfReferenceArray ----
+
+FrameOfReferenceArray::FrameOfReferenceArray(std::span<const uint64_t> values,
+                                             const smart::PlacementSpec& placement,
+                                             const platform::Topology& topology)
+    : EncodedArray(values.size(), Encoding::kFrameOfReference) {
+  const uint64_t chunks = (values.size() + kChunkElems - 1) / kChunkElems;
+  std::vector<uint64_t> bases(chunks);
+  uint32_t delta_bits = 1;
+  for (uint64_t c = 0; c < chunks; ++c) {
+    const uint64_t begin = c * kChunkElems;
+    const uint64_t end = std::min<uint64_t>(values.size(), begin + kChunkElems);
+    uint64_t lo = values[begin];
+    uint64_t hi = values[begin];
+    for (uint64_t i = begin; i < end; ++i) {
+      lo = std::min(lo, values[i]);
+      hi = std::max(hi, values[i]);
+    }
+    bases[c] = lo;
+    delta_bits = std::max(delta_bits, BitsForValue(hi - lo));
+  }
+  std::vector<uint64_t> deltas(values.size());
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    deltas[i] = values[i] - bases[i / kChunkElems];
+  }
+  bases_ = PackValues(bases, 64, placement, topology);
+  deltas_ = PackValues(deltas, delta_bits, placement, topology);
+}
+
+uint64_t FrameOfReferenceArray::Get(uint64_t index, int socket) const {
+  SA_DCHECK(index < length_);
+  const uint64_t base =
+      smart::BitCompressedArray<64>::GetImpl(bases_->GetReplica(socket), index / kChunkElems);
+  return base + deltas_->Get(index, deltas_->GetReplica(socket));
+}
+
+void FrameOfReferenceArray::Decode(uint64_t begin, uint64_t end, int socket,
+                                   uint64_t* out) const {
+  const uint64_t* bases = bases_->GetReplica(socket);
+  smart::WithBits(deltas_->bits(), [&](auto bits_const) {
+    constexpr uint32_t kBits = bits_const();
+    smart::TypedIterator<kBits> it(deltas_->GetReplica(socket), begin);
+    for (uint64_t i = begin; i < end; ++i) {
+      const uint64_t base =
+          smart::BitCompressedArray<64>::GetImpl(bases, i / kChunkElems);
+      *out++ = base + it.Get();
+      it.Next();
+    }
+    return 0;
+  });
+}
+
+uint64_t FrameOfReferenceArray::footprint_bytes() const {
+  return bases_->footprint_bytes() + deltas_->footprint_bytes();
+}
+
+}  // namespace sa::encodings

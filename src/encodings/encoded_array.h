@@ -1,0 +1,126 @@
+// Read-only encoded arrays: a common interface over the alternative
+// compression techniques of §7, all storing their payloads in smart arrays
+// so NUMA placement composes with every encoding.
+#ifndef SA_ENCODINGS_ENCODED_ARRAY_H_
+#define SA_ENCODINGS_ENCODED_ARRAY_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "encodings/encoding.h"
+#include "platform/topology.h"
+#include "smart/placement.h"
+#include "smart/smart_array.h"
+
+namespace sa::encodings {
+
+class EncodedArray {
+ public:
+  virtual ~EncodedArray() = default;
+
+  EncodedArray(const EncodedArray&) = delete;
+  EncodedArray& operator=(const EncodedArray&) = delete;
+
+  uint64_t length() const { return length_; }
+  Encoding encoding() const { return encoding_; }
+
+  // Element at `index`, decoded, reading socket-local replicas when the
+  // payload is replicated. `socket` as in SmartArray::GetReplica.
+  virtual uint64_t Get(uint64_t index, int socket) const = 0;
+
+  // Decodes [begin, end) into `out` (the scan path; encodings batch their
+  // decode state across the range).
+  virtual void Decode(uint64_t begin, uint64_t end, int socket, uint64_t* out) const = 0;
+
+  // Total bytes across all payload arrays and replicas.
+  virtual uint64_t footprint_bytes() const = 0;
+
+  // Builds the array with `encoding`, or with the technique ChooseEncoding
+  // picks from the data when `encoding` is nullopt (§7's dynamic selection).
+  static std::unique_ptr<EncodedArray> Encode(std::span<const uint64_t> values,
+                                              std::optional<Encoding> encoding,
+                                              const smart::PlacementSpec& placement,
+                                              const platform::Topology& topology);
+
+ protected:
+  EncodedArray(uint64_t length, Encoding encoding) : length_(length), encoding_(encoding) {}
+
+  uint64_t length_;
+  Encoding encoding_;
+};
+
+// ---- Concrete encodings ----
+
+// Plain §4.2 bit packing behind the EncodedArray interface.
+class BitPackedArray final : public EncodedArray {
+ public:
+  BitPackedArray(std::span<const uint64_t> values, const smart::PlacementSpec& placement,
+                 const platform::Topology& topology);
+  uint64_t Get(uint64_t index, int socket) const override;
+  void Decode(uint64_t begin, uint64_t end, int socket, uint64_t* out) const override;
+  uint64_t footprint_bytes() const override;
+
+ private:
+  std::unique_ptr<smart::SmartArray> data_;
+};
+
+// Dictionary encoding: sorted distinct values + bit-packed codes.
+class DictionaryArray final : public EncodedArray {
+ public:
+  DictionaryArray(std::span<const uint64_t> values, const smart::PlacementSpec& placement,
+                  const platform::Topology& topology);
+  uint64_t Get(uint64_t index, int socket) const override;
+  void Decode(uint64_t begin, uint64_t end, int socket, uint64_t* out) const override;
+  uint64_t footprint_bytes() const override;
+
+  uint64_t dictionary_size() const { return dictionary_->length(); }
+  uint32_t code_bits() const { return codes_->bits(); }
+
+ private:
+  std::unique_ptr<smart::SmartArray> dictionary_;  // sorted distinct values, 64-bit
+  std::unique_ptr<smart::SmartArray> codes_;       // indexes into the dictionary
+};
+
+// Run-length encoding: per run a start offset and a value; random access by
+// binary search over the starts, scans by run replay.
+class RunLengthArray final : public EncodedArray {
+ public:
+  RunLengthArray(std::span<const uint64_t> values, const smart::PlacementSpec& placement,
+                 const platform::Topology& topology);
+  uint64_t Get(uint64_t index, int socket) const override;
+  void Decode(uint64_t begin, uint64_t end, int socket, uint64_t* out) const override;
+  uint64_t footprint_bytes() const override;
+
+  uint64_t num_runs() const { return run_values_->length(); }
+
+ private:
+  // Index of the run containing `index`.
+  uint64_t FindRun(uint64_t index, const uint64_t* starts_replica) const;
+
+  std::unique_ptr<smart::SmartArray> run_starts_;  // first element index of each run
+  std::unique_ptr<smart::SmartArray> run_values_;  // packed run values
+};
+
+// Frame-of-reference: per 64-element chunk a 64-bit base (chunk minimum)
+// plus bit-packed chunk-local deltas.
+class FrameOfReferenceArray final : public EncodedArray {
+ public:
+  FrameOfReferenceArray(std::span<const uint64_t> values,
+                        const smart::PlacementSpec& placement,
+                        const platform::Topology& topology);
+  uint64_t Get(uint64_t index, int socket) const override;
+  void Decode(uint64_t begin, uint64_t end, int socket, uint64_t* out) const override;
+  uint64_t footprint_bytes() const override;
+
+  uint32_t delta_bits() const { return deltas_->bits(); }
+
+ private:
+  std::unique_ptr<smart::SmartArray> bases_;   // one per chunk, 64-bit
+  std::unique_ptr<smart::SmartArray> deltas_;  // bit-packed chunk-local offsets
+};
+
+}  // namespace sa::encodings
+
+#endif  // SA_ENCODINGS_ENCODED_ARRAY_H_

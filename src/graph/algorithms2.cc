@@ -1,0 +1,302 @@
+#include "graph/algorithms2.h"
+
+#include <algorithm>
+#include <atomic>
+#include <queue>
+
+#include "common/macros.h"
+#include "rts/parallel_for.h"
+#include "smart/dispatch.h"
+#include "smart/parallel_ops.h"
+#include "smart/iterator.h"
+
+namespace sa::graph {
+namespace {
+
+// Sorted unique neighbors of `v` (forward + reverse lists merged), keeping
+// only ids greater than `floor`, read through the runtime codec.
+void NeighborsAbove(const smart::SmartArray& begin, const smart::SmartArray& edge,
+                    const smart::SmartArray& rbegin, const smart::SmartArray& redge, int socket,
+                    uint64_t v, uint64_t floor, std::vector<uint64_t>* out) {
+  out->clear();
+  const auto& index_codec = smart::CodecFor(begin.bits());
+  const auto& edge_codec = smart::CodecFor(edge.bits());
+  const uint64_t* begin_rep = begin.GetReplica(socket);
+  const uint64_t* edge_rep = edge.GetReplica(socket);
+  const uint64_t* rbegin_rep = rbegin.GetReplica(socket);
+  const uint64_t* redge_rep = redge.GetReplica(socket);
+
+  uint64_t fwd = index_codec.get(begin_rep, v);
+  const uint64_t fwd_end = index_codec.get(begin_rep, v + 1);
+  uint64_t rev = index_codec.get(rbegin_rep, v);
+  const uint64_t rev_end = index_codec.get(rbegin_rep, v + 1);
+  // Both lists ascend; merge, dedupe, filter.
+  while (fwd < fwd_end || rev < rev_end) {
+    uint64_t next;
+    if (fwd < fwd_end &&
+        (rev >= rev_end || edge_codec.get(edge_rep, fwd) <= edge_codec.get(redge_rep, rev))) {
+      next = edge_codec.get(edge_rep, fwd++);
+    } else {
+      next = edge_codec.get(redge_rep, rev++);
+    }
+    if (next > floor && next != v && (out->empty() || out->back() != next)) {
+      out->push_back(next);
+    }
+  }
+}
+
+// Plain-CSR flavour of the same helper, for the serial reference.
+void NeighborsAboveRef(const CsrGraph& graph, uint64_t v, uint64_t floor,
+                       std::vector<uint64_t>* out) {
+  out->clear();
+  uint64_t fwd = graph.begin()[v];
+  const uint64_t fwd_end = graph.begin()[v + 1];
+  uint64_t rev = graph.rbegin()[v];
+  const uint64_t rev_end = graph.rbegin()[v + 1];
+  while (fwd < fwd_end || rev < rev_end) {
+    uint64_t next;
+    if (fwd < fwd_end && (rev >= rev_end || graph.edge()[fwd] <= graph.redge()[rev])) {
+      next = graph.edge()[fwd++];
+    } else {
+      next = graph.redge()[rev++];
+    }
+    if (next > floor && next != v && (out->empty() || out->back() != next)) {
+      out->push_back(next);
+    }
+  }
+}
+
+uint64_t SortedIntersectionSize(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  uint64_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BFS
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> BfsLevels(const CsrGraph& graph, VertexId source) {
+  SA_CHECK(source < graph.num_vertices());
+  std::vector<uint64_t> level(graph.num_vertices(), kUnreachable);
+  std::queue<VertexId> frontier;
+  level[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    for (EdgeId e = graph.begin()[v]; e < graph.begin()[v + 1]; ++e) {
+      const VertexId u = graph.edge()[e];
+      if (level[u] == kUnreachable) {
+        level[u] = level[v] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<uint64_t> BfsLevelsSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
+                                     VertexId source, const platform::Topology& topology) {
+  SA_CHECK(source < graph.num_vertices());
+  const uint64_t n = graph.num_vertices();
+  // Levels as a 64-bit interleaved property (concurrent relaxations of
+  // distinct vertices must not share packed words).
+  auto level = smart::SmartArray::Allocate(n, smart::PlacementSpec::Interleaved(), 64, topology);
+  uint64_t* level_data = level->MutableReplica(0);
+  rts::ParallelFor(pool, 0, n, smart::kChunkAlignedGrain,
+                   [&](int, uint64_t b, uint64_t e) {
+                     for (uint64_t v = b; v < e; ++v) {
+                       level_data[v] = kUnreachable;
+                     }
+                   });
+  level_data[source] = 0;
+
+  const auto& index_codec = smart::CodecFor(graph.index_bits());
+  for (uint64_t round = 0;; ++round) {
+    std::atomic<bool> advanced{false};
+    smart::WithBits(graph.edge_bits(), [&](auto edge_bits_const) {
+      constexpr uint32_t kEdgeBits = edge_bits_const();
+      rts::ParallelFor(pool, 0, n, rts::kDefaultGrain, [&](int worker, uint64_t b, uint64_t e) {
+        const int socket = pool.worker_socket(worker);
+        const uint64_t* begin_rep = graph.begin().GetReplica(socket);
+        const uint64_t* edge_rep = graph.edge().GetReplica(socket);
+        bool local_advanced = false;
+        for (uint64_t v = b; v < e; ++v) {
+          if (level_data[v] != round) {
+            continue;
+          }
+          const uint64_t first = index_codec.get(begin_rep, v);
+          const uint64_t last = index_codec.get(begin_rep, v + 1);
+          smart::TypedIterator<kEdgeBits> out_edges(edge_rep, first);
+          for (uint64_t ei = first; ei < last; ++ei) {
+            const uint64_t u = out_edges.Get();
+            out_edges.Next();
+            // Benign race: concurrent writers all store round+1.
+            if (level_data[u] == kUnreachable) {
+              level_data[u] = round + 1;
+              local_advanced = true;
+            }
+          }
+        }
+        if (local_advanced) {
+          advanced.store(true, std::memory_order_relaxed);
+        }
+      });
+      return 0;
+    });
+    if (!advanced.load()) {
+      break;
+    }
+  }
+  return std::vector<uint64_t>(level_data, level_data + n);
+}
+
+// ---------------------------------------------------------------------------
+// Connected components
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> ConnectedComponents(const CsrGraph& graph) {
+  const uint64_t n = graph.num_vertices();
+  std::vector<uint64_t> label(n);
+  for (uint64_t v = 0; v < n; ++v) {
+    label[v] = v;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint64_t v = 0; v < n; ++v) {
+      uint64_t m = label[v];
+      for (EdgeId e = graph.begin()[v]; e < graph.begin()[v + 1]; ++e) {
+        m = std::min(m, label[graph.edge()[e]]);
+      }
+      for (EdgeId e = graph.rbegin()[v]; e < graph.rbegin()[v + 1]; ++e) {
+        m = std::min(m, label[graph.redge()[e]]);
+      }
+      if (m < label[v]) {
+        label[v] = m;
+        changed = true;
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<uint64_t> ConnectedComponentsSmart(rts::WorkerPool& pool,
+                                               const SmartCsrGraph& graph,
+                                               const platform::Topology& topology) {
+  const uint64_t n = graph.num_vertices();
+  auto labels = smart::SmartArray::Allocate(n, smart::PlacementSpec::Interleaved(), 64, topology);
+  uint64_t* label = labels->MutableReplica(0);
+  rts::ParallelFor(pool, 0, n, smart::kChunkAlignedGrain,
+                   [&](int, uint64_t b, uint64_t e) {
+                     for (uint64_t v = b; v < e; ++v) {
+                       label[v] = v;
+                     }
+                   });
+
+  const auto& index_codec = smart::CodecFor(graph.index_bits());
+  while (true) {
+    std::atomic<bool> changed{false};
+    smart::WithBits(graph.edge_bits(), [&](auto edge_bits_const) {
+      constexpr uint32_t kEdgeBits = edge_bits_const();
+      rts::ParallelFor(pool, 0, n, rts::kDefaultGrain, [&](int worker, uint64_t b, uint64_t e) {
+        const int socket = pool.worker_socket(worker);
+        const uint64_t* begin_rep = graph.begin().GetReplica(socket);
+        const uint64_t* edge_rep = graph.edge().GetReplica(socket);
+        const uint64_t* rbegin_rep = graph.rbegin().GetReplica(socket);
+        const uint64_t* redge_rep = graph.redge().GetReplica(socket);
+        bool local_changed = false;
+        for (uint64_t v = b; v < e; ++v) {
+          uint64_t m = label[v];
+          {
+            const uint64_t first = index_codec.get(begin_rep, v);
+            const uint64_t last = index_codec.get(begin_rep, v + 1);
+            smart::TypedIterator<kEdgeBits> it(edge_rep, first);
+            for (uint64_t ei = first; ei < last; ++ei) {
+              m = std::min(m, label[it.Get()]);
+              it.Next();
+            }
+          }
+          {
+            const uint64_t first = index_codec.get(rbegin_rep, v);
+            const uint64_t last = index_codec.get(rbegin_rep, v + 1);
+            smart::TypedIterator<kEdgeBits> it(redge_rep, first);
+            for (uint64_t ei = first; ei < last; ++ei) {
+              m = std::min(m, label[it.Get()]);
+              it.Next();
+            }
+          }
+          // Monotone decrease; races only delay convergence.
+          if (m < label[v]) {
+            label[v] = m;
+            local_changed = true;
+          }
+        }
+        if (local_changed) {
+          changed.store(true, std::memory_order_relaxed);
+        }
+      });
+      return 0;
+    });
+    if (!changed.load()) {
+      break;
+    }
+  }
+  return std::vector<uint64_t>(label, label + n);
+}
+
+// ---------------------------------------------------------------------------
+// Triangle counting
+// ---------------------------------------------------------------------------
+
+uint64_t CountTriangles(const CsrGraph& graph) {
+  uint64_t count = 0;
+  std::vector<uint64_t> nv;
+  std::vector<uint64_t> nu;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    NeighborsAboveRef(graph, v, v, &nv);
+    for (const uint64_t u : nv) {
+      NeighborsAboveRef(graph, u, u, &nu);
+      count += SortedIntersectionSize(nv, nu);
+    }
+  }
+  return count;
+}
+
+uint64_t CountTrianglesSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph) {
+  return static_cast<uint64_t>(rts::ParallelReduce<uint64_t>(
+      pool, 0, graph.num_vertices(), rts::kDefaultGrain,
+      [&](int worker, uint64_t b, uint64_t e) {
+        const int socket = pool.worker_socket(worker);
+        std::vector<uint64_t> nv;
+        std::vector<uint64_t> nu;
+        uint64_t local = 0;
+        for (uint64_t v = b; v < e; ++v) {
+          NeighborsAbove(graph.begin(), graph.edge(), graph.rbegin(), graph.redge(), socket, v,
+                         v, &nv);
+          for (const uint64_t u : nv) {
+            NeighborsAbove(graph.begin(), graph.edge(), graph.rbegin(), graph.redge(), socket, u,
+                           u, &nu);
+            local += SortedIntersectionSize(nv, nu);
+          }
+        }
+        return local;
+      }));
+}
+
+}  // namespace sa::graph

@@ -1,0 +1,56 @@
+// Additional PGX-style analytics kernels over smart-array graphs: BFS,
+// connected components, and triangle counting (PGX ships these alongside
+// degree centrality and PageRank — §2.3 and its triangle-listing citation
+// [51]). Each kernel has a serial reference over plain CSR and a parallel
+// smart-array version scheduled on the Callisto-style runtime.
+#ifndef SA_GRAPH_ALGORITHMS2_H_
+#define SA_GRAPH_ALGORITHMS2_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/smart_graph.h"
+#include "rts/worker_pool.h"
+
+namespace sa::graph {
+
+inline constexpr uint64_t kUnreachable = ~uint64_t{0};
+
+// ---- Breadth-first search (level-synchronous, over out-edges) ----
+
+// Serial reference: BFS levels from `source` (kUnreachable if not reached).
+std::vector<uint64_t> BfsLevels(const CsrGraph& graph, VertexId source);
+
+// Parallel topology-driven BFS over the smart graph: each round sweeps all
+// vertices of the current level and relaxes their out-neighbors. Returns
+// levels (always a 64-bit property array internally: level writes from
+// concurrent batches must not share packed words).
+std::vector<uint64_t> BfsLevelsSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
+                                     VertexId source, const platform::Topology& topology);
+
+// ---- Connected components (undirected view, label propagation) ----
+
+// Serial reference: component labels (smallest vertex id in the component),
+// treating every edge as undirected.
+std::vector<uint64_t> ConnectedComponents(const CsrGraph& graph);
+
+// Parallel label propagation over the smart graph.
+std::vector<uint64_t> ConnectedComponentsSmart(rts::WorkerPool& pool,
+                                               const SmartCsrGraph& graph,
+                                               const platform::Topology& topology);
+
+// ---- Triangle counting ----
+
+// Counts undirected triangles {a, b, c}: distinct vertex triples mutually
+// connected, ignoring edge direction, duplicates and self-loops. Serial
+// reference over plain CSR.
+uint64_t CountTriangles(const CsrGraph& graph);
+
+// Parallel smart-array version: merge-intersections of bit-packed
+// neighborhood lists read through typed iterators.
+uint64_t CountTrianglesSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph);
+
+}  // namespace sa::graph
+
+#endif  // SA_GRAPH_ALGORITHMS2_H_

@@ -1,0 +1,68 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/macros.h"
+
+namespace sa::graph {
+namespace {
+
+// Counting-sort an edge list into offsets + targets, sorted by (key, value).
+void BuildSide(VertexId num_vertices, const std::vector<std::pair<VertexId, VertexId>>& edges,
+               bool forward, std::vector<EdgeId>* offsets, std::vector<VertexId>* targets) {
+  offsets->assign(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const auto& [src, dst] : edges) {
+    const VertexId key = forward ? src : dst;
+    ++(*offsets)[key + 1];
+  }
+  for (size_t v = 1; v < offsets->size(); ++v) {
+    (*offsets)[v] += (*offsets)[v - 1];
+  }
+  targets->assign(edges.size(), 0);
+  std::vector<EdgeId> cursor(offsets->begin(), offsets->end() - 1);
+  for (const auto& [src, dst] : edges) {
+    const VertexId key = forward ? src : dst;
+    const VertexId value = forward ? dst : src;
+    (*targets)[cursor[key]++] = value;
+  }
+  // Neighbor lists in ascending order, as PGX stores them.
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    std::sort(targets->begin() + static_cast<ptrdiff_t>((*offsets)[v]),
+              targets->begin() + static_cast<ptrdiff_t>((*offsets)[v + 1]));
+  }
+}
+
+}  // namespace
+
+CsrGraph CsrGraph::FromEdges(VertexId num_vertices,
+                             std::vector<std::pair<VertexId, VertexId>> edges) {
+  for (const auto& [src, dst] : edges) {
+    SA_CHECK_MSG(src < num_vertices && dst < num_vertices, "edge endpoint out of range");
+  }
+  CsrGraph g;
+  BuildSide(num_vertices, edges, /*forward=*/true, &g.begin_, &g.edge_);
+  BuildSide(num_vertices, edges, /*forward=*/false, &g.rbegin_, &g.redge_);
+  return g;
+}
+
+void CsrGraph::CheckInvariants() const {
+  SA_CHECK(!begin_.empty() && begin_.size() == rbegin_.size());
+  SA_CHECK(begin_.front() == 0 && rbegin_.front() == 0);
+  SA_CHECK(begin_.back() == edge_.size());
+  SA_CHECK(rbegin_.back() == redge_.size());
+  SA_CHECK(edge_.size() == redge_.size());
+  const VertexId v_count = num_vertices();
+  for (VertexId v = 0; v < v_count; ++v) {
+    SA_CHECK(begin_[v] <= begin_[v + 1]);
+    SA_CHECK(rbegin_[v] <= rbegin_[v + 1]);
+  }
+  for (VertexId t : edge_) {
+    SA_CHECK(t < v_count);
+  }
+  for (VertexId t : redge_) {
+    SA_CHECK(t < v_count);
+  }
+}
+
+}  // namespace sa::graph

@@ -1,0 +1,52 @@
+// Compressed sparse row graphs, laid out exactly as PGX does (paper §5.2):
+// a 32-bit `edge` array concatenating all neighborhood lists in ascending
+// vertex order, a 64-bit `begin` array of offsets into it (length V+1), and
+// the reverse pair rbegin/redge for directed graphs.
+#ifndef SA_GRAPH_CSR_H_
+#define SA_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sa::graph {
+
+using VertexId = uint32_t;
+using EdgeId = uint64_t;
+
+// The "original" representation: plain on/off-heap arrays without smart
+// functionalities (the baseline placement in Figs. 11-12).
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  // Builds forward and reverse CSR from a directed edge list. Neighbor lists
+  // are sorted ascending; duplicate edges are kept (multigraph semantics).
+  static CsrGraph FromEdges(VertexId num_vertices,
+                            std::vector<std::pair<VertexId, VertexId>> edges);
+
+  VertexId num_vertices() const { return static_cast<VertexId>(begin_.size() - 1); }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edge_.size()); }
+
+  const std::vector<EdgeId>& begin() const { return begin_; }
+  const std::vector<VertexId>& edge() const { return edge_; }
+  const std::vector<EdgeId>& rbegin() const { return rbegin_; }
+  const std::vector<VertexId>& redge() const { return redge_; }
+
+  uint64_t OutDegree(VertexId v) const { return begin_[v + 1] - begin_[v]; }
+  uint64_t InDegree(VertexId v) const { return rbegin_[v + 1] - rbegin_[v]; }
+
+  // Validates the CSR invariants (monotone offsets, edge targets in range,
+  // forward/reverse edge counts matching). Aborts on violation.
+  void CheckInvariants() const;
+
+ private:
+  std::vector<EdgeId> begin_;    // V+1 offsets into edge_
+  std::vector<VertexId> edge_;   // forward targets
+  std::vector<EdgeId> rbegin_;   // V+1 offsets into redge_
+  std::vector<VertexId> redge_;  // reverse targets (sources of in-edges)
+};
+
+}  // namespace sa::graph
+
+#endif  // SA_GRAPH_CSR_H_

@@ -1,0 +1,42 @@
+#include "graph/generators.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace sa::graph {
+
+CsrGraph UniformRandomGraph(VertexId num_vertices, uint32_t out_degree, uint64_t seed) {
+  SA_CHECK(num_vertices >= 1);
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<size_t>(num_vertices) * out_degree);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    for (uint32_t d = 0; d < out_degree; ++d) {
+      edges.emplace_back(v, static_cast<VertexId>(rng.Below(num_vertices)));
+    }
+  }
+  return CsrGraph::FromEdges(num_vertices, std::move(edges));
+}
+
+CsrGraph PowerLawGraph(VertexId num_vertices, EdgeId num_edges, double alpha, uint64_t seed) {
+  SA_CHECK(num_vertices >= 1);
+  SA_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha in (0,1): target = floor(V * u^(1/(1-a)))");
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(num_edges);
+  // Inverse-CDF sampling of a bounded Pareto over vertex ranks: vertex 0 is
+  // the most popular target, with popularity ~ rank^(-alpha).
+  const double exponent = 1.0 / (1.0 - alpha);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    const VertexId src = static_cast<VertexId>(rng.Below(num_vertices));
+    const double u = rng.NextDouble();
+    auto dst = static_cast<VertexId>(
+        std::min<double>(num_vertices - 1.0, num_vertices * std::pow(u, exponent)));
+    edges.emplace_back(src, dst);
+  }
+  return CsrGraph::FromEdges(num_vertices, std::move(edges));
+}
+
+}  // namespace sa::graph

@@ -1,0 +1,24 @@
+// Synthetic graph generators standing in for the paper's datasets
+// (DESIGN.md §2): a uniform-random graph like the degree-centrality custom
+// graph ("1.5 billion vertices and 3 random edges per vertex", §5.2) and a
+// power-law graph shaped like the Twitter follower graph [27].
+#ifndef SA_GRAPH_GENERATORS_H_
+#define SA_GRAPH_GENERATORS_H_
+
+#include "graph/csr.h"
+
+namespace sa::graph {
+
+// Directed graph with exactly `out_degree` uniformly random targets per
+// vertex. Deterministic in `seed`.
+CsrGraph UniformRandomGraph(VertexId num_vertices, uint32_t out_degree, uint64_t seed);
+
+// Directed graph with `num_edges` edges whose target popularity follows a
+// power law with exponent `alpha` (Twitter-like in-degree skew: a few
+// celebrities receive a large share of the edges). Sources are uniform.
+// Deterministic in `seed`.
+CsrGraph PowerLawGraph(VertexId num_vertices, EdgeId num_edges, double alpha, uint64_t seed);
+
+}  // namespace sa::graph
+
+#endif  // SA_GRAPH_GENERATORS_H_

@@ -1,0 +1,50 @@
+// Graph I/O: edge-list loading/saving in text and binary formats.
+//
+// PGX builds its CSR from loaded datasets, and §6 notes that smart-array
+// initialization (replica construction, compression) "can be hidden behind
+// the data loading's I/O bottleneck". These loaders are that pipeline stage:
+// parse/stream the edges, then hand them to CsrGraph::FromEdges /
+// SmartCsrGraph.
+//
+// Text format: one "src dst" pair per line; '#' starts a comment (the SNAP
+// dataset convention, which the Twitter graph [27] ships in).
+// Binary format: little-endian header {magic, version, V, E} followed by E
+// (u32 src, u32 dst) pairs.
+#ifndef SA_GRAPH_IO_H_
+#define SA_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/csr.h"
+
+namespace sa::graph {
+
+// ---- Text (SNAP-style) ----
+void WriteEdgeListText(const CsrGraph& graph, const std::string& path);
+CsrGraph ReadEdgeListText(const std::string& path);
+
+// ---- Binary ----
+inline constexpr uint32_t kEdgeListMagic = 0x53414731;  // "SAG1"
+
+void WriteEdgeListBinary(const CsrGraph& graph, const std::string& path);
+CsrGraph ReadEdgeListBinary(const std::string& path);
+
+// Loads either format, sniffing the binary magic.
+CsrGraph LoadGraph(const std::string& path);
+
+// ---- Dataset statistics (what a loader reports before choosing widths) ----
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  uint64_t max_out_degree = 0;
+  uint64_t max_in_degree = 0;
+  double avg_degree = 0.0;
+  uint32_t index_bits_required = 1;  // for begin/rbegin offsets
+  uint32_t edge_bits_required = 1;   // for vertex ids in edge/redge
+};
+
+GraphStats ComputeStats(const CsrGraph& graph);
+
+}  // namespace sa::graph
+
+#endif  // SA_GRAPH_IO_H_

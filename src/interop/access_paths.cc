@@ -1,0 +1,100 @@
+#include "interop/access_paths.h"
+
+#include "smart/dispatch.h"
+#include "smart/iterator.h"
+
+namespace sa::interop {
+
+uint64_t AggregateNativeCpp(const uint64_t* data, uint64_t length) {
+  uint64_t sum = 0;
+  for (uint64_t i = 0; i < length; ++i) {
+    sum += data[i];
+  }
+  return sum;
+}
+
+uint64_t AggregateManagedCompiled(ManagedRuntime& vm, Handle array) {
+  // Shape of the JIT'd loop: the array is reached through its handle and
+  // header, and each access carries the bounds check the compiler keeps
+  // when it cannot prove the range from the profile.
+  const ManagedLongArray& arr = vm.Resolve(array);
+  const uint64_t* data = arr.storage.data();
+  const uint64_t length = arr.length;
+  uint64_t sum = 0;
+  for (uint64_t i = 0; i < length; ++i) {
+    if (SA_UNLIKELY(i >= arr.length)) {  // bounds check against the header
+      vm.set_pending_exception(true);
+      return 0;
+    }
+    sum += data[i];
+  }
+  return sum;
+}
+
+uint64_t AggregateManagedInterpreted(ManagedRuntime& vm, Handle array) {
+  static const Program kProgram = BuildAggregationProgram();
+  const uint64_t length = vm.Resolve(array).length;
+  return Interpret(vm, kProgram, {static_cast<uint64_t>(array), length});
+}
+
+uint64_t AggregateViaJni(BoundaryEnv& env, NativeRef ref, uint64_t length) {
+  uint64_t sum = 0;
+  for (uint64_t i = 0; i < length; ++i) {
+    sum += env.GetLongArrayElement(ref, i);  // one full boundary per element
+  }
+  return sum;
+}
+
+uint64_t AggregateViaJniRegion(BoundaryEnv& env, NativeRef ref, uint64_t length,
+                               uint64_t region) {
+  SA_CHECK(region >= 1);
+  std::vector<uint64_t> buffer(region);
+  uint64_t sum = 0;
+  for (uint64_t start = 0; start < length; start += region) {
+    const uint64_t count = std::min(region, length - start);
+    env.GetLongArrayRegion(ref, start, count, buffer.data());
+    for (uint64_t i = 0; i < count; ++i) {
+      sum += buffer[i];
+    }
+  }
+  return sum;
+}
+
+uint64_t AggregateViaUnsafe(const uint64_t* data, uint64_t length) {
+  // sun.misc.Unsafe.getLong compiles to a bare load; in compiled code the
+  // loop is indistinguishable from the native one.
+  uint64_t sum = 0;
+  for (uint64_t i = 0; i < length; ++i) {
+    sum += data[i];
+  }
+  return sum;
+}
+
+uint64_t AggregateViaSmartArray(const smart::SmartArray& array) {
+  // Function 4 (Java): profile the bit width once, then run the loop with
+  // the width fixed, letting the compiler inline the concrete codec — the
+  // GraalVM partial-evaluation result, expressed as WithBits + TypedIterator.
+  const uint64_t length = array.length();
+  const uint64_t* replica = array.GetReplicaForCurrentThread();
+  return smart::WithBits(array.bits(), [&](auto bits_const) -> uint64_t {
+    constexpr uint32_t kBits = bits_const();
+    smart::TypedIterator<kBits> it(replica, 0);
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < length; ++i) {
+      sum += it.Get();
+      it.Next();
+    }
+    return sum;
+  });
+}
+
+uint64_t AggregateTiered(ManagedRuntime& vm, Handle array, TierProfile& profile) {
+  if (!profile.hot()) {
+    const uint64_t result = AggregateManagedInterpreted(vm, array);
+    profile.RecordIterations(vm.Resolve(array).length);
+    return result;
+  }
+  return AggregateManagedCompiled(vm, array);
+}
+
+}  // namespace sa::interop

@@ -1,0 +1,55 @@
+// The five aggregation access paths of Fig. 3, plus the interpreter tier.
+//
+// Each function computes sum(a[i]) for the same data through a different
+// language/interop mechanism:
+//   AggregateNativeCpp        — "C++": plain native loop.
+//   AggregateManagedCompiled  — "Java": what the JIT emits for a built-in
+//                                managed array (header-indirect, bounds check
+//                                per access kept, as HotSpot does when it
+//                                cannot prove the range).
+//   AggregateManagedInterpreted — the pre-warm-up interpreter tier.
+//   AggregateViaJni           — "Java with JNI": one boundary call per
+//                                element (interoperable but slow).
+//   AggregateViaUnsafe        — "Java with unsafe": raw off-heap loads from
+//                                compiled managed code (fast but the smart
+//                                functionalities would need reimplementing).
+//   AggregateViaSmartArray    — "Java with smart arrays": the thin-API loop
+//                                of Function 4 after GraalVM/Sulong inlining:
+//                                bits profiled once, entry-point codec
+//                                specialized and inlined into the loop.
+#ifndef SA_INTEROP_ACCESS_PATHS_H_
+#define SA_INTEROP_ACCESS_PATHS_H_
+
+#include <cstdint>
+
+#include "interop/ffi_boundary.h"
+#include "interop/minivm.h"
+#include "smart/smart_array.h"
+
+namespace sa::interop {
+
+uint64_t AggregateNativeCpp(const uint64_t* data, uint64_t length);
+
+uint64_t AggregateManagedCompiled(ManagedRuntime& vm, Handle array);
+
+uint64_t AggregateManagedInterpreted(ManagedRuntime& vm, Handle array);
+
+uint64_t AggregateViaJni(BoundaryEnv& env, NativeRef ref, uint64_t length);
+
+// Bulk-copy JNI variant (GetLongArrayRegion), for the interop ablation.
+uint64_t AggregateViaJniRegion(BoundaryEnv& env, NativeRef ref, uint64_t length,
+                               uint64_t region = 4096);
+
+uint64_t AggregateViaUnsafe(const uint64_t* data, uint64_t length);
+
+uint64_t AggregateViaSmartArray(const smart::SmartArray& array);
+
+// Tiered execution of the managed aggregation: runs interpreted until the
+// profile is hot, then switches to the compiled kernel — the GraalVM
+// warm-up behaviour the paper relies on ("we ensure that Java code is
+// compiled", §5).
+uint64_t AggregateTiered(ManagedRuntime& vm, Handle array, TierProfile& profile);
+
+}  // namespace sa::interop
+
+#endif  // SA_INTEROP_ACCESS_PATHS_H_

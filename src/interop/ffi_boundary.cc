@@ -1,0 +1,84 @@
+#include "interop/ffi_boundary.h"
+
+#include <atomic>
+
+namespace sa::interop {
+
+NativeRef BoundaryEnv::RegisterNativeArray(const uint64_t* data, uint64_t length) {
+  SA_CHECK(data != nullptr);
+  for (size_t i = 0; i < table_.size(); ++i) {
+    if (!table_[i].live) {
+      table_[i] = {data, length, true};
+      return static_cast<NativeRef>(i);
+    }
+  }
+  table_.push_back({data, length, true});
+  return static_cast<NativeRef>(table_.size() - 1);
+}
+
+void BoundaryEnv::UnregisterNativeArray(NativeRef ref) {
+  SA_CHECK(ref >= 0 && static_cast<size_t>(ref) < table_.size() && table_[ref].live);
+  table_[ref].live = false;
+}
+
+void BoundaryEnv::TransitionToNative() {
+  // Publish the state change and make the preceding managed stores visible
+  // to a VM thread that might stop the world (store-release + full fence,
+  // as HotSpot's native wrappers do).
+  vm_->set_thread_state(ThreadState::kInNative);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  ++transitions_;
+  vm_->count_boundary_crossing();
+}
+
+void BoundaryEnv::TransitionToManaged() {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // Re-entering managed code must not overtake an in-progress safepoint.
+  if (SA_UNLIKELY(vm_->safepoint_requested())) {
+    // A real VM would block here until the safepoint ends.
+  }
+  vm_->set_thread_state(ThreadState::kInManaged);
+}
+
+uint64_t BoundaryEnv::GetLongArrayElement(NativeRef ref, uint64_t index) {
+  // Marshal scalar arguments into the call frame.
+  frame_[0] = static_cast<uint64_t>(ref);
+  frame_[1] = index;
+  TransitionToNative();
+  uint64_t value = 0;
+  if (SA_LIKELY(ref >= 0 && static_cast<size_t>(ref) < table_.size())) {
+    const Entry& e = table_[ref];
+    if (SA_LIKELY(e.live && index < e.length)) {
+      value = e.data[index];
+    } else {
+      vm_->set_pending_exception(true);
+    }
+  } else {
+    vm_->set_pending_exception(true);
+  }
+  TransitionToManaged();
+  return value;
+}
+
+void BoundaryEnv::GetLongArrayRegion(NativeRef ref, uint64_t start, uint64_t count,
+                                     uint64_t* out) {
+  frame_[0] = static_cast<uint64_t>(ref);
+  frame_[1] = start;
+  frame_[2] = count;
+  TransitionToNative();
+  if (SA_LIKELY(ref >= 0 && static_cast<size_t>(ref) < table_.size())) {
+    const Entry& e = table_[ref];
+    if (SA_LIKELY(e.live && start + count <= e.length)) {
+      for (uint64_t i = 0; i < count; ++i) {
+        out[i] = e.data[start + i];
+      }
+    } else {
+      vm_->set_pending_exception(true);
+    }
+  } else {
+    vm_->set_pending_exception(true);
+  }
+  TransitionToManaged();
+}
+
+}  // namespace sa::interop

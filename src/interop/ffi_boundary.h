@@ -1,0 +1,62 @@
+// JNI-style foreign-function boundary for MiniVM.
+//
+// Reproduces what makes JNI array access slow (Fig. 3, §1): every call
+// performs a managed->native thread-state transition with the required
+// fences, marshals its scalar arguments into a call frame, resolves the
+// array through an indirection table with bounds checks, and transitions
+// back, polling for safepoints and pending exceptions. The functions are
+// deliberately noinline: a real JNI call is an opaque call the JIT cannot
+// see through (the "compilation barrier" of §8).
+#ifndef SA_INTEROP_FFI_BOUNDARY_H_
+#define SA_INTEROP_FFI_BOUNDARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "interop/minivm.h"
+
+namespace sa::interop {
+
+// Reference to a native array registered with the boundary (a jlong field in
+// the Java wrapper object, like the paper's `long sa` native pointer).
+using NativeRef = int64_t;
+
+class BoundaryEnv {
+ public:
+  explicit BoundaryEnv(ManagedRuntime& vm) : vm_(&vm) {}
+
+  // Publishes a native array to managed code.
+  NativeRef RegisterNativeArray(const uint64_t* data, uint64_t length);
+  void UnregisterNativeArray(NativeRef ref);
+
+  // The JNI-style per-element access path. Opaque call, full transition.
+  __attribute__((noinline)) uint64_t GetLongArrayElement(NativeRef ref, uint64_t index);
+
+  // Bulk JNI path (GetLongArrayRegion analogue): one transition for `count`
+  // elements. Used by the interop ablation bench.
+  __attribute__((noinline)) void GetLongArrayRegion(NativeRef ref, uint64_t start,
+                                                    uint64_t count, uint64_t* out);
+
+  uint64_t transitions() const { return transitions_; }
+
+ private:
+  struct Entry {
+    const uint64_t* data = nullptr;
+    uint64_t length = 0;
+    bool live = false;
+  };
+
+  void TransitionToNative();
+  void TransitionToManaged();
+
+  ManagedRuntime* vm_;
+  std::vector<Entry> table_;
+  uint64_t transitions_ = 0;
+  // Call-frame scratch the marshalling writes through (volatile so the
+  // stores are real, as they are in a genuine stub).
+  volatile uint64_t frame_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace sa::interop
+
+#endif  // SA_INTEROP_FFI_BOUNDARY_H_

@@ -1,0 +1,102 @@
+#include "interop/minivm.h"
+
+namespace sa::interop {
+
+Handle ManagedRuntime::NewLongArray(uint64_t length) {
+  auto array = std::make_unique<ManagedLongArray>();
+  array->length = length;
+  array->storage.assign(length, 0);
+  Handle h;
+  if (!free_list_.empty()) {
+    h = free_list_.back();
+    free_list_.pop_back();
+    heap_[h] = std::move(array);
+  } else {
+    heap_.push_back(std::move(array));
+    h = static_cast<Handle>(heap_.size() - 1);
+  }
+  return h;
+}
+
+void ManagedRuntime::FreeLongArray(Handle h) {
+  SA_CHECK(h >= 0 && static_cast<size_t>(h) < heap_.size() && heap_[h] != nullptr);
+  heap_[h] = nullptr;
+  free_list_.push_back(h);
+}
+
+Program BuildAggregationProgram() {
+  // Registers: 0 = array handle, 1 = length, 2 = i, 3 = sum, 4 = elem.
+  Program p;
+  p.num_registers = 5;
+  p.code = {
+      {Op::kLoadConst, 2, 0, 0, 0},   // i = 0
+      {Op::kLoadConst, 3, 0, 0, 0},   // sum = 0
+      {Op::kJumpIfLess, 2, 1, 0, 4},  // loop: if i < length goto body(4)
+      {Op::kRet, 3, 0, 0, 0},         // return sum
+      {Op::kLoadElem, 4, 0, 2, 0},    // body: elem = a[i]
+      {Op::kAdd, 3, 3, 4, 0},         // sum += elem
+      {Op::kAddImm, 2, 2, 0, 1},      // i += 1
+      {Op::kJump, 0, 0, 0, 2},        // goto loop
+  };
+  return p;
+}
+
+uint64_t Interpret(ManagedRuntime& vm, const Program& program,
+                   const std::vector<uint64_t>& args) {
+  std::vector<uint64_t> regs(program.num_registers, 0);
+  for (size_t i = 0; i < args.size() && i < regs.size(); ++i) {
+    regs[i] = args[i];
+  }
+  size_t pc = 0;
+  while (true) {
+    SA_DCHECK(pc < program.code.size());
+    const Insn& insn = program.code[pc];
+    switch (insn.op) {
+      case Op::kLoadConst:
+        regs[insn.a] = static_cast<uint64_t>(insn.imm);
+        ++pc;
+        break;
+      case Op::kMove:
+        regs[insn.a] = regs[insn.b];
+        ++pc;
+        break;
+      case Op::kAdd:
+        regs[insn.a] = regs[insn.b] + regs[insn.c];
+        ++pc;
+        break;
+      case Op::kAddImm:
+        regs[insn.a] = regs[insn.b] + static_cast<uint64_t>(insn.imm);
+        ++pc;
+        break;
+      case Op::kLoadElem: {
+        const ManagedLongArray& arr = vm.Resolve(static_cast<Handle>(regs[insn.b]));
+        const uint64_t idx = regs[insn.c];
+        if (SA_UNLIKELY(idx >= arr.length)) {
+          vm.set_pending_exception(true);  // ArrayIndexOutOfBounds
+          return 0;
+        }
+        regs[insn.a] = arr.storage[idx];
+        ++pc;
+        break;
+      }
+      case Op::kJumpIfLess:
+        if (regs[insn.a] < regs[insn.b]) {
+          pc = static_cast<size_t>(insn.imm);
+          // Back-edge safepoint poll, as a real interpreter does.
+          if (SA_UNLIKELY(vm.safepoint_requested())) {
+            // Park/resume would happen here; the flag is test-only.
+          }
+        } else {
+          ++pc;
+        }
+        break;
+      case Op::kJump:
+        pc = static_cast<size_t>(insn.imm);
+        break;
+      case Op::kRet:
+        return regs[insn.a];
+    }
+  }
+}
+
+}  // namespace sa::interop

@@ -1,0 +1,134 @@
+// MiniVM: a miniature managed runtime standing in for the JVM/GraalVM side
+// of the paper's interoperability study (§2.4, §3.2, Fig. 3).
+//
+// The paper compares five ways of running the same aggregation:
+//   C++ native / Java built-in arrays / Java+JNI / Java+unsafe / Java+smart
+// What distinguishes these paths is not Java semantics but the *per-access
+// machinery*: managed-array bounds checks, FFI boundary transitions, handle
+// indirection, or direct inlined native code. MiniVM implements that
+// machinery for real — a managed heap with handle table, a bytecode
+// interpreter tier, a "compiled" tier (C++ kernels shaped like the code a
+// JIT emits for each path, selected after interpreter warm-up), and a
+// JNI-style boundary with genuine state transitions — so Fig. 3 is
+// reproduced with measured wall-clock time rather than a model (DESIGN.md §2).
+#ifndef SA_INTEROP_MINIVM_H_
+#define SA_INTEROP_MINIVM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace sa::interop {
+
+// Handle to an object in the managed heap (indirect, like JNI local refs).
+using Handle = int32_t;
+inline constexpr Handle kNullHandle = -1;
+
+// Thread execution state, toggled on every native boundary crossing.
+enum class ThreadState : uint8_t {
+  kInManaged,
+  kInNative,
+};
+
+// A managed long[] with an object header and length (bounds checks happen
+// against this, as the JIT'd code of a real VM would).
+struct ManagedLongArray {
+  uint64_t header = 0xA11A;  // mark word stand-in
+  uint64_t length = 0;
+  std::vector<uint64_t> storage;
+};
+
+class ManagedRuntime {
+ public:
+  ManagedRuntime() = default;
+
+  // ---- Managed heap ----
+  Handle NewLongArray(uint64_t length);
+  void FreeLongArray(Handle h);
+  ManagedLongArray& Resolve(Handle h) {
+    SA_DCHECK(h >= 0 && static_cast<size_t>(h) < heap_.size() && heap_[h] != nullptr);
+    return *heap_[h];
+  }
+  const ManagedLongArray& Resolve(Handle h) const {
+    return const_cast<ManagedRuntime*>(this)->Resolve(h);
+  }
+
+  // ---- VM state (touched by boundary transitions) ----
+  ThreadState thread_state() const { return thread_state_.load(std::memory_order_relaxed); }
+  void set_thread_state(ThreadState s) { thread_state_.store(s, std::memory_order_release); }
+  bool safepoint_requested() const {
+    return safepoint_requested_.load(std::memory_order_acquire);
+  }
+  void request_safepoint(bool on) { safepoint_requested_.store(on, std::memory_order_release); }
+  bool pending_exception() const { return pending_exception_; }
+  void set_pending_exception(bool e) { pending_exception_ = e; }
+
+  uint64_t boundary_crossings() const { return boundary_crossings_; }
+  void count_boundary_crossing() { ++boundary_crossings_; }
+
+ private:
+  std::vector<std::unique_ptr<ManagedLongArray>> heap_;
+  std::vector<Handle> free_list_;
+  std::atomic<ThreadState> thread_state_{ThreadState::kInManaged};
+  std::atomic<bool> safepoint_requested_{false};
+  bool pending_exception_ = false;
+  uint64_t boundary_crossings_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Bytecode + interpreter tier.
+// ---------------------------------------------------------------------------
+enum class Op : uint8_t {
+  kLoadConst,   // r[a] = imm
+  kMove,        // r[a] = r[b]
+  kAdd,         // r[a] = r[b] + r[c]
+  kAddImm,      // r[a] = r[b] + imm
+  kLoadElem,    // r[a] = array(r[b])[r[c]]  (managed load, bounds-checked)
+  kJumpIfLess,  // if r[a] < r[b] goto imm
+  kJump,        // goto imm
+  kRet,         // return r[a]
+};
+
+struct Insn {
+  Op op;
+  int32_t a = 0;
+  int32_t b = 0;
+  int32_t c = 0;
+  int64_t imm = 0;
+};
+
+struct Program {
+  std::vector<Insn> code;
+  int num_registers = 0;
+};
+
+// Builds the bytecode for "sum += a[i] for i in [0,length)" over a managed
+// array held in register 0 (the program the interpreter tier runs).
+Program BuildAggregationProgram();
+
+// Executes `program` in the interpreter (switch dispatch, safepoint polls on
+// back edges). `args` seeds the first registers.
+uint64_t Interpret(ManagedRuntime& vm, const Program& program, const std::vector<uint64_t>& args);
+
+// ---------------------------------------------------------------------------
+// Tiering profile: counts interpreted iterations and reports when the VM
+// would promote the loop to the compiled tier.
+// ---------------------------------------------------------------------------
+class TierProfile {
+ public:
+  explicit TierProfile(uint64_t threshold = 10'000) : threshold_(threshold) {}
+  void RecordIterations(uint64_t n) { count_ += n; }
+  bool hot() const { return count_ >= threshold_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t threshold_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace sa::interop
+
+#endif  // SA_INTEROP_MINIVM_H_

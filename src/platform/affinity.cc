@@ -1,0 +1,19 @@
+#include "platform/affinity.h"
+
+#include <sched.h>
+
+namespace sa::platform {
+
+bool PinThreadToCpu(int cpu) {
+  if (cpu < 0 || cpu >= CPU_SETSIZE) {
+    return false;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+}
+
+int CurrentCpu() { return sched_getcpu(); }
+
+}  // namespace sa::platform

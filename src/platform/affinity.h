@@ -1,0 +1,35 @@
+// Thread pinning and timing utilities.
+#ifndef SA_PLATFORM_AFFINITY_H_
+#define SA_PLATFORM_AFFINITY_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sa::platform {
+
+// Pins the calling thread to logical CPU `cpu`. Returns false if the host
+// refuses (CPU offline, cgroup restriction, synthetic CPU id); callers treat
+// pinning as best-effort, as the paper's runtime does.
+bool PinThreadToCpu(int cpu);
+
+// CPU the calling thread last ran on, or -1 if unknown.
+int CurrentCpu();
+
+// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sa::platform
+
+#endif  // SA_PLATFORM_AFFINITY_H_

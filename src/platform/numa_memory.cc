@@ -1,0 +1,124 @@
+#include "platform/numa_memory.h"
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/bits.h"
+#include "common/macros.h"
+
+namespace sa::platform {
+namespace {
+
+// mbind(2) policy constants (from <numaif.h>, which may be absent without
+// libnuma-dev; the syscall itself is always available on x86-64 Linux).
+constexpr int kMpolBind = 2;
+constexpr int kMpolInterleave = 3;
+
+long Mbind(void* addr, unsigned long len, int mode, const unsigned long* nodemask,
+           unsigned long maxnode) {
+  return syscall(SYS_mbind, addr, len, mode, nodemask, maxnode, 0UL);
+}
+
+// Applies the requested policy with mbind when the host really has multiple
+// NUMA nodes. Returns true on success.
+bool TryPhysicalPlacement(void* data, size_t bytes, PagePolicy policy, int home_socket,
+                          const Topology& topo) {
+  if (!topo.is_host() || topo.num_sockets() < 2) {
+    return false;
+  }
+  unsigned long mask = 0;
+  int mode = 0;
+  switch (policy) {
+    case PagePolicy::kOsDefault:
+      return false;  // leave the kernel's first-touch policy in place
+    case PagePolicy::kPinned:
+      mask = 1UL << topo.socket(home_socket).node_id;
+      mode = kMpolBind;
+      break;
+    case PagePolicy::kInterleaved:
+      for (const auto& s : topo.sockets()) {
+        mask |= 1UL << s.node_id;
+      }
+      mode = kMpolInterleave;
+      break;
+  }
+  return Mbind(data, bytes, mode, &mask, sizeof(mask) * 8) == 0;
+}
+
+}  // namespace
+
+const char* ToString(PagePolicy policy) {
+  switch (policy) {
+    case PagePolicy::kOsDefault:
+      return "os-default";
+    case PagePolicy::kPinned:
+      return "single-socket";
+    case PagePolicy::kInterleaved:
+      return "interleaved";
+  }
+  return "?";
+}
+
+MappedRegion::MappedRegion(size_t bytes, PagePolicy policy, int home_socket,
+                           const Topology& topology)
+    : policy_(policy), home_socket_(home_socket), num_sockets_(topology.num_sockets()) {
+  SA_CHECK_MSG(bytes > 0, "empty region");
+  SA_CHECK_MSG(home_socket >= 0 && home_socket < topology.num_sockets(),
+               "home socket out of range");
+  bytes_ = AlignUp(bytes, kPageSize);
+  void* p = mmap(nullptr, bytes_, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  SA_CHECK_MSG(p != MAP_FAILED, "mmap failed");
+  data_ = p;
+  physically_placed_ = TryPhysicalPlacement(data_, bytes_, policy, home_socket, topology);
+  // Zero-fill (also the first touch for the kOsDefault policy). MAP_ANONYMOUS
+  // already guarantees zero pages; memset forces population so later timing
+  // does not include page faults, matching the paper's exclusion of
+  // initialization time (§5).
+  std::memset(data_, 0, bytes_);
+}
+
+MappedRegion::~MappedRegion() { Release(); }
+
+MappedRegion::MappedRegion(MappedRegion&& other) noexcept { *this = std::move(other); }
+
+MappedRegion& MappedRegion::operator=(MappedRegion&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = std::exchange(other.data_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    policy_ = other.policy_;
+    home_socket_ = other.home_socket_;
+    num_sockets_ = other.num_sockets_;
+    physically_placed_ = other.physically_placed_;
+  }
+  return *this;
+}
+
+void MappedRegion::Release() {
+  if (data_ != nullptr) {
+    munmap(data_, bytes_);
+    data_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+size_t MappedRegion::pages() const { return bytes_ / kPageSize; }
+
+int MappedRegion::PageNode(size_t page_index) const {
+  SA_DCHECK(page_index < pages());
+  switch (policy_) {
+    case PagePolicy::kOsDefault:
+    case PagePolicy::kPinned:
+      return home_socket_;
+    case PagePolicy::kInterleaved:
+      return static_cast<int>(page_index % static_cast<size_t>(num_sockets_));
+  }
+  return home_socket_;
+}
+
+}  // namespace sa::platform

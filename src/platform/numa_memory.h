@@ -1,0 +1,80 @@
+// Placement-aware memory regions.
+//
+// A MappedRegion is an mmap-backed, page-aligned allocation tagged with the
+// NUMA page policy it was created under. On a real multi-node host the
+// policy is applied with the mbind(2) syscall (no libnuma dependency); on
+// single-node hosts — and always for synthetic topologies — the policy is
+// tracked logically so that PageNode() reports where each page *would* live
+// on the modelled machine. The smart-array layer and the machine simulator
+// consume only that logical mapping, which is what makes the reproduction
+// run anywhere (DESIGN.md §2).
+#ifndef SA_PLATFORM_NUMA_MEMORY_H_
+#define SA_PLATFORM_NUMA_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "platform/topology.h"
+
+namespace sa::platform {
+
+// Page-granular data placement policies (paper §4.1; Replicated is composed
+// from one Pinned region per socket at the smart-array layer).
+enum class PagePolicy {
+  kOsDefault,    // first-touch: pages land on the socket of the initializing thread
+  kPinned,       // all pages on one specified socket
+  kInterleaved,  // pages round-robin across all sockets
+};
+
+const char* ToString(PagePolicy policy);
+
+// RAII mmap region with logical NUMA bookkeeping. Movable, not copyable.
+class MappedRegion {
+ public:
+  MappedRegion() = default;
+
+  // Maps `bytes` (rounded up to whole pages) under `policy` relative to
+  // `topology`. `home_socket` names the pinned socket for kPinned and the
+  // first-touch socket assumed for kOsDefault.
+  MappedRegion(size_t bytes, PagePolicy policy, int home_socket, const Topology& topology);
+
+  ~MappedRegion();
+
+  MappedRegion(MappedRegion&& other) noexcept;
+  MappedRegion& operator=(MappedRegion&& other) noexcept;
+  MappedRegion(const MappedRegion&) = delete;
+  MappedRegion& operator=(const MappedRegion&) = delete;
+
+  bool valid() const { return data_ != nullptr; }
+  void* data() const { return data_; }
+  size_t bytes() const { return bytes_; }
+  size_t pages() const;
+  PagePolicy policy() const { return policy_; }
+  int home_socket() const { return home_socket_; }
+  int num_sockets() const { return num_sockets_; }
+
+  // Socket on which page `page_index` resides on the modelled machine.
+  int PageNode(size_t page_index) const;
+
+  // Socket holding the byte at `offset`.
+  int NodeOfByte(size_t offset) const { return PageNode(offset / kPageSize); }
+
+  // True when mbind() was actually applied on the running host.
+  bool physically_placed() const { return physically_placed_; }
+
+  static constexpr size_t kPageSize = 4096;
+
+ private:
+  void Release();
+
+  void* data_ = nullptr;
+  size_t bytes_ = 0;
+  PagePolicy policy_ = PagePolicy::kOsDefault;
+  int home_socket_ = 0;
+  int num_sockets_ = 1;
+  bool physically_placed_ = false;
+};
+
+}  // namespace sa::platform
+
+#endif  // SA_PLATFORM_NUMA_MEMORY_H_

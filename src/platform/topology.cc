@@ -1,0 +1,132 @@
+#include "platform/topology.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace sa::platform {
+namespace {
+
+// Parses a Linux cpulist string such as "0-3,8,10-11" into CPU ids.
+std::vector<int> ParseCpuList(const std::string& list) {
+  std::vector<int> cpus;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) {
+      continue;
+    }
+    const auto dash = item.find('-');
+    if (dash == std::string::npos) {
+      cpus.push_back(std::stoi(item));
+    } else {
+      const int lo = std::stoi(item.substr(0, dash));
+      const int hi = std::stoi(item.substr(dash + 1));
+      for (int c = lo; c <= hi; ++c) {
+        cpus.push_back(c);
+      }
+    }
+  }
+  return cpus;
+}
+
+bool ReadFileLine(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::getline(in, *out);
+  return true;
+}
+
+}  // namespace
+
+Topology Topology::Host() {
+  Topology topo;
+  topo.is_host_ = true;
+
+  // Enumerate NUMA nodes until one is missing; node directories are dense on
+  // every Linux we care about.
+  for (int node = 0;; ++node) {
+    const std::string path =
+        "/sys/devices/system/node/node" + std::to_string(node) + "/cpulist";
+    std::string line;
+    if (!ReadFileLine(path, &line)) {
+      break;
+    }
+    Socket s;
+    s.node_id = node;
+    s.cpus = ParseCpuList(line);
+    if (!s.cpus.empty()) {
+      topo.sockets_.push_back(std::move(s));
+    }
+  }
+
+  if (topo.sockets_.empty()) {
+    // No sysfs (containers, exotic kernels): everything on one socket.
+    Socket s;
+    s.node_id = 0;
+    const long n = sysconf(_SC_NPROCESSORS_ONLN);
+    for (int c = 0; c < std::max(1L, n); ++c) {
+      s.cpus.push_back(c);
+    }
+    topo.sockets_.push_back(std::move(s));
+  }
+
+  int max_cpu = 0;
+  for (const auto& s : topo.sockets_) {
+    for (int c : s.cpus) {
+      max_cpu = std::max(max_cpu, c);
+      ++topo.num_cpus_;
+    }
+  }
+  topo.cpu_to_socket_.assign(max_cpu + 1, -1);
+  for (size_t i = 0; i < topo.sockets_.size(); ++i) {
+    for (int c : topo.sockets_[i].cpus) {
+      topo.cpu_to_socket_[c] = static_cast<int>(i);
+    }
+  }
+  return topo;
+}
+
+Topology Topology::Synthetic(int sockets, int cpus_per_socket) {
+  SA_CHECK_MSG(sockets >= 1 && cpus_per_socket >= 1, "topology must be non-empty");
+  Topology topo;
+  topo.is_host_ = false;
+  topo.num_cpus_ = sockets * cpus_per_socket;
+  topo.cpu_to_socket_.assign(topo.num_cpus_, -1);
+  for (int s = 0; s < sockets; ++s) {
+    Socket sock;
+    sock.node_id = s;
+    for (int c = 0; c < cpus_per_socket; ++c) {
+      const int cpu = s * cpus_per_socket + c;
+      sock.cpus.push_back(cpu);
+      topo.cpu_to_socket_[cpu] = s;
+    }
+    topo.sockets_.push_back(std::move(sock));
+  }
+  return topo;
+}
+
+int Topology::SocketOfCpu(int cpu) const {
+  if (cpu < 0 || cpu >= static_cast<int>(cpu_to_socket_.size())) {
+    return -1;
+  }
+  return cpu_to_socket_[cpu];
+}
+
+std::string Topology::ToString() const {
+  std::ostringstream os;
+  os << num_sockets() << " socket(s), " << num_cpus() << " cpu(s)";
+  if (!is_host_) {
+    os << " [synthetic]";
+  }
+  return os.str();
+}
+
+}  // namespace sa::platform

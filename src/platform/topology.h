@@ -1,0 +1,60 @@
+// Machine topology: sockets (NUMA nodes) and the CPUs that belong to them.
+//
+// Two sources:
+//  * Host() discovers the real topology from /sys/devices/system/node.
+//  * Synthetic() builds a logical topology (e.g. 2 sockets x 18 cores) that
+//    the rest of the stack — placement bookkeeping, the RTS, the machine
+//    simulator — uses to reproduce the paper's 2-socket machines on hosts
+//    that do not have them (see DESIGN.md §2).
+#ifndef SA_PLATFORM_TOPOLOGY_H_
+#define SA_PLATFORM_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sa::platform {
+
+// One socket: a NUMA node id plus the logical CPU ids attached to it.
+struct Socket {
+  int node_id = 0;
+  std::vector<int> cpus;
+};
+
+class Topology {
+ public:
+  // Discovers the host topology from sysfs; falls back to a single socket
+  // containing all online CPUs when sysfs is unavailable.
+  static Topology Host();
+
+  // Builds a logical topology with `sockets` sockets of `cpus_per_socket`
+  // CPUs each, numbered socket-major (socket 0 holds cpus [0, n)).
+  static Topology Synthetic(int sockets, int cpus_per_socket);
+
+  int num_sockets() const { return static_cast<int>(sockets_.size()); }
+  int num_cpus() const { return num_cpus_; }
+  const Socket& socket(int i) const { return sockets_[i]; }
+  const std::vector<Socket>& sockets() const { return sockets_; }
+
+  // True when the topology mirrors the machine we are actually running on,
+  // i.e. CPU ids are valid targets for sched_setaffinity.
+  bool is_host() const { return is_host_; }
+
+  // Socket index owning logical CPU `cpu`, or -1 if unknown.
+  int SocketOfCpu(int cpu) const;
+
+  // Human-readable one-line summary, e.g. "2 sockets x 18 cpus".
+  std::string ToString() const;
+
+ private:
+  Topology() = default;
+
+  std::vector<Socket> sockets_;
+  std::vector<int> cpu_to_socket_;
+  int num_cpus_ = 0;
+  bool is_host_ = false;
+};
+
+}  // namespace sa::platform
+
+#endif  // SA_PLATFORM_TOPOLOGY_H_

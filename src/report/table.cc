@@ -1,0 +1,75 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace sa::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::AddRow(std::vector<std::string> cells) {
+  SA_CHECK_MSG(cells.size() == headers_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::AddRule() {
+  rows_.emplace_back();
+  return *this;
+}
+
+void Table::Print(std::ostream& os) const { os << ToString(); }
+
+std::string Table::ToString() const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    width[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << "  " << row[i] << std::string(width[i] - row[i].size(), ' ');
+    }
+    os << "\n";
+  };
+  auto emit_rule = [&] {
+    for (const size_t w : width) {
+      os << "  " << std::string(w, '-');
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+    } else {
+      emit_row(row);
+    }
+  }
+  return os.str();
+}
+
+std::string Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Ms(double seconds) { return Num(seconds * 1e3, 1) + " ms"; }
+std::string Sec(double seconds) { return Num(seconds, 2) + " s"; }
+std::string Gbps(double gbps) { return Num(gbps, 1) + " GB/s"; }
+std::string Giga(double count) { return Num(count / 1e9, 1) + "e9"; }
+std::string Gib(double bytes) { return Num(bytes / (1024.0 * 1024.0 * 1024.0), 2) + " GiB"; }
+std::string Pct(double fraction) { return Num(fraction * 100.0, 1) + "%"; }
+
+}  // namespace sa::report

@@ -1,0 +1,39 @@
+// Plain-text table formatting for the benchmark binaries: aligned columns,
+// printed in the layout EXPERIMENTS.md records (paper value vs measured).
+#ifndef SA_REPORT_TABLE_H_
+#define SA_REPORT_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sa::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& AddRow(std::vector<std::string> cells);
+  // Separator line between row groups.
+  Table& AddRule();
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+// Number formatting helpers (fixed precision, no locale surprises).
+std::string Num(double value, int precision = 1);
+std::string Ms(double seconds);        // "123.4 ms"
+std::string Sec(double seconds);       // "12.3 s"
+std::string Gbps(double gbps);         // "43.8 GB/s"
+std::string Giga(double count);        // "21.4e9"
+std::string Gib(double bytes);         // "4.00 GiB"
+std::string Pct(double fraction);      // "87.2%"
+
+}  // namespace sa::report
+
+#endif  // SA_REPORT_TABLE_H_

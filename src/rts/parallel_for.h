@@ -1,0 +1,164 @@
+// Parallel loops with dynamic batch distribution (paper §2.2).
+//
+// Iterations are claimed in fixed-size batches from atomic counters — the
+// Callisto-RTS fast path. Two distribution strategies:
+//  * kDynamicGlobal: one shared counter (simple, a little cross-socket
+//    traffic on the counter line).
+//  * kDynamicPerSocket: the range is pre-split per socket; workers drain
+//    their own socket's sub-range first and then steal from the others.
+//    This is the fine-grained NUMA-aware distribution Callisto uses, and
+//    what makes placement-aware smart arrays effective: a socket's workers
+//    mostly touch the part of the range whose pages live on their socket.
+// A kStatic strategy (equal contiguous chunks, no dynamism) exists as the
+// baseline for the scheduling ablation bench.
+#ifndef SA_RTS_PARALLEL_FOR_H_
+#define SA_RTS_PARALLEL_FOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "rts/worker_pool.h"
+
+namespace sa::rts {
+
+enum class Scheduling {
+  kDynamicGlobal,
+  kDynamicPerSocket,
+  kStatic,
+};
+
+// Per-loop execution statistics (batches and iterations per worker), for
+// tests and the scheduling ablation.
+struct LoopStats {
+  std::vector<uint64_t> batches_per_worker;
+  std::vector<uint64_t> iters_per_worker;
+  uint64_t stolen_batches = 0;
+};
+
+inline constexpr uint64_t kDefaultGrain = 1 << 14;
+
+// Runs body(worker, begin, end) over [begin, end) split into batches of at
+// most `grain` iterations. Body invocations for a worker are serialized.
+template <typename Body>
+void ParallelFor(WorkerPool& pool, uint64_t begin, uint64_t end, uint64_t grain,
+                 const Body& body, Scheduling scheduling = Scheduling::kDynamicPerSocket,
+                 LoopStats* stats = nullptr) {
+  SA_CHECK_MSG(grain >= 1, "grain must be positive");
+  if (begin >= end) {
+    return;
+  }
+  const int workers = pool.num_workers();
+  const int sockets = pool.num_sockets();
+
+  std::vector<std::atomic<uint64_t>> cursors(scheduling == Scheduling::kDynamicPerSocket
+                                                 ? sockets
+                                                 : 1);
+  // Contiguous per-socket sub-ranges proportional to each socket's workers.
+  std::vector<uint64_t> range_begin(cursors.size() + 1, begin);
+  if (scheduling == Scheduling::kDynamicPerSocket) {
+    const uint64_t total = end - begin;
+    uint64_t assigned = 0;
+    int workers_seen = 0;
+    for (int s = 0; s < sockets; ++s) {
+      workers_seen += pool.workers_per_socket()[s];
+      const uint64_t upto = total * static_cast<uint64_t>(workers_seen) /
+                            static_cast<uint64_t>(workers > 0 ? workers : 1);
+      range_begin[s] = begin + assigned;
+      assigned = upto;
+    }
+    range_begin[sockets] = end;
+    for (int s = 0; s < sockets; ++s) {
+      cursors[s].store(range_begin[s], std::memory_order_relaxed);
+    }
+  } else {
+    cursors[0].store(begin, std::memory_order_relaxed);
+    range_begin[0] = begin;
+    range_begin[1] = end;
+  }
+
+  std::vector<uint64_t> batch_counts(stats != nullptr ? workers : 0, 0);
+  std::vector<uint64_t> iter_counts(stats != nullptr ? workers : 0, 0);
+  std::atomic<uint64_t> stolen{0};
+
+  auto drain = [&](int worker, int region) {
+    const uint64_t region_end = range_begin[region + 1];
+    while (true) {
+      const uint64_t b = cursors[region].fetch_add(grain, std::memory_order_relaxed);
+      if (b >= region_end) {
+        return;
+      }
+      const uint64_t e = std::min(b + grain, region_end);
+      body(worker, b, e);
+      if (stats != nullptr) {
+        ++batch_counts[worker];
+        iter_counts[worker] += e - b;
+      }
+    }
+  };
+
+  pool.RunOnAll([&](int worker) {
+    switch (scheduling) {
+      case Scheduling::kDynamicGlobal:
+        drain(worker, 0);
+        break;
+      case Scheduling::kDynamicPerSocket: {
+        const int home = pool.worker_socket(worker);
+        drain(worker, home);
+        // Steal from the other sockets' regions once home is exhausted.
+        for (int off = 1; off < sockets; ++off) {
+          const int victim = (home + off) % sockets;
+          if (stats != nullptr &&
+              cursors[victim].load(std::memory_order_relaxed) < range_begin[victim + 1]) {
+            stolen.fetch_add(1, std::memory_order_relaxed);
+          }
+          drain(worker, victim);
+        }
+        break;
+      }
+      case Scheduling::kStatic: {
+        const uint64_t total = end - begin;
+        const uint64_t chunk = (total + workers - 1) / workers;
+        const uint64_t b = begin + chunk * static_cast<uint64_t>(worker);
+        const uint64_t e = std::min(end, b + chunk);
+        if (b < e) {
+          body(worker, b, e);
+          if (stats != nullptr) {
+            ++batch_counts[worker];
+            iter_counts[worker] += e - b;
+          }
+        }
+        break;
+      }
+    }
+  });
+
+  if (stats != nullptr) {
+    stats->batches_per_worker = std::move(batch_counts);
+    stats->iters_per_worker = std::move(iter_counts);
+    stats->stolen_batches = stolen.load(std::memory_order_relaxed);
+  }
+}
+
+// Parallel sum reduction: body(worker, begin, end) returns a partial value
+// accumulated per worker and combined with operator+= at the end (matching
+// the paper's "local sum, atomically merged at the end of each loop batch").
+template <typename T, typename Body>
+T ParallelReduce(WorkerPool& pool, uint64_t begin, uint64_t end, uint64_t grain,
+                 const Body& body, Scheduling scheduling = Scheduling::kDynamicPerSocket) {
+  std::vector<T> partial(pool.num_workers(), T{});
+  ParallelFor(
+      pool, begin, end, grain,
+      [&](int worker, uint64_t b, uint64_t e) { partial[worker] += body(worker, b, e); },
+      scheduling);
+  T total{};
+  for (const T& p : partial) {
+    total += p;
+  }
+  return total;
+}
+
+}  // namespace sa::rts
+
+#endif  // SA_RTS_PARALLEL_FOR_H_

@@ -1,0 +1,67 @@
+// Callisto-RTS-style worker pool (paper §2.2).
+//
+// A fixed set of worker threads, created once and pinned to CPUs
+// socket-major (Callisto pins threads and they "do not move during
+// execution", §5). Work is dispatched to all workers at once; parallel loops
+// on top (parallel_for.h) distribute iterations dynamically in batches.
+#ifndef SA_RTS_WORKER_POOL_H_
+#define SA_RTS_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "platform/topology.h"
+
+namespace sa::rts {
+
+class WorkerPool {
+ public:
+  struct Options {
+    // 0 means one worker per CPU of the topology.
+    int num_threads = 0;
+    // Pin workers to their CPU when the topology is the host's.
+    bool pin_threads = true;
+  };
+
+  explicit WorkerPool(const platform::Topology& topology) : WorkerPool(topology, Options()) {}
+  WorkerPool(const platform::Topology& topology, Options options);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  // Socket the worker is (logically) pinned to.
+  int worker_socket(int worker) const { return worker_socket_[worker]; }
+  int num_sockets() const { return num_sockets_; }
+  const std::vector<int>& workers_per_socket() const { return workers_per_socket_; }
+
+  // Runs fn(worker_id) on every worker and returns when all have finished.
+  // Not reentrant; one parallel region at a time (matching Callisto's model
+  // of one loop executing over the pool).
+  void RunOnAll(const std::function<void(int)>& fn);
+
+ private:
+  void WorkerMain(int worker, int cpu, bool pin);
+
+  std::vector<std::thread> workers_;
+  std::vector<int> worker_socket_;
+  std::vector<int> workers_per_socket_;
+  int num_sockets_ = 1;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;
+  uint64_t generation_ = 0;
+  int outstanding_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace sa::rts
+
+#endif  // SA_RTS_WORKER_POOL_H_

@@ -1,0 +1,83 @@
+// Per-operation CPU cost tables for the workload models.
+//
+// Costs are (retired instructions, core cycles) per element. Instructions
+// feed the "Instructions (x10^9)" panels of Figs. 10-12; cycles feed the
+// core-pipeline resources of the fluid model. The two are deliberately
+// separate: bit-unpacking instructions are independent shift/mask ALU ops
+// that a 4-wide Haswell retires at high IPC, whereas the pointer-chasing
+// parts of a getter serialize — a single IPC knob cannot express both
+// regimes (this is why compression adds ~4x instructions in Fig. 10 while
+// still *reducing* time on the 18-core machine).
+//
+// Defaults are calibrated so the simulated aggregation workload matches the
+// operating points the paper reports in Figs. 2 and 10 (see
+// tests/sim/calibration_test.cc and EXPERIMENTS.md).
+#ifndef SA_SIM_COST_MODEL_H_
+#define SA_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace sa::sim {
+
+struct OpCost {
+  double instructions = 0.0;
+  double cycles = 0.0;
+
+  OpCost operator+(const OpCost& o) const { return {instructions + o.instructions, cycles + o.cycles}; }
+  OpCost operator*(double k) const { return {instructions * k, cycles * k}; }
+};
+
+struct CostModel {
+  // Loop bookkeeping per iteration: induction variable, bound check, branch,
+  // accumulating into the thread-local sum.
+  OpCost loop = {4.0, 2.0};
+
+  // Sequential access to one element through the iterator fast path when the
+  // array is uncompressed 64- or 32-bit (compiled down to a pointer bump).
+  OpCost elem_uncompressed = {2.0, 1.0};
+
+  // Sequential access to one element of a generic bit-compressed array:
+  // amortized chunk unpack() (Function 3) plus buffered iterator get()/next(),
+  // for long scans that amortize a chunk over all 64 of its elements.
+  OpCost elem_compressed = {18.0, 3.5};
+
+  // Same, but for gathers over short runs (e.g. a PageRank neighborhood
+  // list averaging a few dozen edges): the iterator still decodes whole
+  // 64-element chunks, so the per-consumed-element cost is higher and the
+  // new-chunk branch mispredicts more (§7's branch-stall observation).
+  OpCost elem_compressed_gather = {20.0, 6.5};
+
+  // Random-access getter on an uncompressed array (address arithmetic+load).
+  OpCost random_get_uncompressed = {3.0, 2.0};
+
+  // Random-access getter on a bit-compressed array (Function 1: chunk/word/
+  // bit arithmetic, one or two loads, shift-or-merge; a dependent chain).
+  OpCost random_get_compressed = {14.0, 14.0};
+
+  // Initializing (packing) one element (Function 2), per replica touched.
+  OpCost init_compressed = {16.0, 6.0};
+  OpCost init_uncompressed = {2.0, 1.0};
+
+  // Managed-runtime factor: the paper finds Java-on-GraalVM performance
+  // "generally as good as" C++ with small environment/compiler differences
+  // (§5.1); we model the residual as a few percent more instructions/cycles.
+  double java_instruction_factor = 1.12;
+  double java_cycle_factor = 1.06;
+
+  // Returns the sequential per-element cost for an element stored with
+  // `bits` (1..64): the 32/64-bit specializations avoid shift/mask work.
+  OpCost SequentialElem(uint32_t bits) const {
+    return (bits == 32 || bits == 64) ? elem_uncompressed : elem_compressed;
+  }
+
+  // Returns the random-access getter cost for `bits`.
+  OpCost RandomGet(uint32_t bits) const {
+    return (bits == 32 || bits == 64) ? random_get_uncompressed : random_get_compressed;
+  }
+
+  static CostModel Default() { return CostModel{}; }
+};
+
+}  // namespace sa::sim
+
+#endif  // SA_SIM_COST_MODEL_H_

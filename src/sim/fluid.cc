@@ -1,0 +1,223 @@
+#include "sim/fluid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace sa::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+
+// Coalesces duplicate resource entries in a demand vector.
+std::vector<std::pair<ResourceId, double>> Coalesce(
+    const std::vector<std::pair<ResourceId, double>>& demand) {
+  std::vector<std::pair<ResourceId, double>> out(demand);
+  std::sort(out.begin(), out.end());
+  size_t w = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (w > 0 && out[w - 1].first == out[i].first) {
+      out[w - 1].second += out[i].second;
+    } else {
+      out[w++] = out[i];
+    }
+  }
+  out.resize(w);
+  for (const auto& [r, d] : out) {
+    SA_CHECK_MSG(d >= 0.0, "negative resource demand");
+  }
+  return out;
+}
+
+}  // namespace
+
+ResourceId FluidNetwork::AddResource(std::string name, double capacity) {
+  SA_CHECK_MSG(capacity >= 0.0, "negative capacity");
+  names_.push_back(std::move(name));
+  capacity_.push_back(capacity);
+  return static_cast<ResourceId>(capacity_.size() - 1);
+}
+
+void FluidNetwork::set_resource_capacity(ResourceId r, double capacity) {
+  SA_CHECK(r >= 0 && r < num_resources());
+  SA_CHECK_MSG(capacity >= 0.0, "negative capacity");
+  capacity_[r] = capacity;
+}
+
+std::vector<double> FluidNetwork::MaxMinRates(const std::vector<Flow>& flows) const {
+  const int nf = static_cast<int>(flows.size());
+  const int nr = num_resources();
+
+  std::vector<std::vector<std::pair<ResourceId, double>>> demand(nf);
+  for (int f = 0; f < nf; ++f) {
+    demand[f] = Coalesce(flows[f].demand);
+    for (const auto& [r, d] : demand[f]) {
+      SA_CHECK_MSG(r >= 0 && r < nr, "demand references unknown resource");
+      (void)d;
+    }
+    SA_CHECK_MSG(!demand[f].empty() || flows[f].rate_cap < kInf,
+                 "flow with no demand and no rate cap has unbounded rate");
+  }
+
+  std::vector<double> rates(nf, 0.0);
+  std::vector<double> remaining(capacity_.begin(), capacity_.end());
+  std::vector<bool> active(nf, true);
+  int num_active = nf;
+
+  while (num_active > 0) {
+    // Aggregate demand of active flows on each resource.
+    std::vector<double> agg(nr, 0.0);
+    for (int f = 0; f < nf; ++f) {
+      if (!active[f]) {
+        continue;
+      }
+      for (const auto& [r, d] : demand[f]) {
+        agg[r] += d;
+      }
+    }
+
+    // How much further can all active flows grow at equal pace?
+    double theta = kInf;
+    for (int r = 0; r < nr; ++r) {
+      if (agg[r] > kEps) {
+        theta = std::min(theta, std::max(0.0, remaining[r]) / agg[r]);
+      }
+    }
+    for (int f = 0; f < nf; ++f) {
+      if (active[f]) {
+        theta = std::min(theta, flows[f].rate_cap - rates[f]);
+      }
+    }
+    SA_CHECK_MSG(theta < kInf, "no binding constraint; flows would be unbounded");
+    theta = std::max(theta, 0.0);
+
+    for (int f = 0; f < nf; ++f) {
+      if (active[f]) {
+        rates[f] += theta;
+      }
+    }
+    for (int r = 0; r < nr; ++r) {
+      remaining[r] -= theta * agg[r];
+    }
+
+    // Freeze flows touching a saturated resource or sitting at their cap.
+    std::vector<bool> saturated(nr, false);
+    for (int r = 0; r < nr; ++r) {
+      saturated[r] = agg[r] > kEps && remaining[r] <= kEps * capacity_[r] + kEps;
+    }
+    int frozen = 0;
+    for (int f = 0; f < nf; ++f) {
+      if (!active[f]) {
+        continue;
+      }
+      bool freeze = rates[f] >= flows[f].rate_cap - kEps;
+      for (const auto& [r, d] : demand[f]) {
+        if (d > kEps && saturated[r]) {
+          freeze = true;
+          break;
+        }
+      }
+      if (freeze) {
+        active[f] = false;
+        ++frozen;
+      }
+    }
+    SA_CHECK_MSG(frozen > 0, "water-filling failed to converge");
+    num_active -= frozen;
+  }
+  return rates;
+}
+
+PhaseResult FluidNetwork::RunSharedPool(const std::vector<Flow>& flows,
+                                        double total_work) const {
+  SA_CHECK_MSG(total_work > 0.0, "empty phase");
+  PhaseResult res;
+  res.flow_rates = MaxMinRates(flows);
+  double total_rate = 0.0;
+  for (double r : res.flow_rates) {
+    total_rate += r;
+  }
+  SA_CHECK_MSG(total_rate > kEps, "workload cannot make progress (all rates zero)");
+
+  res.seconds = total_work / total_rate;
+  res.flow_work.resize(flows.size());
+  res.resource_usage.assign(num_resources(), 0.0);
+  for (size_t f = 0; f < flows.size(); ++f) {
+    res.flow_work[f] = res.flow_rates[f] * res.seconds;
+    for (const auto& [r, d] : flows[f].demand) {
+      res.resource_usage[r] += res.flow_rates[f] * d * res.seconds;
+    }
+  }
+  res.resource_utilization.assign(num_resources(), 0.0);
+  for (int r = 0; r < num_resources(); ++r) {
+    if (capacity_[r] > kEps) {
+      res.resource_utilization[r] = res.resource_usage[r] / (capacity_[r] * res.seconds);
+    }
+  }
+  return res;
+}
+
+PhaseResult FluidNetwork::RunIndependent(std::vector<Flow> flows) const {
+  PhaseResult res;
+  const size_t nf = flows.size();
+  res.flow_work.assign(nf, 0.0);
+  res.flow_rates.assign(nf, 0.0);
+  res.resource_usage.assign(num_resources(), 0.0);
+
+  std::vector<double> remaining(nf);
+  for (size_t f = 0; f < nf; ++f) {
+    SA_CHECK_MSG(flows[f].work >= 0.0, "negative work");
+    remaining[f] = flows[f].work;
+  }
+
+  while (true) {
+    // Collect unfinished flows.
+    std::vector<int> live;
+    for (size_t f = 0; f < nf; ++f) {
+      if (remaining[f] > kEps) {
+        live.push_back(static_cast<int>(f));
+      }
+    }
+    if (live.empty()) {
+      break;
+    }
+    std::vector<Flow> live_flows;
+    live_flows.reserve(live.size());
+    for (int f : live) {
+      live_flows.push_back(flows[f]);
+    }
+    const std::vector<double> rates = MaxMinRates(live_flows);
+
+    double dt = kInf;
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (rates[i] > kEps) {
+        dt = std::min(dt, remaining[live[i]] / rates[i]);
+      }
+    }
+    SA_CHECK_MSG(dt < kInf, "remaining flows make no progress");
+
+    for (size_t i = 0; i < live.size(); ++i) {
+      const int f = live[i];
+      const double done = rates[i] * dt;
+      remaining[f] = std::max(0.0, remaining[f] - done);
+      res.flow_work[f] += done;
+      res.flow_rates[f] = rates[i];  // last observed rate
+      for (const auto& [r, d] : flows[f].demand) {
+        res.resource_usage[r] += done * d;
+      }
+    }
+    res.seconds += dt;
+  }
+
+  res.resource_utilization.assign(num_resources(), 0.0);
+  for (int r = 0; r < num_resources(); ++r) {
+    if (capacity_[r] > kEps && res.seconds > 0.0) {
+      res.resource_utilization[r] = res.resource_usage[r] / (capacity_[r] * res.seconds);
+    }
+  }
+  return res;
+}
+
+}  // namespace sa::sim

@@ -1,0 +1,82 @@
+// Flow-level ("fluid") max-min fair resource simulator.
+//
+// The simulator models a machine as a set of capacitated resources (memory
+// channels, interconnect directions, core pipelines) and a workload as a set
+// of flows. Each flow advances through abstract *work units* (loop
+// iterations); consuming one unit draws a fixed amount from each resource in
+// the flow's demand vector. Concurrent flows share resources max-min fairly
+// (progressive filling / water-filling), which is the standard fluid
+// approximation of fair hardware arbitration.
+//
+// This is the substrate that stands in for the paper's 2-socket Xeon
+// machines: the phenomena the paper evaluates — memory-channel saturation,
+// interconnect bottlenecks, CPU-bound decompression — are exactly the
+// bottleneck effects a max-min fluid model captures (DESIGN.md §2).
+#ifndef SA_SIM_FLUID_H_
+#define SA_SIM_FLUID_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sa::sim {
+
+using ResourceId = int;
+
+// One flow: a worker thread's per-work-unit resource demands.
+struct Flow {
+  // (resource, units consumed per work unit). Resources may repeat; they are
+  // coalesced internally.
+  std::vector<std::pair<ResourceId, double>> demand;
+  // Intrinsic rate ceiling in work units/second (e.g. latency-bound random
+  // access limited by outstanding-miss slots). Infinite by default.
+  double rate_cap = std::numeric_limits<double>::infinity();
+  // Work units to perform; used by RunIndependent only.
+  double work = 0.0;
+};
+
+// Result of simulating one phase.
+struct PhaseResult {
+  double seconds = 0.0;
+  // Work units completed per flow.
+  std::vector<double> flow_work;
+  // Steady-state rate per flow in work units/second (shared-pool runs).
+  std::vector<double> flow_rates;
+  // Total units drawn from each resource over the phase.
+  std::vector<double> resource_usage;
+  // Mean utilization of each resource over the phase, in [0, 1].
+  std::vector<double> resource_utilization;
+};
+
+class FluidNetwork {
+ public:
+  // Adds a resource with `capacity` units/second. Zero capacity is allowed
+  // (flows demanding it make no progress).
+  ResourceId AddResource(std::string name, double capacity);
+
+  int num_resources() const { return static_cast<int>(capacity_.size()); }
+  const std::string& resource_name(ResourceId r) const { return names_[r]; }
+  double resource_capacity(ResourceId r) const { return capacity_[r]; }
+  void set_resource_capacity(ResourceId r, double capacity);
+
+  // Max-min fair steady-state rates for `flows` running concurrently.
+  std::vector<double> MaxMinRates(const std::vector<Flow>& flows) const;
+
+  // Runs flows against a shared pool of `total_work` units (the Callisto-RTS
+  // regime: dynamic batching keeps every worker busy until the pool drains,
+  // so all flows run at their fair rate for the whole phase).
+  PhaseResult RunSharedPool(const std::vector<Flow>& flows, double total_work) const;
+
+  // Runs flows with their own `work` amounts to completion; rates are
+  // recomputed each time a flow finishes (event-driven fluid simulation).
+  PhaseResult RunIndependent(std::vector<Flow> flows) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> capacity_;
+};
+
+}  // namespace sa::sim
+
+#endif  // SA_SIM_FLUID_H_

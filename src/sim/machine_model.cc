@@ -1,0 +1,183 @@
+#include "sim/machine_model.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/macros.h"
+
+namespace sa::sim {
+
+MachineModel::MachineModel(MachineSpec spec) : spec_(std::move(spec)) {
+  SA_CHECK(spec_.sockets >= 1 && spec_.cores_per_socket >= 1);
+
+  core_ids_.resize(spec_.sockets);
+  for (int s = 0; s < spec_.sockets; ++s) {
+    for (int c = 0; c < spec_.cores_per_socket; ++c) {
+      core_ids_[s].push_back(net_.AddResource(
+          "core.s" + std::to_string(s) + ".c" + std::to_string(c),
+          spec_.cycles_per_second_per_core()));
+    }
+  }
+  for (int s = 0; s < spec_.sockets; ++s) {
+    mem_ids_.push_back(net_.AddResource("mem.s" + std::to_string(s),
+                                        spec_.local_bw_bytes() * spec_.mem_stream_efficiency));
+  }
+  ic_ids_.assign(spec_.sockets, std::vector<ResourceId>(spec_.sockets, -1));
+  for (int a = 0; a < spec_.sockets; ++a) {
+    for (int b = 0; b < spec_.sockets; ++b) {
+      if (a == b) {
+        continue;
+      }
+      ic_ids_[a][b] = net_.AddResource(
+          "ic." + std::to_string(a) + "to" + std::to_string(b),
+          spec_.remote_bw_bytes() * spec_.ic_stream_efficiency);
+    }
+  }
+}
+
+ResourceId MachineModel::core_resource(int socket, int core) const {
+  SA_CHECK(socket >= 0 && socket < spec_.sockets);
+  SA_CHECK(core >= 0 && core < spec_.cores_per_socket);
+  return core_ids_[socket][core];
+}
+
+ResourceId MachineModel::mem_resource(int socket) const {
+  SA_CHECK(socket >= 0 && socket < spec_.sockets);
+  return mem_ids_[socket];
+}
+
+ResourceId MachineModel::ic_resource(int from, int to) const {
+  SA_CHECK(from != to);
+  SA_CHECK(from >= 0 && from < spec_.sockets && to >= 0 && to < spec_.sockets);
+  return ic_ids_[from][to];
+}
+
+Flow MachineModel::MakeFlow(const ThreadWork& tw) const {
+  SA_CHECK(tw.socket >= 0 && tw.socket < spec_.sockets);
+  SA_CHECK(tw.core >= 0 && tw.core < spec_.cores_per_socket);
+  Flow flow;
+  if (tw.cycles_per_unit > 0.0) {
+    flow.demand.emplace_back(core_resource(tw.socket, tw.core), tw.cycles_per_unit);
+  }
+  auto add_bytes = [&](const std::vector<double>& bytes, bool is_read) {
+    for (int s = 0; s < static_cast<int>(bytes.size()); ++s) {
+      SA_CHECK_MSG(s < spec_.sockets, "bytes vector longer than socket count");
+      if (bytes[s] <= 0.0) {
+        continue;
+      }
+      flow.demand.emplace_back(mem_resource(s), bytes[s]);
+      // Reads pull data remote -> local and stall the requester, so they
+      // occupy the link inside the flow's demand vector. Remote writes are
+      // posted (fire-and-forget through the write-combining buffers): they
+      // consume the target channel but do not rate-couple the writer to the
+      // link, which would otherwise let a saturated link freeze flows that
+      // barely touch it (a fluid-model artifact, not machine behaviour).
+      if (is_read && s != tw.socket) {
+        flow.demand.emplace_back(ic_resource(s, tw.socket), bytes[s]);
+      }
+    }
+  };
+  add_bytes(tw.bytes_from_socket, /*is_read=*/true);
+  add_bytes(tw.bytes_to_socket, /*is_read=*/false);
+  for (int s = 0; s < static_cast<int>(tw.overhead_bytes_from_socket.size()); ++s) {
+    SA_CHECK_MSG(s < spec_.sockets, "bytes vector longer than socket count");
+    if (tw.overhead_bytes_from_socket[s] > 0.0) {
+      flow.demand.emplace_back(mem_resource(s), tw.overhead_bytes_from_socket[s]);
+    }
+  }
+
+  if (tw.random_accesses_per_unit > 0.0) {
+    const double avg_latency_ns =
+        spec_.local_latency_ns * (1.0 - tw.random_remote_fraction) +
+        spec_.remote_latency_ns * tw.random_remote_fraction;
+    // At most `mlp_random` line fills in flight per thread: the unit rate is
+    // capped at mlp / (latency * accesses_per_unit).
+    flow.rate_cap = spec_.mlp_random / (avg_latency_ns * 1e-9 * tw.random_accesses_per_unit);
+  }
+  SA_CHECK_MSG(!flow.demand.empty() || flow.rate_cap < 1e300,
+               "thread work demands nothing; add cycles or bytes");
+  return flow;
+}
+
+RunReport MachineModel::RunSharedPool(const std::vector<ThreadWork>& threads,
+                                      double total_units) const {
+  std::vector<Flow> flows;
+  flows.reserve(threads.size());
+  for (const auto& tw : threads) {
+    flows.push_back(MakeFlow(tw));
+  }
+  const PhaseResult phase = net_.RunSharedPool(flows, total_units);
+
+  RunReport report;
+  report.seconds = phase.seconds;
+  report.total_work = total_units;
+  for (size_t f = 0; f < threads.size(); ++f) {
+    report.total_instructions += phase.flow_work[f] * threads[f].instructions_per_unit;
+  }
+  // Reported (PCM-style) bandwidth counts data bytes only; channel
+  // utilization additionally includes the random-access overhead occupancy.
+  report.mem_gbps.resize(spec_.sockets, 0.0);
+  report.mem_utilization.resize(spec_.sockets, 0.0);
+  for (size_t f = 0; f < threads.size(); ++f) {
+    const ThreadWork& tw = threads[f];
+    for (int s = 0; s < spec_.sockets; ++s) {
+      double data_bytes = 0.0;
+      if (s < static_cast<int>(tw.bytes_from_socket.size())) {
+        data_bytes += tw.bytes_from_socket[s];
+      }
+      if (s < static_cast<int>(tw.bytes_to_socket.size())) {
+        data_bytes += tw.bytes_to_socket[s];
+      }
+      report.mem_gbps[s] += phase.flow_rates[f] * data_bytes / 1e9;
+    }
+  }
+  for (int s = 0; s < spec_.sockets; ++s) {
+    report.mem_utilization[s] = phase.resource_utilization[mem_ids_[s]];
+    report.total_mem_gbps += report.mem_gbps[s];
+  }
+  report.ic_gbps.assign(spec_.sockets, std::vector<double>(spec_.sockets, 0.0));
+  for (int a = 0; a < spec_.sockets; ++a) {
+    for (int b = 0; b < spec_.sockets; ++b) {
+      if (a == b) {
+        continue;
+      }
+      const ResourceId r = ic_ids_[a][b];
+      report.ic_gbps[a][b] = phase.resource_usage[r] / phase.seconds / 1e9;
+      report.max_ic_utilization =
+          std::max(report.max_ic_utilization, phase.resource_utilization[r]);
+    }
+  }
+  report.cycles_utilization.resize(spec_.sockets, 0.0);
+  for (int s = 0; s < spec_.sockets; ++s) {
+    double sum = 0.0;
+    for (int c = 0; c < spec_.cores_per_socket; ++c) {
+      sum += phase.resource_utilization[core_ids_[s][c]];
+    }
+    report.cycles_utilization[s] = sum / spec_.cores_per_socket;
+  }
+  return report;
+}
+
+std::vector<ThreadWork> MachineModel::AllThreads(const ThreadWork& proto) const {
+  std::vector<ThreadWork> out;
+  for (int s = 0; s < spec_.sockets; ++s) {
+    auto team = SocketThreads(proto, s);
+    out.insert(out.end(), team.begin(), team.end());
+  }
+  return out;
+}
+
+std::vector<ThreadWork> MachineModel::SocketThreads(const ThreadWork& proto, int socket) const {
+  SA_CHECK(socket >= 0 && socket < spec_.sockets);
+  std::vector<ThreadWork> out;
+  const int threads = spec_.cores_per_socket * spec_.threads_per_core;
+  for (int t = 0; t < threads; ++t) {
+    ThreadWork tw = proto;
+    tw.socket = socket;
+    tw.core = t % spec_.cores_per_socket;
+    out.push_back(std::move(tw));
+  }
+  return out;
+}
+
+}  // namespace sa::sim

@@ -1,0 +1,96 @@
+// Typed NUMA machine model on top of the fluid simulator.
+//
+// MachineModel instantiates one resource per core (cycles/s), one per socket
+// memory channel (bytes/s) and one per interconnect direction (bytes/s) from
+// a MachineSpec, converts thread-level workload descriptions into fluid
+// flows, and interprets simulation results as the PCM-style report the
+// paper's evaluation plots (time, instructions, memory bandwidth).
+#ifndef SA_SIM_MACHINE_MODEL_H_
+#define SA_SIM_MACHINE_MODEL_H_
+
+#include <vector>
+
+#include "sim/fluid.h"
+#include "sim/machine_spec.h"
+
+namespace sa::sim {
+
+// Per-worker-thread description of one parallel phase, in per-work-unit
+// terms (a work unit is one loop iteration of the workload).
+struct ThreadWork {
+  int socket = 0;  // socket the thread is pinned to
+  int core = 0;    // core within the socket (hyperthreads share a core)
+
+  double cycles_per_unit = 0.0;        // core pipeline occupancy
+  double instructions_per_unit = 0.0;  // retired instructions (reporting only)
+
+  // Bytes transferred per work unit from each socket's memory. Reads from a
+  // remote socket also occupy the interconnect direction remote -> local.
+  std::vector<double> bytes_from_socket;
+
+  // Bytes written per work unit to each socket's memory. Remote writes are
+  // posted and charged to the target channel only (see MakeFlow).
+  std::vector<double> bytes_to_socket;
+
+  // Extra memory-channel occupancy per work unit that transfers no useful
+  // data (DRAM row-buffer misses and wasted burst slots on random line
+  // fills). Occupies the channel resource but is excluded from the
+  // PCM-style reported bandwidth and never touches the interconnect.
+  std::vector<double> overhead_bytes_from_socket;
+
+  // Latency-bound random accesses per work unit. When nonzero, the thread's
+  // rate is capped at mlp / (avg_latency * accesses) — the fluid analogue of
+  // a limited number of outstanding cache-line misses.
+  double random_accesses_per_unit = 0.0;
+  double random_remote_fraction = 0.0;  // fraction of those that are remote
+};
+
+// PCM-like aggregate report for one simulated phase.
+struct RunReport {
+  double seconds = 0.0;
+  double total_instructions = 0.0;
+  std::vector<double> mem_gbps;           // achieved bandwidth per socket memory
+  double total_mem_gbps = 0.0;            // sum over sockets
+  std::vector<std::vector<double>> ic_gbps;  // [from][to] achieved link bandwidth
+  std::vector<double> mem_utilization;    // per socket, in [0, 1]
+  double max_ic_utilization = 0.0;        // most-loaded interconnect direction
+  std::vector<double> cycles_utilization; // per socket, mean over its cores
+  double total_work = 0.0;
+};
+
+class MachineModel {
+ public:
+  explicit MachineModel(MachineSpec spec);
+
+  const MachineSpec& spec() const { return spec_; }
+  const FluidNetwork& network() const { return net_; }
+
+  ResourceId core_resource(int socket, int core) const;
+  ResourceId mem_resource(int socket) const;
+  ResourceId ic_resource(int from, int to) const;
+
+  // Builds a fluid flow for one thread's work description.
+  Flow MakeFlow(const ThreadWork& tw) const;
+
+  // Runs `threads` against a shared pool of `total_units` work units (the
+  // Callisto-RTS dynamic-batching regime) and reports PCM-style aggregates.
+  RunReport RunSharedPool(const std::vector<ThreadWork>& threads, double total_units) const;
+
+  // Convenience: replicates `proto` over every hardware thread of the
+  // machine, assigning socket/core round-robin per socket.
+  std::vector<ThreadWork> AllThreads(const ThreadWork& proto) const;
+
+  // Replicates `proto` over the hardware threads of one socket only.
+  std::vector<ThreadWork> SocketThreads(const ThreadWork& proto, int socket) const;
+
+ private:
+  MachineSpec spec_;
+  FluidNetwork net_;
+  std::vector<std::vector<ResourceId>> core_ids_;   // [socket][core]
+  std::vector<ResourceId> mem_ids_;                 // [socket]
+  std::vector<std::vector<ResourceId>> ic_ids_;     // [from][to]
+};
+
+}  // namespace sa::sim
+
+#endif  // SA_SIM_MACHINE_MODEL_H_

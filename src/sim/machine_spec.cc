@@ -1,0 +1,35 @@
+#include "sim/machine_spec.h"
+
+namespace sa::sim {
+
+MachineSpec MachineSpec::OracleX5_8Core() {
+  MachineSpec spec;
+  spec.name = "Oracle X5-2, 2x8-core Xeon E5-2630v3";
+  spec.sockets = 2;
+  spec.cores_per_socket = 8;
+  spec.threads_per_core = 2;
+  spec.clock_ghz = 2.4;
+  spec.mem_gb_per_socket = 128.0;
+  spec.local_bw_gbps = 49.3;
+  spec.remote_bw_gbps = 8.0;
+  spec.local_latency_ns = 77.0;
+  spec.remote_latency_ns = 130.0;
+  return spec;
+}
+
+MachineSpec MachineSpec::OracleX5_18Core() {
+  MachineSpec spec;
+  spec.name = "Oracle X5-2, 2x18-core Xeon E5-2699v3";
+  spec.sockets = 2;
+  spec.cores_per_socket = 18;
+  spec.threads_per_core = 2;
+  spec.clock_ghz = 2.3;
+  spec.mem_gb_per_socket = 192.0;
+  spec.local_bw_gbps = 43.8;
+  spec.remote_bw_gbps = 26.8;
+  spec.local_latency_ns = 85.0;
+  spec.remote_latency_ns = 132.0;
+  return spec;
+}
+
+}  // namespace sa::sim

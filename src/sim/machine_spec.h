@@ -1,0 +1,61 @@
+// Descriptions of the NUMA machines being modelled.
+//
+// The presets reproduce Table 1 of the paper (Oracle X5-2 machines, measured
+// with Intel MLC). All bandwidth figures are bytes/second inside the code;
+// the GB/s helpers use 1e9 bytes to match how MLC and the paper report them.
+#ifndef SA_SIM_MACHINE_SPEC_H_
+#define SA_SIM_MACHINE_SPEC_H_
+
+#include <string>
+
+namespace sa::sim {
+
+struct MachineSpec {
+  std::string name;
+
+  int sockets = 2;
+  int cores_per_socket = 8;
+  int threads_per_core = 2;
+  double clock_ghz = 2.4;
+
+  double mem_gb_per_socket = 128.0;
+
+  // Peak per-socket local memory bandwidth and per-direction interconnect
+  // bandwidth (GB/s), as an MLC-style measurement would report them.
+  double local_bw_gbps = 49.3;
+  double remote_bw_gbps = 8.0;
+
+  double local_latency_ns = 77.0;
+  double remote_latency_ns = 130.0;
+
+  // Streaming transfers do not achieve the full nominal link rate: demand
+  // loads crossing the interconnect stall on round-trips that the prefetchers
+  // only partially hide (Table 2: "threads stall on interconnect transfers").
+  // Capacities are scaled by these factors for streaming phases.
+  double ic_stream_efficiency = 0.78;
+  double mem_stream_efficiency = 1.0;
+
+  // Memory-level parallelism: outstanding cache-line requests per thread,
+  // used to derive per-flow rate caps for latency-bound (random) access.
+  double mlp_random = 8.0;
+
+  // Random (cache-missing) line fetches occupy the memory channel longer
+  // than streaming ones (DRAM row-buffer misses, wasted burst slots); their
+  // channel occupancy is inflated by this factor.
+  double random_channel_factor = 1.45;
+
+  int total_cores() const { return sockets * cores_per_socket; }
+  int total_threads() const { return total_cores() * threads_per_core; }
+  double cycles_per_second_per_core() const { return clock_ghz * 1e9; }
+  double local_bw_bytes() const { return local_bw_gbps * 1e9; }
+  double remote_bw_bytes() const { return remote_bw_gbps * 1e9; }
+
+  // Table 1, left column: 2x8-core Xeon E5-2630v3 (Haswell), 1 QPI link.
+  static MachineSpec OracleX5_8Core();
+  // Table 1, right column: 2x18-core Xeon E5-2699v3 (Haswell), 3 QPI links.
+  static MachineSpec OracleX5_18Core();
+};
+
+}  // namespace sa::sim
+
+#endif  // SA_SIM_MACHINE_SPEC_H_

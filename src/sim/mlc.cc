@@ -1,0 +1,60 @@
+#include "sim/mlc.h"
+
+#include "common/macros.h"
+
+namespace sa::sim {
+namespace {
+
+// A saturating streaming read: one cache line per work unit, negligible CPU.
+ThreadWork StreamProbe(int from_socket, int sockets) {
+  ThreadWork tw;
+  tw.cycles_per_unit = 1.0;  // MLC's read loop is pure pointer-bump
+  tw.instructions_per_unit = 2.0;
+  tw.bytes_from_socket.assign(sockets, 0.0);
+  tw.bytes_from_socket[from_socket] = 64.0;
+  return tw;
+}
+
+// Total achieved GB/s of a socket-0 team streaming from `data_socket`.
+double TeamBandwidth(const MachineModel& machine, int data_socket) {
+  const auto threads =
+      machine.SocketThreads(StreamProbe(data_socket, machine.spec().sockets), /*socket=*/0);
+  const RunReport r = machine.RunSharedPool(threads, 1e9);
+  return r.total_mem_gbps;
+}
+
+}  // namespace
+
+MlcReport MeasureMlc(const MachineModel& machine) {
+  const MachineSpec& base = machine.spec();
+  SA_CHECK_MSG(base.sockets >= 2, "MLC probe needs at least two sockets");
+
+  // MLC's generator is tuned to reach the nominal transfer rates (its whole
+  // purpose is characterizing peaks), so the probe machine runs without the
+  // demand-stream efficiency derating that ordinary workloads see.
+  MachineSpec tuned = base;
+  tuned.ic_stream_efficiency = 1.0;
+  tuned.mem_stream_efficiency = 1.0;
+  const MachineModel probe(tuned);
+
+  MlcReport report;
+  // Idle latency is a property of the fabric, not of contention; the fluid
+  // model carries it as a parameter, so the probe reads it back directly
+  // (the real MLC likewise reports an unloaded pointer-chase).
+  report.local_latency_ns = tuned.local_latency_ns;
+  report.remote_latency_ns = tuned.remote_latency_ns;
+
+  report.local_bw_gbps = TeamBandwidth(probe, /*data_socket=*/0);
+  report.remote_bw_gbps = TeamBandwidth(probe, /*data_socket=*/1);
+
+  // All threads streaming from their own socket's memory.
+  std::vector<ThreadWork> all;
+  for (int s = 0; s < tuned.sockets; ++s) {
+    auto team = probe.SocketThreads(StreamProbe(s, tuned.sockets), s);
+    all.insert(all.end(), team.begin(), team.end());
+  }
+  report.total_local_bw_gbps = probe.RunSharedPool(all, 1e9).total_mem_gbps;
+  return report;
+}
+
+}  // namespace sa::sim

@@ -1,0 +1,28 @@
+// Simulated Intel Memory Latency Checker (MLC).
+//
+// The paper characterizes its machines with MLC (Table 1). This probe runs
+// the same style of measurements against the machine model: idle latencies
+// and saturating streaming bandwidth for local, remote, and all-local
+// configurations. Used by bench/tab01_machine_mlc and by the adaptivity
+// layer to build its machine specification (§6).
+#ifndef SA_SIM_MLC_H_
+#define SA_SIM_MLC_H_
+
+#include "sim/machine_model.h"
+
+namespace sa::sim {
+
+struct MlcReport {
+  double local_latency_ns = 0.0;
+  double remote_latency_ns = 0.0;
+  double local_bw_gbps = 0.0;        // one socket's threads reading locally
+  double remote_bw_gbps = 0.0;       // one socket's threads reading remotely
+  double total_local_bw_gbps = 0.0;  // all threads reading locally
+};
+
+// Runs the probes against `machine`.
+MlcReport MeasureMlc(const MachineModel& machine);
+
+}  // namespace sa::sim
+
+#endif  // SA_SIM_MLC_H_

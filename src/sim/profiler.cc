@@ -1,0 +1,60 @@
+#include "sim/profiler.h"
+
+#include "common/bits.h"
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace sa::sim {
+namespace {
+
+// Socket serving element `index` for a thread on `team`: the replica chosen
+// by GetReplica plus the page its first byte lives on.
+int ServingSocket(const smart::SmartArray& array, int team, uint64_t index) {
+  const int replica = array.replicated() ? team : 0;
+  const uint64_t bit_offset = index * array.bits();
+  const uint64_t byte_offset = (bit_offset / kWordBits) * sizeof(uint64_t);
+  return array.region(replica).NodeOfByte(byte_offset);
+}
+
+}  // namespace
+
+ScanProfile ProfileScan(const smart::SmartArray& array) {
+  const int sockets = array.replicated() ? array.num_replicas() : array.region(0).num_sockets();
+  ScanProfile profile;
+  profile.bytes_from.assign(sockets, std::vector<double>(sockets, 0.0));
+  profile.bytes_per_element = array.bits() / 8.0;
+
+  for (int team = 0; team < sockets; ++team) {
+    for (uint64_t i = 0; i < array.length(); ++i) {
+      profile.bytes_from[team][ServingSocket(array, team, i)] += profile.bytes_per_element;
+    }
+    for (double& bytes : profile.bytes_from[team]) {
+      bytes /= static_cast<double>(array.length());
+    }
+  }
+  return profile;
+}
+
+ScanProfile ProfileRandomAccess(const smart::SmartArray& array, uint64_t accesses,
+                                uint64_t seed) {
+  SA_CHECK(accesses > 0);
+  const int sockets = array.replicated() ? array.num_replicas() : array.region(0).num_sockets();
+  constexpr double kLineBytes = 64.0;
+  ScanProfile profile;
+  profile.bytes_from.assign(sockets, std::vector<double>(sockets, 0.0));
+  profile.bytes_per_element = kLineBytes;
+
+  for (int team = 0; team < sockets; ++team) {
+    Xoshiro256 rng(seed + static_cast<uint64_t>(team));
+    for (uint64_t a = 0; a < accesses; ++a) {
+      const uint64_t i = rng.Below(array.length());
+      profile.bytes_from[team][ServingSocket(array, team, i)] += kLineBytes;
+    }
+    for (double& bytes : profile.bytes_from[team]) {
+      bytes /= static_cast<double>(accesses);
+    }
+  }
+  return profile;
+}
+
+}  // namespace sa::sim

@@ -1,0 +1,38 @@
+// Workload profiler: derives machine-model demand vectors from *real*
+// smart-array storage instead of analytic formulas.
+//
+// The workload models in sim/workloads.cc assert, e.g., that an interleaved
+// array serves each socket's team half-and-half. This profiler checks such
+// claims against ground truth: it walks the actual MappedRegion page
+// bookkeeping of a real allocation and accumulates, per reading-team socket,
+// how many bytes each socket's memory would serve. The result plugs
+// straight into MachineModel::ThreadWork, closing the loop between the real
+// implementation and the simulator (tests/sim/profiler_test.cc pins the two
+// against each other).
+#ifndef SA_SIM_PROFILER_H_
+#define SA_SIM_PROFILER_H_
+
+#include <vector>
+
+#include "smart/smart_array.h"
+
+namespace sa::sim {
+
+// Byte-origin profile of scanning `array` once, per reading-team socket:
+// bytes_from[team][socket] is the average bytes per element that a thread
+// pinned to `team` pulls from `socket`'s memory.
+struct ScanProfile {
+  std::vector<std::vector<double>> bytes_from;  // [team_socket][data_socket]
+  double bytes_per_element = 0.0;
+};
+
+ScanProfile ProfileScan(const smart::SmartArray& array);
+
+// Same, for a random-access pattern over `array` at cache-line granularity
+// (each access charges one 64-byte line to the page's socket).
+ScanProfile ProfileRandomAccess(const smart::SmartArray& array, uint64_t accesses,
+                                uint64_t seed);
+
+}  // namespace sa::sim
+
+#endif  // SA_SIM_PROFILER_H_

@@ -1,0 +1,231 @@
+#include "sim/workloads.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/macros.h"
+
+namespace sa::sim {
+namespace {
+
+constexpr double kCacheLineBytes = 64.0;
+
+// Applies the managed-runtime factors to a cost when the workload is Java.
+OpCost Managed(const OpCost& cost, bool java, const CostModel& model) {
+  if (!java) {
+    return cost;
+  }
+  return {cost.instructions * model.java_instruction_factor,
+          cost.cycles * model.java_cycle_factor};
+}
+
+// Splits randomly-addressed per-unit bytes across sockets and reports the
+// remote fraction seen by a thread on `thread_socket`.
+struct RandomSplit {
+  std::vector<double> bytes_from_socket;
+  double remote_fraction = 0.0;
+};
+
+RandomSplit SplitRandom(const smart::PlacementSpec& placement, double bytes_per_unit,
+                        int thread_socket, int sockets, double spread) {
+  RandomSplit out;
+  out.bytes_from_socket =
+      SplitBytesForPlacement(placement, bytes_per_unit, thread_socket, sockets, spread);
+  if (bytes_per_unit > 0.0) {
+    double remote = 0.0;
+    for (int s = 0; s < sockets; ++s) {
+      if (s != thread_socket) {
+        remote += out.bytes_from_socket[s];
+      }
+    }
+    out.remote_fraction = remote / bytes_per_unit;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> SplitBytesForPlacement(const smart::PlacementSpec& placement,
+                                           double bytes_per_unit, int thread_socket,
+                                           int sockets, double os_default_spread) {
+  SA_CHECK(sockets >= 1);
+  SA_CHECK(thread_socket >= 0 && thread_socket < sockets);
+  std::vector<double> bytes(sockets, 0.0);
+  if (bytes_per_unit <= 0.0) {
+    return bytes;
+  }
+  switch (placement.kind) {
+    case smart::Placement::kSingleSocket:
+      SA_CHECK(placement.socket >= 0 && placement.socket < sockets);
+      bytes[placement.socket] = bytes_per_unit;
+      break;
+    case smart::Placement::kOsDefault: {
+      // `spread` of the pages are scattered round-robin (multi-threaded
+      // first-touch), the rest sit on the first-touch socket.
+      const double spread = os_default_spread;
+      SA_CHECK(spread >= 0.0 && spread <= 1.0);
+      for (int s = 0; s < sockets; ++s) {
+        bytes[s] = bytes_per_unit * spread / sockets;
+      }
+      bytes[placement.socket] += bytes_per_unit * (1.0 - spread);
+      break;
+    }
+    case smart::Placement::kInterleaved:
+      for (int s = 0; s < sockets; ++s) {
+        bytes[s] = bytes_per_unit / sockets;
+      }
+      break;
+    case smart::Placement::kReplicated:
+      bytes[thread_socket] = bytes_per_unit;
+      break;
+  }
+  return bytes;
+}
+
+RunReport SimulateAggregation(const MachineModel& machine, const AggregationConfig& config,
+                              const CostModel& cost) {
+  const MachineSpec& spec = machine.spec();
+  SA_CHECK(config.bits >= 1 && config.bits <= 64);
+  SA_CHECK(config.num_arrays >= 1);
+
+  const double bytes_per_elem = config.bits / 8.0;
+  const OpCost per_unit =
+      Managed(cost.loop + cost.SequentialElem(config.bits) * config.num_arrays, config.java, cost);
+
+  std::vector<ThreadWork> threads;
+  for (int s = 0; s < spec.sockets; ++s) {
+    ThreadWork proto;
+    proto.cycles_per_unit = per_unit.cycles;
+    proto.instructions_per_unit = per_unit.instructions;
+    proto.bytes_from_socket =
+        SplitBytesForPlacement(config.placement, bytes_per_elem * config.num_arrays, s,
+                               spec.sockets, config.os_default_spread);
+    auto team = machine.SocketThreads(proto, s);
+    threads.insert(threads.end(), team.begin(), team.end());
+  }
+  return machine.RunSharedPool(threads, static_cast<double>(config.iterations));
+}
+
+uint64_t AggregationFootprintBytes(const AggregationConfig& config) {
+  const uint64_t words = WordsForLength(config.iterations, config.bits);
+  return static_cast<uint64_t>(config.num_arrays) * words * 8;
+}
+
+RunReport SimulateDegreeCentrality(const MachineModel& machine,
+                                   const DegreeCentralityConfig& config,
+                                   const CostModel& cost) {
+  const MachineSpec& spec = machine.spec();
+  SA_CHECK(config.index_bits >= 1 && config.index_bits <= 64);
+
+  // Per vertex: stream one element each of begin and rbegin (consecutive
+  // pairs share loads across iterations), subtract/add, store one 64-bit
+  // result into the always-interleaved output array.
+  const double read_bytes = 2.0 * config.index_bits / 8.0;
+  const double write_bytes = 8.0;
+  const OpCost arith = {3.0, 1.5};
+  const OpCost store = {1.0, 0.5};
+  const OpCost per_unit = Managed(
+      cost.loop + cost.SequentialElem(config.index_bits) * 2.0 + arith + store, config.java, cost);
+
+  const smart::PlacementSpec read_placement =
+      config.original ? smart::PlacementSpec::OsDefault() : config.placement;
+  const double spread = config.original ? config.os_default_spread
+                        : (config.placement.kind == smart::Placement::kOsDefault
+                               ? config.os_default_spread
+                               : 0.0);
+
+  std::vector<ThreadWork> threads;
+  for (int s = 0; s < spec.sockets; ++s) {
+    ThreadWork proto;
+    proto.cycles_per_unit = per_unit.cycles;
+    proto.instructions_per_unit = per_unit.instructions;
+    proto.bytes_from_socket =
+        SplitBytesForPlacement(read_placement, read_bytes, s, spec.sockets, spread);
+    proto.bytes_to_socket = SplitBytesForPlacement(smart::PlacementSpec::Interleaved(),
+                                                   write_bytes, s, spec.sockets, 0.0);
+    auto team = machine.SocketThreads(proto, s);
+    threads.insert(threads.end(), team.begin(), team.end());
+  }
+  return machine.RunSharedPool(threads, static_cast<double>(config.vertices));
+}
+
+RunReport SimulatePageRank(const MachineModel& machine, const PageRankConfig& config,
+                           const CostModel& cost) {
+  const MachineSpec& spec = machine.spec();
+  SA_CHECK(config.edges > 0 && config.vertices > 0 && config.iterations > 0);
+
+  // Work unit: one reverse edge. Per edge the kernel streams one redge
+  // element, then gathers rank[src] (8-byte double) and out_degree[src]
+  // (degree_bits) at random vertex positions; per vertex (amortized over
+  // E/V edges) it streams one rbegin element and writes one 8-byte rank.
+  const double edges_per_vertex =
+      static_cast<double>(config.edges) / static_cast<double>(config.vertices);
+  const double vertex_amortized = 1.0 / edges_per_vertex;
+
+  const double stream_bytes =
+      config.edge_bits / 8.0 + vertex_amortized * (config.index_bits / 8.0);
+  const double write_bytes = vertex_amortized * 8.0;
+
+  // Two random gathers per edge; cache hits are free, misses fetch a line.
+  // The transferred lines are reported bandwidth; the row-miss inflation is
+  // extra channel occupancy only (overhead_bytes_from_socket).
+  const double miss_rate = 1.0 - config.cache_hit_fraction;
+  const double random_accesses = 2.0 * miss_rate;  // line-fetching accesses per edge
+  const double random_bytes = random_accesses * kCacheLineBytes;
+  const double overhead_bytes = random_bytes * (spec.random_channel_factor - 1.0);
+
+  // Edge streams decode within short neighborhood lists, so the compressed
+  // widths pay the poorly-amortized gather-decode cost.
+  const OpCost edge_elem = (config.edge_bits == 32 || config.edge_bits == 64)
+                               ? cost.elem_uncompressed
+                               : cost.elem_compressed_gather;
+  const OpCost per_unit = Managed(cost.loop + edge_elem + cost.RandomGet(64) /* rank gather */ +
+                                      cost.RandomGet(config.degree_bits) /* degree gather */ +
+                                      (cost.SequentialElem(config.index_bits) + OpCost{2.0, 1.0}) *
+                                          vertex_amortized,
+                                  config.java, cost);
+
+  const smart::PlacementSpec placement =
+      config.original ? smart::PlacementSpec::OsDefault() : config.placement;
+  const double spread = (config.original || placement.kind == smart::Placement::kOsDefault)
+                            ? config.os_default_spread
+                            : 0.0;
+
+  std::vector<ThreadWork> threads;
+  for (int s = 0; s < spec.sockets; ++s) {
+    ThreadWork proto;
+    proto.cycles_per_unit = per_unit.cycles;
+    proto.instructions_per_unit = per_unit.instructions;
+
+    proto.bytes_from_socket =
+        SplitBytesForPlacement(placement, stream_bytes, s, spec.sockets, spread);
+    const RandomSplit random = SplitRandom(placement, random_bytes, s, spec.sockets, spread);
+    for (int t = 0; t < spec.sockets; ++t) {
+      proto.bytes_from_socket[t] += random.bytes_from_socket[t];
+    }
+    proto.overhead_bytes_from_socket =
+        SplitBytesForPlacement(placement, overhead_bytes, s, spec.sockets, spread);
+    proto.bytes_to_socket = SplitBytesForPlacement(smart::PlacementSpec::Interleaved(),
+                                                   write_bytes, s, spec.sockets, 0.0);
+    proto.random_accesses_per_unit = random_accesses;
+    proto.random_remote_fraction = random.remote_fraction;
+
+    auto team = machine.SocketThreads(proto, s);
+    threads.insert(threads.end(), team.begin(), team.end());
+  }
+  const double total_units =
+      static_cast<double>(config.edges) * static_cast<double>(config.iterations);
+  return machine.RunSharedPool(threads, total_units);
+}
+
+uint64_t PageRankFootprintBytes(const PageRankConfig& config) {
+  const double v = static_cast<double>(config.vertices);
+  const double e = static_cast<double>(config.edges);
+  // Paper §5.2: 2*bits_edges*V (begin+rbegin) + 2*bits_vertices*E
+  // (edge+redge) + bits_degrees*V + 64*V (ranks), in bits.
+  const double bits = 2.0 * config.index_bits * v + 2.0 * config.edge_bits * e +
+                      config.degree_bits * v + 64.0 * v;
+  return static_cast<uint64_t>(bits / 8.0);
+}
+
+}  // namespace sa::sim

@@ -1,0 +1,101 @@
+// Models of the paper's evaluation workloads (§5) for the machine simulator.
+//
+// Each Simulate* function converts a workload configuration — dataset size,
+// bit compression, NUMA placement, implementation language — into per-thread
+// resource demands (sim::ThreadWork) and runs them on a MachineModel,
+// returning the PCM-style aggregates the paper plots: execution time,
+// retired instructions, and memory bandwidth.
+//
+// The byte/instruction accounting mirrors how the real smart-array code
+// behaves (verified against the native implementation in
+// tests/sim/workloads_test.cc); the machine parameters come from Table 1.
+#ifndef SA_SIM_WORKLOADS_H_
+#define SA_SIM_WORKLOADS_H_
+
+#include <cstdint>
+
+#include "sim/cost_model.h"
+#include "sim/machine_model.h"
+#include "smart/placement.h"
+
+namespace sa::sim {
+
+// ---------------------------------------------------------------------------
+// Aggregation (§5.1): sum += a1[i] + a2[i] over two 4 GB 64-bit arrays.
+// ---------------------------------------------------------------------------
+struct AggregationConfig {
+  uint64_t iterations = 500'000'000;  // elements per array
+  int num_arrays = 2;
+  uint32_t bits = 64;  // storage width of each array (1..64)
+  smart::PlacementSpec placement = smart::PlacementSpec::OsDefault();
+  bool java = false;
+  // Fraction of pages spread round-robin under kOsDefault. The paper's
+  // aggregation arrays are initialized by a single thread, so first-touch
+  // places everything on one socket (spread 0); multi-threaded initializers
+  // scatter pages (spread near 1).
+  double os_default_spread = 0.0;
+};
+
+RunReport SimulateAggregation(const MachineModel& machine, const AggregationConfig& config,
+                              const CostModel& cost = CostModel::Default());
+
+// Bytes of memory the aggregation dataset occupies (per replica).
+uint64_t AggregationFootprintBytes(const AggregationConfig& config);
+
+// ---------------------------------------------------------------------------
+// Degree centrality (§5.2): out-degree + in-degree per vertex from the
+// begin/rbegin CSR index arrays; output array always interleaved.
+// ---------------------------------------------------------------------------
+struct DegreeCentralityConfig {
+  uint64_t vertices = 1'500'000'000;
+  uint32_t index_bits = 64;  // begin/rbegin width: 64 uncompressed, 33 compressed
+  smart::PlacementSpec placement = smart::PlacementSpec::OsDefault();
+  bool java = true;  // PGX workloads run in Java
+  // "original" placement: the pre-smart-array on/off-heap arrays, which PGX
+  // initializes multi-threaded (first-touch scatters pages unevenly).
+  bool original = false;
+  double os_default_spread = 0.85;
+};
+
+RunReport SimulateDegreeCentrality(const MachineModel& machine,
+                                   const DegreeCentralityConfig& config,
+                                   const CostModel& cost = CostModel::Default());
+
+// ---------------------------------------------------------------------------
+// PageRank (§5.2): iterate rank gathers over reverse edges until convergence
+// (15 iterations on the Twitter graph).
+// ---------------------------------------------------------------------------
+struct PageRankConfig {
+  uint64_t vertices = 41'652'230;   // Twitter follower graph [27]
+  uint64_t edges = 1'468'365'182;
+  int iterations = 15;
+  uint32_t index_bits = 64;   // begin/rbegin: 64 ("U"), 32, or 31 ("V", "V+E")
+  uint32_t degree_bits = 64;  // out-degree property: 64 or 22 ("V", "V+E")
+  uint32_t edge_bits = 32;    // edge/redge: 32 ("U") or 26 ("V+E")
+  smart::PlacementSpec placement = smart::PlacementSpec::OsDefault();
+  bool java = true;
+  bool original = false;
+  double os_default_spread = 0.85;
+  // Fraction of the random rank/out-degree gathers served by the caches.
+  // The Twitter graph's power-law skew keeps hot vertices resident.
+  double cache_hit_fraction = 0.70;
+};
+
+RunReport SimulatePageRank(const MachineModel& machine, const PageRankConfig& config,
+                           const CostModel& cost = CostModel::Default());
+
+// Memory the PageRank dataset occupies, via the paper's formula
+// 2*bits_e*V + 2*bits_v*E + bits_deg*V + 64*V (per replica).
+uint64_t PageRankFootprintBytes(const PageRankConfig& config);
+
+// ---------------------------------------------------------------------------
+// Shared helper: how a thread pinned to `thread_socket` splits its per-unit
+// bytes across socket memories for a given placement.
+// ---------------------------------------------------------------------------
+std::vector<double> SplitBytesForPlacement(const smart::PlacementSpec& placement,
+                                           double bytes_per_unit, int thread_socket,
+                                           int sockets, double os_default_spread);
+
+}  // namespace sa::sim
+
+#endif  // SA_SIM_WORKLOADS_H_

@@ -1,0 +1,221 @@
+// BitCompressedArray<BITS>: the 64 concrete smart-array subclasses
+// (paper §4.2, Functions 1-3).
+//
+// Elements are logically grouped into chunks of 64; a chunk of BITS-wide
+// elements occupies exactly BITS 64-bit words, so the first and last element
+// of every chunk are word-aligned for every width 1..64 and one codec serves
+// them all. BITS is a template parameter so the per-element arithmetic
+// (masks, shifts, word indices) folds at compile time; BITS == 32 and
+// BITS == 64 collapse to direct native loads/stores via `if constexpr`,
+// which is the paper's "specialized sub-classes" (Fig. 9).
+//
+// The static *Impl functions are the codec itself, shared by the virtual
+// methods here, the typed iterators, and the C-ABI entry points (so foreign
+// callers run the exact same logic without virtual dispatch).
+#ifndef SA_SMART_BIT_COMPRESSED_ARRAY_H_
+#define SA_SMART_BIT_COMPRESSED_ARRAY_H_
+
+#include <atomic>
+#include <utility>
+
+#include "common/bits.h"
+#include "common/macros.h"
+#include "smart/smart_array.h"
+
+namespace sa::smart {
+
+template <uint32_t BITS>
+class BitCompressedArray final : public SmartArray {
+  static_assert(BITS >= 1 && BITS <= 64, "element width must be 1..64 bits");
+
+ public:
+  BitCompressedArray(uint64_t length, PlacementSpec placement,
+                     const platform::Topology& topology)
+      : SmartArray(length, placement, BITS, topology) {}
+
+  static constexpr uint64_t kMask = LowMask(BITS);
+  static constexpr uint64_t kWordsPerChunk = WordsPerChunk(BITS);
+
+  // ---- Function 1: get(index, replica) ----
+  static uint64_t GetImpl(const uint64_t* replica, uint64_t index) {
+    if constexpr (BITS == 64) {
+      return replica[index];
+    } else if constexpr (BITS == 32) {
+      return reinterpret_cast<const uint32_t*>(replica)[index];
+    } else {
+      const uint64_t chunk = index / kChunkElems;
+      const uint64_t chunk_start = chunk * kWordsPerChunk;
+      const uint64_t bit_in_chunk = (index % kChunkElems) * BITS;
+      const uint32_t bit_in_word = static_cast<uint32_t>(bit_in_chunk % kWordBits);
+      const uint64_t word = chunk_start + bit_in_chunk / kWordBits;
+      if (bit_in_word + BITS <= kWordBits) {
+        return (replica[word] >> bit_in_word) & kMask;
+      }
+      // The element straddles two words; bit_in_word > 0 here, so the
+      // (64 - bit_in_word) shift is well defined.
+      return ((replica[word] >> bit_in_word) |
+              (replica[word + 1] << (kWordBits - bit_in_word))) &
+             kMask;
+    }
+  }
+
+  // ---- Function 2 (per replica): init(index, value) ----
+  static void InitImpl(uint64_t* replica, uint64_t index, uint64_t value) {
+    SA_DCHECK((value & ~kMask) == 0);
+    if constexpr (BITS == 64) {
+      replica[index] = value;
+    } else if constexpr (BITS == 32) {
+      reinterpret_cast<uint32_t*>(replica)[index] = static_cast<uint32_t>(value);
+    } else {
+      const uint64_t chunk = index / kChunkElems;
+      const uint64_t chunk_start = chunk * kWordsPerChunk;
+      const uint64_t bit_in_chunk = (index % kChunkElems) * BITS;
+      const uint32_t bit_in_word = static_cast<uint32_t>(bit_in_chunk % kWordBits);
+      const uint64_t word = chunk_start + bit_in_chunk / kWordBits;
+      const uint64_t word2 = chunk_start + (bit_in_chunk + BITS) / kWordBits;
+      replica[word] = (replica[word] & ~(kMask << bit_in_word)) | (value << bit_in_word);
+      if (word != word2 && bit_in_word + BITS > kWordBits) {
+        // Spill the high part into the next word (bit_in_word > 0 here).
+        replica[word2] = (replica[word2] & ~(kMask >> (kWordBits - bit_in_word))) |
+                         (value >> (kWordBits - bit_in_word));
+      }
+    }
+  }
+
+  // Thread-safe per-word compare-and-swap variant of InitImpl.
+  static void InitAtomicImpl(uint64_t* replica, uint64_t index, uint64_t value) {
+    SA_DCHECK((value & ~kMask) == 0);
+    if constexpr (BITS == 64) {
+      reinterpret_cast<std::atomic<uint64_t>*>(replica)[index].store(value,
+                                                                     std::memory_order_relaxed);
+    } else if constexpr (BITS == 32) {
+      reinterpret_cast<std::atomic<uint32_t>*>(replica)[index].store(
+          static_cast<uint32_t>(value), std::memory_order_relaxed);
+    } else {
+      const uint64_t chunk = index / kChunkElems;
+      const uint64_t chunk_start = chunk * kWordsPerChunk;
+      const uint64_t bit_in_chunk = (index % kChunkElems) * BITS;
+      const uint32_t bit_in_word = static_cast<uint32_t>(bit_in_chunk % kWordBits);
+      const uint64_t word = chunk_start + bit_in_chunk / kWordBits;
+      const uint64_t word2 = chunk_start + (bit_in_chunk + BITS) / kWordBits;
+      CasMerge(&replica[word], kMask << bit_in_word, value << bit_in_word);
+      if (word != word2 && bit_in_word + BITS > kWordBits) {
+        CasMerge(&replica[word2], kMask >> (kWordBits - bit_in_word),
+                 value >> (kWordBits - bit_in_word));
+      }
+    }
+  }
+
+  // ---- Function 3: unpack(chunk, replica, out) ----
+  static void UnpackImpl(const uint64_t* replica, uint64_t chunk, uint64_t* out) {
+    if constexpr (BITS == 64) {
+      const uint64_t* src = replica + chunk * kChunkElems;
+      for (uint32_t i = 0; i < kChunkElems; ++i) {
+        out[i] = src[i];
+      }
+    } else if constexpr (BITS == 32) {
+      const uint32_t* src = reinterpret_cast<const uint32_t*>(replica) + chunk * kChunkElems;
+      for (uint32_t i = 0; i < kChunkElems; ++i) {
+        out[i] = src[i];
+      }
+    } else {
+      const uint64_t chunk_start = chunk * kWordsPerChunk;
+      uint64_t word = chunk_start;
+      uint64_t value = replica[word];
+      uint32_t bit_in_word = 0;
+      for (uint32_t i = 0; i < kChunkElems; ++i) {
+        if (bit_in_word + BITS < kWordBits) {
+          out[i] = (value >> bit_in_word) & kMask;
+          bit_in_word += BITS;
+        } else if (bit_in_word + BITS == kWordBits) {
+          out[i] = (value >> bit_in_word) & kMask;
+          bit_in_word = 0;
+          ++word;
+          // The final element of the chunk ends exactly at the last word;
+          // do not read past it.
+          if (i + 1 < kChunkElems) {
+            value = replica[word];
+          }
+        } else {
+          const uint64_t next_word_value = replica[word + 1];
+          out[i] = kMask & ((value >> bit_in_word) | (next_word_value << (kWordBits - bit_in_word)));
+          bit_in_word = (bit_in_word + BITS) - kWordBits;
+          ++word;
+          value = next_word_value;
+        }
+      }
+    }
+  }
+
+  // Branch-free unpack: the §4.2 note that "the main loop of the function
+  // can be manually or automatically unrolled to avoid the branches and
+  // permit compile-time derivation of the constants used", made explicit.
+  // Every element's word index, shift, and straddle-or-not are compile-time
+  // constants of (BITS, i), so the body is 64 independent shift/mask
+  // expressions with no data-dependent control flow (micro_ablation
+  // measures this against the loop form of UnpackImpl).
+  static void UnpackUnrolledImpl(const uint64_t* replica, uint64_t chunk, uint64_t* out) {
+    if constexpr (BITS == 64 || BITS == 32) {
+      UnpackImpl(replica, chunk, out);
+    } else {
+      const uint64_t* words = replica + chunk * kWordsPerChunk;
+      [&]<size_t... I>(std::index_sequence<I...>) {
+        (
+            [&] {
+              constexpr uint32_t kBitInChunk = static_cast<uint32_t>(I) * BITS;
+              constexpr uint32_t kWord = kBitInChunk / kWordBits;
+              constexpr uint32_t kBitInWord = kBitInChunk % kWordBits;
+              if constexpr (kBitInWord + BITS <= kWordBits) {
+                out[I] = (words[kWord] >> kBitInWord) & kMask;
+              } else {
+                out[I] = ((words[kWord] >> kBitInWord) |
+                          (words[kWord + 1] << (kWordBits - kBitInWord))) &
+                         kMask;
+              }
+            }(),
+            ...);
+      }(std::make_index_sequence<kChunkElems>{});
+    }
+  }
+
+  // ---- Virtual interface (Fig. 9) ----
+  void Init(uint64_t index, uint64_t value) override {
+    SA_DCHECK(index < length_);
+    SA_CHECK_MSG((value & ~kMask) == 0, "value exceeds the array's bit width");
+    for (uint64_t* replica : replica_ptrs_) {
+      InitImpl(replica, index, value);
+    }
+  }
+
+  void InitAtomic(uint64_t index, uint64_t value) override {
+    SA_DCHECK(index < length_);
+    SA_CHECK_MSG((value & ~kMask) == 0, "value exceeds the array's bit width");
+    for (uint64_t* replica : replica_ptrs_) {
+      InitAtomicImpl(replica, index, value);
+    }
+  }
+
+  uint64_t Get(uint64_t index, const uint64_t* replica) const override {
+    SA_DCHECK(index < length_);
+    return GetImpl(replica, index);
+  }
+
+  void Unpack(uint64_t chunk, const uint64_t* replica, uint64_t* out) const override {
+    SA_DCHECK(chunk < num_chunks());
+    UnpackImpl(replica, chunk, out);
+  }
+
+ private:
+  // Atomically replaces the `mask` bits of *word with `bits_value`.
+  static void CasMerge(uint64_t* word, uint64_t mask, uint64_t bits_value) {
+    auto* atomic_word = reinterpret_cast<std::atomic<uint64_t>*>(word);
+    uint64_t cur = atomic_word->load(std::memory_order_relaxed);
+    while (!atomic_word->compare_exchange_weak(cur, (cur & ~mask) | bits_value,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+};
+
+}  // namespace sa::smart
+
+#endif  // SA_SMART_BIT_COMPRESSED_ARRAY_H_

@@ -1,0 +1,209 @@
+#include "smart/entry_points.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "common/macros.h"
+#include "smart/dispatch.h"
+#include "smart/iterator.h"
+#include "smart/smart_array.h"
+
+namespace {
+
+using sa::smart::CodecFor;
+using sa::smart::Placement;
+using sa::smart::PlacementSpec;
+using sa::smart::SmartArray;
+
+std::mutex g_topology_mu;
+std::unique_ptr<sa::platform::Topology> g_topology;
+
+const sa::platform::Topology& DefaultTopology() {
+  std::lock_guard<std::mutex> lock(g_topology_mu);
+  if (g_topology == nullptr) {
+    g_topology = std::make_unique<sa::platform::Topology>(sa::platform::Topology::Host());
+  }
+  return *g_topology;
+}
+
+SmartArray* Array(void* sa) { return static_cast<SmartArray*>(sa); }
+const SmartArray* Array(const void* sa) { return static_cast<const SmartArray*>(sa); }
+
+// Entry-point iterator state: the C-ABI analogue of CompressedIterator's
+// buffer, usable for every width.
+struct EntryIterator {
+  const SmartArray* array = nullptr;
+  const uint64_t* replica = nullptr;
+  uint64_t index = 0;
+  uint64_t buffered_chunk = ~uint64_t{0};
+  uint64_t buffer[sa::kChunkElems] = {};
+};
+
+EntryIterator* Iter(void* it) { return static_cast<EntryIterator*>(it); }
+
+uint64_t IterGetImpl(EntryIterator* it, uint32_t bits) {
+  if (bits == 64) {
+    return it->replica[it->index];
+  }
+  if (bits == 32) {
+    return reinterpret_cast<const uint32_t*>(it->replica)[it->index];
+  }
+  const uint64_t chunk = it->index / sa::kChunkElems;
+  if (SA_UNLIKELY(chunk != it->buffered_chunk)) {
+    CodecFor(bits).unpack(it->replica, chunk, it->buffer);
+    it->buffered_chunk = chunk;
+  }
+  return it->buffer[it->index % sa::kChunkElems];
+}
+
+}  // namespace
+
+extern "C" {
+
+void saSetDefaultTopology(int sockets, int cpus_per_socket) {
+  std::lock_guard<std::mutex> lock(g_topology_mu);
+  if (sockets <= 0) {
+    g_topology = std::make_unique<sa::platform::Topology>(sa::platform::Topology::Host());
+  } else {
+    g_topology = std::make_unique<sa::platform::Topology>(
+        sa::platform::Topology::Synthetic(sockets, cpus_per_socket));
+  }
+}
+
+int saGetNumSockets(void) { return DefaultTopology().num_sockets(); }
+
+void* saArrayAllocate(uint64_t length, int replicated, int interleaved, int pinned,
+                      uint32_t bits) {
+  SA_CHECK_MSG(!(replicated && interleaved), "data placements cannot be combined");
+  SA_CHECK_MSG(!((replicated || interleaved) && pinned >= 0),
+               "data placements cannot be combined");
+  PlacementSpec placement = PlacementSpec::OsDefault();
+  if (replicated) {
+    placement = PlacementSpec::Replicated();
+  } else if (interleaved) {
+    placement = PlacementSpec::Interleaved();
+  } else if (pinned >= 0) {
+    placement = PlacementSpec::SingleSocket(pinned);
+  }
+  return SmartArray::Allocate(length, placement, bits, DefaultTopology()).release();
+}
+
+void saArrayFree(void* sa) { delete Array(sa); }
+
+uint64_t saArrayGetLength(const void* sa) { return Array(sa)->length(); }
+uint32_t saArrayGetBits(const void* sa) { return Array(sa)->bits(); }
+int saArrayIsReplicated(const void* sa) { return Array(sa)->replicated() ? 1 : 0; }
+uint64_t saArrayFootprintBytes(const void* sa) { return Array(sa)->footprint_bytes(); }
+
+const uint64_t* saArrayGetReplica(const void* sa) {
+  return Array(sa)->GetReplicaForCurrentThread();
+}
+
+void saArrayInit(void* sa, uint64_t index, uint64_t value) { Array(sa)->Init(index, value); }
+
+uint64_t saArrayGet(const void* sa, uint64_t index) {
+  const SmartArray* a = Array(sa);
+  return a->Get(index, a->GetReplicaForCurrentThread());
+}
+
+void saArrayUnpack(const void* sa, uint64_t chunk, uint64_t* out) {
+  const SmartArray* a = Array(sa);
+  a->Unpack(chunk, a->GetReplicaForCurrentThread(), out);
+}
+
+void saArrayInitWithBits(void* sa, uint64_t index, uint64_t value, uint32_t bits) {
+  SmartArray* a = Array(sa);
+  SA_DCHECK(a->bits() == bits);
+  const auto& codec = CodecFor(bits);
+  for (int r = 0; r < a->num_replicas(); ++r) {
+    codec.init(a->MutableReplica(r), index, value);
+  }
+}
+
+uint64_t saArrayGetWithBits(const void* sa, uint64_t index, uint32_t bits) {
+  const SmartArray* a = Array(sa);
+  SA_DCHECK(a->bits() == bits);
+  return CodecFor(bits).get(a->GetReplicaForCurrentThread(), index);
+}
+
+void* saIterAllocate(const void* sa, uint64_t index) {
+  const SmartArray* a = Array(sa);
+  auto* it = new EntryIterator;
+  it->array = a;
+  it->replica = a->GetReplicaForCurrentThread();
+  it->index = index;
+  return it;
+}
+
+void saIterFree(void* it) { delete Iter(it); }
+
+void saIterReset(void* it, uint64_t index) {
+  EntryIterator* e = Iter(it);
+  e->index = index;
+  e->buffered_chunk = ~uint64_t{0};
+}
+
+uint64_t saIterGet(void* it) {
+  EntryIterator* e = Iter(it);
+  return IterGetImpl(e, e->array->bits());
+}
+
+void saIterNext(void* it) { ++Iter(it)->index; }
+
+uint64_t saIterGetWithBits(void* it, uint32_t bits) { return IterGetImpl(Iter(it), bits); }
+
+void saIterNextWithBits(void* it, uint32_t bits) {
+  (void)bits;  // widths share the bump; the parameter mirrors the thin API
+  ++Iter(it)->index;
+}
+
+void saArrayMapRange(const void* sa, uint64_t begin, uint64_t end, saMapCallback callback,
+                     void* ctx) {
+  const SmartArray* a = Array(sa);
+  SA_CHECK(begin <= end && end <= a->length());
+  if (begin == end) {
+    return;
+  }
+  const uint64_t* replica = a->GetReplicaForCurrentThread();
+  const auto& codec = CodecFor(a->bits());
+  uint64_t buffer[sa::kChunkElems];
+
+  uint64_t i = begin;
+  const uint64_t head_end = std::min(end, sa::AlignUp(begin, sa::kChunkElems));
+  if (i < head_end) {
+    for (uint64_t j = i; j < head_end; ++j) {
+      buffer[j - i] = codec.get(replica, j);
+    }
+    callback(buffer, head_end - i, i, ctx);
+    i = head_end;
+  }
+  while (i + sa::kChunkElems <= end) {
+    codec.unpack(replica, i / sa::kChunkElems, buffer);
+    callback(buffer, sa::kChunkElems, i, ctx);
+    i += sa::kChunkElems;
+  }
+  if (i < end) {
+    for (uint64_t j = i; j < end; ++j) {
+      buffer[j - i] = codec.get(replica, j);
+    }
+    callback(buffer, end - i, i, ctx);
+  }
+}
+
+uint64_t saArraySumRange(const void* sa, uint64_t begin, uint64_t end) {
+  uint64_t sum = 0;
+  saArrayMapRange(
+      sa, begin, end,
+      [](const uint64_t* values, uint64_t count, uint64_t /*first*/, void* ctx) {
+        uint64_t local = 0;
+        for (uint64_t i = 0; i < count; ++i) {
+          local += values[i];
+        }
+        *static_cast<uint64_t*>(ctx) += local;
+      },
+      &sum);
+  return sum;
+}
+
+}  // extern "C"

@@ -1,0 +1,19 @@
+#include "smart/iterator.h"
+
+namespace sa::smart {
+
+std::unique_ptr<SmartArrayIterator> SmartArrayIterator::Allocate(const SmartArray& array,
+                                                                 uint64_t index, int socket) {
+  const uint64_t* replica =
+      socket >= 0 ? array.GetReplica(socket) : array.GetReplicaForCurrentThread();
+  switch (array.bits()) {
+    case 64:
+      return std::make_unique<Uncompressed64Iterator>(array, replica, index);
+    case 32:
+      return std::make_unique<Uncompressed32Iterator>(array, replica, index);
+    default:
+      return std::make_unique<CompressedIterator>(array, replica, index);
+  }
+}
+
+}  // namespace sa::smart

@@ -1,0 +1,82 @@
+#include "smart/randomization.h"
+
+#include <bit>
+
+#include "common/bits.h"
+#include "common/macros.h"
+
+namespace sa::smart {
+
+IndexPermutation::IndexPermutation(uint64_t n, uint64_t seed) : n_(n) {
+  SA_CHECK_MSG(n >= 1, "empty permutation domain");
+  // Feistel over 2*half_bits_ >= bits(n-1); halves at least 1 bit wide.
+  const uint32_t domain_bits = std::max(2u, BitsForValue(n - 1));
+  half_bits_ = (domain_bits + 1) / 2;
+  half_mask_ = LowMask(half_bits_);
+  uint64_t x = seed;
+  for (auto& key : round_keys_) {
+    x = SplitMix64(x);
+    key = x;
+  }
+}
+
+uint64_t IndexPermutation::RoundFunction(uint64_t half, int round) const {
+  return SplitMix64(half ^ round_keys_[round]) & half_mask_;
+}
+
+uint64_t IndexPermutation::FeistelForward(uint64_t x) const {
+  uint64_t left = (x >> half_bits_) & half_mask_;
+  uint64_t right = x & half_mask_;
+  for (int r = 0; r < kRounds; ++r) {
+    const uint64_t next_left = right;
+    right = left ^ RoundFunction(right, r);
+    left = next_left;
+  }
+  return (left << half_bits_) | right;
+}
+
+uint64_t IndexPermutation::FeistelBackward(uint64_t x) const {
+  uint64_t left = (x >> half_bits_) & half_mask_;
+  uint64_t right = x & half_mask_;
+  for (int r = kRounds - 1; r >= 0; --r) {
+    const uint64_t prev_right = left;
+    left = right ^ RoundFunction(left, r);
+    right = prev_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+uint64_t IndexPermutation::Map(uint64_t index) const {
+  SA_DCHECK(index < n_);
+  // Cycle-walk: the Feistel domain is [0, 2^(2*half_bits_)); re-encrypt
+  // until the output lands back inside [0, n). Terminates because the
+  // permutation is a bijection of the padded domain (expected < 4 steps
+  // since n is more than a quarter of the padded domain).
+  uint64_t x = FeistelForward(index);
+  while (x >= n_) {
+    x = FeistelForward(x);
+  }
+  return x;
+}
+
+uint64_t IndexPermutation::Invert(uint64_t physical) const {
+  SA_DCHECK(physical < n_);
+  uint64_t x = FeistelBackward(physical);
+  while (x >= n_) {
+    x = FeistelBackward(x);
+  }
+  return x;
+}
+
+RandomizedArray::RandomizedArray(uint64_t length, PlacementSpec placement, uint32_t bits,
+                                 const platform::Topology& topology, uint64_t seed)
+    : permutation_(length, seed),
+      array_(SmartArray::Allocate(length, placement, bits, topology)) {}
+
+int RandomizedArray::NodeOfLogicalIndex(uint64_t index) const {
+  const uint64_t physical = permutation_.Map(index);
+  const uint64_t word = physical * array_->bits() / kWordBits;  // approximate byte position
+  return array_->region(0).NodeOfByte(word * sizeof(uint64_t));
+}
+
+}  // namespace sa::smart

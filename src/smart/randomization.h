@@ -1,0 +1,77 @@
+// Randomization smart functionality (paper §7): "a fine-grained
+// index-remapping of a collection's elements. This kind of permutation
+// ensures that 'hot' nearby data items are mapped to storage on different
+// locations served by different memory channels, thus reducing hot-spots in
+// the memory system if one memory channel becomes saturated before others."
+//
+// IndexPermutation is a deterministic bijection on [0, n) built from a
+// 4-round Feistel network over the next power of two, with cycle-walking to
+// stay inside the domain — O(1) evaluation, no tables, invertible.
+// RandomizedArray wraps a SmartArray and remaps every logical index through
+// the permutation.
+#ifndef SA_SMART_RANDOMIZATION_H_
+#define SA_SMART_RANDOMIZATION_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "smart/smart_array.h"
+
+namespace sa::smart {
+
+class IndexPermutation {
+ public:
+  // Bijection on [0, n), keyed by `seed`.
+  IndexPermutation(uint64_t n, uint64_t seed);
+
+  uint64_t size() const { return n_; }
+
+  // Logical index -> physical storage index.
+  uint64_t Map(uint64_t index) const;
+  // Physical -> logical (inverse of Map).
+  uint64_t Invert(uint64_t physical) const;
+
+ private:
+  static constexpr int kRounds = 4;
+
+  uint64_t FeistelForward(uint64_t x) const;
+  uint64_t FeistelBackward(uint64_t x) const;
+  uint64_t RoundFunction(uint64_t half, int round) const;
+
+  uint64_t n_ = 0;
+  uint32_t half_bits_ = 1;  // each Feistel half is this wide
+  uint64_t half_mask_ = 0;
+  uint64_t round_keys_[kRounds] = {};
+};
+
+// A smart array whose logical indices are spread through an
+// IndexPermutation. The permuted layout is invisible to callers: Init/Get
+// take logical indices. Sequential scans become physically scattered — the
+// cost side of the trade-off (DESIGN.md §5's ablation measures it).
+class RandomizedArray {
+ public:
+  RandomizedArray(uint64_t length, PlacementSpec placement, uint32_t bits,
+                  const platform::Topology& topology, uint64_t seed = 0x5eed);
+
+  uint64_t length() const { return array_->length(); }
+  uint32_t bits() const { return array_->bits(); }
+  const SmartArray& storage() const { return *array_; }
+  const IndexPermutation& permutation() const { return permutation_; }
+
+  void Init(uint64_t index, uint64_t value) { array_->Init(permutation_.Map(index), value); }
+  uint64_t Get(uint64_t index, int socket = 0) const {
+    return array_->Get(permutation_.Map(index), array_->GetReplica(socket));
+  }
+
+  // Socket holding the physical page of logical `index` (placement
+  // bookkeeping; what the hot-spot argument is about).
+  int NodeOfLogicalIndex(uint64_t index) const;
+
+ private:
+  IndexPermutation permutation_;
+  std::unique_ptr<SmartArray> array_;
+};
+
+}  // namespace sa::smart
+
+#endif  // SA_SMART_RANDOMIZATION_H_

@@ -1,0 +1,62 @@
+#include "smart/restructure.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/bits.h"
+#include "rts/parallel_for.h"
+#include "smart/dispatch.h"
+#include "smart/map_api.h"
+#include "smart/parallel_ops.h"
+
+namespace sa::smart {
+
+uint32_t MinimalBits(rts::WorkerPool& pool, const SmartArray& array) {
+  std::vector<uint64_t> partial_max(pool.num_workers(), 0);
+  rts::ParallelFor(pool, 0, array.length(), kChunkAlignedGrain,
+                   [&](int worker, uint64_t b, uint64_t e) {
+                     uint64_t local = partial_max[worker];
+                     MapRange(array, b, e, pool.worker_socket(worker),
+                              [&local](uint64_t value, uint64_t) {
+                                local = std::max(local, value);
+                              });
+                     partial_max[worker] = local;
+                   });
+  uint64_t max_value = 0;
+  for (const uint64_t m : partial_max) {
+    max_value = std::max(max_value, m);
+  }
+  return BitsForValue(max_value);
+}
+
+std::unique_ptr<SmartArray> Restructure(rts::WorkerPool& pool, const SmartArray& source,
+                                        PlacementSpec placement, uint32_t bits,
+                                        const platform::Topology& topology) {
+  const uint32_t target_bits = bits == 0 ? source.bits() : bits;
+  auto target = SmartArray::Allocate(source.length(), placement, target_bits, topology);
+  const uint64_t width_check_mask = ~LowMask(target_bits);
+
+  std::atomic<bool> overflow{false};
+  WithBits(target_bits, [&](auto bits_const) {
+    constexpr uint32_t kBits = bits_const();
+    rts::ParallelFor(pool, 0, source.length(), kChunkAlignedGrain,
+                     [&](int worker, uint64_t b, uint64_t e) {
+                       const int socket = pool.worker_socket(worker);
+                       MapRange(source, b, e, socket, [&](uint64_t value, uint64_t i) {
+                         if (SA_UNLIKELY((value & width_check_mask) != 0)) {
+                           overflow.store(true, std::memory_order_relaxed);
+                           return;
+                         }
+                         for (int r = 0; r < target->num_replicas(); ++r) {
+                           BitCompressedArray<kBits>::InitImpl(target->MutableReplica(r), i,
+                                                               value);
+                         }
+                       });
+                     });
+    return 0;
+  });
+  SA_CHECK_MSG(!overflow.load(), "restructure target width cannot hold a stored value");
+  return target;
+}
+
+}  // namespace sa::smart

@@ -1,0 +1,28 @@
+// On-the-fly restructuring (paper §6: "one could collect workload
+// information from early batches of a loop over the array, and restructure
+// the array on the fly"): rebuilds a smart array under a new placement
+// and/or bit width, in parallel, preserving contents.
+#ifndef SA_SMART_RESTRUCTURE_H_
+#define SA_SMART_RESTRUCTURE_H_
+
+#include <memory>
+
+#include "rts/worker_pool.h"
+#include "smart/smart_array.h"
+
+namespace sa::smart {
+
+// Returns a new array with `source`'s contents under (placement, bits).
+// `bits` must be wide enough for every stored value; pass 0 to keep the
+// source width. Aborts if a value does not fit the requested width.
+std::unique_ptr<SmartArray> Restructure(rts::WorkerPool& pool, const SmartArray& source,
+                                        PlacementSpec placement, uint32_t bits,
+                                        const platform::Topology& topology);
+
+// Narrowest width that holds every element of `array` (a parallel max scan;
+// what "compress with the least number of bits required" needs, §5.2).
+uint32_t MinimalBits(rts::WorkerPool& pool, const SmartArray& array);
+
+}  // namespace sa::smart
+
+#endif  // SA_SMART_RESTRUCTURE_H_

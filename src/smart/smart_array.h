@@ -1,0 +1,115 @@
+// Smart arrays: language-independent 64-bit-integer arrays with pluggable
+// smart functionalities — NUMA-aware placement and bit compression
+// (paper §4, Fig. 9).
+//
+// SmartArray is the abstract unified API; the concrete subclasses are the 64
+// instantiations of BitCompressedArray<BITS> (bit_compressed_array.h), with
+// BITS == 32 and BITS == 64 specialized to direct native-integer accesses.
+// Allocate() is the factory of Fig. 9: it picks the concrete subclass from
+// `bits` and allocates the replica(s) according to the placement.
+#ifndef SA_SMART_SMART_ARRAY_H_
+#define SA_SMART_SMART_ARRAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bits.h"
+#include "platform/numa_memory.h"
+#include "platform/topology.h"
+#include "smart/placement.h"
+
+namespace sa::smart {
+
+class SmartArray {
+ public:
+  virtual ~SmartArray() = default;
+
+  SmartArray(const SmartArray&) = delete;
+  SmartArray& operator=(const SmartArray&) = delete;
+
+  // ---- Basic properties (Fig. 9) ----
+  uint64_t length() const { return length_; }
+  uint32_t bits() const { return bits_; }
+  bool replicated() const { return placement_.kind == Placement::kReplicated; }
+  bool interleaved() const { return placement_.kind == Placement::kInterleaved; }
+  // Socket the array is pinned to, or -1 when not pinned to a single socket.
+  int pinned() const {
+    return placement_.kind == Placement::kSingleSocket ? placement_.socket : -1;
+  }
+  const PlacementSpec& placement() const { return placement_; }
+
+  int num_replicas() const { return static_cast<int>(regions_.size()); }
+
+  // Replica that threads on `socket` should read. With replication this is
+  // the socket-local copy; otherwise the single shared allocation.
+  const uint64_t* GetReplica(int socket) const {
+    SA_DCHECK(socket >= 0 && socket < num_sockets_);
+    return replicated() ? replica_ptrs_[socket] : replica_ptrs_[0];
+  }
+
+  // Replica for the calling thread, resolved through the CPU it runs on.
+  // Falls back to replica 0 when the socket cannot be determined.
+  const uint64_t* GetReplicaForCurrentThread() const;
+
+  // ---- Element access (Functions 1-3 of the paper) ----
+  // Writes `value` into element `index` of every replica. Not thread-safe
+  // for elements sharing a 64-bit word; see InitAtomic and ParallelFill.
+  virtual void Init(uint64_t index, uint64_t value) = 0;
+
+  // Thread-safe variant of Init using compare-and-swap per touched word.
+  // Concurrent InitAtomic calls to *distinct* indices are always safe;
+  // concurrent writes to the same index may interleave per word.
+  virtual void InitAtomic(uint64_t index, uint64_t value) = 0;
+
+  // Reads element `index` from `replica` (obtained via GetReplica).
+  virtual uint64_t Get(uint64_t index, const uint64_t* replica) const = 0;
+
+  // Convenience Get from the current thread's replica.
+  uint64_t Get(uint64_t index) const { return Get(index, GetReplicaForCurrentThread()); }
+
+  // Decodes the 64 elements of `chunk` from `replica` into out[0..63].
+  virtual void Unpack(uint64_t chunk, const uint64_t* replica, uint64_t* out) const = 0;
+
+  // ---- Geometry ----
+  uint64_t num_chunks() const { return (length_ + kChunkElems - 1) / kChunkElems; }
+  // 64-bit words allocated per replica (rounded up to whole chunks so that
+  // Unpack of the final partial chunk stays in bounds).
+  uint64_t words_per_replica() const { return num_chunks() * WordsPerChunk(bits_); }
+  // Total bytes across all replicas.
+  uint64_t footprint_bytes() const {
+    return static_cast<uint64_t>(num_replicas()) * words_per_replica() * sizeof(uint64_t);
+  }
+
+  // Backing region of replica `r` (placement bookkeeping; used by tests and
+  // the machine-model demand builders).
+  const platform::MappedRegion& region(int r) const { return regions_[r]; }
+
+  // Mutable raw words of replica `r` — for bulk loaders that bypass Init.
+  uint64_t* MutableReplica(int r) { return replica_ptrs_[r]; }
+
+  // Largest value representable with this array's width.
+  uint64_t max_value() const { return LowMask(bits_); }
+
+  // ---- Factory (Fig. 9 ::allocate) ----
+  // Creates the concrete subclass for `bits` (1..64) and allocates its
+  // replica(s) under `placement` relative to `topology`.
+  static std::unique_ptr<SmartArray> Allocate(uint64_t length, PlacementSpec placement,
+                                              uint32_t bits, const platform::Topology& topology);
+
+ protected:
+  SmartArray(uint64_t length, PlacementSpec placement, uint32_t bits,
+             const platform::Topology& topology);
+
+  uint64_t length_ = 0;
+  uint32_t bits_ = 64;
+  PlacementSpec placement_;
+  int num_sockets_ = 1;
+  platform::Topology topology_;  // copied: cheap, and avoids lifetime coupling
+  std::vector<platform::MappedRegion> regions_;
+  std::vector<uint64_t*> replica_ptrs_;
+};
+
+}  // namespace sa::smart
+
+#endif  // SA_SMART_SMART_ARRAY_H_

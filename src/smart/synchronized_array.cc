@@ -1,0 +1,37 @@
+#include "smart/synchronized_array.h"
+
+#include "smart/dispatch.h"
+
+namespace sa::smart {
+
+SynchronizedArray::SynchronizedArray(uint64_t length, PlacementSpec placement, uint32_t bits,
+                                     const platform::Topology& topology)
+    : array_(SmartArray::Allocate(length, placement, bits, topology)),
+      locks_(array_->num_chunks()) {}
+
+void SynchronizedArray::Set(uint64_t index, uint64_t value) {
+  ChunkLock& lock = LockFor(index);
+  lock.Lock();
+  array_->Init(index, value);
+  lock.Unlock();
+}
+
+uint64_t SynchronizedArray::Get(uint64_t index, int socket) const {
+  ChunkLock& lock = LockFor(index);
+  lock.Lock();
+  const uint64_t value = array_->Get(index, array_->GetReplica(socket));
+  lock.Unlock();
+  return value;
+}
+
+uint64_t SynchronizedArray::FetchAdd(uint64_t index, uint64_t delta) {
+  const uint64_t mask = array_->max_value();
+  ChunkLock& lock = LockFor(index);
+  lock.Lock();
+  const uint64_t old_value = array_->Get(index, array_->GetReplica(0));
+  array_->Init(index, (old_value + delta) & mask);
+  lock.Unlock();
+  return old_value;
+}
+
+}  // namespace sa::smart

@@ -1,0 +1,71 @@
+// Synchronization support for read-write workloads (paper §7: "we can add
+// synchronization support to smart collections in order to support both
+// read and write concurrent workloads", and §4.2's note that a thread-safe
+// init "can be implemented using atomic compare-and-swap instructions or
+// using locks, e.g., one per chunk").
+//
+// SynchronizedArray implements exactly the one-lock-per-chunk variant:
+// writes and read-modify-write operations take the chunk's striped spinlock;
+// plain reads of distinct chunks proceed concurrently with writes to other
+// chunks. (The lock-free per-word alternative is SmartArray::InitAtomic.)
+#ifndef SA_SMART_SYNCHRONIZED_ARRAY_H_
+#define SA_SMART_SYNCHRONIZED_ARRAY_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/bits.h"
+#include "smart/smart_array.h"
+
+namespace sa::smart {
+
+class SynchronizedArray {
+ public:
+  SynchronizedArray(uint64_t length, PlacementSpec placement, uint32_t bits,
+                    const platform::Topology& topology);
+
+  uint64_t length() const { return array_->length(); }
+  uint32_t bits() const { return array_->bits(); }
+  const SmartArray& storage() const { return *array_; }
+
+  // Thread-safe element write (locks the element's chunk on every replica
+  // in a fixed order).
+  void Set(uint64_t index, uint64_t value);
+
+  // Thread-safe read. Locking the chunk makes cross-word elements tear-free
+  // against concurrent Set (a relaxed read is available via storage()).
+  uint64_t Get(uint64_t index, int socket = 0) const;
+
+  // Atomic read-modify-write: array[index] = (array[index] + delta) & mask;
+  // returns the previous value. The workhorse of concurrent histograms.
+  uint64_t FetchAdd(uint64_t index, uint64_t delta);
+
+ private:
+  class ChunkLock {
+   public:
+    void Lock() {
+      while (flag_.exchange(true, std::memory_order_acquire)) {
+        // Yield while waiting: critical sections are tiny, but on
+        // oversubscribed hosts the holder needs the CPU to release.
+        do {
+          std::this_thread::yield();
+        } while (flag_.load(std::memory_order_relaxed));
+      }
+    }
+    void Unlock() { flag_.store(false, std::memory_order_release); }
+
+   private:
+    std::atomic<bool> flag_{false};
+  };
+
+  ChunkLock& LockFor(uint64_t index) const { return locks_[index / kChunkElems]; }
+
+  std::unique_ptr<SmartArray> array_;
+  mutable std::vector<ChunkLock> locks_;  // one per chunk (§4.2)
+};
+
+}  // namespace sa::smart
+
+#endif  // SA_SMART_SYNCHRONIZED_ARRAY_H_

@@ -1,0 +1,95 @@
+// Column-store tables over encoded smart arrays.
+//
+// The paper motivates its aggregation benchmark with database analytics
+// ("it can represent the summation of two columns", §5.1) and cites the
+// column-scan literature its bit compression comes from [43, 59]. This
+// substrate is that workload made concrete: a read-only table whose columns
+// are EncodedArrays (each picking its own technique and inheriting the NUMA
+// placement), scanned by chunk-decoding vectorized operators on the
+// Callisto-style runtime.
+#ifndef SA_TABLE_TABLE_H_
+#define SA_TABLE_TABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "encodings/encoded_array.h"
+#include "rts/worker_pool.h"
+
+namespace sa::table {
+
+class Table {
+ public:
+  // Builder: stage named columns, then Build() encodes them all under one
+  // placement.
+  class Builder {
+   public:
+    // `encoding` nullopt = automatic technique selection per column.
+    Builder& AddColumn(std::string name, std::vector<uint64_t> values,
+                       std::optional<encodings::Encoding> encoding = std::nullopt);
+    Table Build(const smart::PlacementSpec& placement, const platform::Topology& topology);
+
+   private:
+    struct Staged {
+      std::string name;
+      std::vector<uint64_t> values;
+      std::optional<encodings::Encoding> encoding;
+    };
+    std::vector<Staged> staged_;
+  };
+
+  uint64_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  uint64_t footprint_bytes() const;
+
+  const std::vector<std::string>& column_names() const { return names_; }
+  // Aborts on unknown names (schema errors are programming errors here).
+  const encodings::EncodedArray& column(const std::string& name) const;
+
+ private:
+  friend class Builder;
+  Table() = default;
+
+  uint64_t num_rows_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<encodings::EncodedArray>> columns_;
+};
+
+// ---- Scan operators ----
+
+struct Predicate {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kBetween };
+
+  std::string column;
+  Op op = Op::kEq;
+  uint64_t value = 0;
+  uint64_t value2 = 0;  // upper bound for kBetween (inclusive)
+
+  bool Matches(uint64_t v) const;
+};
+
+// SELECT COUNT(*) WHERE all predicates hold.
+uint64_t CountWhere(rts::WorkerPool& pool, const Table& table,
+                    const std::vector<Predicate>& predicates);
+
+// SELECT SUM(sum_column) WHERE all predicates hold.
+uint64_t SumWhere(rts::WorkerPool& pool, const Table& table, const std::string& sum_column,
+                  const std::vector<Predicate>& predicates);
+
+// SELECT key, SUM(value) GROUP BY key — returned sorted by key.
+std::vector<std::pair<uint64_t, uint64_t>> GroupBySum(rts::WorkerPool& pool, const Table& table,
+                                                      const std::string& key_column,
+                                                      const std::string& value_column);
+
+// SELECT MIN(col), MAX(col).
+struct MinMax {
+  uint64_t min = 0;
+  uint64_t max = 0;
+};
+MinMax MinMaxOf(rts::WorkerPool& pool, const Table& table, const std::string& column);
+
+}  // namespace sa::table
+
+#endif  // SA_TABLE_TABLE_H_

@@ -1,0 +1,144 @@
+// Dynamic adaptation: AdaptiveArray + the multi-array PageRank extension.
+#include <gtest/gtest.h>
+
+#include "adapt/adaptive_array.h"
+#include "adapt/cases.h"
+
+namespace sa::adapt {
+namespace {
+
+WorkloadCounters MemBoundStreamingCounters(const MachineCaps& caps) {
+  WorkloadCounters c;
+  c.exec_current_per_socket = caps.exec_max_per_socket * 0.2;
+  c.bw_current_memory = std::min(caps.bw_max_memory, 2 * caps.bw_max_interconnect) * 0.95;
+  c.max_mem_utilization = 0.95;
+  c.max_ic_utilization = 0.92;
+  c.accesses_per_second = c.bw_current_memory * 2 / 8.0;
+  c.elem_bytes = 8.0;
+  c.dataset_bytes = 1e9;
+  return c;
+}
+
+class AdaptiveArrayTest : public ::testing::Test {
+ protected:
+  AdaptiveArrayTest()
+      : topo_(platform::Topology::Synthetic(2, 2)),
+        pool_(topo_, rts::WorkerPool::Options{.num_threads = 4, .pin_threads = false}) {}
+
+  AdaptiveArray Make(uint32_t data_bits) {
+    auto array =
+        smart::SmartArray::Allocate(10'000, smart::PlacementSpec::Interleaved(), 64, topo_);
+    for (uint64_t i = 0; i < array->length(); ++i) {
+      array->Init(i, i % (uint64_t{1} << data_bits));
+    }
+    SoftwareHints hints;
+    hints.read_only = true;
+    hints.mostly_reads = true;
+    hints.linear_passes = 10.0;
+    return AdaptiveArray(std::move(array), pool_, topo_,
+                         MachineCaps::FromSpec(sim::MachineSpec::OracleX5_18Core()), hints,
+                         ArrayCosts::FromCostModel(sim::CostModel::Default()));
+  }
+
+  platform::Topology topo_;
+  rts::WorkerPool pool_;
+};
+
+TEST_F(AdaptiveArrayTest, MeasuresDataWidthUpFront) {
+  AdaptiveArray adaptive = Make(10);
+  EXPECT_EQ(adaptive.data_bits(), 10u);
+  EXPECT_FALSE(adaptive.current().compressed);
+  EXPECT_EQ(adaptive.current().placement.kind, smart::Placement::kInterleaved);
+}
+
+TEST_F(AdaptiveArrayTest, AdaptsToMemoryBoundProfile) {
+  AdaptiveArray adaptive = Make(10);
+  adaptive.ObserveProfile(
+      MemBoundStreamingCounters(MachineCaps::FromSpec(sim::MachineSpec::OracleX5_18Core())));
+  EXPECT_TRUE(adaptive.MaybeAdapt());
+  // 18-core, read-only, memory-bound, big compute headroom: the §5.1 answer
+  // is replicated + compressed — and the storage must now implement it.
+  EXPECT_EQ(adaptive.current().placement.kind, smart::Placement::kReplicated);
+  EXPECT_TRUE(adaptive.current().compressed);
+  EXPECT_EQ(adaptive.array().bits(), 10u);
+  // Contents survived the restructure.
+  for (uint64_t i = 0; i < adaptive.array().length(); i += 97) {
+    ASSERT_EQ(adaptive.array().Get(i, adaptive.array().GetReplica(1)), i % 1024);
+  }
+  EXPECT_EQ(adaptive.adaptations(), 1);
+}
+
+TEST_F(AdaptiveArrayTest, StableProfileDoesNotThrash) {
+  AdaptiveArray adaptive = Make(10);
+  const auto counters =
+      MemBoundStreamingCounters(MachineCaps::FromSpec(sim::MachineSpec::OracleX5_18Core()));
+  adaptive.ObserveProfile(counters);
+  ASSERT_TRUE(adaptive.MaybeAdapt());
+  adaptive.ObserveProfile(counters);
+  EXPECT_FALSE(adaptive.MaybeAdapt());  // same decision, no rebuild
+  EXPECT_EQ(adaptive.adaptations(), 1);
+}
+
+TEST_F(AdaptiveArrayTest, CpuBoundProfileKeepsInterleavedUncompressed) {
+  AdaptiveArray adaptive = Make(10);
+  WorkloadCounters counters =
+      MemBoundStreamingCounters(MachineCaps::FromSpec(sim::MachineSpec::OracleX5_18Core()));
+  counters.max_mem_utilization = 0.2;  // not memory bound at all
+  counters.max_ic_utilization = 0.2;
+  adaptive.ObserveProfile(counters);
+  EXPECT_FALSE(adaptive.MaybeAdapt());
+}
+
+TEST_F(AdaptiveArrayTest, RequiresAProfile) {
+  AdaptiveArray adaptive = Make(10);
+  EXPECT_DEATH(adaptive.MaybeAdapt(), "profile");
+}
+
+// ---- multi-array (PageRank) extension ----
+
+TEST(PageRankAdaptivityTest, CasesAreWellFormed) {
+  CaseGridOptions options;
+  options.scenarios = {MemoryScenario::kPlenty};
+  const auto cases = BuildPageRankCases(sim::MachineSpec::OracleX5_8Core(), options);
+  ASSERT_EQ(cases.size(), 1u);
+  const auto& c = cases.front();
+  EXPECT_GT(c.inputs.counters.random_fraction, 0.5);
+  EXPECT_NEAR(c.inputs.compression_ratio, 0.79, 0.02);  // V+E footprint ratio
+  EXPECT_GT(c.inputs.counters.dataset_bytes, 1e10);
+}
+
+TEST(PageRankAdaptivityTest, SelectorPicksReplicationOnEightCore) {
+  // The Fig. 1 result, reached automatically through the multi-array case.
+  CaseGridOptions options;
+  options.scenarios = {MemoryScenario::kPlenty};
+  const auto cases = BuildPageRankCases(sim::MachineSpec::OracleX5_8Core(), options);
+  const auto result = ChooseConfiguration(cases.front().inputs);
+  EXPECT_EQ(result.chosen.placement.kind, smart::Placement::kReplicated);
+  // And the choice must actually be (near-)optimal per the simulator.
+  const auto all = CandidateConfigurations(MemoryScenario::kPlenty);
+  double best = 1e300;
+  for (const auto& config : all) {
+    best = std::min(best, cases.front().run_seconds(config));
+  }
+  EXPECT_LE(cases.front().run_seconds(result.chosen), best * 1.1);
+}
+
+TEST(PageRankAdaptivityTest, EvaluationAccuracyAcrossMachinesAndScenarios) {
+  CaseGridOptions options;  // all three scenarios
+  std::vector<EvalCase> cases;
+  for (const auto& spec :
+       {sim::MachineSpec::OracleX5_8Core(), sim::MachineSpec::OracleX5_18Core()}) {
+    auto c = BuildPageRankCases(spec, options);
+    cases.insert(cases.end(), std::make_move_iterator(c.begin()),
+                 std::make_move_iterator(c.end()));
+  }
+  const EvalOutcome outcome = EvaluateAdaptivity(cases);
+  EXPECT_EQ(outcome.overall_cases, 6);
+  // The multi-array extension should still be right most of the time and
+  // never catastrophically wrong.
+  EXPECT_GE(outcome.overall_correct, 4);
+  EXPECT_LT(outcome.avg_pct_from_optimal, 15.0);
+}
+
+}  // namespace
+}  // namespace sa::adapt

@@ -1,0 +1,161 @@
+// Fig. 13 decision-diagram branches.
+#include <gtest/gtest.h>
+
+#include "adapt/decision.h"
+
+namespace sa::adapt {
+namespace {
+
+MachineCaps EighteenCoreCaps() {
+  return MachineCaps::FromSpec(sim::MachineSpec::OracleX5_18Core());
+}
+
+MachineCaps EightCoreCaps() { return MachineCaps::FromSpec(sim::MachineSpec::OracleX5_8Core()); }
+
+// Counters typical of a memory-bound streaming scan on the profiling
+// (interleaved, uncompressed) configuration.
+WorkloadCounters StreamingCounters(const MachineCaps& caps) {
+  WorkloadCounters c;
+  c.exec_current_per_socket = caps.exec_max_per_socket * 0.25;
+  c.bw_current_memory = std::min(caps.bw_max_memory, 2.0 * caps.bw_max_interconnect) * 0.95;
+  c.max_mem_utilization = 0.95;
+  c.max_ic_utilization = 0.9;
+  c.accesses_per_second = c.bw_current_memory * 2 / 8.0;
+  c.elem_bytes = 8.0;
+  c.dataset_bytes = 8e9;
+  c.random_fraction = 0.0;
+  return c;
+}
+
+ArrayCosts Costs() { return ArrayCosts::FromCostModel(sim::CostModel::Default()); }
+
+SoftwareHints ReadOnlyHints() {
+  SoftwareHints h;
+  h.read_only = true;
+  h.mostly_reads = true;
+  h.linear_passes = 10.0;
+  return h;
+}
+
+TEST(DecisionTest, NotMemoryBoundStaysInterleaved) {
+  auto caps = EighteenCoreCaps();
+  auto counters = StreamingCounters(caps);
+  counters.max_mem_utilization = 0.3;
+  counters.max_ic_utilization = 0.2;
+  EXPECT_EQ(SelectPlacementUncompressed(caps, ReadOnlyHints(), counters, true).kind,
+            smart::Placement::kInterleaved);
+  // And compression buys nothing without a bandwidth bottleneck.
+  EXPECT_FALSE(SelectPlacementCompressed(caps, ReadOnlyHints(), counters, true, Costs(), 0.5).has_value());
+}
+
+TEST(DecisionTest, ReadOnlyMemoryBoundWithSpaceReplicates) {
+  auto caps = EighteenCoreCaps();
+  auto counters = StreamingCounters(caps);
+  EXPECT_EQ(SelectPlacementUncompressed(caps, ReadOnlyHints(), counters, true).kind,
+            smart::Placement::kReplicated);
+}
+
+TEST(DecisionTest, NoSpaceFallsBackFromReplication) {
+  auto caps = EighteenCoreCaps();
+  auto counters = StreamingCounters(caps);
+  const auto placement =
+      SelectPlacementUncompressed(caps, ReadOnlyHints(), counters, /*space=*/false);
+  EXPECT_NE(placement.kind, smart::Placement::kReplicated);
+}
+
+TEST(DecisionTest, WritableDataNeverReplicates) {
+  auto caps = EighteenCoreCaps();
+  auto counters = StreamingCounters(caps);
+  SoftwareHints hints = ReadOnlyHints();
+  hints.read_only = false;
+  EXPECT_NE(SelectPlacementUncompressed(caps, hints, counters, true).kind,
+            smart::Placement::kReplicated);
+}
+
+TEST(DecisionTest, SinglePassDataDoesNotAmortizeReplicas) {
+  auto caps = EighteenCoreCaps();
+  auto counters = StreamingCounters(caps);
+  SoftwareHints hints = ReadOnlyHints();
+  hints.linear_passes = 1.0;
+  EXPECT_NE(SelectPlacementUncompressed(caps, hints, counters, true).kind,
+            smart::Placement::kReplicated);
+}
+
+TEST(DecisionTest, SingleSocketWhenLocalSpeedupDominates) {
+  // On the 8-core machine (remote bandwidth far below local), a workload
+  // currently running well under the local channel peak favours pinning.
+  auto caps = EightCoreCaps();
+  WorkloadCounters counters;
+  counters.exec_current_per_socket = caps.exec_max_per_socket * 0.2;
+  counters.bw_current_memory = caps.bw_max_memory * 0.35;  // interleave-throttled
+  counters.max_mem_utilization = 0.9;
+  counters.max_ic_utilization = 0.95;
+  counters.accesses_per_second = 1e9;
+  counters.dataset_bytes = 8e9;
+  SoftwareHints hints = ReadOnlyHints();
+  hints.linear_passes = 1.0;  // replication not amortized
+  const auto placement = SelectPlacementUncompressed(caps, hints, counters, true);
+  EXPECT_EQ(placement.kind, smart::Placement::kSingleSocket);
+}
+
+TEST(DecisionTest, AllLocalConditionFollowsPaperFormula) {
+  // Hand-computable caps: exec headroom 2x; bw_max 50, ic 10, current 20
+  // (after scale 1.0): local = min(2, (50-10)/20)=2 -> capped at 2;
+  // remote = 10/20 = 0.5; avg = 1.25 > 1 -> single socket wins.
+  MachineCaps caps;
+  caps.sockets = 2;
+  caps.mem_bytes_per_socket = 100e9;
+  caps.exec_max_per_socket = 2e9;
+  caps.bw_max_memory = 50e9;
+  caps.bw_max_interconnect = 10e9;
+  WorkloadCounters counters;
+  counters.exec_current_per_socket = 1e9;
+  counters.bw_current_memory = 20e9;
+  counters.max_mem_utilization = 1.0;
+  counters.max_ic_utilization = 1.0;
+  EXPECT_TRUE(AllLocalSpeedupBeatsRemoteSlowdown(caps, counters));
+
+  // Raise current bandwidth: local improvement shrinks below break-even.
+  counters.bw_current_memory = 45e9;  // local = (50-10)/45 = 0.89, remote = 0.22
+  EXPECT_FALSE(AllLocalSpeedupBeatsRemoteSlowdown(caps, counters));
+}
+
+TEST(DecisionTest, CompressedDiagramRespectsWriteIntent) {
+  auto caps = EighteenCoreCaps();
+  auto counters = StreamingCounters(caps);
+  SoftwareHints hints = ReadOnlyHints();
+  hints.mostly_reads = false;
+  EXPECT_FALSE(SelectPlacementCompressed(caps, hints, counters, true, Costs(), 0.5).has_value());
+}
+
+TEST(DecisionTest, CompressedDiagramAvoidsRandomHeavyWorkloads) {
+  auto caps = EighteenCoreCaps();
+  auto counters = StreamingCounters(caps);
+  counters.random_fraction = 0.8;
+  SoftwareHints hints = ReadOnlyHints();
+  hints.random_passes = 5.0;
+  hints.linear_passes = 1.0;
+  EXPECT_FALSE(SelectPlacementCompressed(caps, hints, counters, true, Costs(), 0.5).has_value());
+}
+
+TEST(DecisionTest, CompressionEnablesReplicationWhenUncompressedDoesNotFit) {
+  // §6.1: "compression can make replication possible where uncompressed
+  // data would not fit."
+  auto caps = EighteenCoreCaps();
+  auto counters = StreamingCounters(caps);
+  counters.dataset_bytes = caps.mem_bytes_per_socket;  // uncompressed: too big
+  EXPECT_FALSE(SpaceForReplication(caps, counters, 0.3, /*compressed=*/false));
+  EXPECT_TRUE(SpaceForReplication(caps, counters, 0.3, /*compressed=*/true));
+  const auto uncompressed = SelectPlacementUncompressed(
+      caps, ReadOnlyHints(), counters,
+      SpaceForReplication(caps, counters, 0.3, false));
+  const auto compressed =
+      SelectPlacementCompressed(caps, ReadOnlyHints(), counters,
+                                SpaceForReplication(caps, counters, 0.3, true), Costs(), 0.3);
+  EXPECT_NE(uncompressed.kind, smart::Placement::kReplicated);
+  ASSERT_TRUE(compressed.has_value());
+  EXPECT_EQ(compressed->kind, smart::Placement::kReplicated);
+}
+
+}  // namespace
+}  // namespace sa::adapt

@@ -1,0 +1,103 @@
+// §6.2 speedup estimator behaviour.
+#include <gtest/gtest.h>
+
+#include "adapt/estimator.h"
+
+namespace sa::adapt {
+namespace {
+
+MachineCaps Caps18() { return MachineCaps::FromSpec(sim::MachineSpec::OracleX5_18Core()); }
+MachineCaps Caps8() { return MachineCaps::FromSpec(sim::MachineSpec::OracleX5_8Core()); }
+
+WorkloadCounters MemBoundCounters(const MachineCaps& caps) {
+  WorkloadCounters c;
+  c.exec_current_per_socket = caps.exec_max_per_socket * 0.2;
+  c.bw_current_memory = std::min(caps.bw_max_memory, 2 * caps.bw_max_interconnect);
+  c.max_mem_utilization = 1.0;
+  c.max_ic_utilization = 0.95;
+  c.accesses_per_second = c.bw_current_memory * caps.sockets / 8.0;  // 8B elements
+  c.elem_bytes = 8.0;
+  c.dataset_bytes = 8e9;
+  c.random_fraction = 0.0;
+  return c;
+}
+
+ArrayCosts DefaultCosts() { return ArrayCosts::FromCostModel(sim::CostModel::Default()); }
+
+TEST(EstimatorTest, ReplicationBeatsInterleaveWhenIcBound) {
+  const auto caps = Caps8();  // interconnect much weaker than memory
+  const auto counters = MemBoundCounters(caps);
+  const double repl = EstimateConfigSpeedup(caps, counters, DefaultCosts(),
+                                            {smart::PlacementSpec::Replicated(), false}, 1.0);
+  const double inter = EstimateConfigSpeedup(caps, counters, DefaultCosts(),
+                                             {smart::PlacementSpec::Interleaved(), false}, 1.0);
+  EXPECT_GT(repl, inter);
+}
+
+TEST(EstimatorTest, CompressionWinsWithCpuHeadroomAndBandwidthBound) {
+  // 18-core: plenty of spare cycles -> compressed replicated should beat
+  // uncompressed replicated (the Fig. 2d result).
+  const auto caps = Caps18();
+  const auto counters = MemBoundCounters(caps);
+  const double u = EstimateConfigSpeedup(caps, counters, DefaultCosts(),
+                                         {smart::PlacementSpec::Replicated(), false}, 33.0 / 64);
+  const double c = EstimateConfigSpeedup(caps, counters, DefaultCosts(),
+                                         {smart::PlacementSpec::Replicated(), true}, 33.0 / 64);
+  EXPECT_GT(c, u);
+}
+
+TEST(EstimatorTest, CompressionLosesWithoutCpuHeadroom) {
+  // Same candidate pair but with the cores already nearly saturated: the
+  // added decompression cycles swamp the bandwidth saving.
+  const auto caps = Caps8();
+  auto counters = MemBoundCounters(caps);
+  counters.exec_current_per_socket = caps.exec_max_per_socket * 0.92;
+  const double u = EstimateConfigSpeedup(caps, counters, DefaultCosts(),
+                                         {smart::PlacementSpec::Replicated(), false}, 33.0 / 64);
+  const double c = EstimateConfigSpeedup(caps, counters, DefaultCosts(),
+                                         {smart::PlacementSpec::Replicated(), true}, 33.0 / 64);
+  EXPECT_LT(c, u);
+}
+
+TEST(EstimatorTest, StrongerCompressionSavesMoreBandwidth) {
+  const auto caps = Caps18();
+  const auto counters = MemBoundCounters(caps);
+  const Configuration config{smart::PlacementSpec::Replicated(), true};
+  const double r10 = EstimateConfigSpeedup(caps, counters, DefaultCosts(), config, 10.0 / 64);
+  const double r50 = EstimateConfigSpeedup(caps, counters, DefaultCosts(), config, 50.0 / 64);
+  EXPECT_GT(r10, r50);
+}
+
+TEST(EstimatorTest, ChooseBetweenCandidatesFallsBackWithoutCompressedOption) {
+  const auto caps = Caps18();
+  const auto counters = MemBoundCounters(caps);
+  const auto chosen = ChooseBetweenCandidates(caps, counters, DefaultCosts(),
+                                              smart::PlacementSpec::Interleaved(), std::nullopt,
+                                              0.5);
+  EXPECT_FALSE(chosen.compressed);
+  EXPECT_EQ(chosen.placement.kind, smart::Placement::kInterleaved);
+}
+
+TEST(EstimatorTest, ChoosesCompressedOnEighteenCoreStyleCaps) {
+  const auto caps = Caps18();
+  const auto counters = MemBoundCounters(caps);
+  const auto chosen = ChooseBetweenCandidates(
+      caps, counters, DefaultCosts(), smart::PlacementSpec::Replicated(),
+      smart::PlacementSpec::Replicated(), 33.0 / 64);
+  EXPECT_TRUE(chosen.compressed);
+}
+
+TEST(EstimatorDeathTest, RejectsDegenerateInputs) {
+  const auto caps = Caps18();
+  WorkloadCounters counters;  // zeroed
+  EXPECT_DEATH(EstimateConfigSpeedup(caps, counters, DefaultCosts(),
+                                     {smart::PlacementSpec::Interleaved(), false}, 1.0),
+               "");
+  auto ok = MemBoundCounters(caps);
+  EXPECT_DEATH(EstimateConfigSpeedup(caps, ok, DefaultCosts(),
+                                     {smart::PlacementSpec::Interleaved(), true}, 0.0),
+               "");
+}
+
+}  // namespace
+}  // namespace sa::adapt

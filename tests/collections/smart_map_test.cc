@@ -1,0 +1,109 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "collections/smart_map.h"
+#include "common/random.h"
+
+namespace sa::collections {
+namespace {
+
+TEST(SmartMapTest, LookupsMatchStdMap) {
+  const auto topo = platform::Topology::Synthetic(2, 2);
+  Xoshiro256 rng(21);
+  std::vector<std::pair<uint64_t, uint64_t>> pairs(5000);
+  std::map<uint64_t, uint64_t> reference;
+  for (auto& [k, v] : pairs) {
+    k = rng.Below(1 << 20);
+    v = rng.Below(1 << 16);
+    reference[k] = v;
+  }
+  // Later duplicates overwrite: replay in order for the reference too.
+  for (const auto& [k, v] : pairs) {
+    reference[k] = v;
+  }
+  SmartMap map(pairs, smart::PlacementSpec::Interleaved(), topo);
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [k, v] : reference) {
+    const auto got = map.Get(k);
+    ASSERT_TRUE(got.has_value()) << "key " << k;
+    ASSERT_EQ(*got, v) << "key " << k;
+  }
+  for (uint64_t probe = (1 << 20); probe < (1 << 20) + 1000; ++probe) {
+    ASSERT_FALSE(map.Get(probe).has_value());
+  }
+}
+
+TEST(SmartMapTest, DuplicateKeysKeepLastValue) {
+  const auto topo = platform::Topology::Synthetic(1, 2);
+  const std::vector<std::pair<uint64_t, uint64_t>> pairs = {{7, 1}, {7, 2}, {7, 3}};
+  SmartMap map(pairs, smart::PlacementSpec::OsDefault(), topo);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.Get(7), 3u);
+}
+
+TEST(SmartMapTest, ZeroKeyAndZeroValueWork) {
+  const auto topo = platform::Topology::Synthetic(1, 2);
+  const std::vector<std::pair<uint64_t, uint64_t>> pairs = {{0, 0}, {1, 0}, {0, 9}};
+  SmartMap map(pairs, smart::PlacementSpec::OsDefault(), topo);
+  EXPECT_EQ(map.Get(0), 9u);
+  EXPECT_EQ(map.Get(1), 0u);
+  EXPECT_FALSE(map.Get(2).has_value());
+}
+
+TEST(SmartMapTest, CapacityIsPowerOfTwoRespectingLoadFactor) {
+  const auto topo = platform::Topology::Synthetic(1, 2);
+  std::vector<std::pair<uint64_t, uint64_t>> pairs(1000);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    pairs[i] = {i, i};
+  }
+  SmartMap map(pairs, smart::PlacementSpec::OsDefault(), topo, /*load_factor=*/0.5);
+  EXPECT_EQ(map.capacity() & (map.capacity() - 1), 0u);
+  EXPECT_GE(map.capacity(), 2000u);
+}
+
+TEST(SmartMapTest, ProbeLengthsStayShortAtLowLoad) {
+  const auto topo = platform::Topology::Synthetic(1, 2);
+  Xoshiro256 rng(22);
+  std::vector<std::pair<uint64_t, uint64_t>> pairs(10'000);
+  for (auto& [k, v] : pairs) {
+    k = rng();
+    v = 1;
+  }
+  SmartMap map(pairs, smart::PlacementSpec::OsDefault(), topo, /*load_factor=*/0.5);
+  // Linear probing at load 0.5: expected probe length ~1.5.
+  EXPECT_LT(map.average_probe_length(), 2.5);
+}
+
+TEST(SmartMapTest, PayloadIsCompressed) {
+  const auto topo = platform::Topology::Synthetic(1, 2);
+  std::vector<std::pair<uint64_t, uint64_t>> pairs(4096);
+  for (uint64_t i = 0; i < pairs.size(); ++i) {
+    pairs[i] = {i, i % 16};
+  }
+  SmartMap map(pairs, smart::PlacementSpec::OsDefault(), topo);
+  // keys <= 12 bits, values <= 4 bits, occupancy 1 bit: far below 3x64-bit.
+  EXPECT_LT(map.footprint_bytes(), map.capacity() * 8);
+}
+
+TEST(SmartMapTest, ReplicatedLookupsFromBothSockets) {
+  const auto topo = platform::Topology::Synthetic(2, 2);
+  std::vector<std::pair<uint64_t, uint64_t>> pairs = {{1, 10}, {2, 20}};
+  SmartMap map(pairs, smart::PlacementSpec::Replicated(), topo);
+  for (const int socket : {0, 1}) {
+    EXPECT_EQ(map.Get(1, socket), 10u);
+    EXPECT_EQ(map.Get(2, socket), 20u);
+    EXPECT_FALSE(map.Get(3, socket).has_value());
+  }
+}
+
+TEST(SmartMapDeathTest, RejectsBadArguments) {
+  const auto topo = platform::Topology::Synthetic(1, 2);
+  const std::vector<std::pair<uint64_t, uint64_t>> empty;
+  EXPECT_DEATH(SmartMap(empty, smart::PlacementSpec::OsDefault(), topo), "empty");
+  const std::vector<std::pair<uint64_t, uint64_t>> one = {{1, 1}};
+  EXPECT_DEATH(SmartMap(one, smart::PlacementSpec::OsDefault(), topo, 0.95), "load factor");
+}
+
+}  // namespace
+}  // namespace sa::collections

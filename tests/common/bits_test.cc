@@ -1,0 +1,78 @@
+// Bit-utility properties underpinning the packed layout.
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+
+namespace sa {
+namespace {
+
+TEST(BitsTest, LowMaskValues) {
+  EXPECT_EQ(LowMask(1), 0x1u);
+  EXPECT_EQ(LowMask(8), 0xFFu);
+  EXPECT_EQ(LowMask(33), 0x1FFFFFFFFULL);
+  EXPECT_EQ(LowMask(63), ~uint64_t{0} >> 1);
+  EXPECT_EQ(LowMask(64), ~uint64_t{0});
+}
+
+TEST(BitsTest, BitsForValueBoundaries) {
+  EXPECT_EQ(BitsForValue(0), 1u);
+  EXPECT_EQ(BitsForValue(1), 1u);
+  EXPECT_EQ(BitsForValue(2), 2u);
+  EXPECT_EQ(BitsForValue(255), 8u);
+  EXPECT_EQ(BitsForValue(256), 9u);
+  EXPECT_EQ(BitsForValue(~uint64_t{0}), 64u);
+}
+
+TEST(BitsTest, BitsForValueIsMinimal) {
+  for (uint32_t b = 1; b <= 63; ++b) {
+    const uint64_t max_with_b = LowMask(b);
+    EXPECT_EQ(BitsForValue(max_with_b), b);
+    EXPECT_EQ(BitsForValue(max_with_b + 1), b + 1);
+  }
+}
+
+TEST(BitsTest, BitsForCount) {
+  EXPECT_EQ(BitsForCount(0), 1u);
+  EXPECT_EQ(BitsForCount(1), 1u);
+  EXPECT_EQ(BitsForCount(2), 1u);   // values {0,1}
+  EXPECT_EQ(BitsForCount(3), 2u);   // values {0,1,2}
+  EXPECT_EQ(BitsForCount(256), 8u);
+  EXPECT_EQ(BitsForCount(257), 9u);
+}
+
+class WordsTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WordsTest, ChunkGeometryHolds) {
+  const uint32_t bits = GetParam();
+  EXPECT_EQ(WordsPerChunk(bits), bits);
+  // Whole chunks: exact.
+  EXPECT_EQ(WordsForLength(kChunkElems, bits), bits);
+  EXPECT_EQ(WordsForLength(3 * kChunkElems, bits), 3ull * bits);
+  // Empty is zero words.
+  EXPECT_EQ(WordsForLength(0, bits), 0u);
+}
+
+TEST_P(WordsTest, PartialChunkIsTight) {
+  const uint32_t bits = GetParam();
+  for (const uint64_t tail : {uint64_t{1}, uint64_t{17}, uint64_t{63}}) {
+    const uint64_t words = WordsForLength(tail, bits);
+    // Enough bits for the tail, and never more than a full chunk.
+    EXPECT_GE(words * kWordBits, tail * bits);
+    EXPECT_LE(words, WordsPerChunk(bits));
+    // Minimal: one fewer word would not hold the tail.
+    EXPECT_LT((words - 1) * kWordBits, tail * bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, WordsTest, ::testing::Range(1u, 65u));
+
+TEST(BitsTest, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 64), 0u);
+  EXPECT_EQ(AlignUp(1, 64), 64u);
+  EXPECT_EQ(AlignUp(64, 64), 64u);
+  EXPECT_EQ(AlignUp(65, 64), 128u);
+  EXPECT_EQ(AlignUp(4097, 4096), 8192u);
+}
+
+}  // namespace
+}  // namespace sa

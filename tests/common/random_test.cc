@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace sa {
+namespace {
+
+TEST(RandomTest, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a() == b() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RandomTest, BelowStaysInBound) {
+  Xoshiro256 rng(77);
+  for (const uint64_t bound : {uint64_t{1}, uint64_t{3}, uint64_t{1000}, uint64_t{1} << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(RandomTest, BelowCoversRangeRoughlyUniformly) {
+  Xoshiro256 rng(99);
+  int buckets[10] = {};
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++buckets[rng.Below(10)];
+  }
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, kSamples / 10, kSamples / 100);  // within 10% relative
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(RandomTest, SplitMixIsAHash) {
+  // Stateless, deterministic, and spreads consecutive inputs.
+  EXPECT_EQ(SplitMix64(42), SplitMix64(42));
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+  uint64_t bits_changed = SplitMix64(100) ^ SplitMix64(101);
+  EXPECT_GT(std::popcount(bits_changed), 10);
+}
+
+}  // namespace
+}  // namespace sa

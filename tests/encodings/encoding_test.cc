@@ -1,0 +1,100 @@
+// Statistics and technique selection (§7's "dynamically select the correct
+// technique").
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "encodings/encoding.h"
+
+namespace sa::encodings {
+namespace {
+
+std::vector<uint64_t> LowCardinality(size_t n) {
+  std::vector<uint64_t> v(n);
+  Xoshiro256 rng(1);
+  for (auto& x : v) {
+    x = 1'000'000 + rng.Below(8);  // 8 distinct large values
+  }
+  return v;
+}
+
+std::vector<uint64_t> LongRuns(size_t n) {
+  std::vector<uint64_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = (i / 1000) % 5;  // runs of 1000
+  }
+  return v;
+}
+
+std::vector<uint64_t> ClusteredTimestamps(size_t n) {
+  // Large base with small local jitter: classic frame-of-reference case.
+  std::vector<uint64_t> v(n);
+  Xoshiro256 rng(2);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = (uint64_t{1} << 60) + i * 16 + rng.Below(16);
+  }
+  return v;
+}
+
+std::vector<uint64_t> SmallUniform(size_t n) {
+  std::vector<uint64_t> v(n);
+  Xoshiro256 rng(3);
+  for (auto& x : v) {
+    x = rng.Below(1 << 10);  // dense 10-bit values
+  }
+  return v;
+}
+
+TEST(AnalyzeValuesTest, ComputesBasicStats) {
+  const std::vector<uint64_t> v = {5, 5, 5, 9, 9, 2};
+  const DataStats stats = AnalyzeValues(v);
+  EXPECT_EQ(stats.count, 6u);
+  EXPECT_EQ(stats.min_value, 2u);
+  EXPECT_EQ(stats.max_value, 9u);
+  EXPECT_EQ(stats.distinct_values, 3u);
+  EXPECT_EQ(stats.runs, 3u);
+  EXPECT_DOUBLE_EQ(stats.avg_run_length(), 2.0);
+}
+
+TEST(AnalyzeValuesTest, EmptyInput) {
+  const DataStats stats = AnalyzeValues({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.runs, 0u);
+}
+
+TEST(AnalyzeValuesTest, DistinctCountCaps) {
+  std::vector<uint64_t> v(DataStats::kDistinctCap + 100);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = i;
+  }
+  const DataStats stats = AnalyzeValues(v);
+  EXPECT_GT(stats.distinct_values, DataStats::kDistinctCap);
+}
+
+TEST(ChooseEncodingTest, PicksDictionaryForLowCardinalityLargeValues) {
+  EXPECT_EQ(ChooseEncoding(AnalyzeValues(LowCardinality(50'000))), Encoding::kDictionary);
+}
+
+TEST(ChooseEncodingTest, PicksRunLengthForLongRuns) {
+  EXPECT_EQ(ChooseEncoding(AnalyzeValues(LongRuns(50'000))), Encoding::kRunLength);
+}
+
+TEST(ChooseEncodingTest, PicksFrameOfReferenceForClusteredLargeValues) {
+  EXPECT_EQ(ChooseEncoding(AnalyzeValues(ClusteredTimestamps(50'000))),
+            Encoding::kFrameOfReference);
+}
+
+TEST(ChooseEncodingTest, KeepsBitPackingForDenseSmallValues) {
+  EXPECT_EQ(ChooseEncoding(AnalyzeValues(SmallUniform(50'000))), Encoding::kBitPacked);
+}
+
+TEST(EstimateBitsTest, EstimatesAreOrderedSanely) {
+  const DataStats runs = AnalyzeValues(LongRuns(10'000));
+  EXPECT_LT(EstimateBitsPerElement(Encoding::kRunLength, runs),
+            EstimateBitsPerElement(Encoding::kBitPacked, runs));
+  const DataStats cluster = AnalyzeValues(ClusteredTimestamps(10'000));
+  EXPECT_LT(EstimateBitsPerElement(Encoding::kFrameOfReference, cluster),
+            EstimateBitsPerElement(Encoding::kBitPacked, cluster));
+}
+
+}  // namespace
+}  // namespace sa::encodings

@@ -1,0 +1,124 @@
+#include <map>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.h"
+#include "graph/generators.h"
+
+namespace sa::graph {
+namespace {
+
+TEST(CsrTest, HandBuiltExample) {
+  // 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0
+  CsrGraph g = CsrGraph::FromEdges(3, {{0, 1}, {0, 2}, {1, 2}, {2, 0}});
+  g.CheckInvariants();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.OutDegree(2), 1u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(1), 1u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  // Neighborhood lists ascend.
+  EXPECT_EQ(g.edge()[g.begin()[0]], 1u);
+  EXPECT_EQ(g.edge()[g.begin()[0] + 1], 2u);
+  // Reverse edges of vertex 2: sources {0, 1}.
+  EXPECT_EQ(g.redge()[g.rbegin()[2]], 0u);
+  EXPECT_EQ(g.redge()[g.rbegin()[2] + 1], 1u);
+}
+
+TEST(CsrTest, EmptyGraphAndIsolatedVertices) {
+  CsrGraph g = CsrGraph::FromEdges(5, {});
+  g.CheckInvariants();
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.OutDegree(v), 0u);
+    EXPECT_EQ(g.InDegree(v), 0u);
+  }
+}
+
+TEST(CsrTest, SelfLoopsAndParallelEdgesKept) {
+  CsrGraph g = CsrGraph::FromEdges(2, {{0, 0}, {0, 1}, {0, 1}});
+  g.CheckInvariants();
+  EXPECT_EQ(g.OutDegree(0), 3u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+}
+
+TEST(CsrTest, ForwardAndReverseAgreeOnTotals) {
+  CsrGraph g = UniformRandomGraph(2000, 5, 17);
+  g.CheckInvariants();
+  uint64_t out_total = 0;
+  uint64_t in_total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out_total += g.OutDegree(v);
+    in_total += g.InDegree(v);
+  }
+  EXPECT_EQ(out_total, g.num_edges());
+  EXPECT_EQ(in_total, g.num_edges());
+}
+
+TEST(CsrTest, ReverseIsExactTranspose) {
+  CsrGraph g = UniformRandomGraph(300, 4, 5);
+  // Count edge (u,v) occurrences on both sides; multisets must match.
+  std::map<std::pair<VertexId, VertexId>, int> fwd;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (EdgeId e = g.begin()[u]; e < g.begin()[u + 1]; ++e) {
+      ++fwd[{u, g.edge()[e]}];
+    }
+  }
+  std::map<std::pair<VertexId, VertexId>, int> rev;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (EdgeId e = g.rbegin()[v]; e < g.rbegin()[v + 1]; ++e) {
+      ++rev[{g.redge()[e], v}];
+    }
+  }
+  EXPECT_EQ(fwd, rev);
+}
+
+TEST(CsrDeathTest, RejectsOutOfRangeEndpoints) {
+  EXPECT_DEATH(CsrGraph::FromEdges(2, {{0, 2}}), "out of range");
+}
+
+TEST(GeneratorTest, UniformGraphShape) {
+  CsrGraph g = UniformRandomGraph(1000, 3, 42);
+  g.CheckInvariants();
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  EXPECT_EQ(g.num_edges(), 3000u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.OutDegree(v), 3u);  // exactly 3 random edges per vertex (§5.2)
+  }
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  CsrGraph a = UniformRandomGraph(500, 2, 7);
+  CsrGraph b = UniformRandomGraph(500, 2, 7);
+  EXPECT_EQ(a.edge(), b.edge());
+  EXPECT_EQ(a.begin(), b.begin());
+  CsrGraph c = UniformRandomGraph(500, 2, 8);
+  EXPECT_NE(a.edge(), c.edge());
+}
+
+TEST(GeneratorTest, PowerLawGraphIsSkewed) {
+  CsrGraph g = PowerLawGraph(10'000, 100'000, 0.6, 3);
+  g.CheckInvariants();
+  EXPECT_EQ(g.num_edges(), 100'000u);
+  // Twitter-like skew: the top 1% of vertices by id (the popular head)
+  // should receive far more than 1% of the in-edges.
+  uint64_t head_in = 0;
+  for (VertexId v = 0; v < 100; ++v) {
+    head_in += g.InDegree(v);
+  }
+  EXPECT_GT(head_in, g.num_edges() / 10);  // >10% of edges on 1% of vertices
+  // Sources stay roughly uniform.
+  uint64_t head_out = 0;
+  for (VertexId v = 0; v < 100; ++v) {
+    head_out += g.OutDegree(v);
+  }
+  EXPECT_LT(head_out, g.num_edges() / 20);
+}
+
+}  // namespace
+}  // namespace sa::graph

@@ -1,0 +1,114 @@
+// Smart-array graph storage: every Fig. 12 variant must preserve the CSR
+// contents exactly, with the expected widths and footprints.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/smart_graph.h"
+
+namespace sa::graph {
+namespace {
+
+class SmartGraphTest : public ::testing::Test {
+ protected:
+  SmartGraphTest()
+      : topo_(platform::Topology::Synthetic(2, 2)),
+        pool_(topo_, rts::WorkerPool::Options{.num_threads = 4, .pin_threads = false}),
+        csr_(UniformRandomGraph(3000, 4, 99)) {}
+
+  void VerifyMatchesCsr(const SmartCsrGraph& g) {
+    const auto* begin = g.begin().GetReplica(0);
+    const auto* rbegin = g.rbegin().GetReplica(0);
+    const auto* edge = g.edge().GetReplica(0);
+    const auto* redge = g.redge().GetReplica(0);
+    for (VertexId v = 0; v <= csr_.num_vertices(); ++v) {
+      ASSERT_EQ(g.begin().Get(v, begin), csr_.begin()[v]) << "begin[" << v << "]";
+      ASSERT_EQ(g.rbegin().Get(v, rbegin), csr_.rbegin()[v]);
+    }
+    for (EdgeId e = 0; e < csr_.num_edges(); ++e) {
+      ASSERT_EQ(g.edge().Get(e, edge), csr_.edge()[e]) << "edge[" << e << "]";
+      ASSERT_EQ(g.redge().Get(e, redge), csr_.redge()[e]);
+    }
+    for (VertexId v = 0; v < csr_.num_vertices(); ++v) {
+      ASSERT_EQ(g.out_degree().Get(v, g.out_degree().GetReplica(0)), csr_.OutDegree(v));
+    }
+  }
+
+  platform::Topology topo_;
+  rts::WorkerPool pool_;
+  CsrGraph csr_;
+};
+
+TEST_F(SmartGraphTest, UncompressedVariantU) {
+  SmartGraphOptions options;
+  SmartCsrGraph g(csr_, options, topo_, pool_);
+  EXPECT_EQ(g.index_bits(), 64u);
+  EXPECT_EQ(g.edge_bits(), 32u);
+  EXPECT_EQ(g.degree_bits(), 64u);
+  VerifyMatchesCsr(g);
+}
+
+TEST_F(SmartGraphTest, VariantVCompressesIndexes) {
+  SmartGraphOptions options;
+  options.compress_indexes = true;
+  SmartCsrGraph g(csr_, options, topo_, pool_);
+  // 12000 edges -> offsets fit in 14 bits; degrees are small.
+  EXPECT_EQ(g.index_bits(), BitsForValue(csr_.num_edges()));
+  EXPECT_LT(g.index_bits(), 64u);
+  EXPECT_LT(g.degree_bits(), 64u);
+  EXPECT_EQ(g.edge_bits(), 32u);
+  VerifyMatchesCsr(g);
+}
+
+TEST_F(SmartGraphTest, VariantVePlusCompressesEdgesToo) {
+  SmartGraphOptions options;
+  options.compress_indexes = true;
+  options.compress_edges = true;
+  SmartCsrGraph g(csr_, options, topo_, pool_);
+  EXPECT_LE(g.edge_bits(), BitsForValue(csr_.num_vertices() - 1));
+  EXPECT_LT(g.edge_bits(), 32u);
+  VerifyMatchesCsr(g);
+}
+
+TEST_F(SmartGraphTest, FootprintShrinksAcrossVariants) {
+  SmartGraphOptions u;
+  SmartGraphOptions v;
+  v.compress_indexes = true;
+  SmartGraphOptions ve;
+  ve.compress_indexes = true;
+  ve.compress_edges = true;
+  const uint64_t fu = SmartCsrGraph(csr_, u, topo_, pool_).footprint_bytes();
+  const uint64_t fv = SmartCsrGraph(csr_, v, topo_, pool_).footprint_bytes();
+  const uint64_t fve = SmartCsrGraph(csr_, ve, topo_, pool_).footprint_bytes();
+  EXPECT_LT(fv, fu);
+  EXPECT_LT(fve, fv);
+}
+
+TEST_F(SmartGraphTest, ReplicatedPlacementDoublesFootprintAndMatches) {
+  SmartGraphOptions options;
+  options.placement = smart::PlacementSpec::Replicated();
+  SmartCsrGraph repl(csr_, options, topo_, pool_);
+  VerifyMatchesCsr(repl);
+  // Second replica identical.
+  for (EdgeId e = 0; e < csr_.num_edges(); e += 37) {
+    EXPECT_EQ(repl.edge().Get(e, repl.edge().GetReplica(1)), csr_.edge()[e]);
+  }
+  SmartGraphOptions single;
+  SmartCsrGraph one(csr_, single, topo_, pool_);
+  EXPECT_EQ(repl.footprint_bytes(), 2 * one.footprint_bytes());
+}
+
+TEST_F(SmartGraphTest, AllPlacementsPreserveContents) {
+  for (const auto& placement :
+       {smart::PlacementSpec::OsDefault(), smart::PlacementSpec::SingleSocket(1),
+        smart::PlacementSpec::Interleaved(), smart::PlacementSpec::Replicated()}) {
+    SmartGraphOptions options;
+    options.placement = placement;
+    options.compress_indexes = true;
+    options.compress_edges = true;
+    SmartCsrGraph g(csr_, options, topo_, pool_);
+    VerifyMatchesCsr(g);
+  }
+}
+
+}  // namespace
+}  // namespace sa::graph

@@ -1,0 +1,103 @@
+// The five Fig. 3 access paths must all compute the same aggregate, and the
+// boundary path must exhibit per-element transitions.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "interop/access_paths.h"
+#include "platform/topology.h"
+#include "smart/smart_array.h"
+
+namespace sa::interop {
+namespace {
+
+class AccessPathsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_.resize(kN);
+    Xoshiro256 rng(11);
+    want_ = 0;
+    for (uint64_t i = 0; i < kN; ++i) {
+      data_[i] = rng() & 0xFFFFFF;
+      want_ += data_[i];
+    }
+    // Managed copy.
+    managed_ = vm_.NewLongArray(kN);
+    vm_.Resolve(managed_).storage = data_;
+  }
+
+  static constexpr uint64_t kN = 50'000;
+  ManagedRuntime vm_;
+  Handle managed_ = kNullHandle;
+  std::vector<uint64_t> data_;
+  uint64_t want_ = 0;
+};
+
+TEST_F(AccessPathsTest, NativeCpp) { EXPECT_EQ(AggregateNativeCpp(data_.data(), kN), want_); }
+
+TEST_F(AccessPathsTest, ManagedCompiled) {
+  EXPECT_EQ(AggregateManagedCompiled(vm_, managed_), want_);
+}
+
+TEST_F(AccessPathsTest, ManagedInterpreted) {
+  EXPECT_EQ(AggregateManagedInterpreted(vm_, managed_), want_);
+}
+
+TEST_F(AccessPathsTest, JniPathCountsTransitions) {
+  BoundaryEnv env(vm_);
+  const NativeRef ref = env.RegisterNativeArray(data_.data(), kN);
+  EXPECT_EQ(AggregateViaJni(env, ref, kN), want_);
+  // One managed->native transition per element access.
+  EXPECT_EQ(env.transitions(), kN);
+  EXPECT_EQ(vm_.boundary_crossings(), kN);
+  env.UnregisterNativeArray(ref);
+}
+
+TEST_F(AccessPathsTest, JniRegionPathBatchesTransitions) {
+  BoundaryEnv env(vm_);
+  const NativeRef ref = env.RegisterNativeArray(data_.data(), kN);
+  EXPECT_EQ(AggregateViaJniRegion(env, ref, kN, 4096), want_);
+  EXPECT_EQ(env.transitions(), (kN + 4095) / 4096);
+  env.UnregisterNativeArray(ref);
+}
+
+TEST_F(AccessPathsTest, UnsafePath) { EXPECT_EQ(AggregateViaUnsafe(data_.data(), kN), want_); }
+
+TEST_F(AccessPathsTest, SmartArrayPathAcrossWidths) {
+  const auto topo = platform::Topology::Synthetic(2, 2);
+  for (const uint32_t bits : {24u, 32u, 64u}) {
+    auto array =
+        smart::SmartArray::Allocate(kN, smart::PlacementSpec::Interleaved(), bits, topo);
+    for (uint64_t i = 0; i < kN; ++i) {
+      array->Init(i, data_[i]);
+    }
+    EXPECT_EQ(AggregateViaSmartArray(*array), want_) << "bits " << bits;
+  }
+}
+
+TEST_F(AccessPathsTest, JniOutOfBoundsSetsException) {
+  BoundaryEnv env(vm_);
+  const NativeRef ref = env.RegisterNativeArray(data_.data(), kN);
+  EXPECT_EQ(env.GetLongArrayElement(ref, kN + 5), 0u);
+  EXPECT_TRUE(vm_.pending_exception());
+  env.UnregisterNativeArray(ref);
+}
+
+TEST_F(AccessPathsTest, StaleNativeRefSetsException) {
+  BoundaryEnv env(vm_);
+  const NativeRef ref = env.RegisterNativeArray(data_.data(), kN);
+  env.UnregisterNativeArray(ref);
+  EXPECT_EQ(env.GetLongArrayElement(ref, 0), 0u);
+  EXPECT_TRUE(vm_.pending_exception());
+}
+
+TEST_F(AccessPathsTest, TieringSwitchesFromInterpreterToCompiled) {
+  TierProfile profile(2 * kN);  // hot after two interpreted runs
+  EXPECT_EQ(AggregateTiered(vm_, managed_, profile), want_);  // interpreted
+  EXPECT_FALSE(profile.hot());
+  EXPECT_EQ(AggregateTiered(vm_, managed_, profile), want_);  // interpreted, now hot
+  EXPECT_TRUE(profile.hot());
+  EXPECT_EQ(AggregateTiered(vm_, managed_, profile), want_);  // compiled
+}
+
+}  // namespace
+}  // namespace sa::interop

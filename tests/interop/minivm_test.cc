@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "interop/minivm.h"
+
+namespace sa::interop {
+namespace {
+
+TEST(ManagedRuntimeTest, HeapAllocatesAndResolves) {
+  ManagedRuntime vm;
+  const Handle h = vm.NewLongArray(100);
+  EXPECT_EQ(vm.Resolve(h).length, 100u);
+  EXPECT_EQ(vm.Resolve(h).storage.size(), 100u);
+  vm.Resolve(h).storage[42] = 7;
+  EXPECT_EQ(vm.Resolve(h).storage[42], 7u);
+}
+
+TEST(ManagedRuntimeTest, HandlesAreRecycled) {
+  ManagedRuntime vm;
+  const Handle a = vm.NewLongArray(10);
+  vm.FreeLongArray(a);
+  const Handle b = vm.NewLongArray(20);
+  EXPECT_EQ(a, b);  // free list reuse
+  EXPECT_EQ(vm.Resolve(b).length, 20u);
+}
+
+TEST(ManagedRuntimeTest, ThreadStateTransitions) {
+  ManagedRuntime vm;
+  EXPECT_EQ(vm.thread_state(), ThreadState::kInManaged);
+  vm.set_thread_state(ThreadState::kInNative);
+  EXPECT_EQ(vm.thread_state(), ThreadState::kInNative);
+}
+
+TEST(InterpreterTest, AggregationProgramComputesSum) {
+  ManagedRuntime vm;
+  const Handle h = vm.NewLongArray(1000);
+  uint64_t want = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    vm.Resolve(h).storage[i] = i * i;
+    want += i * i;
+  }
+  const Program p = BuildAggregationProgram();
+  EXPECT_EQ(Interpret(vm, p, {static_cast<uint64_t>(h), 1000}), want);
+  EXPECT_FALSE(vm.pending_exception());
+}
+
+TEST(InterpreterTest, EmptyArraySumsToZero) {
+  ManagedRuntime vm;
+  const Handle h = vm.NewLongArray(0);
+  const Program p = BuildAggregationProgram();
+  EXPECT_EQ(Interpret(vm, p, {static_cast<uint64_t>(h), 0}), 0u);
+}
+
+TEST(InterpreterTest, OutOfBoundsRaisesManagedException) {
+  ManagedRuntime vm;
+  const Handle h = vm.NewLongArray(10);
+  const Program p = BuildAggregationProgram();
+  // Lie about the length: the bounds check must fire, not crash.
+  EXPECT_EQ(Interpret(vm, p, {static_cast<uint64_t>(h), 20}), 0u);
+  EXPECT_TRUE(vm.pending_exception());
+}
+
+TEST(InterpreterTest, SafepointFlagDoesNotCorruptExecution) {
+  ManagedRuntime vm;
+  const Handle h = vm.NewLongArray(100);
+  for (uint64_t i = 0; i < 100; ++i) {
+    vm.Resolve(h).storage[i] = 1;
+  }
+  vm.request_safepoint(true);
+  const Program p = BuildAggregationProgram();
+  EXPECT_EQ(Interpret(vm, p, {static_cast<uint64_t>(h), 100}), 100u);
+  vm.request_safepoint(false);
+}
+
+TEST(TierProfileTest, BecomesHotAfterThreshold) {
+  TierProfile profile(1000);
+  EXPECT_FALSE(profile.hot());
+  profile.RecordIterations(999);
+  EXPECT_FALSE(profile.hot());
+  profile.RecordIterations(1);
+  EXPECT_TRUE(profile.hot());
+}
+
+}  // namespace
+}  // namespace sa::interop

@@ -1,0 +1,91 @@
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "platform/numa_memory.h"
+
+namespace sa::platform {
+namespace {
+
+TEST(MappedRegionTest, AllocatesZeroedPageAlignedMemory) {
+  const auto topo = Topology::Synthetic(2, 4);
+  MappedRegion region(1000, PagePolicy::kOsDefault, 0, topo);
+  ASSERT_TRUE(region.valid());
+  EXPECT_EQ(region.bytes(), MappedRegion::kPageSize);  // rounded up
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(region.data()) % MappedRegion::kPageSize, 0u);
+  const auto* bytes = static_cast<const unsigned char*>(region.data());
+  for (size_t i = 0; i < region.bytes(); ++i) {
+    ASSERT_EQ(bytes[i], 0);
+  }
+}
+
+TEST(MappedRegionTest, MemoryIsWritable) {
+  const auto topo = Topology::Synthetic(2, 2);
+  MappedRegion region(8192, PagePolicy::kInterleaved, 0, topo);
+  std::memset(region.data(), 0xAB, region.bytes());
+  EXPECT_EQ(static_cast<unsigned char*>(region.data())[8191], 0xAB);
+}
+
+TEST(MappedRegionTest, PinnedPagesLiveOnHomeSocket) {
+  const auto topo = Topology::Synthetic(2, 4);
+  MappedRegion region(4 * MappedRegion::kPageSize, PagePolicy::kPinned, 1, topo);
+  EXPECT_EQ(region.pages(), 4u);
+  for (size_t p = 0; p < region.pages(); ++p) {
+    EXPECT_EQ(region.PageNode(p), 1);
+  }
+}
+
+TEST(MappedRegionTest, InterleavedPagesRoundRobin) {
+  const auto topo = Topology::Synthetic(2, 4);
+  MappedRegion region(6 * MappedRegion::kPageSize, PagePolicy::kInterleaved, 0, topo);
+  for (size_t p = 0; p < region.pages(); ++p) {
+    EXPECT_EQ(region.PageNode(p), static_cast<int>(p % 2));
+  }
+  EXPECT_EQ(region.NodeOfByte(0), 0);
+  EXPECT_EQ(region.NodeOfByte(MappedRegion::kPageSize), 1);
+  EXPECT_EQ(region.NodeOfByte(2 * MappedRegion::kPageSize - 1), 1);
+  EXPECT_EQ(region.NodeOfByte(2 * MappedRegion::kPageSize), 0);
+}
+
+TEST(MappedRegionTest, OsDefaultTracksFirstTouchSocket) {
+  const auto topo = Topology::Synthetic(2, 4);
+  MappedRegion region(2 * MappedRegion::kPageSize, PagePolicy::kOsDefault, 1, topo);
+  for (size_t p = 0; p < region.pages(); ++p) {
+    EXPECT_EQ(region.PageNode(p), 1);
+  }
+}
+
+TEST(MappedRegionTest, MoveTransfersOwnership) {
+  const auto topo = Topology::Synthetic(2, 2);
+  MappedRegion a(4096, PagePolicy::kPinned, 0, topo);
+  void* data = a.data();
+  MappedRegion b(std::move(a));
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): move contract under test
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.data(), data);
+  MappedRegion c;
+  c = std::move(b);
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.data(), data);
+}
+
+TEST(MappedRegionTest, SingleNodeHostNeverClaimsPhysicalPlacement) {
+  const auto topo = Topology::Synthetic(2, 2);  // synthetic: never physical
+  MappedRegion region(4096, PagePolicy::kPinned, 0, topo);
+  EXPECT_FALSE(region.physically_placed());
+}
+
+TEST(MappedRegionTest, PolicyNames) {
+  EXPECT_STREQ(ToString(PagePolicy::kOsDefault), "os-default");
+  EXPECT_STREQ(ToString(PagePolicy::kPinned), "single-socket");
+  EXPECT_STREQ(ToString(PagePolicy::kInterleaved), "interleaved");
+}
+
+TEST(MappedRegionDeathTest, RejectsBadArguments) {
+  const auto topo = Topology::Synthetic(2, 2);
+  EXPECT_DEATH(MappedRegion(0, PagePolicy::kOsDefault, 0, topo), "empty");
+  EXPECT_DEATH(MappedRegion(4096, PagePolicy::kPinned, 5, topo), "socket");
+}
+
+}  // namespace
+}  // namespace sa::platform

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "platform/topology.h"
+
+namespace sa::platform {
+namespace {
+
+TEST(TopologyTest, SyntheticLayoutIsSocketMajor) {
+  const auto topo = Topology::Synthetic(2, 18);
+  EXPECT_EQ(topo.num_sockets(), 2);
+  EXPECT_EQ(topo.num_cpus(), 36);
+  EXPECT_FALSE(topo.is_host());
+  EXPECT_EQ(topo.socket(0).cpus.front(), 0);
+  EXPECT_EQ(topo.socket(0).cpus.back(), 17);
+  EXPECT_EQ(topo.socket(1).cpus.front(), 18);
+  EXPECT_EQ(topo.SocketOfCpu(0), 0);
+  EXPECT_EQ(topo.SocketOfCpu(17), 0);
+  EXPECT_EQ(topo.SocketOfCpu(18), 1);
+  EXPECT_EQ(topo.SocketOfCpu(35), 1);
+  EXPECT_EQ(topo.SocketOfCpu(36), -1);
+  EXPECT_EQ(topo.SocketOfCpu(-1), -1);
+}
+
+TEST(TopologyTest, SingleSocketSynthetic) {
+  const auto topo = Topology::Synthetic(1, 4);
+  EXPECT_EQ(topo.num_sockets(), 1);
+  EXPECT_EQ(topo.num_cpus(), 4);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(topo.SocketOfCpu(c), 0);
+  }
+}
+
+TEST(TopologyTest, HostTopologyIsSane) {
+  const auto topo = Topology::Host();
+  EXPECT_TRUE(topo.is_host());
+  EXPECT_GE(topo.num_sockets(), 1);
+  EXPECT_GE(topo.num_cpus(), 1);
+  // Every listed CPU maps back to its socket.
+  for (int s = 0; s < topo.num_sockets(); ++s) {
+    for (const int cpu : topo.socket(s).cpus) {
+      EXPECT_EQ(topo.SocketOfCpu(cpu), s);
+    }
+  }
+}
+
+TEST(TopologyTest, ToStringMentionsShape) {
+  const auto topo = Topology::Synthetic(2, 8);
+  const std::string s = topo.ToString();
+  EXPECT_NE(s.find("2 socket"), std::string::npos);
+  EXPECT_NE(s.find("16 cpu"), std::string::npos);
+  EXPECT_NE(s.find("synthetic"), std::string::npos);
+}
+
+TEST(TopologyDeathTest, RejectsEmptyShape) {
+  EXPECT_DEATH(Topology::Synthetic(0, 4), "non-empty");
+  EXPECT_DEATH(Topology::Synthetic(2, 0), "non-empty");
+}
+
+}  // namespace
+}  // namespace sa::platform

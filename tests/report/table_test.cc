@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "report/table.h"
+
+namespace sa::report {
+namespace {
+
+TEST(TableTest, AlignsColumnsAndRules) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRule();
+  t.AddRow({"longer-name", "22"});
+  const std::string s = t.ToString();
+  // Header, rule, row, rule, row.
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  // Every line has the same length (fixed-width layout).
+  size_t line_len = std::string::npos;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t nl = s.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    const size_t len = nl - pos;
+    if (line_len == std::string::npos) {
+      line_len = len;
+    }
+    // Rows may have trailing spaces trimmed by construction; compare to the
+    // rule width which is canonical.
+    EXPECT_LE(len, line_len + 2);
+    pos = nl + 1;
+  }
+}
+
+TEST(TableDeathTest, RowWidthMustMatchHeader) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "width");
+}
+
+TEST(FormatTest, NumberHelpers) {
+  EXPECT_EQ(Num(1.234, 1), "1.2");
+  EXPECT_EQ(Num(1.25, 2), "1.25");
+  EXPECT_EQ(Ms(0.1234), "123.4 ms");
+  EXPECT_EQ(Sec(12.345), "12.35 s");
+  EXPECT_EQ(Gbps(43.81), "43.8 GB/s");
+  EXPECT_EQ(Giga(5.1e9), "5.1e9");
+  EXPECT_EQ(Gib(1024.0 * 1024 * 1024), "1.00 GiB");
+  EXPECT_EQ(Pct(0.872), "87.2%");
+}
+
+}  // namespace
+}  // namespace sa::report

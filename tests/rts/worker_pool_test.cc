@@ -1,0 +1,79 @@
+#include <atomic>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "rts/worker_pool.h"
+
+namespace sa::rts {
+namespace {
+
+WorkerPool::Options Unpinned(int threads) {
+  WorkerPool::Options o;
+  o.num_threads = threads;
+  o.pin_threads = false;
+  return o;
+}
+
+TEST(WorkerPoolTest, DefaultSizeMatchesTopology) {
+  const auto topo = platform::Topology::Synthetic(2, 4);
+  WorkerPool pool(topo, Unpinned(0));
+  EXPECT_EQ(pool.num_workers(), 8);
+  EXPECT_EQ(pool.num_sockets(), 2);
+  EXPECT_EQ(pool.workers_per_socket()[0], 4);
+  EXPECT_EQ(pool.workers_per_socket()[1], 4);
+}
+
+TEST(WorkerPoolTest, WorkersFillSocketsEvenly) {
+  const auto topo = platform::Topology::Synthetic(2, 4);
+  WorkerPool pool(topo, Unpinned(4));
+  // Socket-major interleaving: with 4 workers on 2 sockets, 2 per socket.
+  EXPECT_EQ(pool.workers_per_socket()[0], 2);
+  EXPECT_EQ(pool.workers_per_socket()[1], 2);
+}
+
+TEST(WorkerPoolTest, RunOnAllReachesEveryWorkerOnce) {
+  const auto topo = platform::Topology::Synthetic(2, 2);
+  WorkerPool pool(topo, Unpinned(4));
+  std::vector<std::atomic<int>> hits(4);
+  pool.RunOnAll([&](int w) { ++hits[w]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(WorkerPoolTest, SequentialRegionsReuseWorkers) {
+  const auto topo = platform::Topology::Synthetic(1, 2);
+  WorkerPool pool(topo, Unpinned(2));
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.RunOnAll([&](int) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(WorkerPoolTest, WorkerSocketAssignmentIsConsistent) {
+  const auto topo = platform::Topology::Synthetic(2, 3);
+  WorkerPool pool(topo, Unpinned(6));
+  int per_socket[2] = {0, 0};
+  for (int w = 0; w < pool.num_workers(); ++w) {
+    const int s = pool.worker_socket(w);
+    ASSERT_TRUE(s == 0 || s == 1);
+    ++per_socket[s];
+  }
+  EXPECT_EQ(per_socket[0], 3);
+  EXPECT_EQ(per_socket[1], 3);
+}
+
+TEST(WorkerPoolTest, HostPoolRunsPinned) {
+  // On the host topology pinning is attempted; the pool must still work
+  // whether or not the affinity call succeeds.
+  const auto topo = platform::Topology::Host();
+  WorkerPool pool(topo);
+  std::atomic<int> count{0};
+  pool.RunOnAll([&](int) { ++count; });
+  EXPECT_EQ(count.load(), pool.num_workers());
+}
+
+}  // namespace
+}  // namespace sa::rts

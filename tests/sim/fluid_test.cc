@@ -1,0 +1,174 @@
+// Properties of the max-min fair fluid simulator.
+#include <gtest/gtest.h>
+
+#include "sim/fluid.h"
+
+namespace sa::sim {
+namespace {
+
+TEST(FluidTest, SingleFlowSaturatesItsBottleneck) {
+  FluidNetwork net;
+  const ResourceId r = net.AddResource("mem", 100.0);
+  Flow f;
+  f.demand = {{r, 2.0}};  // 2 units of mem per work unit
+  const auto rates = net.MaxMinRates({f});
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+}
+
+TEST(FluidTest, EqualFlowsShareEqually) {
+  FluidNetwork net;
+  const ResourceId r = net.AddResource("mem", 90.0);
+  Flow f;
+  f.demand = {{r, 1.0}};
+  const auto rates = net.MaxMinRates({f, f, f});
+  for (const double rate : rates) {
+    EXPECT_DOUBLE_EQ(rate, 30.0);
+  }
+}
+
+TEST(FluidTest, MaxMinProtectsLightFlows) {
+  // Flow A is capped low; flow B should take the slack (max-min fairness).
+  FluidNetwork net;
+  const ResourceId r = net.AddResource("mem", 100.0);
+  Flow a;
+  a.demand = {{r, 1.0}};
+  a.rate_cap = 10.0;
+  Flow b;
+  b.demand = {{r, 1.0}};
+  const auto rates = net.MaxMinRates({a, b});
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+  EXPECT_DOUBLE_EQ(rates[1], 90.0);
+}
+
+TEST(FluidTest, MultiResourceFlowLimitedByScarcest) {
+  FluidNetwork net;
+  const ResourceId cpu = net.AddResource("cpu", 1000.0);
+  const ResourceId link = net.AddResource("link", 10.0);
+  Flow f;
+  f.demand = {{cpu, 1.0}, {link, 1.0}};
+  const auto rates = net.MaxMinRates({f});
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);  // the link binds
+}
+
+TEST(FluidTest, FrozenFlowReleasesOtherResources) {
+  // A is bound by the link; B only uses cpu and should get everything the
+  // cpu has left after A's small share.
+  FluidNetwork net;
+  const ResourceId cpu = net.AddResource("cpu", 100.0);
+  const ResourceId link = net.AddResource("link", 10.0);
+  Flow a;
+  a.demand = {{cpu, 1.0}, {link, 1.0}};
+  Flow b;
+  b.demand = {{cpu, 1.0}};
+  const auto rates = net.MaxMinRates({a, b});
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+  EXPECT_DOUBLE_EQ(rates[1], 90.0);
+}
+
+TEST(FluidTest, DuplicateDemandEntriesCoalesce) {
+  FluidNetwork net;
+  const ResourceId r = net.AddResource("mem", 100.0);
+  Flow f;
+  f.demand = {{r, 1.0}, {r, 1.0}};  // same as a single demand of 2
+  const auto rates = net.MaxMinRates({f});
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+}
+
+TEST(FluidTest, ZeroCapacityResourceStallsItsUsers) {
+  FluidNetwork net;
+  const ResourceId dead = net.AddResource("dead", 0.0);
+  const ResourceId ok = net.AddResource("ok", 100.0);
+  Flow blocked;
+  blocked.demand = {{dead, 1.0}, {ok, 1.0}};
+  Flow fine;
+  fine.demand = {{ok, 1.0}};
+  const auto rates = net.MaxMinRates({blocked, fine});
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rates[1], 100.0);
+}
+
+TEST(FluidTest, SharedPoolAccountsTimeAndUsage) {
+  FluidNetwork net;
+  const ResourceId mem = net.AddResource("mem", 50.0);
+  Flow f;
+  f.demand = {{mem, 2.0}};
+  const auto res = net.RunSharedPool({f, f}, 1000.0);
+  // Combined rate = 25 units/s; 1000 units -> 40 s.
+  EXPECT_DOUBLE_EQ(res.seconds, 40.0);
+  EXPECT_DOUBLE_EQ(res.flow_work[0] + res.flow_work[1], 1000.0);
+  EXPECT_DOUBLE_EQ(res.resource_usage[mem], 2000.0);  // 2 per unit
+  EXPECT_NEAR(res.resource_utilization[mem], 1.0, 1e-9);
+}
+
+TEST(FluidTest, SharedPoolUnderCapsLeavesUtilizationLow) {
+  FluidNetwork net;
+  const ResourceId mem = net.AddResource("mem", 100.0);
+  Flow f;
+  f.demand = {{mem, 1.0}};
+  f.rate_cap = 10.0;
+  const auto res = net.RunSharedPool({f}, 100.0);
+  EXPECT_DOUBLE_EQ(res.seconds, 10.0);
+  EXPECT_NEAR(res.resource_utilization[mem], 0.1, 1e-9);
+}
+
+TEST(FluidTest, IndependentFlowsFinishInSizeOrder) {
+  FluidNetwork net;
+  const ResourceId mem = net.AddResource("mem", 10.0);
+  Flow small;
+  small.demand = {{mem, 1.0}};
+  small.work = 10.0;
+  Flow big;
+  big.demand = {{mem, 1.0}};
+  big.work = 40.0;
+  const auto res = net.RunIndependent({small, big});
+  // Phase 1: both at 5/s until small finishes at t=2; big then runs at 10/s
+  // for remaining 30 units -> 3 s more. Total 5 s.
+  EXPECT_NEAR(res.seconds, 5.0, 1e-9);
+  EXPECT_NEAR(res.flow_work[0], 10.0, 1e-9);
+  EXPECT_NEAR(res.flow_work[1], 40.0, 1e-9);
+  EXPECT_NEAR(res.resource_usage[mem], 50.0, 1e-9);
+}
+
+TEST(FluidTest, IndependentHandlesEmptyAndZeroWork) {
+  FluidNetwork net;
+  net.AddResource("mem", 10.0);
+  const auto res = net.RunIndependent({});
+  EXPECT_DOUBLE_EQ(res.seconds, 0.0);
+}
+
+TEST(FluidDeathTest, UnboundedFlowRejected) {
+  FluidNetwork net;
+  net.AddResource("mem", 10.0);
+  Flow f;  // no demand, no cap
+  EXPECT_DEATH(net.MaxMinRates({f}), "unbounded");
+}
+
+TEST(FluidDeathTest, StalledPoolRejected) {
+  FluidNetwork net;
+  const ResourceId dead = net.AddResource("dead", 0.0);
+  Flow f;
+  f.demand = {{dead, 1.0}};
+  EXPECT_DEATH(net.RunSharedPool({f}, 100.0), "progress");
+}
+
+// Conservation: usage on every resource equals the sum over flows of
+// rate * demand * time, and never exceeds capacity * time.
+TEST(FluidTest, UsageNeverExceedsCapacity) {
+  FluidNetwork net;
+  const ResourceId a = net.AddResource("a", 33.0);
+  const ResourceId b = net.AddResource("b", 71.0);
+  std::vector<Flow> flows;
+  for (int i = 0; i < 5; ++i) {
+    Flow f;
+    f.demand = {{a, 1.0 + i * 0.3}, {b, 2.0 - i * 0.2}};
+    flows.push_back(f);
+  }
+  const auto res = net.RunSharedPool(flows, 500.0);
+  EXPECT_LE(res.resource_usage[a], 33.0 * res.seconds * (1 + 1e-9));
+  EXPECT_LE(res.resource_usage[b], 71.0 * res.seconds * (1 + 1e-9));
+  // At least one resource is saturated (otherwise rates could grow).
+  EXPECT_GT(std::max(res.resource_utilization[a], res.resource_utilization[b]), 0.999);
+}
+
+}  // namespace
+}  // namespace sa::sim

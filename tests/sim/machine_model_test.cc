@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "sim/machine_model.h"
+
+namespace sa::sim {
+namespace {
+
+MachineSpec TinySpec() {
+  MachineSpec spec;
+  spec.name = "tiny";
+  spec.sockets = 2;
+  spec.cores_per_socket = 2;
+  spec.threads_per_core = 1;
+  spec.clock_ghz = 1.0;  // 1e9 cycles/s per core
+  spec.local_bw_gbps = 10.0;
+  spec.remote_bw_gbps = 2.0;
+  spec.ic_stream_efficiency = 1.0;
+  spec.mem_stream_efficiency = 1.0;
+  return spec;
+}
+
+TEST(MachineModelTest, BuildsExpectedResources) {
+  MachineModel m(TinySpec());
+  // 4 cores + 2 memory channels + 2 interconnect directions.
+  EXPECT_EQ(m.network().num_resources(), 8);
+  EXPECT_DOUBLE_EQ(m.network().resource_capacity(m.core_resource(0, 0)), 1e9);
+  EXPECT_DOUBLE_EQ(m.network().resource_capacity(m.mem_resource(1)), 10e9);
+  EXPECT_DOUBLE_EQ(m.network().resource_capacity(m.ic_resource(0, 1)), 2e9);
+}
+
+TEST(MachineModelTest, LocalReadTouchesOnlyLocalChannel) {
+  MachineModel m(TinySpec());
+  ThreadWork tw;
+  tw.socket = 0;
+  tw.core = 0;
+  tw.cycles_per_unit = 1.0;
+  tw.bytes_from_socket = {8.0, 0.0};
+  const Flow f = m.MakeFlow(tw);
+  // cycles + mem.s0 only; no interconnect.
+  for (const auto& [r, d] : f.demand) {
+    EXPECT_NE(r, m.ic_resource(0, 1));
+    EXPECT_NE(r, m.ic_resource(1, 0));
+    (void)d;
+  }
+}
+
+TEST(MachineModelTest, RemoteReadUsesIncomingDirection) {
+  MachineModel m(TinySpec());
+  ThreadWork tw;
+  tw.socket = 0;
+  tw.core = 0;
+  tw.cycles_per_unit = 1.0;
+  tw.bytes_from_socket = {0.0, 8.0};  // reads socket 1's memory
+  const Flow f = m.MakeFlow(tw);
+  bool uses_1to0 = false;
+  bool uses_0to1 = false;
+  for (const auto& [r, d] : f.demand) {
+    uses_1to0 |= r == m.ic_resource(1, 0) && d > 0;
+    uses_0to1 |= r == m.ic_resource(0, 1) && d > 0;
+  }
+  EXPECT_TRUE(uses_1to0);   // data flows remote -> local
+  EXPECT_FALSE(uses_0to1);
+}
+
+TEST(MachineModelTest, RemoteWriteChargesTargetChannelOnly) {
+  // Posted writes consume the target socket's memory channel but do not
+  // rate-couple the writer to the interconnect (see MakeFlow).
+  MachineModel m(TinySpec());
+  ThreadWork tw;
+  tw.socket = 0;
+  tw.core = 0;
+  tw.cycles_per_unit = 1.0;
+  tw.bytes_to_socket = {0.0, 8.0};  // writes to socket 1's memory
+  const Flow f = m.MakeFlow(tw);
+  bool uses_mem1 = false;
+  for (const auto& [r, d] : f.demand) {
+    EXPECT_NE(r, m.ic_resource(0, 1));
+    EXPECT_NE(r, m.ic_resource(1, 0));
+    uses_mem1 |= r == m.mem_resource(1) && d > 0;
+  }
+  EXPECT_TRUE(uses_mem1);
+}
+
+TEST(MachineModelTest, RandomAccessGetsLatencyCap) {
+  MachineSpec spec = TinySpec();
+  spec.local_latency_ns = 100.0;
+  spec.mlp_random = 10.0;
+  MachineModel m(spec);
+  ThreadWork tw;
+  tw.socket = 0;
+  tw.core = 0;
+  tw.cycles_per_unit = 1.0;
+  tw.random_accesses_per_unit = 1.0;
+  tw.random_remote_fraction = 0.0;
+  const Flow f = m.MakeFlow(tw);
+  // 10 outstanding / 100ns = 1e8 accesses/s.
+  EXPECT_NEAR(f.rate_cap, 1e8, 1e0);
+}
+
+TEST(MachineModelTest, CpuBoundRunMatchesHandComputation) {
+  MachineModel m(TinySpec());
+  ThreadWork proto;
+  proto.cycles_per_unit = 10.0;
+  proto.instructions_per_unit = 20.0;
+  const auto threads = m.AllThreads(proto);  // 4 threads, one per core
+  ASSERT_EQ(threads.size(), 4u);
+  const RunReport r = m.RunSharedPool(threads, 4e8);
+  // Each core does 1e9/10 = 1e8 units/s; 4 cores -> 4e8/s; 1 second total.
+  EXPECT_NEAR(r.seconds, 1.0, 1e-9);
+  EXPECT_NEAR(r.total_instructions, 8e9, 1e3);
+  EXPECT_NEAR(r.cycles_utilization[0], 1.0, 1e-9);
+}
+
+TEST(MachineModelTest, MemBoundRunReportsBandwidth) {
+  MachineModel m(TinySpec());
+  ThreadWork proto;
+  proto.cycles_per_unit = 0.1;  // negligible CPU
+  proto.instructions_per_unit = 1.0;
+  proto.bytes_from_socket = {8.0, 0.0};
+  const auto threads = m.SocketThreads(proto, 0);
+  const RunReport r = m.RunSharedPool(threads, 10e9);
+  // 10 GB/s / 8 B/unit = 1.25e9 units/s -> 8 s.
+  EXPECT_NEAR(r.seconds, 8.0, 1e-6);
+  EXPECT_NEAR(r.mem_gbps[0], 10.0, 1e-6);
+  EXPECT_NEAR(r.mem_gbps[1], 0.0, 1e-9);
+  EXPECT_NEAR(r.mem_utilization[0], 1.0, 1e-9);
+}
+
+TEST(MachineModelTest, SocketThreadsHonorTopology) {
+  MachineModel m(TinySpec());
+  ThreadWork proto;
+  proto.cycles_per_unit = 1.0;
+  const auto team = m.SocketThreads(proto, 1);
+  ASSERT_EQ(team.size(), 2u);
+  for (const auto& tw : team) {
+    EXPECT_EQ(tw.socket, 1);
+  }
+  EXPECT_NE(team[0].core, team[1].core);
+}
+
+TEST(MachineModelDeathTest, RejectsBadSocketIndices) {
+  MachineModel m(TinySpec());
+  ThreadWork tw;
+  tw.socket = 5;
+  tw.cycles_per_unit = 1.0;
+  EXPECT_DEATH(m.MakeFlow(tw), "");
+}
+
+}  // namespace
+}  // namespace sa::sim

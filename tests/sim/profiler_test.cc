@@ -1,0 +1,95 @@
+// The profiler must reproduce the analytic demand splits the workload
+// models assume — real placement bookkeeping vs SplitBytesForPlacement.
+#include <gtest/gtest.h>
+
+#include "sim/profiler.h"
+#include "sim/workloads.h"
+
+namespace sa::sim {
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  ProfilerTest() : topo_(platform::Topology::Synthetic(2, 2)) {}
+
+  // Analytic split for comparison.
+  std::vector<double> Analytic(const smart::PlacementSpec& placement, int team,
+                               double bytes_per_elem) {
+    return SplitBytesForPlacement(placement, bytes_per_elem, team, 2, 0.0);
+  }
+
+  platform::Topology topo_;
+  static constexpr uint64_t kN = 1 << 16;  // 64Ki elements -> many pages
+};
+
+TEST_F(ProfilerTest, ScanProfileMatchesAnalyticSplits) {
+  for (const auto& placement :
+       {smart::PlacementSpec::SingleSocket(1), smart::PlacementSpec::Interleaved(),
+        smart::PlacementSpec::Replicated()}) {
+    for (const uint32_t bits : {64u, 33u}) {
+      const auto array = smart::SmartArray::Allocate(kN, placement, bits, topo_);
+      const ScanProfile profile = ProfileScan(*array);
+      for (int team = 0; team < 2; ++team) {
+        const auto want = Analytic(placement, team, bits / 8.0);
+        double total = 0.0;
+        for (int s = 0; s < 2; ++s) {
+          // Page-boundary effects allow a few percent of drift.
+          EXPECT_NEAR(profile.bytes_from[team][s], want[s], 0.05 * bits / 8.0)
+              << ToString(placement) << " bits=" << bits << " team=" << team << " s=" << s;
+          total += profile.bytes_from[team][s];
+        }
+        EXPECT_NEAR(total, bits / 8.0, 1e-9);  // conservation
+      }
+    }
+  }
+}
+
+TEST_F(ProfilerTest, RandomProfileMatchesAnalyticSplits) {
+  for (const auto& placement :
+       {smart::PlacementSpec::Interleaved(), smart::PlacementSpec::Replicated(),
+        smart::PlacementSpec::SingleSocket(0)}) {
+    const auto array = smart::SmartArray::Allocate(kN, placement, 64, topo_);
+    const ScanProfile profile = ProfileRandomAccess(*array, 200'000, 99);
+    for (int team = 0; team < 2; ++team) {
+      const auto want = Analytic(placement, team, 64.0);
+      for (int s = 0; s < 2; ++s) {
+        EXPECT_NEAR(profile.bytes_from[team][s], want[s], 2.0)  // sampling noise
+            << ToString(placement) << " team=" << team << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST_F(ProfilerTest, ProfileFeedsTheMachineModelDirectly) {
+  // End-to-end: profile a real replicated array, build ThreadWork from the
+  // measured demands, and confirm the model reports an all-local run.
+  const auto array =
+      smart::SmartArray::Allocate(kN, smart::PlacementSpec::Replicated(), 64, topo_);
+  const ScanProfile profile = ProfileScan(*array);
+
+  const MachineModel machine(MachineSpec::OracleX5_8Core());
+  std::vector<ThreadWork> threads;
+  for (int team = 0; team < 2; ++team) {
+    ThreadWork tw;
+    tw.cycles_per_unit = 1.0;
+    tw.instructions_per_unit = 2.0;
+    tw.bytes_from_socket = profile.bytes_from[team];
+    auto team_threads = machine.SocketThreads(tw, team);
+    threads.insert(threads.end(), team_threads.begin(), team_threads.end());
+  }
+  const RunReport report = machine.RunSharedPool(threads, 1e9);
+  EXPECT_NEAR(report.total_mem_gbps, 98.6, 1.0);  // both channels, no interconnect
+  EXPECT_NEAR(report.ic_gbps[0][1] + report.ic_gbps[1][0], 0.0, 1e-9);
+}
+
+TEST_F(ProfilerTest, OsDefaultFirstTouchLandsOnHomeSocket) {
+  const auto array =
+      smart::SmartArray::Allocate(kN, smart::PlacementSpec::OsDefault(1), 64, topo_);
+  const ScanProfile profile = ProfileScan(*array);
+  // Single-threaded init on socket 1: everything served by socket 1.
+  EXPECT_NEAR(profile.bytes_from[0][1], 8.0, 1e-9);
+  EXPECT_NEAR(profile.bytes_from[1][1], 8.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sa::sim

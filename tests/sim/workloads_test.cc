@@ -1,0 +1,357 @@
+// Workload-model tests: the simulated experiments must reproduce the
+// qualitative results of the paper's evaluation (who wins, where the
+// crossovers are) on the Table 1 machine presets. The quantitative
+// comparison lives in EXPERIMENTS.md via the bench binaries.
+#include <gtest/gtest.h>
+
+#include "sim/mlc.h"
+#include "sim/workloads.h"
+
+namespace sa::sim {
+namespace {
+
+using smart::PlacementSpec;
+
+double AggSeconds(const MachineModel& m, PlacementSpec placement, uint32_t bits,
+                  bool java = false) {
+  AggregationConfig c;
+  c.placement = placement;
+  c.bits = bits;
+  c.java = java;
+  return SimulateAggregation(m, c).seconds;
+}
+
+class AggregationShape : public ::testing::Test {
+ protected:
+  MachineModel small_{MachineSpec::OracleX5_8Core()};
+  MachineModel large_{MachineSpec::OracleX5_18Core()};
+};
+
+TEST_F(AggregationShape, EightCore64BitPlacementOrdering) {
+  // Fig. 10, 8-core machine, uncompressed: replicated < single < interleaved
+  // (the single QPI link makes interleaving worse than one socket's memory).
+  const double single = AggSeconds(small_, PlacementSpec::SingleSocket(0), 64);
+  const double interleaved = AggSeconds(small_, PlacementSpec::Interleaved(), 64);
+  const double replicated = AggSeconds(small_, PlacementSpec::Replicated(), 64);
+  EXPECT_LT(replicated, single);
+  EXPECT_LT(single, interleaved);
+  // "Reducing the time by 2x" (§5.1): replication vs single socket.
+  EXPECT_NEAR(single / replicated, 2.0, 0.35);
+}
+
+TEST_F(AggregationShape, EighteenCore64BitPlacementOrdering) {
+  // Fig. 2 / Fig. 10, 18-core: interleaving beats single socket (3 QPI
+  // links), replication is a slight further improvement.
+  const double single = AggSeconds(large_, PlacementSpec::SingleSocket(0), 64);
+  const double interleaved = AggSeconds(large_, PlacementSpec::Interleaved(), 64);
+  const double replicated = AggSeconds(large_, PlacementSpec::Replicated(), 64);
+  EXPECT_LT(interleaved, single);
+  EXPECT_LE(replicated, interleaved);
+  EXPECT_GT(replicated, interleaved * 0.7);  // "only slightly improves"
+}
+
+TEST_F(AggregationShape, Fig2OperatingPoints) {
+  // Fig. 2 magnitudes on the 18-core machine (paper: 201 / 122 / 109 / 62 ms).
+  const double single = AggSeconds(large_, PlacementSpec::SingleSocket(0), 64);
+  const double interleaved = AggSeconds(large_, PlacementSpec::Interleaved(), 64);
+  const double replicated = AggSeconds(large_, PlacementSpec::Replicated(), 64);
+  const double repl_compressed = AggSeconds(large_, PlacementSpec::Replicated(), 33);
+  EXPECT_NEAR(single, 0.201, 0.05);
+  EXPECT_NEAR(interleaved, 0.122, 0.04);
+  EXPECT_NEAR(replicated, 0.109, 0.03);
+  EXPECT_NEAR(repl_compressed, 0.062, 0.025);
+}
+
+TEST_F(AggregationShape, Fig2BandwidthShape) {
+  AggregationConfig c;
+  c.placement = PlacementSpec::SingleSocket(0);
+  const RunReport single = SimulateAggregation(large_, c);
+  // Single socket saturates one channel: ~43.8 GB/s (Fig. 2a reports 43).
+  EXPECT_NEAR(single.total_mem_gbps, 43.8, 2.0);
+  c.placement = PlacementSpec::Replicated();
+  const RunReport repl = SimulateAggregation(large_, c);
+  EXPECT_GT(repl.total_mem_gbps, 75.0);  // both sockets' channels busy
+}
+
+TEST_F(AggregationShape, CompressionHelpsInterleavedOnEightCore) {
+  // §5.1: "bit compression is advantageous for interleaved placements where
+  // the compression allows more data to be passed through the low bandwidth
+  // QPI link."
+  const double u = AggSeconds(small_, PlacementSpec::Interleaved(), 64);
+  const double c = AggSeconds(small_, PlacementSpec::Interleaved(), 33);
+  EXPECT_LT(c, u);
+}
+
+TEST_F(AggregationShape, CompressionHurtsReplicatedOnEightCore) {
+  // §5.1: "for the single socket and replicated cases compression hurts
+  // performance because the processors cannot saturate the sockets' memory
+  // bandwidth any more due to the additional CPU load."
+  const double u = AggSeconds(small_, PlacementSpec::Replicated(), 64);
+  const double c = AggSeconds(small_, PlacementSpec::Replicated(), 33);
+  EXPECT_GT(c, u);
+  const double us = AggSeconds(small_, PlacementSpec::SingleSocket(0), 64);
+  const double cs = AggSeconds(small_, PlacementSpec::SingleSocket(0), 33);
+  EXPECT_GT(cs, us * 0.95);  // at best marginal
+}
+
+TEST_F(AggregationShape, CompressionHelpsEverywhereOnEighteenCore) {
+  // §5.1: "the 18 cores benefit from compression for all memory placements
+  // despite the additional CPU load."
+  for (const auto& placement :
+       {PlacementSpec::SingleSocket(0), PlacementSpec::Interleaved(),
+        PlacementSpec::Replicated()}) {
+    const double u = AggSeconds(large_, placement, 64);
+    const double c = AggSeconds(large_, placement, 33);
+    EXPECT_LT(c, u * 1.02) << ToString(placement);
+  }
+}
+
+TEST_F(AggregationShape, CompressionUpTo4xOnOsDefault) {
+  // §5.1: "bit compression can reduce the time by up to 4x for the default
+  // OS data placement" (single-thread first touch -> one socket) on the
+  // 18-core machine.
+  const double u = AggSeconds(large_, PlacementSpec::OsDefault(), 64);
+  const double c = AggSeconds(large_, PlacementSpec::OsDefault(), 10);
+  EXPECT_GT(u / c, 3.0);
+  EXPECT_LT(u / c, 7.0);
+}
+
+TEST_F(AggregationShape, InstructionsGrowWithCompression) {
+  AggregationConfig u;
+  u.placement = PlacementSpec::Replicated();
+  u.bits = 64;
+  AggregationConfig c = u;
+  c.bits = 33;
+  const double iu = SimulateAggregation(large_, u).total_instructions;
+  const double ic = SimulateAggregation(large_, c).total_instructions;
+  EXPECT_GT(ic, 3.0 * iu);  // Fig. 10's instruction panels (~5e9 vs ~20e9)
+  EXPECT_NEAR(iu, 4e9, 2e9);
+  EXPECT_NEAR(ic, 20e9, 8e9);
+}
+
+TEST_F(AggregationShape, SpecializedWidthsCostLikeUncompressed) {
+  // 32-bit is specialized: no shift/mask work, so instructions stay low.
+  AggregationConfig c32;
+  c32.placement = PlacementSpec::Replicated();
+  c32.bits = 32;
+  AggregationConfig c31 = c32;
+  c31.bits = 31;
+  EXPECT_LT(SimulateAggregation(large_, c32).total_instructions * 2.5,
+            SimulateAggregation(large_, c31).total_instructions);
+}
+
+TEST_F(AggregationShape, JavaTracksCpp) {
+  // §5.1: "the performance of the Java application is generally as good as
+  // that of the C++ application."
+  for (const uint32_t bits : {64u, 33u}) {
+    const double cpp = AggSeconds(large_, PlacementSpec::Replicated(), bits, false);
+    const double java = AggSeconds(large_, PlacementSpec::Replicated(), bits, true);
+    EXPECT_GE(java, cpp);
+    EXPECT_LT(java, cpp * 1.25);
+  }
+}
+
+TEST_F(AggregationShape, OsDefaultMatchesSingleSocketForSingleThreadInit) {
+  // §5.1: single-threaded init -> first-touch == single socket placement.
+  const double os_default = AggSeconds(large_, PlacementSpec::OsDefault(), 64);
+  const double single = AggSeconds(large_, PlacementSpec::SingleSocket(0), 64);
+  EXPECT_NEAR(os_default, single, single * 0.01);
+}
+
+// ---------------------------------------------------------------------------
+
+class DegreeShape : public ::testing::Test {
+ protected:
+  double Run(const MachineModel& m, PlacementSpec placement, uint32_t bits,
+             bool original = false) {
+    DegreeCentralityConfig c;
+    c.placement = placement;
+    c.index_bits = bits;
+    c.original = original;
+    return SimulateDegreeCentrality(m, c).seconds;
+  }
+  MachineModel small_{MachineSpec::OracleX5_8Core()};
+  MachineModel large_{MachineSpec::OracleX5_18Core()};
+};
+
+TEST_F(DegreeShape, EightCoreReplicationWins) {
+  // Fig. 11, 8-core: "replication outperforms other placements".
+  const double repl = Run(small_, PlacementSpec::Replicated(), 64);
+  for (const auto& other : {PlacementSpec::SingleSocket(0), PlacementSpec::Interleaved()}) {
+    EXPECT_LT(repl, Run(small_, other, 64)) << ToString(other);
+  }
+  EXPECT_LT(repl, Run(small_, PlacementSpec::Interleaved(), 64, /*original=*/true));
+}
+
+TEST_F(DegreeShape, EighteenCoreInterleavedBeatsSingle) {
+  // Fig. 11, 18-core: "interleaving is better than the original, OS default
+  // and single socket variations, while replication gives a slight further
+  // improvement."
+  const double single = Run(large_, PlacementSpec::SingleSocket(0), 64);
+  const double interleaved = Run(large_, PlacementSpec::Interleaved(), 64);
+  const double replicated = Run(large_, PlacementSpec::Replicated(), 64);
+  EXPECT_LT(interleaved, single);
+  EXPECT_LE(replicated, interleaved);
+}
+
+TEST_F(DegreeShape, OriginalSitsBetweenSingleAndInterleaved) {
+  // §5.2: multi-threaded init scatters pages, so original/OS-default land
+  // between the single-socket and interleaved extremes.
+  const double single = Run(small_, PlacementSpec::SingleSocket(0), 64);
+  const double interleaved = Run(small_, PlacementSpec::Interleaved(), 64);
+  const double original = Run(small_, PlacementSpec::OsDefault(), 64, /*original=*/true);
+  const double lo = std::min(single, interleaved);
+  const double hi = std::max(single, interleaved);
+  EXPECT_GE(original, lo * 0.95);
+  EXPECT_LE(original, hi * 1.05);
+}
+
+TEST_F(DegreeShape, CompressionImprovesEighteenCore) {
+  // Fig. 11, 18-core: 33-bit compression "further improves performance".
+  for (const auto& placement : {PlacementSpec::Interleaved(), PlacementSpec::Replicated()}) {
+    EXPECT_LT(Run(large_, placement, 33), Run(large_, placement, 64) * 1.02)
+        << ToString(placement);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+class PageRankShape : public ::testing::Test {
+ protected:
+  static PageRankConfig Variant(const char* kind, PlacementSpec placement) {
+    PageRankConfig c;
+    c.placement = placement;
+    if (std::string(kind) == "U") {
+      c.index_bits = 64;
+      c.degree_bits = 64;
+      c.edge_bits = 32;
+    } else if (std::string(kind) == "32") {
+      c.index_bits = 32;
+      c.degree_bits = 64;
+      c.edge_bits = 32;
+    } else if (std::string(kind) == "V") {
+      c.index_bits = 31;
+      c.degree_bits = 22;
+      c.edge_bits = 32;
+    } else {  // "V+E"
+      c.index_bits = 31;
+      c.degree_bits = 22;
+      c.edge_bits = 26;
+    }
+    return c;
+  }
+  MachineModel small_{MachineSpec::OracleX5_8Core()};
+  MachineModel large_{MachineSpec::OracleX5_18Core()};
+};
+
+TEST_F(PageRankShape, EightCoreReplicationUpTo2x) {
+  // Fig. 1 / Fig. 12: replication improves PageRank by ~2x on the 8-core
+  // machine over the interleaved/original placements.
+  const double interleaved =
+      SimulatePageRank(small_, Variant("U", PlacementSpec::Interleaved())).seconds;
+  const double replicated =
+      SimulatePageRank(small_, Variant("U", PlacementSpec::Replicated())).seconds;
+  EXPECT_GT(interleaved / replicated, 1.7);
+}
+
+TEST_F(PageRankShape, EightCoreSingleBeatsInterleaved) {
+  // Fig. 12, 8-core: "the single socket bandwidth is higher than ... the
+  // interleaved data placements, which are constrained by the limited
+  // interconnect bandwidth."
+  const double single =
+      SimulatePageRank(small_, Variant("U", PlacementSpec::SingleSocket(0))).seconds;
+  const double interleaved =
+      SimulatePageRank(small_, Variant("U", PlacementSpec::Interleaved())).seconds;
+  EXPECT_LT(single, interleaved);
+}
+
+TEST_F(PageRankShape, EighteenCoreReplicationMarginal) {
+  const double interleaved =
+      SimulatePageRank(large_, Variant("U", PlacementSpec::Interleaved())).seconds;
+  const double replicated =
+      SimulatePageRank(large_, Variant("U", PlacementSpec::Replicated())).seconds;
+  EXPECT_LE(replicated, interleaved);
+  EXPECT_LT(interleaved / replicated, 1.6);  // "marginally better"
+}
+
+TEST_F(PageRankShape, CompressingVerticesBarelyMatters) {
+  // §5.2: "bit compressing the vertex and vertex property arrays does not
+  // have a significant impact ... PageRank is dominated by the loop over
+  // the edges."
+  const double u = SimulatePageRank(small_, Variant("U", PlacementSpec::Replicated())).seconds;
+  const double v = SimulatePageRank(small_, Variant("V", PlacementSpec::Replicated())).seconds;
+  EXPECT_NEAR(v / u, 1.0, 0.15);
+}
+
+TEST_F(PageRankShape, CompressingEdgesRaisesCpuLoadOnEightCore) {
+  // §5.2: "bit compressing the edges significantly increases the CPU load
+  // and generally increases the runtime on the 8-core machine."
+  const auto u = SimulatePageRank(small_, Variant("U", PlacementSpec::Replicated()));
+  const auto ve = SimulatePageRank(small_, Variant("V+E", PlacementSpec::Replicated()));
+  EXPECT_GT(ve.total_instructions, 1.5 * u.total_instructions);
+  EXPECT_GT(ve.seconds, u.seconds);
+}
+
+TEST_F(PageRankShape, VePlusFootprintSavesAbout21Percent) {
+  const auto u = PageRankFootprintBytes(Variant("U", PlacementSpec::Interleaved()));
+  const auto ve = PageRankFootprintBytes(Variant("V+E", PlacementSpec::Interleaved()));
+  const double saving = 1.0 - static_cast<double>(ve) / static_cast<double>(u);
+  EXPECT_NEAR(saving, 0.21, 0.04);  // §5.2: "around 21%"
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(MlcTest, ReproducesTable1) {
+  const MachineModel small(MachineSpec::OracleX5_8Core());
+  const MlcReport r8 = MeasureMlc(small);
+  EXPECT_DOUBLE_EQ(r8.local_latency_ns, 77.0);
+  EXPECT_DOUBLE_EQ(r8.remote_latency_ns, 130.0);
+  EXPECT_NEAR(r8.local_bw_gbps, 49.3, 0.1);
+  EXPECT_NEAR(r8.remote_bw_gbps, 8.0, 0.1);
+  EXPECT_NEAR(r8.total_local_bw_gbps, 98.6, 0.2);
+
+  const MachineModel large(MachineSpec::OracleX5_18Core());
+  const MlcReport r18 = MeasureMlc(large);
+  EXPECT_NEAR(r18.local_bw_gbps, 43.8, 0.1);
+  EXPECT_NEAR(r18.remote_bw_gbps, 26.8, 0.1);
+  EXPECT_NEAR(r18.total_local_bw_gbps, 87.6, 0.2);
+  EXPECT_DOUBLE_EQ(r18.local_latency_ns, 85.0);
+  EXPECT_DOUBLE_EQ(r18.remote_latency_ns, 132.0);
+}
+
+TEST(PlacementSplitTest, SplitsAreConservative) {
+  for (const auto& placement :
+       {PlacementSpec::OsDefault(), PlacementSpec::SingleSocket(1),
+        PlacementSpec::Interleaved(), PlacementSpec::Replicated()}) {
+    for (const int thread_socket : {0, 1}) {
+      const auto split = SplitBytesForPlacement(placement, 16.0, thread_socket, 2, 0.5);
+      double total = 0.0;
+      for (const double b : split) {
+        EXPECT_GE(b, 0.0);
+        total += b;
+      }
+      EXPECT_NEAR(total, 16.0, 1e-12) << ToString(placement);
+    }
+  }
+}
+
+TEST(PlacementSplitTest, SemanticsPerPlacement) {
+  // Replicated: all local to the reading thread.
+  auto repl = SplitBytesForPlacement(PlacementSpec::Replicated(), 8.0, 1, 2, 0.0);
+  EXPECT_DOUBLE_EQ(repl[0], 0.0);
+  EXPECT_DOUBLE_EQ(repl[1], 8.0);
+  // Single socket: all on the pinned socket regardless of reader.
+  auto single = SplitBytesForPlacement(PlacementSpec::SingleSocket(0), 8.0, 1, 2, 0.0);
+  EXPECT_DOUBLE_EQ(single[0], 8.0);
+  // Interleaved: even.
+  auto il = SplitBytesForPlacement(PlacementSpec::Interleaved(), 8.0, 0, 2, 0.0);
+  EXPECT_DOUBLE_EQ(il[0], 4.0);
+  EXPECT_DOUBLE_EQ(il[1], 4.0);
+  // OS default with spread 0.5: half scattered, half on the first-touch socket.
+  auto os = SplitBytesForPlacement(PlacementSpec::OsDefault(0), 8.0, 1, 2, 0.5);
+  EXPECT_DOUBLE_EQ(os[0], 6.0);
+  EXPECT_DOUBLE_EQ(os[1], 2.0);
+}
+
+}  // namespace
+}  // namespace sa::sim

@@ -1,0 +1,108 @@
+// C-ABI entry-point tests: the boundary a foreign runtime (the paper's Java
+// thin API) talks to.
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/random.h"
+#include "smart/entry_points.h"
+
+namespace {
+
+class EntryPointsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saSetDefaultTopology(2, 4); }
+  void TearDown() override { saSetDefaultTopology(0, 0); }
+};
+
+TEST_F(EntryPointsTest, AllocateReportsProperties) {
+  void* sa = saArrayAllocate(1000, /*replicated=*/0, /*interleaved=*/1, /*pinned=*/-1, 33);
+  ASSERT_NE(sa, nullptr);
+  EXPECT_EQ(saArrayGetLength(sa), 1000u);
+  EXPECT_EQ(saArrayGetBits(sa), 33u);
+  EXPECT_EQ(saArrayIsReplicated(sa), 0);
+  EXPECT_GT(saArrayFootprintBytes(sa), 0u);
+  saArrayFree(sa);
+}
+
+TEST_F(EntryPointsTest, TopologyControlsSocketCount) {
+  EXPECT_EQ(saGetNumSockets(), 2);
+  saSetDefaultTopology(4, 2);
+  EXPECT_EQ(saGetNumSockets(), 4);
+}
+
+TEST_F(EntryPointsTest, InitGetRoundTripVirtualPath) {
+  void* sa = saArrayAllocate(300, 0, 0, -1, 17);
+  for (uint64_t i = 0; i < 300; ++i) {
+    saArrayInit(sa, i, i & ((1u << 17) - 1));
+  }
+  for (uint64_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(saArrayGet(sa, i), i & ((1u << 17) - 1));
+  }
+  saArrayFree(sa);
+}
+
+TEST_F(EntryPointsTest, WithBitsVariantsMatchVirtualPath) {
+  for (const uint32_t bits : {5u, 32u, 33u, 64u}) {
+    void* sa = saArrayAllocate(256, 0, 0, -1, bits);
+    sa::Xoshiro256 rng(bits);
+    const uint64_t mask = sa::LowMask(bits);
+    for (uint64_t i = 0; i < 256; ++i) {
+      saArrayInitWithBits(sa, i, rng() & mask, bits);
+    }
+    for (uint64_t i = 0; i < 256; ++i) {
+      EXPECT_EQ(saArrayGetWithBits(sa, i, bits), saArrayGet(sa, i)) << "bits " << bits;
+    }
+    saArrayFree(sa);
+  }
+}
+
+TEST_F(EntryPointsTest, ReplicatedArrayThroughAbi) {
+  void* sa = saArrayAllocate(128, /*replicated=*/1, 0, -1, 12);
+  EXPECT_EQ(saArrayIsReplicated(sa), 1);
+  saArrayInit(sa, 100, 3000);
+  EXPECT_EQ(saArrayGet(sa, 100), 3000u);
+  const uint64_t* replica = saArrayGetReplica(sa);
+  ASSERT_NE(replica, nullptr);
+  saArrayFree(sa);
+}
+
+TEST_F(EntryPointsTest, IteratorAbiScansCorrectly) {
+  const uint32_t bits = 21;
+  void* sa = saArrayAllocate(200, 0, 1, -1, bits);
+  for (uint64_t i = 0; i < 200; ++i) {
+    saArrayInit(sa, i, (3 * i) & sa::LowMask(bits));
+  }
+  void* it = saIterAllocate(sa, 0);
+  for (uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(saIterGet(it), (3 * i) & sa::LowMask(bits)) << "index " << i;
+    saIterNext(it);
+  }
+  // Reset and rescan with the bits-parameterized fast path (Function 4).
+  saIterReset(it, 0);
+  for (uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(saIterGetWithBits(it, bits), (3 * i) & sa::LowMask(bits));
+    saIterNextWithBits(it, bits);
+  }
+  saIterFree(it);
+  saArrayFree(sa);
+}
+
+TEST_F(EntryPointsTest, UnpackAbiDecodesChunk) {
+  void* sa = saArrayAllocate(64, 0, 0, -1, 9);
+  for (uint64_t i = 0; i < 64; ++i) {
+    saArrayInit(sa, i, i * 7 % 512);
+  }
+  uint64_t out[64];
+  saArrayUnpack(sa, 0, out);
+  for (uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(out[i], i * 7 % 512);
+  }
+  saArrayFree(sa);
+}
+
+TEST_F(EntryPointsTest, PlacementCombinationIsRejected) {
+  EXPECT_DEATH(saArrayAllocate(10, /*replicated=*/1, /*interleaved=*/1, -1, 64), "combined");
+  EXPECT_DEATH(saArrayAllocate(10, /*replicated=*/1, 0, /*pinned=*/0, 64), "combined");
+}
+
+}  // namespace

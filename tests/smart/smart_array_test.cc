@@ -1,0 +1,152 @@
+// SmartArray factory, placement bookkeeping, and replica semantics.
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "platform/topology.h"
+#include "smart/smart_array.h"
+
+namespace sa::smart {
+namespace {
+
+platform::Topology TwoSockets() { return platform::Topology::Synthetic(2, 4); }
+
+TEST(SmartArrayTest, FactoryProducesRequestedGeometry) {
+  const auto topo = TwoSockets();
+  for (const uint32_t bits : {1u, 7u, 32u, 33u, 64u}) {
+    const auto array = SmartArray::Allocate(1000, PlacementSpec::Interleaved(), bits, topo);
+    EXPECT_EQ(array->length(), 1000u);
+    EXPECT_EQ(array->bits(), bits);
+    EXPECT_EQ(array->num_chunks(), 16u);  // ceil(1000/64)
+    EXPECT_EQ(array->words_per_replica(), 16u * bits);
+    EXPECT_EQ(array->max_value(), LowMask(bits));
+  }
+}
+
+TEST(SmartArrayTest, PlacementFlagsMatchFig9Properties) {
+  const auto topo = TwoSockets();
+  const auto interleaved = SmartArray::Allocate(64, PlacementSpec::Interleaved(), 64, topo);
+  EXPECT_TRUE(interleaved->interleaved());
+  EXPECT_FALSE(interleaved->replicated());
+  EXPECT_EQ(interleaved->pinned(), -1);
+
+  const auto pinned = SmartArray::Allocate(64, PlacementSpec::SingleSocket(1), 64, topo);
+  EXPECT_EQ(pinned->pinned(), 1);
+  EXPECT_FALSE(pinned->replicated());
+
+  const auto replicated = SmartArray::Allocate(64, PlacementSpec::Replicated(), 64, topo);
+  EXPECT_TRUE(replicated->replicated());
+  EXPECT_EQ(replicated->num_replicas(), 2);
+
+  const auto os_default = SmartArray::Allocate(64, PlacementSpec::OsDefault(), 64, topo);
+  EXPECT_FALSE(os_default->replicated());
+  EXPECT_FALSE(os_default->interleaved());
+  EXPECT_EQ(os_default->pinned(), -1);
+}
+
+TEST(SmartArrayTest, NonReplicatedPlacementsHaveOneReplica) {
+  const auto topo = TwoSockets();
+  for (const auto& placement : {PlacementSpec::OsDefault(), PlacementSpec::SingleSocket(0),
+                                PlacementSpec::Interleaved()}) {
+    const auto array = SmartArray::Allocate(128, placement, 33, topo);
+    EXPECT_EQ(array->num_replicas(), 1);
+    EXPECT_EQ(array->GetReplica(0), array->GetReplica(1));
+  }
+}
+
+TEST(SmartArrayTest, ReplicasAreDistinctAndConsistent) {
+  const auto topo = TwoSockets();
+  auto array = SmartArray::Allocate(500, PlacementSpec::Replicated(), 20, topo);
+  ASSERT_EQ(array->num_replicas(), 2);
+  EXPECT_NE(array->GetReplica(0), array->GetReplica(1));
+
+  Xoshiro256 rng(9);
+  for (uint64_t i = 0; i < array->length(); ++i) {
+    array->Init(i, rng() & array->max_value());
+  }
+  // Init writes all replicas (Function 2 line 3).
+  for (uint64_t i = 0; i < array->length(); ++i) {
+    EXPECT_EQ(array->Get(i, array->GetReplica(0)), array->Get(i, array->GetReplica(1)));
+  }
+}
+
+TEST(SmartArrayTest, FootprintScalesWithReplication) {
+  const auto topo = TwoSockets();
+  const uint64_t n = 10000;
+  const auto single = SmartArray::Allocate(n, PlacementSpec::Interleaved(), 33, topo);
+  const auto repl = SmartArray::Allocate(n, PlacementSpec::Replicated(), 33, topo);
+  EXPECT_EQ(repl->footprint_bytes(), 2 * single->footprint_bytes());
+}
+
+TEST(SmartArrayTest, CompressionShrinksFootprint) {
+  const auto topo = TwoSockets();
+  const uint64_t n = 1 << 16;
+  const auto full = SmartArray::Allocate(n, PlacementSpec::Interleaved(), 64, topo);
+  const auto compressed = SmartArray::Allocate(n, PlacementSpec::Interleaved(), 33, topo);
+  // 33-bit storage is 33/64 of the uncompressed footprint.
+  EXPECT_EQ(compressed->footprint_bytes() * 64, full->footprint_bytes() * 33);
+}
+
+TEST(SmartArrayTest, RegionPoliciesFollowPlacement) {
+  const auto topo = TwoSockets();
+  const auto interleaved = SmartArray::Allocate(10000, PlacementSpec::Interleaved(), 64, topo);
+  EXPECT_EQ(interleaved->region(0).policy(), platform::PagePolicy::kInterleaved);
+
+  const auto pinned = SmartArray::Allocate(10000, PlacementSpec::SingleSocket(1), 64, topo);
+  EXPECT_EQ(pinned->region(0).policy(), platform::PagePolicy::kPinned);
+  EXPECT_EQ(pinned->region(0).home_socket(), 1);
+
+  const auto repl = SmartArray::Allocate(10000, PlacementSpec::Replicated(), 64, topo);
+  EXPECT_EQ(repl->region(0).home_socket(), 0);
+  EXPECT_EQ(repl->region(1).home_socket(), 1);
+}
+
+TEST(SmartArrayTest, ConcurrentInitAtomicDistinctIndices) {
+  const auto topo = TwoSockets();
+  auto array = SmartArray::Allocate(4096, PlacementSpec::OsDefault(), 13, topo);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Stripe the indices so threads interleave within shared words.
+      for (uint64_t i = t; i < array->length(); i += kThreads) {
+        array->InitAtomic(i, i & array->max_value());
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (uint64_t i = 0; i < array->length(); ++i) {
+    EXPECT_EQ(array->Get(i, array->GetReplica(0)), i & array->max_value());
+  }
+}
+
+TEST(SmartArrayTest, HostTopologyAllocationWorks) {
+  const auto topo = platform::Topology::Host();
+  auto array = SmartArray::Allocate(256, PlacementSpec::Interleaved(), 40, topo);
+  array->Init(0, 123);
+  array->Init(255, 456);
+  EXPECT_EQ(array->Get(0, array->GetReplicaForCurrentThread()), 123u);
+  EXPECT_EQ(array->Get(255, array->GetReplicaForCurrentThread()), 456u);
+}
+
+TEST(SmartArrayDeathTest, RejectsInvalidArguments) {
+  const auto topo = TwoSockets();
+  EXPECT_DEATH(SmartArray::Allocate(0, PlacementSpec::OsDefault(), 64, topo), "empty");
+  EXPECT_DEATH(SmartArray::Allocate(10, PlacementSpec::OsDefault(), 0, topo), "bit width");
+  EXPECT_DEATH(SmartArray::Allocate(10, PlacementSpec::OsDefault(), 65, topo), "bit width");
+  EXPECT_DEATH(SmartArray::Allocate(10, PlacementSpec::SingleSocket(5), 64, topo), "socket");
+}
+
+TEST(SmartArrayDeathTest, RejectsValueWiderThanElement) {
+  const auto topo = TwoSockets();
+  auto array = SmartArray::Allocate(10, PlacementSpec::OsDefault(), 8, topo);
+  EXPECT_DEATH(array->Init(0, 256), "exceeds");
+}
+
+}  // namespace
+}  // namespace sa::smart

@@ -1,0 +1,250 @@
+// smartarrays command-line driver.
+//
+// Subcommands:
+//   topology                         print the host topology
+//   mlc      [--machine 8|18]        simulated Intel-MLC probes (Table 1)
+//   aggregate [--bits B] [--placement single|interleaved|replicated|os]
+//             [--machine 8|18] [--java] [--elements N]
+//                                    simulate the §5.1 aggregation and run a
+//                                    scaled real kernel on this host
+//   adapt    [--workload agg|degree|pagerank] [--machine 8|18]
+//                                    print the §6 two-step selection
+//   graph    [--algo degree|pagerank|bfs|wcc|triangles] [--vertices N]
+//            [--edges M] [--compress]
+//                                    generate a power-law graph and run the
+//                                    algorithm for real on this host
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+
+#include "adapt/cases.h"
+#include "graph/algorithms.h"
+#include "graph/algorithms2.h"
+#include "graph/generators.h"
+#include "platform/affinity.h"
+#include "report/table.h"
+#include "sim/mlc.h"
+#include "sim/workloads.h"
+#include "smart/parallel_ops.h"
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) {
+    args.command = argv[1];
+  }
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) {
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "1";
+      }
+    }
+  }
+  return args;
+}
+
+sa::sim::MachineSpec MachineFor(const Args& args) {
+  return args.Get("machine", "18") == "8" ? sa::sim::MachineSpec::OracleX5_8Core()
+                                          : sa::sim::MachineSpec::OracleX5_18Core();
+}
+
+sa::smart::PlacementSpec PlacementFor(const Args& args) {
+  const std::string p = args.Get("placement", "interleaved");
+  if (p == "single") {
+    return sa::smart::PlacementSpec::SingleSocket(0);
+  }
+  if (p == "replicated") {
+    return sa::smart::PlacementSpec::Replicated();
+  }
+  if (p == "os") {
+    return sa::smart::PlacementSpec::OsDefault();
+  }
+  return sa::smart::PlacementSpec::Interleaved();
+}
+
+int CmdTopology() {
+  const auto topo = sa::platform::Topology::Host();
+  std::printf("%s\n", topo.ToString().c_str());
+  for (int s = 0; s < topo.num_sockets(); ++s) {
+    std::printf("  socket %d (node %d): %zu cpus\n", s, topo.socket(s).node_id,
+                topo.socket(s).cpus.size());
+  }
+  return 0;
+}
+
+int CmdMlc(const Args& args) {
+  const auto spec = MachineFor(args);
+  const auto report = sa::sim::MeasureMlc(sa::sim::MachineModel(spec));
+  std::printf("simulated MLC on %s:\n", spec.name.c_str());
+  std::printf("  local latency   %.0f ns\n  remote latency  %.0f ns\n", report.local_latency_ns,
+              report.remote_latency_ns);
+  std::printf("  local b/w       %.1f GB/s\n  remote b/w      %.1f GB/s\n",
+              report.local_bw_gbps, report.remote_bw_gbps);
+  std::printf("  total local b/w %.1f GB/s\n", report.total_local_bw_gbps);
+  return 0;
+}
+
+int CmdAggregate(const Args& args) {
+  const auto spec = MachineFor(args);
+  sa::sim::AggregationConfig config;
+  config.bits = static_cast<uint32_t>(args.GetInt("bits", 64));
+  config.placement = PlacementFor(args);
+  config.java = args.Has("java");
+  const auto report = sa::sim::SimulateAggregation(sa::sim::MachineModel(spec), config);
+  std::printf("simulated on %s: %s, %u-bit, %s\n", spec.name.c_str(),
+              ToString(config.placement).c_str(), config.bits, config.java ? "Java" : "C++");
+  std::printf("  time %.1f ms | instructions %.1fe9 | bandwidth %.1f GB/s\n",
+              report.seconds * 1e3, report.total_instructions / 1e9, report.total_mem_gbps);
+
+  const uint64_t n = args.GetInt("elements", 4'000'000);
+  const auto topo = sa::platform::Topology::Host();
+  sa::rts::WorkerPool pool(topo);
+  auto a1 = sa::smart::SmartArray::Allocate(n, config.placement, config.bits, topo);
+  auto a2 = sa::smart::SmartArray::Allocate(n, config.placement, config.bits, topo);
+  const uint64_t mask = a1->max_value();
+  sa::smart::ParallelFill(pool, *a1, [mask](uint64_t i) { return i & mask; });
+  sa::smart::ParallelFill(pool, *a2, [mask](uint64_t i) { return (i + 1) & mask; });
+  const sa::platform::Stopwatch timer;
+  const uint64_t sum = sa::smart::ParallelSum2(pool, *a1, *a2);
+  std::printf("real host run (%llu elements): sum=%llu in %.1f ms (%.0f M elem/s)\n",
+              static_cast<unsigned long long>(n), static_cast<unsigned long long>(sum),
+              timer.Millis(), n / timer.Seconds() / 1e6);
+  return 0;
+}
+
+int CmdAdapt(const Args& args) {
+  const auto spec = MachineFor(args);
+  const std::string workload = args.Get("workload", "agg");
+  sa::adapt::CaseGridOptions grid;
+  grid.bit_widths = {static_cast<uint32_t>(args.GetInt("bits", 33))};
+  grid.scenarios = {sa::adapt::MemoryScenario::kPlenty};
+  std::vector<sa::adapt::EvalCase> cases;
+  if (workload == "degree") {
+    cases = sa::adapt::BuildDegreeCentralityCases(spec, grid);
+  } else if (workload == "pagerank") {
+    cases = sa::adapt::BuildPageRankCases(spec, grid);
+  } else {
+    cases = sa::adapt::BuildAggregationCases(spec, grid);
+  }
+  const auto& inputs = cases.front().inputs;
+  const auto result = sa::adapt::ChooseConfiguration(inputs);
+  std::printf("adaptivity (%s on %s):\n", workload.c_str(), spec.name.c_str());
+  std::printf("  Fig13a uncompressed candidate: %s\n",
+              ToString(result.uncompressed_candidate).c_str());
+  std::printf("  Fig13b compressed candidate:   %s\n",
+              result.compressed_candidate ? ToString(*result.compressed_candidate).c_str()
+                                          : "no compression");
+  std::printf("  chosen configuration:          %s\n", ToString(result.chosen).c_str());
+  std::printf("  simulated time under choice:   %.3f s\n", cases.front().run_seconds(result.chosen));
+  return 0;
+}
+
+int CmdGraph(const Args& args) {
+  const auto vertices = static_cast<sa::graph::VertexId>(args.GetInt("vertices", 100'000));
+  const uint64_t edges = args.GetInt("edges", 10 * vertices);
+  const std::string algo = args.Get("algo", "pagerank");
+
+  const auto topo = sa::platform::Topology::Host();
+  sa::rts::WorkerPool pool(topo);
+  std::printf("generating power-law graph: %u vertices, %llu edges...\n", vertices,
+              static_cast<unsigned long long>(edges));
+  const auto csr = sa::graph::PowerLawGraph(vertices, edges, 0.55, 42);
+  sa::graph::SmartGraphOptions options;
+  options.compress_indexes = args.Has("compress");
+  options.compress_edges = args.Has("compress");
+  const sa::graph::SmartCsrGraph g(csr, options, topo, pool);
+  std::printf("smart storage: index %u-bit, edge %u-bit, %.1f MB\n", g.index_bits(),
+              g.edge_bits(), g.footprint_bytes() / 1e6);
+
+  const sa::platform::Stopwatch timer;
+  if (algo == "degree") {
+    auto out = sa::smart::SmartArray::Allocate(vertices, sa::smart::PlacementSpec::Interleaved(),
+                                               64, topo);
+    sa::graph::DegreeCentralitySmart(pool, g, out.get());
+    std::printf("degree centrality in %.1f ms; degree[0]=%llu\n", timer.Millis(),
+                static_cast<unsigned long long>(out->Get(0, out->GetReplica(0))));
+  } else if (algo == "bfs") {
+    const auto levels = sa::graph::BfsLevelsSmart(pool, g, 0, topo);
+    uint64_t reached = 0;
+    for (const uint64_t l : levels) {
+      reached += l != sa::graph::kUnreachable;
+    }
+    std::printf("bfs in %.1f ms; reached %llu vertices\n", timer.Millis(),
+                static_cast<unsigned long long>(reached));
+  } else if (algo == "wcc") {
+    const auto labels = sa::graph::ConnectedComponentsSmart(pool, g, topo);
+    std::set<uint64_t> components(labels.begin(), labels.end());
+    std::printf("connected components in %.1f ms; %zu components\n", timer.Millis(),
+                components.size());
+  } else if (algo == "triangles") {
+    const uint64_t triangles = sa::graph::CountTrianglesSmart(pool, g);
+    std::printf("triangle count in %.1f ms; %llu triangles\n", timer.Millis(),
+                static_cast<unsigned long long>(triangles));
+  } else {
+    const auto result = sa::graph::PageRankSmart(pool, g, topo);
+    std::printf("pagerank in %.1f ms; %d iterations, top rank %.6f\n", timer.Millis(),
+                result.iterations,
+                *std::max_element(result.ranks.begin(), result.ranks.end()));
+  }
+  return 0;
+}
+
+int Usage() {
+  std::printf(
+      "usage: sa_cli <command> [options]\n"
+      "commands:\n"
+      "  topology\n"
+      "  mlc        [--machine 8|18]\n"
+      "  aggregate  [--bits B] [--placement single|interleaved|replicated|os]\n"
+      "             [--machine 8|18] [--java] [--elements N]\n"
+      "  adapt      [--workload agg|degree|pagerank] [--bits B] [--machine 8|18]\n"
+      "  graph      [--algo degree|pagerank|bfs|wcc|triangles] [--vertices N]\n"
+      "             [--edges M] [--compress]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+  if (args.command == "topology") {
+    return CmdTopology();
+  }
+  if (args.command == "mlc") {
+    return CmdMlc(args);
+  }
+  if (args.command == "aggregate") {
+    return CmdAggregate(args);
+  }
+  if (args.command == "adapt") {
+    return CmdAdapt(args);
+  }
+  if (args.command == "graph") {
+    return CmdGraph(args);
+  }
+  return Usage();
+}
