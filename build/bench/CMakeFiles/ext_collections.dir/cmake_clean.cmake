@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_collections.dir/ext_collections.cc.o"
+  "CMakeFiles/ext_collections.dir/ext_collections.cc.o.d"
+  "ext_collections"
+  "ext_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

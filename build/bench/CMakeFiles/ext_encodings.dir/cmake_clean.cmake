@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_encodings.dir/ext_encodings.cc.o"
+  "CMakeFiles/ext_encodings.dir/ext_encodings.cc.o.d"
+  "ext_encodings"
+  "ext_encodings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_randomization.dir/ext_randomization.cc.o"
+  "CMakeFiles/ext_randomization.dir/ext_randomization.cc.o.d"
+  "ext_randomization"
+  "ext_randomization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_randomization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

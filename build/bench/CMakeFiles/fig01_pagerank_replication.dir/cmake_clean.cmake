@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_pagerank_replication.dir/fig01_pagerank_replication.cc.o"
+  "CMakeFiles/fig01_pagerank_replication.dir/fig01_pagerank_replication.cc.o.d"
+  "fig01_pagerank_replication"
+  "fig01_pagerank_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_pagerank_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_aggregation_placements.dir/fig02_aggregation_placements.cc.o"
+  "CMakeFiles/fig02_aggregation_placements.dir/fig02_aggregation_placements.cc.o.d"
+  "fig02_aggregation_placements"
+  "fig02_aggregation_placements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_aggregation_placements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_interop.dir/fig03_interop.cc.o"
+  "CMakeFiles/fig03_interop.dir/fig03_interop.cc.o.d"
+  "fig03_interop"
+  "fig03_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_aggregation_sweep.dir/fig10_aggregation_sweep.cc.o"
+  "CMakeFiles/fig10_aggregation_sweep.dir/fig10_aggregation_sweep.cc.o.d"
+  "fig10_aggregation_sweep"
+  "fig10_aggregation_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_aggregation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_degree_centrality.cc" "bench/CMakeFiles/fig11_degree_centrality.dir/fig11_degree_centrality.cc.o" "gcc" "bench/CMakeFiles/fig11_degree_centrality.dir/fig11_degree_centrality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/sa_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/sa_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/sa_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/interop/CMakeFiles/sa_interop.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/sa_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/sa_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/encodings/CMakeFiles/sa_encodings.dir/DependInfo.cmake"
+  "/root/repo/build/src/collections/CMakeFiles/sa_collections.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

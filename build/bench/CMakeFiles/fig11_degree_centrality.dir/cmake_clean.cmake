@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_degree_centrality.dir/fig11_degree_centrality.cc.o"
+  "CMakeFiles/fig11_degree_centrality.dir/fig11_degree_centrality.cc.o.d"
+  "fig11_degree_centrality"
+  "fig11_degree_centrality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_degree_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ablation.dir/micro_ablation.cc.o"
+  "CMakeFiles/micro_ablation.dir/micro_ablation.cc.o.d"
+  "micro_ablation"
+  "micro_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_interop.dir/micro_interop.cc.o"
+  "CMakeFiles/micro_interop.dir/micro_interop.cc.o.d"
+  "micro_interop"
+  "micro_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

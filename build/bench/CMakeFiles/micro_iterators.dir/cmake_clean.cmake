@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_iterators.dir/micro_iterators.cc.o"
+  "CMakeFiles/micro_iterators.dir/micro_iterators.cc.o.d"
+  "micro_iterators"
+  "micro_iterators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_iterators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_adaptivity_eval.dir/sec6_adaptivity_eval.cc.o"
+  "CMakeFiles/sec6_adaptivity_eval.dir/sec6_adaptivity_eval.cc.o.d"
+  "sec6_adaptivity_eval"
+  "sec6_adaptivity_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_adaptivity_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

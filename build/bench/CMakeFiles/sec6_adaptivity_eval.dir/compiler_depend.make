@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec6_adaptivity_eval.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_machine_mlc.dir/tab01_machine_mlc.cc.o"
+  "CMakeFiles/tab01_machine_mlc.dir/tab01_machine_mlc.cc.o.d"
+  "tab01_machine_mlc"
+  "tab01_machine_mlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_machine_mlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

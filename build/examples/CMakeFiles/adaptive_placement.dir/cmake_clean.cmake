@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_placement.dir/adaptive_placement.cpp.o"
+  "CMakeFiles/adaptive_placement.dir/adaptive_placement.cpp.o.d"
+  "adaptive_placement"
+  "adaptive_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

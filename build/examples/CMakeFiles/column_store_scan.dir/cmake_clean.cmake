@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_store_scan.dir/column_store_scan.cpp.o"
+  "CMakeFiles/column_store_scan.dir/column_store_scan.cpp.o.d"
+  "column_store_scan"
+  "column_store_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_store_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

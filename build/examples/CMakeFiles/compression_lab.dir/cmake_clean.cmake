@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_lab.dir/compression_lab.cpp.o"
+  "CMakeFiles/compression_lab.dir/compression_lab.cpp.o.d"
+  "compression_lab"
+  "compression_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

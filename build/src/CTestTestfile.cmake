@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("platform")
+subdirs("sim")
+subdirs("rts")
+subdirs("smart")
+subdirs("encodings")
+subdirs("collections")
+subdirs("table")
+subdirs("interop")
+subdirs("graph")
+subdirs("adapt")
+subdirs("report")

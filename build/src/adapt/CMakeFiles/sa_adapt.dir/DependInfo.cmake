@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapt/adaptive_array.cc" "src/adapt/CMakeFiles/sa_adapt.dir/adaptive_array.cc.o" "gcc" "src/adapt/CMakeFiles/sa_adapt.dir/adaptive_array.cc.o.d"
+  "/root/repo/src/adapt/cases.cc" "src/adapt/CMakeFiles/sa_adapt.dir/cases.cc.o" "gcc" "src/adapt/CMakeFiles/sa_adapt.dir/cases.cc.o.d"
+  "/root/repo/src/adapt/decision.cc" "src/adapt/CMakeFiles/sa_adapt.dir/decision.cc.o" "gcc" "src/adapt/CMakeFiles/sa_adapt.dir/decision.cc.o.d"
+  "/root/repo/src/adapt/estimator.cc" "src/adapt/CMakeFiles/sa_adapt.dir/estimator.cc.o" "gcc" "src/adapt/CMakeFiles/sa_adapt.dir/estimator.cc.o.d"
+  "/root/repo/src/adapt/evaluation.cc" "src/adapt/CMakeFiles/sa_adapt.dir/evaluation.cc.o" "gcc" "src/adapt/CMakeFiles/sa_adapt.dir/evaluation.cc.o.d"
+  "/root/repo/src/adapt/selector.cc" "src/adapt/CMakeFiles/sa_adapt.dir/selector.cc.o" "gcc" "src/adapt/CMakeFiles/sa_adapt.dir/selector.cc.o.d"
+  "/root/repo/src/adapt/specs.cc" "src/adapt/CMakeFiles/sa_adapt.dir/specs.cc.o" "gcc" "src/adapt/CMakeFiles/sa_adapt.dir/specs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/sa_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/sa_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/sa_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_adapt.dir/adaptive_array.cc.o"
+  "CMakeFiles/sa_adapt.dir/adaptive_array.cc.o.d"
+  "CMakeFiles/sa_adapt.dir/cases.cc.o"
+  "CMakeFiles/sa_adapt.dir/cases.cc.o.d"
+  "CMakeFiles/sa_adapt.dir/decision.cc.o"
+  "CMakeFiles/sa_adapt.dir/decision.cc.o.d"
+  "CMakeFiles/sa_adapt.dir/estimator.cc.o"
+  "CMakeFiles/sa_adapt.dir/estimator.cc.o.d"
+  "CMakeFiles/sa_adapt.dir/evaluation.cc.o"
+  "CMakeFiles/sa_adapt.dir/evaluation.cc.o.d"
+  "CMakeFiles/sa_adapt.dir/selector.cc.o"
+  "CMakeFiles/sa_adapt.dir/selector.cc.o.d"
+  "CMakeFiles/sa_adapt.dir/specs.cc.o"
+  "CMakeFiles/sa_adapt.dir/specs.cc.o.d"
+  "libsa_adapt.a"
+  "libsa_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_collections.dir/entry_points.cc.o"
+  "CMakeFiles/sa_collections.dir/entry_points.cc.o.d"
+  "CMakeFiles/sa_collections.dir/smart_map.cc.o"
+  "CMakeFiles/sa_collections.dir/smart_map.cc.o.d"
+  "CMakeFiles/sa_collections.dir/smart_set.cc.o"
+  "CMakeFiles/sa_collections.dir/smart_set.cc.o.d"
+  "libsa_collections.a"
+  "libsa_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_common.dir/macros.cc.o"
+  "CMakeFiles/sa_common.dir/macros.cc.o.d"
+  "libsa_common.a"
+  "libsa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

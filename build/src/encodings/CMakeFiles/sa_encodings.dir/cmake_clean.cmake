@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_encodings.dir/encoded_array.cc.o"
+  "CMakeFiles/sa_encodings.dir/encoded_array.cc.o.d"
+  "CMakeFiles/sa_encodings.dir/encoding.cc.o"
+  "CMakeFiles/sa_encodings.dir/encoding.cc.o.d"
+  "libsa_encodings.a"
+  "libsa_encodings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cc" "src/graph/CMakeFiles/sa_graph.dir/algorithms.cc.o" "gcc" "src/graph/CMakeFiles/sa_graph.dir/algorithms.cc.o.d"
+  "/root/repo/src/graph/algorithms2.cc" "src/graph/CMakeFiles/sa_graph.dir/algorithms2.cc.o" "gcc" "src/graph/CMakeFiles/sa_graph.dir/algorithms2.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/sa_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/sa_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/sa_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/sa_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/sa_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/sa_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/smart_graph.cc" "src/graph/CMakeFiles/sa_graph.dir/smart_graph.cc.o" "gcc" "src/graph/CMakeFiles/sa_graph.dir/smart_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/sa_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/sa_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/sa_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

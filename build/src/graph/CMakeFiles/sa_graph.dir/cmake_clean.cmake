@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_graph.dir/algorithms.cc.o"
+  "CMakeFiles/sa_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/sa_graph.dir/algorithms2.cc.o"
+  "CMakeFiles/sa_graph.dir/algorithms2.cc.o.d"
+  "CMakeFiles/sa_graph.dir/csr.cc.o"
+  "CMakeFiles/sa_graph.dir/csr.cc.o.d"
+  "CMakeFiles/sa_graph.dir/generators.cc.o"
+  "CMakeFiles/sa_graph.dir/generators.cc.o.d"
+  "CMakeFiles/sa_graph.dir/io.cc.o"
+  "CMakeFiles/sa_graph.dir/io.cc.o.d"
+  "CMakeFiles/sa_graph.dir/smart_graph.cc.o"
+  "CMakeFiles/sa_graph.dir/smart_graph.cc.o.d"
+  "libsa_graph.a"
+  "libsa_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interop/access_paths.cc" "src/interop/CMakeFiles/sa_interop.dir/access_paths.cc.o" "gcc" "src/interop/CMakeFiles/sa_interop.dir/access_paths.cc.o.d"
+  "/root/repo/src/interop/ffi_boundary.cc" "src/interop/CMakeFiles/sa_interop.dir/ffi_boundary.cc.o" "gcc" "src/interop/CMakeFiles/sa_interop.dir/ffi_boundary.cc.o.d"
+  "/root/repo/src/interop/minivm.cc" "src/interop/CMakeFiles/sa_interop.dir/minivm.cc.o" "gcc" "src/interop/CMakeFiles/sa_interop.dir/minivm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/sa_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/sa_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/sa_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

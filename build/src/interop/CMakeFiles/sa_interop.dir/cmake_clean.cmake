@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_interop.dir/access_paths.cc.o"
+  "CMakeFiles/sa_interop.dir/access_paths.cc.o.d"
+  "CMakeFiles/sa_interop.dir/ffi_boundary.cc.o"
+  "CMakeFiles/sa_interop.dir/ffi_boundary.cc.o.d"
+  "CMakeFiles/sa_interop.dir/minivm.cc.o"
+  "CMakeFiles/sa_interop.dir/minivm.cc.o.d"
+  "libsa_interop.a"
+  "libsa_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/affinity.cc" "src/platform/CMakeFiles/sa_platform.dir/affinity.cc.o" "gcc" "src/platform/CMakeFiles/sa_platform.dir/affinity.cc.o.d"
+  "/root/repo/src/platform/numa_memory.cc" "src/platform/CMakeFiles/sa_platform.dir/numa_memory.cc.o" "gcc" "src/platform/CMakeFiles/sa_platform.dir/numa_memory.cc.o.d"
+  "/root/repo/src/platform/topology.cc" "src/platform/CMakeFiles/sa_platform.dir/topology.cc.o" "gcc" "src/platform/CMakeFiles/sa_platform.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_platform.dir/affinity.cc.o"
+  "CMakeFiles/sa_platform.dir/affinity.cc.o.d"
+  "CMakeFiles/sa_platform.dir/numa_memory.cc.o"
+  "CMakeFiles/sa_platform.dir/numa_memory.cc.o.d"
+  "CMakeFiles/sa_platform.dir/topology.cc.o"
+  "CMakeFiles/sa_platform.dir/topology.cc.o.d"
+  "libsa_platform.a"
+  "libsa_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

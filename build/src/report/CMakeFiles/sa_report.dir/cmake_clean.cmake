@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_report.dir/table.cc.o"
+  "CMakeFiles/sa_report.dir/table.cc.o.d"
+  "libsa_report.a"
+  "libsa_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

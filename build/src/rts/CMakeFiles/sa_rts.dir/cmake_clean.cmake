@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_rts.dir/worker_pool.cc.o"
+  "CMakeFiles/sa_rts.dir/worker_pool.cc.o.d"
+  "libsa_rts.a"
+  "libsa_rts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_rts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

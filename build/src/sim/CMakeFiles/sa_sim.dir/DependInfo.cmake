@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fluid.cc" "src/sim/CMakeFiles/sa_sim.dir/fluid.cc.o" "gcc" "src/sim/CMakeFiles/sa_sim.dir/fluid.cc.o.d"
+  "/root/repo/src/sim/machine_model.cc" "src/sim/CMakeFiles/sa_sim.dir/machine_model.cc.o" "gcc" "src/sim/CMakeFiles/sa_sim.dir/machine_model.cc.o.d"
+  "/root/repo/src/sim/machine_spec.cc" "src/sim/CMakeFiles/sa_sim.dir/machine_spec.cc.o" "gcc" "src/sim/CMakeFiles/sa_sim.dir/machine_spec.cc.o.d"
+  "/root/repo/src/sim/mlc.cc" "src/sim/CMakeFiles/sa_sim.dir/mlc.cc.o" "gcc" "src/sim/CMakeFiles/sa_sim.dir/mlc.cc.o.d"
+  "/root/repo/src/sim/profiler.cc" "src/sim/CMakeFiles/sa_sim.dir/profiler.cc.o" "gcc" "src/sim/CMakeFiles/sa_sim.dir/profiler.cc.o.d"
+  "/root/repo/src/sim/workloads.cc" "src/sim/CMakeFiles/sa_sim.dir/workloads.cc.o" "gcc" "src/sim/CMakeFiles/sa_sim.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/sa_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/sa_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/sa_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

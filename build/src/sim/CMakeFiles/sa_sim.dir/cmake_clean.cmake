@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_sim.dir/fluid.cc.o"
+  "CMakeFiles/sa_sim.dir/fluid.cc.o.d"
+  "CMakeFiles/sa_sim.dir/machine_model.cc.o"
+  "CMakeFiles/sa_sim.dir/machine_model.cc.o.d"
+  "CMakeFiles/sa_sim.dir/machine_spec.cc.o"
+  "CMakeFiles/sa_sim.dir/machine_spec.cc.o.d"
+  "CMakeFiles/sa_sim.dir/mlc.cc.o"
+  "CMakeFiles/sa_sim.dir/mlc.cc.o.d"
+  "CMakeFiles/sa_sim.dir/profiler.cc.o"
+  "CMakeFiles/sa_sim.dir/profiler.cc.o.d"
+  "CMakeFiles/sa_sim.dir/workloads.cc.o"
+  "CMakeFiles/sa_sim.dir/workloads.cc.o.d"
+  "libsa_sim.a"
+  "libsa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smart/entry_points.cc" "src/smart/CMakeFiles/sa_smart.dir/entry_points.cc.o" "gcc" "src/smart/CMakeFiles/sa_smart.dir/entry_points.cc.o.d"
+  "/root/repo/src/smart/iterator.cc" "src/smart/CMakeFiles/sa_smart.dir/iterator.cc.o" "gcc" "src/smart/CMakeFiles/sa_smart.dir/iterator.cc.o.d"
+  "/root/repo/src/smart/randomization.cc" "src/smart/CMakeFiles/sa_smart.dir/randomization.cc.o" "gcc" "src/smart/CMakeFiles/sa_smart.dir/randomization.cc.o.d"
+  "/root/repo/src/smart/restructure.cc" "src/smart/CMakeFiles/sa_smart.dir/restructure.cc.o" "gcc" "src/smart/CMakeFiles/sa_smart.dir/restructure.cc.o.d"
+  "/root/repo/src/smart/smart_array.cc" "src/smart/CMakeFiles/sa_smart.dir/smart_array.cc.o" "gcc" "src/smart/CMakeFiles/sa_smart.dir/smart_array.cc.o.d"
+  "/root/repo/src/smart/synchronized_array.cc" "src/smart/CMakeFiles/sa_smart.dir/synchronized_array.cc.o" "gcc" "src/smart/CMakeFiles/sa_smart.dir/synchronized_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/sa_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/sa_rts.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

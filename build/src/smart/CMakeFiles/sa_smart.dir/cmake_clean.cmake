@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_smart.dir/entry_points.cc.o"
+  "CMakeFiles/sa_smart.dir/entry_points.cc.o.d"
+  "CMakeFiles/sa_smart.dir/iterator.cc.o"
+  "CMakeFiles/sa_smart.dir/iterator.cc.o.d"
+  "CMakeFiles/sa_smart.dir/randomization.cc.o"
+  "CMakeFiles/sa_smart.dir/randomization.cc.o.d"
+  "CMakeFiles/sa_smart.dir/restructure.cc.o"
+  "CMakeFiles/sa_smart.dir/restructure.cc.o.d"
+  "CMakeFiles/sa_smart.dir/smart_array.cc.o"
+  "CMakeFiles/sa_smart.dir/smart_array.cc.o.d"
+  "CMakeFiles/sa_smart.dir/synchronized_array.cc.o"
+  "CMakeFiles/sa_smart.dir/synchronized_array.cc.o.d"
+  "libsa_smart.a"
+  "libsa_smart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_smart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

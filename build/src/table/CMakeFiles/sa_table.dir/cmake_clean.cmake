@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_table.dir/table.cc.o"
+  "CMakeFiles/sa_table.dir/table.cc.o.d"
+  "libsa_table.a"
+  "libsa_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

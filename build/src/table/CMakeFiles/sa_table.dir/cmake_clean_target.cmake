@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsa_table.a"
+)

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_tests.dir/adapt/adaptive_array_test.cc.o"
+  "CMakeFiles/adapt_tests.dir/adapt/adaptive_array_test.cc.o.d"
+  "CMakeFiles/adapt_tests.dir/adapt/decision_test.cc.o"
+  "CMakeFiles/adapt_tests.dir/adapt/decision_test.cc.o.d"
+  "CMakeFiles/adapt_tests.dir/adapt/estimator_test.cc.o"
+  "CMakeFiles/adapt_tests.dir/adapt/estimator_test.cc.o.d"
+  "CMakeFiles/adapt_tests.dir/adapt/evaluation_test.cc.o"
+  "CMakeFiles/adapt_tests.dir/adapt/evaluation_test.cc.o.d"
+  "adapt_tests"
+  "adapt_tests.pdb"
+  "adapt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

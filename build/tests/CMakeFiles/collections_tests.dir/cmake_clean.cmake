@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collections_tests.dir/collections/entry_points_test.cc.o"
+  "CMakeFiles/collections_tests.dir/collections/entry_points_test.cc.o.d"
+  "CMakeFiles/collections_tests.dir/collections/smart_map_test.cc.o"
+  "CMakeFiles/collections_tests.dir/collections/smart_map_test.cc.o.d"
+  "CMakeFiles/collections_tests.dir/collections/smart_set_test.cc.o"
+  "CMakeFiles/collections_tests.dir/collections/smart_set_test.cc.o.d"
+  "collections_tests"
+  "collections_tests.pdb"
+  "collections_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collections_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

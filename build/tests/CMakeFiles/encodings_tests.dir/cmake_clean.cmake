@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encodings_tests.dir/encodings/encoded_array_test.cc.o"
+  "CMakeFiles/encodings_tests.dir/encodings/encoded_array_test.cc.o.d"
+  "CMakeFiles/encodings_tests.dir/encodings/encoding_test.cc.o"
+  "CMakeFiles/encodings_tests.dir/encodings/encoding_test.cc.o.d"
+  "encodings_tests"
+  "encodings_tests.pdb"
+  "encodings_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encodings_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_tests.dir/graph/algorithms2_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/algorithms2_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/algorithms_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/algorithms_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/csr_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/csr_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/io_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/io_test.cc.o.d"
+  "CMakeFiles/graph_tests.dir/graph/smart_graph_test.cc.o"
+  "CMakeFiles/graph_tests.dir/graph/smart_graph_test.cc.o.d"
+  "graph_tests"
+  "graph_tests.pdb"
+  "graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_tests.dir/interop/access_paths_test.cc.o"
+  "CMakeFiles/interop_tests.dir/interop/access_paths_test.cc.o.d"
+  "CMakeFiles/interop_tests.dir/interop/minivm_test.cc.o"
+  "CMakeFiles/interop_tests.dir/interop/minivm_test.cc.o.d"
+  "interop_tests"
+  "interop_tests.pdb"
+  "interop_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

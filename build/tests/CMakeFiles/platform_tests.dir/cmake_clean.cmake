@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_tests.dir/platform/numa_memory_test.cc.o"
+  "CMakeFiles/platform_tests.dir/platform/numa_memory_test.cc.o.d"
+  "CMakeFiles/platform_tests.dir/platform/topology_test.cc.o"
+  "CMakeFiles/platform_tests.dir/platform/topology_test.cc.o.d"
+  "platform_tests"
+  "platform_tests.pdb"
+  "platform_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_tests.dir/report/table_test.cc.o"
+  "CMakeFiles/report_tests.dir/report/table_test.cc.o.d"
+  "report_tests"
+  "report_tests.pdb"
+  "report_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

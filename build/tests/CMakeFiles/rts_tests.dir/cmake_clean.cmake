@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rts_tests.dir/rts/parallel_for_test.cc.o"
+  "CMakeFiles/rts_tests.dir/rts/parallel_for_test.cc.o.d"
+  "CMakeFiles/rts_tests.dir/rts/worker_pool_test.cc.o"
+  "CMakeFiles/rts_tests.dir/rts/worker_pool_test.cc.o.d"
+  "rts_tests"
+  "rts_tests.pdb"
+  "rts_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rts_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_tests.dir/smart/bit_compressed_test.cc.o"
+  "CMakeFiles/smart_tests.dir/smart/bit_compressed_test.cc.o.d"
+  "CMakeFiles/smart_tests.dir/smart/entry_points_test.cc.o"
+  "CMakeFiles/smart_tests.dir/smart/entry_points_test.cc.o.d"
+  "CMakeFiles/smart_tests.dir/smart/extensions_test.cc.o"
+  "CMakeFiles/smart_tests.dir/smart/extensions_test.cc.o.d"
+  "CMakeFiles/smart_tests.dir/smart/iterator_test.cc.o"
+  "CMakeFiles/smart_tests.dir/smart/iterator_test.cc.o.d"
+  "CMakeFiles/smart_tests.dir/smart/parallel_ops_test.cc.o"
+  "CMakeFiles/smart_tests.dir/smart/parallel_ops_test.cc.o.d"
+  "CMakeFiles/smart_tests.dir/smart/smart_array_test.cc.o"
+  "CMakeFiles/smart_tests.dir/smart/smart_array_test.cc.o.d"
+  "smart_tests"
+  "smart_tests.pdb"
+  "smart_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_tests.dir/table/table_test.cc.o"
+  "CMakeFiles/table_tests.dir/table/table_test.cc.o.d"
+  "table_tests"
+  "table_tests.pdb"
+  "table_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

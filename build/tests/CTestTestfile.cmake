@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/platform_tests[1]_include.cmake")
+include("/root/repo/build/tests/rts_tests[1]_include.cmake")
+include("/root/repo/build/tests/smart_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/interop_tests[1]_include.cmake")
+include("/root/repo/build/tests/graph_tests[1]_include.cmake")
+include("/root/repo/build/tests/adapt_tests[1]_include.cmake")
+include("/root/repo/build/tests/encodings_tests[1]_include.cmake")
+include("/root/repo/build/tests/collections_tests[1]_include.cmake")
+include("/root/repo/build/tests/table_tests[1]_include.cmake")
+include("/root/repo/build/tests/report_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

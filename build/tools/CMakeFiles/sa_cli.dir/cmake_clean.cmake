@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_cli.dir/sa_cli.cc.o"
+  "CMakeFiles/sa_cli.dir/sa_cli.cc.o.d"
+  "sa_cli"
+  "sa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
