@@ -1,13 +1,22 @@
 // Microbenchmarks of the bit-compression codec (Functions 1-3): getter,
 // initializer, and chunk unpack across representative widths, plus the
-// 32/64-bit specializations. Run via google-benchmark.
+// 32/64-bit specializations, and the chunk-granular aggregation kernels
+// (scalar-iterator vs block kernel vs AVX2).
+//
+// The binary has a custom main: before running google-benchmark it times
+// the three sum paths per width and writes BENCH_codec.json (a JSON array,
+// one object per {width, placement, kernel} config with bytes/s of
+// compressed data aggregated).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <vector>
 
 #include "common/bits.h"
 #include "common/random.h"
 #include "smart/dispatch.h"
+#include "smart/iterator.h"
 
 namespace {
 
@@ -110,4 +119,149 @@ void BM_CodecUnpack(benchmark::State& state) {
 }
 BENCHMARK(BM_CodecUnpack)->Arg(7)->Arg(10)->Arg(32)->Arg(33)->Arg(50)->Arg(64);
 
+// ---------------------------------------------------------------------------
+// Aggregation kernels: scalar buffered iterator vs chunk-granular block
+// kernel vs AVX2, over the same packed words.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kSumElems = 1 << 20;
+
+uint64_t IteratorSum(const std::vector<uint64_t>& words, uint32_t bits) {
+  return sa::smart::WithBits(bits, [&](auto bits_const) -> uint64_t {
+    sa::smart::TypedIterator<bits_const()> it(words.data(), 0);
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < kSumElems; ++i, it.Next()) {
+      sum += it.Get();
+    }
+    return sum;
+  });
+}
+
+uint64_t BlockSum(const std::vector<uint64_t>& words, uint32_t bits) {
+  return sa::smart::WithBits(bits, [&](auto bits_const) -> uint64_t {
+    return sa::smart::BitCompressedArray<bits_const()>::SumRangeImpl(words.data(), 0, kSumElems);
+  });
+}
+
+#if defined(SA_HAVE_AVX2_KERNELS)
+uint64_t Avx2Sum(const std::vector<uint64_t>& words, uint32_t bits) {
+  return sa::smart::WithBits(bits, [&](auto bits_const) -> uint64_t {
+    return sa::smart::BitCompressedArray<bits_const()>::SumRangeAvx2(words.data(), 0, kSumElems);
+  });
+}
+#endif
+
+bool Avx2Selected(uint32_t bits) {
+  return sa::smart::WithBits(bits, [](auto bits_const) {
+    return sa::smart::BitCompressedArray<bits_const()>::UsesAvx2Kernels();
+  });
+}
+
+void BM_SumScalarIterator(benchmark::State& state) {
+  const auto bits = static_cast<uint32_t>(state.range(0));
+  const auto words = MakeWords(kSumElems, bits);
+  for (auto _ : state) {
+    uint64_t sum = IteratorSum(words, bits);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * kSumElems * bits / 8));
+}
+BENCHMARK(BM_SumScalarIterator)->Arg(7)->Arg(13)->Arg(17)->Arg(33)->Arg(50)->Arg(64);
+
+void BM_SumBlockKernel(benchmark::State& state) {
+  const auto bits = static_cast<uint32_t>(state.range(0));
+  const auto words = MakeWords(kSumElems, bits);
+  for (auto _ : state) {
+    uint64_t sum = BlockSum(words, bits);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * kSumElems * bits / 8));
+}
+BENCHMARK(BM_SumBlockKernel)->Arg(7)->Arg(13)->Arg(17)->Arg(33)->Arg(50)->Arg(64);
+
+void BM_SumAvx2(benchmark::State& state) {
+  const auto bits = static_cast<uint32_t>(state.range(0));
+  if (!Avx2Selected(bits)) {
+    state.SkipWithError("AVX2 kernels not selected on this host/width");
+    return;
+  }
+#if defined(SA_HAVE_AVX2_KERNELS)
+  const auto words = MakeWords(kSumElems, bits);
+  for (auto _ : state) {
+    uint64_t sum = Avx2Sum(words, bits);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * kSumElems * bits / 8));
+#endif
+}
+BENCHMARK(BM_SumAvx2)->Arg(7)->Arg(13)->Arg(17)->Arg(33)->Arg(50);
+
+// ---------------------------------------------------------------------------
+// BENCH_codec.json emission (machine-readable kernel comparison).
+// ---------------------------------------------------------------------------
+
+// Times fn() until ~80ms have elapsed and returns bytes/s of compressed
+// data aggregated (kSumElems * bits / 8 per call).
+template <typename Fn>
+double MeasureBytesPerSec(uint32_t bits, const Fn& fn) {
+  using Clock = std::chrono::steady_clock;
+  uint64_t sink = fn();  // warm-up + page-in
+  benchmark::DoNotOptimize(sink);
+  uint64_t calls = 0;
+  const auto start = Clock::now();
+  Clock::duration elapsed{};
+  do {
+    sink += fn();
+    benchmark::DoNotOptimize(sink);
+    ++calls;
+    elapsed = Clock::now() - start;
+  } while (elapsed < std::chrono::milliseconds(80));
+  const double seconds = std::chrono::duration<double>(elapsed).count();
+  return static_cast<double>(calls) * kSumElems * bits / 8.0 / seconds;
+}
+
+void WriteBenchJson(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  const uint32_t kWidths[] = {1, 4, 7, 8, 13, 16, 17, 24, 32, 33, 48, 50, 64};
+  std::fprintf(f, "[\n");
+  bool first = true;
+  for (const uint32_t bits : kWidths) {
+    const auto words = MakeWords(kSumElems, bits);
+    const auto emit = [&](const char* kernel, double bytes_per_sec) {
+      std::fprintf(f, "%s  {\"width\": %u, \"placement\": \"os-default\", \"kernel\": \"%s\", "
+                      "\"bytes_per_sec\": %.6e}",
+                   first ? "" : ",\n", bits, kernel, bytes_per_sec);
+      first = false;
+    };
+    emit("scalar-iterator",
+         MeasureBytesPerSec(bits, [&] { return IteratorSum(words, bits); }));
+    emit("block", MeasureBytesPerSec(bits, [&] { return BlockSum(words, bits); }));
+#if defined(SA_HAVE_AVX2_KERNELS)
+    if (Avx2Selected(bits)) {
+      emit("avx2", MeasureBytesPerSec(bits, [&] { return Avx2Sum(words, bits); }));
+    }
+#endif
+  }
+  std::fprintf(f, "\n]\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path);
+}
+
 }  // namespace
+
+// Custom main: emit the kernel-comparison JSON, then run google-benchmark
+// as usual (so `micro_codec` keeps working as a regular gbench binary).
+int main(int argc, char** argv) {
+  WriteBenchJson("BENCH_codec.json");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

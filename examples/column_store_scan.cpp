@@ -11,6 +11,7 @@
 
 #include "common/random.h"
 #include "report/table.h"
+#include "smart/iterator.h"
 #include "smart/parallel_ops.h"
 
 namespace {

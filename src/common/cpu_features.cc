@@ -1,0 +1,28 @@
+#include "common/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace sa {
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures features;
+#if defined(__x86_64__) || defined(__i386__)
+  features.avx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+  const char* disable = std::getenv("SA_DISABLE_AVX2");
+  if (disable != nullptr && std::strcmp(disable, "0") != 0) {
+    features.avx2 = false;
+  }
+  return features;
+}
+
+}  // namespace
+
+const CpuFeatures& HostCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+}  // namespace sa

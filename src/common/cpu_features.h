@@ -1,0 +1,25 @@
+// Runtime CPU feature detection for the kernel dispatch layer.
+//
+// The chunk-granular aggregation kernels (smart/bit_compressed_array.h) ship
+// both a portable scalar block path and an AVX2 path compiled with a
+// per-function target attribute, so the library builds without -mavx2 and
+// still runs on machines without AVX2. Which path executes is decided once
+// per process from CPUID, here.
+#ifndef SA_COMMON_CPU_FEATURES_H_
+#define SA_COMMON_CPU_FEATURES_H_
+
+namespace sa {
+
+struct CpuFeatures {
+  bool avx2 = false;
+};
+
+// Features of the host CPU, probed once (thread-safe, cached) and merged
+// with the SA_DISABLE_AVX2 environment override: setting SA_DISABLE_AVX2 to
+// any value other than "0" forces the scalar block kernels, which is how CI
+// covers the fallback path on AVX2-capable runners.
+const CpuFeatures& HostCpuFeatures();
+
+}  // namespace sa
+
+#endif  // SA_COMMON_CPU_FEATURES_H_

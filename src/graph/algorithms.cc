@@ -1,11 +1,11 @@
 #include "graph/algorithms.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
 #include "rts/parallel_for.h"
 #include "smart/dispatch.h"
-#include "smart/iterator.h"
 #include "smart/parallel_ops.h"
 
 namespace sa::graph {
@@ -27,24 +27,36 @@ void DegreeCentralitySmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
 
   smart::WithBits(graph.index_bits(), [&](auto bits_const) {
     constexpr uint32_t kBits = bits_const();
+    using Codec = smart::BitCompressedArray<kBits>;
     rts::ParallelFor(
         pool, 0, graph.num_vertices(), smart::kChunkAlignedGrain,
         [&](int worker, uint64_t b, uint64_t e) {
           const int socket = pool.worker_socket(worker);
-          // Two iterator pairs offset by one element: consecutive begin[]
-          // values stream past once each, as in the PGX kernel.
-          smart::TypedIterator<kBits> begin_lo(begin.GetReplica(socket), b);
-          smart::TypedIterator<kBits> begin_hi(begin.GetReplica(socket), b + 1);
-          smart::TypedIterator<kBits> rbegin_lo(rbegin.GetReplica(socket), b);
-          smart::TypedIterator<kBits> rbegin_hi(rbegin.GetReplica(socket), b + 1);
-          for (uint64_t v = b; v < e; ++v) {
-            const uint64_t degree = (begin_hi.Get() - begin_lo.Get()) +
-                                    (rbegin_hi.Get() - rbegin_lo.Get());
+          const uint64_t* begin_rep = begin.GetReplica(socket);
+          const uint64_t* rbegin_rep = rbegin.GetReplica(socket);
+          // begin[]/rbegin[] stream past once each, decoded a whole chunk
+          // at a time; element v+64 (always valid: the index arrays have
+          // num_vertices()+1 entries) seeds the chunk-crossing difference.
+          uint64_t fwd[kChunkElems + 1];
+          uint64_t rev[kChunkElems + 1];
+          uint64_t v = b;
+          for (; v % kChunkElems == 0 && v + kChunkElems <= e;
+               v += kChunkElems) {
+            const uint64_t chunk = v / kChunkElems;
+            Codec::UnpackUnrolledImpl(begin_rep, chunk, fwd);
+            Codec::UnpackUnrolledImpl(rbegin_rep, chunk, rev);
+            fwd[kChunkElems] = Codec::GetImpl(begin_rep, v + kChunkElems);
+            rev[kChunkElems] = Codec::GetImpl(rbegin_rep, v + kChunkElems);
+            for (uint32_t j = 0; j < kChunkElems; ++j) {
+              out->Init(v + j, (fwd[j + 1] - fwd[j]) + (rev[j + 1] - rev[j]));
+            }
+          }
+          // Ragged tail (and any unaligned batch start): element-wise.
+          for (; v < e; ++v) {
+            const uint64_t degree =
+                (Codec::GetImpl(begin_rep, v + 1) - Codec::GetImpl(begin_rep, v)) +
+                (Codec::GetImpl(rbegin_rep, v + 1) - Codec::GetImpl(rbegin_rep, v));
             out->Init(v, degree);
-            begin_lo.Next();
-            begin_hi.Next();
-            rbegin_lo.Next();
-            rbegin_hi.Next();
           }
         });
     return 0;
@@ -116,16 +128,16 @@ PageRankResult PageRankSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
             for (uint64_t v = b; v < e; ++v) {
               const uint64_t first = index_codec.get(rbegin_rep, v);
               const uint64_t last = index_codec.get(rbegin_rep, v + 1);
-              smart::TypedIterator<kEdgeBits> in_edges(redge_rep, first);
               double sum = 0.0;
-              for (uint64_t ei = first; ei < last; ++ei) {
-                const uint64_t u = in_edges.Get();
-                const double r =
-                    std::bit_cast<double>(smart::BitCompressedArray<64>::GetImpl(rank_rep, u));
-                const auto deg = static_cast<double>(degree_codec.get(degree_rep, u));
-                sum += r / deg;
-                in_edges.Next();
-              }
+              // The in-edge list [first, last) streams through the chunk-
+              // granular range kernel: whole chunks decode branch-free, the
+              // rank/degree gathers stay per-element (they are random).
+              smart::BitCompressedArray<kEdgeBits>::ForEachRangeImpl(
+                  redge_rep, first, last, [&](uint64_t u, uint64_t /*ei*/) {
+                    const double r = std::bit_cast<double>(
+                        smart::BitCompressedArray<64>::GetImpl(rank_rep, u));
+                    sum += r / static_cast<double>(degree_codec.get(degree_rep, u));
+                  });
               const double new_rank = base + options.damping * sum;
               const double old_rank =
                   std::bit_cast<double>(smart::BitCompressedArray<64>::GetImpl(rank_rep, v));
@@ -137,16 +149,14 @@ PageRankResult PageRankSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
     });
 
     // Publish next -> rank (all replicas), chunk-aligned so writers never
-    // share a word.
+    // share a word. Both arrays are 64-bit, so a batch is a straight word
+    // copy per replica — the bulk path the compiler turns into wide moves.
     rts::ParallelFor(pool, 0, n, smart::kChunkAlignedGrain,
                      [&](int /*worker*/, uint64_t b, uint64_t e) {
                        const uint64_t* src = next->GetReplica(0);
                        for (int r = 0; r < rank->num_replicas(); ++r) {
                          uint64_t* dst = rank->MutableReplica(r);
-                         for (uint64_t v = b; v < e; ++v) {
-                           smart::BitCompressedArray<64>::InitImpl(
-                               dst, v, smart::BitCompressedArray<64>::GetImpl(src, v));
-                         }
+                         std::copy(src + b, src + e, dst + b);
                        }
                      });
 

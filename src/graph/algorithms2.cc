@@ -8,7 +8,6 @@
 #include "rts/parallel_for.h"
 #include "smart/dispatch.h"
 #include "smart/parallel_ops.h"
-#include "smart/iterator.h"
 
 namespace sa::graph {
 namespace {
@@ -142,16 +141,15 @@ std::vector<uint64_t> BfsLevelsSmart(rts::WorkerPool& pool, const SmartCsrGraph&
           }
           const uint64_t first = index_codec.get(begin_rep, v);
           const uint64_t last = index_codec.get(begin_rep, v + 1);
-          smart::TypedIterator<kEdgeBits> out_edges(edge_rep, first);
-          for (uint64_t ei = first; ei < last; ++ei) {
-            const uint64_t u = out_edges.Get();
-            out_edges.Next();
-            // Benign race: concurrent writers all store round+1.
-            if (level_data[u] == kUnreachable) {
-              level_data[u] = round + 1;
-              local_advanced = true;
-            }
-          }
+          // Chunk-granular decode of the out-edge list (range kernel).
+          smart::BitCompressedArray<kEdgeBits>::ForEachRangeImpl(
+              edge_rep, first, last, [&](uint64_t u, uint64_t /*ei*/) {
+                // Benign race: concurrent writers all store round+1.
+                if (level_data[u] == kUnreachable) {
+                  level_data[u] = round + 1;
+                  local_advanced = true;
+                }
+              });
         }
         if (local_advanced) {
           advanced.store(true, std::memory_order_relaxed);
@@ -223,24 +221,14 @@ std::vector<uint64_t> ConnectedComponentsSmart(rts::WorkerPool& pool,
         bool local_changed = false;
         for (uint64_t v = b; v < e; ++v) {
           uint64_t m = label[v];
-          {
-            const uint64_t first = index_codec.get(begin_rep, v);
-            const uint64_t last = index_codec.get(begin_rep, v + 1);
-            smart::TypedIterator<kEdgeBits> it(edge_rep, first);
-            for (uint64_t ei = first; ei < last; ++ei) {
-              m = std::min(m, label[it.Get()]);
-              it.Next();
-            }
-          }
-          {
-            const uint64_t first = index_codec.get(rbegin_rep, v);
-            const uint64_t last = index_codec.get(rbegin_rep, v + 1);
-            smart::TypedIterator<kEdgeBits> it(redge_rep, first);
-            for (uint64_t ei = first; ei < last; ++ei) {
-              m = std::min(m, label[it.Get()]);
-              it.Next();
-            }
-          }
+          // Both neighbor lists stream through the chunk-granular range
+          // kernel; the label reads stay per-element (random gathers).
+          const auto relax = [&](uint64_t u, uint64_t /*ei*/) { m = std::min(m, label[u]); };
+          smart::BitCompressedArray<kEdgeBits>::ForEachRangeImpl(
+              edge_rep, index_codec.get(begin_rep, v), index_codec.get(begin_rep, v + 1), relax);
+          smart::BitCompressedArray<kEdgeBits>::ForEachRangeImpl(
+              redge_rep, index_codec.get(rbegin_rep, v), index_codec.get(rbegin_rep, v + 1),
+              relax);
           // Monotone decrease; races only delay convergence.
           if (m < label[v]) {
             label[v] = m;

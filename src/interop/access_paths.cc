@@ -1,7 +1,6 @@
 #include "interop/access_paths.h"
 
-#include "smart/dispatch.h"
-#include "smart/iterator.h"
+#include "smart/entry_points.h"
 
 namespace sa::interop {
 
@@ -71,21 +70,11 @@ uint64_t AggregateViaUnsafe(const uint64_t* data, uint64_t length) {
 }
 
 uint64_t AggregateViaSmartArray(const smart::SmartArray& array) {
-  // Function 4 (Java): profile the bit width once, then run the loop with
-  // the width fixed, letting the compiler inline the concrete codec — the
-  // GraalVM partial-evaluation result, expressed as WithBits + TypedIterator.
-  const uint64_t length = array.length();
-  const uint64_t* replica = array.GetReplicaForCurrentThread();
-  return smart::WithBits(array.bits(), [&](auto bits_const) -> uint64_t {
-    constexpr uint32_t kBits = bits_const();
-    smart::TypedIterator<kBits> it(replica, 0);
-    uint64_t sum = 0;
-    for (uint64_t i = 0; i < length; ++i) {
-      sum += it.Get();
-      it.Next();
-    }
-    return sum;
-  });
+  // Function 4 (Java) after Sulong inlining: the guest passes its `long sa`
+  // native pointer to the saArraySumRange entry point and runs the exact
+  // chunk-granular block kernels (AVX2 dispatch included) that native C++
+  // callers use — one implementation, every language.
+  return saArraySumRange(&array, 0, array.length());
 }
 
 uint64_t AggregateTiered(ManagedRuntime& vm, Handle array, TierProfile& profile) {

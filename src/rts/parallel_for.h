@@ -56,6 +56,9 @@ void ParallelFor(WorkerPool& pool, uint64_t begin, uint64_t end, uint64_t grain,
                                                  ? sockets
                                                  : 1);
   // Contiguous per-socket sub-ranges proportional to each socket's workers.
+  // Region boundaries are rounded up to a grain multiple so every batch
+  // starts at begin + k*grain; chunk-aligned loops (ParallelFill's
+  // no-shared-word guarantee) depend on batches never splitting mid-grain.
   std::vector<uint64_t> range_begin(cursors.size() + 1, begin);
   if (scheduling == Scheduling::kDynamicPerSocket) {
     const uint64_t total = end - begin;
@@ -63,8 +66,9 @@ void ParallelFor(WorkerPool& pool, uint64_t begin, uint64_t end, uint64_t grain,
     int workers_seen = 0;
     for (int s = 0; s < sockets; ++s) {
       workers_seen += pool.workers_per_socket()[s];
-      const uint64_t upto = total * static_cast<uint64_t>(workers_seen) /
-                            static_cast<uint64_t>(workers > 0 ? workers : 1);
+      uint64_t upto = total * static_cast<uint64_t>(workers_seen) /
+                      static_cast<uint64_t>(workers > 0 ? workers : 1);
+      upto = std::min(total, (upto + grain - 1) / grain * grain);
       range_begin[s] = begin + assigned;
       assigned = upto;
     }

@@ -1,0 +1,94 @@
+// AVX2 flavour of the chunk-granular aggregation kernels.
+//
+// Compiled with a per-function target attribute so the library still builds
+// without -mavx2 and runs on machines without AVX2; callers must gate on
+// sa::HostCpuFeatures().avx2 (bit_compressed_array.h's SumRange dispatcher
+// does). The decode strategy is the same shift/mask scheme as the scalar
+// codec, four elements per vector: every element's word index and shift is a
+// compile-time function of (BITS, position-in-chunk), precomputed into
+// constexpr lane tables, so the kernel is a gather + variable-shift loop
+// with no data-dependent control flow.
+#ifndef SA_SMART_CHUNK_KERNELS_AVX2_H_
+#define SA_SMART_CHUNK_KERNELS_AVX2_H_
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SA_HAVE_AVX2_KERNELS 1
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "common/bits.h"
+
+namespace sa::smart::avx2 {
+
+// Per-element decode constants of one chunk of BITS-wide elements, laid out
+// for aligned 4-lane vector loads. lo_word/shift extract the low part of
+// each element. hi_word is the word holding the element's *last* bit — equal
+// to lo_word when the element does not straddle a word boundary, so the
+// gather never reads outside the chunk's BITS words. straddle is an all-ones
+// lane mask for straddling elements: the high contribution must be zeroed
+// explicitly for non-straddling lanes (the left-shift count 64 - shift only
+// zeroes it when shift == 0).
+template <uint32_t BITS>
+struct LaneTables {
+  alignas(32) uint64_t lo_word[kChunkElems];
+  alignas(32) uint64_t hi_word[kChunkElems];
+  alignas(32) uint64_t shift[kChunkElems];
+  alignas(32) uint64_t straddle[kChunkElems];
+  bool group_straddles[kChunkElems / 4];
+};
+
+template <uint32_t BITS>
+constexpr LaneTables<BITS> MakeLaneTables() {
+  LaneTables<BITS> t{};
+  for (uint32_t i = 0; i < kChunkElems; ++i) {
+    const uint32_t bit = i * BITS;
+    t.lo_word[i] = bit / kWordBits;
+    t.hi_word[i] = (bit + BITS - 1) / kWordBits;
+    t.shift[i] = bit % kWordBits;
+    const bool straddles = bit % kWordBits + BITS > kWordBits;
+    t.straddle[i] = straddles ? ~uint64_t{0} : uint64_t{0};
+    t.group_straddles[i / 4] = t.group_straddles[i / 4] || straddles;
+  }
+  return t;
+}
+
+template <uint32_t BITS>
+inline constexpr LaneTables<BITS> kLaneTables = MakeLaneTables<BITS>();
+
+// Sum of the 64 elements of the chunk starting at `words`.
+template <uint32_t BITS>
+__attribute__((target("avx2"))) inline uint64_t SumChunk(const uint64_t* words) {
+  const LaneTables<BITS>& t = kLaneTables<BITS>;
+  const __m256i value_mask = _mm256_set1_epi64x(static_cast<long long>(LowMask(BITS)));
+  const __m256i word_bits = _mm256_set1_epi64x(kWordBits);
+  const auto* base = reinterpret_cast<const long long*>(words);
+  __m256i acc = _mm256_setzero_si256();
+  for (uint32_t g = 0; g < kChunkElems; g += 4) {
+    const __m256i lo_idx = _mm256_load_si256(reinterpret_cast<const __m256i*>(&t.lo_word[g]));
+    const __m256i shift = _mm256_load_si256(reinterpret_cast<const __m256i*>(&t.shift[g]));
+    const __m256i lo = _mm256_i64gather_epi64(base, lo_idx, 8);
+    __m256i value = _mm256_srlv_epi64(lo, shift);
+    // Constant per (BITS, g): perfectly predicted, and skips the second
+    // gather for the straddle-free groups.
+    if (t.group_straddles[g / 4]) {
+      const __m256i hi_idx = _mm256_load_si256(reinterpret_cast<const __m256i*>(&t.hi_word[g]));
+      const __m256i straddle =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(&t.straddle[g]));
+      const __m256i hi = _mm256_i64gather_epi64(base, hi_idx, 8);
+      const __m256i hi_part = _mm256_sllv_epi64(hi, _mm256_sub_epi64(word_bits, shift));
+      value = _mm256_or_si256(value, _mm256_and_si256(hi_part, straddle));
+    }
+    acc = _mm256_add_epi64(acc, _mm256_and_si256(value, value_mask));
+  }
+  const __m128i folded =
+      _mm_add_epi64(_mm256_castsi256_si128(acc), _mm256_extracti128_si256(acc, 1));
+  return static_cast<uint64_t>(_mm_cvtsi128_si64(folded)) +
+         static_cast<uint64_t>(_mm_extract_epi64(folded, 1));
+}
+
+}  // namespace sa::smart::avx2
+
+#endif  // x86-64 && GNU-compatible compiler
+#endif  // SA_SMART_CHUNK_KERNELS_AVX2_H_

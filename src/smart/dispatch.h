@@ -20,6 +20,12 @@ struct CodecOps {
   void (*init)(uint64_t* replica, uint64_t index, uint64_t value) = nullptr;
   void (*init_atomic)(uint64_t* replica, uint64_t index, uint64_t value) = nullptr;
   void (*unpack)(const uint64_t* replica, uint64_t chunk, uint64_t* out) = nullptr;
+  // Chunk-granular aggregation (bit_compressed_array.h): already behind the
+  // one-time AVX2 runtime dispatch, so entry-point callers get the fast
+  // path with no further branching.
+  uint64_t (*sum_range)(const uint64_t* replica, uint64_t begin, uint64_t end) = nullptr;
+  uint64_t (*sum2_range)(const uint64_t* r1, const uint64_t* r2, uint64_t begin,
+                         uint64_t end) = nullptr;
 };
 
 namespace internal {
@@ -30,7 +36,9 @@ constexpr std::array<CodecOps, 65> MakeCodecTable(std::index_sequence<I...>) {
   ((table[I + 1] = CodecOps{&BitCompressedArray<I + 1>::GetImpl,
                             &BitCompressedArray<I + 1>::InitImpl,
                             &BitCompressedArray<I + 1>::InitAtomicImpl,
-                            &BitCompressedArray<I + 1>::UnpackImpl}),
+                            &BitCompressedArray<I + 1>::UnpackImpl,
+                            &BitCompressedArray<I + 1>::SumRange,
+                            &BitCompressedArray<I + 1>::Sum2Range}),
    ...);
   return table;
 }

@@ -71,8 +71,16 @@ typedef void (*saMapCallback)(const uint64_t* values, uint64_t count, uint64_t f
 void saArrayMapRange(const void* sa, uint64_t begin, uint64_t end, saMapCallback callback,
                      void* ctx);
 
-// Built-in reduction: sum of the elements in [begin, end).
+// Built-in reduction: sum of the elements in [begin, end). Runs on the
+// chunk-granular block kernels (AVX2 when the host supports it), so foreign
+// callers aggregate at native-kernel speed without re-implementing the
+// codec.
 uint64_t saArraySumRange(const void* sa, uint64_t begin, uint64_t end);
+
+// Fused two-array reduction: sum of sa1[i] + sa2[i] over [begin, end) — the
+// paper's §5.1 aggregation kernel as a single boundary call. Both arrays
+// must share one bit width.
+uint64_t saArraySum2Range(const void* sa1, const void* sa2, uint64_t begin, uint64_t end);
 
 }  // extern "C"
 

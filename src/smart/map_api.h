@@ -3,13 +3,12 @@
 // In comparison to the iterator API, the map interface can further improve
 // performance as it does not stall on the branches."
 //
-// MapRange decodes whole 64-element chunks with Unpack and hands the lambda
-// decoded spans — the per-element "new chunk?" test of the iterator
-// disappears entirely; only the chunk loop remains.
+// MapRange promotes the runtime width to a compile-time constant and runs
+// the chunk-granular range kernel (ForEachRangeImpl): whole chunks decode
+// branch-free, so the per-element "new chunk?" test of the iterator
+// disappears entirely.
 #ifndef SA_SMART_MAP_API_H_
 #define SA_SMART_MAP_API_H_
-
-#include <algorithm>
 
 #include "common/bits.h"
 #include "smart/dispatch.h"
@@ -29,27 +28,7 @@ void MapRange(const SmartArray& array, uint64_t begin, uint64_t end, int socket,
   const uint64_t* replica = array.GetReplica(socket);
   WithBits(array.bits(), [&](auto bits_const) {
     constexpr uint32_t kBits = bits_const();
-    using Codec = BitCompressedArray<kBits>;
-
-    uint64_t i = begin;
-    // Head: up to the first chunk boundary.
-    const uint64_t head_end = std::min(end, AlignUp(begin, kChunkElems));
-    for (; i < head_end; ++i) {
-      fn(Codec::GetImpl(replica, i), i);
-    }
-    // Whole chunks, decoded in one go — the branch-free body.
-    uint64_t buffer[kChunkElems];
-    while (i + kChunkElems <= end) {
-      Codec::UnpackUnrolledImpl(replica, i / kChunkElems, buffer);
-      for (uint32_t j = 0; j < kChunkElems; ++j) {
-        fn(buffer[j], i + j);
-      }
-      i += kChunkElems;
-    }
-    // Tail.
-    for (; i < end; ++i) {
-      fn(Codec::GetImpl(replica, i), i);
-    }
+    BitCompressedArray<kBits>::ForEachRangeImpl(replica, begin, end, fn);
     return 0;
   });
 }

@@ -2,8 +2,8 @@
 //
 // These are the helpers the paper's workloads use: parallel initialization
 // (whose batches are chunk-aligned so writers never share a 64-bit word and
-// no synchronization is needed) and parallel scans/aggregations through the
-// typed iterators.
+// no synchronization is needed) and parallel aggregations through the
+// chunk-granular block kernels of bit_compressed_array.h.
 #ifndef SA_SMART_PARALLEL_OPS_H_
 #define SA_SMART_PARALLEL_OPS_H_
 
@@ -12,7 +12,6 @@
 #include "common/bits.h"
 #include "rts/parallel_for.h"
 #include "smart/dispatch.h"
-#include "smart/iterator.h"
 #include "smart/smart_array.h"
 
 namespace sa::smart {
@@ -21,18 +20,21 @@ namespace sa::smart {
 // initializers of a bit-compressed array never touch the same word.
 inline constexpr uint64_t kChunkAlignedGrain = 256 * kChunkElems;
 
-// Fills array[i] = generator(i) for i in [0, length) in parallel.
-// generator must be safe to call concurrently.
+// Fills array[i] = generator(i) for i in [0, length) in parallel. The
+// generator runs exactly once per index (it may be expensive or stateful
+// per call) and the value is written to every replica.
+// generator must be safe to call concurrently for distinct indices.
 template <typename Generator>
 void ParallelFill(rts::WorkerPool& pool, SmartArray& array, const Generator& generator) {
   WithBits(array.bits(), [&](auto bits_const) {
     constexpr uint32_t kBits = bits_const();
+    const int replicas = array.num_replicas();
     rts::ParallelFor(pool, 0, array.length(), kChunkAlignedGrain,
                      [&](int /*worker*/, uint64_t begin, uint64_t end) {
-                       for (int r = 0; r < array.num_replicas(); ++r) {
-                         uint64_t* replica = array.MutableReplica(r);
-                         for (uint64_t i = begin; i < end; ++i) {
-                           BitCompressedArray<kBits>::InitImpl(replica, i, generator(i));
+                       for (uint64_t i = begin; i < end; ++i) {
+                         const uint64_t value = generator(i);
+                         for (int r = 0; r < replicas; ++r) {
+                           BitCompressedArray<kBits>::InitImpl(array.MutableReplica(r), i, value);
                          }
                        }
                      });
@@ -40,26 +42,24 @@ void ParallelFill(rts::WorkerPool& pool, SmartArray& array, const Generator& gen
   });
 }
 
-// Parallel sum of all elements, scanning each worker's socket-local replica
-// through the typed iterator (the paper's aggregation kernel, Function 4).
+// Parallel sum of all elements (the paper's aggregation kernel, Function 4),
+// scanning each worker's socket-local replica through the chunk-granular
+// block kernels: whole chunks aggregate straight from the packed words with
+// no decode buffer, and the AVX2 path kicks in when the host supports it.
 inline uint64_t ParallelSum(rts::WorkerPool& pool, const SmartArray& array,
                             uint64_t grain = rts::kDefaultGrain) {
   return WithBits(array.bits(), [&](auto bits_const) -> uint64_t {
     constexpr uint32_t kBits = bits_const();
     return rts::ParallelReduce<uint64_t>(
         pool, 0, array.length(), grain, [&](int worker, uint64_t begin, uint64_t end) {
-          TypedIterator<kBits> it(array.GetReplica(pool.worker_socket(worker)), begin);
-          uint64_t sum = 0;
-          for (uint64_t i = begin; i < end; ++i) {
-            sum += it.Get();
-            it.Next();
-          }
-          return sum;
+          return BitCompressedArray<kBits>::SumRange(
+              array.GetReplica(pool.worker_socket(worker)), begin, end);
         });
   });
 }
 
-// Parallel element-wise sum of two arrays: sum += a1[i] + a2[i] (§5.1).
+// Parallel element-wise sum of two arrays: sum += a1[i] + a2[i] (§5.1),
+// through the fused two-array chunk kernel.
 inline uint64_t ParallelSum2(rts::WorkerPool& pool, const SmartArray& a1, const SmartArray& a2,
                              uint64_t grain = rts::kDefaultGrain) {
   SA_CHECK(a1.length() == a2.length());
@@ -69,15 +69,8 @@ inline uint64_t ParallelSum2(rts::WorkerPool& pool, const SmartArray& a1, const 
     return rts::ParallelReduce<uint64_t>(
         pool, 0, a1.length(), grain, [&](int worker, uint64_t begin, uint64_t end) {
           const int socket = pool.worker_socket(worker);
-          TypedIterator<kBits> it1(a1.GetReplica(socket), begin);
-          TypedIterator<kBits> it2(a2.GetReplica(socket), begin);
-          uint64_t sum = 0;
-          for (uint64_t i = begin; i < end; ++i) {
-            sum += it1.Get() + it2.Get();
-            it1.Next();
-            it2.Next();
-          }
-          return sum;
+          return BitCompressedArray<kBits>::Sum2Range(a1.GetReplica(socket),
+                                                      a2.GetReplica(socket), begin, end);
         });
   });
 }

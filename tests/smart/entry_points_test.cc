@@ -5,6 +5,7 @@
 #include "common/bits.h"
 #include "common/random.h"
 #include "smart/entry_points.h"
+#include "smart/parallel_ops.h"
 
 namespace {
 
@@ -103,6 +104,63 @@ TEST_F(EntryPointsTest, UnpackAbiDecodesChunk) {
 TEST_F(EntryPointsTest, PlacementCombinationIsRejected) {
   EXPECT_DEATH(saArrayAllocate(10, /*replicated=*/1, /*interleaved=*/1, -1, 64), "combined");
   EXPECT_DEATH(saArrayAllocate(10, /*replicated=*/1, 0, /*pinned=*/0, 64), "combined");
+}
+
+TEST_F(EntryPointsTest, SumRangeMatchesParallelSumAllWidths) {
+  // The chunk-kernel entry point must agree bit-for-bit (mod 2^64) with the
+  // native ParallelSum for every width — both sit on the same block kernels.
+  const auto topo = sa::platform::Topology::Synthetic(2, 4);
+  sa::rts::WorkerPool pool(topo,
+                           sa::rts::WorkerPool::Options{.num_threads = 4, .pin_threads = false});
+  const uint64_t n = 5000;
+  for (uint32_t bits = 1; bits <= 64; ++bits) {
+    void* sa = saArrayAllocate(n, 0, /*interleaved=*/1, -1, bits);
+    const uint64_t mask = sa::LowMask(bits);
+    sa::Xoshiro256 rng(bits);
+    uint64_t want = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t value = rng() & mask;
+      saArrayInit(sa, i, value);
+      want += value;
+    }
+    const auto* array = static_cast<const sa::smart::SmartArray*>(sa);
+    EXPECT_EQ(saArraySumRange(sa, 0, n), want) << "bits " << bits;
+    EXPECT_EQ(saArraySumRange(sa, 0, n), sa::smart::ParallelSum(pool, *array))
+        << "bits " << bits;
+    // Ragged sub-range: unaligned begin and end.
+    uint64_t want_sub = 0;
+    for (uint64_t i = 65; i < 4999; ++i) {
+      want_sub += saArrayGet(sa, i);
+    }
+    EXPECT_EQ(saArraySumRange(sa, 65, 4999), want_sub) << "bits " << bits;
+    saArrayFree(sa);
+  }
+}
+
+TEST_F(EntryPointsTest, Sum2RangeMatchesFusedParallelSum) {
+  const auto topo = sa::platform::Topology::Synthetic(2, 4);
+  sa::rts::WorkerPool pool(topo,
+                           sa::rts::WorkerPool::Options{.num_threads = 4, .pin_threads = false});
+  const uint64_t n = 4000;
+  for (const uint32_t bits : {1u, 7u, 13u, 17u, 32u, 33u, 64u}) {
+    void* sa1 = saArrayAllocate(n, 0, 1, -1, bits);
+    void* sa2 = saArrayAllocate(n, 0, 1, -1, bits);
+    const uint64_t mask = sa::LowMask(bits);
+    for (uint64_t i = 0; i < n; ++i) {
+      saArrayInit(sa1, i, sa::SplitMix64(i) & mask);
+      saArrayInit(sa2, i, sa::SplitMix64(i ^ 0xfeed) & mask);
+    }
+    const auto* a1 = static_cast<const sa::smart::SmartArray*>(sa1);
+    const auto* a2 = static_cast<const sa::smart::SmartArray*>(sa2);
+    EXPECT_EQ(saArraySum2Range(sa1, sa2, 0, n), sa::smart::ParallelSum2(pool, *a1, *a2))
+        << "bits " << bits;
+    EXPECT_EQ(saArraySum2Range(sa1, sa2, 63, 65),
+              saArrayGet(sa1, 63) + saArrayGet(sa2, 63) + saArrayGet(sa1, 64) +
+                  saArrayGet(sa2, 64))
+        << "bits " << bits;
+    saArrayFree(sa1);
+    saArrayFree(sa2);
+  }
 }
 
 }  // namespace
