@@ -1,0 +1,243 @@
+// Microbenchmarks of the concurrent runtime (src/runtime): what does the
+// snapshot discipline cost a reader, and does a forced restructure ever
+// make the array unreadable?
+//
+// Custom main: before the google-benchmark run it measures
+//   * a full scan through ArraySnapshot::SumRange vs the same scan on the
+//     raw SmartArray words (the acceptance bar is <= 5% overhead), and
+//   * time-to-readable — the latency of Acquire + one element read while a
+//     publisher restructures the slot as fast as it can —
+// and writes BENCH_runtime.json.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/random.h"
+#include "runtime/registry.h"
+#include "smart/dispatch.h"
+
+namespace {
+
+using sa::runtime::ArrayRegistry;
+using sa::runtime::ArraySlot;
+using sa::runtime::ArraySnapshot;
+
+constexpr uint64_t kScanElems = 1 << 20;
+constexpr uint32_t kBits = 13;
+
+std::vector<uint64_t> MakeOracle(uint64_t n, uint32_t bits) {
+  std::vector<uint64_t> oracle(n);
+  sa::Xoshiro256 rng(bits);
+  for (auto& v : oracle) {
+    v = rng() & sa::LowMask(bits);
+  }
+  return oracle;
+}
+
+std::unique_ptr<sa::smart::SmartArray> BuildStorage(const std::vector<uint64_t>& oracle,
+                                                    sa::smart::PlacementSpec placement,
+                                                    uint32_t bits,
+                                                    const sa::platform::Topology& topo) {
+  auto storage = sa::smart::SmartArray::Allocate(oracle.size(), placement, bits, topo);
+  for (uint64_t i = 0; i < oracle.size(); ++i) {
+    storage->Init(i, oracle[i]);
+  }
+  return storage;
+}
+
+// Environment shared by the gbench benchmarks: one registry, one populated
+// slot, and a raw SmartArray with identical contents for the baseline.
+struct Env {
+  Env()
+      : topo(sa::platform::Topology::Host()),
+        registry(topo),
+        oracle(MakeOracle(kScanElems, kBits)) {
+    slot = registry.Create("bench", kScanElems, sa::smart::PlacementSpec::Interleaved(), kBits);
+    registry.Publish(*slot, BuildStorage(oracle, sa::smart::PlacementSpec::Interleaved(), kBits, topo),
+                     0);
+    raw = BuildStorage(oracle, sa::smart::PlacementSpec::Interleaved(), kBits, topo);
+  }
+
+  static Env& Get() {
+    static Env env;
+    return env;
+  }
+
+  sa::platform::Topology topo;
+  ArrayRegistry registry;
+  std::vector<uint64_t> oracle;
+  ArraySlot* slot = nullptr;
+  std::unique_ptr<sa::smart::SmartArray> raw;
+};
+
+uint64_t RawScan(const sa::smart::SmartArray& array) {
+  const auto& codec = sa::smart::CodecFor(array.bits());
+  return codec.sum_range(array.GetReplica(0), 0, array.length());
+}
+
+void BM_RawArrayScan(benchmark::State& state) {
+  Env& env = Env::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RawScan(*env.raw));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * kScanElems * kBits / 8));
+}
+BENCHMARK(BM_RawArrayScan);
+
+void BM_SnapshotScan(benchmark::State& state) {
+  Env& env = Env::Get();
+  for (auto _ : state) {
+    ArraySnapshot snap = env.slot->Acquire();
+    benchmark::DoNotOptimize(snap.SumRange(0, kScanElems));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * kScanElems * kBits / 8));
+}
+BENCHMARK(BM_SnapshotScan);
+
+void BM_SnapshotAcquireRelease(benchmark::State& state) {
+  Env& env = Env::Get();
+  for (auto _ : state) {
+    ArraySnapshot snap = env.slot->Acquire();
+    benchmark::DoNotOptimize(snap.sequence());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SnapshotAcquireRelease);
+
+// ---------------------------------------------------------------------------
+// BENCH_runtime.json
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+double MeasureSecondsPerCall(const Fn& fn, int min_ms) {
+  using Clock = std::chrono::steady_clock;
+  benchmark::DoNotOptimize(fn());  // warm-up + page-in
+  uint64_t calls = 0;
+  const auto start = Clock::now();
+  Clock::duration elapsed{};
+  do {
+    benchmark::DoNotOptimize(fn());
+    ++calls;
+    elapsed = Clock::now() - start;
+  } while (elapsed < std::chrono::milliseconds(min_ms));
+  return std::chrono::duration<double>(elapsed).count() / static_cast<double>(calls);
+}
+
+// Latency of Acquire + one element read + Release, sampled while a
+// publisher thread restructures the slot back-to-back. The max over the
+// samples is the worst "time to readable" a reader ever saw: with the
+// single-pointer-swap publish there is no window where the slot blocks.
+struct ReadableStats {
+  double mean_ns = 0.0;
+  double max_ns = 0.0;
+  int publishes = 0;
+};
+
+ReadableStats MeasureTimeToReadable(Env& env) {
+  using Clock = std::chrono::steady_clock;
+  constexpr int kPublishes = 40;
+  std::atomic<bool> done{false};
+  std::thread publisher([&] {
+    // Alternate shapes so every publish really swaps the representation.
+    for (int p = 0; p < kPublishes; ++p) {
+      const bool wide = (p % 2) != 0;
+      env.registry.Publish(
+          *env.slot,
+          BuildStorage(env.oracle,
+                       wide ? sa::smart::PlacementSpec::Interleaved()
+                            : sa::smart::PlacementSpec::Replicated(),
+                       wide ? 64 : kBits, env.topo),
+          0);
+      env.registry.Reclaim();
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  ReadableStats stats;
+  double total_ns = 0.0;
+  uint64_t samples = 0;
+  sa::Xoshiro256 rng(7);
+  while (!done.load(std::memory_order_acquire)) {
+    const uint64_t index = rng.Below(kScanElems);
+    const auto t0 = Clock::now();
+    ArraySnapshot snap = env.slot->Acquire();
+    benchmark::DoNotOptimize(snap.Get(index));
+    snap.Release();
+    const double ns = std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    total_ns += ns;
+    stats.max_ns = std::max(stats.max_ns, ns);
+    ++samples;
+  }
+  publisher.join();
+  // Drain the retired versions the run left behind.
+  for (int i = 0; i < 10 && env.registry.epoch().retired_count() != 0; ++i) {
+    env.registry.Reclaim();
+  }
+  stats.mean_ns = samples == 0 ? 0.0 : total_ns / static_cast<double>(samples);
+  stats.publishes = kPublishes;
+  return stats;
+}
+
+void WriteBenchJson(const char* path) {
+  Env& env = Env::Get();
+
+  const double raw_sec = MeasureSecondsPerCall([&] { return RawScan(*env.raw); }, 200);
+  const double snap_sec = MeasureSecondsPerCall(
+      [&] {
+        ArraySnapshot snap = env.slot->Acquire();
+        return snap.SumRange(0, kScanElems);
+      },
+      200);
+  const double overhead_pct = (snap_sec - raw_sec) / raw_sec * 100.0;
+  const double acquire_sec = MeasureSecondsPerCall(
+      [&] {
+        ArraySnapshot snap = env.slot->Acquire();
+        return snap.sequence();
+      },
+      100);
+  const ReadableStats readable = MeasureTimeToReadable(env);
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  std::fprintf(f,
+               "  {\"metric\": \"snapshot_scan_overhead\", \"elems\": %llu, \"bits\": %u, "
+               "\"raw_scan_sec\": %.6e, \"snapshot_scan_sec\": %.6e, \"overhead_pct\": %.3f},\n",
+               static_cast<unsigned long long>(kScanElems), kBits, raw_sec, snap_sec,
+               overhead_pct);
+  std::fprintf(f,
+               "  {\"metric\": \"snapshot_acquire\", \"acquire_release_ns\": %.1f},\n",
+               acquire_sec * 1e9);
+  std::fprintf(f,
+               "  {\"metric\": \"time_to_readable_during_restructure\", \"publishes\": %d, "
+               "\"mean_ns\": %.1f, \"max_ns\": %.1f}\n",
+               readable.publishes, readable.mean_ns, readable.max_ns);
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::fprintf(stderr,
+               "wrote %s (scan overhead %.2f%%, acquire %.0f ns, "
+               "worst time-to-readable %.0f ns)\n",
+               path, overhead_pct, acquire_sec * 1e9, readable.max_ns);
+}
+
+}  // namespace
+
+// Custom main: emit BENCH_runtime.json, then run google-benchmark as usual.
+int main(int argc, char** argv) {
+  WriteBenchJson("BENCH_runtime.json");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,18 +1,20 @@
 #include "adapt/adaptive_array.h"
 
+#include "adapt/estimator.h"
 #include "common/macros.h"
 
 namespace sa::adapt {
 
 AdaptiveArray::AdaptiveArray(std::unique_ptr<smart::SmartArray> array, rts::WorkerPool& pool,
                              const platform::Topology& topology, MachineCaps machine,
-                             SoftwareHints hints, ArrayCosts costs)
+                             SoftwareHints hints, ArrayCosts costs, AdaptationPolicy policy)
     : array_(std::move(array)),
       pool_(&pool),
       topology_(&topology),
       machine_(machine),
       hints_(hints),
       costs_(costs),
+      policy_(policy),
       data_bits_(smart::MinimalBits(pool, *array_)) {}
 
 Configuration AdaptiveArray::current() const {
@@ -36,9 +38,24 @@ bool AdaptiveArray::MaybeAdapt() {
   if (result.chosen == current()) {
     return false;
   }
+  // Hysteresis: a rebuild costs a full parallel pass and risks ping-ponging
+  // on borderline profiles, so the predicted win over the *current*
+  // configuration must clear the policy margin.
+  const double current_speedup = EstimateConfigSpeedup(machine_, *last_profile_, costs_,
+                                                       current(), inputs.compression_ratio);
+  const double chosen_speedup = EstimateConfigSpeedup(machine_, *last_profile_, costs_,
+                                                      result.chosen, inputs.compression_ratio);
+  if (chosen_speedup < current_speedup * (1.0 + policy_.min_predicted_win)) {
+    return false;
+  }
   const uint32_t new_bits = result.chosen.compressed ? data_bits_ : 64;
   array_ = smart::Restructure(*pool_, *array_, result.chosen.placement, new_bits, *topology_);
   ++adaptations_;
+  // The profile was measured on the configuration that no longer exists;
+  // deciding on it again would compare the new layout against counters it
+  // never produced (and can ping-pong straight back). Require a fresh
+  // ObserveProfile before the next decision.
+  last_profile_.reset();
   return true;
 }
 

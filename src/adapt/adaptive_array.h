@@ -15,6 +15,14 @@
 
 namespace sa::adapt {
 
+// Hysteresis and safety knobs for the adaptation loop, shared between
+// AdaptiveArray and the runtime's AdaptationDaemon.
+struct AdaptationPolicy {
+  // Minimum fraction by which the chosen configuration's estimated speedup
+  // must exceed the current configuration's before a rebuild is worth it.
+  double min_predicted_win = kDefaultAdaptationMargin;
+};
+
 class AdaptiveArray {
  public:
   // Takes ownership of `array`; adaptation decisions are made for `machine`
@@ -22,7 +30,7 @@ class AdaptiveArray {
   // is measured once up front and fixes the compression ratio.
   AdaptiveArray(std::unique_ptr<smart::SmartArray> array, rts::WorkerPool& pool,
                 const platform::Topology& topology, MachineCaps machine, SoftwareHints hints,
-                ArrayCosts costs);
+                ArrayCosts costs, AdaptationPolicy policy = {});
 
   const smart::SmartArray& array() const { return *array_; }
   smart::SmartArray& array() { return *array_; }
@@ -36,8 +44,13 @@ class AdaptiveArray {
   void ObserveProfile(const WorkloadCounters& counters);
 
   // Re-runs the §6 selection against the last observed profile and
-  // restructures if the decision differs from the current configuration.
-  // Returns true when the array was rebuilt.
+  // restructures when a different configuration is predicted to win by at
+  // least the policy's margin. Returns true when the array was rebuilt.
+  //
+  // A successful restructure *consumes* the profile: the counters were
+  // measured on the old configuration, so re-deciding on them after the
+  // rebuild could ping-pong the layout. A fresh ObserveProfile is required
+  // before the next MaybeAdapt.
   bool MaybeAdapt();
 
  private:
@@ -47,6 +60,7 @@ class AdaptiveArray {
   MachineCaps machine_;
   SoftwareHints hints_;
   ArrayCosts costs_;
+  AdaptationPolicy policy_;
   uint32_t data_bits_;
   std::optional<WorkloadCounters> last_profile_;
   int adaptations_ = 0;

@@ -77,6 +77,13 @@ struct ArrayCosts {
   }
 };
 
+// Hysteresis margin for online adaptation, shared by AdaptiveArray and the
+// runtime's AdaptationDaemon: a restructure is only worth its rebuild cost
+// (and the risk of ping-ponging on a noisy profile) when the chosen
+// configuration's estimated speedup exceeds the current configuration's by
+// at least this fraction.
+inline constexpr double kDefaultAdaptationMargin = 0.05;
+
 // The outcome: a placement plus whether to bit-compress.
 struct Configuration {
   smart::PlacementSpec placement = smart::PlacementSpec::Interleaved();

@@ -1,0 +1,176 @@
+#include "runtime/daemon.h"
+
+#include <algorithm>
+
+#include "adapt/estimator.h"
+#include "common/bits.h"
+#include "common/macros.h"
+#include "smart/restructure.h"
+
+namespace sa::runtime {
+
+AdaptationDaemon::AdaptationDaemon(ArrayRegistry& registry, rts::WorkerPool& pool,
+                                   adapt::MachineCaps machine, adapt::ArrayCosts costs,
+                                   DaemonOptions options)
+    : registry_(&registry),
+      pool_(&pool),
+      machine_(machine),
+      costs_(costs),
+      options_(options) {}
+
+AdaptationDaemon::~AdaptationDaemon() { Stop(); }
+
+void AdaptationDaemon::Start() {
+  if (thread_.joinable()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void AdaptationDaemon::Stop() {
+  if (!thread_.joinable()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void AdaptationDaemon::ThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, options_.interval, [this] { return stop_; })) {
+      break;
+    }
+    lock.unlock();
+    RunOnce();
+    lock.lock();
+  }
+}
+
+int AdaptationDaemon::RunOnce() {
+  int restructured = 0;
+  for (ArraySlot* slot : registry_->slots()) {
+    const SlotSample sample = slot->DrainSample();
+    if (sample.reads() + sample.writes < options_.min_sampled_accesses ||
+        sample.seconds <= 0.0) {
+      continue;
+    }
+    const adapt::WorkloadCounters counters =
+        SynthesizeCounters(sample, slot->length(), machine_, options_.cycles_per_access);
+    restructured += AdaptSlot(*slot, counters) ? 1 : 0;
+  }
+  // Retired versions from this pass (and stragglers from earlier ones)
+  // become reclaimable as reader pins drain; two passes advance the epoch
+  // far enough for the previous pass's garbage.
+  registry_->Reclaim();
+  passes_.fetch_add(1, std::memory_order_relaxed);
+  return restructured;
+}
+
+bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters& counters) {
+  // Pin while reading the source: only this daemon publishes today, but the
+  // pin keeps the rebuild correct even with other publishers around.
+  const EpochManager::PinHandle pin = registry_->epoch().Pin();
+  const uint64_t writes_before = slot.write_count();
+  const ArrayVersion* version = slot.Current();
+  const smart::SmartArray& source = *version->storage;
+
+  // Data width: the narrowest width holding every current element, floored
+  // by the widest value ever written so a racing writer cannot overflow a
+  // narrowed rebuild (TryRestructure still catches the residual race).
+  const uint32_t data_bits =
+      std::max(smart::MinimalBits(*pool_, source), slot.max_written_bits());
+
+  adapt::SelectorInputs inputs;
+  inputs.machine = machine_;
+  inputs.hints = HintsFor(slot);
+  inputs.counters = counters;
+  inputs.costs = costs_;
+  inputs.compression_ratio = static_cast<double>(data_bits) / 64.0;
+  const adapt::SelectorResult result = adapt::ChooseConfiguration(inputs);
+
+  const adapt::Configuration current{source.placement(), source.bits() < 64};
+  if (result.chosen == current) {
+    registry_->epoch().Unpin(pin);
+    return false;
+  }
+
+  // Hysteresis (shared with AdaptiveArray::MaybeAdapt): the estimated win
+  // over the *current* configuration must clear the margin.
+  const double current_speedup = adapt::EstimateConfigSpeedup(machine_, counters, costs_,
+                                                              current, inputs.compression_ratio);
+  const double chosen_speedup = adapt::EstimateConfigSpeedup(
+      machine_, counters, costs_, result.chosen, inputs.compression_ratio);
+  if (chosen_speedup < current_speedup * (1.0 + options_.min_predicted_win)) {
+    registry_->epoch().Unpin(pin);
+    return false;
+  }
+
+  const uint32_t new_bits = result.chosen.compressed ? data_bits : 64;
+  auto rebuilt =
+      smart::TryRestructure(*pool_, source, result.chosen.placement, new_bits,
+                            registry_->topology());
+  registry_->epoch().Unpin(pin);
+  if (rebuilt == nullptr) {
+    // A racing write stored a value wider than the target width mid-scan;
+    // the next cycle re-measures and retries.
+    return false;
+  }
+  if (!registry_->Publish(slot, std::move(rebuilt), writes_before)) {
+    // Writes raced the rebuild; drop it and retry next cycle.
+    return false;
+  }
+  adaptations_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+adapt::WorkloadCounters AdaptationDaemon::SynthesizeCounters(const SlotSample& sample,
+                                                             uint64_t length,
+                                                             const adapt::MachineCaps& machine,
+                                                             double cycles_per_access) {
+  adapt::WorkloadCounters c;
+  const double accesses =
+      static_cast<double>(sample.reads() + sample.writes) / std::max(sample.seconds, 1e-9);
+  c.accesses_per_second = accesses;
+  c.elem_bytes = 8.0;
+  c.dataset_bytes = static_cast<double>(length) * 8.0;
+  c.random_fraction =
+      sample.reads() == 0
+          ? 0.0
+          : static_cast<double>(sample.random_reads) / static_cast<double>(sample.reads());
+
+  const double sockets = std::max(1, machine.sockets);
+  const double demand_per_socket = accesses * c.elem_bytes / sockets;
+  c.bw_current_memory = std::max(1.0, demand_per_socket);
+  c.exec_current_per_socket = std::max(1.0, accesses / sockets * cycles_per_access);
+  // Interleaved profiling shape: each socket's team pulls half its bytes
+  // across the interconnect.
+  c.max_mem_utilization =
+      machine.bw_max_memory > 0.0 ? std::min(1.0, demand_per_socket / machine.bw_max_memory)
+                                  : 0.0;
+  c.max_ic_utilization = machine.bw_max_interconnect > 0.0
+                             ? std::min(1.0, demand_per_socket * 0.5 / machine.bw_max_interconnect)
+                             : 0.0;
+  return c;
+}
+
+adapt::SoftwareHints AdaptationDaemon::HintsFor(const ArraySlot& slot) {
+  const SlotSample lifetime = slot.LifetimeSample();
+  adapt::SoftwareHints hints;
+  hints.read_only = lifetime.writes == 0;
+  hints.mostly_reads = lifetime.writes * 20 < std::max<uint64_t>(lifetime.reads(), 1);
+  const double length = static_cast<double>(std::max<uint64_t>(slot.length(), 1));
+  hints.linear_passes = static_cast<double>(lifetime.sequential_reads) / length;
+  hints.random_passes = static_cast<double>(lifetime.random_reads) / length;
+  return hints;
+}
+
+}  // namespace sa::runtime

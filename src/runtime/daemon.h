@@ -1,0 +1,101 @@
+// AdaptationDaemon: the background half of the online-adaptation runtime.
+//
+// The paper's §6 workflow — profile, run the two-step selector, restructure
+// — is driven by the *caller* in AdaptiveArray. Under a service workload
+// nobody owns the loop, so the daemon periodically: drains each slot's
+// sampled workload counters, synthesizes the §6 PCM-style WorkloadCounters
+// from them, re-runs the selector with hysteresis (the predicted win must
+// beat adapt::kDefaultAdaptationMargin, shared with AdaptiveArray), rebuilds
+// the storage via smart::TryRestructure on the worker pool, and publishes
+// the new representation with a single pointer swap; the old one goes to
+// the epoch garbage list (§7: "re-apply its adaptivity workflow to select
+// a potentially new set of smart functionalities").
+#ifndef SA_RUNTIME_DAEMON_H_
+#define SA_RUNTIME_DAEMON_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "adapt/selector.h"
+#include "rts/worker_pool.h"
+#include "runtime/registry.h"
+
+namespace sa::runtime {
+
+struct DaemonOptions {
+  // Wall time between adaptation passes of the background thread.
+  std::chrono::milliseconds interval{200};
+  // Hysteresis: restructure only when the chosen configuration's estimated
+  // speedup exceeds the current one's by this margin (a rebuild is not free,
+  // and a borderline decision flip-flops with the workload's noise).
+  double min_predicted_win = adapt::kDefaultAdaptationMargin;
+  // Slots with fewer sampled accesses than this in an interval are left
+  // alone — the counters are too thin to trust.
+  uint64_t min_sampled_accesses = 4096;
+  // Crude execution-demand model for synthesized counters: core cycles
+  // consumed per element access (the real system measures this with PCM).
+  double cycles_per_access = 4.0;
+};
+
+class AdaptationDaemon {
+ public:
+  AdaptationDaemon(ArrayRegistry& registry, rts::WorkerPool& pool, adapt::MachineCaps machine,
+                   adapt::ArrayCosts costs, DaemonOptions options = {});
+  ~AdaptationDaemon();
+
+  AdaptationDaemon(const AdaptationDaemon&) = delete;
+  AdaptationDaemon& operator=(const AdaptationDaemon&) = delete;
+
+  // Background thread control. Start/Stop are idempotent.
+  void Start();
+  void Stop();
+  bool running() const { return thread_.joinable(); }
+
+  // One full adaptation pass over every slot (what the background thread
+  // runs per interval; public so tests and the CLI drive the daemon
+  // deterministically). Returns the number of slots restructured.
+  int RunOnce();
+
+  // Decision + rebuild + publish for one slot under explicit counters — the
+  // deterministic core of RunOnce. Returns true when a new representation
+  // was published.
+  bool AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters& counters);
+
+  // §6-style counters synthesized from an interval sample: access rate and
+  // random fraction come straight from the counters; bandwidth demand and
+  // utilization are modeled as rate × element size against the machine
+  // caps, in the interleaved profiling shape (half the traffic remote).
+  static adapt::WorkloadCounters SynthesizeCounters(const SlotSample& sample, uint64_t length,
+                                                    const adapt::MachineCaps& machine,
+                                                    double cycles_per_access);
+
+  // §6.1 software hints derived from a slot's lifetime counters.
+  static adapt::SoftwareHints HintsFor(const ArraySlot& slot);
+
+  uint64_t adaptations() const { return adaptations_.load(std::memory_order_relaxed); }
+  uint64_t passes() const { return passes_.load(std::memory_order_relaxed); }
+
+ private:
+  void ThreadMain();
+
+  ArrayRegistry* registry_;
+  rts::WorkerPool* pool_;
+  adapt::MachineCaps machine_;
+  adapt::ArrayCosts costs_;
+  DaemonOptions options_;
+
+  std::atomic<uint64_t> adaptations_{0};
+  std::atomic<uint64_t> passes_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace sa::runtime
+
+#endif  // SA_RUNTIME_DAEMON_H_

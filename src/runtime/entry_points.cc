@@ -1,0 +1,169 @@
+#include "runtime/entry_points.h"
+
+#include <memory>
+
+#include "common/macros.h"
+#include "rts/worker_pool.h"
+#include "runtime/daemon.h"
+#include "runtime/registry.h"
+#include "sim/cost_model.h"
+#include "sim/machine_spec.h"
+
+namespace {
+
+using sa::runtime::AdaptationDaemon;
+using sa::runtime::ArrayRegistry;
+using sa::runtime::ArraySlot;
+using sa::runtime::ArraySnapshot;
+
+// Everything a foreign client needs behind one handle: the topology and
+// worker pool the registry's rebuilds run on, plus the optional daemon.
+struct RegistryHandle {
+  std::unique_ptr<sa::platform::Topology> topology;
+  std::unique_ptr<sa::rts::WorkerPool> pool;
+  std::unique_ptr<ArrayRegistry> registry;
+  std::unique_ptr<AdaptationDaemon> daemon;
+  // Machine caps default to the paper's 18-core box; overridable via
+  // saRegistryConfigureMachine before the daemon first exists.
+  sa::adapt::MachineCaps machine =
+      sa::adapt::MachineCaps::FromSpec(sa::sim::MachineSpec::OracleX5_18Core());
+
+  AdaptationDaemon& Daemon(sa::runtime::DaemonOptions options) {
+    if (daemon == nullptr) {
+      daemon = std::make_unique<AdaptationDaemon>(
+          *registry, *pool, machine,
+          sa::adapt::ArrayCosts::FromCostModel(sa::sim::CostModel::Default()), options);
+    }
+    return *daemon;
+  }
+};
+
+RegistryHandle* Reg(void* reg) { return static_cast<RegistryHandle*>(reg); }
+ArraySlot* Slot(void* slot) { return static_cast<ArraySlot*>(slot); }
+const ArraySlot* Slot(const void* slot) { return static_cast<const ArraySlot*>(slot); }
+ArraySnapshot* Snap(void* snap) { return static_cast<ArraySnapshot*>(snap); }
+const ArraySnapshot* Snap(const void* snap) { return static_cast<const ArraySnapshot*>(snap); }
+
+}  // namespace
+
+extern "C" {
+
+void* saRegistryCreate(int sockets, int cpus_per_socket) {
+  auto* handle = new RegistryHandle;
+  handle->topology = std::make_unique<sa::platform::Topology>(
+      sockets <= 0 ? sa::platform::Topology::Host()
+                   : sa::platform::Topology::Synthetic(sockets, cpus_per_socket));
+  handle->pool = std::make_unique<sa::rts::WorkerPool>(
+      *handle->topology,
+      sa::rts::WorkerPool::Options{.num_threads = 0,
+                                   .pin_threads = handle->topology->is_host()});
+  handle->registry = std::make_unique<ArrayRegistry>(*handle->topology);
+  return handle;
+}
+
+void saRegistryFree(void* reg) {
+  RegistryHandle* handle = Reg(reg);
+  if (handle == nullptr) {
+    return;
+  }
+  if (handle->daemon != nullptr) {
+    handle->daemon->Stop();
+  }
+  delete handle;
+}
+
+void* saRegistryDefine(void* reg, const char* name, uint64_t length, int replicated,
+                       int interleaved, int pinned, uint32_t bits) {
+  SA_CHECK_MSG(!(replicated && interleaved), "data placements cannot be combined");
+  SA_CHECK_MSG(!((replicated || interleaved) && pinned >= 0),
+               "data placements cannot be combined");
+  sa::smart::PlacementSpec placement = sa::smart::PlacementSpec::OsDefault();
+  if (replicated) {
+    placement = sa::smart::PlacementSpec::Replicated();
+  } else if (interleaved) {
+    placement = sa::smart::PlacementSpec::Interleaved();
+  } else if (pinned >= 0) {
+    placement = sa::smart::PlacementSpec::SingleSocket(pinned);
+  }
+  return Reg(reg)->registry->Create(name, length, placement, bits);
+}
+
+void* saRegistryOpen(void* reg, const char* name) { return Reg(reg)->registry->Open(name); }
+
+int saRegistryCount(void* reg) { return static_cast<int>(Reg(reg)->registry->size()); }
+
+uint64_t saRegistryReclaim(void* reg) { return Reg(reg)->registry->Reclaim(); }
+
+uint64_t saRegistryEpoch(void* reg) { return Reg(reg)->registry->epoch().epoch(); }
+
+void saRegistryConfigureMachine(void* reg, double mem_bytes_per_socket,
+                                double exec_cycles_per_socket, double bw_memory,
+                                double bw_interconnect) {
+  RegistryHandle* handle = Reg(reg);
+  SA_CHECK_MSG(handle->daemon == nullptr,
+               "configure the machine before the daemon first runs");
+  if (mem_bytes_per_socket > 0.0) {
+    handle->machine.mem_bytes_per_socket = mem_bytes_per_socket;
+  }
+  if (exec_cycles_per_socket > 0.0) {
+    handle->machine.exec_max_per_socket = exec_cycles_per_socket;
+  }
+  if (bw_memory > 0.0) {
+    handle->machine.bw_max_memory = bw_memory;
+  }
+  if (bw_interconnect > 0.0) {
+    handle->machine.bw_max_interconnect = bw_interconnect;
+  }
+}
+
+void saRegistryDaemonStart(void* reg, double interval_ms, double min_predicted_win) {
+  sa::runtime::DaemonOptions options;
+  if (interval_ms > 0.0) {
+    options.interval = std::chrono::milliseconds(static_cast<int64_t>(interval_ms));
+  }
+  if (min_predicted_win >= 0.0) {
+    options.min_predicted_win = min_predicted_win;
+  }
+  Reg(reg)->Daemon(options).Start();
+}
+
+void saRegistryDaemonStop(void* reg) {
+  RegistryHandle* handle = Reg(reg);
+  if (handle->daemon != nullptr) {
+    handle->daemon->Stop();
+  }
+}
+
+int saRegistryAdaptOnce(void* reg) { return Reg(reg)->Daemon({}).RunOnce(); }
+
+uint64_t saRegistryAdaptations(void* reg) {
+  RegistryHandle* handle = Reg(reg);
+  return handle->daemon == nullptr ? 0 : handle->daemon->adaptations();
+}
+
+uint64_t saSlotLength(const void* slot) { return Slot(slot)->length(); }
+uint32_t saSlotBits(const void* slot) { return Slot(slot)->bits(); }
+int saSlotIsReplicated(const void* slot) {
+  return Slot(slot)->placement().kind == sa::smart::Placement::kReplicated ? 1 : 0;
+}
+uint64_t saSlotSequence(const void* slot) { return Slot(slot)->sequence(); }
+
+void saSlotWrite(void* slot, uint64_t index, uint64_t value) {
+  Slot(slot)->Write(index, value);
+}
+
+void* saSlotPin(void* slot) { return new ArraySnapshot(Slot(slot)->Acquire()); }
+
+void saSnapshotUnpin(void* snap) { delete Snap(snap); }
+
+uint64_t saSnapshotRead(void* snap, uint64_t index) { return Snap(snap)->Get(index); }
+
+uint64_t saSnapshotSumRange(void* snap, uint64_t begin, uint64_t end) {
+  return Snap(snap)->SumRange(begin, end);
+}
+
+uint64_t saSnapshotLength(const void* snap) { return Snap(snap)->length(); }
+uint32_t saSnapshotBits(const void* snap) { return Snap(snap)->bits(); }
+uint64_t saSnapshotSequence(const void* snap) { return Snap(snap)->sequence(); }
+
+}  // extern "C"

@@ -1,0 +1,92 @@
+// C-ABI entry points to the online-adaptation runtime (registry, snapshots,
+// daemon) — the §3.2 thin-API pattern applied to the runtime subsystem.
+//
+// Like smart/entry_points.h, these are exception-free scalar-argument
+// boundary functions so MiniVM/interop clients (or any runtime loading the
+// library) transparently benefit from online adaptation: a guest language
+// opens a named slot, pins a snapshot, reads through it, and never observes
+// a restructure in progress.
+//
+// Handle discipline:
+//  * registry handles own a topology, a worker pool, the slot table and an
+//    optional daemon; free with saRegistryFree after all snapshots are
+//    unpinned and the daemon is stopped.
+//  * slot handles are borrowed from the registry (do not free).
+//  * snapshot handles own an epoch pin; every saSlotPin must be paired with
+//    saSnapshotUnpin, from the same thread that pinned.
+#ifndef SA_RUNTIME_ENTRY_POINTS_H_
+#define SA_RUNTIME_ENTRY_POINTS_H_
+
+#include <cstdint>
+
+extern "C" {
+
+// ---- Registry lifecycle ----
+// sockets == 0 selects the host topology.
+void* saRegistryCreate(int sockets, int cpus_per_socket);
+void saRegistryFree(void* reg);
+
+// Creates a named array slot. Placement flags mirror saArrayAllocate:
+// `pinned` is the target socket or -1; flags are mutually exclusive, none
+// selects the OS default policy. Returns a borrowed slot handle.
+void* saRegistryDefine(void* reg, const char* name, uint64_t length, int replicated,
+                       int interleaved, int pinned, uint32_t bits);
+
+// Looks up a slot by name; NULL when absent. Borrowed handle.
+void* saRegistryOpen(void* reg, const char* name);
+
+int saRegistryCount(void* reg);
+
+// Frees retired storage whose reader epochs have drained; returns the
+// number of versions reclaimed.
+uint64_t saRegistryReclaim(void* reg);
+uint64_t saRegistryEpoch(void* reg);
+
+// ---- Adaptation daemon ----
+// Supplies the machine specification the §6 selector reasons against
+// (bytes of memory per socket, aggregate cycles/s per socket, memory and
+// interconnect bandwidth in bytes/s). Defaults to the paper's 18-core
+// machine; call before the first daemon start / adapt-once, non-positive
+// values keep the corresponding default.
+void saRegistryConfigureMachine(void* reg, double mem_bytes_per_socket,
+                                double exec_cycles_per_socket, double bw_memory,
+                                double bw_interconnect);
+
+// Starts the background adaptation thread (idempotent). interval_ms <= 0
+// selects the default; min_predicted_win < 0 selects the default margin.
+void saRegistryDaemonStart(void* reg, double interval_ms, double min_predicted_win);
+void saRegistryDaemonStop(void* reg);
+// One synchronous adaptation pass; returns the number of slots
+// restructured. Usable with or without the background thread.
+int saRegistryAdaptOnce(void* reg);
+uint64_t saRegistryAdaptations(void* reg);
+
+// ---- Slot (stable identity) ----
+uint64_t saSlotLength(const void* slot);
+// Current storage properties; racy against the daemon by nature.
+uint32_t saSlotBits(const void* slot);
+int saSlotIsReplicated(const void* slot);
+// Restructure generation of the current storage (0 = as created).
+uint64_t saSlotSequence(const void* slot);
+
+// Thread-safe element write into the current representation. Serializes
+// with other writers and with the daemon's publish; the value must fit the
+// current storage width.
+void saSlotWrite(void* slot, uint64_t index, uint64_t value);
+
+// ---- Snapshot (consistent read view) ----
+// Pins the slot's current representation; all reads through the returned
+// handle observe exactly that representation.
+void* saSlotPin(void* slot);
+void saSnapshotUnpin(void* snap);
+
+uint64_t saSnapshotRead(void* snap, uint64_t index);
+// Chunk-granular block-kernel sum over [begin, end).
+uint64_t saSnapshotSumRange(void* snap, uint64_t begin, uint64_t end);
+uint64_t saSnapshotLength(const void* snap);
+uint32_t saSnapshotBits(const void* snap);
+uint64_t saSnapshotSequence(const void* snap);
+
+}  // extern "C"
+
+#endif  // SA_RUNTIME_ENTRY_POINTS_H_

@@ -1,0 +1,111 @@
+#include "runtime/epoch.h"
+
+namespace sa::runtime {
+
+EpochManager::~EpochManager() {
+  // By now every reader must have unpinned and no new Retire can race; run
+  // whatever is still queued.
+  SA_CHECK_MSG(pinned_count() == 0, "EpochManager destroyed with pinned readers");
+  for (const Retired& r : retired_) {
+    r.deleter();
+  }
+}
+
+EpochManager::PinHandle EpochManager::Pin() {
+  // Per-thread start slot: after the first Pin a thread keeps hitting the
+  // slot it used last, so the claim CAS succeeds on the first try. The hint
+  // is shared across managers — harmless, it is only a starting point.
+  thread_local int hint = -1;
+  if (hint < 0) {
+    // Spread initial claims so threads do not pile onto slot 0's line.
+    static std::atomic<int> next_start{0};
+    hint = next_start.fetch_add(1, std::memory_order_relaxed) % kMaxSlots;
+  }
+  int i = hint;
+  for (int attempts = 0;; ++attempts) {
+    uint64_t expected = kFree;
+    uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    if (slots_[i].value.compare_exchange_strong(expected, Encode(e),
+                                                std::memory_order_seq_cst)) {
+      // If the global epoch advanced between the load and the claim, a
+      // concurrent TryReclaim may have scanned past this still-free slot.
+      // Re-stamp until the stamped epoch matches the global one; the stale
+      // stamp only ever blocks epoch advance, never unblocks it, so this
+      // loop is safe at every intermediate state.
+      for (;;) {
+        const uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+        if (now == e) {
+          break;
+        }
+        e = now;
+        slots_[i].value.store(Encode(e), std::memory_order_seq_cst);
+      }
+      hint = i;
+      return {i};
+    }
+    i = (i + 1) % kMaxSlots;
+    SA_CHECK_MSG(attempts < kMaxSlots * 16, "epoch pin slots exhausted");
+  }
+}
+
+void EpochManager::Unpin(PinHandle handle) {
+  SA_DCHECK(handle.slot >= 0 && handle.slot < kMaxSlots);
+  slots_[handle.slot].value.store(kFree, std::memory_order_seq_cst);
+}
+
+void EpochManager::Retire(std::function<void()> deleter) {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  // Reading the epoch after the caller's pointer swap is conservative: the
+  // recorded epoch can only be >= the epoch the swap was visible at, which
+  // delays (never hastens) the free.
+  retired_.push_back({global_epoch_.load(std::memory_order_seq_cst), std::move(deleter)});
+}
+
+bool EpochManager::AllPinnedAt(uint64_t epoch) const {
+  for (const Slot& slot : slots_) {
+    const uint64_t v = slot.value.load(std::memory_order_seq_cst);
+    if (v != kFree && DecodeEpoch(v) != epoch) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t EpochManager::TryReclaim() {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  // Advance at most one step per call: readers pinned at E block E -> E+1,
+  // so repeated calls make progress exactly as fast as readers drain.
+  const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  if (AllPinnedAt(e)) {
+    global_epoch_.store(e + 1, std::memory_order_seq_cst);
+  }
+  const uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+
+  size_t freed = 0;
+  size_t kept = 0;
+  for (Retired& r : retired_) {
+    if (r.epoch + 2 <= now) {
+      r.deleter();
+      ++freed;
+    } else {
+      retired_[kept++] = std::move(r);
+    }
+  }
+  retired_.resize(kept);
+  return freed;
+}
+
+size_t EpochManager::retired_count() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_.size();
+}
+
+int EpochManager::pinned_count() const {
+  int count = 0;
+  for (const Slot& slot : slots_) {
+    count += slot.value.load(std::memory_order_seq_cst) != kFree ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace sa::runtime

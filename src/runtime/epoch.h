@@ -1,0 +1,101 @@
+// Epoch-based reclamation for the online-adaptation runtime.
+//
+// The paper's §6 restructuring swaps an array's storage for a rebuilt one;
+// in a long-lived service readers may still be scanning the old storage when
+// the swap happens. EpochManager delays freeing a retired storage until no
+// reader can still observe it, without any locks on the reader fast path
+// (the shape Colnet & Sonntag's GC work motivates: reclaim a retired
+// representation only once no accessor can reach it).
+//
+// Scheme (classic 3-epoch EBR):
+//  * A global epoch counter E advances one step at a time.
+//  * Readers Pin() before dereferencing a published pointer: they claim a
+//    slot in a fixed array and store E there. Unpin() clears the slot.
+//    Both are a couple of atomic operations — no mutex, no syscalls.
+//  * Writers Retire() an object at the current epoch R. The object is freed
+//    once E >= R + 2: a reader pinned at R or R+1 may still hold a pointer
+//    loaded before the swap, a reader pinned at R+2 must have pinned after
+//    the retiring swap was published and can only see the new pointer.
+//  * TryAdvance() moves E forward only when every pinned slot has reached E,
+//    so a stalled reader blocks reclamation (never correctness).
+#ifndef SA_RUNTIME_EPOCH_H_
+#define SA_RUNTIME_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace sa::runtime {
+
+class EpochManager {
+ public:
+  // Upper bound on concurrently pinned readers (threads × nested pins).
+  // Slots are claimed per Pin(), so the bound is on simultaneous pins, not
+  // on registered threads.
+  static constexpr int kMaxSlots = 256;
+
+  EpochManager() = default;
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // A pinned slot. Obtained from Pin(); must be returned via Unpin() on the
+  // same manager. POD handle so ArraySnapshot can carry it by value.
+  struct PinHandle {
+    int slot = -1;
+  };
+
+  // Enters the current epoch. Hot path: one CAS to claim a slot (the
+  // thread-local hint makes this hit the same free slot every time) plus a
+  // store/validate pair on the epoch — no locks.
+  PinHandle Pin();
+
+  // Leaves the epoch; `handle` becomes invalid.
+  void Unpin(PinHandle handle);
+
+  // Queues `deleter` to run once every reader that could observe the retired
+  // object has unpinned. Cold path (writer side), internally serialized.
+  void Retire(std::function<void()> deleter);
+
+  // Attempts to advance the global epoch and frees every eligible retired
+  // object. Returns the number of deleters run. Cold path (writer side).
+  size_t TryReclaim();
+
+  // Observability (tests, stats).
+  uint64_t epoch() const { return global_epoch_.load(std::memory_order_acquire); }
+  size_t retired_count() const;
+  int pinned_count() const;
+
+ private:
+  // Slot encoding: 0 = free, otherwise (epoch << 1) | 1.
+  static constexpr uint64_t kFree = 0;
+  static uint64_t Encode(uint64_t epoch) { return (epoch << 1) | 1; }
+  static uint64_t DecodeEpoch(uint64_t v) { return v >> 1; }
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> value{kFree};
+  };
+
+  struct Retired {
+    uint64_t epoch;
+    std::function<void()> deleter;
+  };
+
+  // True when every non-free slot has reached `epoch`.
+  bool AllPinnedAt(uint64_t epoch) const;
+
+  std::atomic<uint64_t> global_epoch_{1};  // starts at 1 so encoded values != kFree
+  Slot slots_[kMaxSlots];
+
+  mutable std::mutex retire_mu_;
+  std::vector<Retired> retired_;
+};
+
+}  // namespace sa::runtime
+
+#endif  // SA_RUNTIME_EPOCH_H_

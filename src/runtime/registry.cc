@@ -1,0 +1,201 @@
+#include "runtime/registry.h"
+
+#include <utility>
+
+#include "common/bits.h"
+#include "common/macros.h"
+
+namespace sa::runtime {
+
+// ---- ArraySnapshot ----
+
+ArraySnapshot::ArraySnapshot(ArraySlot* slot, const ArrayVersion* version,
+                             EpochManager::PinHandle pin)
+    : slot_(slot),
+      version_(version),
+      replica_(version->storage->GetReplicaForCurrentThread()),
+      codec_(&smart::CodecFor(version->storage->bits())),
+      pin_(pin) {}
+
+ArraySnapshot::ArraySnapshot(ArraySnapshot&& other) noexcept
+    : slot_(std::exchange(other.slot_, nullptr)),
+      version_(other.version_),
+      replica_(other.replica_),
+      codec_(other.codec_),
+      pin_(other.pin_),
+      prev_index_plus_one_(other.prev_index_plus_one_),
+      local_sequential_(other.local_sequential_),
+      local_random_(other.local_random_) {}
+
+ArraySnapshot& ArraySnapshot::operator=(ArraySnapshot&& other) noexcept {
+  if (this != &other) {
+    Release();
+    slot_ = std::exchange(other.slot_, nullptr);
+    version_ = other.version_;
+    replica_ = other.replica_;
+    codec_ = other.codec_;
+    pin_ = other.pin_;
+    prev_index_plus_one_ = other.prev_index_plus_one_;
+    local_sequential_ = other.local_sequential_;
+    local_random_ = other.local_random_;
+  }
+  return *this;
+}
+
+uint64_t ArraySnapshot::SumRange(uint64_t begin, uint64_t end) {
+  SA_CHECK(begin <= end && end <= length());
+  local_sequential_ += end - begin;
+  prev_index_plus_one_ = end;
+  return codec_->sum_range(replica_, begin, end);
+}
+
+void ArraySnapshot::Release() {
+  if (slot_ == nullptr) {
+    return;
+  }
+  slot_->FlushSnapshotCounters(local_sequential_, local_random_);
+  slot_->epoch_->Unpin(pin_);
+  slot_ = nullptr;
+}
+
+// ---- ArraySlot ----
+
+ArraySlot::ArraySlot(std::string name, uint64_t length, EpochManager* epoch)
+    : name_(std::move(name)),
+      length_(length),
+      epoch_(epoch),
+      last_drain_(std::chrono::steady_clock::now()) {}
+
+ArraySnapshot ArraySlot::Acquire() {
+  const EpochManager::PinHandle pin = epoch_->Pin();
+  // The pin happens-before this load: the version read here cannot be freed
+  // until the pin is released (it can be *retired* concurrently, which is
+  // fine — retirement only queues the free).
+  const ArrayVersion* version = current_.load(std::memory_order_acquire);
+  return ArraySnapshot(this, version, pin);
+}
+
+void ArraySlot::Write(uint64_t index, uint64_t value) {
+  SA_CHECK(index < length_);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  // Holding write_mu_ keeps this version current (Publish takes the same
+  // mutex), so no epoch pin is needed here.
+  ArrayVersion* version = current_.load(std::memory_order_acquire);
+  smart::SmartArray& storage = *version->storage;
+  SA_CHECK_MSG((value & ~storage.max_value()) == 0,
+               "write exceeds the slot's current storage width");
+  storage.InitAtomic(index, value);
+  if (value > max_written_.load(std::memory_order_relaxed)) {
+    max_written_.store(value, std::memory_order_relaxed);
+  }
+  writes_.fetch_add(1, std::memory_order_release);
+}
+
+uint32_t ArraySlot::max_written_bits() const {
+  const uint64_t v = max_written_.load(std::memory_order_relaxed);
+  return v == 0 ? 0 : BitsForValue(v);
+}
+
+void ArraySlot::FlushSnapshotCounters(uint64_t sequential, uint64_t random) {
+  if (sequential != 0) {
+    sequential_reads_.fetch_add(sequential, std::memory_order_relaxed);
+  }
+  if (random != 0) {
+    random_reads_.fetch_add(random, std::memory_order_relaxed);
+  }
+  pins_.fetch_add(1, std::memory_order_relaxed);
+}
+
+SlotSample ArraySlot::DrainSample() {
+  const auto now = std::chrono::steady_clock::now();
+  SlotSample total = LifetimeSample();
+  SlotSample delta;
+  delta.sequential_reads = total.sequential_reads - drained_.sequential_reads;
+  delta.random_reads = total.random_reads - drained_.random_reads;
+  delta.writes = total.writes - drained_.writes;
+  delta.pins = total.pins - drained_.pins;
+  delta.seconds = std::chrono::duration<double>(now - last_drain_).count();
+  drained_ = total;
+  last_drain_ = now;
+  return delta;
+}
+
+SlotSample ArraySlot::LifetimeSample() const {
+  SlotSample s;
+  s.sequential_reads = sequential_reads_.load(std::memory_order_relaxed);
+  s.random_reads = random_reads_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.pins = pins_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---- ArrayRegistry ----
+
+ArrayRegistry::ArrayRegistry(const platform::Topology& topology) : topology_(topology) {}
+
+ArrayRegistry::~ArrayRegistry() {
+  // Free current versions; retired ones are freed by the epoch manager's
+  // destructor. All readers must be gone by now.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, slot] : slots_) {
+    delete slot->current_.exchange(nullptr, std::memory_order_acq_rel);
+  }
+}
+
+ArraySlot* ArrayRegistry::Create(const std::string& name, uint64_t length,
+                                 smart::PlacementSpec placement, uint32_t bits) {
+  auto storage = smart::SmartArray::Allocate(length, placement, bits, topology_);
+  auto version = std::make_unique<ArrayVersion>();
+  version->storage = std::move(storage);
+  version->sequence = 0;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  SA_CHECK_MSG(slots_.count(name) == 0, "registry slot name already exists");
+  auto slot = std::unique_ptr<ArraySlot>(new ArraySlot(name, length, &epoch_));
+  slot->current_.store(version.release(), std::memory_order_release);
+  ArraySlot* raw = slot.get();
+  slots_.emplace(name, std::move(slot));
+  return raw;
+}
+
+ArraySlot* ArrayRegistry::Open(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(name);
+  return it == slots_.end() ? nullptr : it->second.get();
+}
+
+std::vector<ArraySlot*> ArrayRegistry::slots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ArraySlot*> out;
+  out.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) {
+    out.push_back(slot.get());
+  }
+  return out;
+}
+
+size_t ArrayRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+bool ArrayRegistry::Publish(ArraySlot& slot, std::unique_ptr<smart::SmartArray> storage,
+                            uint64_t writes_before) {
+  SA_CHECK(storage != nullptr && storage->length() == slot.length());
+  std::lock_guard<std::mutex> lock(slot.write_mu_);
+  if (slot.writes_.load(std::memory_order_acquire) != writes_before) {
+    // A write landed after the rebuild read its input; the rebuilt storage
+    // may miss it. Refuse — the daemon rebuilds from fresh contents on its
+    // next cycle.
+    return false;
+  }
+  ArrayVersion* old = slot.current_.load(std::memory_order_acquire);
+  auto next = std::make_unique<ArrayVersion>();
+  next->storage = std::move(storage);
+  next->sequence = old->sequence + 1;
+  slot.current_.store(next.release(), std::memory_order_seq_cst);
+  epoch_.Retire([old] { delete old; });
+  return true;
+}
+
+}  // namespace sa::runtime

@@ -1,0 +1,236 @@
+// ArrayRegistry: named, concurrently readable smart-array slots whose
+// storage can be swapped out from under readers by the adaptation daemon.
+//
+// The paper's §6 adaptivity restructures an array "on the fly"; in the seed
+// implementation that swap is only safe because the benchmark loop owns the
+// array exclusively. The registry makes the swap safe under traffic, in the
+// LLAMA shape of a stable array identity decoupled from a swappable layout:
+//
+//   * An ArraySlot is the stable identity (name, length). Its current
+//     representation is an immutable ArrayVersion published through one
+//     atomic pointer.
+//   * Readers call Acquire() and get an ArraySnapshot: an epoch pin plus
+//     the version pointer. Acquisition is a couple of atomic operations
+//     (EpochManager::Pin + one acquire load) — no locks on the hot path.
+//     Everything read through a snapshot comes from one version: a
+//     concurrent restructure is invisible until the next Acquire.
+//   * A publisher (the AdaptationDaemon) swaps the pointer and retires the
+//     old version to the epoch garbage list; it is freed only once every
+//     pin taken before the swap has been released (epoch.h).
+//   * Writers serialize on a per-slot mutex against publication, so a
+//     restructure never loses a committed write: Publish aborts when writes
+//     raced the rebuild. Reads stay lock-free throughout — the runtime is
+//     built for the paper's read-only/read-mostly analytics arrays.
+//
+// Snapshots also sample the workload (sequential vs random reads, writes)
+// into per-slot counters; the daemon drains them to drive the §6 selector.
+#ifndef SA_RUNTIME_REGISTRY_H_
+#define SA_RUNTIME_REGISTRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "platform/topology.h"
+#include "runtime/epoch.h"
+#include "smart/dispatch.h"
+#include "smart/smart_array.h"
+
+namespace sa::runtime {
+
+class ArraySlot;
+class ArrayRegistry;
+class AdaptationDaemon;
+
+// One published representation of a slot's contents. Immutable once
+// published except through ArraySlot::Write (which serializes with
+// publication); `sequence` increments with every restructure.
+struct ArrayVersion {
+  std::unique_ptr<smart::SmartArray> storage;
+  uint64_t sequence = 0;
+};
+
+// Interval sample of a slot's workload counters (drained by the daemon).
+struct SlotSample {
+  uint64_t sequential_reads = 0;
+  uint64_t random_reads = 0;
+  uint64_t writes = 0;
+  uint64_t pins = 0;
+  double seconds = 0.0;
+
+  uint64_t reads() const { return sequential_reads + random_reads; }
+};
+
+// A consistent, immutable view of one slot's contents. Move-only RAII:
+// holds an epoch pin; releasing the snapshot (destructor) unpins and
+// flushes the locally accumulated access counters to the slot. Cheap to
+// acquire and intended to be short-lived (a pinned snapshot blocks storage
+// reclamation, never publication).
+class ArraySnapshot {
+ public:
+  ArraySnapshot(ArraySnapshot&& other) noexcept;
+  ArraySnapshot& operator=(ArraySnapshot&& other) noexcept;
+  ~ArraySnapshot() { Release(); }
+
+  ArraySnapshot(const ArraySnapshot&) = delete;
+  ArraySnapshot& operator=(const ArraySnapshot&) = delete;
+
+  const smart::SmartArray& array() const { return *version_->storage; }
+  uint64_t length() const { return version_->storage->length(); }
+  uint32_t bits() const { return version_->storage->bits(); }
+  // Restructure generation this snapshot observes (0 = initial storage).
+  uint64_t sequence() const { return version_->sequence; }
+
+  // Element read from this snapshot's version (never sees a concurrent
+  // restructure). Classified sequential/random for the workload counters.
+  uint64_t Get(uint64_t index) {
+    if (index == prev_index_plus_one_) {
+      ++local_sequential_;
+    } else {
+      ++local_random_;
+    }
+    prev_index_plus_one_ = index + 1;
+    return codec_->get(replica_, index);
+  }
+
+  // Sum of elements in [begin, end) through the chunk-granular block
+  // kernels (counted as a sequential scan of the range).
+  uint64_t SumRange(uint64_t begin, uint64_t end);
+
+  // Releases the pin early (destructor becomes a no-op).
+  void Release();
+
+ private:
+  friend class ArraySlot;
+  ArraySnapshot(ArraySlot* slot, const ArrayVersion* version, EpochManager::PinHandle pin);
+
+  ArraySlot* slot_ = nullptr;  // null once released / moved from
+  const ArrayVersion* version_ = nullptr;
+  const uint64_t* replica_ = nullptr;
+  const smart::CodecOps* codec_ = nullptr;
+  EpochManager::PinHandle pin_;
+  uint64_t prev_index_plus_one_ = ~uint64_t{0};
+  uint64_t local_sequential_ = 0;
+  uint64_t local_random_ = 0;
+};
+
+class ArraySlot {
+ public:
+  const std::string& name() const { return name_; }
+  uint64_t length() const { return length_; }
+
+  // Current representation (racy by nature: the daemon may republish at any
+  // time; use a snapshot for consistent multi-call reads).
+  uint32_t bits() const { return Current()->storage->bits(); }
+  smart::PlacementSpec placement() const { return Current()->storage->placement(); }
+  uint64_t sequence() const { return Current()->sequence; }
+
+  // Lock-free snapshot acquisition — the reader hot path.
+  ArraySnapshot Acquire();
+
+  // Element write into the current representation (every replica). Writers
+  // serialize on a per-slot mutex against each other and against
+  // publication; the value must fit the *data* width the slot was created
+  // with (a concurrent restructure may have narrowed the storage to the
+  // observed data width, so writes are checked against the live width).
+  void Write(uint64_t index, uint64_t value);
+
+  // ---- workload counters ----
+  uint64_t write_count() const { return writes_.load(std::memory_order_relaxed); }
+  uint64_t read_count() const {
+    return sequential_reads_.load(std::memory_order_relaxed) +
+           random_reads_.load(std::memory_order_relaxed);
+  }
+  // Widest value ever stored through Write (bits); the daemon keeps the
+  // compressed width at least this wide so racing writes cannot overflow a
+  // narrowed rebuild.
+  uint32_t max_written_bits() const;
+
+  // Counters accumulated since the previous drain, with the elapsed wall
+  // time. Single consumer (the daemon).
+  SlotSample DrainSample();
+  // Lifetime totals (for the §6.1 pass-amortization hints).
+  SlotSample LifetimeSample() const;
+
+ private:
+  friend class ArrayRegistry;
+  friend class ArraySnapshot;
+  friend class AdaptationDaemon;
+
+  ArraySlot(std::string name, uint64_t length, EpochManager* epoch);
+
+  const ArrayVersion* Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  void FlushSnapshotCounters(uint64_t sequential, uint64_t random);
+
+  std::string name_;
+  uint64_t length_ = 0;
+  EpochManager* epoch_ = nullptr;
+  std::atomic<ArrayVersion*> current_{nullptr};
+
+  // Serializes writers against each other and against Publish.
+  std::mutex write_mu_;
+  std::atomic<uint64_t> max_written_{0};  // updated under write_mu_
+
+  std::atomic<uint64_t> sequential_reads_{0};
+  std::atomic<uint64_t> random_reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> pins_{0};
+
+  // Daemon-side drain bookkeeping (single consumer).
+  SlotSample drained_{};
+  std::chrono::steady_clock::time_point last_drain_;
+};
+
+class ArrayRegistry {
+ public:
+  explicit ArrayRegistry(const platform::Topology& topology);
+  ~ArrayRegistry();
+
+  ArrayRegistry(const ArrayRegistry&) = delete;
+  ArrayRegistry& operator=(const ArrayRegistry&) = delete;
+
+  // Creates a named slot with freshly allocated storage. Aborts on
+  // duplicate names. Control path (mutex-protected).
+  ArraySlot* Create(const std::string& name, uint64_t length, smart::PlacementSpec placement,
+                    uint32_t bits);
+
+  // Looks a slot up by name; nullptr when absent. Control path.
+  ArraySlot* Open(const std::string& name) const;
+
+  std::vector<ArraySlot*> slots() const;
+  size_t size() const;
+
+  // Atomically replaces `slot`'s storage with `storage` and retires the old
+  // version to the epoch garbage list. `writes_before` is the slot's
+  // write_count() observed before the rebuild that produced `storage`
+  // started: when writes have happened since, the rebuild may have missed
+  // them, so the publish is refused (returns false, `storage` is dropped)
+  // and the caller retries with a fresh rebuild.
+  bool Publish(ArraySlot& slot, std::unique_ptr<smart::SmartArray> storage,
+               uint64_t writes_before);
+
+  // Frees retired storage whose epochs have fully drained; returns the
+  // number of versions reclaimed.
+  size_t Reclaim() { return epoch_.TryReclaim(); }
+
+  EpochManager& epoch() { return epoch_; }
+  const platform::Topology& topology() const { return topology_; }
+
+ private:
+  platform::Topology topology_;
+  EpochManager epoch_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ArraySlot>> slots_;
+};
+
+}  // namespace sa::runtime
+
+#endif  // SA_RUNTIME_REGISTRY_H_

@@ -32,6 +32,14 @@ uint32_t MinimalBits(rts::WorkerPool& pool, const SmartArray& array) {
 std::unique_ptr<SmartArray> Restructure(rts::WorkerPool& pool, const SmartArray& source,
                                         PlacementSpec placement, uint32_t bits,
                                         const platform::Topology& topology) {
+  auto target = TryRestructure(pool, source, placement, bits, topology);
+  SA_CHECK_MSG(target != nullptr, "restructure target width cannot hold a stored value");
+  return target;
+}
+
+std::unique_ptr<SmartArray> TryRestructure(rts::WorkerPool& pool, const SmartArray& source,
+                                           PlacementSpec placement, uint32_t bits,
+                                           const platform::Topology& topology) {
   const uint32_t target_bits = bits == 0 ? source.bits() : bits;
   auto target = SmartArray::Allocate(source.length(), placement, target_bits, topology);
   const uint64_t width_check_mask = ~LowMask(target_bits);
@@ -55,7 +63,9 @@ std::unique_ptr<SmartArray> Restructure(rts::WorkerPool& pool, const SmartArray&
                      });
     return 0;
   });
-  SA_CHECK_MSG(!overflow.load(), "restructure target width cannot hold a stored value");
+  if (overflow.load()) {
+    return nullptr;
+  }
   return target;
 }
 

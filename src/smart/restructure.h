@@ -19,6 +19,14 @@ std::unique_ptr<SmartArray> Restructure(rts::WorkerPool& pool, const SmartArray&
                                         PlacementSpec placement, uint32_t bits,
                                         const platform::Topology& topology);
 
+// Non-aborting variant: returns nullptr when a stored value does not fit
+// `bits`. The adaptation daemon narrows arrays that concurrent writers may
+// still be widening, so overflow there is an expected outcome to retry
+// from, not a caller bug.
+std::unique_ptr<SmartArray> TryRestructure(rts::WorkerPool& pool, const SmartArray& source,
+                                           PlacementSpec placement, uint32_t bits,
+                                           const platform::Topology& topology);
+
 // Narrowest width that holds every element of `array` (a parallel max scan;
 // what "compress with the least number of bits required" needs, §5.2).
 uint32_t MinimalBits(rts::WorkerPool& pool, const SmartArray& array);

@@ -46,17 +46,40 @@ class SynchronizedArray {
   class ChunkLock {
    public:
     void Lock() {
+      // Bounded exponential backoff: first a pause ladder (1, 2, 4, ...
+      // relax hints — the holder usually releases within a few cycles and
+      // pausing keeps the waiting hyperthread from starving it), then
+      // yield on oversubscribed hosts where the holder needs the CPU.
+      int round = 0;
       while (flag_.exchange(true, std::memory_order_acquire)) {
-        // Yield while waiting: critical sections are tiny, but on
-        // oversubscribed hosts the holder needs the CPU to release.
         do {
-          std::this_thread::yield();
+          if (round < kMaxPauseRounds) {
+            for (int i = 0; i < (1 << round); ++i) {
+              CpuRelax();
+            }
+            ++round;
+          } else {
+            std::this_thread::yield();
+          }
         } while (flag_.load(std::memory_order_relaxed));
       }
     }
     void Unlock() { flag_.store(false, std::memory_order_release); }
 
    private:
+    // 2^6 - 1 = 63 pause hints (~a few hundred cycles) before yielding.
+    static constexpr int kMaxPauseRounds = 6;
+
+    static void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#elif defined(__aarch64__)
+      asm volatile("yield" ::: "memory");
+#else
+      std::this_thread::yield();
+#endif
+    }
+
     std::atomic<bool> flag_{false};
   };
 

@@ -1,0 +1,137 @@
+// Round-trip coverage of smart::Restructure across the placement × bits
+// transitions the adaptation daemon performs: replicated <-> interleaved
+// (and single-socket / os-default), widen / narrow / keep-width (bits = 0),
+// plus the overflow contract (TryRestructure returns nullptr, Restructure
+// aborts).
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "smart/restructure.h"
+
+namespace sa::smart {
+namespace {
+
+struct Transition {
+  PlacementSpec from_placement;
+  uint32_t from_bits;
+  PlacementSpec to_placement;
+  uint32_t to_bits;  // 0 = keep width
+};
+
+std::string TransitionName(const ::testing::TestParamInfo<Transition>& info) {
+  const auto& t = info.param;
+  auto placement = [](const PlacementSpec& p) {
+    switch (p.kind) {
+      case Placement::kOsDefault:
+        return std::string("os");
+      case Placement::kSingleSocket:
+        return "single" + std::to_string(p.socket);
+      case Placement::kInterleaved:
+        return std::string("inter");
+      case Placement::kReplicated:
+        return std::string("repl");
+    }
+    return std::string("?");
+  };
+  return placement(t.from_placement) + "b" + std::to_string(t.from_bits) + "_to_" +
+         placement(t.to_placement) + "b" + std::to_string(t.to_bits);
+}
+
+class RestructureMatrixTest : public ::testing::TestWithParam<Transition> {
+ protected:
+  RestructureMatrixTest()
+      : topo_(platform::Topology::Synthetic(2, 2)),
+        pool_(topo_, rts::WorkerPool::Options{.num_threads = 4, .pin_threads = false}) {}
+
+  platform::Topology topo_;
+  rts::WorkerPool pool_;
+};
+
+TEST_P(RestructureMatrixTest, RoundTripsContentsOnEveryReplica) {
+  const Transition& t = GetParam();
+  // Length chosen to leave a partial final chunk (restructure must handle
+  // the tail exactly like MapRange/kernels do).
+  const uint64_t n = 4 * 64 * 64 + 17;
+  auto source = SmartArray::Allocate(n, t.from_placement, t.from_bits, topo_);
+  // Values must fit the *narrower* of the two widths so every transition in
+  // the matrix is lossless; widen transitions then verify zero-extension.
+  const uint32_t content_bits =
+      std::min(t.from_bits, t.to_bits == 0 ? t.from_bits : t.to_bits);
+  const uint64_t mask = LowMask(content_bits);
+  Xoshiro256 rng(t.from_bits * 100 + t.to_bits);
+  std::vector<uint64_t> oracle(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    oracle[i] = rng() & mask;
+    source->Init(i, oracle[i]);
+  }
+
+  const auto target = Restructure(pool_, *source, t.to_placement, t.to_bits, topo_);
+  ASSERT_NE(target, nullptr);
+  EXPECT_EQ(target->length(), n);
+  EXPECT_EQ(target->bits(), t.to_bits == 0 ? t.from_bits : t.to_bits);
+  EXPECT_EQ(target->placement(), t.to_placement);
+
+  // Differential vs the oracle on every replica (a replicated target must
+  // have initialized all copies, not just replica 0).
+  for (int r = 0; r < target->num_replicas(); ++r) {
+    const uint64_t* replica = target->GetReplica(r);
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(target->Get(i, replica), oracle[i])
+          << "replica " << r << " index " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DaemonTransitions, RestructureMatrixTest,
+    ::testing::Values(
+        // The §6 daemon moves: profiling shape (interleaved, 64) to the
+        // chosen configuration and back.
+        Transition{PlacementSpec::Interleaved(), 64, PlacementSpec::Replicated(), 10},
+        Transition{PlacementSpec::Replicated(), 10, PlacementSpec::Interleaved(), 64},
+        Transition{PlacementSpec::Interleaved(), 64, PlacementSpec::SingleSocket(0), 64},
+        Transition{PlacementSpec::SingleSocket(1), 33, PlacementSpec::Interleaved(), 33},
+        // Widen and narrow without changing placement.
+        Transition{PlacementSpec::Interleaved(), 13, PlacementSpec::Interleaved(), 40},
+        Transition{PlacementSpec::Interleaved(), 40, PlacementSpec::Interleaved(), 13},
+        // bits = 0 keeps the source width.
+        Transition{PlacementSpec::Replicated(), 17, PlacementSpec::Interleaved(), 0},
+        Transition{PlacementSpec::OsDefault(), 21, PlacementSpec::Replicated(), 0},
+        // Cross-word widths into and out of the native specializations.
+        Transition{PlacementSpec::Interleaved(), 32, PlacementSpec::Replicated(), 7},
+        Transition{PlacementSpec::Replicated(), 7, PlacementSpec::SingleSocket(0), 32}),
+    TransitionName);
+
+TEST(RestructureOverflowTest, TryRestructureReturnsNullWhenValuesDoNotFit) {
+  const auto topo = platform::Topology::Synthetic(2, 2);
+  rts::WorkerPool pool(topo, rts::WorkerPool::Options{.num_threads = 2, .pin_threads = false});
+  auto source = SmartArray::Allocate(300, PlacementSpec::Interleaved(), 64, topo);
+  for (uint64_t i = 0; i < 300; ++i) {
+    source->Init(i, i);
+  }
+  source->Init(299, uint64_t{1} << 40);  // does not fit 12 bits
+  EXPECT_EQ(TryRestructure(pool, *source, PlacementSpec::Replicated(), 12, topo), nullptr);
+  // The fitting prefix restructures fine once the wide value is removed.
+  source->Init(299, 7);
+  const auto ok = TryRestructure(pool, *source, PlacementSpec::Replicated(), 12, topo);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->Get(299, ok->GetReplica(1)), 7u);
+}
+
+TEST(RestructureOverflowTest, RestructureAbortsOnOverflow) {
+  const auto topo = platform::Topology::Synthetic(2, 2);
+  auto source = SmartArray::Allocate(100, PlacementSpec::Interleaved(), 33, topo);
+  source->Init(42, uint64_t{1} << 30);
+  // Pool built inside the death statement: the forked child only inherits
+  // the calling thread, so an outer pool's RunOnAll would hang there.
+  EXPECT_DEATH(
+      {
+        rts::WorkerPool pool(topo,
+                             rts::WorkerPool::Options{.num_threads = 2, .pin_threads = false});
+        Restructure(pool, *source, PlacementSpec::Replicated(), 8, topo);
+      },
+      "width");
+}
+
+}  // namespace
+}  // namespace sa::smart

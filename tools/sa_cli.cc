@@ -16,12 +16,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "adapt/cases.h"
+#include "runtime/entry_points.h"
 #include "graph/algorithms.h"
 #include "graph/algorithms2.h"
 #include "graph/generators.h"
@@ -213,6 +218,125 @@ int CmdGraph(const Args& args) {
   return 0;
 }
 
+// Shared scaffolding for the runtime demos: a registry (host topology), one
+// slot filled with --bits-wide values, and --readers threads scanning it
+// through pinned snapshots. Everything goes through the C ABI
+// (runtime/entry_points.h) — the same surface a guest language would use.
+struct RuntimeDemo {
+  void* reg = nullptr;
+  void* slot = nullptr;
+  uint64_t elements = 0;
+  uint64_t mask = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scans{0};
+  std::vector<std::thread> readers;
+
+  void Start(const Args& args) {
+    elements = args.GetInt("elements", 2'000'000);
+    const auto data_bits = static_cast<uint32_t>(args.GetInt("bits", 10));
+    reg = saRegistryCreate(0, 0);
+    // The selector reasons against a machine spec; --bw-gbps sets the
+    // per-socket memory bandwidth it assumes (default modest, so host scan
+    // traffic registers as memory-bound and the demo visibly adapts).
+    const double bw_gbps = static_cast<double>(args.GetInt("bw-gbps", 10));
+    saRegistryConfigureMachine(reg, /*mem_bytes_per_socket=*/64e9,
+                               /*exec_cycles_per_socket=*/1e11,
+                               /*bw_memory=*/bw_gbps * 1e9,
+                               /*bw_interconnect=*/bw_gbps * 0.5e9);
+    // The slot starts in the §6 profiling shape: interleaved, uncompressed.
+    slot = saRegistryDefine(reg, "demo", elements, /*replicated=*/0, /*interleaved=*/1,
+                            /*pinned=*/-1, /*bits=*/64);
+    mask = (uint64_t{1} << data_bits) - 1;
+    for (uint64_t i = 0; i < elements; ++i) {
+      saSlotWrite(slot, i, i & mask);
+    }
+    const int num_readers = static_cast<int>(args.GetInt("readers", 4));
+    for (int t = 0; t < num_readers; ++t) {
+      readers.emplace_back([this] {
+        while (!stop.load(std::memory_order_acquire)) {
+          void* snap = saSlotPin(slot);
+          const uint64_t sum = saSnapshotSumRange(snap, 0, elements);
+          saSnapshotUnpin(snap);
+          if (sum == ~uint64_t{0}) {
+            std::printf("impossible\n");  // keep the sum observable
+          }
+          scans.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  }
+
+  void PrintSlot(const char* when) const {
+    std::printf("  [%s] sequence=%llu bits=%u replicated=%s epoch=%llu scans=%llu\n", when,
+                static_cast<unsigned long long>(saSlotSequence(slot)), saSlotBits(slot),
+                saSlotIsReplicated(slot) ? "yes" : "no",
+                static_cast<unsigned long long>(saRegistryEpoch(reg)),
+                static_cast<unsigned long long>(scans.load()));
+  }
+
+  void Finish() {
+    stop.store(true, std::memory_order_release);
+    for (std::thread& t : readers) {
+      t.join();
+    }
+    // Verify through a final snapshot that no restructure lost an element.
+    void* snap = saSlotPin(slot);
+    uint64_t expect = 0;
+    uint64_t got = 0;
+    for (uint64_t i = 0; i < elements; i += 10'007) {
+      expect += i & mask;
+      got += saSnapshotRead(snap, i);
+    }
+    saSnapshotUnpin(snap);
+    std::printf("  final spot-check %s; reclaimed %llu retired versions\n",
+                got == expect ? "passed" : "FAILED",
+                static_cast<unsigned long long>(saRegistryReclaim(reg)));
+    saRegistryFree(reg);
+  }
+};
+
+int CmdRegistry(const Args& args) {
+  // Readers keep scanning through snapshots while the main thread forces
+  // synchronous adaptation passes: the slot restructures in place, readers
+  // never block, retired storage drains through the epoch list.
+  RuntimeDemo demo;
+  demo.Start(args);
+  std::printf("registry: %llu elements, %d reader(s) scanning via snapshots\n",
+              static_cast<unsigned long long>(demo.elements),
+              static_cast<int>(demo.readers.size()));
+  demo.PrintSlot("created");
+  const int passes = static_cast<int>(args.GetInt("passes", 5));
+  for (int p = 0; p < passes; ++p) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    const int restructured = saRegistryAdaptOnce(demo.reg);
+    std::printf("  pass %d: restructured %d slot(s)\n", p + 1, restructured);
+    demo.PrintSlot("after pass");
+  }
+  demo.Finish();
+  return 0;
+}
+
+int CmdDaemon(const Args& args) {
+  // Same workload, but adaptation runs on the background daemon thread.
+  RuntimeDemo demo;
+  demo.Start(args);
+  const auto interval_ms = static_cast<double>(args.GetInt("interval", 200));
+  const auto seconds = args.GetInt("seconds", 2);
+  std::printf("daemon: %llu elements, %d reader(s), interval %.0f ms, running %llu s\n",
+              static_cast<unsigned long long>(demo.elements),
+              static_cast<int>(demo.readers.size()), interval_ms,
+              static_cast<unsigned long long>(seconds));
+  demo.PrintSlot("created");
+  saRegistryDaemonStart(demo.reg, interval_ms, /*min_predicted_win=*/-1.0);
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  saRegistryDaemonStop(demo.reg);
+  std::printf("  daemon stopped after %llu adaptation(s)\n",
+              static_cast<unsigned long long>(saRegistryAdaptations(demo.reg)));
+  demo.PrintSlot("stopped");
+  demo.Finish();
+  return 0;
+}
+
 int Usage() {
   std::printf(
       "usage: sa_cli <command> [options]\n"
@@ -223,7 +347,12 @@ int Usage() {
       "             [--machine 8|18] [--java] [--elements N]\n"
       "  adapt      [--workload agg|degree|pagerank] [--bits B] [--machine 8|18]\n"
       "  graph      [--algo degree|pagerank|bfs|wcc|triangles] [--vertices N]\n"
-      "             [--edges M] [--compress]\n");
+      "             [--edges M] [--compress]\n"
+      "  registry   [--elements N] [--bits B] [--readers R] [--passes P] [--bw-gbps G]\n"
+      "             concurrent snapshot readers + synchronous adaptation passes\n"
+      "  daemon     [--elements N] [--bits B] [--readers R] [--interval MS]\n"
+      "             [--seconds S] [--bw-gbps G]\n"
+      "             same, with the background adaptation daemon\n");
   return 2;
 }
 
@@ -245,6 +374,12 @@ int main(int argc, char** argv) {
   }
   if (args.command == "graph") {
     return CmdGraph(args);
+  }
+  if (args.command == "registry") {
+    return CmdRegistry(args);
+  }
+  if (args.command == "daemon") {
+    return CmdDaemon(args);
   }
   return Usage();
 }
