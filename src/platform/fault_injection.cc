@@ -1,0 +1,40 @@
+#include "platform/fault_injection.h"
+
+#include <atomic>
+
+namespace sa::platform::fault {
+namespace {
+
+std::atomic<bool> g_armed{false};
+std::atomic<int64_t> g_countdown{0};
+std::atomic<uint64_t> g_fired{0};
+
+}  // namespace
+
+void ArmAllocFailure(uint64_t countdown) {
+  g_countdown.store(static_cast<int64_t>(countdown), std::memory_order_relaxed);
+  g_fired.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void Disarm() {
+  g_armed.store(false, std::memory_order_release);
+  g_fired.store(0, std::memory_order_relaxed);
+}
+
+bool AllocFailureArmed() { return g_armed.load(std::memory_order_acquire); }
+
+uint64_t AllocFailuresFired() { return g_fired.load(std::memory_order_relaxed); }
+
+bool ConsumeAllocFailure() {
+  if (!g_armed.load(std::memory_order_acquire)) {
+    return false;
+  }
+  if (g_countdown.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+    return false;
+  }
+  g_fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace sa::platform::fault

@@ -1,0 +1,43 @@
+// Deterministic fault injection at the platform allocation boundary.
+//
+// The testkit (src/testkit) must exercise the out-of-memory paths —
+// TryRestructure returning nullptr, the adaptation daemon skipping a
+// rebuild — without actually exhausting memory. ArmAllocFailure(n) makes
+// the (n+1)-th MappedRegion allocation from that point on report failure
+// (the region comes back !valid() instead of aborting); real mmap failures
+// still abort as before. The counters are process-global atomics so the
+// hooks cost one relaxed load on the (cold) allocation path and nothing
+// anywhere else.
+//
+// Test-only seam: production code never arms it, and a disarmed injector
+// is a single branch on a zero flag.
+#ifndef SA_PLATFORM_FAULT_INJECTION_H_
+#define SA_PLATFORM_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+namespace sa::platform::fault {
+
+// Arms allocation-failure injection: the next `countdown` allocations
+// succeed, every later one fails until Disarm(). countdown == 0 fails the
+// very next allocation.
+void ArmAllocFailure(uint64_t countdown);
+
+// Disarms injection and resets the fired counter.
+void Disarm();
+
+// True when armed (regardless of whether the countdown has elapsed).
+bool AllocFailureArmed();
+
+// Number of allocations that were failed by injection since the last
+// Arm/Disarm. Lets a checker distinguish "injected OOM" from a genuine
+// divergence.
+uint64_t AllocFailuresFired();
+
+// Called by MappedRegion before mapping; true means "pretend mmap failed".
+// Decrements the countdown when armed.
+bool ConsumeAllocFailure();
+
+}  // namespace sa::platform::fault
+
+#endif  // SA_PLATFORM_FAULT_INJECTION_H_

@@ -10,6 +10,7 @@
 
 #include "common/bits.h"
 #include "common/macros.h"
+#include "platform/fault_injection.h"
 
 namespace sa::platform {
 namespace {
@@ -71,6 +72,12 @@ MappedRegion::MappedRegion(size_t bytes, PagePolicy policy, int home_socket,
   SA_CHECK_MSG(home_socket >= 0 && home_socket < topology.num_sockets(),
                "home socket out of range");
   bytes_ = AlignUp(bytes, kPageSize);
+  if (SA_UNLIKELY(fault::ConsumeAllocFailure())) {
+    // Injected OOM (fault_injection.h): surface as an invalid region so the
+    // non-aborting allocation paths (SmartArray::TryAllocate) can recover.
+    bytes_ = 0;
+    return;
+  }
   void* p = mmap(nullptr, bytes_, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   SA_CHECK_MSG(p != MAP_FAILED, "mmap failed");
   data_ = p;

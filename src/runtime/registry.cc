@@ -6,6 +6,28 @@
 #include "common/macros.h"
 
 namespace sa::runtime {
+namespace {
+
+// Pre-publish test hook (testing::SetPrePublishHook). Guarded by its own
+// mutex: Publish is a control-path operation, never hot.
+std::mutex g_pre_publish_mu;
+std::function<void(ArraySlot&)> g_pre_publish_hook;
+
+std::function<void(ArraySlot&)> PrePublishHook() {
+  std::lock_guard<std::mutex> lock(g_pre_publish_mu);
+  return g_pre_publish_hook;
+}
+
+}  // namespace
+
+namespace testing {
+
+void SetPrePublishHook(std::function<void(ArraySlot&)> hook) {
+  std::lock_guard<std::mutex> lock(g_pre_publish_mu);
+  g_pre_publish_hook = std::move(hook);
+}
+
+}  // namespace testing
 
 // ---- ArraySnapshot ----
 
@@ -182,6 +204,12 @@ size_t ArrayRegistry::size() const {
 bool ArrayRegistry::Publish(ArraySlot& slot, std::unique_ptr<smart::SmartArray> storage,
                             uint64_t writes_before) {
   SA_CHECK(storage != nullptr && storage->length() == slot.length());
+  if (auto hook = PrePublishHook()) {
+    // Deterministic race injection (testing::SetPrePublishHook): the hook
+    // may Write to the slot here, exactly where a real writer could land
+    // between a rebuild and its publication.
+    hook(slot);
+  }
   std::lock_guard<std::mutex> lock(slot.write_mu_);
   if (slot.writes_.load(std::memory_order_acquire) != writes_before) {
     // A write landed after the rebuild read its input; the rebuilt storage

@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -230,6 +231,17 @@ class ArrayRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<ArraySlot>> slots_;
 };
+
+namespace testing {
+
+// Test-only seam: `hook` runs at the top of every ArrayRegistry::Publish,
+// before the lost-write check and outside the slot's write mutex. The
+// testkit installs a hook that performs a racing ArraySlot::Write so the
+// publish-refusal (lost-write) path is exercised deterministically; pass
+// nullptr to clear. Not for production use.
+void SetPrePublishHook(std::function<void(ArraySlot&)> hook);
+
+}  // namespace testing
 
 }  // namespace sa::runtime
 

@@ -41,6 +41,16 @@ class BitCompressedArray final : public SmartArray {
   static constexpr uint64_t kMask = LowMask(BITS);
   static constexpr uint64_t kWordsPerChunk = WordsPerChunk(BITS);
 
+#ifdef SA_MUTATION_CANARY
+  // CI mutation smoke (-DSA_MUTATION_CANARY=ON): deliberately drop the top
+  // bit of every value stored through the generic packed path. A build with
+  // this flag MUST fail the property testkit — if it ever passes, the
+  // testkit has lost its teeth. Never enabled in normal builds.
+  static constexpr uint64_t kStoreMask = BITS > 1 ? (kMask >> 1) : kMask;
+#else
+  static constexpr uint64_t kStoreMask = kMask;
+#endif
+
   // ---- Function 1: get(index, replica) ----
   static uint64_t GetImpl(const uint64_t* replica, uint64_t index) {
     if constexpr (BITS == 64) {
@@ -78,11 +88,12 @@ class BitCompressedArray final : public SmartArray {
       const uint32_t bit_in_word = static_cast<uint32_t>(bit_in_chunk % kWordBits);
       const uint64_t word = chunk_start + bit_in_chunk / kWordBits;
       const uint64_t word2 = chunk_start + (bit_in_chunk + BITS) / kWordBits;
-      replica[word] = (replica[word] & ~(kMask << bit_in_word)) | (value << bit_in_word);
+      const uint64_t stored = value & kStoreMask;
+      replica[word] = (replica[word] & ~(kMask << bit_in_word)) | (stored << bit_in_word);
       if (word != word2 && bit_in_word + BITS > kWordBits) {
         // Spill the high part into the next word (bit_in_word > 0 here).
         replica[word2] = (replica[word2] & ~(kMask >> (kWordBits - bit_in_word))) |
-                         (value >> (kWordBits - bit_in_word));
+                         (stored >> (kWordBits - bit_in_word));
       }
     }
   }

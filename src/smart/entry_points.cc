@@ -43,6 +43,7 @@ struct EntryIterator {
 EntryIterator* Iter(void* it) { return static_cast<EntryIterator*>(it); }
 
 uint64_t IterGetImpl(EntryIterator* it, uint32_t bits) {
+  SA_DCHECK(it->index < it->array->length());
   if (bits == 64) {
     return it->replica[it->index];
   }
@@ -75,6 +76,8 @@ int saGetNumSockets(void) { return DefaultTopology().num_sockets(); }
 
 void* saArrayAllocate(uint64_t length, int replicated, int interleaved, int pinned,
                       uint32_t bits) {
+  SA_CHECK_MSG(length > 0, "smart arrays cannot be empty");
+  SA_CHECK_MSG(bits >= 1 && bits <= 64, "bit width must be 1..64");
   SA_CHECK_MSG(!(replicated && interleaved), "data placements cannot be combined");
   SA_CHECK_MSG(!((replicated || interleaved) && pinned >= 0),
                "data placements cannot be combined");
@@ -100,21 +103,32 @@ const uint64_t* saArrayGetReplica(const void* sa) {
   return Array(sa)->GetReplicaForCurrentThread();
 }
 
-void saArrayInit(void* sa, uint64_t index, uint64_t value) { Array(sa)->Init(index, value); }
+void saArrayInit(void* sa, uint64_t index, uint64_t value) {
+  SmartArray* a = Array(sa);
+  SA_CHECK_MSG(index < a->length(), "index out of range");
+  a->Init(index, value);
+}
 
 uint64_t saArrayGet(const void* sa, uint64_t index) {
   const SmartArray* a = Array(sa);
+  SA_CHECK_MSG(index < a->length(), "index out of range");
   return a->Get(index, a->GetReplicaForCurrentThread());
 }
 
 void saArrayUnpack(const void* sa, uint64_t chunk, uint64_t* out) {
   const SmartArray* a = Array(sa);
+  SA_CHECK_MSG(chunk < a->num_chunks(), "chunk out of range");
   a->Unpack(chunk, a->GetReplicaForCurrentThread(), out);
 }
 
 void saArrayInitWithBits(void* sa, uint64_t index, uint64_t value, uint32_t bits) {
   SmartArray* a = Array(sa);
-  SA_DCHECK(a->bits() == bits);
+  // A mismatched width would run the wrong codec geometry over the replica
+  // words — silent corruption, or reads/writes past the mapped region for
+  // wider-than-actual widths. Foreign callers pass `bits` as a plain long,
+  // so this boundary stays a hard check, not a debug assert.
+  SA_CHECK_MSG(a->bits() == bits, "width does not match the array");
+  SA_CHECK_MSG(index < a->length(), "index out of range");
   const auto& codec = CodecFor(bits);
   for (int r = 0; r < a->num_replicas(); ++r) {
     codec.init(a->MutableReplica(r), index, value);
@@ -123,12 +137,16 @@ void saArrayInitWithBits(void* sa, uint64_t index, uint64_t value, uint32_t bits
 
 uint64_t saArrayGetWithBits(const void* sa, uint64_t index, uint32_t bits) {
   const SmartArray* a = Array(sa);
-  SA_DCHECK(a->bits() == bits);
+  SA_CHECK_MSG(a->bits() == bits, "width does not match the array");
+  SA_CHECK_MSG(index < a->length(), "index out of range");
   return CodecFor(bits).get(a->GetReplicaForCurrentThread(), index);
 }
 
 void* saIterAllocate(const void* sa, uint64_t index) {
   const SmartArray* a = Array(sa);
+  // index == length is a legal one-past-the-end resting position (a scan
+  // loop allocates at its start bound, which may equal its end bound).
+  SA_CHECK_MSG(index <= a->length(), "iterator index out of range");
   auto* it = new EntryIterator;
   it->array = a;
   it->replica = a->GetReplicaForCurrentThread();
@@ -140,6 +158,7 @@ void saIterFree(void* it) { delete Iter(it); }
 
 void saIterReset(void* it, uint64_t index) {
   EntryIterator* e = Iter(it);
+  SA_CHECK_MSG(index <= e->array->length(), "iterator index out of range");
   e->index = index;
   e->buffered_chunk = ~uint64_t{0};
 }

@@ -33,7 +33,9 @@ std::unique_ptr<SmartArray> Restructure(rts::WorkerPool& pool, const SmartArray&
                                         PlacementSpec placement, uint32_t bits,
                                         const platform::Topology& topology) {
   auto target = TryRestructure(pool, source, placement, bits, topology);
-  SA_CHECK_MSG(target != nullptr, "restructure target width cannot hold a stored value");
+  SA_CHECK_MSG(target != nullptr,
+               "restructure failed: target width cannot hold a stored value, or the "
+               "target allocation failed");
   return target;
 }
 
@@ -41,7 +43,13 @@ std::unique_ptr<SmartArray> TryRestructure(rts::WorkerPool& pool, const SmartArr
                                            PlacementSpec placement, uint32_t bits,
                                            const platform::Topology& topology) {
   const uint32_t target_bits = bits == 0 ? source.bits() : bits;
-  auto target = SmartArray::Allocate(source.length(), placement, target_bits, topology);
+  // Non-aborting allocation: an injected (or future real) OOM during a
+  // rebuild is a retryable outcome for the adaptation daemon, exactly like
+  // a width overflow.
+  auto target = SmartArray::TryAllocate(source.length(), placement, target_bits, topology);
+  if (target == nullptr) {
+    return nullptr;
+  }
   const uint64_t width_check_mask = ~LowMask(target_bits);
 
   std::atomic<bool> overflow{false};

@@ -86,11 +86,32 @@ const uint64_t* SmartArray::GetReplicaForCurrentThread() const {
   return GetReplica(socket >= 0 ? socket : 0);
 }
 
+bool SmartArray::allocation_ok() const {
+  for (const platform::MappedRegion& region : regions_) {
+    if (!region.valid()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::unique_ptr<SmartArray> SmartArray::Allocate(uint64_t length, PlacementSpec placement,
                                                  uint32_t bits,
                                                  const platform::Topology& topology) {
+  auto array = TryAllocate(length, placement, bits, topology);
+  SA_CHECK_MSG(array != nullptr, "smart-array replica allocation failed");
+  return array;
+}
+
+std::unique_ptr<SmartArray> SmartArray::TryAllocate(uint64_t length, PlacementSpec placement,
+                                                    uint32_t bits,
+                                                    const platform::Topology& topology) {
   SA_CHECK_MSG(bits >= 1 && bits <= 64, "bit width must be 1..64");
-  return kCreators[bits](length, placement, topology);
+  auto array = kCreators[bits](length, placement, topology);
+  if (!array->allocation_ok()) {
+    return nullptr;
+  }
+  return array;
 }
 
 }  // namespace sa::smart

@@ -91,11 +91,23 @@ class SmartArray {
   // Largest value representable with this array's width.
   uint64_t max_value() const { return LowMask(bits_); }
 
+  // True when every replica region was actually mapped. Only false under
+  // injected allocation failure (platform/fault_injection.h); a genuine mmap
+  // failure aborts inside MappedRegion.
+  bool allocation_ok() const;
+
   // ---- Factory (Fig. 9 ::allocate) ----
   // Creates the concrete subclass for `bits` (1..64) and allocates its
-  // replica(s) under `placement` relative to `topology`.
+  // replica(s) under `placement` relative to `topology`. Aborts when a
+  // replica cannot be allocated.
   static std::unique_ptr<SmartArray> Allocate(uint64_t length, PlacementSpec placement,
                                               uint32_t bits, const platform::Topology& topology);
+
+  // Non-aborting factory: returns nullptr when a replica allocation fails
+  // (the OOM-tolerant path TryRestructure and the adaptation daemon use).
+  static std::unique_ptr<SmartArray> TryAllocate(uint64_t length, PlacementSpec placement,
+                                                 uint32_t bits,
+                                                 const platform::Topology& topology);
 
  protected:
   SmartArray(uint64_t length, PlacementSpec placement, uint32_t bits,

@@ -1,0 +1,548 @@
+#include "testkit/checker.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "platform/fault_injection.h"
+#include "runtime/registry.h"
+#include "testkit/generator.h"
+
+namespace sa::testkit {
+
+namespace {
+
+// Domain-separation salts: every seed-derived stream (program ops, racing
+// writes, epilogue readers) hashes the seed with its own constant.
+constexpr uint64_t kRaceIndexSalt = 0x726163652d69ULL;  // "race-i"
+constexpr uint64_t kRaceValueSalt = 0x726163652d76ULL;  // "race-v"
+constexpr uint64_t kEpilogueSalt = 0x6570696c6fULL;     // "epilo"
+
+const char* ToString(RestructureResult r) {
+  switch (r) {
+    case RestructureResult::kUnsupported:
+      return "unsupported";
+    case RestructureResult::kPublished:
+      return "published";
+    case RestructureResult::kRejected:
+      return "rejected";
+    case RestructureResult::kPublishRefused:
+      return "publish-refused";
+  }
+  return "?";
+}
+
+std::string Diff(const char* what, uint64_t got, uint64_t want) {
+  return std::string(what) + ": got " + std::to_string(got) + ", model says " +
+         std::to_string(want);
+}
+
+smart::PlacementSpec DecodePlacement(uint64_t raw) {
+  switch (raw % 4) {
+    case 0:
+      return smart::PlacementSpec::OsDefault();
+    case 1:
+      return smart::PlacementSpec::SingleSocket(1);
+    case 2:
+      return smart::PlacementSpec::Interleaved();
+    default:
+      return smart::PlacementSpec::Replicated();
+  }
+}
+
+// Program executor: model + harness in lockstep, first divergence wins.
+class Executor {
+ public:
+  Executor(const Program& program, TestContext& ctx)
+      : program_(program),
+        scenario_(program.scenario),
+        len_(program.scenario.length),
+        harness_(MakeHarness(program.scenario, ctx)),
+        model_(program.scenario.length, program.scenario.bits) {}
+
+  RunResult Run(const RunOptions& opts) {
+    for (size_t i = 0; i < program_.ops.size() && result_.ok; ++i) {
+      Step(i, program_.ops[i]);
+    }
+    if (result_.ok) {
+      VerifyAll(program_.ops.size());
+    }
+    if (result_.ok && opts.concurrent_epilogue && scenario_.variant == Variant::kRegistry) {
+      ConcurrentEpilogue();
+    }
+    return result_;
+  }
+
+ private:
+  void Fail(size_t op_index, const std::string& what) {
+    if (!result_.ok) {
+      return;
+    }
+    result_.ok = false;
+    if (op_index < program_.ops.size()) {
+      result_.message = "op[" + std::to_string(op_index) + "] " +
+                        ToString(program_.ops[op_index]) + ": " + what;
+    } else {
+      result_.message = "final whole-array verification: " + what;
+    }
+  }
+
+  // Exhaustive diff of every observable: width, every element through the
+  // variant's primary read path, and the block-kernel sum.
+  void VerifyAll(size_t op_index) {
+    if (harness_->bits() != model_.bits()) {
+      Fail(op_index, Diff("bits", harness_->bits(), model_.bits()));
+      return;
+    }
+    for (uint64_t i = 0; i < len_; ++i) {
+      const uint64_t got = harness_->Get(i, i);  // rotate through replicas
+      if (got != model_.Get(i)) {
+        Fail(op_index, Diff(("a[" + std::to_string(i) + "]").c_str(), got, model_.Get(i)));
+        return;
+      }
+    }
+    const uint64_t got_sum = harness_->SumRange(0, len_);
+    if (got_sum != model_.SumRange(0, len_)) {
+      Fail(op_index, Diff("sum[0,len)", got_sum, model_.SumRange(0, len_)));
+    }
+  }
+
+  void Step(size_t i, const Op& op) {
+    const uint64_t idx = op.a % len_;
+    switch (op.kind) {
+      case OpKind::kInit: {
+        const uint64_t value = op.b & model_.mask();
+        harness_->Init(idx, value);
+        model_.Set(idx, value);
+        break;
+      }
+      case OpKind::kInitAtomic: {
+        const uint64_t value = op.b & model_.mask();
+        harness_->InitAtomic(idx, value);
+        model_.Set(idx, value);
+        break;
+      }
+      case OpKind::kWrite: {
+        const uint64_t value = op.b & model_.mask();
+        harness_->Init(idx, value);  // registry harness routes to ArraySlot::Write
+        model_.Set(idx, value);
+        break;
+      }
+      case OpKind::kGet: {
+        const uint64_t got = harness_->Get(idx, op.b);
+        if (got != model_.Get(idx)) {
+          Fail(i, Diff("get", got, model_.Get(idx)));
+        }
+        break;
+      }
+      case OpKind::kGetCodec: {
+        const uint64_t got = harness_->GetCodec(idx);
+        if (got != model_.Get(idx)) {
+          Fail(i, Diff("get-codec", got, model_.Get(idx)));
+        }
+        break;
+      }
+      case OpKind::kUnpack: {
+        const uint64_t chunk = op.a % ((len_ + 63) / 64);
+        uint64_t out[64] = {};
+        if (!harness_->Unpack(chunk, out)) {
+          break;  // variant has no unpack surface
+        }
+        for (uint64_t slot = 0; slot < 64; ++slot) {
+          const uint64_t index = chunk * 64 + slot;
+          // Slots past the logical length decode the zero padding of the
+          // final partial chunk.
+          const uint64_t want = index < len_ ? model_.Get(index) : 0;
+          if (out[slot] != want) {
+            Fail(i, Diff(("unpack chunk " + std::to_string(chunk) + " slot " +
+                          std::to_string(slot))
+                             .c_str(),
+                         out[slot], want));
+            break;
+          }
+        }
+        break;
+      }
+      case OpKind::kIterate: {
+        const uint64_t start = idx;
+        const uint64_t count = std::min<uint64_t>(op.b % 129, len_ - start);
+        std::vector<uint64_t> out(count, 0);
+        if (count == 0 || !harness_->IterRead(start, count, out.data())) {
+          break;
+        }
+        for (uint64_t k = 0; k < count; ++k) {
+          if (out[k] != model_.Get(start + k)) {
+            Fail(i, Diff(("iterate a[" + std::to_string(start + k) + "]").c_str(), out[k],
+                         model_.Get(start + k)));
+            break;
+          }
+        }
+        break;
+      }
+      case OpKind::kSumRange: {
+        const uint64_t x = op.a % (len_ + 1);
+        const uint64_t y = op.b % (len_ + 1);
+        const uint64_t begin = std::min(x, y);
+        const uint64_t end = std::max(x, y);
+        const uint64_t got = harness_->SumRange(begin, end);
+        if (got != model_.SumRange(begin, end)) {
+          Fail(i, Diff(("sum[" + std::to_string(begin) + "," + std::to_string(end) + ")").c_str(),
+                       got, model_.SumRange(begin, end)));
+        }
+        break;
+      }
+      case OpKind::kFetchAdd: {
+        const uint64_t got_old = harness_->FetchAdd(idx, op.b);
+        const uint64_t want_old = model_.FetchAdd(idx, op.b);
+        if (got_old != want_old) {
+          Fail(i, Diff("fetch-add previous value", got_old, want_old));
+        }
+        break;
+      }
+      case OpKind::kSnapshotRead: {
+        void* snap = harness_->SnapshotPin();
+        if (snap == nullptr) {
+          break;
+        }
+        const uint32_t snap_bits = harness_->SnapshotBits(snap);
+        if (snap_bits != model_.bits()) {
+          Fail(i, Diff("snapshot bits", snap_bits, model_.bits()));
+        }
+        for (const uint64_t raw : {op.a, op.b, op.c}) {
+          const uint64_t read_idx = raw % len_;
+          const uint64_t got = harness_->SnapshotGet(snap, read_idx);
+          if (got != model_.Get(read_idx)) {
+            Fail(i, Diff("snapshot read", got, model_.Get(read_idx)));
+            break;
+          }
+        }
+        harness_->SnapshotUnpin(snap);
+        break;
+      }
+      case OpKind::kSnapshotSum: {
+        void* snap = harness_->SnapshotPin();
+        if (snap == nullptr) {
+          break;
+        }
+        const uint64_t x = op.a % (len_ + 1);
+        const uint64_t y = op.b % (len_ + 1);
+        const uint64_t begin = std::min(x, y);
+        const uint64_t end = std::max(x, y);
+        const uint64_t got = harness_->SnapshotSum(snap, begin, end);
+        if (got != model_.SumRange(begin, end)) {
+          Fail(i, Diff("snapshot sum", got, model_.SumRange(begin, end)));
+        }
+        harness_->SnapshotUnpin(snap);
+        break;
+      }
+      case OpKind::kSnapshotStale: {
+        // Pin a snapshot, publish a restructure underneath it, and prove the
+        // pinned view still observes the pre-publish representation (the
+        // epoch guarantee readers rely on).
+        void* snap = harness_->SnapshotPin();
+        if (snap == nullptr) {
+          break;
+        }
+        const uint32_t old_bits = harness_->SnapshotBits(snap);
+        const uint32_t minimal = model_.MinimalBits();
+        const RestructureResult got =
+            harness_->Restructure(DecodePlacement(op.b), minimal);
+        if (got != RestructureResult::kPublished) {
+          Fail(i, std::string("restructure under pinned snapshot: got ") + ToString(got) +
+                      ", expected published");
+        } else {
+          model_.SetBits(minimal);
+          const uint32_t stale_bits = harness_->SnapshotBits(snap);
+          if (stale_bits != old_bits) {
+            Fail(i, Diff("pinned snapshot bits changed across publish", stale_bits, old_bits));
+          }
+          // Contents are preserved by restructure, so the stale view and the
+          // model still agree element-wise.
+          const uint64_t stale = harness_->SnapshotGet(snap, idx);
+          if (stale != model_.Get(idx)) {
+            Fail(i, Diff("pinned snapshot read across publish", stale, model_.Get(idx)));
+          }
+        }
+        harness_->SnapshotUnpin(snap);
+        break;
+      }
+      case OpKind::kRestructure:
+        StepRestructure(i, op);
+        break;
+    }
+  }
+
+  void StepRestructure(size_t i, const Op& op) {
+    if (!scenario_.supports_restructure()) {
+      const RestructureResult got = harness_->Restructure(DecodePlacement(op.b), 64);
+      if (got != RestructureResult::kUnsupported) {
+        Fail(i, std::string("restructure on fixed-representation variant: got ") +
+                    ToString(got));
+      }
+      return;
+    }
+
+    const smart::PlacementSpec placement = DecodePlacement(op.b);
+    const uint32_t minimal = model_.MinimalBits();
+    uint32_t target;
+    switch (op.c % 3) {
+      case 0:
+        target = minimal;  // tightest legal compression
+        break;
+      case 1:
+        target = 64;  // fully uncompressed
+        break;
+      default:
+        // Deliberate overflow attempt (one bit too narrow) when possible.
+        target = minimal > 1 ? minimal - 1 : 64;
+        break;
+    }
+    const bool fits = minimal <= target;
+    const bool inject_alloc = scenario_.inject_alloc_failure && ((op.c >> 8) & 1) != 0;
+    const bool inject_race = scenario_.inject_publish_race &&
+                             scenario_.variant == Variant::kRegistry && ((op.c >> 9) & 1) != 0;
+
+    bool hook_fired = false;
+    if (inject_race) {
+      // The racing write is applied to the slot *and* the model inside the
+      // hook, so the two stay in lockstep whether or not a publish was
+      // actually attempted for this op.
+      runtime::testing::SetPrePublishHook([this, &hook_fired, &op](runtime::ArraySlot& slot) {
+        hook_fired = true;
+        const uint64_t race_idx = SplitMix64(op.c ^ kRaceIndexSalt) % len_;
+        const uint64_t race_value = SplitMix64(op.c ^ kRaceValueSalt) & model_.mask();
+        slot.Write(race_idx, race_value);
+        model_.Set(race_idx, race_value);
+      });
+    }
+    if (inject_alloc) {
+      platform::fault::ArmAllocFailure(0);  // fail the very next region mapping
+    }
+
+    const RestructureResult got = harness_->Restructure(placement, target);
+
+    const uint64_t fired = platform::fault::AllocFailuresFired();
+    platform::fault::Disarm();
+    runtime::testing::SetPrePublishHook(nullptr);
+
+    RestructureResult expected;
+    if (!fits || inject_alloc) {
+      expected = RestructureResult::kRejected;
+    } else if (inject_race) {
+      expected = RestructureResult::kPublishRefused;
+    } else {
+      expected = RestructureResult::kPublished;
+    }
+
+    if (got != expected) {
+      Fail(i, std::string("restructure to ") + ToString(placement) + "/" +
+                  std::to_string(target) + "b: got " + ToString(got) + ", expected " +
+                  ToString(expected));
+      return;
+    }
+    if (inject_alloc && fits && fired == 0) {
+      Fail(i, "armed allocation fault never fired");
+      return;
+    }
+    if (expected == RestructureResult::kPublishRefused && !hook_fired) {
+      Fail(i, "publish-race hook installed but never invoked");
+      return;
+    }
+    if (got == RestructureResult::kPublished) {
+      model_.SetBits(target);
+      VerifyAll(i);  // contents must have survived the rebuild bit-for-bit
+    }
+  }
+
+  // Readers pin snapshots and verify them against the (now frozen) model
+  // while the main thread publishes restructures. Restructure preserves
+  // contents, so every snapshot — whichever version it pinned — must match
+  // the model exactly; only its width may lag.
+  void ConcurrentEpilogue() {
+    const uint32_t minimal = model_.MinimalBits();
+    constexpr int kReaders = 2;
+    constexpr int kReadsPerReader = 64;
+    constexpr int kPublishes = 4;
+
+    std::vector<std::string> reader_errors(kReaders);
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (int t = 0; t < kReaders; ++t) {
+      readers.emplace_back([this, t, minimal, &reader_errors] {
+        Xoshiro256 rng(SplitMix64(program_.seed ^ kEpilogueSalt ^ static_cast<uint64_t>(t)));
+        for (int iter = 0; iter < kReadsPerReader && reader_errors[t].empty(); ++iter) {
+          void* snap = harness_->SnapshotPin();
+          const uint32_t snap_bits = harness_->SnapshotBits(snap);
+          if (snap_bits < minimal || snap_bits > 64) {
+            reader_errors[t] = Diff("snapshot bits out of range", snap_bits, minimal);
+          }
+          const uint64_t idx = rng.Below(len_);
+          const uint64_t got = harness_->SnapshotGet(snap, idx);
+          if (reader_errors[t].empty() && got != model_.Get(idx)) {
+            reader_errors[t] = Diff("concurrent snapshot read", got, model_.Get(idx));
+          }
+          const uint64_t sum = harness_->SnapshotSum(snap, 0, len_);
+          if (reader_errors[t].empty() && sum != model_.SumRange(0, len_)) {
+            reader_errors[t] = Diff("concurrent snapshot sum", sum, model_.SumRange(0, len_));
+          }
+          harness_->SnapshotUnpin(snap);
+        }
+      });
+    }
+
+    std::string publish_error;
+    for (int round = 0; round < kPublishes; ++round) {
+      const uint32_t target = (round % 2 != 0) ? 64 : minimal;
+      const RestructureResult got = harness_->Restructure(DecodePlacement(round), target);
+      if (got != RestructureResult::kPublished) {
+        publish_error = std::string("epilogue publish round ") + std::to_string(round) +
+                        ": got " + ToString(got);
+        break;
+      }
+      model_.SetBits(target);
+    }
+
+    for (auto& reader : readers) {
+      reader.join();
+    }
+    const size_t op_index = program_.ops.size();
+    if (!publish_error.empty()) {
+      Fail(op_index, publish_error);
+    }
+    for (const std::string& error : reader_errors) {
+      if (!error.empty()) {
+        Fail(op_index, error);
+      }
+    }
+  }
+
+  const Program& program_;
+  const Scenario& scenario_;
+  const uint64_t len_;
+  std::unique_ptr<Harness> harness_;
+  ArrayModel model_;
+  RunResult result_;
+};
+
+}  // namespace
+
+RunResult RunProgram(const Program& program, TestContext& ctx, const RunOptions& opts) {
+  // Independent runs: no fault state leaks across executions.
+  platform::fault::Disarm();
+  runtime::testing::SetPrePublishHook(nullptr);
+  Executor executor(program, ctx);
+  RunResult result = executor.Run(opts);
+  platform::fault::Disarm();
+  runtime::testing::SetPrePublishHook(nullptr);
+  return result;
+}
+
+Program ShrinkProgram(const Program& failing, TestContext& ctx, const RunOptions& opts,
+                      uint64_t max_runs, uint64_t* runs_out) {
+  Program best = failing;
+  uint64_t runs = 0;
+
+  size_t chunk = best.ops.size() / 2;
+  if (chunk == 0) {
+    chunk = 1;
+  }
+  while (runs < max_runs) {
+    bool removed_any = false;
+    for (size_t start = 0; start < best.ops.size() && runs < max_runs;) {
+      Program candidate = best;
+      const size_t end = std::min(start + chunk, candidate.ops.size());
+      candidate.ops.erase(candidate.ops.begin() + static_cast<ptrdiff_t>(start),
+                          candidate.ops.begin() + static_cast<ptrdiff_t>(end));
+      ++runs;
+      if (!RunProgram(candidate, ctx, opts).ok) {
+        best = std::move(candidate);
+        removed_any = true;
+        continue;  // retry the same start against the smaller program
+      }
+      start += chunk;
+    }
+    if (chunk == 1) {
+      if (!removed_any) {
+        break;  // fixpoint at single-op granularity
+      }
+    } else {
+      chunk /= 2;
+    }
+  }
+
+  if (runs_out != nullptr) {
+    *runs_out = runs;
+  }
+  return best;
+}
+
+std::string Verdict::ReplayCommand() const {
+  return "sa_testkit --scenario=" + std::to_string(scenario_index) +
+         " --seed=" + std::to_string(seed) + " --ops=" + std::to_string(num_ops);
+}
+
+std::string Verdict::Report() const {
+  if (ok) {
+    return "ok";
+  }
+  std::string report = "FAIL scenario " + std::to_string(scenario_index) + " [" +
+                       ToString(minimal.scenario) + "] seed=" + std::to_string(seed) +
+                       " ops=" + std::to_string(num_ops) + "\n";
+  report += "  divergence: " + failure.message + "\n";
+  if (shrink_runs == 0) {
+    report += "  program (shrinking disabled): " + std::to_string(minimal.ops.size()) + " op(s)";
+  } else {
+    report += "  shrunk to " + std::to_string(minimal.ops.size()) + " op(s) in " +
+              std::to_string(shrink_runs) + " runs";
+  }
+  if (!minimal_failure.message.empty() && minimal_failure.message != failure.message) {
+    report += " (minimal divergence: " + minimal_failure.message + ")";
+  }
+  report += "\n";
+  // A minimal program is short by construction; an unshrunk one can be
+  // thousands of ops, so elide the middle to keep CI logs readable.
+  constexpr size_t kMaxPrintedOps = 48;
+  const size_t printed = std::min(minimal.ops.size(), kMaxPrintedOps);
+  for (size_t i = 0; i < printed; ++i) {
+    report += "    [" + std::to_string(i) + "] " + ToString(minimal.ops[i]) + "\n";
+  }
+  if (printed < minimal.ops.size()) {
+    report += "    ... " + std::to_string(minimal.ops.size() - printed) +
+              " more op(s); replay below reproduces the full program\n";
+  }
+  report += "  replay: " + ReplayCommand() + "\n";
+  return report;
+}
+
+Verdict CheckScenario(size_t scenario_index, uint64_t seed, uint64_t num_ops, TestContext& ctx,
+                      const CheckOptions& options) {
+  const std::vector<Scenario>& grid = ScenarioGrid();
+  SA_CHECK_MSG(scenario_index < grid.size(), "scenario index out of range");
+
+  Verdict verdict;
+  verdict.scenario_index = scenario_index;
+  verdict.seed = seed;
+  verdict.num_ops = num_ops;
+
+  OpSequenceGenerator generator(seed);
+  Program program = generator.Generate(grid[scenario_index], num_ops);
+
+  verdict.failure = RunProgram(program, ctx, options.run);
+  verdict.ok = verdict.failure.ok;
+  if (verdict.ok) {
+    return verdict;
+  }
+
+  if (options.shrink) {
+    verdict.minimal =
+        ShrinkProgram(program, ctx, options.run, options.max_shrink_runs, &verdict.shrink_runs);
+  } else {
+    verdict.minimal = std::move(program);
+  }
+  verdict.minimal_failure = RunProgram(verdict.minimal, ctx, options.run);
+  return verdict;
+}
+
+}  // namespace sa::testkit

@@ -1,0 +1,79 @@
+// Checker: executes a generated program against the reference ArrayModel and
+// a real variant simultaneously, diffing every observable after every op;
+// on divergence, greedily shrinks the program to a minimal failing op
+// sequence and renders a replayable `sa_testkit` command line.
+//
+// Everything is deterministic: programs come from the seeded generator,
+// fault countdowns and injected racing writes derive from per-op parameters,
+// and shrinking re-executes candidates with the same machinery — so a
+// failing seed printed by CI replays (and re-shrinks to the same minimal
+// program) on any machine.
+#ifndef SA_TESTKIT_CHECKER_H_
+#define SA_TESTKIT_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "testkit/harness.h"
+#include "testkit/model.h"
+#include "testkit/program.h"
+#include "testkit/scenario.h"
+
+namespace sa::testkit {
+
+struct RunOptions {
+  // After a clean registry-variant run: freeze the contents and hammer the
+  // slot with concurrent snapshot readers while the main thread publishes
+  // restructures — the epoch-reclamation torture the single-threaded op
+  // loop cannot express. Restructure-only on purpose: concurrent in-place
+  // writes racing snapshot reads would be a (benign) data race under TSan.
+  bool concurrent_epilogue = true;
+};
+
+struct RunResult {
+  bool ok = true;
+  // Human-readable divergence: failing op index + op + expected vs actual.
+  std::string message;
+};
+
+// One deterministic execution of `program`. Resets all fault-injection state
+// on entry, so runs are independent.
+RunResult RunProgram(const Program& program, TestContext& ctx, const RunOptions& opts = {});
+
+// ddmin-style greedy shrink: repeatedly deletes op chunks (halving sizes)
+// while the program keeps failing, bounded by `max_runs` re-executions.
+// Returns the minimal failing program; `runs_out` (optional) reports the
+// number of executions spent.
+Program ShrinkProgram(const Program& failing, TestContext& ctx, const RunOptions& opts,
+                      uint64_t max_runs, uint64_t* runs_out = nullptr);
+
+struct CheckOptions {
+  bool shrink = true;
+  uint64_t max_shrink_runs = 500;
+  RunOptions run;
+};
+
+struct Verdict {
+  bool ok = true;
+  size_t scenario_index = 0;
+  uint64_t seed = 0;
+  uint64_t num_ops = 0;
+  RunResult failure;      // first divergence (pre-shrink message)
+  Program minimal;        // shrunk failing program (valid when !ok)
+  RunResult minimal_failure;
+  uint64_t shrink_runs = 0;
+
+  // Full failure report: divergence, minimal program listing, replay command.
+  std::string Report() const;
+  // The exact CLI invocation that regenerates, re-fails and re-shrinks this.
+  std::string ReplayCommand() const;
+};
+
+// Generates a program for (scenario_index, seed, num_ops), runs it, and
+// shrinks on failure.
+Verdict CheckScenario(size_t scenario_index, uint64_t seed, uint64_t num_ops, TestContext& ctx,
+                      const CheckOptions& options = {});
+
+}  // namespace sa::testkit
+
+#endif  // SA_TESTKIT_CHECKER_H_

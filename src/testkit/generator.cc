@@ -1,0 +1,126 @@
+#include "testkit/generator.h"
+
+#include "common/bits.h"
+
+namespace sa::testkit {
+
+namespace {
+
+// Domain separation: programs, fault countdowns and injected writes all
+// derive from one user-visible seed but must not share a stream.
+constexpr uint64_t kGeneratorSalt = 0x6f70732d67656e00ULL;  // "ops-gen"
+
+}  // namespace
+
+OpSequenceGenerator::OpSequenceGenerator(uint64_t seed)
+    : seed_(seed), rng_(SplitMix64(seed ^ kGeneratorSalt)) {}
+
+Program OpSequenceGenerator::Generate(const Scenario& scenario, uint64_t num_ops) {
+  Program program;
+  program.scenario = scenario;
+  program.seed = seed_;
+  program.ops.reserve(num_ops);
+  for (uint64_t i = 0; i < num_ops; ++i) {
+    program.ops.push_back(Next(scenario));
+  }
+  return program;
+}
+
+uint64_t OpSequenceGenerator::Param(const Scenario& scenario) {
+  if (rng_() & 1) {
+    return rng_();
+  }
+  const uint64_t len = scenario.length;
+  const uint64_t edges[] = {0,       1,       62,      63,          64,      65,
+                            len - 1, len,     len + 1, len / 2,     127,     128,
+                            129,     len * 2, ~uint64_t{0},         len - (len % 64),
+                            len | 63};
+  return edges[rng_.Below(sizeof(edges) / sizeof(edges[0]))];
+}
+
+uint64_t OpSequenceGenerator::ValueParam() {
+  switch (rng_.Below(4)) {
+    case 0:
+      return rng_();  // uniform: exercises every bit pattern eventually
+    case 1:
+      return ~uint64_t{0};  // all ones: masking must clip, spills saturate
+    case 2:
+      // A single high bit: survives masking only when the width reaches it.
+      return uint64_t{1} << rng_.Below(64);
+    default:
+      // Low dense values: keep MinimalBits small so narrowing restructures
+      // stay accept-able and the width actually evolves during a program.
+      return rng_.Below(256);
+  }
+}
+
+Op OpSequenceGenerator::Next(const Scenario& scenario) {
+  Op op;
+  op.a = Param(scenario);
+  op.b = ValueParam();
+  op.c = rng_();
+
+  // Weighted kind table per variant. Reads dominate (the paper's workloads
+  // are read-mostly analytics); restructure is rare (~1/16) so programs keep
+  // a stable width long enough for the read paths to bite, but common enough
+  // that shrunk counterexamples involving one restructure stay short.
+  const uint64_t roll = rng_.Below(64);
+  switch (scenario.variant) {
+    case Variant::kPlain:
+      if (roll < 16) {
+        op.kind = OpKind::kInit;
+      } else if (roll < 20) {
+        op.kind = scenario.via_c_abi ? OpKind::kInit : OpKind::kInitAtomic;
+      } else if (roll < 30) {
+        op.kind = OpKind::kGet;
+      } else if (roll < 38) {
+        op.kind = OpKind::kGetCodec;
+      } else if (roll < 44) {
+        op.kind = OpKind::kUnpack;
+      } else if (roll < 52) {
+        op.kind = OpKind::kIterate;
+      } else if (roll < 60) {
+        op.kind = OpKind::kSumRange;
+      } else {
+        op.kind = OpKind::kRestructure;
+      }
+      break;
+
+    case Variant::kSynchronized:
+      if (roll < 14) {
+        op.kind = OpKind::kInit;
+      } else if (roll < 26) {
+        op.kind = OpKind::kFetchAdd;
+      } else if (roll < 38) {
+        op.kind = OpKind::kGet;
+      } else if (roll < 44) {
+        op.kind = OpKind::kGetCodec;
+      } else if (roll < 50) {
+        op.kind = OpKind::kUnpack;
+      } else if (roll < 56) {
+        op.kind = OpKind::kIterate;
+      } else {
+        op.kind = OpKind::kSumRange;
+      }
+      break;
+
+    case Variant::kRegistry:
+      if (roll < 16) {
+        op.kind = OpKind::kWrite;
+      } else if (roll < 30) {
+        op.kind = OpKind::kSnapshotRead;
+      } else if (roll < 42) {
+        op.kind = OpKind::kSnapshotSum;
+      } else if (roll < 50) {
+        op.kind = OpKind::kGet;
+      } else if (roll < 56) {
+        op.kind = OpKind::kSnapshotStale;
+      } else {
+        op.kind = OpKind::kRestructure;
+      }
+      break;
+  }
+  return op;
+}
+
+}  // namespace sa::testkit

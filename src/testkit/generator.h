@@ -1,0 +1,47 @@
+// OpSequenceGenerator: deterministic randomized programs over the smart-array
+// op vocabulary. Seed-replayable by construction — the generator owns its
+// xoshiro256** state (seeded via SplitMix64, no global RNG anywhere), so
+// Generate(scenario, seed, n) is a pure function: the same triple yields the
+// same program on every build, which is the whole replay contract behind
+// `sa_testkit --scenario=I --seed=N --ops=K`.
+#ifndef SA_TESTKIT_GENERATOR_H_
+#define SA_TESTKIT_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "testkit/program.h"
+#include "testkit/scenario.h"
+
+namespace sa::testkit {
+
+class OpSequenceGenerator {
+ public:
+  // Streams are domain-separated from other seed consumers (fault countdowns,
+  // injected-write values) by hashing the seed with a generator-only salt.
+  explicit OpSequenceGenerator(uint64_t seed);
+
+  // A program of `num_ops` ops legal for `scenario` (op kinds the variant
+  // does not support are never emitted). Parameters are raw u64s that the
+  // checker interprets against the live model state; the generator biases
+  // them toward boundaries (first/last element, chunk edges, maximal values)
+  // where the packed codecs historically break.
+  Program Generate(const Scenario& scenario, uint64_t num_ops);
+
+ private:
+  Op Next(const Scenario& scenario);
+
+  // Boundary-biased raw parameter: ~1/2 uniform, ~1/2 drawn from the edge
+  // set {0, 1, 62, 63, 64, 65, len-1, len, chunk edges, ~0}.
+  uint64_t Param(const Scenario& scenario);
+  // Value-shaped raw parameter: biased toward all-ones / high-bit patterns
+  // that stress masking and cross-word spills.
+  uint64_t ValueParam();
+
+  uint64_t seed_ = 0;
+  Xoshiro256 rng_;
+};
+
+}  // namespace sa::testkit
+
+#endif  // SA_TESTKIT_GENERATOR_H_

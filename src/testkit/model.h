@@ -1,0 +1,79 @@
+// ArrayModel: the reference oracle every SmartArray variant is diffed
+// against. A plain std::vector<uint64_t> plus width masking — deliberately
+// free of chunks, words, replicas, placements, SIMD, and locks, so a bug in
+// the packed codecs cannot also hide in the oracle.
+#ifndef SA_TESTKIT_MODEL_H_
+#define SA_TESTKIT_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/macros.h"
+
+namespace sa::testkit {
+
+class ArrayModel {
+ public:
+  ArrayModel(uint64_t length, uint32_t bits) : bits_(bits), values_(length, 0) {
+    SA_CHECK(length > 0 && bits >= 1 && bits <= 64);
+  }
+
+  uint64_t length() const { return values_.size(); }
+  uint32_t bits() const { return bits_; }
+  uint64_t mask() const { return LowMask(bits_); }
+
+  void Set(uint64_t index, uint64_t value) {
+    SA_DCHECK(index < length());
+    values_[index] = value & mask();
+  }
+
+  uint64_t Get(uint64_t index) const {
+    SA_DCHECK(index < length());
+    return values_[index];
+  }
+
+  uint64_t SumRange(uint64_t begin, uint64_t end) const {
+    SA_DCHECK(begin <= end && end <= length());
+    uint64_t sum = 0;
+    for (uint64_t i = begin; i < end; ++i) {
+      sum += values_[i];  // u64 wraparound, same as the block kernels
+    }
+    return sum;
+  }
+
+  // Previous value of `index`; stores (old + delta) & mask, u64 wraparound.
+  uint64_t FetchAdd(uint64_t index, uint64_t delta) {
+    const uint64_t old = Get(index);
+    Set(index, old + delta);
+    return old;
+  }
+
+  // Narrowest width holding every element (>= 1, like smart::MinimalBits).
+  uint32_t MinimalBits() const {
+    uint64_t max_value = 0;
+    for (const uint64_t v : values_) {
+      max_value = max_value < v ? v : max_value;
+    }
+    return BitsForValue(max_value);
+  }
+
+  bool Fits(uint32_t bits) const { return MinimalBits() <= bits; }
+
+  // A successful restructure only changes the width bookkeeping; contents
+  // are preserved by definition (that is the property under test).
+  void SetBits(uint32_t bits) {
+    SA_CHECK(Fits(bits));
+    bits_ = bits;
+  }
+
+  const std::vector<uint64_t>& values() const { return values_; }
+
+ private:
+  uint32_t bits_;
+  std::vector<uint64_t> values_;
+};
+
+}  // namespace sa::testkit
+
+#endif  // SA_TESTKIT_MODEL_H_

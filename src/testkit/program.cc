@@ -1,0 +1,52 @@
+#include "testkit/program.h"
+
+namespace sa::testkit {
+
+const char* ToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInit:
+      return "init";
+    case OpKind::kInitAtomic:
+      return "init-atomic";
+    case OpKind::kGet:
+      return "get";
+    case OpKind::kGetCodec:
+      return "get-codec";
+    case OpKind::kUnpack:
+      return "unpack";
+    case OpKind::kIterate:
+      return "iterate";
+    case OpKind::kSumRange:
+      return "sum-range";
+    case OpKind::kFetchAdd:
+      return "fetch-add";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kSnapshotRead:
+      return "snapshot-read";
+    case OpKind::kSnapshotSum:
+      return "snapshot-sum";
+    case OpKind::kSnapshotStale:
+      return "snapshot-stale";
+    case OpKind::kRestructure:
+      return "restructure";
+  }
+  return "?";
+}
+
+std::string ToString(const Op& op) {
+  return std::string(ToString(op.kind)) + "(" + std::to_string(op.a) + ", " +
+         std::to_string(op.b) + ", " + std::to_string(op.c) + ")";
+}
+
+std::string ToString(const Program& program) {
+  std::string s = "scenario: " + ToString(program.scenario) +
+                  "\nseed: " + std::to_string(program.seed) +
+                  "\nops (" + std::to_string(program.ops.size()) + "):\n";
+  for (size_t i = 0; i < program.ops.size(); ++i) {
+    s += "  [" + std::to_string(i) + "] " + ToString(program.ops[i]) + "\n";
+  }
+  return s;
+}
+
+}  // namespace sa::testkit

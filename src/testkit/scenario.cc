@@ -1,0 +1,165 @@
+#include "testkit/scenario.h"
+
+namespace sa::testkit {
+
+const char* ToString(Variant variant) {
+  switch (variant) {
+    case Variant::kPlain:
+      return "plain";
+    case Variant::kSynchronized:
+      return "synchronized";
+    case Variant::kRegistry:
+      return "registry";
+  }
+  return "?";
+}
+
+std::string ToString(const Scenario& scenario) {
+  std::string s = std::string(ToString(scenario.variant)) + " len=" +
+                  std::to_string(scenario.length) + " bits=" + std::to_string(scenario.bits) +
+                  " " + ToString(scenario.placement);
+  if (scenario.via_c_abi) {
+    s += " c-abi";
+  }
+  if (scenario.inject_alloc_failure) {
+    s += " +alloc-fault";
+  }
+  if (scenario.inject_publish_race) {
+    s += " +publish-race";
+  }
+  return s;
+}
+
+namespace {
+
+std::vector<Scenario> BuildGrid() {
+  using smart::PlacementSpec;
+  std::vector<Scenario> grid;
+
+  const PlacementSpec kPlacements[] = {PlacementSpec::OsDefault(), PlacementSpec::SingleSocket(1),
+                                       PlacementSpec::Interleaved(), PlacementSpec::Replicated()};
+
+  // 1. Plain native: the dense core. Ragged lengths on purpose — the
+  //    array-habit studies show real workloads live on the odd sizes the
+  //    whole-chunk fast paths skip.
+  for (const uint64_t length : {uint64_t{1}, uint64_t{63}, uint64_t{65}, uint64_t{130},
+                                uint64_t{4113}}) {
+    for (const uint32_t bits : {1u, 5u, 7u, 8u, 13u, 31u, 32u, 33u, 63u, 64u}) {
+      for (const PlacementSpec& placement : kPlacements) {
+        Scenario s;
+        s.length = length;
+        s.bits = bits;
+        s.placement = placement;
+        s.variant = Variant::kPlain;
+        grid.push_back(s);
+      }
+    }
+  }
+
+  // 2. Plain via the C ABI: the foreign-runtime boundary must return
+  //    bit-identical results for the same program.
+  for (const uint64_t length : {uint64_t{65}, uint64_t{130}, uint64_t{4113}}) {
+    for (const uint32_t bits : {1u, 7u, 13u, 32u, 33u, 64u}) {
+      for (const PlacementSpec& placement :
+           {PlacementSpec::OsDefault(), PlacementSpec::Replicated()}) {
+        Scenario s;
+        s.length = length;
+        s.bits = bits;
+        s.placement = placement;
+        s.variant = Variant::kPlain;
+        s.via_c_abi = true;
+        grid.push_back(s);
+      }
+    }
+  }
+
+  // 3. Synchronized: chunk-locked read-modify-write paths.
+  for (const uint64_t length : {uint64_t{65}, uint64_t{130}, uint64_t{1000}}) {
+    for (const uint32_t bits : {7u, 13u, 33u, 64u}) {
+      for (const PlacementSpec& placement :
+           {PlacementSpec::OsDefault(), PlacementSpec::Interleaved()}) {
+        Scenario s;
+        s.length = length;
+        s.bits = bits;
+        s.placement = placement;
+        s.variant = Variant::kSynchronized;
+        grid.push_back(s);
+      }
+    }
+  }
+
+  // 4. Registry (native): snapshot reads + live restructuring publishes.
+  for (const uint64_t length : {uint64_t{130}, uint64_t{1000}}) {
+    for (const uint32_t bits : {13u, 33u, 64u}) {
+      for (const PlacementSpec& placement : kPlacements) {
+        Scenario s;
+        s.length = length;
+        s.bits = bits;
+        s.placement = placement;
+        s.variant = Variant::kRegistry;
+        grid.push_back(s);
+      }
+    }
+  }
+
+  // 5. Registry via the C ABI (saSlot*/saSnapshot* data path).
+  for (const uint64_t length : {uint64_t{130}, uint64_t{1000}}) {
+    for (const uint32_t bits : {13u, 64u}) {
+      for (const PlacementSpec& placement :
+           {PlacementSpec::OsDefault(), PlacementSpec::Interleaved()}) {
+        Scenario s;
+        s.length = length;
+        s.bits = bits;
+        s.placement = placement;
+        s.variant = Variant::kRegistry;
+        s.via_c_abi = true;
+        grid.push_back(s);
+      }
+    }
+  }
+
+  // 6. Fault injection: OOM during restructure-target allocation (plain and
+  //    registry) and the racing-write publish refusal (registry).
+  for (const uint32_t bits : {13u, 33u}) {
+    {
+      Scenario s;
+      s.length = 130;
+      s.bits = bits;
+      s.placement = PlacementSpec::Interleaved();
+      s.variant = Variant::kPlain;
+      s.inject_alloc_failure = true;
+      grid.push_back(s);
+    }
+    for (const bool alloc : {true, false}) {
+      Scenario s;
+      s.length = 1000;
+      s.bits = bits;
+      s.placement = PlacementSpec::OsDefault();
+      s.variant = Variant::kRegistry;
+      s.inject_alloc_failure = alloc;
+      s.inject_publish_race = !alloc;
+      grid.push_back(s);
+    }
+    {
+      Scenario s;
+      s.length = 130;
+      s.bits = bits;
+      s.placement = PlacementSpec::Replicated();
+      s.variant = Variant::kRegistry;
+      s.inject_alloc_failure = true;
+      s.inject_publish_race = true;
+      grid.push_back(s);
+    }
+  }
+
+  return grid;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& ScenarioGrid() {
+  static const std::vector<Scenario> grid = BuildGrid();
+  return grid;
+}
+
+}  // namespace sa::testkit

@@ -1,0 +1,60 @@
+// Scenario grid for the property-based differential testkit.
+//
+// The paper's core claim (§4.3, Fig. 9) is that one implementation behaves
+// identically regardless of placement, compression width, access path, or
+// live restructuring. A Scenario pins one point of that space: the array
+// shape (length, bits), the NUMA placement, which variant wraps the storage
+// (plain SmartArray, SynchronizedArray, or a registry slot with the
+// concurrent-adaptation runtime), whether the program runs through the
+// C-ABI entry points (foreign-runtime parity), and which deterministic
+// faults are injected. ScenarioGrid() enumerates the curated cross product
+// the generator and the sa_testkit driver iterate; the grid order is part
+// of the replay contract (`sa_testkit --scenario=I` indexes into it), so
+// append — never reorder — when extending it.
+#ifndef SA_TESTKIT_SCENARIO_H_
+#define SA_TESTKIT_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "smart/placement.h"
+
+namespace sa::testkit {
+
+// Which variant executes the program (the model oracle is the same for all).
+enum class Variant : uint8_t {
+  kPlain,         // SmartArray: virtual dispatch + codec + iterator paths
+  kSynchronized,  // SynchronizedArray: chunk-locked Set/Get/FetchAdd
+  kRegistry,      // ArrayRegistry slot: snapshot reads, publishes, epochs
+};
+
+const char* ToString(Variant variant);
+
+struct Scenario {
+  uint64_t length = 130;
+  uint32_t bits = 13;
+  smart::PlacementSpec placement = smart::PlacementSpec::OsDefault();
+  Variant variant = Variant::kPlain;
+  // Run the identical program through the saArray*/saIter*/saSnapshot*
+  // C-ABI entry points instead of the native classes.
+  bool via_c_abi = false;
+  // Deterministic fault injection (countdowns derived from the program
+  // seed): fail restructure-target allocations / inject a racing write
+  // between rebuild and publish.
+  bool inject_alloc_failure = false;
+  bool inject_publish_race = false;  // kRegistry only
+
+  // Restructure ops are meaningful for kPlain (in-place swap) and kRegistry
+  // (publish); SynchronizedArray owns a fixed representation.
+  bool supports_restructure() const { return variant != Variant::kSynchronized; }
+};
+
+std::string ToString(const Scenario& scenario);
+
+// The full curated grid. Stable order across runs and builds.
+const std::vector<Scenario>& ScenarioGrid();
+
+}  // namespace sa::testkit
+
+#endif  // SA_TESTKIT_SCENARIO_H_

@@ -1,0 +1,120 @@
+// Deterministic fault-injection seams, tested in isolation: the platform
+// allocation countdown (MappedRegion -> SmartArray::TryAllocate ->
+// TryRestructure) and the registry pre-publish hook (racing-write refusal).
+#include <gtest/gtest.h>
+
+#include "platform/fault_injection.h"
+#include "platform/numa_memory.h"
+#include "platform/topology.h"
+#include "runtime/registry.h"
+#include "rts/worker_pool.h"
+#include "smart/restructure.h"
+#include "smart/smart_array.h"
+
+namespace {
+
+using sa::platform::MappedRegion;
+using sa::platform::PagePolicy;
+using sa::platform::Topology;
+using sa::smart::PlacementSpec;
+using sa::smart::SmartArray;
+namespace fault = sa::platform::fault;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Disarm(); }
+
+  Topology topo_ = Topology::Synthetic(2, 4);
+};
+
+TEST_F(FaultInjectionTest, CountdownFailsTheNthMapping) {
+  fault::ArmAllocFailure(/*countdown=*/2);
+  MappedRegion a(4096, PagePolicy::kOsDefault, 0, topo_);
+  MappedRegion b(4096, PagePolicy::kOsDefault, 0, topo_);
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(fault::AllocFailuresFired(), 0u);
+  MappedRegion c(4096, PagePolicy::kOsDefault, 0, topo_);
+  EXPECT_FALSE(c.valid());
+  EXPECT_EQ(fault::AllocFailuresFired(), 1u);
+  fault::Disarm();
+  MappedRegion d(4096, PagePolicy::kOsDefault, 0, topo_);
+  EXPECT_TRUE(d.valid());
+}
+
+TEST_F(FaultInjectionTest, TryAllocateSurfacesInjectedOomAsNull) {
+  fault::ArmAllocFailure(0);
+  EXPECT_EQ(SmartArray::TryAllocate(1000, PlacementSpec::OsDefault(), 13, topo_), nullptr);
+  fault::Disarm();
+  auto ok = SmartArray::TryAllocate(1000, PlacementSpec::OsDefault(), 13, topo_);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->allocation_ok());
+}
+
+TEST_F(FaultInjectionTest, ReplicatedAllocationFailsOnSecondReplicaToo) {
+  // First replica maps fine; the countdown kills the second. The factory
+  // must not hand out a half-replicated array.
+  fault::ArmAllocFailure(1);
+  EXPECT_EQ(SmartArray::TryAllocate(1000, PlacementSpec::Replicated(), 13, topo_), nullptr);
+  EXPECT_GE(fault::AllocFailuresFired(), 1u);
+}
+
+TEST_F(FaultInjectionTest, TryRestructureReturnsNullUnderInjectedOom) {
+  sa::rts::WorkerPool pool(topo_, {.num_threads = 2, .pin_threads = false});
+  auto source = SmartArray::Allocate(1000, PlacementSpec::OsDefault(), 13, topo_);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    source->Init(i, i % 100);
+  }
+  fault::ArmAllocFailure(0);
+  EXPECT_EQ(sa::smart::TryRestructure(pool, *source, PlacementSpec::Interleaved(), 13, topo_),
+            nullptr);
+  fault::Disarm();
+  auto rebuilt =
+      sa::smart::TryRestructure(pool, *source, PlacementSpec::Interleaved(), 13, topo_);
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_EQ(rebuilt->Get(999, rebuilt->GetReplica(0)), 99u);
+}
+
+TEST_F(FaultInjectionTest, PrePublishHookForcesLostWriteRefusal) {
+  sa::rts::WorkerPool pool(topo_, {.num_threads = 2, .pin_threads = false});
+  sa::runtime::ArrayRegistry registry(topo_);
+  auto* slot = registry.Create("hooked", 500, PlacementSpec::OsDefault(), 13);
+  for (uint64_t i = 0; i < 500; ++i) {
+    slot->Write(i, i % 50);
+  }
+
+  int hook_calls = 0;
+  sa::runtime::testing::SetPrePublishHook([&](sa::runtime::ArraySlot& s) {
+    ++hook_calls;
+    s.Write(7, 49);  // the racing write the rebuild cannot have seen
+  });
+
+  const uint64_t writes_before = slot->write_count();
+  {
+    auto snapshot = slot->Acquire();
+    auto rebuilt = sa::smart::TryRestructure(pool, snapshot.array(),
+                                             PlacementSpec::Interleaved(), 13, topo_);
+    ASSERT_NE(rebuilt, nullptr);
+    EXPECT_FALSE(registry.Publish(*slot, std::move(rebuilt), writes_before));
+  }
+  EXPECT_EQ(hook_calls, 1);
+  EXPECT_EQ(slot->sequence(), 0u) << "refused publish must not swap storage";
+
+  // Clear the hook and retry from fresh contents: the publish goes through.
+  sa::runtime::testing::SetPrePublishHook(nullptr);
+  const uint64_t writes_now = slot->write_count();
+  {
+    auto snapshot = slot->Acquire();
+    auto rebuilt = sa::smart::TryRestructure(pool, snapshot.array(),
+                                             PlacementSpec::Interleaved(), 13, topo_);
+    ASSERT_NE(rebuilt, nullptr);
+    EXPECT_TRUE(registry.Publish(*slot, std::move(rebuilt), writes_now));
+  }
+  EXPECT_EQ(slot->sequence(), 1u);
+  {
+    auto snapshot = slot->Acquire();
+    EXPECT_EQ(snapshot.Get(7), 49u) << "the racing write survived the refused publish";
+  }
+}
+
+}  // namespace

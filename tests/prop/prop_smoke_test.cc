@@ -1,0 +1,121 @@
+// PR-tier property tests: a deterministic slice of the sa_testkit grid run
+// inside ctest. The nightly CI job runs the full grid with 10k-op programs
+// under sanitizers; this smoke keeps every variant × access-path pairing
+// honest on every push.
+#include <gtest/gtest.h>
+
+#include "testkit/checker.h"
+#include "testkit/generator.h"
+#include "testkit/model.h"
+#include "testkit/program.h"
+#include "testkit/scenario.h"
+
+namespace {
+
+using sa::testkit::ArrayModel;
+using sa::testkit::CheckOptions;
+using sa::testkit::CheckScenario;
+using sa::testkit::OpSequenceGenerator;
+using sa::testkit::Program;
+using sa::testkit::ScenarioGrid;
+using sa::testkit::TestContext;
+using sa::testkit::Variant;
+
+TEST(ScenarioGridTest, CoversEveryVariantAndAccessPath) {
+  const auto& grid = ScenarioGrid();
+  ASSERT_GT(grid.size(), 100u);
+  bool plain = false, synchronized = false, registry = false;
+  bool c_abi = false, alloc_fault = false, publish_race = false;
+  for (const auto& s : grid) {
+    plain |= s.variant == Variant::kPlain;
+    synchronized |= s.variant == Variant::kSynchronized;
+    registry |= s.variant == Variant::kRegistry;
+    c_abi |= s.via_c_abi;
+    alloc_fault |= s.inject_alloc_failure;
+    publish_race |= s.inject_publish_race;
+  }
+  EXPECT_TRUE(plain && synchronized && registry);
+  EXPECT_TRUE(c_abi);
+  EXPECT_TRUE(alloc_fault);
+  EXPECT_TRUE(publish_race);
+}
+
+TEST(GeneratorTest, SameSeedSameProgram) {
+  const auto& scenario = ScenarioGrid()[0];
+  OpSequenceGenerator g1(12345);
+  OpSequenceGenerator g2(12345);
+  const Program p1 = g1.Generate(scenario, 500);
+  const Program p2 = g2.Generate(scenario, 500);
+  ASSERT_EQ(p1.ops.size(), p2.ops.size());
+  for (size_t i = 0; i < p1.ops.size(); ++i) {
+    EXPECT_EQ(p1.ops[i].kind, p2.ops[i].kind);
+    EXPECT_EQ(p1.ops[i].a, p2.ops[i].a);
+    EXPECT_EQ(p1.ops[i].b, p2.ops[i].b);
+    EXPECT_EQ(p1.ops[i].c, p2.ops[i].c);
+  }
+  OpSequenceGenerator g3(12346);
+  const Program p3 = g3.Generate(scenario, 500);
+  bool differs = false;
+  for (size_t i = 0; i < p3.ops.size() && !differs; ++i) {
+    differs = p3.ops[i].a != p1.ops[i].a || p3.ops[i].kind != p1.ops[i].kind;
+  }
+  EXPECT_TRUE(differs) << "adjacent seeds should not generate identical programs";
+}
+
+TEST(ArrayModelTest, MaskingAndWidthBookkeeping) {
+  ArrayModel model(10, 4);
+  model.Set(3, 0xFF);
+  EXPECT_EQ(model.Get(3), 0xFu);  // masked to 4 bits
+  EXPECT_EQ(model.FetchAdd(3, 2), 0xFu);
+  EXPECT_EQ(model.Get(3), 0x1u);  // (15 + 2) & 0xF
+  EXPECT_EQ(model.MinimalBits(), 1u);
+  model.Set(0, 0xB);
+  EXPECT_EQ(model.MinimalBits(), 4u);
+  EXPECT_TRUE(model.Fits(4));
+  EXPECT_FALSE(model.Fits(3));
+  EXPECT_EQ(model.SumRange(0, 10), 0xB + 0x1u);
+}
+
+// A curated slice of the grid: first plain-native scenario, a plain C-ABI
+// one, a synchronized one, a registry-native one, a registry C-ABI one and
+// every fault-injection scenario. Each runs a short seeded program — any
+// divergence fails with the shrunk program + replay command in the message.
+class PropSmokeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropSmokeTest, ScenarioSliceRunsClean) {
+  const auto& grid = ScenarioGrid();
+  std::vector<size_t> indices;
+  bool seen_plain_cabi = false, seen_sync = false, seen_reg = false, seen_reg_cabi = false;
+  indices.push_back(0);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const auto& s = grid[i];
+    if (!seen_plain_cabi && s.variant == Variant::kPlain && s.via_c_abi) {
+      indices.push_back(i);
+      seen_plain_cabi = true;
+    } else if (!seen_sync && s.variant == Variant::kSynchronized) {
+      indices.push_back(i);
+      seen_sync = true;
+    } else if (!seen_reg && s.variant == Variant::kRegistry && !s.via_c_abi &&
+               !s.inject_alloc_failure && !s.inject_publish_race) {
+      indices.push_back(i);
+      seen_reg = true;
+    } else if (!seen_reg_cabi && s.variant == Variant::kRegistry && s.via_c_abi) {
+      indices.push_back(i);
+      seen_reg_cabi = true;
+    } else if (s.inject_alloc_failure || s.inject_publish_race) {
+      indices.push_back(i);
+    }
+  }
+  ASSERT_GE(indices.size(), 10u);
+
+  TestContext ctx;
+  CheckOptions options;
+  for (const size_t index : indices) {
+    const auto verdict = CheckScenario(index, /*seed=*/GetParam(), /*num_ops=*/128, ctx, options);
+    EXPECT_TRUE(verdict.ok) << verdict.Report();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropSmokeTest, ::testing::Values(uint64_t{1}, uint64_t{99}));
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Exhaustive last-partial-chunk coverage: every width 1..64 at lengths that
+// are not multiples of the 64-element chunk, so the final chunk is partial.
+// The packed fast paths (whole-chunk unpack, unrolled decode, AVX2 sums)
+// all special-case the ragged tail; these tests pin get/unpack/SumRange and
+// iterator reset behavior right at that edge for every codec instantiation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bits.h"
+#include "common/random.h"
+#include "platform/topology.h"
+#include "smart/dispatch.h"
+#include "smart/iterator.h"
+#include "smart/smart_array.h"
+
+namespace {
+
+using sa::LowMask;
+using sa::SplitMix64;
+using sa::platform::Topology;
+using sa::smart::CodecFor;
+using sa::smart::PlacementSpec;
+using sa::smart::SmartArray;
+using sa::smart::SmartArrayIterator;
+
+// Deterministic per-(width, index) pattern with high bits set often, so
+// masking and cross-word spills are exercised at every width.
+uint64_t Pattern(uint32_t bits, uint64_t i) {
+  return SplitMix64(i * 64 + bits) & LowMask(bits);
+}
+
+class BoundaryWidthsTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Topology topology_ = Topology::Synthetic(2, 4);
+};
+
+TEST_P(BoundaryWidthsTest, GetAndCodecGetAtEveryWidth) {
+  const uint64_t length = GetParam();
+  for (uint32_t bits = 1; bits <= 64; ++bits) {
+    auto array = SmartArray::Allocate(length, PlacementSpec::OsDefault(), bits, topology_);
+    for (uint64_t i = 0; i < length; ++i) {
+      array->Init(i, Pattern(bits, i));
+    }
+    const uint64_t* replica = array->GetReplica(0);
+    for (uint64_t i = 0; i < length; ++i) {
+      ASSERT_EQ(array->Get(i, replica), Pattern(bits, i)) << "bits=" << bits << " i=" << i;
+      ASSERT_EQ(CodecFor(bits).get(replica, i), Pattern(bits, i))
+          << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST_P(BoundaryWidthsTest, UnpackOfFinalPartialChunkZeroPadsAtEveryWidth) {
+  const uint64_t length = GetParam();
+  const uint64_t last_chunk = (length - 1) / 64;
+  const uint64_t tail = length - last_chunk * 64;  // elements in the final chunk
+  for (uint32_t bits = 1; bits <= 64; ++bits) {
+    auto array = SmartArray::Allocate(length, PlacementSpec::OsDefault(), bits, topology_);
+    for (uint64_t i = 0; i < length; ++i) {
+      array->Init(i, Pattern(bits, i));
+    }
+    uint64_t out[64];
+    array->Unpack(last_chunk, array->GetReplica(0), out);
+    for (uint64_t slot = 0; slot < 64; ++slot) {
+      const uint64_t want = slot < tail ? Pattern(bits, last_chunk * 64 + slot) : 0;
+      ASSERT_EQ(out[slot], want) << "bits=" << bits << " slot=" << slot;
+    }
+  }
+}
+
+TEST_P(BoundaryWidthsTest, SumRangeAcrossTheRaggedTailAtEveryWidth) {
+  const uint64_t length = GetParam();
+  const uint64_t tail_start = (length - 1) / 64 * 64;
+  for (uint32_t bits = 1; bits <= 64; ++bits) {
+    auto array = SmartArray::Allocate(length, PlacementSpec::OsDefault(), bits, topology_);
+    std::vector<uint64_t> reference(length);
+    for (uint64_t i = 0; i < length; ++i) {
+      reference[i] = Pattern(bits, i);
+      array->Init(i, reference[i]);
+    }
+    const uint64_t* replica = array->GetReplica(0);
+    // Ranges chosen to straddle the last chunk boundary from every side.
+    const uint64_t begins[] = {0, tail_start, tail_start > 0 ? tail_start - 1 : 0, length - 1};
+    for (const uint64_t begin : begins) {
+      uint64_t want = 0;
+      for (uint64_t i = begin; i < length; ++i) {
+        want += reference[i];
+      }
+      ASSERT_EQ(CodecFor(bits).sum_range(replica, begin, length), want)
+          << "bits=" << bits << " begin=" << begin;
+    }
+    ASSERT_EQ(CodecFor(bits).sum_range(replica, length, length), 0u) << "bits=" << bits;
+  }
+}
+
+TEST_P(BoundaryWidthsTest, IteratorResetIntoFinalChunkAtEveryWidth) {
+  const uint64_t length = GetParam();
+  const uint64_t tail_start = (length - 1) / 64 * 64;
+  for (uint32_t bits = 1; bits <= 64; ++bits) {
+    auto array = SmartArray::Allocate(length, PlacementSpec::OsDefault(), bits, topology_);
+    for (uint64_t i = 0; i < length; ++i) {
+      array->Init(i, Pattern(bits, i));
+    }
+    auto it = SmartArrayIterator::Allocate(*array, 0, 0);
+    // Scan forward into the tail, then reset back before the chunk edge: the
+    // buffered chunk must be refreshed, not reused.
+    for (uint64_t i = 0; i < length; ++i, it->Next()) {
+      ASSERT_EQ(it->Get(), Pattern(bits, i)) << "bits=" << bits << " i=" << i;
+    }
+    const uint64_t reset_points[] = {tail_start, length - 1, 0};
+    for (const uint64_t start : reset_points) {
+      it->Reset(start);
+      for (uint64_t i = start; i < length; ++i, it->Next()) {
+        ASSERT_EQ(it->Get(), Pattern(bits, i)) << "bits=" << bits << " reset=" << start;
+      }
+    }
+  }
+}
+
+// 1: a single-element chunk; 63/65: one off either side of a chunk; 127/129:
+// one off a two-chunk boundary; 130: the paper-style small ragged array.
+INSTANTIATE_TEST_SUITE_P(RaggedLengths, BoundaryWidthsTest,
+                         ::testing::Values(uint64_t{1}, uint64_t{63}, uint64_t{65},
+                                           uint64_t{127}, uint64_t{129}, uint64_t{130}));
+
+}  // namespace

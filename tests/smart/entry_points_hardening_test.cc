@@ -1,0 +1,77 @@
+// Regression tests for the hardened C-ABI boundary: out-of-range indices,
+// out-of-range chunk numbers, zero/over-wide bit widths and width mismatches
+// must fail fast with a diagnostic instead of corrupting the packed words.
+// Foreign runtimes pass these arguments as plain longs, so every check here
+// is an always-on SA_CHECK, not a debug assert.
+#include <gtest/gtest.h>
+
+#include "smart/entry_points.h"
+
+namespace {
+
+class EntryPointsHardeningTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saSetDefaultTopology(2, 4); }
+  void TearDown() override { saSetDefaultTopology(0, 0); }
+};
+
+TEST_F(EntryPointsHardeningTest, AllocateRejectsBadShapes) {
+  EXPECT_DEATH(saArrayAllocate(0, 0, 0, -1, 13), "empty");
+  EXPECT_DEATH(saArrayAllocate(100, 0, 0, -1, 0), "1..64");
+  EXPECT_DEATH(saArrayAllocate(100, 0, 0, -1, 65), "1..64");
+}
+
+TEST_F(EntryPointsHardeningTest, GetAndInitRejectOutOfRangeIndex) {
+  void* sa = saArrayAllocate(130, 0, 0, -1, 13);
+  EXPECT_DEATH(saArrayGet(sa, 130), "out of range");
+  EXPECT_DEATH(saArrayGet(sa, ~uint64_t{0}), "out of range");
+  EXPECT_DEATH(saArrayInit(sa, 130, 1), "out of range");
+  saArrayFree(sa);
+}
+
+TEST_F(EntryPointsHardeningTest, UnpackRejectsOutOfRangeChunk) {
+  void* sa = saArrayAllocate(130, 0, 0, -1, 13);  // 3 chunks (2 full + 1 partial)
+  uint64_t out[64];
+  saArrayUnpack(sa, 2, out);  // last (partial) chunk is legal
+  EXPECT_DEATH(saArrayUnpack(sa, 3, out), "out of range");
+  saArrayFree(sa);
+}
+
+TEST_F(EntryPointsHardeningTest, WithBitsPathsRejectWidthMismatch) {
+  void* sa = saArrayAllocate(130, 0, 0, -1, 13);
+  EXPECT_DEATH(saArrayGetWithBits(sa, 0, 14), "width");
+  EXPECT_DEATH(saArrayGetWithBits(sa, 0, 65), "width");
+  EXPECT_DEATH(saArrayInitWithBits(sa, 0, 1, 12), "width");
+  EXPECT_DEATH(saArrayGetWithBits(sa, 130, 13), "out of range");
+  EXPECT_DEATH(saArrayInitWithBits(sa, 130, 1, 13), "out of range");
+  saArrayFree(sa);
+}
+
+TEST_F(EntryPointsHardeningTest, IteratorRejectsOutOfRangePositions) {
+  void* sa = saArrayAllocate(130, 0, 0, -1, 13);
+  // One-past-the-end is a legal resting position...
+  void* it = saIterAllocate(sa, 130);
+  saIterReset(it, 0);
+  // ...but anything beyond is not.
+  EXPECT_DEATH(saIterReset(it, 131), "out of range");
+  EXPECT_DEATH(saIterAllocate(sa, 131), "out of range");
+  saIterFree(it);
+  saArrayFree(sa);
+}
+
+TEST_F(EntryPointsHardeningTest, InRangeAccessStillWorksAfterHardening) {
+  void* sa = saArrayAllocate(130, 0, 0, -1, 13);
+  for (uint64_t i = 0; i < 130; ++i) {
+    saArrayInit(sa, i, i);
+  }
+  EXPECT_EQ(saArrayGet(sa, 129), 129u);
+  EXPECT_EQ(saArrayGetWithBits(sa, 129, 13), 129u);
+  void* it = saIterAllocate(sa, 128);
+  EXPECT_EQ(saIterGet(it), 128u);
+  saIterNext(it);
+  EXPECT_EQ(saIterGet(it), 129u);
+  saIterFree(it);
+  saArrayFree(sa);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// sa_testkit: driver for the property-based differential testkit.
+//
+//   sa_testkit --list                 print the scenario grid with indices
+//   sa_testkit --smoke                PR-tier pass: every scenario, 2000-op
+//                                     programs, four seeds (well under 60 s)
+//   sa_testkit --all --ops=10000      nightly fuzz tier: long programs
+//   sa_testkit --scenario=I --seed=N --ops=K
+//                                     replay one run exactly as CI printed it
+//
+// Exit status 0 = every run passed; 1 = at least one divergence (the report,
+// including the shrunk minimal program and the replay command, goes to
+// stdout). Fully deterministic: the same flags produce the same programs,
+// the same verdicts and the same minimal counterexamples on any machine.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "testkit/checker.h"
+#include "testkit/scenario.h"
+
+namespace {
+
+struct Flags {
+  bool list = false;
+  bool smoke = false;
+  bool all = false;
+  bool no_shrink = false;
+  bool no_epilogue = false;
+  int64_t scenario = -1;
+  uint64_t seed = 1;
+  uint64_t num_seeds = 1;
+  uint64_t ops = 256;
+};
+
+bool ParseU64(const char* arg, const char* name, uint64_t* out) {
+  const size_t name_len = std::strlen(name);
+  if (std::strncmp(arg, name, name_len) != 0 || arg[name_len] != '=') {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtoull(arg + name_len + 1, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: sa_testkit [--list] [--smoke] [--all] [--scenario=I] [--seed=N]\n"
+               "                  [--seeds=COUNT] [--ops=K] [--no-shrink] [--no-epilogue]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t value = 0;
+    if (std::strcmp(arg, "--list") == 0) {
+      flags.list = true;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      flags.smoke = true;
+    } else if (std::strcmp(arg, "--all") == 0) {
+      flags.all = true;
+    } else if (std::strcmp(arg, "--no-shrink") == 0) {
+      flags.no_shrink = true;
+    } else if (std::strcmp(arg, "--no-epilogue") == 0) {
+      flags.no_epilogue = true;
+    } else if (ParseU64(arg, "--scenario", &value)) {
+      flags.scenario = static_cast<int64_t>(value);
+    } else if (ParseU64(arg, "--seed", &value)) {
+      flags.seed = value;
+    } else if (ParseU64(arg, "--seeds", &value)) {
+      flags.num_seeds = value;
+    } else if (ParseU64(arg, "--ops", &value)) {
+      flags.ops = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      Usage();
+      return 2;
+    }
+  }
+
+  const auto& grid = sa::testkit::ScenarioGrid();
+
+  if (flags.list) {
+    for (size_t i = 0; i < grid.size(); ++i) {
+      std::printf("[%3zu] %s\n", i, sa::testkit::ToString(grid[i]).c_str());
+    }
+    return 0;
+  }
+
+  size_t first = 0;
+  size_t last = grid.size();  // exclusive
+  if (flags.scenario >= 0) {
+    if (static_cast<size_t>(flags.scenario) >= grid.size()) {
+      std::fprintf(stderr, "scenario index %" PRId64 " out of range (grid has %zu)\n",
+                   flags.scenario, grid.size());
+      return 2;
+    }
+    first = static_cast<size_t>(flags.scenario);
+    last = first + 1;
+  } else if (!flags.all && !flags.smoke) {
+    flags.smoke = true;  // default invocation = the PR smoke tier
+  }
+
+  uint64_t ops = flags.ops;
+  uint64_t num_seeds = flags.num_seeds;
+  if (flags.smoke) {
+    ops = 2000;
+    num_seeds = 4;
+  }
+
+  sa::testkit::CheckOptions options;
+  options.shrink = !flags.no_shrink;
+  options.run.concurrent_epilogue = !flags.no_epilogue;
+
+  sa::testkit::TestContext ctx;
+  uint64_t runs = 0;
+  uint64_t failures = 0;
+  for (size_t index = first; index < last; ++index) {
+    for (uint64_t s = 0; s < num_seeds; ++s) {
+      const uint64_t seed = flags.seed + s;
+      const sa::testkit::Verdict verdict =
+          sa::testkit::CheckScenario(index, seed, ops, ctx, options);
+      ++runs;
+      if (!verdict.ok) {
+        ++failures;
+        std::printf("%s\n", verdict.Report().c_str());
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  std::printf("sa_testkit: %" PRIu64 " run(s) over %zu scenario(s), %" PRIu64 " op(s) each, %"
+              PRIu64 " failure(s)\n",
+              runs, last - first, ops, failures);
+  return failures == 0 ? 0 : 1;
+}
