@@ -4,18 +4,29 @@
 // (scalar-iterator vs block kernel vs AVX2).
 //
 // The binary has a custom main: before running google-benchmark it times
-// the three sum paths per width and writes BENCH_codec.json (a JSON array,
-// one object per {width, placement, kernel} config with bytes/s of
-// compressed data aggregated).
+// the sum kernels (scalar iterator, block, the retired AVX2 gather, the v2
+// shift network, and the measured selection) plus both streaming-seam
+// directions (unpack-range / pack-range) at every width 1..64, and writes
+// BENCH_codec.json (a JSON array, one object per {width, placement, kernel}
+// config with bytes/s of compressed data processed). SA_BENCH_FAST=1
+// shrinks the per-series window for smoke runs; tools/bench_diff.py
+// compares two such files and fails readably on regressions.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/bits.h"
 #include "common/random.h"
 #include "smart/dispatch.h"
+#include "smart/kernel_table.h"
 #include "smart/iterator.h"
 
 namespace {
@@ -143,17 +154,41 @@ uint64_t BlockSum(const std::vector<uint64_t>& words, uint32_t bits) {
   });
 }
 
+uint64_t UnpackRangeSum(const std::vector<uint64_t>& words, uint32_t bits, uint64_t* buffer) {
+  sa::smart::CodecFor(bits).unpack_range(words.data(), 0, kSumElems, buffer);
+  return buffer[0] + buffer[kSumElems - 1];
+}
+
+uint64_t PackRangeRun(std::vector<uint64_t>& words, uint32_t bits, const uint64_t* values) {
+  sa::smart::CodecFor(bits).pack_range(words.data(), 0, kSumElems, values);
+  return words[0];
+}
+
 #if defined(SA_HAVE_AVX2_KERNELS)
-uint64_t Avx2Sum(const std::vector<uint64_t>& words, uint32_t bits) {
+uint64_t V2Sum(const std::vector<uint64_t>& words, uint32_t bits) {
   return sa::smart::WithBits(bits, [&](auto bits_const) -> uint64_t {
-    return sa::smart::BitCompressedArray<bits_const()>::SumRangeAvx2(words.data(), 0, kSumElems);
+    return sa::smart::BitCompressedArray<bits_const()>::SumRangeV2(words.data(), 0, kSumElems);
+  });
+}
+
+// The retired PR-1 gather decoder, kept addressable purely so the JSON can
+// show v2 vs gather on the same machine.
+uint64_t GatherSum(const std::vector<uint64_t>& words, uint32_t bits) {
+  return sa::smart::WithBits(bits, [&](auto bits_const) -> uint64_t {
+    constexpr uint32_t kBits = bits_const();
+    uint64_t sum = 0;
+    for (uint64_t chunk = 0; chunk < kSumElems / sa::kChunkElems; ++chunk) {
+      sum += sa::smart::avx2::SumChunkGather<kBits>(words.data() +
+                                                    chunk * sa::WordsPerChunk(kBits));
+    }
+    return sum;
   });
 }
 #endif
 
-bool Avx2Selected(uint32_t bits) {
+bool V2Runnable(uint32_t bits) {
   return sa::smart::WithBits(bits, [](auto bits_const) {
-    return sa::smart::BitCompressedArray<bits_const()>::UsesAvx2Kernels();
+    return sa::smart::BitCompressedArray<bits_const()>::HasV2Kernels();
   });
 }
 
@@ -179,45 +214,99 @@ void BM_SumBlockKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_SumBlockKernel)->Arg(7)->Arg(13)->Arg(17)->Arg(33)->Arg(50)->Arg(64);
 
-void BM_SumAvx2(benchmark::State& state) {
+void BM_SumV2(benchmark::State& state) {
   const auto bits = static_cast<uint32_t>(state.range(0));
-  if (!Avx2Selected(bits)) {
-    state.SkipWithError("AVX2 kernels not selected on this host/width");
+  if (!V2Runnable(bits)) {
+    state.SkipWithError("no v2 kernel on this host/width");
     return;
   }
 #if defined(SA_HAVE_AVX2_KERNELS)
   const auto words = MakeWords(kSumElems, bits);
   for (auto _ : state) {
-    uint64_t sum = Avx2Sum(words, bits);
+    uint64_t sum = V2Sum(words, bits);
     benchmark::DoNotOptimize(sum);
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * kSumElems * bits / 8));
 #endif
 }
-BENCHMARK(BM_SumAvx2)->Arg(7)->Arg(13)->Arg(17)->Arg(33)->Arg(50);
+BENCHMARK(BM_SumV2)->Arg(7)->Arg(13)->Arg(17)->Arg(33)->Arg(50);
+
+void BM_UnpackRange(benchmark::State& state) {
+  const auto bits = static_cast<uint32_t>(state.range(0));
+  const auto words = MakeWords(kSumElems, bits);
+  std::vector<uint64_t> buffer(kSumElems);
+  for (auto _ : state) {
+    uint64_t sink = UnpackRangeSum(words, bits, buffer.data());
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * kSumElems * bits / 8));
+}
+BENCHMARK(BM_UnpackRange)->Arg(7)->Arg(13)->Arg(17)->Arg(33)->Arg(50)->Arg(64);
+
+void BM_PackRange(benchmark::State& state) {
+  const auto bits = static_cast<uint32_t>(state.range(0));
+  auto words = MakeWords(kSumElems, bits);
+  std::vector<uint64_t> values(kSumElems);
+  sa::Xoshiro256 rng(bits + 1);
+  for (auto& v : values) {
+    v = rng() & sa::LowMask(bits);
+  }
+  for (auto _ : state) {
+    uint64_t sink = PackRangeRun(words, bits, values.data());
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * kSumElems * bits / 8));
+}
+BENCHMARK(BM_PackRange)->Arg(7)->Arg(13)->Arg(17)->Arg(33)->Arg(50)->Arg(64);
 
 // ---------------------------------------------------------------------------
 // BENCH_codec.json emission (machine-readable kernel comparison).
 // ---------------------------------------------------------------------------
 
-// Times fn() until ~80ms have elapsed and returns bytes/s of compressed
-// data aggregated (kSumElems * bits / 8 per call).
-template <typename Fn>
-double MeasureBytesPerSec(uint32_t bits, const Fn& fn) {
+// Per-series measurement window. SA_BENCH_FAST != "0"/unset shrinks it so
+// smoke runs (CI) finish in seconds; committed JSON is always regenerated
+// with the full window.
+std::chrono::milliseconds MeasureWindow() {
+  const char* fast = std::getenv("SA_BENCH_FAST");
+  if (fast != nullptr && fast[0] != '\0' && std::strcmp(fast, "0") != 0) {
+    return std::chrono::milliseconds(5);
+  }
+  return std::chrono::milliseconds(80);
+}
+
+// Measures every series of one width together, round-robin at call
+// granularity: call series 0, then 1, ... then back to 0, timing each call
+// and accumulating per-series wall time until the shared budget is spent.
+// The host's speed swings by ~1.5x on multi-second timescales (shared
+// machine); because the series alternate within milliseconds, every series
+// sees the same regime mix and the *ratios* between kernels stay stable
+// even when the absolute numbers wobble. Returns bytes/s per series.
+std::vector<double> MeasureInterleaved(
+    uint32_t bits, const std::vector<std::pair<const char*, std::function<uint64_t()>>>& series) {
   using Clock = std::chrono::steady_clock;
-  uint64_t sink = fn();  // warm-up + page-in
-  benchmark::DoNotOptimize(sink);
-  uint64_t calls = 0;
-  const auto start = Clock::now();
-  Clock::duration elapsed{};
-  do {
-    sink += fn();
+  uint64_t sink = 0;
+  for (const auto& [name, fn] : series) {
+    sink += fn();  // warm-up + page-in
     benchmark::DoNotOptimize(sink);
-    ++calls;
-    elapsed = Clock::now() - start;
-  } while (elapsed < std::chrono::milliseconds(80));
-  const double seconds = std::chrono::duration<double>(elapsed).count();
-  return static_cast<double>(calls) * kSumElems * bits / 8.0 / seconds;
+  }
+  std::vector<double> total_sec(series.size(), 0.0);
+  std::vector<uint64_t> calls(series.size(), 0);
+  const auto budget = MeasureWindow() * (5 * series.size());
+  const auto begin = Clock::now();
+  while (Clock::now() - begin < budget) {
+    for (size_t i = 0; i < series.size(); ++i) {
+      const auto t0 = Clock::now();
+      sink += series[i].second();
+      benchmark::DoNotOptimize(sink);
+      total_sec[i] += std::chrono::duration<double>(Clock::now() - t0).count();
+      ++calls[i];
+    }
+  }
+  std::vector<double> bps(series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    bps[i] = static_cast<double>(calls[i]) * kSumElems * bits / 8.0 / total_sec[i];
+  }
+  return bps;
 }
 
 void WriteBenchJson(const char* path) {
@@ -226,25 +315,53 @@ void WriteBenchJson(const char* path) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
     return;
   }
-  const uint32_t kWidths[] = {1, 4, 7, 8, 13, 16, 17, 24, 32, 33, 48, 50, 64};
   std::fprintf(f, "[\n");
   bool first = true;
-  for (const uint32_t bits : kWidths) {
-    const auto words = MakeWords(kSumElems, bits);
+  std::vector<uint64_t> buffer(kSumElems);
+  for (uint32_t bits = 1; bits <= 64; ++bits) {
+    auto words = MakeWords(kSumElems, bits);
     const auto emit = [&](const char* kernel, double bytes_per_sec) {
       std::fprintf(f, "%s  {\"width\": %u, \"placement\": \"os-default\", \"kernel\": \"%s\", "
                       "\"bytes_per_sec\": %.6e}",
                    first ? "" : ",\n", bits, kernel, bytes_per_sec);
       first = false;
     };
-    emit("scalar-iterator",
-         MeasureBytesPerSec(bits, [&] { return IteratorSum(words, bits); }));
-    emit("block", MeasureBytesPerSec(bits, [&] { return BlockSum(words, bits); }));
+    // Pre-fill the value buffer the pack direction encodes (unpack-range
+    // overwrites `buffer`, which is fine: pack timing is data-independent).
+    for (uint64_t i = 0; i < kSumElems; ++i) {
+      buffer[i] = sa::SplitMix64(i) & sa::LowMask(bits);
+    }
+    // Every series for this width: the scalar baselines, both AVX2
+    // generations (where they exist), and the streaming seam in both
+    // directions.
+    std::vector<std::pair<const char*, std::function<uint64_t()>>> series;
+    series.emplace_back("scalar-iterator", [&] { return IteratorSum(words, bits); });
+    series.emplace_back("block", [&] { return BlockSum(words, bits); });
 #if defined(SA_HAVE_AVX2_KERNELS)
-    if (Avx2Selected(bits)) {
-      emit("avx2", MeasureBytesPerSec(bits, [&] { return Avx2Sum(words, bits); }));
+    if (V2Runnable(bits)) {
+      series.emplace_back("avx2-gather", [&] { return GatherSum(words, bits); });
+      series.emplace_back("avx2-v2", [&] { return V2Sum(words, bits); });
     }
 #endif
+    series.emplace_back("unpack-range", [&] { return UnpackRangeSum(words, bits, buffer.data()); });
+    series.emplace_back("pack-range", [&] { return PackRangeRun(words, bits, buffer.data()); });
+
+    const std::vector<double> bps = MeasureInterleaved(bits, series);
+    double block_bps = 0.0, v2_bps = 0.0;
+    for (size_t i = 0; i < series.size(); ++i) {
+      emit(series[i].first, bps[i]);
+      if (std::strcmp(series[i].first, "block") == 0) {
+        block_bps = bps[i];
+      } else if (std::strcmp(series[i].first, "avx2-v2") == 0) {
+        v2_bps = bps[i];
+      }
+    }
+    // "selected" is whatever the measured table bound for this width — the
+    // same function pointer as one of the series above, so reuse that
+    // series' number rather than manufacturing a noise gap between two
+    // timings of identical code.
+    emit("selected",
+         sa::smart::KernelsFor(bits).kind == sa::smart::KernelKind::kAvx2V2 ? v2_bps : block_bps);
   }
   std::fprintf(f, "\n]\n");
   std::fclose(f);

@@ -34,19 +34,17 @@ void DegreeCentralitySmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
           const int socket = pool.worker_socket(worker);
           const uint64_t* begin_rep = begin.GetReplica(socket);
           const uint64_t* rbegin_rep = rbegin.GetReplica(socket);
-          // begin[]/rbegin[] stream past once each, decoded a whole chunk
-          // at a time; element v+64 (always valid: the index arrays have
-          // num_vertices()+1 entries) seeds the chunk-crossing difference.
+          // begin[]/rbegin[] stream past once each through the streaming
+          // decode seam: 65 elements per batch (always valid: the index
+          // arrays have num_vertices()+1 entries), so element v+64 seeds
+          // the chunk-crossing difference for free.
           uint64_t fwd[kChunkElems + 1];
           uint64_t rev[kChunkElems + 1];
           uint64_t v = b;
           for (; v % kChunkElems == 0 && v + kChunkElems <= e;
                v += kChunkElems) {
-            const uint64_t chunk = v / kChunkElems;
-            Codec::UnpackUnrolledImpl(begin_rep, chunk, fwd);
-            Codec::UnpackUnrolledImpl(rbegin_rep, chunk, rev);
-            fwd[kChunkElems] = Codec::GetImpl(begin_rep, v + kChunkElems);
-            rev[kChunkElems] = Codec::GetImpl(rbegin_rep, v + kChunkElems);
+            Codec::UnpackRange(begin_rep, v, v + kChunkElems + 1, fwd);
+            Codec::UnpackRange(rbegin_rep, v, v + kChunkElems + 1, rev);
             for (uint32_t j = 0; j < kChunkElems; ++j) {
               out->Init(v + j, (fwd[j + 1] - fwd[j]) + (rev[j + 1] - rev[j]));
             }

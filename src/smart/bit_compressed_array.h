@@ -25,6 +25,7 @@
 #include "common/cpu_features.h"
 #include "common/macros.h"
 #include "smart/chunk_kernels_avx2.h"
+#include "smart/kernel_table.h"
 #include "smart/smart_array.h"
 
 namespace sa::smart {
@@ -163,6 +164,34 @@ class BitCompressedArray final : public SmartArray {
     }
   }
 
+  // ---- Inverse of Function 3: pack(chunk, replica, in) ----
+  //
+  // Encodes in[0..63] into the chunk's BITS words as a word-centric shift
+  // network: every output word is the OR of the (compile-time constant)
+  // shifted contributions of the elements whose bit ranges intersect it,
+  // so a chunk encodes in ~64 + BITS shift/or terms with no read-modify-
+  // write and no data-dependent control flow. This is the write-side twin
+  // of the v2 unpack network; it is what lets Restructure repack without
+  // per-element InitImpl masking (see smart/restructure.cc).
+  static void PackChunkImpl(uint64_t* replica, uint64_t chunk, const uint64_t* in) {
+    if constexpr (BITS == 64) {
+      uint64_t* dst = replica + chunk * kChunkElems;
+      for (uint32_t i = 0; i < kChunkElems; ++i) {
+        dst[i] = in[i];
+      }
+    } else if constexpr (BITS == 32) {
+      uint32_t* dst = reinterpret_cast<uint32_t*>(replica) + chunk * kChunkElems;
+      for (uint32_t i = 0; i < kChunkElems; ++i) {
+        dst[i] = static_cast<uint32_t>(in[i]);
+      }
+    } else {
+      uint64_t* words = replica + chunk * kWordsPerChunk;
+      [&]<size_t... W>(std::index_sequence<W...>) {
+        ((words[W] = PackWord<W>(in)), ...);
+      }(std::make_index_sequence<kWordsPerChunk>{});
+    }
+  }
+
   // Branch-free unpack: the §4.2 note that "the main loop of the function
   // can be manually or automatically unrolled to avoid the branches and
   // permit compile-time derivation of the constants used", made explicit.
@@ -281,54 +310,127 @@ class BitCompressedArray final : public SmartArray {
                          [](const uint64_t* r, uint64_t chunk) { return SumChunkImpl(r, chunk); });
   }
 
+  // True when the v2 shift-network kernels exist for this width AND the
+  // host can run them (CPUID minus the SA_DISABLE_AVX2 override). Candidacy
+  // only: whether they are *selected* is the kernel table's measured call.
+  static bool HasV2Kernels() {
 #if defined(SA_HAVE_AVX2_KERNELS)
-  // AVX2 flavours. Only correct to call when sa::HostCpuFeatures().avx2;
-  // exposed (rather than private) so the differential tests and the codec
-  // microbenchmark can target the path explicitly.
-  static uint64_t SumRangeAvx2(const uint64_t* replica, uint64_t begin, uint64_t end) {
-    return SumRangeWith(replica, begin, end, [](const uint64_t* r, uint64_t chunk) {
-      return avx2::SumChunk<BITS>(r + chunk * kWordsPerChunk);
-    });
-  }
-
-  static uint64_t Sum2RangeAvx2(const uint64_t* r1, const uint64_t* r2, uint64_t begin,
-                                uint64_t end) {
-    return Sum2RangeWith(r1, r2, begin, end, [](const uint64_t* r, uint64_t chunk) {
-      return avx2::SumChunk<BITS>(r + chunk * kWordsPerChunk);
-    });
-  }
-#endif
-
-  // True when the runtime dispatch below selects the AVX2 kernels: the host
-  // supports AVX2 (minus the SA_DISABLE_AVX2 override) and the width has no
-  // cheaper native path.
-  static bool UsesAvx2Kernels() {
-#if defined(SA_HAVE_AVX2_KERNELS)
-    if constexpr (BITS != 1 && BITS != 8 && BITS != 16 && BITS != 32 && BITS != 64) {
+    if constexpr (kHasV2) {
       return HostCpuFeatures().avx2;
     }
 #endif
     return false;
   }
 
-  // ---- Dispatching range kernels (what callers should use) ----
-  static uint64_t SumRange(const uint64_t* replica, uint64_t begin, uint64_t end) {
+  // True when the measured kernel table selected the AVX2 v2 kernels for
+  // this width on this host.
+  static bool UsesAvx2Kernels() {
+    return KernelsFor(BITS).kind == KernelKind::kAvx2V2;
+  }
+
 #if defined(SA_HAVE_AVX2_KERNELS)
-    if (UsesAvx2Kernels()) {
-      return SumRangeAvx2(replica, begin, end);
+  static constexpr bool kHasV2 = avx2::HasV2Width(BITS);
+
+  // v2 shift-network flavours. Only correct to call when HasV2Kernels();
+  // exposed (rather than private) so the differential tests, the kernel
+  // table calibration, and the codec microbenchmark can target the path
+  // explicitly. Widths without a v2 network delegate to the block kernels
+  // so the symbols stay well-formed for every instantiation.
+  static uint64_t SumRangeV2(const uint64_t* replica, uint64_t begin, uint64_t end) {
+    if constexpr (kHasV2) {
+      return SumRangeWith(replica, begin, end, [](const uint64_t* r, uint64_t chunk) {
+        return avx2::SumChunkV2<BITS>(r + chunk * kWordsPerChunk);
+      });
+    } else {
+      return SumRangeImpl(replica, begin, end);
     }
+  }
+
+  static uint64_t Sum2RangeV2(const uint64_t* r1, const uint64_t* r2, uint64_t begin,
+                              uint64_t end) {
+    if constexpr (kHasV2) {
+      return Sum2RangeWith(r1, r2, begin, end, [](const uint64_t* r, uint64_t chunk) {
+        return avx2::SumChunkV2<BITS>(r + chunk * kWordsPerChunk);
+      });
+    } else {
+      return Sum2RangeImpl(r1, r2, begin, end);
+    }
+  }
+
+  // (replica, chunk, out) shape of the v2 chunk decoder, addressable for
+  // the kernel table.
+  static void UnpackChunkV2(const uint64_t* replica, uint64_t chunk, uint64_t* out) {
+    if constexpr (kHasV2) {
+      avx2::UnpackChunkV2<BITS>(replica + chunk * kWordsPerChunk, out);
+    } else {
+      UnpackUnrolledImpl(replica, chunk, out);
+    }
+  }
 #endif
-    return SumRangeImpl(replica, begin, end);
+
+  // ---- Dispatching kernels (what callers should use) ----
+  //
+  // One load of the measured per-width table + an indirect call; the table
+  // guarantees the bound kernel beat (or is) the scalar block kernel.
+  static uint64_t SumRange(const uint64_t* replica, uint64_t begin, uint64_t end) {
+    return KernelsFor(BITS).sum_range(replica, begin, end);
   }
 
   static uint64_t Sum2Range(const uint64_t* r1, const uint64_t* r2, uint64_t begin,
                             uint64_t end) {
-#if defined(SA_HAVE_AVX2_KERNELS)
-    if (UsesAvx2Kernels()) {
-      return Sum2RangeAvx2(r1, r2, begin, end);
+    return KernelsFor(BITS).sum2_range(r1, r2, begin, end);
+  }
+
+  // Decodes one whole chunk into out[0..63] through the selected kernel.
+  static void UnpackChunk(const uint64_t* replica, uint64_t chunk, uint64_t* out) {
+    KernelsFor(BITS).unpack_chunk(replica, chunk, out);
+  }
+
+  // ---- Chunk-streaming decode seam (UnpackRange / PackRange) ----
+  //
+  // The single bulk decode/encode path: whole chunks stream through the
+  // selected chunk kernel, ragged head/tail elements through the scalar
+  // codec. ForEachRangeImpl, the graph property scans, Restructure, and the
+  // saArrayUnpackRange/saArrayPackRange entry points all sit on these two.
+
+  // Decodes elements [begin, end) into out[0 .. end-begin).
+  static void UnpackRange(const uint64_t* replica, uint64_t begin, uint64_t end,
+                          uint64_t* out) {
+    SA_DCHECK(begin <= end);
+    const auto unpack_chunk = KernelsFor(BITS).unpack_chunk;
+    uint64_t i = begin;
+    const uint64_t head_end = std::min(end, AlignUp(begin, kChunkElems));
+    for (; i < head_end; ++i) {
+      *out++ = GetImpl(replica, i);
     }
-#endif
-    return Sum2RangeImpl(r1, r2, begin, end);
+    for (; i + kChunkElems <= end; i += kChunkElems, out += kChunkElems) {
+      unpack_chunk(replica, i / kChunkElems, out);
+    }
+    for (; i < end; ++i) {
+      *out++ = GetImpl(replica, i);
+    }
+  }
+
+  // Encodes in[0 .. end-begin) into elements [begin, end). Values must fit
+  // the width (checked in debug builds; callers on untrusted paths check
+  // before calling). Not thread-safe against concurrent writers of the
+  // same words — ranges handed to parallel workers must be chunk-aligned,
+  // like ParallelFill batches.
+  static void PackRange(uint64_t* replica, uint64_t begin, uint64_t end, const uint64_t* in) {
+    SA_DCHECK(begin <= end);
+    uint64_t i = begin;
+    const uint64_t head_end = std::min(end, AlignUp(begin, kChunkElems));
+    for (; i < head_end; ++i) {
+      SA_DCHECK((*in & ~kMask) == 0);
+      InitImpl(replica, i, *in++);
+    }
+    for (; i + kChunkElems <= end; i += kChunkElems, in += kChunkElems) {
+      PackChunkImpl(replica, i / kChunkElems, in);
+    }
+    for (; i < end; ++i) {
+      SA_DCHECK((*in & ~kMask) == 0);
+      InitImpl(replica, i, *in++);
+    }
   }
 
   // Applies fn(value, index) over [begin, end): whole chunks decode through
@@ -344,8 +446,9 @@ class BitCompressedArray final : public SmartArray {
       fn(GetImpl(replica, i), i);
     }
     uint64_t buffer[kChunkElems];
+    const auto unpack_chunk = KernelsFor(BITS).unpack_chunk;
     for (; i + kChunkElems <= end; i += kChunkElems) {
-      UnpackUnrolledImpl(replica, i / kChunkElems, buffer);
+      unpack_chunk(replica, i / kChunkElems, buffer);
       for (uint32_t j = 0; j < kChunkElems; ++j) {
         fn(buffer[j], i + j);
       }
@@ -379,7 +482,7 @@ class BitCompressedArray final : public SmartArray {
 
   void Unpack(uint64_t chunk, const uint64_t* replica, uint64_t* out) const override {
     SA_DCHECK(chunk < num_chunks());
-    UnpackImpl(replica, chunk, out);
+    UnpackChunk(replica, chunk, out);
   }
 
  private:
@@ -451,6 +554,35 @@ class BitCompressedArray final : public SmartArray {
       sum += SumChunkSliceImpl(r1, chunk, 0, tail) + SumChunkSliceImpl(r2, chunk, 0, tail);
     }
     return sum;
+  }
+
+  // Output word `W` of a packed chunk: the OR of the shifted contributions
+  // of every element whose bit range [I*BITS, (I+1)*BITS) intersects
+  // [W*64, W*64+64). Both endpoints fold at compile time.
+  template <uint32_t W>
+  static uint64_t PackWord(const uint64_t* in) {
+    static_assert(W < kWordsPerChunk);
+    constexpr uint32_t kFirst = W * kWordBits / BITS;
+    constexpr uint32_t kLast = (W * kWordBits + kWordBits - 1) / BITS;
+    static_assert(kLast < kChunkElems);
+    return [&]<size_t... J>(std::index_sequence<J...>) {
+      return (PackContribution<W, kFirst + J>(in) | ...);
+    }(std::make_index_sequence<kLast - kFirst + 1>{});
+  }
+
+  // Element I's bits that land in output word W, already shifted into word
+  // position. An element contributes to at most two words; which shift
+  // direction applies is a constant of (W, I).
+  template <uint32_t W, uint32_t I>
+  static uint64_t PackContribution(const uint64_t* in) {
+    constexpr uint32_t kStart = I * BITS;
+    constexpr uint32_t kWordStart = W * kWordBits;
+    const uint64_t value = in[I] & kStoreMask;
+    if constexpr (kStart >= kWordStart) {
+      return value << (kStart - kWordStart);
+    } else {
+      return value >> (kWordStart - kStart);
+    }
   }
 
   // Atomically replaces the `mask` bits of *word with `bits_value`.

@@ -1,13 +1,23 @@
-// AVX2 flavour of the chunk-granular aggregation kernels.
+// AVX2 flavour of the chunk-granular codec kernels: the shift-network v2
+// decoder plus the retired gather decoder it replaced.
 //
-// Compiled with a per-function target attribute so the library still builds
+// Compiled with per-function target attributes so the library still builds
 // without -mavx2 and runs on machines without AVX2; callers must gate on
-// sa::HostCpuFeatures().avx2 (bit_compressed_array.h's SumRange dispatcher
-// does). The decode strategy is the same shift/mask scheme as the scalar
-// codec, four elements per vector: every element's word index and shift is a
-// compile-time function of (BITS, position-in-chunk), precomputed into
-// constexpr lane tables, so the kernel is a gather + variable-shift loop
-// with no data-dependent control flow.
+// sa::HostCpuFeatures().avx2 (the measured kernel table in
+// smart/kernel_table.cc does).
+//
+// v2 design (Lemire & Boytsov-style shift network, adapted to the paper's
+// sequential chunk layout): a chunk of 64 BITS-wide elements occupies
+// exactly BITS words, and every constant below is a compile-time function
+// of (BITS, position-in-chunk). Four consecutive elements (a "group") span
+// at most five consecutive words, so each group decodes from two
+// overlapping unaligned 256-bit loads whose word windows are anchored at
+// compile time to stay inside the chunk, a cross-lane 32-bit permute that
+// routes each lane's low/high source word into place, and a
+// srlv/sllv/or/and network. No gathers: BENCH_codec.json showed
+// _mm256_i64gather_epi64 capping the PR-1 kernel below the scalar block
+// kernel at widths 13/17/24/33/48/50; the two loads + two permutes here
+// issue on ordinary load/shuffle ports instead.
 #ifndef SA_SMART_CHUNK_KERNELS_AVX2_H_
 #define SA_SMART_CHUNK_KERNELS_AVX2_H_
 
@@ -17,19 +27,157 @@
 #include <immintrin.h>
 
 #include <cstdint>
+#include <utility>
 
 #include "common/bits.h"
 
 namespace sa::smart::avx2 {
 
-// Per-element decode constants of one chunk of BITS-wide elements, laid out
-// for aligned 4-lane vector loads. lo_word/shift extract the low part of
-// each element. hi_word is the word holding the element's *last* bit — equal
-// to lo_word when the element does not straddle a word boundary, so the
-// gather never reads outside the chunk's BITS words. straddle is an all-ones
-// lane mask for straddling elements: the high contribution must be zeroed
-// explicitly for non-straddling lanes (the left-shift count 64 - shift only
-// zeroes it when shift == 0).
+// Widths served by the v2 shift network. Widths 1..3 pack 4 elements into
+// (at most) 2 words, too few for the 4-word load windows (and width 1 sums
+// are a popcount anyway); 8/16/32/64 have native-integer layouts whose
+// scalar loops the compiler already vectorizes.
+constexpr bool HasV2Width(uint32_t bits) {
+  return bits >= 4 && bits < 64 && bits != 8 && bits != 16 && bits != 32;
+}
+
+// ---------------------------------------------------------------------------
+// v2 plan tables
+// ---------------------------------------------------------------------------
+
+// Decode constants for one group of four consecutive elements. The group's
+// low source words live in the 4-word window starting at lo_anchor, the
+// straddle high words in the window at hi_anchor; both anchors are clamped
+// to BITS - 4 so the loads never read past the chunk's BITS words. perm_*
+// are _mm256_permutevar8x32_epi32 controls selecting each lane's 64-bit
+// word (as an adjacent 32-bit pair) out of its window. The straddle lane
+// mask zeroes the high contribution for non-straddling lanes (the
+// 64 - shift left-shift count only zeroes it when shift == 0).
+struct V2Group {
+  alignas(32) uint32_t perm_lo[8];
+  alignas(32) uint32_t perm_hi[8];
+  alignas(32) uint64_t shift[4];
+  alignas(32) uint64_t straddle[4];
+  uint32_t lo_anchor = 0;
+  uint32_t hi_anchor = 0;
+  bool straddles = false;
+};
+
+template <uint32_t BITS>
+struct V2Plan {
+  V2Group groups[kChunkElems / 4];
+};
+
+template <uint32_t BITS>
+constexpr V2Plan<BITS> MakeV2Plan() {
+  static_assert(HasV2Width(BITS), "v2 plans exist for non-native widths 4..63");
+  V2Plan<BITS> p{};
+  for (uint32_t grp = 0; grp < kChunkElems / 4; ++grp) {
+    V2Group& g = p.groups[grp];
+    const uint32_t w0 = grp * 4 * BITS / kWordBits;
+    g.lo_anchor = w0 < BITS - 4 ? w0 : BITS - 4;
+    g.hi_anchor = w0 + 1 < BITS - 4 ? w0 + 1 : BITS - 4;
+    for (uint32_t k = 0; k < 4; ++k) {
+      const uint32_t bit = (grp * 4 + k) * BITS;
+      const uint32_t lo_word = bit / kWordBits;
+      const uint32_t hi_word = (bit + BITS - 1) / kWordBits;
+      const uint32_t shift = bit % kWordBits;
+      const bool straddles = shift + BITS > kWordBits;
+      g.shift[k] = shift;
+      g.straddle[k] = straddles ? ~uint64_t{0} : uint64_t{0};
+      g.straddles = g.straddles || straddles;
+      const uint32_t lo_rel = lo_word - g.lo_anchor;
+      // Non-straddling lanes read a don't-care high word (masked off);
+      // window slot 0 keeps the permute control in range.
+      const uint32_t hi_rel = straddles ? hi_word - g.hi_anchor : 0;
+      SA_DCHECK(lo_rel <= 3 && hi_rel <= 3 && lo_word >= g.lo_anchor);
+      g.perm_lo[2 * k] = 2 * lo_rel;
+      g.perm_lo[2 * k + 1] = 2 * lo_rel + 1;
+      g.perm_hi[2 * k] = 2 * hi_rel;
+      g.perm_hi[2 * k + 1] = 2 * hi_rel + 1;
+    }
+  }
+  return p;
+}
+
+template <uint32_t BITS>
+inline constexpr V2Plan<BITS> kV2Plan = MakeV2Plan<BITS>();
+
+// ---------------------------------------------------------------------------
+// v2 decode network
+// ---------------------------------------------------------------------------
+
+// Elements [4G, 4G + 4) of the chunk at `words`, one per 64-bit lane,
+// already masked to BITS bits. The anchors, permute controls, and
+// straddle-or-not are compile-time constants of (BITS, G), so the group is
+// straight-line load/permute/shift code with no data-dependent control flow.
+template <uint32_t BITS, uint32_t G>
+__attribute__((target("avx2"))) inline __m256i DecodeGroupV2(const uint64_t* words,
+                                                             __m256i value_mask) {
+  static constexpr V2Group g = kV2Plan<BITS>.groups[G];
+  const __m256i window_lo =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + g.lo_anchor));
+  const __m256i lo = _mm256_permutevar8x32_epi32(
+      window_lo, _mm256_load_si256(reinterpret_cast<const __m256i*>(g.perm_lo)));
+  const __m256i shift = _mm256_load_si256(reinterpret_cast<const __m256i*>(g.shift));
+  __m256i value = _mm256_srlv_epi64(lo, shift);
+  if constexpr (g.straddles) {
+    const __m256i window_hi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + g.hi_anchor));
+    const __m256i hi = _mm256_permutevar8x32_epi32(
+        window_hi, _mm256_load_si256(reinterpret_cast<const __m256i*>(g.perm_hi)));
+    const __m256i straddle =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(g.straddle));
+    const __m256i hi_part =
+        _mm256_sllv_epi64(hi, _mm256_sub_epi64(_mm256_set1_epi64x(kWordBits), shift));
+    value = _mm256_or_si256(value, _mm256_and_si256(hi_part, straddle));
+  }
+  return _mm256_and_si256(value, value_mask);
+}
+
+template <uint32_t BITS, size_t... G>
+__attribute__((target("avx2"))) inline uint64_t SumChunkV2Impl(const uint64_t* words,
+                                                               std::index_sequence<G...>) {
+  const __m256i value_mask = _mm256_set1_epi64x(static_cast<long long>(LowMask(BITS)));
+  __m256i acc = _mm256_setzero_si256();
+  ((acc = _mm256_add_epi64(acc, DecodeGroupV2<BITS, G>(words, value_mask))), ...);
+  const __m128i folded =
+      _mm_add_epi64(_mm256_castsi256_si128(acc), _mm256_extracti128_si256(acc, 1));
+  return static_cast<uint64_t>(_mm_cvtsi128_si64(folded)) +
+         static_cast<uint64_t>(_mm_extract_epi64(folded, 1));
+}
+
+template <uint32_t BITS, size_t... G>
+__attribute__((target("avx2"))) inline void UnpackChunkV2Impl(const uint64_t* words,
+                                                              uint64_t* out,
+                                                              std::index_sequence<G...>) {
+  const __m256i value_mask = _mm256_set1_epi64x(static_cast<long long>(LowMask(BITS)));
+  ((_mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4 * G),
+                        DecodeGroupV2<BITS, G>(words, value_mask))),
+   ...);
+}
+
+// Sum of the 64 elements of the chunk starting at `words`.
+template <uint32_t BITS>
+__attribute__((target("avx2"))) inline uint64_t SumChunkV2(const uint64_t* words) {
+  return SumChunkV2Impl<BITS>(words, std::make_index_sequence<kChunkElems / 4>{});
+}
+
+// Decodes the 64 elements of the chunk starting at `words` into out[0..63].
+// `out` may be unaligned (the UnpackRange seam writes mid-buffer).
+template <uint32_t BITS>
+__attribute__((target("avx2"))) inline void UnpackChunkV2(const uint64_t* words, uint64_t* out) {
+  UnpackChunkV2Impl<BITS>(words, out, std::make_index_sequence<kChunkElems / 4>{});
+}
+
+// ---------------------------------------------------------------------------
+// Retired PR-1 gather decoder
+// ---------------------------------------------------------------------------
+//
+// Kept only so bench/micro_codec can keep publishing the v2-vs-gather
+// comparison (the BENCH_codec.json acceptance series); the kernel table
+// never selects it.
+
 template <uint32_t BITS>
 struct LaneTables {
   alignas(32) uint64_t lo_word[kChunkElems];
@@ -57,9 +205,10 @@ constexpr LaneTables<BITS> MakeLaneTables() {
 template <uint32_t BITS>
 inline constexpr LaneTables<BITS> kLaneTables = MakeLaneTables<BITS>();
 
-// Sum of the 64 elements of the chunk starting at `words`.
+// Sum of the 64 elements of the chunk starting at `words`, via per-lane
+// gathers (the PR-1 kernel).
 template <uint32_t BITS>
-__attribute__((target("avx2"))) inline uint64_t SumChunk(const uint64_t* words) {
+__attribute__((target("avx2"))) inline uint64_t SumChunkGather(const uint64_t* words) {
   const LaneTables<BITS>& t = kLaneTables<BITS>;
   const __m256i value_mask = _mm256_set1_epi64x(static_cast<long long>(LowMask(BITS)));
   const __m256i word_bits = _mm256_set1_epi64x(kWordBits);
@@ -70,8 +219,6 @@ __attribute__((target("avx2"))) inline uint64_t SumChunk(const uint64_t* words) 
     const __m256i shift = _mm256_load_si256(reinterpret_cast<const __m256i*>(&t.shift[g]));
     const __m256i lo = _mm256_i64gather_epi64(base, lo_idx, 8);
     __m256i value = _mm256_srlv_epi64(lo, shift);
-    // Constant per (BITS, g): perfectly predicted, and skips the second
-    // gather for the straddle-free groups.
     if (t.group_straddles[g / 4]) {
       const __m256i hi_idx = _mm256_load_si256(reinterpret_cast<const __m256i*>(&t.hi_word[g]));
       const __m256i straddle =

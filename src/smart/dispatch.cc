@@ -1,0 +1,31 @@
+// Out-of-line definition of the runtime-width codec table: the 64
+// BitCompressedArray instantiations behind it are heavy to compile, and
+// every entry-point TU only needs the table's address.
+
+#include "smart/dispatch.h"
+
+#include <utility>
+
+namespace sa::smart {
+namespace {
+
+template <size_t... I>
+constexpr std::array<CodecOps, 65> MakeCodecTable(std::index_sequence<I...>) {
+  std::array<CodecOps, 65> table{};
+  ((table[I + 1] = CodecOps{&BitCompressedArray<I + 1>::GetImpl,
+                            &BitCompressedArray<I + 1>::InitImpl,
+                            &BitCompressedArray<I + 1>::InitAtomicImpl,
+                            &BitCompressedArray<I + 1>::UnpackImpl,
+                            &BitCompressedArray<I + 1>::SumRange,
+                            &BitCompressedArray<I + 1>::Sum2Range,
+                            &BitCompressedArray<I + 1>::UnpackRange,
+                            &BitCompressedArray<I + 1>::PackRange}),
+   ...);
+  return table;
+}
+
+}  // namespace
+
+const std::array<CodecOps, 65> kCodecTable = MakeCodecTable(std::make_index_sequence<64>{});
+
+}  // namespace sa::smart

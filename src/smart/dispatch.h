@@ -26,28 +26,18 @@ struct CodecOps {
   uint64_t (*sum_range)(const uint64_t* replica, uint64_t begin, uint64_t end) = nullptr;
   uint64_t (*sum2_range)(const uint64_t* r1, const uint64_t* r2, uint64_t begin,
                          uint64_t end) = nullptr;
+  // Chunk-streaming decode seam (bit_compressed_array.h): bulk decode into /
+  // encode from a caller buffer, whole chunks through the selected kernel.
+  void (*unpack_range)(const uint64_t* replica, uint64_t begin, uint64_t end,
+                       uint64_t* out) = nullptr;
+  void (*pack_range)(uint64_t* replica, uint64_t begin, uint64_t end,
+                     const uint64_t* in) = nullptr;
 };
 
-namespace internal {
-
-template <size_t... I>
-constexpr std::array<CodecOps, 65> MakeCodecTable(std::index_sequence<I...>) {
-  std::array<CodecOps, 65> table{};
-  ((table[I + 1] = CodecOps{&BitCompressedArray<I + 1>::GetImpl,
-                            &BitCompressedArray<I + 1>::InitImpl,
-                            &BitCompressedArray<I + 1>::InitAtomicImpl,
-                            &BitCompressedArray<I + 1>::UnpackImpl,
-                            &BitCompressedArray<I + 1>::SumRange,
-                            &BitCompressedArray<I + 1>::Sum2Range}),
-   ...);
-  return table;
-}
-
-}  // namespace internal
-
-// Indexed by bit width; entry 0 is unused.
-inline constexpr std::array<CodecOps, 65> kCodecTable =
-    internal::MakeCodecTable(std::make_index_sequence<64>{});
+// Indexed by bit width; entry 0 is unused. Defined out-of-line in
+// dispatch.cc so the 64 codec instantiations compile once, not in every
+// translation unit that pulls in the table.
+extern const std::array<CodecOps, 65> kCodecTable;
 
 inline const CodecOps& CodecFor(uint32_t bits) {
   SA_CHECK_MSG(bits >= 1 && bits <= 64, "bit width must be 1..64");

@@ -121,6 +121,27 @@ void saArrayUnpack(const void* sa, uint64_t chunk, uint64_t* out) {
   a->Unpack(chunk, a->GetReplicaForCurrentThread(), out);
 }
 
+void saArrayUnpackRange(const void* sa, uint64_t begin, uint64_t end, uint64_t* out) {
+  const SmartArray* a = Array(sa);
+  SA_CHECK(begin <= end && end <= a->length());
+  CodecFor(a->bits()).unpack_range(a->GetReplicaForCurrentThread(), begin, end, out);
+}
+
+void saArrayPackRange(void* sa, uint64_t begin, uint64_t end, const uint64_t* in) {
+  SmartArray* a = Array(sa);
+  SA_CHECK(begin <= end && end <= a->length());
+  const uint64_t mask = ~sa::LowMask(a->bits());
+  uint64_t any = 0;
+  for (uint64_t i = 0; i < end - begin; ++i) {
+    any |= in[i];
+  }
+  SA_CHECK_MSG((any & mask) == 0, "value exceeds the array's bit width");
+  const auto& codec = CodecFor(a->bits());
+  for (int r = 0; r < a->num_replicas(); ++r) {
+    codec.pack_range(a->MutableReplica(r), begin, end, in);
+  }
+}
+
 void saArrayInitWithBits(void* sa, uint64_t index, uint64_t value, uint32_t bits) {
   SmartArray* a = Array(sa);
   // A mismatched width would run the wrong codec geometry over the replica
@@ -191,21 +212,17 @@ void saArrayMapRange(const void* sa, uint64_t begin, uint64_t end, saMapCallback
   uint64_t i = begin;
   const uint64_t head_end = std::min(end, sa::AlignUp(begin, sa::kChunkElems));
   if (i < head_end) {
-    for (uint64_t j = i; j < head_end; ++j) {
-      buffer[j - i] = codec.get(replica, j);
-    }
+    codec.unpack_range(replica, i, head_end, buffer);
     callback(buffer, head_end - i, i, ctx);
     i = head_end;
   }
   while (i + sa::kChunkElems <= end) {
-    codec.unpack(replica, i / sa::kChunkElems, buffer);
+    codec.unpack_range(replica, i, i + sa::kChunkElems, buffer);
     callback(buffer, sa::kChunkElems, i, ctx);
     i += sa::kChunkElems;
   }
   if (i < end) {
-    for (uint64_t j = i; j < end; ++j) {
-      buffer[j - i] = codec.get(replica, j);
-    }
+    codec.unpack_range(replica, i, end, buffer);
     callback(buffer, end - i, i, ctx);
   }
 }

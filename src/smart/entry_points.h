@@ -44,6 +44,17 @@ void saArrayInit(void* sa, uint64_t index, uint64_t value);
 uint64_t saArrayGet(const void* sa, uint64_t index);
 void saArrayUnpack(const void* sa, uint64_t chunk, uint64_t* out);
 
+// ---- Bulk transfer through the chunk-streaming decode seam ----
+// Decodes elements [begin, end) into out[0 .. end-begin); whole chunks go
+// through the selected (measured) kernel, so foreign callers bulk-read at
+// native speed in one boundary crossing.
+void saArrayUnpackRange(const void* sa, uint64_t begin, uint64_t end, uint64_t* out);
+
+// Encode twin: packs in[0 .. end-begin) into elements [begin, end) of every
+// replica. Every value must fit the array's width (hard-checked: this is an
+// untrusted boundary).
+void saArrayPackRange(void* sa, uint64_t begin, uint64_t end, const uint64_t* in);
+
 // ---- Element access branched on `bits` (no virtual dispatch) ----
 void saArrayInitWithBits(void* sa, uint64_t index, uint64_t value, uint32_t bits);
 uint64_t saArrayGetWithBits(const void* sa, uint64_t index, uint32_t bits);

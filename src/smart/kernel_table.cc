@@ -1,0 +1,175 @@
+// Measured per-width kernel selection (see kernel_table.h for the policy).
+//
+// All 64 widths calibrate against the same packed pseudo-random buffer:
+// any bit pattern is a valid packed chunk, so one fill serves every width
+// and the whole build costs a few milliseconds, once per process.
+
+#include "smart/kernel_table.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "common/macros.h"
+#include "common/random.h"
+#include "smart/bit_compressed_array.h"
+
+namespace sa::smart {
+namespace {
+
+enum class ForceMode {
+  kAuto,   // measured selection (default)
+  kBlock,  // scalar block kernels everywhere
+  kAvx2,   // v2 kernels wherever they exist (benchmarking only)
+};
+
+ForceMode ForceModeFromEnv() {
+  const char* env = std::getenv("SA_FORCE_KERNEL");
+  if (env == nullptr || env[0] == '\0' || std::strcmp(env, "auto") == 0) {
+    return ForceMode::kAuto;
+  }
+  if (std::strcmp(env, "block") == 0) {
+    return ForceMode::kBlock;
+  }
+  if (std::strcmp(env, "avx2") == 0) {
+    return ForceMode::kAvx2;
+  }
+  // Unknown value: fall back to the measured default rather than aborting.
+  return ForceMode::kAuto;
+}
+
+// Both flavours for one width; `v2` is only meaningful when has_v2.
+struct Candidates {
+  KernelOps block;
+  KernelOps v2;
+  bool has_v2 = false;
+};
+
+template <uint32_t BITS>
+Candidates MakeCandidates() {
+  using Codec = BitCompressedArray<BITS>;
+  Candidates c;
+  c.block = {&Codec::SumRangeImpl, &Codec::Sum2RangeImpl, &Codec::UnpackUnrolledImpl,
+             KernelKind::kBlock};
+#if defined(SA_HAVE_AVX2_KERNELS)
+  if constexpr (Codec::kHasV2) {
+    c.v2 = {&Codec::SumRangeV2, &Codec::Sum2RangeV2, &Codec::UnpackChunkV2, KernelKind::kAvx2V2};
+    c.has_v2 = true;
+  }
+#endif
+  return c;
+}
+
+// Calibration workload: 512 chunks (32768 elements). That spills the packed
+// buffer out of L1 at every width, which matters: the scalar block kernel
+// auto-vectorizes well at some even widths and the ranking between it and
+// the v2 shift network can differ between an L1-resident toy loop and the
+// streaming scans the table actually serves.
+constexpr uint64_t kCalibChunks = 512;
+constexpr uint64_t kCalibElems = kCalibChunks * kChunkElems;
+
+// Best-of-N wall time for both candidates, sampled interleaved (block, v2,
+// block, v2, ...) so a frequency or preemption swing during calibration
+// hits both kernels instead of biasing whichever ran second. The
+// accumulated sums feed a sink so the calls cannot be optimized away.
+struct CalibResult {
+  uint64_t block_ns = UINT64_MAX;
+  uint64_t v2_ns = UINT64_MAX;
+};
+
+CalibResult InterleavedBestNs(uint64_t (*block)(const uint64_t*, uint64_t, uint64_t),
+                              uint64_t (*v2)(const uint64_t*, uint64_t, uint64_t),
+                              const uint64_t* words, uint64_t* sink) {
+  using Clock = std::chrono::steady_clock;
+  const auto time_one = [&](uint64_t (*fn)(const uint64_t*, uint64_t, uint64_t)) {
+    const Clock::time_point start = Clock::now();
+    *sink ^= fn(words, 0, kCalibElems);
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count());
+  };
+  CalibResult result;
+  for (int rep = 0; rep < 5; ++rep) {
+    result.block_ns = std::min(result.block_ns, time_one(block));
+    result.v2_ns = std::min(result.v2_ns, time_one(v2));
+  }
+  return result;
+}
+
+struct Table {
+  KernelOps ops[65];
+};
+
+Table BuildTable() {
+  Candidates cand[65] = {};
+  [&]<size_t... I>(std::index_sequence<I...>) {
+    ((cand[I + 1] = MakeCandidates<I + 1>()), ...);
+  }(std::make_index_sequence<64>{});
+
+  Table table;
+  table.ops[0] = cand[1].block;  // never a valid width; defensively block
+  for (uint32_t bits = 1; bits <= 64; ++bits) {
+    table.ops[bits] = cand[bits].block;
+  }
+
+  const bool v2_runnable = HostCpuFeatures().avx2;
+  const ForceMode mode = ForceModeFromEnv();
+  if (!v2_runnable || mode == ForceMode::kBlock) {
+    return table;
+  }
+
+  // One packed buffer serves every width: sized for the widest chunk, and
+  // any bit pattern decodes to *some* valid value sequence.
+  std::vector<uint64_t> words(kCalibChunks * WordsPerChunk(64));
+  for (size_t i = 0; i < words.size(); ++i) {
+    words[i] = SplitMix64(i + 1);
+  }
+  volatile uint64_t sink = 0;
+  uint64_t local_sink = 0;
+
+  for (uint32_t bits = 1; bits <= 64; ++bits) {
+    if (!cand[bits].has_v2) {
+      continue;
+    }
+    if (mode == ForceMode::kAvx2) {
+      table.ops[bits] = cand[bits].v2;
+      continue;
+    }
+    // Warm both paths once, then interleaved best-of-5: the v2 kernel must
+    // *win* the measurement to displace the block kernel, so a tie (or
+    // noise within a tie) keeps the scalar baseline.
+    local_sink ^= cand[bits].block.sum_range(words.data(), 0, kCalibElems);
+    local_sink ^= cand[bits].v2.sum_range(words.data(), 0, kCalibElems);
+    const CalibResult timed = InterleavedBestNs(cand[bits].block.sum_range,
+                                                cand[bits].v2.sum_range, words.data(),
+                                                &local_sink);
+    if (timed.v2_ns < timed.block_ns) {
+      table.ops[bits] = cand[bits].v2;
+    }
+  }
+  sink = local_sink;
+  (void)sink;
+  return table;
+}
+
+}  // namespace
+
+const char* ToString(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kBlock:
+      return "block";
+    case KernelKind::kAvx2V2:
+      return "avx2-v2";
+  }
+  return "unknown";
+}
+
+const KernelOps& KernelsFor(uint32_t bits) {
+  static const Table table = BuildTable();
+  SA_DCHECK(bits >= 1 && bits <= 64);
+  return table.ops[bits];
+}
+
+}  // namespace sa::smart

@@ -1,0 +1,54 @@
+// Measured per-width codec kernel dispatch.
+//
+// PR 1 selected the AVX2 sum kernel purely on CPUID, and BENCH_codec.json
+// showed that losing at six widths (13/17/24/33/48/50): the gather decoder
+// was slower than the scalar block kernel there. The fix is structural:
+// kernel choice is a per-width table built once per process, and a width
+// only gets a vector kernel if that kernel *measured* faster than the
+// scalar block kernel on this host at table-build time. No width can
+// regress below the block kernel again, on any machine, without the table
+// refusing the vector path.
+//
+// Build happens lazily on first use (thread-safe magic static), ~a
+// millisecond of one-time calibration: for every width with a v2 kernel,
+// both kernels sum a small packed buffer a few times and the best-of-N
+// times decide. Overrides:
+//   * SA_DISABLE_AVX2 != "0"      — scalar block kernels everywhere
+//     (the existing CI lane; checked via sa::HostCpuFeatures()).
+//   * SA_FORCE_KERNEL=block       — scalar block kernels everywhere.
+//   * SA_FORCE_KERNEL=avx2        — v2 kernels wherever they exist, even if
+//     they measured slower (benchmarking only).
+//   * SA_FORCE_KERNEL=auto / unset — measured selection (the default).
+#ifndef SA_SMART_KERNEL_TABLE_H_
+#define SA_SMART_KERNEL_TABLE_H_
+
+#include <cstdint>
+
+namespace sa::smart {
+
+enum class KernelKind : uint8_t {
+  kBlock,   // scalar block kernels (branch-free unrolled shift/mask decode)
+  kAvx2V2,  // AVX2 shift-network v2 (chunk_kernels_avx2.h)
+};
+
+const char* ToString(KernelKind kind);
+
+// Selected kernel set for one width. The function pointers bind the winning
+// flavour directly (SumRangeImpl vs SumRangeV2, UnpackUnrolledImpl vs the
+// v2 network), so dispatching callers pay one table load + indirect call.
+struct KernelOps {
+  uint64_t (*sum_range)(const uint64_t* replica, uint64_t begin, uint64_t end) = nullptr;
+  uint64_t (*sum2_range)(const uint64_t* r1, const uint64_t* r2, uint64_t begin,
+                         uint64_t end) = nullptr;
+  // Decodes one whole chunk into out[0..63] (out may be unaligned).
+  void (*unpack_chunk)(const uint64_t* replica, uint64_t chunk, uint64_t* out) = nullptr;
+  KernelKind kind = KernelKind::kBlock;
+};
+
+// The selected kernels for `bits` (1..64). First call builds the whole
+// table (every width) so selections are stable for the process lifetime.
+const KernelOps& KernelsFor(uint32_t bits);
+
+}  // namespace sa::smart
+
+#endif  // SA_SMART_KERNEL_TABLE_H_

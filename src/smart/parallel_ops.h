@@ -75,6 +75,44 @@ inline uint64_t ParallelSum2(rts::WorkerPool& pool, const SmartArray& a1, const 
   });
 }
 
+// Array-level face of the chunk-streaming decode seam: decodes elements
+// [begin, end) of `replica` into out[0 .. end-begin) through the selected
+// chunk kernel. Single runtime-width dispatch, then whole chunks stream
+// vectorized.
+inline void UnpackRange(const SmartArray& array, const uint64_t* replica, uint64_t begin,
+                        uint64_t end, uint64_t* out) {
+  SA_CHECK(begin <= end && end <= array.length());
+  CodecFor(array.bits()).unpack_range(replica, begin, end, out);
+}
+
+// Socket-0 replica convenience overload.
+inline void UnpackRange(const SmartArray& array, uint64_t begin, uint64_t end, uint64_t* out) {
+  UnpackRange(array, array.GetReplica(0), begin, end, out);
+}
+
+// Encode twin: packs in[0 .. end-begin) into elements [begin, end) of every
+// replica. Values must fit the array's width. Like ParallelFill, concurrent
+// callers must hand each worker a chunk-aligned range (kChunkAlignedGrain)
+// so no two writers share a word.
+inline void PackRange(SmartArray& array, uint64_t begin, uint64_t end, const uint64_t* in) {
+  SA_CHECK(begin <= end && end <= array.length());
+  const CodecOps& codec = CodecFor(array.bits());
+  for (int r = 0; r < array.num_replicas(); ++r) {
+    codec.pack_range(array.MutableReplica(r), begin, end, in);
+  }
+}
+
+// Parallel bulk fill from a materialized buffer: values[i] becomes
+// array[i]. The chunk-aligned grain keeps concurrent packers word-disjoint;
+// whole chunks go through the word-centric pack network rather than
+// per-element read-modify-write.
+inline void ParallelPack(rts::WorkerPool& pool, SmartArray& array, const uint64_t* values) {
+  rts::ParallelFor(pool, 0, array.length(), kChunkAlignedGrain,
+                   [&](int /*worker*/, uint64_t begin, uint64_t end) {
+                     PackRange(array, begin, end, values + begin);
+                   });
+}
+
 }  // namespace sa::smart
 
 #endif  // SA_SMART_PARALLEL_OPS_H_

@@ -52,25 +52,54 @@ std::unique_ptr<SmartArray> TryRestructure(rts::WorkerPool& pool, const SmartArr
   }
   const uint64_t width_check_mask = ~LowMask(target_bits);
 
-  std::atomic<bool> overflow{false};
-  WithBits(target_bits, [&](auto bits_const) {
-    constexpr uint32_t kBits = bits_const();
-    rts::ParallelFor(pool, 0, source.length(), kChunkAlignedGrain,
+  // Same-width fast path: the packed layouts are identical, so a rebuild
+  // that only changes placement is a straight word copy per replica — no
+  // decode, no width check (the source already fit).
+  if (target_bits == source.bits()) {
+    const uint64_t words = source.words_per_replica();
+    rts::ParallelFor(pool, 0, words, rts::kDefaultGrain,
                      [&](int worker, uint64_t b, uint64_t e) {
-                       const int socket = pool.worker_socket(worker);
-                       MapRange(source, b, e, socket, [&](uint64_t value, uint64_t i) {
-                         if (SA_UNLIKELY((value & width_check_mask) != 0)) {
-                           overflow.store(true, std::memory_order_relaxed);
-                           return;
-                         }
-                         for (int r = 0; r < target->num_replicas(); ++r) {
-                           BitCompressedArray<kBits>::InitImpl(target->MutableReplica(r), i,
-                                                               value);
-                         }
-                       });
+                       const uint64_t* src = source.GetReplica(pool.worker_socket(worker));
+                       for (int r = 0; r < target->num_replicas(); ++r) {
+                         uint64_t* dst = target->MutableReplica(r);
+                         std::copy(src + b, src + e, dst + b);
+                       }
                      });
-    return 0;
-  });
+    return target;
+  }
+
+  // Width change: chunk-parallel decode -> overflow check -> repack through
+  // the streaming seam. Each worker batch decodes kBatchElems elements into
+  // a stack buffer via the source's selected unpack kernel, OR-reduces them
+  // for the width check (branch-free; one compare per batch), then packs the
+  // batch into every target replica through the word-centric pack network —
+  // no per-value virtual Get and no per-element read-modify-write. Batches
+  // are chunk-aligned (kChunkAlignedGrain is a multiple of kBatchElems), so
+  // parallel packers never share a target word.
+  const CodecOps& src_codec = CodecFor(source.bits());
+  const CodecOps& dst_codec = CodecFor(target_bits);
+  std::atomic<bool> overflow{false};
+  rts::ParallelFor(
+      pool, 0, source.length(), kChunkAlignedGrain, [&](int worker, uint64_t b, uint64_t e) {
+        constexpr uint64_t kBatchElems = 16 * kChunkElems;
+        uint64_t buffer[kBatchElems];
+        const uint64_t* src = source.GetReplica(pool.worker_socket(worker));
+        for (uint64_t batch = b; batch < e; batch += kBatchElems) {
+          const uint64_t batch_end = std::min(e, batch + kBatchElems);
+          src_codec.unpack_range(src, batch, batch_end, buffer);
+          uint64_t any = 0;
+          for (uint64_t i = 0; i < batch_end - batch; ++i) {
+            any |= buffer[i];
+          }
+          if (SA_UNLIKELY((any & width_check_mask) != 0)) {
+            overflow.store(true, std::memory_order_relaxed);
+            return;
+          }
+          for (int r = 0; r < target->num_replicas(); ++r) {
+            dst_codec.pack_range(target->MutableReplica(r), batch, batch_end, buffer);
+          }
+        }
+      });
   if (overflow.load()) {
     return nullptr;
   }

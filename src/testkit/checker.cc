@@ -165,6 +165,46 @@ class Executor {
         }
         break;
       }
+      case OpKind::kUnpackRange: {
+        const uint64_t x = op.a % (len_ + 1);
+        const uint64_t y = op.b % (len_ + 1);
+        const uint64_t begin = std::min(x, y);
+        const uint64_t end = std::max(x, y);
+        std::vector<uint64_t> out(end - begin, ~uint64_t{0});
+        if (begin == end || !harness_->UnpackRange(begin, end, out.data())) {
+          break;  // empty range or variant has no bulk surface
+        }
+        for (uint64_t k = 0; k < out.size(); ++k) {
+          if (out[k] != model_.Get(begin + k)) {
+            Fail(i, Diff(("unpack-range a[" + std::to_string(begin + k) + "]").c_str(), out[k],
+                         model_.Get(begin + k)));
+            break;
+          }
+        }
+        break;
+      }
+      case OpKind::kPackRange: {
+        const uint64_t x = op.a % (len_ + 1);
+        const uint64_t y = op.b % (len_ + 1);
+        const uint64_t begin = std::min(x, y);
+        const uint64_t end = std::max(x, y);
+        if (begin == end) {
+          break;
+        }
+        // Deterministic in-width values derived from op.c, so shrinking
+        // reproduces the exact same bulk write.
+        std::vector<uint64_t> values(end - begin);
+        for (uint64_t k = 0; k < values.size(); ++k) {
+          values[k] = SplitMix64(op.c ^ (begin + k)) & model_.mask();
+        }
+        if (!harness_->PackRange(begin, end, values.data())) {
+          break;  // variant has no bulk surface; model untouched
+        }
+        for (uint64_t k = 0; k < values.size(); ++k) {
+          model_.Set(begin + k, values[k]);
+        }
+        break;
+      }
       case OpKind::kIterate: {
         const uint64_t start = idx;
         const uint64_t count = std::min<uint64_t>(op.b % 129, len_ - start);

@@ -67,17 +67,21 @@ Op OpSequenceGenerator::Next(const Scenario& scenario) {
   const uint64_t roll = rng_.Below(64);
   switch (scenario.variant) {
     case Variant::kPlain:
-      if (roll < 16) {
+      if (roll < 14) {
         op.kind = OpKind::kInit;
-      } else if (roll < 20) {
+      } else if (roll < 18) {
         op.kind = scenario.via_c_abi ? OpKind::kInit : OpKind::kInitAtomic;
-      } else if (roll < 30) {
+      } else if (roll < 26) {
         op.kind = OpKind::kGet;
-      } else if (roll < 38) {
+      } else if (roll < 32) {
         op.kind = OpKind::kGetCodec;
-      } else if (roll < 44) {
+      } else if (roll < 38) {
         op.kind = OpKind::kUnpack;
-      } else if (roll < 52) {
+      } else if (roll < 44) {
+        op.kind = OpKind::kUnpackRange;
+      } else if (roll < 48) {
+        op.kind = OpKind::kPackRange;
+      } else if (roll < 54) {
         op.kind = OpKind::kIterate;
       } else if (roll < 60) {
         op.kind = OpKind::kSumRange;

@@ -8,6 +8,7 @@
 #include "smart/dispatch.h"
 #include "smart/entry_points.h"
 #include "smart/iterator.h"
+#include "smart/parallel_ops.h"
 #include "smart/restructure.h"
 #include "smart/smart_array.h"
 #include "smart/synchronized_array.h"
@@ -81,6 +82,16 @@ class PlainHarness final : public Harness {
 
   bool Unpack(uint64_t chunk, uint64_t* out) override {
     array_->Unpack(chunk, array_->GetReplica(0), out);
+    return true;
+  }
+
+  bool UnpackRange(uint64_t begin, uint64_t end, uint64_t* out) override {
+    smart::UnpackRange(*array_, begin, end, out);
+    return true;
+  }
+
+  bool PackRange(uint64_t begin, uint64_t end, const uint64_t* in) override {
+    smart::PackRange(*array_, begin, end, in);
     return true;
   }
 
@@ -164,6 +175,16 @@ class CAbiPlainHarness final : public Harness {
 
   bool Unpack(uint64_t chunk, uint64_t* out) override {
     saArrayUnpack(handle_, chunk, out);
+    return true;
+  }
+
+  bool UnpackRange(uint64_t begin, uint64_t end, uint64_t* out) override {
+    saArrayUnpackRange(handle_, begin, end, out);
+    return true;
+  }
+
+  bool PackRange(uint64_t begin, uint64_t end, const uint64_t* in) override {
+    saArrayPackRange(handle_, begin, end, in);
     return true;
   }
 

@@ -69,6 +69,23 @@ class Harness {
     (void)out;
     return false;
   }
+  // Bulk decode of [begin, end) through the streaming seam (UnpackRange).
+  // False when the variant has no bulk surface (registry snapshots,
+  // synchronized arrays).
+  virtual bool UnpackRange(uint64_t begin, uint64_t end, uint64_t* out) {
+    (void)begin;
+    (void)end;
+    (void)out;
+    return false;
+  }
+  // Bulk encode twin (PackRange): writes in[0 .. end-begin) to [begin, end)
+  // of every replica. False when unsupported.
+  virtual bool PackRange(uint64_t begin, uint64_t end, const uint64_t* in) {
+    (void)begin;
+    (void)end;
+    (void)in;
+    return false;
+  }
   // Iterator scan of [start, start+count) into out. False when unsupported.
   virtual bool IterRead(uint64_t start, uint64_t count, uint64_t* out) {
     (void)start;

@@ -14,6 +14,10 @@ const char* ToString(OpKind kind) {
       return "get-codec";
     case OpKind::kUnpack:
       return "unpack";
+    case OpKind::kUnpackRange:
+      return "unpack-range";
+    case OpKind::kPackRange:
+      return "pack-range";
     case OpKind::kIterate:
       return "iterate";
     case OpKind::kSumRange:

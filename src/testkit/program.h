@@ -23,6 +23,10 @@ enum class OpKind : uint8_t {
   kGet,           // read a[a%len] via virtual dispatch, replica b%replicas
   kGetCodec,      // read a[a%len] via the bits-branched codec (*WithBits)
   kUnpack,        // decode chunk a%chunks, diff all 64 slots (zero padding)
+  kUnpackRange,   // bulk decode the sorted range (a,b) % (len+1) through the
+                  //   streaming seam, diff every element
+  kPackRange,     // bulk encode the sorted range (a,b) % (len+1) with the
+                  //   deterministic values SplitMix64(c ^ index) & mask
   kIterate,       // iterator reset at a%len, read min(b%129, len-start) elems
   kSumRange,      // block-kernel sum over the sorted range (a,b) % (len+1)
   kFetchAdd,      // synchronized only: previous value of a[a%len] += b

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_codec.json files and fail readably on regressions.
+
+Usage:
+  tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+  tools/bench_diff.py CANDIDATE.json --assert-only
+
+Timing mode (two files): for every (width, kernel) series present in both
+files, fail if the candidate's bytes/s dropped more than --threshold
+(default 10%) below the baseline. Series only present on one side are
+reported but not fatal (kernels legitimately appear/disappear across PRs,
+e.g. avx2-gather on a non-AVX2 machine).
+
+Assert-only mode (one file, for CI where timing is meaningless): checks
+structure, not speed — every width 1..64 has `block`, `selected`,
+`unpack-range`, and `pack-range` entries with positive throughput. No
+timing gates, so noisy shared runners cannot flake the job.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+REQUIRED_KERNELS = ("block", "selected", "unpack-range", "pack-range")
+
+
+def load(path):
+    """-> {(width, kernel): bytes_per_sec}"""
+    with open(path) as f:
+        entries = json.load(f)
+    series = {}
+    for e in entries:
+        series[(e["width"], e["kernel"])] = e["bytes_per_sec"]
+    return series
+
+
+def assert_only(path):
+    series = load(path)
+    problems = []
+    for width in range(1, 65):
+        for kernel in REQUIRED_KERNELS:
+            value = series.get((width, kernel))
+            if value is None:
+                problems.append(f"width {width}: missing '{kernel}' series")
+            elif not value > 0:
+                problems.append(f"width {width}: '{kernel}' has non-positive throughput {value}")
+    if problems:
+        print(f"bench_diff: {path} failed structural checks:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"bench_diff: {path} OK ({len(series)} series, widths 1..64 complete)")
+    return 0
+
+
+def gbps(value):
+    return f"{value / 1e9:.2f} GB/s"
+
+
+def diff(baseline_path, candidate_path, threshold):
+    baseline = load(baseline_path)
+    candidate = load(candidate_path)
+
+    regressions = []
+    improvements = []
+    for key in sorted(baseline.keys() & candidate.keys()):
+        old, new = baseline[key], candidate[key]
+        if old <= 0:
+            continue
+        ratio = new / old
+        if ratio < 1.0 - threshold:
+            regressions.append((key, old, new, ratio))
+        elif ratio > 1.0 + threshold:
+            improvements.append((key, old, new, ratio))
+
+    only_baseline = sorted(baseline.keys() - candidate.keys())
+    only_candidate = sorted(candidate.keys() - baseline.keys())
+
+    if improvements:
+        print(f"{len(improvements)} series improved >{threshold:.0%}:")
+        for (width, kernel), old, new, ratio in improvements:
+            print(f"  width {width:2d} {kernel:16s} {gbps(old)} -> {gbps(new)}  ({ratio:.2f}x)")
+    if only_baseline:
+        print(f"{len(only_baseline)} series only in baseline (not fatal): "
+              + ", ".join(f"{w}/{k}" for w, k in only_baseline[:8])
+              + ("..." if len(only_baseline) > 8 else ""))
+    if only_candidate:
+        print(f"{len(only_candidate)} series only in candidate (not fatal): "
+              + ", ".join(f"{w}/{k}" for w, k in only_candidate[:8])
+              + ("..." if len(only_candidate) > 8 else ""))
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} series regressed >{threshold:.0%} "
+              f"vs {baseline_path}:")
+        for (width, kernel), old, new, ratio in regressions:
+            print(f"  width {width:2d} {kernel:16s} {gbps(old)} -> {gbps(new)}  "
+                  f"({1.0 - ratio:.0%} slower)")
+        return 1
+
+    shared = len(baseline.keys() & candidate.keys())
+    print(f"\nbench_diff: OK — {shared} shared series within {threshold:.0%} of baseline")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="baseline JSON (or the only file with --assert-only)")
+    parser.add_argument("candidate", nargs="?", help="candidate JSON to compare against baseline")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fractional regression tolerance (default 0.10)")
+    parser.add_argument("--assert-only", action="store_true",
+                        help="structural checks on a single file, no timing comparison")
+    args = parser.parse_args()
+
+    if args.assert_only:
+        if args.candidate is not None:
+            parser.error("--assert-only takes exactly one file")
+        return assert_only(args.baseline)
+    if args.candidate is None:
+        parser.error("timing mode needs BASELINE and CANDIDATE (or use --assert-only)")
+    return diff(args.baseline, args.candidate, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
