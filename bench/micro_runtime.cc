@@ -16,11 +16,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 #include "common/bits.h"
 #include "common/random.h"
+#include "obs/entry_points.h"
 #include "rts/parallel_for.h"
 #include "runtime/registry.h"
 #include "smart/dispatch.h"
@@ -36,6 +38,12 @@ using sa::runtime::ArraySnapshot;
 
 constexpr uint64_t kScanElems = 1 << 20;
 constexpr uint32_t kBits = 13;
+
+// SA_BENCH_FAST=1 shrinks the measurement windows (CI smoke; timing is
+// structural there, not gated).
+int MeasureMs(int full_ms) {
+  return std::getenv("SA_BENCH_FAST") != nullptr ? 30 : full_ms;
+}
 
 std::vector<uint64_t> MakeOracle(uint64_t n, uint32_t bits) {
   std::vector<uint64_t> oracle(n);
@@ -251,14 +259,14 @@ RestructureStats MeasureRestructure(Env& env) {
                                       env.topo)
             ->length();
       },
-      200);
+      MeasureMs(200));
   stats.reference_sec = MeasureSecondsPerCall(
       [&] {
         return RestructureReference<kBits, kRestructureBits>(
                    env, *env.raw, sa::smart::PlacementSpec::Interleaved())
             ->length();
       },
-      200);
+      MeasureMs(200));
   // Placement-only rebuild (13 -> 13): the word-copy fast path.
   stats.same_width_sec = MeasureSecondsPerCall(
       [&] {
@@ -266,27 +274,57 @@ RestructureStats MeasureRestructure(Env& env) {
                                       sa::smart::PlacementSpec::Interleaved(), kBits, env.topo)
             ->length();
       },
-      200);
+      MeasureMs(200));
+  return stats;
+}
+
+// Telemetry tax on the hottest read path: the same snapshot scan with the
+// obs layer live vs runtime-disabled via saObsSetEnabled (one binary, so
+// the comparison isolates the instrumentation, not a recompile). The
+// acceptance bar is <= 2% — the scan counters are batched per Release, so
+// the per-element loop is untouched either way.
+struct ObsOverheadStats {
+  double enabled_sec = 0.0;
+  double disabled_sec = 0.0;
+  double overhead_pct = 0.0;
+};
+
+ObsOverheadStats MeasureObsOverhead(Env& env) {
+  ObsOverheadStats stats;
+  const auto scan = [&] {
+    ArraySnapshot snap = env.slot->Acquire();
+    return snap.SumRange(0, kScanElems);
+  };
+  const int prev = saObsGetEnabled();
+  saObsSetEnabled(1);
+  stats.enabled_sec = MeasureSecondsPerCall(scan, MeasureMs(200));
+  saObsSetEnabled(0);
+  stats.disabled_sec = MeasureSecondsPerCall(scan, MeasureMs(200));
+  saObsSetEnabled(prev);
+  stats.overhead_pct =
+      (stats.enabled_sec - stats.disabled_sec) / stats.disabled_sec * 100.0;
   return stats;
 }
 
 void WriteBenchJson(const char* path) {
   Env& env = Env::Get();
 
-  const double raw_sec = MeasureSecondsPerCall([&] { return RawScan(*env.raw); }, 200);
+  const double raw_sec =
+      MeasureSecondsPerCall([&] { return RawScan(*env.raw); }, MeasureMs(200));
   const double snap_sec = MeasureSecondsPerCall(
       [&] {
         ArraySnapshot snap = env.slot->Acquire();
         return snap.SumRange(0, kScanElems);
       },
-      200);
+      MeasureMs(200));
   const double overhead_pct = (snap_sec - raw_sec) / raw_sec * 100.0;
   const double acquire_sec = MeasureSecondsPerCall(
       [&] {
         ArraySnapshot snap = env.slot->Acquire();
         return snap.sequence();
       },
-      100);
+      MeasureMs(100));
+  const ObsOverheadStats obs = MeasureObsOverhead(env);
   const ReadableStats readable = MeasureTimeToReadable(env);
   const RestructureStats rebuild = MeasureRestructure(env);
 
@@ -317,15 +355,22 @@ void WriteBenchJson(const char* path) {
                rebuild.reference_sec / rebuild.bulk_sec);
   std::fprintf(f,
                "  {\"metric\": \"restructure_same_width\", \"elems\": %llu, \"bits\": %u, "
-               "\"word_copy_sec\": %.6e}\n",
+               "\"word_copy_sec\": %.6e},\n",
                static_cast<unsigned long long>(kScanElems), kBits, rebuild.same_width_sec);
+  std::fprintf(f,
+               "  {\"metric\": \"obs_scan_overhead\", \"elems\": %llu, \"bits\": %u, "
+               "\"compiled_in\": %d, \"enabled_scan_sec\": %.6e, \"disabled_scan_sec\": %.6e, "
+               "\"overhead_pct\": %.3f}\n",
+               static_cast<unsigned long long>(kScanElems), kBits, saObsCompiledIn(),
+               obs.enabled_sec, obs.disabled_sec, obs.overhead_pct);
   std::fprintf(f, "]\n");
   std::fclose(f);
   std::fprintf(stderr,
                "wrote %s (scan overhead %.2f%%, acquire %.0f ns, "
-               "worst time-to-readable %.0f ns, rebuild %.1f ms bulk vs %.1f ms per-value)\n",
+               "worst time-to-readable %.0f ns, rebuild %.1f ms bulk vs %.1f ms per-value, "
+               "obs tax %.2f%%)\n",
                path, overhead_pct, acquire_sec * 1e9, readable.max_ns,
-               rebuild.bulk_sec * 1e3, rebuild.reference_sec * 1e3);
+               rebuild.bulk_sec * 1e3, rebuild.reference_sec * 1e3, obs.overhead_pct);
 }
 
 }  // namespace

@@ -1,0 +1,93 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sa::log {
+
+namespace {
+
+Level ParseLevel(const char* s) {
+  if (s == nullptr || *s == '\0') {
+    return kOff;
+  }
+  if (std::strcmp(s, "off") == 0 || std::strcmp(s, "0") == 0) {
+    return kOff;
+  }
+  if (std::strcmp(s, "error") == 0 || std::strcmp(s, "1") == 0) {
+    return kError;
+  }
+  if (std::strcmp(s, "warn") == 0 || std::strcmp(s, "2") == 0) {
+    return kWarn;
+  }
+  if (std::strcmp(s, "info") == 0 || std::strcmp(s, "3") == 0) {
+    return kInfo;
+  }
+  if (std::strcmp(s, "debug") == 0 || std::strcmp(s, "4") == 0) {
+    return kDebug;
+  }
+  // Unknown values fall back to info so a typo still surfaces decisions.
+  return kInfo;
+}
+
+const char* LevelTag(Level level) {
+  switch (level) {
+    case kError:
+      return "E";
+    case kWarn:
+      return "W";
+    case kInfo:
+      return "I";
+    case kDebug:
+      return "D";
+    default:
+      return "?";
+  }
+}
+
+// -1 = not yet parsed.
+std::atomic<int> g_level{-1};
+
+}  // namespace
+
+Level GetLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    // Racing first-users parse the same env value; the store is idempotent.
+    level = ParseLevel(std::getenv("SA_LOG"));
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<Level>(level);
+}
+
+void SetLevelForTesting(Level level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void Write(Level level, const char* component, const char* fmt, ...) {
+  char line[512];
+  int n = std::snprintf(line, sizeof(line), "[sa] %s %s: ", LevelTag(level),
+                        component != nullptr ? component : "?");
+  if (n < 0) {
+    return;
+  }
+  size_t off = static_cast<size_t>(n) < sizeof(line) - 2
+                   ? static_cast<size_t>(n)
+                   : sizeof(line) - 2;
+  va_list args;
+  va_start(args, fmt);
+  n = std::vsnprintf(line + off, sizeof(line) - 1 - off, fmt, args);
+  va_end(args);
+  if (n > 0) {
+    off += static_cast<size_t>(n) < sizeof(line) - 1 - off
+               ? static_cast<size_t>(n)
+               : sizeof(line) - 2 - off;
+  }
+  line[off] = '\n';
+  line[off + 1] = '\0';
+  std::fputs(line, stderr);
+}
+
+}  // namespace sa::log

@@ -1,0 +1,49 @@
+#ifndef SA_COMMON_LOG_H_
+#define SA_COMMON_LOG_H_
+
+// Structured stderr logging, gated by the SA_LOG environment variable
+// (off | error | warn | info | debug, or 0..4; default off). Each message is
+// formatted into one line — "[sa] <level> <component>: <message>" — and
+// written with a single fputs so concurrent threads never interleave within
+// a line. Intended for rare control-plane events (adaptation decisions,
+// publish refusals), not hot paths: callers should guard expensive argument
+// computation with SA_LOG_ENABLED.
+
+#include <cstdarg>
+
+namespace sa::log {
+
+enum Level : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+// Parsed from SA_LOG once, on first use.
+Level GetLevel();
+
+inline bool Enabled(Level level) { return level <= GetLevel(); }
+
+// printf-style; component is a short subsystem tag like "daemon".
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void Write(Level level, const char* component, const char* fmt, ...);
+
+// Overrides the env-derived level (tests).
+void SetLevelForTesting(Level level);
+
+}  // namespace sa::log
+
+#define SA_LOG_ENABLED(level) ::sa::log::Enabled(::sa::log::level)
+#define SA_LOG(level, component, ...)                        \
+  do {                                                       \
+    if (SA_LOG_ENABLED(level)) {                             \
+      ::sa::log::Write(::sa::log::level, (component),        \
+                       __VA_ARGS__);                         \
+    }                                                        \
+  } while (0)
+
+#endif  // SA_COMMON_LOG_H_

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "obs/telemetry.h"
+
 namespace sa::interop {
 
 NativeRef BoundaryEnv::RegisterNativeArray(const uint64_t* data, uint64_t length) {
@@ -28,6 +30,7 @@ void BoundaryEnv::TransitionToNative() {
   vm_->set_thread_state(ThreadState::kInNative);
   std::atomic_thread_fence(std::memory_order_seq_cst);
   ++transitions_;
+  SA_OBS_COUNT(kFfiTransitions);
   vm_->count_boundary_crossing();
 }
 

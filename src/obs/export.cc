@@ -1,0 +1,104 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace sa::obs {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) {
+    out->append(buf, static_cast<size_t>(n) < sizeof(buf)
+                         ? static_cast<size_t>(n)
+                         : sizeof(buf) - 1);
+  }
+}
+
+void AppendCounterFamily(std::string* out, const char* name, uint64_t value) {
+  AppendF(out, "# TYPE %s counter\n%s %" PRIu64 "\n", name, name, value);
+}
+
+}  // namespace
+
+std::string PrometheusText() {
+  std::string out;
+  out.reserve(8192);
+  for (int i = 0; i < kCounterIdCount; ++i) {
+    const CounterId id = static_cast<CounterId>(i);
+    AppendCounterFamily(&out, CounterName(id), CounterValue(id));
+  }
+  AppendCounterFamily(&out, "sa_trace_events_total", TraceHead());
+  AppendCounterFamily(&out, "sa_trace_dropped_total", TraceDropped());
+  for (int i = 0; i < kGaugeIdCount; ++i) {
+    const GaugeId id = static_cast<GaugeId>(i);
+    AppendF(&out, "# TYPE %s gauge\n%s %" PRId64 "\n", GaugeName(id),
+            GaugeName(id), GaugeValue(id));
+  }
+  for (int i = 0; i < kHistogramIdCount; ++i) {
+    const HistogramId id = static_cast<HistogramId>(i);
+    const char* name = HistogramName(id);
+    const HistogramSnapshot snap = HistogramValue(id);
+    AppendF(&out, "# TYPE %s histogram\n", name);
+    uint64_t cumulative = 0;
+    for (int b = 0; b < kHistBuckets; ++b) {
+      cumulative += snap.buckets[b];
+      if (b == kHistBuckets - 1) {
+        AppendF(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name, cumulative);
+      } else if (b < 2) {
+        // Bucket 0 holds value 0; bucket 1 holds value 1.
+        AppendF(&out, "%s_bucket{le=\"%d\"} %" PRIu64 "\n", name, b, cumulative);
+      } else {
+        // Bucket b (2..63) holds bit_width==b values, upper bound 2^b - 1.
+        AppendF(&out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", name,
+                (uint64_t{1} << b) - 1, cumulative);
+      }
+    }
+    AppendF(&out, "%s_sum %" PRIu64 "\n", name, snap.sum);
+    AppendF(&out, "%s_count %" PRIu64 "\n", name, snap.count);
+  }
+  return out;
+}
+
+std::string JsonText() {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"enabled\":";
+  out += Enabled() ? "true" : "false";
+  out += ",\"compiled_in\":";
+  out += kCompiledIn ? "true" : "false";
+  out += ",\"counters\":{";
+  for (int i = 0; i < kCounterIdCount; ++i) {
+    const CounterId id = static_cast<CounterId>(i);
+    AppendF(&out, "%s\"%s\":%" PRIu64, i == 0 ? "" : ",", CounterName(id),
+            CounterValue(id));
+  }
+  out += "},\"gauges\":{";
+  for (int i = 0; i < kGaugeIdCount; ++i) {
+    const GaugeId id = static_cast<GaugeId>(i);
+    AppendF(&out, "%s\"%s\":%" PRId64, i == 0 ? "" : ",", GaugeName(id),
+            GaugeValue(id));
+  }
+  out += "},\"histograms\":{";
+  for (int i = 0; i < kHistogramIdCount; ++i) {
+    const HistogramId id = static_cast<HistogramId>(i);
+    const HistogramSnapshot snap = HistogramValue(id);
+    AppendF(&out, "%s\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 "}",
+            i == 0 ? "" : ",", HistogramName(id), snap.count, snap.sum);
+  }
+  AppendF(&out,
+          "},\"trace\":{\"events\":%" PRIu64 ",\"dropped\":%" PRIu64 "}}",
+          TraceHead(), TraceDropped());
+  return out;
+}
+
+}  // namespace sa::obs

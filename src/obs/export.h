@@ -1,0 +1,21 @@
+#ifndef SA_OBS_EXPORT_H_
+#define SA_OBS_EXPORT_H_
+
+#include <string>
+
+namespace sa::obs {
+
+// Prometheus text exposition format: every counter family (# TYPE ... counter
+// plus a _total sample), every gauge, every histogram as cumulative
+// power-of-two le-buckets with +Inf, _sum and _count, plus the trace-layer
+// meta counters (sa_trace_events_total / sa_trace_dropped_total).
+std::string PrometheusText();
+
+// The same aggregates as a single JSON object:
+// {"enabled":...,"counters":{...},"gauges":{...},
+//  "histograms":{name:{"count":...,"sum":...}},"trace":{...}}.
+std::string JsonText();
+
+}  // namespace sa::obs
+
+#endif  // SA_OBS_EXPORT_H_

@@ -1,0 +1,141 @@
+#include "obs/trace.h"
+
+#include <cstring>
+
+namespace sa::obs {
+
+namespace {
+
+// Cell protocol: a writer claiming sequence s stores ready=0 (cell torn),
+// then the 10 payload words, then ready=s+1 with release. A drainer accepts
+// a cell only if ready reads s+1 both before and after copying the words and
+// the copied seq word equals s. Every store/load is atomic, so concurrent
+// emitters lapping a slow drainer corrupt nothing - the drainer just counts
+// the cell as dropped.
+struct Cell {
+  std::atomic<uint64_t> ready{0};
+  std::atomic<uint64_t> words[kTraceWords];
+};
+
+Cell g_ring[kTraceCapacity];
+std::atomic<uint64_t> g_seq{0};
+std::atomic<uint64_t> g_dropped{0};
+
+constexpr uint64_t kMask = kTraceCapacity - 1;
+
+}  // namespace
+
+void EmitTrace(TraceKind kind, const char* slot, uint64_t a, uint64_t b,
+               uint64_t c, uint64_t d) {
+  if (!Enabled()) {
+    return;
+  }
+  TraceEvent ev{};
+  ev.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  ev.ns = NowNs();
+  ev.kind = kind;
+  ev.shard = static_cast<uint32_t>(internal::ThreadShard());
+  if (slot != nullptr) {
+    std::strncpy(ev.slot, slot, sizeof(ev.slot) - 1);
+  }
+  ev.a = a;
+  ev.b = b;
+  ev.c = c;
+  ev.d = d;
+
+  uint64_t words[kTraceWords];
+  std::memcpy(words, &ev, sizeof(ev));
+
+  Cell& cell = g_ring[ev.seq & kMask];
+  cell.ready.store(0, std::memory_order_release);
+  for (size_t i = 0; i < kTraceWords; ++i) {
+    cell.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  cell.ready.store(ev.seq + 1, std::memory_order_release);
+}
+
+size_t TraceDrain(uint64_t* cursor, TraceEvent* out, size_t cap) {
+  const uint64_t head = g_seq.load(std::memory_order_acquire);
+  uint64_t s = *cursor;
+  if (head > kTraceCapacity && s < head - kTraceCapacity) {
+    // Wrapped past this cursor before it got here.
+    g_dropped.fetch_add((head - kTraceCapacity) - s, std::memory_order_relaxed);
+    s = head - kTraceCapacity;
+  }
+
+  size_t copied = 0;
+  while (s < head && copied < cap) {
+    Cell& cell = g_ring[s & kMask];
+    const uint64_t r1 = cell.ready.load(std::memory_order_acquire);
+    if (r1 < s + 1) {
+      // The writer of s (or of a later lap) is mid-publish; retry next drain.
+      break;
+    }
+    if (r1 > s + 1) {
+      // Overwritten by a later lap before we reached it.
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+      ++s;
+      continue;
+    }
+    uint64_t words[kTraceWords];
+    for (size_t i = 0; i < kTraceWords; ++i) {
+      words[i] = cell.words[i].load(std::memory_order_acquire);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const uint64_t r2 = cell.ready.load(std::memory_order_acquire);
+    TraceEvent ev;
+    std::memcpy(&ev, words, sizeof(ev));
+    if (r2 != s + 1 || ev.seq != s) {
+      // Torn by a concurrent overwrite mid-copy.
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+      ++s;
+      continue;
+    }
+    out[copied++] = ev;
+    ++s;
+  }
+  *cursor = s;
+  return copied;
+}
+
+uint64_t TraceHead() { return g_seq.load(std::memory_order_acquire); }
+
+uint64_t TraceDropped() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+const char* TraceKindName(uint32_t kind) {
+  switch (kind) {
+    case kTraceNone:
+      return "none";
+    case kTraceSampleDrain:
+      return "sample_drain";
+    case kTraceDecision:
+      return "decision";
+    case kTraceRestructureBegin:
+      return "restructure_begin";
+    case kTraceRestructureEnd:
+      return "restructure_end";
+    case kTracePublish:
+      return "publish";
+    case kTraceEpochAdvance:
+      return "epoch_advance";
+    case kTraceEpochReclaim:
+      return "epoch_reclaim";
+    default:
+      return "unknown";
+  }
+}
+
+void TraceResetForTesting() {
+  for (Cell& cell : g_ring) {
+    cell.ready.store(0, std::memory_order_relaxed);
+    for (auto& w : cell.words) {
+      w.store(0, std::memory_order_relaxed);
+    }
+  }
+  g_seq.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sa::obs

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "obs/telemetry.h"
 #include "rts/worker_pool.h"
 
 namespace sa::rts {
@@ -49,6 +50,7 @@ void ParallelFor(WorkerPool& pool, uint64_t begin, uint64_t end, uint64_t grain,
   if (begin >= end) {
     return;
   }
+  SA_OBS_COUNT(kParallelForLoops);
   const int workers = pool.num_workers();
   const int sockets = pool.num_sockets();
 
@@ -94,6 +96,7 @@ void ParallelFor(WorkerPool& pool, uint64_t begin, uint64_t end, uint64_t grain,
         return;
       }
       const uint64_t e = std::min(b + grain, region_end);
+      SA_OBS_COUNT(kParallelForBatches);
       body(worker, b, e);
       if (stats != nullptr) {
         ++batch_counts[worker];
@@ -113,9 +116,11 @@ void ParallelFor(WorkerPool& pool, uint64_t begin, uint64_t end, uint64_t grain,
         // Steal from the other sockets' regions once home is exhausted.
         for (int off = 1; off < sockets; ++off) {
           const int victim = (home + off) % sockets;
-          if (stats != nullptr &&
-              cursors[victim].load(std::memory_order_relaxed) < range_begin[victim + 1]) {
-            stolen.fetch_add(1, std::memory_order_relaxed);
+          if (cursors[victim].load(std::memory_order_relaxed) < range_begin[victim + 1]) {
+            SA_OBS_COUNT(kParallelForSteals);
+            if (stats != nullptr) {
+              stolen.fetch_add(1, std::memory_order_relaxed);
+            }
           }
           drain(worker, victim);
         }

@@ -1,13 +1,36 @@
 #include "runtime/daemon.h"
 
 #include <algorithm>
+#include <cinttypes>
 
 #include "adapt/estimator.h"
 #include "common/bits.h"
+#include "common/log.h"
 #include "common/macros.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "smart/restructure.h"
 
 namespace sa::runtime {
+
+namespace {
+
+// Trace encoding of one configuration: bits<<16 | placement kind<<8 | socket.
+uint64_t PackConfig(const smart::PlacementSpec& placement, uint32_t bits) {
+  return (uint64_t{bits} << 16) | (static_cast<uint64_t>(placement.kind) << 8) |
+         static_cast<uint64_t>(placement.socket & 0xff);
+}
+
+// Predicted-win ratio as parts-per-million above break-even (clamped at 0).
+uint64_t WinPpm(double chosen_speedup, double current_speedup) {
+  if (current_speedup <= 0.0) {
+    return 0;
+  }
+  const double ratio = chosen_speedup / current_speedup - 1.0;
+  return ratio <= 0.0 ? 0 : static_cast<uint64_t>(ratio * 1e6);
+}
+
+}  // namespace
 
 AdaptationDaemon::AdaptationDaemon(ArrayRegistry& registry, rts::WorkerPool& pool,
                                    adapt::MachineCaps machine, adapt::ArrayCosts costs,
@@ -29,6 +52,9 @@ void AdaptationDaemon::Start() {
     stop_ = false;
   }
   thread_ = std::thread([this] { ThreadMain(); });
+  SA_OBS_GAUGE_ADD(kDaemonRunning, 1);
+  SA_LOG(kInfo, "daemon", "started (interval=%lld ms)",
+         static_cast<long long>(options_.interval.count()));
 }
 
 void AdaptationDaemon::Stop() {
@@ -41,6 +67,9 @@ void AdaptationDaemon::Stop() {
   }
   cv_.notify_all();
   thread_.join();
+  SA_OBS_GAUGE_ADD(kDaemonRunning, -1);
+  SA_LOG(kInfo, "daemon", "stopped after %" PRIu64 " passes",
+         passes_.load(std::memory_order_relaxed));
 }
 
 void AdaptationDaemon::ThreadMain() {
@@ -56,11 +85,31 @@ void AdaptationDaemon::ThreadMain() {
 }
 
 int AdaptationDaemon::RunOnce() {
+  SA_OBS_SCOPED_NS(kDaemonPassNs);
+  SA_OBS_COUNT(kDaemonPasses);
   int restructured = 0;
   for (ArraySlot* slot : registry_->slots()) {
     const SlotSample sample = slot->DrainSample();
-    if (sample.reads() + sample.writes < options_.min_sampled_accesses ||
-        sample.seconds <= 0.0) {
+    const uint64_t accesses = sample.reads() + sample.writes;
+    if (accesses == 0) {
+      // Idle slot: nothing was sampled, nothing is dropped.
+      continue;
+    }
+    const bool thin =
+        accesses < options_.min_sampled_accesses || sample.seconds <= 0.0;
+    SA_OBS_TRACE(kTraceSampleDrain, slot->name().c_str(), sample.reads(),
+                 sample.writes, static_cast<uint64_t>(sample.seconds * 1e6),
+                 thin ? 1 : 0);
+    if (thin) {
+      // The drained counters are consumed but lead to no decision — the
+      // sample is dropped, and before the telemetry layer that happened
+      // silently. See also the race drops counted in AdaptSlot.
+      SA_OBS_COUNT(kDaemonSampleDrops);
+      SA_LOG(kDebug, "daemon",
+             "slot=%s sample dropped (thin): accesses=%" PRIu64 " min=%" PRIu64
+             " seconds=%.4f",
+             slot->name().c_str(), accesses, options_.min_sampled_accesses,
+             sample.seconds);
       continue;
     }
     const adapt::WorkloadCounters counters =
@@ -98,7 +147,15 @@ bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters&
   const adapt::SelectorResult result = adapt::ChooseConfiguration(inputs);
 
   const adapt::Configuration current{source.placement(), source.bits() < 64};
+  const uint32_t new_bits = result.chosen.compressed ? data_bits : 64;
+  const uint64_t packed_current = PackConfig(source.placement(), source.bits());
+  const uint64_t packed_chosen = PackConfig(result.chosen.placement, new_bits);
+  const char* slot_name = slot.name().c_str();
+
   if (result.chosen == current) {
+    SA_OBS_COUNT(kDaemonRejectSame);
+    SA_OBS_TRACE(kTraceDecision, slot_name, packed_current, packed_chosen,
+                 obs::kDecisionRejectSameConfig);
     registry_->epoch().Unpin(pin);
     return false;
   }
@@ -109,26 +166,57 @@ bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters&
                                                               current, inputs.compression_ratio);
   const double chosen_speedup = adapt::EstimateConfigSpeedup(
       machine_, counters, costs_, result.chosen, inputs.compression_ratio);
+  const uint64_t win_ppm = WinPpm(chosen_speedup, current_speedup);
   if (chosen_speedup < current_speedup * (1.0 + options_.min_predicted_win)) {
+    SA_OBS_COUNT(kDaemonRejectMargin);
+    SA_OBS_TRACE(kTraceDecision, slot_name, packed_current, packed_chosen,
+                 obs::kDecisionRejectMargin, win_ppm);
+    SA_LOG(kDebug, "daemon",
+           "slot=%s decision=reject-margin %s/%ub -> %s/%ub win=%.4f margin=%.4f",
+           slot_name, smart::ToString(source.placement().kind), source.bits(),
+           smart::ToString(result.chosen.placement.kind), new_bits,
+           chosen_speedup / std::max(current_speedup, 1e-12) - 1.0,
+           options_.min_predicted_win);
     registry_->epoch().Unpin(pin);
     return false;
   }
 
-  const uint32_t new_bits = result.chosen.compressed ? data_bits : 64;
+  SA_OBS_TRACE(kTraceDecision, slot_name, packed_current, packed_chosen,
+               obs::kDecisionAccepted, win_ppm);
+  SA_LOG(kInfo, "daemon",
+         "slot=%s decision=accept %s/%ub -> %s/%ub win=%.4f reads=%.0f/s "
+         "random=%.3f",
+         slot_name, smart::ToString(source.placement().kind), source.bits(),
+         smart::ToString(result.chosen.placement.kind), new_bits,
+         chosen_speedup / std::max(current_speedup, 1e-12) - 1.0,
+         counters.accesses_per_second, counters.random_fraction);
+
+  SA_OBS_TRACE(kTraceRestructureBegin, slot_name, packed_current, packed_chosen);
+  smart::RestructureStats stats;
   auto rebuilt =
       smart::TryRestructure(*pool_, source, result.chosen.placement, new_bits,
-                            registry_->topology());
+                            registry_->topology(), &stats);
+  SA_OBS_TRACE(kTraceRestructureEnd, slot_name, stats.wall_ns, stats.unpack_ns,
+               stats.pack_ns, rebuilt != nullptr ? 1 : 0);
   registry_->epoch().Unpin(pin);
   if (rebuilt == nullptr) {
     // A racing write stored a value wider than the target width mid-scan;
-    // the next cycle re-measures and retries.
+    // the sampled interval produced no adaptation, so its sample is lost.
+    // The next cycle re-measures and retries.
+    SA_OBS_COUNT(kDaemonSampleDrops);
+    SA_LOG(kWarn, "daemon", "slot=%s restructure aborted (width overflow race)",
+           slot_name);
     return false;
   }
   if (!registry_->Publish(slot, std::move(rebuilt), writes_before)) {
-    // Writes raced the rebuild; drop it and retry next cycle.
+    // Writes raced the rebuild; drop it (and the sample) and retry next
+    // cycle.
+    SA_OBS_COUNT(kDaemonSampleDrops);
+    SA_LOG(kWarn, "daemon", "slot=%s publish refused (lost-write race)", slot_name);
     return false;
   }
   adaptations_.fetch_add(1, std::memory_order_relaxed);
+  SA_OBS_COUNT(kDaemonRestructures);
   return true;
 }
 

@@ -1,5 +1,8 @@
 #include "runtime/epoch.h"
 
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
 namespace sa::runtime {
 
 EpochManager::~EpochManager() {
@@ -54,6 +57,7 @@ void EpochManager::Unpin(PinHandle handle) {
 }
 
 void EpochManager::Retire(std::function<void()> deleter) {
+  SA_OBS_GAUGE_ADD(kRetiredVersions, 1);
   std::lock_guard<std::mutex> lock(retire_mu_);
   // Reading the epoch after the caller's pointer swap is conservative: the
   // recorded epoch can only be >= the epoch the swap was visible at, which
@@ -72,12 +76,15 @@ bool EpochManager::AllPinnedAt(uint64_t epoch) const {
 }
 
 size_t EpochManager::TryReclaim() {
+  SA_OBS_SCOPED_NS(kEpochReclaimNs);
   std::lock_guard<std::mutex> lock(retire_mu_);
   // Advance at most one step per call: readers pinned at E block E -> E+1,
   // so repeated calls make progress exactly as fast as readers drain.
   const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
   if (AllPinnedAt(e)) {
     global_epoch_.store(e + 1, std::memory_order_seq_cst);
+    SA_OBS_COUNT(kEpochAdvances);
+    SA_OBS_TRACE(kTraceEpochAdvance, nullptr, e + 1);
   }
   const uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
 
@@ -92,6 +99,11 @@ size_t EpochManager::TryReclaim() {
     }
   }
   retired_.resize(kept);
+  if (freed > 0) {
+    SA_OBS_COUNT_N(kEpochReclaimed, freed);
+    SA_OBS_GAUGE_ADD(kRetiredVersions, -static_cast<int64_t>(freed));
+    SA_OBS_TRACE(kTraceEpochReclaim, nullptr, freed, now);
+  }
   return freed;
 }
 

@@ -4,6 +4,8 @@
 
 #include "common/bits.h"
 #include "common/macros.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace sa::runtime {
 namespace {
@@ -68,6 +70,7 @@ uint64_t ArraySnapshot::SumRange(uint64_t begin, uint64_t end) {
   SA_CHECK(begin <= end && end <= length());
   local_sequential_ += end - begin;
   prev_index_plus_one_ = end;
+  SA_OBS_COUNT_N(kSnapshotScannedElems, end - begin);
   return codec_->sum_range(replica_, begin, end);
 }
 
@@ -75,6 +78,9 @@ void ArraySnapshot::Release() {
   if (slot_ == nullptr) {
     return;
   }
+  // Batched on release, so per-element reads never touch a shared counter.
+  SA_OBS_COUNT_N(kSnapshotReads, local_sequential_ + local_random_);
+  SA_OBS_GAUGE_ADD(kLiveSnapshots, -1);
   slot_->FlushSnapshotCounters(local_sequential_, local_random_);
   slot_->epoch_->Unpin(pin_);
   slot_ = nullptr;
@@ -89,6 +95,8 @@ ArraySlot::ArraySlot(std::string name, uint64_t length, EpochManager* epoch)
       last_drain_(std::chrono::steady_clock::now()) {}
 
 ArraySnapshot ArraySlot::Acquire() {
+  SA_OBS_COUNT(kSnapshotAcquires);
+  SA_OBS_GAUGE_ADD(kLiveSnapshots, 1);
   const EpochManager::PinHandle pin = epoch_->Pin();
   // The pin happens-before this load: the version read here cannot be freed
   // until the pin is released (it can be *retired* concurrently, which is
@@ -99,6 +107,7 @@ ArraySnapshot ArraySlot::Acquire() {
 
 void ArraySlot::Write(uint64_t index, uint64_t value) {
   SA_CHECK(index < length_);
+  SA_OBS_COUNT(kSlotWrites);
   std::lock_guard<std::mutex> lock(write_mu_);
   // Holding write_mu_ keeps this version current (Publish takes the same
   // mutex), so no epoch pin is needed here.
@@ -177,6 +186,7 @@ ArraySlot* ArrayRegistry::Create(const std::string& name, uint64_t length,
   slot->current_.store(version.release(), std::memory_order_release);
   ArraySlot* raw = slot.get();
   slots_.emplace(name, std::move(slot));
+  SA_OBS_GAUGE_ADD(kRegistrySlots, 1);
   return raw;
 }
 
@@ -215,14 +225,19 @@ bool ArrayRegistry::Publish(ArraySlot& slot, std::unique_ptr<smart::SmartArray> 
     // A write landed after the rebuild read its input; the rebuilt storage
     // may miss it. Refuse — the daemon rebuilds from fresh contents on its
     // next cycle.
+    SA_OBS_COUNT(kPublishLostWrite);
+    SA_OBS_TRACE(kTracePublish, slot.name().c_str(), 0, /*ok=*/0);
     return false;
   }
   ArrayVersion* old = slot.current_.load(std::memory_order_acquire);
   auto next = std::make_unique<ArrayVersion>();
   next->storage = std::move(storage);
   next->sequence = old->sequence + 1;
+  const uint64_t sequence = next->sequence;
   slot.current_.store(next.release(), std::memory_order_seq_cst);
   epoch_.Retire([old] { delete old; });
+  SA_OBS_COUNT(kPublishes);
+  SA_OBS_TRACE(kTracePublish, slot.name().c_str(), sequence, /*ok=*/1);
   return true;
 }
 

@@ -24,6 +24,7 @@
 #include "common/bits.h"
 #include "common/cpu_features.h"
 #include "common/macros.h"
+#include "obs/telemetry.h"
 #include "smart/chunk_kernels_avx2.h"
 #include "smart/kernel_table.h"
 #include "smart/smart_array.h"
@@ -397,6 +398,8 @@ class BitCompressedArray final : public SmartArray {
   static void UnpackRange(const uint64_t* replica, uint64_t begin, uint64_t end,
                           uint64_t* out) {
     SA_DCHECK(begin <= end);
+    SA_OBS_COUNT(kUnpackRangeCalls);
+    SA_OBS_COUNT_N(kUnpackRangeBytes, (end - begin) * sizeof(uint64_t));
     const auto unpack_chunk = KernelsFor(BITS).unpack_chunk;
     uint64_t i = begin;
     const uint64_t head_end = std::min(end, AlignUp(begin, kChunkElems));
@@ -418,6 +421,8 @@ class BitCompressedArray final : public SmartArray {
   // like ParallelFill batches.
   static void PackRange(uint64_t* replica, uint64_t begin, uint64_t end, const uint64_t* in) {
     SA_DCHECK(begin <= end);
+    SA_OBS_COUNT(kPackRangeCalls);
+    SA_OBS_COUNT_N(kPackRangeBytes, (end - begin) * sizeof(uint64_t));
     uint64_t i = begin;
     const uint64_t head_end = std::min(end, AlignUp(begin, kChunkElems));
     for (; i < head_end; ++i) {

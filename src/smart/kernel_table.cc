@@ -15,6 +15,7 @@
 #include "common/cpu_features.h"
 #include "common/macros.h"
 #include "common/random.h"
+#include "obs/telemetry.h"
 #include "smart/bit_compressed_array.h"
 
 namespace sa::smart {
@@ -166,8 +167,28 @@ const char* ToString(KernelKind kind) {
   return "unknown";
 }
 
+namespace {
+
+// Records how calibration resolved each width, once per process.
+const Table& CalibratedTable() {
+  static const Table table = [] {
+    Table t = BuildTable();
+    for (uint32_t bits = 1; bits <= 64; ++bits) {
+      if (t.ops[bits].kind == KernelKind::kAvx2V2) {
+        SA_OBS_COUNT(kKernelSelectV2);
+      } else {
+        SA_OBS_COUNT(kKernelSelectBlock);
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
 const KernelOps& KernelsFor(uint32_t bits) {
-  static const Table table = BuildTable();
+  static const Table& table = CalibratedTable();
   SA_DCHECK(bits >= 1 && bits <= 64);
   return table.ops[bits];
 }

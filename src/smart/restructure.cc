@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/bits.h"
+#include "obs/telemetry.h"
 #include "rts/parallel_for.h"
 #include "smart/dispatch.h"
 #include "smart/map_api.h"
@@ -41,7 +42,36 @@ std::unique_ptr<SmartArray> Restructure(rts::WorkerPool& pool, const SmartArray&
 
 std::unique_ptr<SmartArray> TryRestructure(rts::WorkerPool& pool, const SmartArray& source,
                                            PlacementSpec placement, uint32_t bits,
-                                           const platform::Topology& topology) {
+                                           const platform::Topology& topology,
+                                           RestructureStats* stats) {
+  // Timing is collected when the caller wants the breakdown or the telemetry
+  // layer is live; otherwise the rebuild runs clock-free.
+  const bool timed = stats != nullptr || obs::Enabled();
+  const uint64_t wall_start = timed ? obs::NowNs() : 0;
+  std::atomic<uint64_t> unpack_ns{0};
+  std::atomic<uint64_t> pack_ns{0};
+  const auto finish = [&](bool same_width, int replicas) {
+    if (!timed) {
+      return;
+    }
+    const uint64_t wall = obs::NowNs() - wall_start;
+    const uint64_t unpack = unpack_ns.load(std::memory_order_relaxed);
+    const uint64_t pack = pack_ns.load(std::memory_order_relaxed);
+    if (stats != nullptr) {
+      stats->wall_ns = wall;
+      stats->unpack_ns = unpack;
+      stats->pack_ns = pack;
+      stats->replicas = replicas;
+      stats->same_width = same_width;
+    }
+    SA_OBS_HIST(kRestructureWallNs, wall);
+    if (!same_width) {
+      SA_OBS_HIST(kRestructureUnpackNs, unpack);
+      SA_OBS_HIST(kRestructurePackNs, pack);
+    }
+  };
+
+  SA_OBS_COUNT(kRestructures);
   const uint32_t target_bits = bits == 0 ? source.bits() : bits;
   // Non-aborting allocation: an injected (or future real) OOM during a
   // rebuild is a retryable outcome for the adaptation daemon, exactly like
@@ -65,6 +95,7 @@ std::unique_ptr<SmartArray> TryRestructure(rts::WorkerPool& pool, const SmartArr
                          std::copy(src + b, src + e, dst + b);
                        }
                      });
+    finish(/*same_width=*/true, target->num_replicas());
     return target;
   }
 
@@ -84,23 +115,38 @@ std::unique_ptr<SmartArray> TryRestructure(rts::WorkerPool& pool, const SmartArr
         constexpr uint64_t kBatchElems = 16 * kChunkElems;
         uint64_t buffer[kBatchElems];
         const uint64_t* src = source.GetReplica(pool.worker_socket(worker));
+        // Batch-granular so the clock reads amortize over 1k elements.
+        uint64_t local_unpack_ns = 0;
+        uint64_t local_pack_ns = 0;
         for (uint64_t batch = b; batch < e; batch += kBatchElems) {
           const uint64_t batch_end = std::min(e, batch + kBatchElems);
+          const uint64_t t0 = timed ? obs::NowNs() : 0;
           src_codec.unpack_range(src, batch, batch_end, buffer);
+          const uint64_t t1 = timed ? obs::NowNs() : 0;
+          local_unpack_ns += t1 - t0;
           uint64_t any = 0;
           for (uint64_t i = 0; i < batch_end - batch; ++i) {
             any |= buffer[i];
           }
           if (SA_UNLIKELY((any & width_check_mask) != 0)) {
             overflow.store(true, std::memory_order_relaxed);
-            return;
+            break;
           }
           for (int r = 0; r < target->num_replicas(); ++r) {
             dst_codec.pack_range(target->MutableReplica(r), batch, batch_end, buffer);
           }
+          if (timed) {
+            local_pack_ns += obs::NowNs() - t1;
+          }
+        }
+        if (timed) {
+          unpack_ns.fetch_add(local_unpack_ns, std::memory_order_relaxed);
+          pack_ns.fetch_add(local_pack_ns, std::memory_order_relaxed);
         }
       });
+  finish(/*same_width=*/false, target->num_replicas());
   if (overflow.load()) {
+    SA_OBS_COUNT(kRestructureOverflowAborts);
     return nullptr;
   }
   return target;

@@ -12,6 +12,18 @@
 
 namespace sa::smart {
 
+// Optional timing breakdown of one rebuild, for the telemetry layer and the
+// daemon's trace spans. unpack/pack nanoseconds are summed across worker
+// batches (so they can exceed wall_ns on a multi-worker pool); both stay 0
+// on the same-width word-copy fast path.
+struct RestructureStats {
+  uint64_t wall_ns = 0;
+  uint64_t unpack_ns = 0;
+  uint64_t pack_ns = 0;
+  int replicas = 0;
+  bool same_width = false;
+};
+
 // Returns a new array with `source`'s contents under (placement, bits).
 // `bits` must be wide enough for every stored value; pass 0 to keep the
 // source width. Aborts if a value does not fit the requested width.
@@ -22,10 +34,12 @@ std::unique_ptr<SmartArray> Restructure(rts::WorkerPool& pool, const SmartArray&
 // Non-aborting variant: returns nullptr when a stored value does not fit
 // `bits`. The adaptation daemon narrows arrays that concurrent writers may
 // still be widening, so overflow there is an expected outcome to retry
-// from, not a caller bug.
+// from, not a caller bug. `stats`, when non-null, receives the timing
+// breakdown (filled on success and on overflow aborts alike).
 std::unique_ptr<SmartArray> TryRestructure(rts::WorkerPool& pool, const SmartArray& source,
                                            PlacementSpec placement, uint32_t bits,
-                                           const platform::Topology& topology);
+                                           const platform::Topology& topology,
+                                           RestructureStats* stats = nullptr);
 
 // Narrowest width that holds every element of `array` (a parallel max scan;
 // what "compress with the least number of bits required" needs, §5.2).

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <thread>
 #include <vector>
 
 #include "common/random.h"
+#include "obs/entry_points.h"
 #include "platform/fault_injection.h"
 #include "runtime/registry.h"
 #include "testkit/generator.h"
@@ -311,6 +313,27 @@ class Executor {
       case OpKind::kRestructure:
         StepRestructure(i, op);
         break;
+      case OpKind::kObsSnapshot: {
+        // Counters are cumulative across shards; whatever this program (or a
+        // concurrent test in the same process) does, an aggregated counter
+        // read must never be smaller than an earlier read.
+        const int total = saObsSnapshot(nullptr, 0);
+        std::vector<SaObsMetric> now(static_cast<size_t>(total));
+        saObsSnapshot(now.data(), total);
+        for (const SaObsMetric& m : now) {
+          if (m.kind != SA_OBS_METRIC_COUNTER) {
+            continue;  // gauges legitimately go down
+          }
+          const auto it = last_obs_counters_.find(m.name);
+          if (it != last_obs_counters_.end() && m.value < it->second) {
+            Fail(i, std::string("telemetry counter ") + m.name + " went backwards: " +
+                        std::to_string(it->second) + " -> " + std::to_string(m.value));
+            break;
+          }
+          last_obs_counters_[m.name] = m.value;
+        }
+        break;
+      }
     }
   }
 
@@ -464,6 +487,7 @@ class Executor {
   std::unique_ptr<Harness> harness_;
   ArrayModel model_;
   RunResult result_;
+  std::map<std::string, uint64_t> last_obs_counters_;
 };
 
 }  // namespace

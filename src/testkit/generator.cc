@@ -60,6 +60,13 @@ Op OpSequenceGenerator::Next(const Scenario& scenario) {
   op.b = ValueParam();
   op.c = rng_();
 
+  // Every variant occasionally snapshots the telemetry counters (~1/32):
+  // the checker asserts they never go backwards, whatever ops surround it.
+  if (rng_.Below(32) == 0) {
+    op.kind = OpKind::kObsSnapshot;
+    return op;
+  }
+
   // Weighted kind table per variant. Reads dominate (the paper's workloads
   // are read-mostly analytics); restructure is rare (~1/16) so programs keep
   // a stable width long enough for the read paths to bite, but common enough

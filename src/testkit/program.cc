@@ -34,6 +34,8 @@ const char* ToString(OpKind kind) {
       return "snapshot-stale";
     case OpKind::kRestructure:
       return "restructure";
+    case OpKind::kObsSnapshot:
+      return "obs-snapshot";
   }
   return "?";
 }

@@ -36,6 +36,8 @@ enum class OpKind : uint8_t {
   kSnapshotStale, // registry only: pin, write through slot, re-read the old
                   //   value through the still-pinned snapshot
   kRestructure,   // rebuild under placement a%4 / width derived from c%3
+  kObsSnapshot,   // saObsSnapshot: every telemetry counter must be monotonic
+                  //   vs the previous kObsSnapshot in this program
 };
 
 const char* ToString(OpKind kind);

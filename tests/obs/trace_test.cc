@@ -1,0 +1,191 @@
+// Trace ring: event round-trips, cursor advance, wraparound overwrite
+// accounting, kind names, and a concurrent emit/drain torture run (the TSan
+// witness for the all-atomic cell protocol).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace sa::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    TraceResetForTesting();
+  }
+  void TearDown() override {
+    SetEnabled(true);
+    TraceResetForTesting();
+  }
+};
+
+TEST_F(TraceTest, EventsRoundTripThroughDrain) {
+  EmitTrace(kTraceSampleDrain, "ranks", 100, 20, 3'000'000, 0);
+  EmitTrace(kTraceDecision, "ranks", 0x400302, 0x0a0300, 0, 125'000);
+  EmitTrace(kTraceEpochAdvance, nullptr, 7);
+
+  uint64_t cursor = 0;
+  TraceEvent events[8];
+  ASSERT_EQ(TraceDrain(&cursor, events, 8), 3u);
+  EXPECT_EQ(cursor, 3u);
+  EXPECT_EQ(TraceDropped(), 0u);
+
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].kind, static_cast<uint32_t>(kTraceSampleDrain));
+  EXPECT_STREQ(events[0].slot, "ranks");
+  EXPECT_EQ(events[0].a, 100u);
+  EXPECT_EQ(events[0].b, 20u);
+  EXPECT_EQ(events[0].c, 3'000'000u);
+  EXPECT_EQ(events[0].d, 0u);
+  EXPECT_GT(events[0].ns, 0u);
+
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[1].kind, static_cast<uint32_t>(kTraceDecision));
+  EXPECT_EQ(events[1].d, 125'000u);
+  EXPECT_GE(events[1].ns, events[0].ns);
+
+  EXPECT_EQ(events[2].seq, 2u);
+  EXPECT_STREQ(events[2].slot, "");  // nullptr slot -> empty name
+
+  // Nothing new: the cursor stays put and no events are fabricated.
+  EXPECT_EQ(TraceDrain(&cursor, events, 8), 0u);
+  EXPECT_EQ(cursor, 3u);
+}
+
+TEST_F(TraceTest, OverLongSlotNamesAreTruncatedNotOverflowed) {
+  const char* long_name = "a-slot-name-much-longer-than-the-24-byte-field";
+  EmitTrace(kTracePublish, long_name, 1, 1);
+  uint64_t cursor = 0;
+  TraceEvent ev;
+  ASSERT_EQ(TraceDrain(&cursor, &ev, 1), 1u);
+  EXPECT_EQ(std::strlen(ev.slot), sizeof(ev.slot) - 1);
+  EXPECT_EQ(std::strncmp(ev.slot, long_name, sizeof(ev.slot) - 1), 0);
+}
+
+TEST_F(TraceTest, WraparoundOverwritesOldestAndCountsDropped) {
+  constexpr uint64_t kOverflow = 100;
+  const uint64_t total = kTraceCapacity + kOverflow;
+  for (uint64_t i = 0; i < total; ++i) {
+    EmitTrace(kTracePublish, "w", i, 1);
+  }
+  EXPECT_EQ(TraceHead(), total);
+
+  // A cursor that never drained lost exactly the overwritten prefix; the
+  // survivors are the newest kTraceCapacity events, in order.
+  uint64_t cursor = 0;
+  std::vector<TraceEvent> events(kTraceCapacity);
+  size_t received = 0;
+  uint64_t expected_seq = kOverflow;
+  for (;;) {
+    const size_t n = TraceDrain(&cursor, events.data(), events.size());
+    if (n == 0) {
+      break;
+    }
+    for (size_t k = 0; k < n; ++k) {
+      ASSERT_EQ(events[k].seq, expected_seq++);
+      ASSERT_EQ(events[k].a, events[k].seq);  // payload written by that lap
+    }
+    received += n;
+  }
+  EXPECT_EQ(received, kTraceCapacity);
+  EXPECT_EQ(TraceDropped(), kOverflow);
+  EXPECT_EQ(cursor, total);
+}
+
+TEST_F(TraceTest, IndependentCursorsEachPayTheirOwnDrops) {
+  for (uint64_t i = 0; i < kTraceCapacity + 10; ++i) {
+    EmitTrace(kTraceEpochAdvance, nullptr, i);
+  }
+  uint64_t c1 = 0;
+  uint64_t c2 = 0;
+  TraceEvent ev;
+  ASSERT_EQ(TraceDrain(&c1, &ev, 1), 1u);
+  ASSERT_EQ(TraceDrain(&c2, &ev, 1), 1u);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(TraceDropped(), 20u);  // 10 overwritten, charged to both cursors
+}
+
+TEST_F(TraceTest, KindNamesCoverTheEnum) {
+  EXPECT_STREQ(TraceKindName(kTraceNone), "none");
+  EXPECT_STREQ(TraceKindName(kTraceSampleDrain), "sample_drain");
+  EXPECT_STREQ(TraceKindName(kTraceDecision), "decision");
+  EXPECT_STREQ(TraceKindName(kTraceRestructureBegin), "restructure_begin");
+  EXPECT_STREQ(TraceKindName(kTraceRestructureEnd), "restructure_end");
+  EXPECT_STREQ(TraceKindName(kTracePublish), "publish");
+  EXPECT_STREQ(TraceKindName(kTraceEpochAdvance), "epoch_advance");
+  EXPECT_STREQ(TraceKindName(kTraceEpochReclaim), "epoch_reclaim");
+  EXPECT_STREQ(TraceKindName(9999), "unknown");
+}
+
+TEST_F(TraceTest, DisabledEmitsNothing) {
+  SetEnabled(false);
+  EmitTrace(kTracePublish, "off", 1, 1);
+  EXPECT_EQ(TraceHead(), 0u);
+}
+
+// Torture: emitters lap the ring while a drainer chases them. Every drained
+// event must be internally consistent (seq strictly increasing, payload
+// matching what some writer stored for that sequence), and the final
+// drained + dropped accounting must cover the whole stream. All cell words
+// are atomics, so under the TSan job this doubles as the race witness.
+TEST_F(TraceTest, ConcurrentEmitAndDrainStayConsistent) {
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 50'000;
+  std::atomic<bool> writers_done{false};
+  std::atomic<bool> failed{false};
+
+  std::thread drainer([&] {
+    uint64_t cursor = 0;
+    uint64_t last_seq = 0;
+    bool any = false;
+    std::vector<TraceEvent> buf(256);
+    auto check = [&] {
+      const size_t n = TraceDrain(&cursor, buf.data(), buf.size());
+      for (size_t k = 0; k < n; ++k) {
+        const TraceEvent& ev = buf[k];
+        // Payload invariant every writer maintains: b == a ^ 0x5a.
+        if (ev.kind != static_cast<uint32_t>(kTracePublish) ||
+            ev.b != (ev.a ^ 0x5a) || (any && ev.seq <= last_seq)) {
+          failed.store(true, std::memory_order_relaxed);
+        }
+        last_seq = ev.seq;
+        any = true;
+      }
+      return n;
+    };
+    while (!writers_done.load(std::memory_order_acquire)) {
+      check();
+    }
+    while (check() != 0) {  // drain the tail
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        const uint64_t a = (static_cast<uint64_t>(w) << 32) | i;
+        EmitTrace(kTracePublish, "torture", a, a ^ 0x5a);
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  writers_done.store(true, std::memory_order_release);
+  drainer.join();
+
+  EXPECT_FALSE(failed.load()) << "drained a torn or out-of-order event";
+  EXPECT_EQ(TraceHead(), kWriters * kPerWriter);
+}
+
+}  // namespace
+}  // namespace sa::obs

@@ -15,6 +15,12 @@ Assert-only mode (one file, for CI where timing is meaningless): checks
 structure, not speed — every width 1..64 has `block`, `selected`,
 `unpack-range`, and `pack-range` entries with positive throughput. No
 timing gates, so noisy shared runners cannot flake the job.
+
+Both modes auto-detect the schema. BENCH_codec.json entries carry
+width/kernel/bytes_per_sec; BENCH_runtime.json entries carry a "metric"
+key instead and only support --assert-only (the required metric families,
+including the obs_scan_overhead telemetry-tax series, must be present with
+positive timings).
 """
 
 import argparse
@@ -24,18 +30,75 @@ from collections import defaultdict
 
 REQUIRED_KERNELS = ("block", "selected", "unpack-range", "pack-range")
 
+# metric name -> fields that must be present and strictly positive
+RUNTIME_REQUIRED_METRICS = {
+    "snapshot_scan_overhead": ("raw_scan_sec", "snapshot_scan_sec"),
+    "snapshot_acquire": ("acquire_release_ns",),
+    "time_to_readable_during_restructure": ("mean_ns", "max_ns"),
+    "restructure_wall": ("bulk_sec", "per_value_reference_sec"),
+    "restructure_same_width": ("word_copy_sec",),
+    "obs_scan_overhead": ("enabled_scan_sec", "disabled_scan_sec"),
+}
+
+
+def read_entries(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def is_runtime_schema(entries):
+    return bool(entries) and "metric" in entries[0]
+
 
 def load(path):
     """-> {(width, kernel): bytes_per_sec}"""
-    with open(path) as f:
-        entries = json.load(f)
+    entries = read_entries(path)
+    if is_runtime_schema(entries):
+        sys.exit(f"bench_diff: {path} is a runtime-metrics file; "
+                 "timing diffs only support the codec schema (use --assert-only)")
     series = {}
     for e in entries:
         series[(e["width"], e["kernel"])] = e["bytes_per_sec"]
     return series
 
 
+def assert_runtime(path, entries):
+    by_metric = {}
+    for e in entries:
+        if e["metric"] in by_metric:
+            print(f"bench_diff: {path}: duplicate metric '{e['metric']}'")
+            return 1
+        by_metric[e["metric"]] = e
+    problems = []
+    for metric, fields in RUNTIME_REQUIRED_METRICS.items():
+        entry = by_metric.get(metric)
+        if entry is None:
+            problems.append(f"missing metric '{metric}'")
+            continue
+        for field in fields:
+            value = entry.get(field)
+            if value is None:
+                problems.append(f"metric '{metric}' missing field '{field}'")
+            elif not value > 0:
+                problems.append(f"metric '{metric}' field '{field}' not positive: {value}")
+        # overhead_pct legitimately goes negative in noise; just require it.
+        if metric.endswith("_overhead") and "overhead_pct" not in entry:
+            problems.append(f"metric '{metric}' missing field 'overhead_pct'")
+    if problems:
+        print(f"bench_diff: {path} failed structural checks:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    obs = by_metric["obs_scan_overhead"]
+    print(f"bench_diff: {path} OK ({len(by_metric)} runtime metrics; "
+          f"obs tax {obs['overhead_pct']:+.2f}% with compiled_in={obs.get('compiled_in', '?')})")
+    return 0
+
+
 def assert_only(path):
+    entries = read_entries(path)
+    if is_runtime_schema(entries):
+        return assert_runtime(path, entries)
     series = load(path)
     problems = []
     for width in range(1, 65):

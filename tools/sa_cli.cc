@@ -26,6 +26,9 @@
 #include <vector>
 
 #include "adapt/cases.h"
+#include "obs/entry_points.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "runtime/entry_points.h"
 #include "graph/algorithms.h"
 #include "graph/algorithms2.h"
@@ -337,6 +340,174 @@ int CmdDaemon(const Args& args) {
   return 0;
 }
 
+// ---- obs: run the daemon demo, then expose the telemetry three ways ----
+
+// Inverse of the daemon's trace config packing: bits<<16 | kind<<8 | socket.
+std::string DecodeTraceConfig(uint64_t packed) {
+  const auto kind = static_cast<sa::smart::Placement>((packed >> 8) & 0xff);
+  const auto bits = static_cast<uint32_t>(packed >> 16);
+  std::string s = sa::smart::ToString(kind);
+  if (kind == sa::smart::Placement::kSingleSocket) {
+    s += "(" + std::to_string(packed & 0xff) + ")";
+  }
+  return s + "/" + std::to_string(bits) + "b";
+}
+
+std::string FormatTraceEvent(const SaObsTraceEvent& ev) {
+  char buf[256];
+  const char* kind = saObsTraceKindName(ev.kind);
+  switch (ev.kind) {
+    case 1:  // sample_drain
+      std::snprintf(buf, sizeof(buf), "reads=%llu writes=%llu interval=%.3fs%s",
+                    static_cast<unsigned long long>(ev.a),
+                    static_cast<unsigned long long>(ev.b),
+                    static_cast<double>(ev.c) / 1e6, ev.d != 0 ? " (thin, dropped)" : "");
+      break;
+    case 2: {  // decision
+      const char* verdict = ev.c == 0 ? "accept" : (ev.c == 1 ? "reject-same" : "reject-margin");
+      std::snprintf(buf, sizeof(buf), "%s %s -> %s win=+%.2f%%", verdict,
+                    DecodeTraceConfig(ev.a).c_str(), DecodeTraceConfig(ev.b).c_str(),
+                    static_cast<double>(ev.d) / 1e4);
+      break;
+    }
+    case 3:  // restructure_begin
+      std::snprintf(buf, sizeof(buf), "%s -> %s", DecodeTraceConfig(ev.a).c_str(),
+                    DecodeTraceConfig(ev.b).c_str());
+      break;
+    case 4:  // restructure_end
+      std::snprintf(buf, sizeof(buf), "wall=%.2fms unpack=%.2fms pack=%.2fms %s",
+                    static_cast<double>(ev.a) / 1e6, static_cast<double>(ev.b) / 1e6,
+                    static_cast<double>(ev.c) / 1e6, ev.d != 0 ? "ok" : "ABORTED");
+      break;
+    case 5:  // publish
+      std::snprintf(buf, sizeof(buf), "sequence=%llu %s",
+                    static_cast<unsigned long long>(ev.a),
+                    ev.b != 0 ? "ok" : "REFUSED (lost write)");
+      break;
+    case 6:  // epoch_advance
+      std::snprintf(buf, sizeof(buf), "epoch=%llu", static_cast<unsigned long long>(ev.a));
+      break;
+    case 7:  // epoch_reclaim
+      std::snprintf(buf, sizeof(buf), "freed=%llu at epoch %llu",
+                    static_cast<unsigned long long>(ev.a),
+                    static_cast<unsigned long long>(ev.b));
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "a=%llu b=%llu c=%llu d=%llu",
+                    static_cast<unsigned long long>(ev.a),
+                    static_cast<unsigned long long>(ev.b),
+                    static_cast<unsigned long long>(ev.c),
+                    static_cast<unsigned long long>(ev.d));
+      break;
+  }
+  char line[384];
+  std::snprintf(line, sizeof(line), "#%-5llu %-17s %-8s %s",
+                static_cast<unsigned long long>(ev.seq), kind,
+                ev.slot[0] != '\0' ? ev.slot : "-", buf);
+  return line;
+}
+
+// Drains and prints everything currently in the trace ring; returns the
+// number of events printed.
+int PrintTrace(const char* indent) {
+  std::vector<SaObsTraceEvent> events(sa::obs::kTraceCapacity);
+  int printed = 0;
+  for (;;) {
+    const int n = saObsTraceDrain(events.data(), static_cast<int>(events.size()));
+    if (n <= 0) {
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      std::printf("%s%s\n", indent, FormatTraceEvent(events[i]).c_str());
+    }
+    printed += n;
+  }
+  return printed;
+}
+
+void PrintObsTable() {
+  const int total = saObsSnapshot(nullptr, 0);
+  std::vector<SaObsMetric> metrics(total);
+  saObsSnapshot(metrics.data(), total);
+  std::printf("counters:\n");
+  for (const SaObsMetric& m : metrics) {
+    if (m.kind == SA_OBS_METRIC_COUNTER && m.value != 0) {
+      std::printf("  %-42s %llu\n", m.name, static_cast<unsigned long long>(m.value));
+    }
+  }
+  std::printf("gauges:\n");
+  for (const SaObsMetric& m : metrics) {
+    if (m.kind == SA_OBS_METRIC_GAUGE) {
+      std::printf("  %-42s %lld\n", m.name, static_cast<long long>(m.value));
+    }
+  }
+  const int hist_total = saObsHistograms(nullptr, 0);
+  std::vector<SaObsHistogramEntry> hists(hist_total);
+  saObsHistograms(hists.data(), hist_total);
+  std::printf("histograms (count / mean):\n");
+  for (const SaObsHistogramEntry& h : hists) {
+    if (h.count == 0) {
+      continue;
+    }
+    std::printf("  %-42s %llu / %.0f\n", h.name, static_cast<unsigned long long>(h.count),
+                static_cast<double>(h.sum) / static_cast<double>(h.count));
+  }
+}
+
+int CmdObs(const Args& args) {
+  if (saObsCompiledIn() == 0) {
+    std::fprintf(stderr, "sa_cli obs: built without SA_OBS; telemetry reads all-zero\n");
+  }
+  saObsReset();
+
+  RuntimeDemo demo;
+  demo.Start(args);
+  const auto interval_ms = args.GetInt("interval", 200);
+  const auto seconds = args.GetInt("seconds", 2);
+  const bool follow = args.Has("follow");
+  std::fprintf(stderr, "obs: %llu elements, %d reader(s), daemon interval %llu ms, %llu s%s\n",
+               static_cast<unsigned long long>(demo.elements),
+               static_cast<int>(demo.readers.size()),
+               static_cast<unsigned long long>(interval_ms),
+               static_cast<unsigned long long>(seconds), follow ? " (follow)" : "");
+  saRegistryDaemonStart(demo.reg, static_cast<double>(interval_ms),
+                        /*min_predicted_win=*/-1.0);
+  if (follow) {
+    // Live view: one counter line + freshly drained trace events per tick.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      std::printf("-- acquires=%llu reads=%llu publishes=%llu restructures=%llu drops=%llu\n",
+                  static_cast<unsigned long long>(saObsCounterByName("sa_snapshot_acquires_total")),
+                  static_cast<unsigned long long>(saObsCounterByName("sa_snapshot_reads_total")),
+                  static_cast<unsigned long long>(saObsCounterByName("sa_publishes_total")),
+                  static_cast<unsigned long long>(saObsCounterByName("sa_daemon_restructures_total")),
+                  static_cast<unsigned long long>(saObsCounterByName("sa_daemon_sample_drops_total")));
+      PrintTrace("   ");
+      std::fflush(stdout);
+    }
+  } else {
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  }
+  saRegistryDaemonStop(demo.reg);
+  demo.Finish();
+
+  if (args.Has("prom")) {
+    std::printf("%s", sa::obs::PrometheusText().c_str());
+  } else if (args.Has("json")) {
+    std::printf("%s\n", sa::obs::JsonText().c_str());
+  } else if (!follow) {
+    PrintObsTable();
+    std::printf("trace (%llu dropped by ring wraparound):\n",
+                static_cast<unsigned long long>(saObsTraceDropped()));
+    if (PrintTrace("  ") == 0) {
+      std::printf("  (empty)\n");
+    }
+  }
+  return 0;
+}
+
 int Usage() {
   std::printf(
       "usage: sa_cli <command> [options]\n"
@@ -352,7 +523,10 @@ int Usage() {
       "             concurrent snapshot readers + synchronous adaptation passes\n"
       "  daemon     [--elements N] [--bits B] [--readers R] [--interval MS]\n"
       "             [--seconds S] [--bw-gbps G]\n"
-      "             same, with the background adaptation daemon\n");
+      "             same, with the background adaptation daemon\n"
+      "  obs        [--elements N] [--bits B] [--readers R] [--interval MS]\n"
+      "             [--seconds S] [--bw-gbps G] [--json|--prom|--follow]\n"
+      "             runtime telemetry: counters, histograms, adaptation trace\n");
   return 2;
 }
 
@@ -380,6 +554,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "daemon") {
     return CmdDaemon(args);
+  }
+  if (args.command == "obs") {
+    return CmdObs(args);
   }
   return Usage();
 }
