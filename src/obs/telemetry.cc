@@ -79,6 +79,13 @@ constexpr const char* kCounterNames[kCounterIdCount] = {
     "sa_parallel_for_batches_total",
     "sa_parallel_for_steals_total",
     "sa_ffi_transitions_total",
+    "sa_epoch_pin_rejects_total",
+    "sa_registry_acquire_by_name_total",
+    "sa_snapshot_acquire_rejects_total",
+    "sa_slot_fetch_adds_total",
+    "sa_daemon_shard_claims_total",
+    "sa_daemon_shard_steals_total",
+    "sa_daemon_backpressure_drops_total",
 };
 
 constexpr const char* kGaugeNames[kGaugeIdCount] = {
@@ -86,6 +93,7 @@ constexpr const char* kGaugeNames[kGaugeIdCount] = {
     "sa_retired_versions",
     "sa_registry_slots",
     "sa_daemon_running",
+    "sa_daemon_queue_depth",
 };
 
 constexpr const char* kHistogramNames[kHistogramIdCount] = {

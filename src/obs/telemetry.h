@@ -56,6 +56,13 @@ enum CounterId : int {
   kParallelForBatches,
   kParallelForSteals,
   kFfiTransitions,
+  kEpochPinRejects,
+  kRegistryAcquireByName,
+  kSnapshotAcquireRejects,
+  kSlotFetchAdds,
+  kDaemonShardClaims,
+  kDaemonShardSteals,
+  kDaemonBackpressureDrops,
   kCounterIdCount,
 };
 
@@ -64,6 +71,7 @@ enum GaugeId : int {
   kRetiredVersions,
   kRegistrySlots,
   kDaemonRunning,
+  kDaemonQueueDepth,
   kGaugeIdCount,
 };
 

@@ -1,0 +1,38 @@
+// Deadline-claim protocol for sets of periodically serviced resources.
+//
+// Each resource (a registry shard, in the adaptation daemon's case) carries
+// one atomic "next due" timestamp cell. A worker that finds the cell due
+// CASes it forward to now + period; the CAS winner owns this service pass,
+// losers move on to the next resource. The same protocol gives both
+// ownership (a worker claims the shards it is responsible for) and work
+// stealing (an idle worker claims any other shard whose owner is behind) —
+// a stolen pass is indistinguishable from an owned one except for who won
+// the CAS, so there is no separate handoff state to keep consistent.
+#ifndef SA_RTS_CLAIM_SET_H_
+#define SA_RTS_CLAIM_SET_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sa::rts {
+
+// Claims `due_ns` if it has expired relative to `now_ns`, rescheduling it
+// to `reschedule_ns`. Returns true when this caller won the pass. Lock-free
+// and wait-free apart from CAS retries against other claimants of the same
+// cell (each retry means someone else moved the deadline — the loop exits
+// as soon as the deadline lands in the future).
+inline bool TryClaimDue(std::atomic<uint64_t>& due_ns, uint64_t now_ns,
+                        uint64_t reschedule_ns) {
+  uint64_t due = due_ns.load(std::memory_order_relaxed);
+  while (now_ns >= due) {
+    if (due_ns.compare_exchange_weak(due, reschedule_ns, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sa::rts
+
+#endif  // SA_RTS_CLAIM_SET_H_

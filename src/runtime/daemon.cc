@@ -9,6 +9,7 @@
 #include "common/macros.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "rts/claim_set.h"
 #include "smart/restructure.h"
 
 namespace sa::runtime {
@@ -39,26 +40,32 @@ AdaptationDaemon::AdaptationDaemon(ArrayRegistry& registry, rts::WorkerPool& poo
       pool_(&pool),
       machine_(machine),
       costs_(costs),
-      options_(options) {}
+      options_(options) {
+  options_.num_workers = std::max(1, options_.num_workers);
+}
 
 AdaptationDaemon::~AdaptationDaemon() { Stop(); }
 
 void AdaptationDaemon::Start() {
-  if (thread_.joinable()) {
+  if (!workers_.empty()) {
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = false;
   }
-  thread_ = std::thread([this] { ThreadMain(); });
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerMain(w); });
+  }
   SA_OBS_GAUGE_ADD(kDaemonRunning, 1);
-  SA_LOG(kInfo, "daemon", "started (interval=%lld ms)",
-         static_cast<long long>(options_.interval.count()));
+  SA_LOG(kInfo, "daemon", "started (interval=%lld ms, workers=%d, shards=%d)",
+         static_cast<long long>(options_.interval.count()), options_.num_workers,
+         registry_->num_shards());
 }
 
 void AdaptationDaemon::Stop() {
-  if (!thread_.joinable()) {
+  if (workers_.empty()) {
     return;
   }
   {
@@ -66,68 +73,121 @@ void AdaptationDaemon::Stop() {
     stop_ = true;
   }
   cv_.notify_all();
-  thread_.join();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
   SA_OBS_GAUGE_ADD(kDaemonRunning, -1);
-  SA_LOG(kInfo, "daemon", "stopped after %" PRIu64 " passes",
+  SA_LOG(kInfo, "daemon", "stopped after %" PRIu64 " shard passes",
          passes_.load(std::memory_order_relaxed));
 }
 
-void AdaptationDaemon::ThreadMain() {
+void AdaptationDaemon::WorkerMain(int worker) {
+  const uint64_t interval_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(options_.interval).count());
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
     if (cv_.wait_for(lock, options_.interval, [this] { return stop_; })) {
       break;
     }
     lock.unlock();
-    RunOnce();
+    SweepShards(worker, obs::NowNs(), interval_ns);
     lock.lock();
   }
 }
 
+void AdaptationDaemon::SweepShards(int worker, uint64_t now_ns, uint64_t interval_ns) {
+  const int num_shards = registry_->num_shards();
+  const int stride = options_.num_workers;
+  // Own shards first: the common case is every worker servicing its own
+  // residue class and the CASes never colliding.
+  for (int shard = worker % stride; shard < num_shards; shard += stride) {
+    if (rts::TryClaimDue(registry_->shard_next_due(shard), now_ns, now_ns + interval_ns)) {
+      SA_OBS_COUNT(kDaemonShardClaims);
+      ProcessShard(shard);
+    }
+  }
+  // Then everyone else's: a claim that succeeds here means the owner is
+  // behind (busy restructuring, or descheduled) and this worker steals the
+  // pass.
+  for (int shard = 0; shard < num_shards; ++shard) {
+    if (shard % stride == worker % stride) {
+      continue;
+    }
+    if (rts::TryClaimDue(registry_->shard_next_due(shard), now_ns, now_ns + interval_ns)) {
+      SA_OBS_COUNT(kDaemonShardSteals);
+      ProcessShard(shard);
+    }
+  }
+}
+
 int AdaptationDaemon::RunOnce() {
+  int restructured = 0;
+  for (int shard = 0; shard < registry_->num_shards(); ++shard) {
+    restructured += ProcessShard(shard);
+  }
+  return restructured;
+}
+
+int AdaptationDaemon::ProcessShard(int shard) {
   SA_OBS_SCOPED_NS(kDaemonPassNs);
   SA_OBS_COUNT(kDaemonPasses);
+  // Admission control: restructures create retired versions; when the
+  // shard's reclamation is behind (a pinned reader, or simply too many
+  // rebuilds in flight), stop adding debt and let reclaim catch up.
+  const bool backpressure = registry_->shard_retired(shard) > options_.max_retired_debt;
   int restructured = 0;
-  for (ArraySlot* slot : registry_->slots()) {
-    const SlotSample sample = slot->DrainSample();
-    const uint64_t accesses = sample.reads() + sample.writes;
-    if (accesses == 0) {
-      // Idle slot: nothing was sampled, nothing is dropped.
-      continue;
-    }
-    const bool thin =
-        accesses < options_.min_sampled_accesses || sample.seconds <= 0.0;
-    SA_OBS_TRACE(kTraceSampleDrain, slot->name().c_str(), sample.reads(),
-                 sample.writes, static_cast<uint64_t>(sample.seconds * 1e6),
-                 thin ? 1 : 0);
-    if (thin) {
-      // The drained counters are consumed but lead to no decision — the
-      // sample is dropped, and before the telemetry layer that happened
-      // silently. See also the race drops counted in AdaptSlot.
-      SA_OBS_COUNT(kDaemonSampleDrops);
-      SA_LOG(kDebug, "daemon",
-             "slot=%s sample dropped (thin): accesses=%" PRIu64 " min=%" PRIu64
-             " seconds=%.4f",
-             slot->name().c_str(), accesses, options_.min_sampled_accesses,
-             sample.seconds);
-      continue;
-    }
-    const adapt::WorkloadCounters counters =
-        SynthesizeCounters(sample, slot->length(), machine_, options_.cycles_per_access);
-    restructured += AdaptSlot(*slot, counters) ? 1 : 0;
+  for (ArraySlot* slot : registry_->DrainSampleQueue(shard)) {
+    restructured += ProcessSlot(*slot, backpressure) ? 1 : 0;
   }
   // Retired versions from this pass (and stragglers from earlier ones)
   // become reclaimable as reader pins drain; two passes advance the epoch
   // far enough for the previous pass's garbage.
-  registry_->Reclaim();
+  registry_->ReclaimShard(shard);
   passes_.fetch_add(1, std::memory_order_relaxed);
   return restructured;
 }
 
+bool AdaptationDaemon::ProcessSlot(ArraySlot& slot, bool backpressure) {
+  const SlotSample sample = slot.DrainSample();
+  const uint64_t accesses = sample.reads() + sample.writes;
+  if (accesses == 0) {
+    // Idle slot: nothing was sampled, nothing is dropped.
+    return false;
+  }
+  const bool thin = accesses < options_.min_sampled_accesses || sample.seconds <= 0.0;
+  SA_OBS_TRACE(kTraceSampleDrain, slot.name().c_str(), sample.reads(), sample.writes,
+               static_cast<uint64_t>(sample.seconds * 1e6), thin ? 1 : 0);
+  if (thin) {
+    // The drained counters are consumed but lead to no decision — the
+    // sample is dropped, and before the telemetry layer that happened
+    // silently. See also the race drops counted in AdaptSlot.
+    SA_OBS_COUNT(kDaemonSampleDrops);
+    SA_LOG(kDebug, "daemon",
+           "slot=%s sample dropped (thin): accesses=%" PRIu64 " min=%" PRIu64
+           " seconds=%.4f",
+           slot.name().c_str(), accesses, options_.min_sampled_accesses, sample.seconds);
+    return false;
+  }
+  if (backpressure) {
+    SA_OBS_COUNT(kDaemonBackpressureDrops);
+    SA_LOG(kDebug, "daemon", "slot=%s sample dropped (backpressure: retired debt)",
+           slot.name().c_str());
+    return false;
+  }
+  const adapt::WorkloadCounters counters =
+      SynthesizeCounters(sample, slot.length(), machine_, options_.cycles_per_access);
+  return AdaptSlot(slot, counters);
+}
+
 bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters& counters) {
+  // The shared pool's RunOnAll does not nest: one rebuild at a time across
+  // every worker and direct caller.
+  std::lock_guard<std::mutex> rebuild_lock(rebuild_mu_);
   // Pin while reading the source: only this daemon publishes today, but the
-  // pin keeps the rebuild correct even with other publishers around.
-  const EpochManager::PinHandle pin = registry_->epoch().Pin();
+  // pin keeps the rebuild correct even with other publishers around. The
+  // pin lives in the slot's own shard domain.
+  const EpochManager::PinHandle pin = slot.epoch_->Pin();
   const uint64_t writes_before = slot.write_count();
   const ArrayVersion* version = slot.Current();
   const smart::SmartArray& source = *version->storage;
@@ -156,7 +216,7 @@ bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters&
     SA_OBS_COUNT(kDaemonRejectSame);
     SA_OBS_TRACE(kTraceDecision, slot_name, packed_current, packed_chosen,
                  obs::kDecisionRejectSameConfig);
-    registry_->epoch().Unpin(pin);
+    slot.epoch_->Unpin(pin);
     return false;
   }
 
@@ -177,7 +237,7 @@ bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters&
            smart::ToString(result.chosen.placement.kind), new_bits,
            chosen_speedup / std::max(current_speedup, 1e-12) - 1.0,
            options_.min_predicted_win);
-    registry_->epoch().Unpin(pin);
+    slot.epoch_->Unpin(pin);
     return false;
   }
 
@@ -198,7 +258,7 @@ bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters&
                             registry_->topology(), &stats);
   SA_OBS_TRACE(kTraceRestructureEnd, slot_name, stats.wall_ns, stats.unpack_ns,
                stats.pack_ns, rebuilt != nullptr ? 1 : 0);
-  registry_->epoch().Unpin(pin);
+  slot.epoch_->Unpin(pin);
   if (rebuilt == nullptr) {
     // A racing write stored a value wider than the target width mid-scan;
     // the sampled interval produced no adaptation, so its sample is lost.

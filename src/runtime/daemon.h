@@ -10,6 +10,19 @@
 // the new representation with a single pointer swap; the old one goes to
 // the epoch garbage list (§7: "re-apply its adaptivity workflow to select
 // a potentially new set of smart functionalities").
+//
+// At multi-tenant scale the daemon is a worker *set* over the registry's
+// shards rather than one thread over all slots:
+//   * Each shard keeps an intrusive queue of slots with undrained samples;
+//     a pass drains the queue in one batch instead of scanning every slot.
+//   * Shards are claimed through a due-time CAS (rts/claim_set.h). A worker
+//     services the shards it owns (shard % num_workers == worker) first,
+//     then steals any other shard whose owner is behind — idle workers
+//     absorb load imbalance without a handoff protocol.
+//   * Backpressure: when a shard's retired-version debt exceeds
+//     max_retired_debt, the pass drains samples and reclaims but skips
+//     restructures (kDaemonBackpressureDrops), so a stalled reader cannot
+//     make the daemon amplify memory pressure.
 #ifndef SA_RUNTIME_DAEMON_H_
 #define SA_RUNTIME_DAEMON_H_
 
@@ -18,6 +31,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "adapt/selector.h"
 #include "rts/worker_pool.h"
@@ -26,7 +40,7 @@
 namespace sa::runtime {
 
 struct DaemonOptions {
-  // Wall time between adaptation passes of the background thread.
+  // Wall time between adaptation passes over a given shard.
   std::chrono::milliseconds interval{200};
   // Hysteresis: restructure only when the chosen configuration's estimated
   // speedup exceeds the current one's by this margin (a rebuild is not free,
@@ -38,6 +52,12 @@ struct DaemonOptions {
   // Crude execution-demand model for synthesized counters: core cycles
   // consumed per element access (the real system measures this with PCM).
   double cycles_per_access = 4.0;
+  // Background worker threads servicing the shard set.
+  int num_workers = 1;
+  // Admission control: a shard whose epoch domain holds more retired
+  // versions than this gets sample drains and reclamation but no new
+  // restructures until the debt drains.
+  size_t max_retired_debt = 64;
 };
 
 class AdaptationDaemon {
@@ -49,19 +69,20 @@ class AdaptationDaemon {
   AdaptationDaemon(const AdaptationDaemon&) = delete;
   AdaptationDaemon& operator=(const AdaptationDaemon&) = delete;
 
-  // Background thread control. Start/Stop are idempotent.
+  // Background worker control. Start/Stop are idempotent.
   void Start();
   void Stop();
-  bool running() const { return thread_.joinable(); }
+  bool running() const { return !workers_.empty(); }
 
-  // One full adaptation pass over every slot (what the background thread
-  // runs per interval; public so tests and the CLI drive the daemon
-  // deterministically). Returns the number of slots restructured.
+  // One synchronous adaptation pass over every shard, ignoring due times
+  // (what tests and the CLI use to drive the daemon deterministically).
+  // Returns the number of slots restructured.
   int RunOnce();
 
   // Decision + rebuild + publish for one slot under explicit counters — the
-  // deterministic core of RunOnce. Returns true when a new representation
-  // was published.
+  // deterministic core of a pass. Serialized across workers (the shared
+  // WorkerPool does not nest). Returns true when a new representation was
+  // published.
   bool AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters& counters);
 
   // §6-style counters synthesized from an interval sample: access rate and
@@ -76,10 +97,17 @@ class AdaptationDaemon {
   static adapt::SoftwareHints HintsFor(const ArraySlot& slot);
 
   uint64_t adaptations() const { return adaptations_.load(std::memory_order_relaxed); }
+  // Shard passes completed (one RunOnce over an N-shard registry counts N).
   uint64_t passes() const { return passes_.load(std::memory_order_relaxed); }
 
  private:
-  void ThreadMain();
+  void WorkerMain(int worker);
+  // Claims every due shard visible to `worker` (own shards first, then
+  // steals) and services the claimed ones.
+  void SweepShards(int worker, uint64_t now_ns, uint64_t interval_ns);
+  // Drains one shard's sample queue, adapts eligible slots, reclaims.
+  int ProcessShard(int shard);
+  bool ProcessSlot(ArraySlot& slot, bool backpressure);
 
   ArrayRegistry* registry_;
   rts::WorkerPool* pool_;
@@ -90,10 +118,15 @@ class AdaptationDaemon {
   std::atomic<uint64_t> adaptations_{0};
   std::atomic<uint64_t> passes_{0};
 
+  // The shared WorkerPool's RunOnAll is not reentrant, so rebuild work
+  // (MinimalBits + TryRestructure) is serialized across daemon workers and
+  // direct AdaptSlot callers.
+  std::mutex rebuild_mu_;
+
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
-  std::thread thread_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace sa::runtime

@@ -1,6 +1,7 @@
 #include "runtime/entry_points.h"
 
 #include <memory>
+#include <utility>
 
 #include "common/macros.h"
 #include "rts/worker_pool.h"
@@ -49,6 +50,10 @@ const ArraySnapshot* Snap(const void* snap) { return static_cast<const ArraySnap
 extern "C" {
 
 void* saRegistryCreate(int sockets, int cpus_per_socket) {
+  return saRegistryCreateSharded(sockets, cpus_per_socket, 1);
+}
+
+void* saRegistryCreateSharded(int sockets, int cpus_per_socket, int shards) {
   auto* handle = new RegistryHandle;
   handle->topology = std::make_unique<sa::platform::Topology>(
       sockets <= 0 ? sa::platform::Topology::Host()
@@ -57,7 +62,9 @@ void* saRegistryCreate(int sockets, int cpus_per_socket) {
       *handle->topology,
       sa::rts::WorkerPool::Options{.num_threads = 0,
                                    .pin_threads = handle->topology->is_host()});
-  handle->registry = std::make_unique<ArrayRegistry>(*handle->topology);
+  ArrayRegistry::Options options;
+  options.num_shards = shards < 1 ? 1 : shards;
+  handle->registry = std::make_unique<ArrayRegistry>(*handle->topology, options);
   return handle;
 }
 
@@ -94,7 +101,33 @@ int saRegistryCount(void* reg) { return static_cast<int>(Reg(reg)->registry->siz
 
 uint64_t saRegistryReclaim(void* reg) { return Reg(reg)->registry->Reclaim(); }
 
-uint64_t saRegistryEpoch(void* reg) { return Reg(reg)->registry->epoch().epoch(); }
+uint64_t saRegistryEpoch(void* reg) { return Reg(reg)->registry->min_epoch(); }
+
+int saRegistryShards(void* reg) { return Reg(reg)->registry->num_shards(); }
+
+int64_t saRegistryShardQueueDepth(void* reg, int shard) {
+  ArrayRegistry& registry = *Reg(reg)->registry;
+  if (shard < 0 || shard >= registry.num_shards()) {
+    return -1;
+  }
+  return registry.shard_queue_depth(shard);
+}
+
+int64_t saRegistryShardRetired(void* reg, int shard) {
+  ArrayRegistry& registry = *Reg(reg)->registry;
+  if (shard < 0 || shard >= registry.num_shards()) {
+    return -1;
+  }
+  return static_cast<int64_t>(registry.shard_retired(shard));
+}
+
+void* saRegistryAcquire(void* reg, const char* name) {
+  ArraySnapshot snapshot = Reg(reg)->registry->AcquireByName(name);
+  if (!snapshot.valid()) {
+    return nullptr;
+  }
+  return new ArraySnapshot(std::move(snapshot));
+}
 
 void saRegistryConfigureMachine(void* reg, double mem_bytes_per_socket,
                                 double exec_cycles_per_socket, double bw_memory,
@@ -117,6 +150,11 @@ void saRegistryConfigureMachine(void* reg, double mem_bytes_per_socket,
 }
 
 void saRegistryDaemonStart(void* reg, double interval_ms, double min_predicted_win) {
+  saRegistryDaemonStartWorkers(reg, interval_ms, min_predicted_win, 1);
+}
+
+void saRegistryDaemonStartWorkers(void* reg, double interval_ms, double min_predicted_win,
+                                  int workers) {
   sa::runtime::DaemonOptions options;
   if (interval_ms > 0.0) {
     options.interval = std::chrono::milliseconds(static_cast<int64_t>(interval_ms));
@@ -124,6 +162,7 @@ void saRegistryDaemonStart(void* reg, double interval_ms, double min_predicted_w
   if (min_predicted_win >= 0.0) {
     options.min_predicted_win = min_predicted_win;
   }
+  options.num_workers = workers < 1 ? 1 : workers;
   Reg(reg)->Daemon(options).Start();
 }
 
@@ -152,7 +191,19 @@ void saSlotWrite(void* slot, uint64_t index, uint64_t value) {
   Slot(slot)->Write(index, value);
 }
 
+uint64_t saSlotFetchAdd(void* slot, uint64_t index, uint64_t delta) {
+  return Slot(slot)->FetchAdd(index, delta);
+}
+
 void* saSlotPin(void* slot) { return new ArraySnapshot(Slot(slot)->Acquire()); }
+
+void* saSlotTryPin(void* slot) {
+  ArraySnapshot snapshot = Slot(slot)->TryAcquire();
+  if (!snapshot.valid()) {
+    return nullptr;
+  }
+  return new ArraySnapshot(std::move(snapshot));
+}
 
 void saSnapshotUnpin(void* snap) { delete Snap(snap); }
 

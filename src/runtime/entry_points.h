@@ -24,6 +24,11 @@ extern "C" {
 // ---- Registry lifecycle ----
 // sockets == 0 selects the host topology.
 void* saRegistryCreate(int sockets, int cpus_per_socket);
+// Like saRegistryCreate, with a sharded control plane: slot names hash to
+// one of `shards` (rounded up to a power of two) independent contention
+// domains — per-shard mutex, name index, and epoch domain. shards <= 1
+// behaves exactly like saRegistryCreate.
+void* saRegistryCreateSharded(int sockets, int cpus_per_socket, int shards);
 void saRegistryFree(void* reg);
 
 // Creates a named array slot. Placement flags mirror saArrayAllocate:
@@ -40,7 +45,23 @@ int saRegistryCount(void* reg);
 // Frees retired storage whose reader epochs have drained; returns the
 // number of versions reclaimed.
 uint64_t saRegistryReclaim(void* reg);
+// Smallest epoch across the registry's shard domains (single-shard: the
+// global epoch, as before).
 uint64_t saRegistryEpoch(void* reg);
+
+// ---- Shard plane (saturation visibility) ----
+int saRegistryShards(void* reg);
+// Slots with undrained workload samples queued on `shard` (-1 on a bad
+// shard index).
+int64_t saRegistryShardQueueDepth(void* reg, int shard);
+// Retired storage versions awaiting reclamation on `shard`'s epoch domain.
+int64_t saRegistryShardRetired(void* reg, int shard);
+
+// By-name snapshot acquisition in one call: hashes the name once and probes
+// the owning shard's lock-free index under an epoch pin — the multi-tenant
+// reader hot path. NULL when the name is unknown or the shard's pin slots
+// are exhausted (admission control). Unpin with saSnapshotUnpin.
+void* saRegistryAcquire(void* reg, const char* name);
 
 // ---- Adaptation daemon ----
 // Supplies the machine specification the §6 selector reasons against
@@ -55,6 +76,10 @@ void saRegistryConfigureMachine(void* reg, double mem_bytes_per_socket,
 // Starts the background adaptation thread (idempotent). interval_ms <= 0
 // selects the default; min_predicted_win < 0 selects the default margin.
 void saRegistryDaemonStart(void* reg, double interval_ms, double min_predicted_win);
+// Like saRegistryDaemonStart with an explicit worker-thread count (<= 0
+// selects 1). Workers claim due shards (own shards first, then steal).
+void saRegistryDaemonStartWorkers(void* reg, double interval_ms, double min_predicted_win,
+                                  int workers);
 void saRegistryDaemonStop(void* reg);
 // One synchronous adaptation pass; returns the number of slots
 // restructured. Usable with or without the background thread.
@@ -74,10 +99,18 @@ uint64_t saSlotSequence(const void* slot);
 // current storage width.
 void saSlotWrite(void* slot, uint64_t index, uint64_t value);
 
+// Read-modify-write under the slot's writer lock: returns the previous
+// value and stores (old + delta) wrapped at the slot's declared width.
+// Aborts when the wrapped result exceeds the live storage width.
+uint64_t saSlotFetchAdd(void* slot, uint64_t index, uint64_t delta);
+
 // ---- Snapshot (consistent read view) ----
 // Pins the slot's current representation; all reads through the returned
 // handle observe exactly that representation.
 void* saSlotPin(void* slot);
+// Like saSlotPin, but returns NULL instead of aborting when the slot's
+// epoch domain has no free pin slots.
+void* saSlotTryPin(void* slot);
 void saSnapshotUnpin(void* snap);
 
 uint64_t saSnapshotRead(void* snap, uint64_t index);

@@ -5,6 +5,11 @@
 
 namespace sa::runtime {
 
+EpochManager::EpochManager(int num_slots)
+    : num_slots_(num_slots), slots_(new Slot[static_cast<size_t>(num_slots)]) {
+  SA_CHECK_MSG(num_slots > 0, "epoch domain needs at least one pin slot");
+}
+
 EpochManager::~EpochManager() {
   // By now every reader must have unpinned and no new Retire can race; run
   // whatever is still queued.
@@ -14,7 +19,7 @@ EpochManager::~EpochManager() {
   }
 }
 
-EpochManager::PinHandle EpochManager::Pin() {
+EpochManager::PinHandle EpochManager::TryPin() {
   // Per-thread start slot: after the first Pin a thread keeps hitting the
   // slot it used last, so the claim CAS succeeds on the first try. The hint
   // is shared across managers — harmless, it is only a starting point.
@@ -22,10 +27,15 @@ EpochManager::PinHandle EpochManager::Pin() {
   if (hint < 0) {
     // Spread initial claims so threads do not pile onto slot 0's line.
     static std::atomic<int> next_start{0};
-    hint = next_start.fetch_add(1, std::memory_order_relaxed) % kMaxSlots;
+    hint = next_start.fetch_add(1, std::memory_order_relaxed);
   }
-  int i = hint;
-  for (int attempts = 0;; ++attempts) {
+  int i = hint % num_slots_;
+  // Two full sweeps: the first can lose every CAS to concurrent claimers,
+  // the second only fails when the domain is genuinely saturated. Giving up
+  // is the point — a saturated domain must surface as an acquire failure
+  // (admission control), not as a spin or an abort.
+  const int max_attempts = num_slots_ * 2;
+  for (int attempts = 0; attempts < max_attempts; ++attempts) {
     uint64_t expected = kFree;
     uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
     if (slots_[i].value.compare_exchange_strong(expected, Encode(e),
@@ -46,13 +56,20 @@ EpochManager::PinHandle EpochManager::Pin() {
       hint = i;
       return {i};
     }
-    i = (i + 1) % kMaxSlots;
-    SA_CHECK_MSG(attempts < kMaxSlots * 16, "epoch pin slots exhausted");
+    i = i + 1 == num_slots_ ? 0 : i + 1;
   }
+  SA_OBS_COUNT(kEpochPinRejects);
+  return {-1};
+}
+
+EpochManager::PinHandle EpochManager::Pin() {
+  const PinHandle handle = TryPin();
+  SA_CHECK_MSG(handle.valid(), "epoch pin slots exhausted");
+  return handle;
 }
 
 void EpochManager::Unpin(PinHandle handle) {
-  SA_DCHECK(handle.slot >= 0 && handle.slot < kMaxSlots);
+  SA_DCHECK(handle.slot >= 0 && handle.slot < num_slots_);
   slots_[handle.slot].value.store(kFree, std::memory_order_seq_cst);
 }
 
@@ -66,8 +83,8 @@ void EpochManager::Retire(std::function<void()> deleter) {
 }
 
 bool EpochManager::AllPinnedAt(uint64_t epoch) const {
-  for (const Slot& slot : slots_) {
-    const uint64_t v = slot.value.load(std::memory_order_seq_cst);
+  for (int i = 0; i < num_slots_; ++i) {
+    const uint64_t v = slots_[i].value.load(std::memory_order_seq_cst);
     if (v != kFree && DecodeEpoch(v) != epoch) {
       return false;
     }
@@ -114,8 +131,8 @@ size_t EpochManager::retired_count() const {
 
 int EpochManager::pinned_count() const {
   int count = 0;
-  for (const Slot& slot : slots_) {
-    count += slot.value.load(std::memory_order_seq_cst) != kFree ? 1 : 0;
+  for (int i = 0; i < num_slots_; ++i) {
+    count += slots_[i].value.load(std::memory_order_seq_cst) != kFree ? 1 : 0;
   }
   return count;
 }

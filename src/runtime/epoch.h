@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -33,27 +34,40 @@ namespace sa::runtime {
 
 class EpochManager {
  public:
-  // Upper bound on concurrently pinned readers (threads × nested pins).
-  // Slots are claimed per Pin(), so the bound is on simultaneous pins, not
-  // on registered threads.
-  static constexpr int kMaxSlots = 256;
+  // Default upper bound on concurrently pinned readers (threads × nested
+  // pins). Slots are claimed per Pin(), so the bound is on simultaneous
+  // pins, not on registered threads. A sharded registry gives every shard
+  // its own domain, so the bound is per shard, not process-wide.
+  static constexpr int kDefaultSlots = 256;
 
-  EpochManager() = default;
+  EpochManager() : EpochManager(kDefaultSlots) {}
+  explicit EpochManager(int num_slots);
   ~EpochManager();
 
   EpochManager(const EpochManager&) = delete;
   EpochManager& operator=(const EpochManager&) = delete;
 
-  // A pinned slot. Obtained from Pin(); must be returned via Unpin() on the
-  // same manager. POD handle so ArraySnapshot can carry it by value.
+  // A pinned slot. Obtained from Pin()/TryPin(); must be returned via
+  // Unpin() on the same manager. POD handle so ArraySnapshot can carry it
+  // by value. `valid()` is false only for TryPin()'s exhaustion result.
   struct PinHandle {
     int slot = -1;
+    bool valid() const { return slot >= 0; }
   };
 
   // Enters the current epoch. Hot path: one CAS to claim a slot (the
   // thread-local hint makes this hit the same free slot every time) plus a
-  // store/validate pair on the epoch — no locks.
+  // store/validate pair on the epoch — no locks. Aborts when the domain's
+  // slots are exhausted (use TryPin to observe exhaustion as an error).
   PinHandle Pin();
+
+  // Like Pin(), but when every slot is claimed after a bounded sweep it
+  // returns an invalid handle instead of spinning or aborting — the
+  // admission-control shape a service needs when more readers arrive than
+  // the domain was sized for. Never blocks.
+  PinHandle TryPin();
+
+  int num_slots() const { return num_slots_; }
 
   // Leaves the epoch; `handle` becomes invalid.
   void Unpin(PinHandle handle);
@@ -90,7 +104,8 @@ class EpochManager {
   bool AllPinnedAt(uint64_t epoch) const;
 
   std::atomic<uint64_t> global_epoch_{1};  // starts at 1 so encoded values != kFree
-  Slot slots_[kMaxSlots];
+  const int num_slots_;
+  std::unique_ptr<Slot[]> slots_;
 
   mutable std::mutex retire_mu_;
   std::vector<Retired> retired_;

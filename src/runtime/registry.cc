@@ -1,5 +1,8 @@
 #include "runtime/registry.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
 #include <utility>
 
 #include "common/bits.h"
@@ -20,6 +23,32 @@ std::function<void(ArraySlot&)> PrePublishHook() {
   return g_pre_publish_hook;
 }
 
+// FNV-1a. Stable across runs (no seed): shard addressing and table probing
+// both key off it, and tests rely on deterministic shard assignment.
+uint64_t HashName(std::string_view name) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t MaskForBits(uint32_t bits) {
+  return bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+}
+
+// Binds the snapshot fast-path fields once the version's storage is final.
+void BindVersionFastPath(ArrayVersion& version, uint32_t flush_shift) {
+  version.codec = &smart::CodecFor(version.storage->bits());
+  // Only kReplicated storage resolves replicas per thread; every other
+  // placement has a single replica, fetchable here once.
+  version.fixed_replica = version.storage->replicated()
+                              ? nullptr
+                              : version.storage->GetReplicaForCurrentThread();
+  version.flush_shift = flush_shift;
+}
+
 }  // namespace
 
 namespace testing {
@@ -31,15 +60,125 @@ void SetPrePublishHook(std::function<void(ArraySlot&)> hook) {
 
 }  // namespace testing
 
+// Published open-addressed index for one shard's by-name hot path.
+// Grow-only: entries are never removed or moved, so Create can publish a
+// new entry into the live table in place (hash stored first, slot pointer
+// release-stored last — a racing probe sees either a complete entry or an
+// empty bucket, never a torn one). When load would exceed 1/2 the table is
+// rebuilt larger under the shard mutex, release-stored, and the old one
+// retired through the shard's epoch domain, so readers probing under a pin
+// can never touch freed entries. Low hash bits select the shard, so
+// probing starts from the bits above them.
+struct SlotTable {
+  // 64-byte entries with the key inlined: the confirming name compare for
+  // a probe hit reads the entry line the probe already fetched instead of
+  // chasing the slot's heap-allocated name (one fewer cold cache line on
+  // every by-name acquire). Names longer than the inline capacity fall
+  // back to comparing through the slot.
+  static constexpr size_t kInlineName = 47;
+  static constexpr uint8_t kNameOverflow = 0xff;
+
+  struct Entry {
+    std::atomic<uint64_t> hash{0};
+    std::atomic<ArraySlot*> slot{nullptr};  // nullptr = empty
+    uint8_t name_len = 0;                   // kNameOverflow => compare via slot
+    char name[kInlineName] = {};
+  };
+  static_assert(sizeof(Entry) == 64);
+
+  explicit SlotTable(size_t capacity)
+      : mask(capacity - 1), entries(new Entry[capacity]) {}
+
+  // Writer side; serialized by the shard mutex. The slot pointer is
+  // release-stored last, so a racing probe sees either a complete entry or
+  // an empty bucket.
+  void Insert(uint64_t hash, ArraySlot* slot, int shard_bits) {
+    size_t i = (hash >> shard_bits) & mask;
+    while (entries[i].slot.load(std::memory_order_relaxed) != nullptr) {
+      i = (i + 1) & mask;
+    }
+    const std::string_view name = slot->name();
+    if (name.size() <= kInlineName) {
+      entries[i].name_len = static_cast<uint8_t>(name.size());
+      std::memcpy(entries[i].name, name.data(), name.size());
+    } else {
+      entries[i].name_len = kNameOverflow;
+    }
+    entries[i].hash.store(hash, std::memory_order_relaxed);
+    entries[i].slot.store(slot, std::memory_order_release);
+  }
+
+  ArraySlot* Find(uint64_t hash, std::string_view name, int shard_bits) const {
+    size_t i = (hash >> shard_bits) & mask;
+    for (;;) {
+      // The acquire pairs with Insert's release store, making the plain
+      // reads of the rest of the entry below well-ordered.
+      ArraySlot* slot = entries[i].slot.load(std::memory_order_acquire);
+      if (slot == nullptr) {
+        return nullptr;
+      }
+      // The name compare runs only on a 64-bit hash match, i.e. at most
+      // once per probe in practice.
+      if (entries[i].hash.load(std::memory_order_relaxed) == hash) {
+        const Entry& e = entries[i];
+        if (e.name_len != kNameOverflow
+                ? (e.name_len == name.size() &&
+                   std::memcmp(e.name, name.data(), name.size()) == 0)
+                : slot->name() == name) {
+          return slot;
+        }
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  size_t capacity() const { return mask + 1; }
+
+  const size_t mask;
+  std::unique_ptr<Entry[]> entries;
+};
+
+// One independent contention domain of the control plane.
+struct RegistryShard {
+  explicit RegistryShard(int pin_slots) : epoch(pin_slots) {}
+
+  ~RegistryShard() {
+    // Current versions die with their shard; retired ones are freed by the
+    // epoch member's destructor, which runs after this body.
+    for (auto& [name, slot] : slots) {
+      delete slot->current_.exchange(nullptr, std::memory_order_acq_rel);
+    }
+    delete table.load(std::memory_order_acquire);
+  }
+
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<ArraySlot>, std::less<>> slots;
+  std::atomic<SlotTable*> table{nullptr};
+  EpochManager epoch;
+
+  // Intrusive MPSC stack of slots with undrained workload samples; the
+  // claiming daemon worker is the single consumer.
+  std::atomic<ArraySlot*> sample_head{nullptr};
+  std::atomic<int64_t> queue_depth{0};
+
+  // Epoch-ns cell the daemon worker set claims this shard through (CAS
+  // winner owns the pass; losers move on — that is the steal protocol).
+  std::atomic<uint64_t> next_due{0};
+};
+
 // ---- ArraySnapshot ----
 
 ArraySnapshot::ArraySnapshot(ArraySlot* slot, const ArrayVersion* version,
                              EpochManager::PinHandle pin)
     : slot_(slot),
       version_(version),
-      replica_(version->storage->GetReplicaForCurrentThread()),
-      codec_(&smart::CodecFor(version->storage->bits())),
-      pin_(pin) {}
+      replica_(version->fixed_replica != nullptr
+                   ? version->fixed_replica
+                   : version->storage->GetReplicaForCurrentThread()),
+      codec_(version->codec != nullptr ? version->codec
+                                       : &smart::CodecFor(version->storage->bits())),
+      pin_(pin),
+      flush_shift_(version->flush_shift) {}
 
 ArraySnapshot::ArraySnapshot(ArraySnapshot&& other) noexcept
     : slot_(std::exchange(other.slot_, nullptr)),
@@ -49,7 +188,8 @@ ArraySnapshot::ArraySnapshot(ArraySnapshot&& other) noexcept
       pin_(other.pin_),
       prev_index_plus_one_(other.prev_index_plus_one_),
       local_sequential_(other.local_sequential_),
-      local_random_(other.local_random_) {}
+      local_random_(other.local_random_),
+      flush_shift_(other.flush_shift_) {}
 
 ArraySnapshot& ArraySnapshot::operator=(ArraySnapshot&& other) noexcept {
   if (this != &other) {
@@ -62,6 +202,7 @@ ArraySnapshot& ArraySnapshot::operator=(ArraySnapshot&& other) noexcept {
     prev_index_plus_one_ = other.prev_index_plus_one_;
     local_sequential_ = other.local_sequential_;
     local_random_ = other.local_random_;
+    flush_shift_ = other.flush_shift_;
   }
   return *this;
 }
@@ -81,28 +222,69 @@ void ArraySnapshot::Release() {
   // Batched on release, so per-element reads never touch a shared counter.
   SA_OBS_COUNT_N(kSnapshotReads, local_sequential_ + local_random_);
   SA_OBS_GAUGE_ADD(kLiveSnapshots, -1);
-  slot_->FlushSnapshotCounters(local_sequential_, local_random_);
+  if (flush_shift_ == 0) {
+    slot_->FlushSnapshotCounters(local_sequential_, local_random_, 1);
+  } else {
+    // Sampled telemetry mode: only every 2^shift-th release (per thread)
+    // writes the shared counter line, with counts scaled by 2^shift so the
+    // daemon still sees an expectation-exact access rate.
+    thread_local uint64_t flush_tick = 0;
+    if ((++flush_tick & ((uint64_t{1} << flush_shift_) - 1)) == 0) {
+      slot_->FlushSnapshotCounters(local_sequential_ << flush_shift_,
+                                   local_random_ << flush_shift_,
+                                   uint64_t{1} << flush_shift_);
+    }
+  }
   slot_->epoch_->Unpin(pin_);
   slot_ = nullptr;
+  version_ = nullptr;
 }
 
 // ---- ArraySlot ----
 
 ArraySlot::ArraySlot(std::string name, uint64_t length, EpochManager* epoch)
     : name_(std::move(name)),
-      length_(length),
       epoch_(epoch),
+      length_(length),
       last_drain_(std::chrono::steady_clock::now()) {}
 
-ArraySnapshot ArraySlot::Acquire() {
-  SA_OBS_COUNT(kSnapshotAcquires);
-  SA_OBS_GAUGE_ADD(kLiveSnapshots, 1);
-  const EpochManager::PinHandle pin = epoch_->Pin();
+ArraySnapshot ArraySlot::MakeSnapshot(EpochManager::PinHandle pin) {
   // The pin happens-before this load: the version read here cannot be freed
   // until the pin is released (it can be *retired* concurrently, which is
   // fine — retirement only queues the free).
   const ArrayVersion* version = current_.load(std::memory_order_acquire);
   return ArraySnapshot(this, version, pin);
+}
+
+ArraySnapshot ArraySlot::Acquire() {
+  SA_OBS_COUNT(kSnapshotAcquires);
+  SA_OBS_GAUGE_ADD(kLiveSnapshots, 1);
+  return MakeSnapshot(epoch_->Pin());
+}
+
+ArraySnapshot ArraySlot::TryAcquire() {
+  const EpochManager::PinHandle pin = epoch_->TryPin();
+  if (!pin.valid()) {
+    SA_OBS_COUNT(kSnapshotAcquireRejects);
+    return ArraySnapshot();
+  }
+  SA_OBS_COUNT(kSnapshotAcquires);
+  SA_OBS_GAUGE_ADD(kLiveSnapshots, 1);
+  return MakeSnapshot(pin);
+}
+
+void ArraySlot::RedeclareBits(uint32_t bits) {
+  SA_CHECK(bits >= 1 && bits <= 64);
+  declared_bits_.store(bits, std::memory_order_relaxed);
+}
+
+void ArraySlot::CommitWriteLocked(const ArrayVersion* version, uint64_t index,
+                                  uint64_t value) {
+  version->storage->InitAtomic(index, value);
+  if (value > max_written_.load(std::memory_order_relaxed)) {
+    max_written_.store(value, std::memory_order_relaxed);
+  }
+  writes_.fetch_add(1, std::memory_order_release);
 }
 
 void ArraySlot::Write(uint64_t index, uint64_t value) {
@@ -112,14 +294,61 @@ void ArraySlot::Write(uint64_t index, uint64_t value) {
   // Holding write_mu_ keeps this version current (Publish takes the same
   // mutex), so no epoch pin is needed here.
   ArrayVersion* version = current_.load(std::memory_order_acquire);
-  smart::SmartArray& storage = *version->storage;
-  SA_CHECK_MSG((value & ~storage.max_value()) == 0,
+  SA_CHECK_MSG((value & ~version->storage->max_value()) == 0,
                "write exceeds the slot's current storage width");
-  storage.InitAtomic(index, value);
-  if (value > max_written_.load(std::memory_order_relaxed)) {
-    max_written_.store(value, std::memory_order_relaxed);
+  CommitWriteLocked(version, index, value);
+  EnqueueForSampling();
+}
+
+bool ArraySlot::TryWrite(uint64_t index, uint64_t value) {
+  SA_CHECK(index < length_);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  ArrayVersion* version = current_.load(std::memory_order_acquire);
+  if ((value & ~version->storage->max_value()) != 0) {
+    return false;
   }
-  writes_.fetch_add(1, std::memory_order_release);
+  SA_OBS_COUNT(kSlotWrites);
+  CommitWriteLocked(version, index, value);
+  EnqueueForSampling();
+  return true;
+}
+
+uint64_t ArraySlot::FetchAdd(uint64_t index, uint64_t delta) {
+  SA_CHECK(index < length_);
+  SA_OBS_COUNT(kSlotFetchAdds);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  ArrayVersion* version = current_.load(std::memory_order_acquire);
+  smart::SmartArray& storage = *version->storage;
+  const uint64_t old =
+      smart::CodecFor(storage.bits()).get(storage.GetReplicaForCurrentThread(), index);
+  // Wrap at the declared width, not the live storage width: the arithmetic
+  // contract must not depend on how far the daemon has narrowed storage.
+  const uint64_t next = (old + delta) & MaskForBits(declared_bits());
+  SA_CHECK_MSG((next & ~storage.max_value()) == 0,
+               "fetch-add exceeds the slot's current storage width");
+  CommitWriteLocked(version, index, next);
+  EnqueueForSampling();
+  return old;
+}
+
+bool ArraySlot::TryFetchAdd(uint64_t index, uint64_t delta, uint64_t* old_value) {
+  SA_CHECK(index < length_);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  ArrayVersion* version = current_.load(std::memory_order_acquire);
+  smart::SmartArray& storage = *version->storage;
+  const uint64_t old =
+      smart::CodecFor(storage.bits()).get(storage.GetReplicaForCurrentThread(), index);
+  const uint64_t next = (old + delta) & MaskForBits(declared_bits());
+  if ((next & ~storage.max_value()) != 0) {
+    return false;
+  }
+  SA_OBS_COUNT(kSlotFetchAdds);
+  CommitWriteLocked(version, index, next);
+  EnqueueForSampling();
+  if (old_value != nullptr) {
+    *old_value = old;
+  }
+  return true;
 }
 
 uint32_t ArraySlot::max_written_bits() const {
@@ -127,14 +356,36 @@ uint32_t ArraySlot::max_written_bits() const {
   return v == 0 ? 0 : BitsForValue(v);
 }
 
-void ArraySlot::FlushSnapshotCounters(uint64_t sequential, uint64_t random) {
+void ArraySlot::FlushSnapshotCounters(uint64_t sequential, uint64_t random, uint64_t pins) {
   if (sequential != 0) {
     sequential_reads_.fetch_add(sequential, std::memory_order_relaxed);
   }
   if (random != 0) {
     random_reads_.fetch_add(random, std::memory_order_relaxed);
   }
-  pins_.fetch_add(1, std::memory_order_relaxed);
+  pins_.fetch_add(pins, std::memory_order_relaxed);
+  EnqueueForSampling();
+}
+
+void ArraySlot::EnqueueForSampling() {
+  if (shard_ == nullptr) {
+    return;
+  }
+  // Cheap dedup: after the first enqueue every release/write until the next
+  // daemon drain costs one relaxed load.
+  if (queued_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (queued_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  ArraySlot* head = shard_->sample_head.load(std::memory_order_relaxed);
+  do {
+    next_queued_.store(head, std::memory_order_relaxed);
+  } while (!shard_->sample_head.compare_exchange_weak(
+      head, this, std::memory_order_release, std::memory_order_relaxed));
+  shard_->queue_depth.fetch_add(1, std::memory_order_relaxed);
+  SA_OBS_GAUGE_ADD(kDaemonQueueDepth, 1);
 }
 
 SlotSample ArraySlot::DrainSample() {
@@ -162,53 +413,134 @@ SlotSample ArraySlot::LifetimeSample() const {
 
 // ---- ArrayRegistry ----
 
-ArrayRegistry::ArrayRegistry(const platform::Topology& topology) : topology_(topology) {}
-
-ArrayRegistry::~ArrayRegistry() {
-  // Free current versions; retired ones are freed by the epoch manager's
-  // destructor. All readers must be gone by now.
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, slot] : slots_) {
-    delete slot->current_.exchange(nullptr, std::memory_order_acq_rel);
+ArrayRegistry::ArrayRegistry(const platform::Topology& topology, Options options)
+    : topology_(topology) {
+  const unsigned requested =
+      static_cast<unsigned>(std::max(1, options.num_shards));
+  num_shards_ = static_cast<int>(std::bit_ceil(requested));
+  shard_bits_ = std::countr_zero(static_cast<unsigned>(num_shards_));
+  SA_CHECK(options.pin_slots_per_shard > 0);
+  SA_CHECK(options.counter_flush_sample_shift < 16);
+  flush_shift_ = options.counter_flush_sample_shift;
+  shards_.reserve(static_cast<size_t>(num_shards_));
+  for (int i = 0; i < num_shards_; ++i) {
+    shards_.push_back(std::make_unique<RegistryShard>(options.pin_slots_per_shard));
   }
 }
 
-ArraySlot* ArrayRegistry::Create(const std::string& name, uint64_t length,
+ArrayRegistry::~ArrayRegistry() = default;
+
+RegistryShard& ArrayRegistry::ShardFor(uint64_t hash) const {
+  return *shards_[hash & static_cast<uint64_t>(num_shards_ - 1)];
+}
+
+ArraySlot* ArrayRegistry::Create(std::string_view name, uint64_t length,
                                  smart::PlacementSpec placement, uint32_t bits) {
   auto storage = smart::SmartArray::Allocate(length, placement, bits, topology_);
   auto version = std::make_unique<ArrayVersion>();
   version->storage = std::move(storage);
   version->sequence = 0;
+  BindVersionFastPath(*version, flush_shift_);
 
-  std::lock_guard<std::mutex> lock(mu_);
-  SA_CHECK_MSG(slots_.count(name) == 0, "registry slot name already exists");
-  auto slot = std::unique_ptr<ArraySlot>(new ArraySlot(name, length, &epoch_));
+  const uint64_t hash = HashName(name);
+  RegistryShard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  SA_CHECK_MSG(shard.slots.find(name) == shard.slots.end(),
+               "registry slot name already exists");
+  auto slot =
+      std::unique_ptr<ArraySlot>(new ArraySlot(std::string(name), length, &shard.epoch));
+  slot->name_hash_ = hash;
+  slot->shard_ = &shard;
+  slot->flush_shift_ = flush_shift_;
+  slot->declared_bits_.store(bits, std::memory_order_relaxed);
   slot->current_.store(version.release(), std::memory_order_release);
   ArraySlot* raw = slot.get();
-  slots_.emplace(name, std::move(slot));
+  shard.slots.emplace(raw->name(), std::move(slot));
+
+  // Publish into the shard's by-name index. Fast path: the live table has
+  // headroom, so the new entry is release-stored in place (grow-only open
+  // addressing — safe against concurrent probes). Slow path: rebuild at 4x
+  // the population, swap, and drain the old table through the shard epoch
+  // like a retired version. Amortized O(1) per create, load factor <= 1/2.
+  SlotTable* table = shard.table.load(std::memory_order_relaxed);
+  if (table == nullptr || shard.slots.size() * 2 > table->capacity()) {
+    const size_t capacity = std::bit_ceil(std::max<size_t>(16, shard.slots.size() * 4));
+    auto* grown = new SlotTable(capacity);
+    for (const auto& [slot_name, s] : shard.slots) {
+      grown->Insert(s->name_hash_, s.get(), shard_bits_);
+    }
+    SlotTable* old_table = shard.table.exchange(grown, std::memory_order_acq_rel);
+    if (old_table != nullptr) {
+      shard.epoch.Retire([old_table] { delete old_table; });
+    }
+  } else {
+    table->Insert(raw->name_hash_, raw, shard_bits_);
+  }
   SA_OBS_GAUGE_ADD(kRegistrySlots, 1);
   return raw;
 }
 
-ArraySlot* ArrayRegistry::Open(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = slots_.find(name);
-  return it == slots_.end() ? nullptr : it->second.get();
+ArraySlot* ArrayRegistry::Open(std::string_view name) const {
+  const uint64_t hash = HashName(name);
+  RegistryShard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.slots.find(name);
+  return it == shard.slots.end() ? nullptr : it->second.get();
+}
+
+ArraySnapshot ArrayRegistry::AcquireByName(std::string_view name) {
+  SA_OBS_COUNT(kRegistryAcquireByName);
+  const uint64_t hash = HashName(name);
+  RegistryShard& shard = ShardFor(hash);
+  // Pin before probing: the pin protects the table as well as the version,
+  // so one epoch enter/exit covers the whole acquire.
+  const EpochManager::PinHandle pin = shard.epoch.TryPin();
+  if (!pin.valid()) {
+    SA_OBS_COUNT(kSnapshotAcquireRejects);
+    return ArraySnapshot();
+  }
+  const SlotTable* table = shard.table.load(std::memory_order_acquire);
+  ArraySlot* slot = table == nullptr ? nullptr : table->Find(hash, name, shard_bits_);
+  if (slot == nullptr) {
+    shard.epoch.Unpin(pin);
+    return ArraySnapshot();
+  }
+  SA_OBS_COUNT(kSnapshotAcquires);
+  SA_OBS_GAUGE_ADD(kLiveSnapshots, 1);
+  return slot->MakeSnapshot(pin);
 }
 
 std::vector<ArraySlot*> ArrayRegistry::slots() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<ArraySlot*> out;
-  out.reserve(slots_.size());
-  for (const auto& [name, slot] : slots_) {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.reserve(out.size() + shard->slots.size());
+    for (const auto& [name, slot] : shard->slots) {
+      out.push_back(slot.get());
+    }
+  }
+  return out;
+}
+
+std::vector<ArraySlot*> ArrayRegistry::shard_slots(int shard) const {
+  SA_DCHECK(shard >= 0 && shard < num_shards_);
+  RegistryShard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<ArraySlot*> out;
+  out.reserve(s.slots.size());
+  for (const auto& [name, slot] : s.slots) {
     out.push_back(slot.get());
   }
   return out;
 }
 
 size_t ArrayRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return slots_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->slots.size();
+  }
+  return total;
 }
 
 bool ArrayRegistry::Publish(ArraySlot& slot, std::unique_ptr<smart::SmartArray> storage,
@@ -233,12 +565,83 @@ bool ArrayRegistry::Publish(ArraySlot& slot, std::unique_ptr<smart::SmartArray> 
   auto next = std::make_unique<ArrayVersion>();
   next->storage = std::move(storage);
   next->sequence = old->sequence + 1;
+  BindVersionFastPath(*next, slot.flush_shift_);
   const uint64_t sequence = next->sequence;
   slot.current_.store(next.release(), std::memory_order_seq_cst);
-  epoch_.Retire([old] { delete old; });
+  // Retire through the slot's own shard domain: reclamation progress on one
+  // shard never waits on another shard's pinned readers.
+  slot.epoch_->Retire([old] { delete old; });
   SA_OBS_COUNT(kPublishes);
   SA_OBS_TRACE(kTracePublish, slot.name().c_str(), sequence, /*ok=*/1);
   return true;
+}
+
+size_t ArrayRegistry::Reclaim() {
+  size_t freed = 0;
+  for (const auto& shard : shards_) {
+    freed += shard->epoch.TryReclaim();
+  }
+  return freed;
+}
+
+size_t ArrayRegistry::ReclaimShard(int shard) {
+  SA_DCHECK(shard >= 0 && shard < num_shards_);
+  return shards_[shard]->epoch.TryReclaim();
+}
+
+EpochManager& ArrayRegistry::shard_epoch(int shard) {
+  SA_DCHECK(shard >= 0 && shard < num_shards_);
+  return shards_[shard]->epoch;
+}
+
+size_t ArrayRegistry::shard_retired(int shard) const {
+  SA_DCHECK(shard >= 0 && shard < num_shards_);
+  return shards_[shard]->epoch.retired_count();
+}
+
+int64_t ArrayRegistry::shard_queue_depth(int shard) const {
+  SA_DCHECK(shard >= 0 && shard < num_shards_);
+  return shards_[shard]->queue_depth.load(std::memory_order_relaxed);
+}
+
+std::atomic<uint64_t>& ArrayRegistry::shard_next_due(int shard) {
+  SA_DCHECK(shard >= 0 && shard < num_shards_);
+  return shards_[shard]->next_due;
+}
+
+std::vector<ArraySlot*> ArrayRegistry::DrainSampleQueue(int shard) {
+  SA_DCHECK(shard >= 0 && shard < num_shards_);
+  RegistryShard& s = *shards_[shard];
+  ArraySlot* head = s.sample_head.exchange(nullptr, std::memory_order_acquire);
+  std::vector<ArraySlot*> out;
+  while (head != nullptr) {
+    // Save the link before re-arming the flag: once queued_ drops, the slot
+    // may immediately re-enqueue itself and overwrite next_queued_.
+    ArraySlot* next = head->next_queued_.load(std::memory_order_relaxed);
+    head->next_queued_.store(nullptr, std::memory_order_relaxed);
+    head->queued_.store(false, std::memory_order_release);
+    out.push_back(head);
+    head = next;
+  }
+  if (!out.empty()) {
+    s.queue_depth.fetch_sub(static_cast<int64_t>(out.size()), std::memory_order_relaxed);
+    SA_OBS_GAUGE_ADD(kDaemonQueueDepth, -static_cast<int64_t>(out.size()));
+  }
+  return out;
+}
+
+uint64_t ArrayRegistry::min_epoch() const {
+  uint64_t lowest = ~uint64_t{0};
+  for (const auto& shard : shards_) {
+    lowest = std::min(lowest, shard->epoch.epoch());
+  }
+  return lowest;
+}
+
+EpochManager& ArrayRegistry::epoch() {
+  SA_CHECK_MSG(num_shards_ == 1,
+               "ArrayRegistry::epoch() is single-shard only; use shard_epoch(i)");
+  return shards_[0]->epoch;
 }
 
 }  // namespace sa::runtime

@@ -22,6 +22,16 @@
 //     raced the rebuild. Reads stay lock-free throughout — the runtime is
 //     built for the paper's read-only/read-mostly analytics arrays.
 //
+// Multi-tenant scale (10⁴–10⁵ slots, hundreds of client threads) adds a
+// second axis: the control plane itself is sharded. Slot names hash to one
+// of `Options::num_shards` shards; each shard owns an independent mutex +
+// name map (Create/Open contention domain), an independent epoch domain
+// (pin arrays and TryReclaim never scan other shards' readers), a published
+// open-addressed hash table for lock-free by-name acquisition, and an
+// intrusive MPSC queue of slots with undrained workload samples (what the
+// daemon workers consume). A single-shard registry (the default) keeps the
+// seed's behavior and cost model exactly.
+//
 // Snapshots also sample the workload (sequential vs random reads, writes)
 // into per-slot counters; the daemon drains them to drive the §6 selector.
 #ifndef SA_RUNTIME_REGISTRY_H_
@@ -34,6 +44,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "platform/topology.h"
@@ -46,6 +57,7 @@ namespace sa::runtime {
 class ArraySlot;
 class ArrayRegistry;
 class AdaptationDaemon;
+struct RegistryShard;
 
 // One published representation of a slot's contents. Immutable once
 // published except through ArraySlot::Write (which serializes with
@@ -53,6 +65,16 @@ class AdaptationDaemon;
 struct ArrayVersion {
   std::unique_ptr<smart::SmartArray> storage;
   uint64_t sequence = 0;
+  // Snapshot-construction fast path, filled when the version is published:
+  // the codec is fixed per version, and for placement-invariant storage
+  // (everything except kReplicated) so is the replica pointer. Binding
+  // both here lets a snapshot build off this one cache line without
+  // touching the SmartArray header.
+  const uint64_t* fixed_replica = nullptr;  // nullptr => resolve per thread
+  const smart::CodecOps* codec = nullptr;
+  // Copied from Options::counter_flush_sample_shift so a snapshot learns
+  // its flush policy from the version line it reads anyway.
+  uint32_t flush_shift = 0;
 };
 
 // Interval sample of a slot's workload counters (drained by the daemon).
@@ -71,14 +93,22 @@ struct SlotSample {
 // flushes the locally accumulated access counters to the slot. Cheap to
 // acquire and intended to be short-lived (a pinned snapshot blocks storage
 // reclamation, never publication).
+//
+// A default-constructed snapshot is invalid (valid() == false): that is
+// what TryAcquire/AcquireByName return when the slot's epoch domain is
+// saturated or the name is unknown — admission control surfaces as a
+// rejected acquire, not an abort.
 class ArraySnapshot {
  public:
+  ArraySnapshot() = default;
   ArraySnapshot(ArraySnapshot&& other) noexcept;
   ArraySnapshot& operator=(ArraySnapshot&& other) noexcept;
   ~ArraySnapshot() { Release(); }
 
   ArraySnapshot(const ArraySnapshot&) = delete;
   ArraySnapshot& operator=(const ArraySnapshot&) = delete;
+
+  bool valid() const { return version_ != nullptr; }
 
   const smart::SmartArray& array() const { return *version_->storage; }
   uint64_t length() const { return version_->storage->length(); }
@@ -107,6 +137,7 @@ class ArraySnapshot {
 
  private:
   friend class ArraySlot;
+  friend class ArrayRegistry;
   ArraySnapshot(ArraySlot* slot, const ArrayVersion* version, EpochManager::PinHandle pin);
 
   ArraySlot* slot_ = nullptr;  // null once released / moved from
@@ -117,6 +148,7 @@ class ArraySnapshot {
   uint64_t prev_index_plus_one_ = ~uint64_t{0};
   uint64_t local_sequential_ = 0;
   uint64_t local_random_ = 0;
+  uint32_t flush_shift_ = 0;  // copied from the version at construction
 };
 
 class ArraySlot {
@@ -130,8 +162,24 @@ class ArraySlot {
   smart::PlacementSpec placement() const { return Current()->storage->placement(); }
   uint64_t sequence() const { return Current()->sequence; }
 
+  // Logical value width the slot was declared with (Create's `bits`, or the
+  // last explicit RedeclareBits). FetchAdd wraps at this width regardless
+  // of how narrow the live storage currently is, so arithmetic semantics
+  // survive daemon restructures.
+  uint32_t declared_bits() const {
+    return declared_bits_.load(std::memory_order_relaxed);
+  }
+  void RedeclareBits(uint32_t bits);
+
+  // The epoch domain this slot pins and retires through (its shard's).
+  EpochManager& epoch() const { return *epoch_; }
+
   // Lock-free snapshot acquisition — the reader hot path.
   ArraySnapshot Acquire();
+
+  // Like Acquire(), but returns an invalid snapshot instead of aborting
+  // when the slot's epoch domain has no free pin slots.
+  ArraySnapshot TryAcquire();
 
   // Element write into the current representation (every replica). Writers
   // serialize on a per-slot mutex against each other and against
@@ -139,6 +187,19 @@ class ArraySlot {
   // with (a concurrent restructure may have narrowed the storage to the
   // observed data width, so writes are checked against the live width).
   void Write(uint64_t index, uint64_t value);
+
+  // Failable Write: false when `value` does not fit the live storage width
+  // (the admissible outcome under open-loop traffic; Write aborts instead).
+  bool TryWrite(uint64_t index, uint64_t value);
+
+  // Atomic-with-respect-to-writers read-modify-write: returns the old value
+  // and stores (old + delta) wrapped at declared_bits(). Aborts when the
+  // wrapped result does not fit the live storage width.
+  uint64_t FetchAdd(uint64_t index, uint64_t delta);
+
+  // Failable FetchAdd: stores nothing and returns false on live-storage
+  // overflow; otherwise *old_value gets the previous value.
+  bool TryFetchAdd(uint64_t index, uint64_t delta, uint64_t* old_value);
 
   // ---- workload counters ----
   uint64_t write_count() const { return writes_.load(std::memory_order_relaxed); }
@@ -161,6 +222,7 @@ class ArraySlot {
   friend class ArrayRegistry;
   friend class ArraySnapshot;
   friend class AdaptationDaemon;
+  friend struct RegistryShard;
 
   ArraySlot(std::string name, uint64_t length, EpochManager* epoch);
 
@@ -168,21 +230,46 @@ class ArraySlot {
     return current_.load(std::memory_order_acquire);
   }
 
-  void FlushSnapshotCounters(uint64_t sequential, uint64_t random);
+  ArraySnapshot MakeSnapshot(EpochManager::PinHandle pin);
 
+  void FlushSnapshotCounters(uint64_t sequential, uint64_t random, uint64_t pins);
+
+  // Pushes this slot onto its shard's undrained-sample queue unless it is
+  // already queued. One relaxed load on the repeat path; at most one
+  // exchange + CAS per daemon drain interval per slot.
+  void EnqueueForSampling();
+
+  // Write/FetchAdd bookkeeping shared by the checked and Try variants;
+  // caller holds write_mu_.
+  void CommitWriteLocked(const ArrayVersion* version, uint64_t index, uint64_t value);
+
+  // Acquire-path fields first: a by-name hit compares name_, then loads
+  // current_ and touches epoch_ — keeping all three inside the first 64
+  // bytes makes a cold acquire one slot-object cache miss instead of two.
+  // The second line holds everything an acquire/release pair increments
+  // (workload counters + sample-queue linkage), so snapshot bookkeeping
+  // stays within one further line.
   std::string name_;
-  uint64_t length_ = 0;
-  EpochManager* epoch_ = nullptr;
   std::atomic<ArrayVersion*> current_{nullptr};
-
-  // Serializes writers against each other and against Publish.
-  std::mutex write_mu_;
-  std::atomic<uint64_t> max_written_{0};  // updated under write_mu_
+  EpochManager* epoch_ = nullptr;
+  uint64_t length_ = 0;
+  uint64_t name_hash_ = 0;
 
   std::atomic<uint64_t> sequential_reads_{0};
   std::atomic<uint64_t> random_reads_{0};
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> pins_{0};
+  // Intrusive MPSC sample-queue linkage (head lives on the shard).
+  std::atomic<bool> queued_{false};
+  std::atomic<ArraySlot*> next_queued_{nullptr};
+
+  RegistryShard* shard_ = nullptr;
+  std::atomic<uint32_t> declared_bits_{64};
+  uint32_t flush_shift_ = 0;  // registry's counter_flush_sample_shift
+
+  // Serializes writers against each other and against Publish.
+  std::mutex write_mu_;
+  std::atomic<uint64_t> max_written_{0};  // updated under write_mu_
 
   // Daemon-side drain bookkeeping (single consumer).
   SlotSample drained_{};
@@ -191,19 +278,42 @@ class ArraySlot {
 
 class ArrayRegistry {
  public:
-  explicit ArrayRegistry(const platform::Topology& topology);
+  struct Options {
+    // Rounded up to a power of two. 1 (the default) preserves the seed's
+    // single contention domain: one mutex, one name map, one epoch domain.
+    int num_shards = 1;
+    // Pin-slot budget per shard epoch domain (max simultaneous pins).
+    int pin_slots_per_shard = EpochManager::kDefaultSlots;
+    // Sampled telemetry: when nonzero, a snapshot flushes its access
+    // counters to the slot only on every 2^shift-th release (per thread),
+    // scaled by 2^shift so the expectation stays exact. Keeps the shared
+    // counter cache line off most acquire/release pairs. 0 = flush every
+    // release (exact counts — what the daemon threshold tests rely on).
+    uint32_t counter_flush_sample_shift = 0;
+  };
+
+  explicit ArrayRegistry(const platform::Topology& topology)
+      : ArrayRegistry(topology, Options{}) {}
+  ArrayRegistry(const platform::Topology& topology, Options options);
   ~ArrayRegistry();
 
   ArrayRegistry(const ArrayRegistry&) = delete;
   ArrayRegistry& operator=(const ArrayRegistry&) = delete;
 
   // Creates a named slot with freshly allocated storage. Aborts on
-  // duplicate names. Control path (mutex-protected).
-  ArraySlot* Create(const std::string& name, uint64_t length, smart::PlacementSpec placement,
+  // duplicate names. Control path (per-shard mutex).
+  ArraySlot* Create(std::string_view name, uint64_t length, smart::PlacementSpec placement,
                     uint32_t bits);
 
   // Looks a slot up by name; nullptr when absent. Control path.
-  ArraySlot* Open(const std::string& name) const;
+  ArraySlot* Open(std::string_view name) const;
+
+  // The by-name reader hot path: hashes `name` once, pins the owning
+  // shard's epoch, and probes the shard's published open-addressed table
+  // under that pin — no mutex, no std::string construction, no std::map.
+  // Invalid snapshot when the name is unknown or the shard's pin slots are
+  // exhausted (kSnapshotAcquireRejects counts the latter).
+  ArraySnapshot AcquireByName(std::string_view name);
 
   std::vector<ArraySlot*> slots() const;
   size_t size() const;
@@ -217,19 +327,40 @@ class ArrayRegistry {
   bool Publish(ArraySlot& slot, std::unique_ptr<smart::SmartArray> storage,
                uint64_t writes_before);
 
-  // Frees retired storage whose epochs have fully drained; returns the
-  // number of versions reclaimed.
-  size_t Reclaim() { return epoch_.TryReclaim(); }
+  // Frees retired storage whose epochs have fully drained across every
+  // shard; returns the number of versions reclaimed.
+  size_t Reclaim();
 
-  EpochManager& epoch() { return epoch_; }
+  // ---- shard plane (daemon workers, stats exposition, tests) ----
+  int num_shards() const { return num_shards_; }
+  EpochManager& shard_epoch(int shard);
+  size_t shard_retired(int shard) const;
+  int64_t shard_queue_depth(int shard) const;
+  // Due-time cell the daemon worker set claims shards through (epoch ns).
+  std::atomic<uint64_t>& shard_next_due(int shard);
+  // Takes every slot currently queued with undrained samples on `shard`
+  // (single consumer per shard: the claiming daemon worker).
+  std::vector<ArraySlot*> DrainSampleQueue(int shard);
+  // Slots owned by `shard` (control path; used by synchronous RunOnce).
+  std::vector<ArraySlot*> shard_slots(int shard) const;
+  size_t ReclaimShard(int shard);
+  // Smallest epoch across shards (a conservative progress indicator for
+  // the C ABI's saRegistryEpoch).
+  uint64_t min_epoch() const;
+
+  // Legacy single-domain accessor; only meaningful (and only allowed) on a
+  // single-shard registry.
+  EpochManager& epoch();
   const platform::Topology& topology() const { return topology_; }
 
  private:
-  platform::Topology topology_;
-  EpochManager epoch_;
+  RegistryShard& ShardFor(uint64_t hash) const;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<ArraySlot>> slots_;
+  platform::Topology topology_;
+  int num_shards_ = 1;
+  int shard_bits_ = 0;  // log2(num_shards_): table probes skip these bits
+  uint32_t flush_shift_ = 0;
+  std::vector<std::unique_ptr<RegistryShard>> shards_;
 };
 
 namespace testing {

@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/random.h"
 #include "obs/entry_points.h"
 #include "platform/fault_injection.h"
+#include "runtime/daemon.h"
 #include "runtime/registry.h"
+#include "sim/cost_model.h"
+#include "sim/machine_spec.h"
 #include "testkit/generator.h"
 
 namespace sa::testkit {
@@ -21,6 +26,7 @@ namespace {
 constexpr uint64_t kRaceIndexSalt = 0x726163652d69ULL;  // "race-i"
 constexpr uint64_t kRaceValueSalt = 0x726163652d76ULL;  // "race-v"
 constexpr uint64_t kEpilogueSalt = 0x6570696c6fULL;     // "epilo"
+constexpr uint64_t kSlotSalt = 0x736c6f74ULL;           // "slot"
 
 const char* ToString(RestructureResult r) {
   switch (r) {
@@ -61,17 +67,44 @@ class Executor {
       : program_(program),
         scenario_(program.scenario),
         len_(program.scenario.length),
+        num_slots_(std::max(1, program.scenario.num_slots)),
         harness_(MakeHarness(program.scenario, ctx)),
-        model_(program.scenario.length, program.scenario.bits) {}
+        models_(static_cast<size_t>(num_slots_),
+                ArrayModel(program.scenario.length, program.scenario.bits)) {
+    if (scenario_.concurrent_daemon && harness_->registry() != nullptr) {
+      // Aggressive settings so the daemon actually republishes under the
+      // program: tiny interval, tiny sample floor, and a *negative* margin —
+      // on the synthetic test topology the cost model rarely predicts a
+      // positive win, and the property under test is publish safety, not
+      // decision quality. Its own pool — RunOnAll is not reentrant against
+      // harness rebuilds.
+      runtime::DaemonOptions options;
+      options.interval = std::chrono::milliseconds(1);
+      options.min_predicted_win = -1.0;
+      options.min_sampled_accesses = 32;
+      options.num_workers = 2;
+      daemon_ = std::make_unique<runtime::AdaptationDaemon>(
+          *harness_->registry(), ctx.daemon_pool,
+          adapt::MachineCaps::FromSpec(sim::MachineSpec::OracleX5_18Core()),
+          adapt::ArrayCosts::FromCostModel(sim::CostModel::Default()), options);
+    }
+  }
 
   RunResult Run(const RunOptions& opts) {
+    if (daemon_ != nullptr) {
+      daemon_->Start();
+    }
     for (size_t i = 0; i < program_.ops.size() && result_.ok; ++i) {
       Step(i, program_.ops[i]);
     }
+    if (daemon_ != nullptr) {
+      daemon_->Stop();  // quiesce before the exhaustive diff
+    }
     if (result_.ok) {
-      VerifyAll(program_.ops.size());
+      VerifyAllSlots(program_.ops.size());
     }
     if (result_.ok && opts.concurrent_epilogue && scenario_.variant == Variant::kRegistry) {
+      SelectSlot(0);
       ConcurrentEpilogue();
     }
     return result_;
@@ -94,55 +127,64 @@ class Executor {
   // Exhaustive diff of every observable: width, every element through the
   // variant's primary read path, and the block-kernel sum.
   void VerifyAll(size_t op_index) {
-    if (harness_->bits() != model_.bits()) {
-      Fail(op_index, Diff("bits", harness_->bits(), model_.bits()));
+    // With the daemon's worker set live, representation (width/placement)
+    // is daemon-controlled; the oracle is contents only.
+    if (!scenario_.concurrent_daemon && harness_->bits() != model().bits()) {
+      Fail(op_index, Diff("bits", harness_->bits(), model().bits()));
       return;
     }
     for (uint64_t i = 0; i < len_; ++i) {
       const uint64_t got = harness_->Get(i, i);  // rotate through replicas
-      if (got != model_.Get(i)) {
-        Fail(op_index, Diff(("a[" + std::to_string(i) + "]").c_str(), got, model_.Get(i)));
+      if (got != model().Get(i)) {
+        Fail(op_index, Diff(("a[" + std::to_string(i) + "]").c_str(), got, model().Get(i)));
         return;
       }
     }
     const uint64_t got_sum = harness_->SumRange(0, len_);
-    if (got_sum != model_.SumRange(0, len_)) {
-      Fail(op_index, Diff("sum[0,len)", got_sum, model_.SumRange(0, len_)));
+    if (got_sum != model().SumRange(0, len_)) {
+      Fail(op_index, Diff("sum[0,len)", got_sum, model().SumRange(0, len_)));
     }
   }
 
   void Step(size_t i, const Op& op) {
+    if (num_slots_ > 1) {
+      // Seed-derived fan-out: the op stream is unchanged, each op is routed
+      // to one of the registry's slots (and its model twin). op.c is already
+      // part of the replay contract, so shrinking preserves the routing.
+      SelectSlot(static_cast<size_t>(SplitMix64(op.c ^ kSlotSalt) %
+                                     static_cast<uint64_t>(num_slots_)));
+    }
     const uint64_t idx = op.a % len_;
     switch (op.kind) {
       case OpKind::kInit: {
-        const uint64_t value = op.b & model_.mask();
+        const uint64_t value = op.b & model().mask();
         harness_->Init(idx, value);
-        model_.Set(idx, value);
+        model().Set(idx, value);
         break;
       }
       case OpKind::kInitAtomic: {
-        const uint64_t value = op.b & model_.mask();
+        const uint64_t value = op.b & model().mask();
         harness_->InitAtomic(idx, value);
-        model_.Set(idx, value);
+        model().Set(idx, value);
         break;
       }
       case OpKind::kWrite: {
-        const uint64_t value = op.b & model_.mask();
+        const uint64_t value = op.b & model().mask();
         harness_->Init(idx, value);  // registry harness routes to ArraySlot::Write
-        model_.Set(idx, value);
+        model().Set(idx, value);
         break;
       }
       case OpKind::kGet: {
         const uint64_t got = harness_->Get(idx, op.b);
-        if (got != model_.Get(idx)) {
-          Fail(i, Diff("get", got, model_.Get(idx)));
+        if (got != model().Get(idx)) {
+          Fail(i, Diff("get", got, model().Get(idx)));
         }
         break;
       }
       case OpKind::kGetCodec: {
         const uint64_t got = harness_->GetCodec(idx);
-        if (got != model_.Get(idx)) {
-          Fail(i, Diff("get-codec", got, model_.Get(idx)));
+        if (got != model().Get(idx)) {
+          Fail(i, Diff("get-codec", got, model().Get(idx)));
         }
         break;
       }
@@ -156,7 +198,7 @@ class Executor {
           const uint64_t index = chunk * 64 + slot;
           // Slots past the logical length decode the zero padding of the
           // final partial chunk.
-          const uint64_t want = index < len_ ? model_.Get(index) : 0;
+          const uint64_t want = index < len_ ? model().Get(index) : 0;
           if (out[slot] != want) {
             Fail(i, Diff(("unpack chunk " + std::to_string(chunk) + " slot " +
                           std::to_string(slot))
@@ -177,9 +219,9 @@ class Executor {
           break;  // empty range or variant has no bulk surface
         }
         for (uint64_t k = 0; k < out.size(); ++k) {
-          if (out[k] != model_.Get(begin + k)) {
+          if (out[k] != model().Get(begin + k)) {
             Fail(i, Diff(("unpack-range a[" + std::to_string(begin + k) + "]").c_str(), out[k],
-                         model_.Get(begin + k)));
+                         model().Get(begin + k)));
             break;
           }
         }
@@ -197,13 +239,13 @@ class Executor {
         // reproduces the exact same bulk write.
         std::vector<uint64_t> values(end - begin);
         for (uint64_t k = 0; k < values.size(); ++k) {
-          values[k] = SplitMix64(op.c ^ (begin + k)) & model_.mask();
+          values[k] = SplitMix64(op.c ^ (begin + k)) & model().mask();
         }
         if (!harness_->PackRange(begin, end, values.data())) {
           break;  // variant has no bulk surface; model untouched
         }
         for (uint64_t k = 0; k < values.size(); ++k) {
-          model_.Set(begin + k, values[k]);
+          model().Set(begin + k, values[k]);
         }
         break;
       }
@@ -215,9 +257,9 @@ class Executor {
           break;
         }
         for (uint64_t k = 0; k < count; ++k) {
-          if (out[k] != model_.Get(start + k)) {
+          if (out[k] != model().Get(start + k)) {
             Fail(i, Diff(("iterate a[" + std::to_string(start + k) + "]").c_str(), out[k],
-                         model_.Get(start + k)));
+                         model().Get(start + k)));
             break;
           }
         }
@@ -229,15 +271,15 @@ class Executor {
         const uint64_t begin = std::min(x, y);
         const uint64_t end = std::max(x, y);
         const uint64_t got = harness_->SumRange(begin, end);
-        if (got != model_.SumRange(begin, end)) {
+        if (got != model().SumRange(begin, end)) {
           Fail(i, Diff(("sum[" + std::to_string(begin) + "," + std::to_string(end) + ")").c_str(),
-                       got, model_.SumRange(begin, end)));
+                       got, model().SumRange(begin, end)));
         }
         break;
       }
       case OpKind::kFetchAdd: {
         const uint64_t got_old = harness_->FetchAdd(idx, op.b);
-        const uint64_t want_old = model_.FetchAdd(idx, op.b);
+        const uint64_t want_old = model().FetchAdd(idx, op.b);
         if (got_old != want_old) {
           Fail(i, Diff("fetch-add previous value", got_old, want_old));
         }
@@ -249,14 +291,14 @@ class Executor {
           break;
         }
         const uint32_t snap_bits = harness_->SnapshotBits(snap);
-        if (snap_bits != model_.bits()) {
-          Fail(i, Diff("snapshot bits", snap_bits, model_.bits()));
+        if (!scenario_.concurrent_daemon && snap_bits != model().bits()) {
+          Fail(i, Diff("snapshot bits", snap_bits, model().bits()));
         }
         for (const uint64_t raw : {op.a, op.b, op.c}) {
           const uint64_t read_idx = raw % len_;
           const uint64_t got = harness_->SnapshotGet(snap, read_idx);
-          if (got != model_.Get(read_idx)) {
-            Fail(i, Diff("snapshot read", got, model_.Get(read_idx)));
+          if (got != model().Get(read_idx)) {
+            Fail(i, Diff("snapshot read", got, model().Get(read_idx)));
             break;
           }
         }
@@ -273,8 +315,8 @@ class Executor {
         const uint64_t begin = std::min(x, y);
         const uint64_t end = std::max(x, y);
         const uint64_t got = harness_->SnapshotSum(snap, begin, end);
-        if (got != model_.SumRange(begin, end)) {
-          Fail(i, Diff("snapshot sum", got, model_.SumRange(begin, end)));
+        if (got != model().SumRange(begin, end)) {
+          Fail(i, Diff("snapshot sum", got, model().SumRange(begin, end)));
         }
         harness_->SnapshotUnpin(snap);
         break;
@@ -288,14 +330,14 @@ class Executor {
           break;
         }
         const uint32_t old_bits = harness_->SnapshotBits(snap);
-        const uint32_t minimal = model_.MinimalBits();
+        const uint32_t minimal = model().MinimalBits();
         const RestructureResult got =
             harness_->Restructure(DecodePlacement(op.b), minimal);
         if (got != RestructureResult::kPublished) {
           Fail(i, std::string("restructure under pinned snapshot: got ") + ToString(got) +
                       ", expected published");
         } else {
-          model_.SetBits(minimal);
+          model().SetBits(minimal);
           const uint32_t stale_bits = harness_->SnapshotBits(snap);
           if (stale_bits != old_bits) {
             Fail(i, Diff("pinned snapshot bits changed across publish", stale_bits, old_bits));
@@ -303,8 +345,8 @@ class Executor {
           // Contents are preserved by restructure, so the stale view and the
           // model still agree element-wise.
           const uint64_t stale = harness_->SnapshotGet(snap, idx);
-          if (stale != model_.Get(idx)) {
-            Fail(i, Diff("pinned snapshot read across publish", stale, model_.Get(idx)));
+          if (stale != model().Get(idx)) {
+            Fail(i, Diff("pinned snapshot read across publish", stale, model().Get(idx)));
           }
         }
         harness_->SnapshotUnpin(snap);
@@ -348,18 +390,23 @@ class Executor {
     }
 
     const smart::PlacementSpec placement = DecodePlacement(op.b);
-    const uint32_t minimal = model_.MinimalBits();
+    const uint32_t minimal = model().MinimalBits();
+    // Under a live daemon the write contract is the declared width (the
+    // harness seeds max_written_bits to it, flooring daemon narrowings), so
+    // the checker never widens the model mask past it — a wider masked
+    // write could overflow a daemon-narrowed representation.
+    const uint32_t widest = scenario_.concurrent_daemon ? scenario_.bits : 64;
     uint32_t target;
     switch (op.c % 3) {
       case 0:
         target = minimal;  // tightest legal compression
         break;
       case 1:
-        target = 64;  // fully uncompressed
+        target = widest;  // fully uncompressed (declared width under daemon)
         break;
       default:
         // Deliberate overflow attempt (one bit too narrow) when possible.
-        target = minimal > 1 ? minimal - 1 : 64;
+        target = minimal > 1 ? minimal - 1 : widest;
         break;
     }
     const bool fits = minimal <= target;
@@ -375,9 +422,9 @@ class Executor {
       runtime::testing::SetPrePublishHook([this, &hook_fired, &op](runtime::ArraySlot& slot) {
         hook_fired = true;
         const uint64_t race_idx = SplitMix64(op.c ^ kRaceIndexSalt) % len_;
-        const uint64_t race_value = SplitMix64(op.c ^ kRaceValueSalt) & model_.mask();
+        const uint64_t race_value = SplitMix64(op.c ^ kRaceValueSalt) & model().mask();
         slot.Write(race_idx, race_value);
-        model_.Set(race_idx, race_value);
+        model().Set(race_idx, race_value);
       });
     }
     if (inject_alloc) {
@@ -414,7 +461,7 @@ class Executor {
       return;
     }
     if (got == RestructureResult::kPublished) {
-      model_.SetBits(target);
+      model().SetBits(target);
       VerifyAll(i);  // contents must have survived the rebuild bit-for-bit
     }
   }
@@ -424,7 +471,7 @@ class Executor {
   // contents, so every snapshot — whichever version it pinned — must match
   // the model exactly; only its width may lag.
   void ConcurrentEpilogue() {
-    const uint32_t minimal = model_.MinimalBits();
+    const uint32_t minimal = model().MinimalBits();
     constexpr int kReaders = 2;
     constexpr int kReadsPerReader = 64;
     constexpr int kPublishes = 4;
@@ -443,12 +490,12 @@ class Executor {
           }
           const uint64_t idx = rng.Below(len_);
           const uint64_t got = harness_->SnapshotGet(snap, idx);
-          if (reader_errors[t].empty() && got != model_.Get(idx)) {
-            reader_errors[t] = Diff("concurrent snapshot read", got, model_.Get(idx));
+          if (reader_errors[t].empty() && got != model().Get(idx)) {
+            reader_errors[t] = Diff("concurrent snapshot read", got, model().Get(idx));
           }
           const uint64_t sum = harness_->SnapshotSum(snap, 0, len_);
-          if (reader_errors[t].empty() && sum != model_.SumRange(0, len_)) {
-            reader_errors[t] = Diff("concurrent snapshot sum", sum, model_.SumRange(0, len_));
+          if (reader_errors[t].empty() && sum != model().SumRange(0, len_)) {
+            reader_errors[t] = Diff("concurrent snapshot sum", sum, model().SumRange(0, len_));
           }
           harness_->SnapshotUnpin(snap);
         }
@@ -464,7 +511,7 @@ class Executor {
                         ": got " + ToString(got);
         break;
       }
-      model_.SetBits(target);
+      model().SetBits(target);
     }
 
     for (auto& reader : readers) {
@@ -481,11 +528,35 @@ class Executor {
     }
   }
 
+  // The reference model for whichever slot the current op is routed to.
+  // Single-slot scenarios never call SelectSlot, so this stays models_[0]
+  // and the pre-sharding behaviour is bit-identical.
+  ArrayModel& model() { return models_[active_slot_]; }
+
+  void SelectSlot(size_t slot) {
+    active_slot_ = slot;
+    harness_->SelectSlot(static_cast<int>(slot));
+  }
+
+  // Multi-slot scenarios: every slot's model must match its slot — an op
+  // leaking into a neighbouring slot shows up as a cross-slot diff here.
+  void VerifyAllSlots(size_t op_index) {
+    for (size_t s = 0; s < models_.size() && result_.ok; ++s) {
+      if (models_.size() > 1) {
+        SelectSlot(s);
+      }
+      VerifyAll(op_index);
+    }
+  }
+
   const Program& program_;
   const Scenario& scenario_;
   const uint64_t len_;
+  const int num_slots_;
   std::unique_ptr<Harness> harness_;
-  ArrayModel model_;
+  std::vector<ArrayModel> models_;
+  size_t active_slot_ = 0;
+  std::unique_ptr<runtime::AdaptationDaemon> daemon_;
   RunResult result_;
   std::map<std::string, uint64_t> last_obs_counters_;
 };

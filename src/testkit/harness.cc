@@ -1,7 +1,11 @@
 #include "testkit/harness.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
+#include <vector>
 
+#include "common/bits.h"
 #include "common/macros.h"
 #include "runtime/entry_points.h"
 #include "runtime/registry.h"
@@ -278,8 +282,32 @@ class SynchronizedHarness final : public Harness {
 class RegistryHarness final : public Harness {
  public:
   RegistryHarness(const Scenario& scenario, TestContext& ctx)
-      : ctx_(&ctx), c_abi_(scenario.via_c_abi), registry_(ctx.topology) {
-    slot_ = registry_.Create("prop", scenario.length, scenario.placement, scenario.bits);
+      : ctx_(&ctx),
+        c_abi_(scenario.via_c_abi),
+        registry_(ctx.topology, RegistryOptionsFor(scenario)) {
+    const int num_slots = std::max(1, scenario.num_slots);
+    names_.reserve(static_cast<size_t>(num_slots));
+    slots_.reserve(static_cast<size_t>(num_slots));
+    for (int s = 0; s < num_slots; ++s) {
+      // Slot 0 keeps the historical name so single-slot replays stay
+      // byte-identical in reports.
+      names_.push_back(s == 0 ? "prop" : "prop-" + std::to_string(s));
+      slots_.push_back(
+          registry_.Create(names_.back(), scenario.length, scenario.placement, scenario.bits));
+    }
+    slot_ = slots_[0];
+    active_ = 0;
+    if (scenario.concurrent_daemon) {
+      // Seed each slot's max-written high-water to the declared width. The
+      // daemon floors narrowed rebuilds at max_written_bits(); without the
+      // seed it could compress below a width the checker's future writes
+      // (masked to the declared bits) still need, and ArraySlot::Write
+      // treats that overflow as a hard contract violation.
+      for (runtime::ArraySlot* slot : slots_) {
+        slot->Write(0, LowMask(scenario.bits));
+        slot->Write(0, 0);
+      }
+    }
   }
 
   uint64_t length() const override { return slot_->length(); }
@@ -331,6 +359,11 @@ class RegistryHarness final : public Harness {
     if (c_abi_) {
       return saSlotPin(slot_);
     }
+    if (slots_.size() > 1) {
+      // Multi-slot scenarios pin through the sharded by-name hot path, so
+      // the differential oracle also proves AcquireByName's routing.
+      return new runtime::ArraySnapshot(registry_.AcquireByName(names_[active_]));
+    }
     return new runtime::ArraySnapshot(slot_->Acquire());
   }
 
@@ -365,11 +398,29 @@ class RegistryHarness final : public Harness {
 
   runtime::ArraySlot* slot() override { return slot_; }
 
+  void SelectSlot(int slot) override {
+    active_ = static_cast<size_t>(slot) % slots_.size();
+    slot_ = slots_[active_];
+  }
+
+  runtime::ArrayRegistry* registry() override { return &registry_; }
+
  private:
+  static runtime::ArrayRegistry::Options RegistryOptionsFor(const Scenario& scenario) {
+    runtime::ArrayRegistry::Options options;
+    // Multi-slot scenarios spread their slots over a genuinely sharded
+    // control plane; single-slot ones keep the seed's one-domain shape.
+    options.num_shards = scenario.num_slots > 1 ? 4 : 1;
+    return options;
+  }
+
   TestContext* ctx_;
   bool c_abi_;
   runtime::ArrayRegistry registry_;
+  std::vector<std::string> names_;
+  std::vector<runtime::ArraySlot*> slots_;
   runtime::ArraySlot* slot_ = nullptr;
+  size_t active_ = 0;
 };
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include "testkit/scenario.h"
 
 namespace sa::runtime {
+class ArrayRegistry;
 class ArraySlot;
 }
 
@@ -32,10 +33,16 @@ namespace sa::testkit {
 struct TestContext {
   TestContext()
       : topology(platform::Topology::Synthetic(2, 4)),
-        pool(topology, rts::WorkerPool::Options{.num_threads = 4, .pin_threads = false}) {}
+        pool(topology, rts::WorkerPool::Options{.num_threads = 4, .pin_threads = false}),
+        daemon_pool(topology,
+                    rts::WorkerPool::Options{.num_threads = 2, .pin_threads = false}) {}
 
   platform::Topology topology;
   rts::WorkerPool pool;
+  // Separate pool for concurrent_daemon scenarios: WorkerPool::RunOnAll is
+  // not reentrant, so daemon rebuilds must never share a pool with the
+  // harness's own Restructure calls.
+  rts::WorkerPool daemon_pool;
 };
 
 enum class RestructureResult : uint8_t {
@@ -111,6 +118,14 @@ class Harness {
 
   // Raw slot handle for concurrent reader threads (registry variants).
   virtual runtime::ArraySlot* slot() { return nullptr; }
+
+  // Multi-slot registry scenarios: routes every subsequent op to slot
+  // `slot % num_slots`. No-op for single-array variants.
+  virtual void SelectSlot(int slot) { (void)slot; }
+
+  // Owning registry (registry variants; nullptr otherwise) — what a
+  // concurrent_daemon scenario hands to the AdaptationDaemon.
+  virtual runtime::ArrayRegistry* registry() { return nullptr; }
 };
 
 std::unique_ptr<Harness> MakeHarness(const Scenario& scenario, TestContext& ctx);

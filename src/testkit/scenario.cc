@@ -27,6 +27,12 @@ std::string ToString(const Scenario& scenario) {
   if (scenario.inject_publish_race) {
     s += " +publish-race";
   }
+  if (scenario.num_slots > 1) {
+    s += " slots=" + std::to_string(scenario.num_slots);
+  }
+  if (scenario.concurrent_daemon) {
+    s += " +daemon";
+  }
   return s;
 }
 
@@ -150,6 +156,42 @@ std::vector<Scenario> BuildGrid() {
       s.inject_publish_race = true;
       grid.push_back(s);
     }
+  }
+
+  // 7. Sharded multi-tenant registry: the same op vocabulary fanned across
+  //    several slots of one sharded registry (per-slot isolation joins the
+  //    differential oracle), natively and through the C ABI, and once with
+  //    the adaptation daemon's worker set live underneath the program.
+  for (const int num_slots : {3, 8}) {
+    for (const uint32_t bits : {13u, 33u}) {
+      Scenario s;
+      s.length = 130;
+      s.bits = bits;
+      s.placement = PlacementSpec::Interleaved();
+      s.variant = Variant::kRegistry;
+      s.num_slots = num_slots;
+      grid.push_back(s);
+    }
+  }
+  {
+    Scenario s;
+    s.length = 1000;
+    s.bits = 13;
+    s.placement = PlacementSpec::OsDefault();
+    s.variant = Variant::kRegistry;
+    s.num_slots = 3;
+    s.via_c_abi = true;
+    grid.push_back(s);
+  }
+  for (const int num_slots : {1, 8}) {
+    Scenario s;
+    s.length = 130;
+    s.bits = 13;
+    s.placement = PlacementSpec::Interleaved();
+    s.variant = Variant::kRegistry;
+    s.num_slots = num_slots;
+    s.concurrent_daemon = true;
+    grid.push_back(s);
   }
 
   return grid;

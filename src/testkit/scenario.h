@@ -44,6 +44,17 @@ struct Scenario {
   // between rebuild and publish.
   bool inject_alloc_failure = false;
   bool inject_publish_race = false;  // kRegistry only
+  // kRegistry only: number of slots in one sharded registry. The op stream
+  // is unchanged; the checker fans each op out to a seed-derived slot and
+  // keeps one reference model per slot (per-slot isolation is part of the
+  // differential oracle). 1 = the classic single-slot scenarios,
+  // bit-identical to the pre-sharding grid.
+  int num_slots = 1;
+  // kRegistry only: run the adaptation daemon's worker set live during the
+  // program. Representation (width/placement) becomes daemon-controlled,
+  // so the checker diffs contents only, not bits; replay of a failure is
+  // best-effort (daemon timing is not seeded).
+  bool concurrent_daemon = false;
 
   // Restructure ops are meaningful for kPlain (in-place swap) and kRegistry
   // (publish); SynchronizedArray owns a fixed representation.

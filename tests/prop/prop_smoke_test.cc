@@ -26,6 +26,7 @@ TEST(ScenarioGridTest, CoversEveryVariantAndAccessPath) {
   ASSERT_GT(grid.size(), 100u);
   bool plain = false, synchronized = false, registry = false;
   bool c_abi = false, alloc_fault = false, publish_race = false;
+  bool multi_slot = false, multi_slot_cabi = false, concurrent_daemon = false;
   for (const auto& s : grid) {
     plain |= s.variant == Variant::kPlain;
     synchronized |= s.variant == Variant::kSynchronized;
@@ -33,11 +34,17 @@ TEST(ScenarioGridTest, CoversEveryVariantAndAccessPath) {
     c_abi |= s.via_c_abi;
     alloc_fault |= s.inject_alloc_failure;
     publish_race |= s.inject_publish_race;
+    multi_slot |= s.num_slots > 1;
+    multi_slot_cabi |= s.num_slots > 1 && s.via_c_abi;
+    concurrent_daemon |= s.concurrent_daemon;
   }
   EXPECT_TRUE(plain && synchronized && registry);
   EXPECT_TRUE(c_abi);
   EXPECT_TRUE(alloc_fault);
   EXPECT_TRUE(publish_race);
+  EXPECT_TRUE(multi_slot);
+  EXPECT_TRUE(multi_slot_cabi);
+  EXPECT_TRUE(concurrent_daemon);
 }
 
 TEST(GeneratorTest, SameSeedSameProgram) {
@@ -86,6 +93,7 @@ TEST_P(PropSmokeTest, ScenarioSliceRunsClean) {
   const auto& grid = ScenarioGrid();
   std::vector<size_t> indices;
   bool seen_plain_cabi = false, seen_sync = false, seen_reg = false, seen_reg_cabi = false;
+  bool seen_multi = false, seen_multi_cabi = false, seen_daemon = false;
   indices.push_back(0);
   for (size_t i = 0; i < grid.size(); ++i) {
     const auto& s = grid[i];
@@ -96,17 +104,27 @@ TEST_P(PropSmokeTest, ScenarioSliceRunsClean) {
       indices.push_back(i);
       seen_sync = true;
     } else if (!seen_reg && s.variant == Variant::kRegistry && !s.via_c_abi &&
-               !s.inject_alloc_failure && !s.inject_publish_race) {
+               !s.inject_alloc_failure && !s.inject_publish_race && s.num_slots == 1) {
       indices.push_back(i);
       seen_reg = true;
-    } else if (!seen_reg_cabi && s.variant == Variant::kRegistry && s.via_c_abi) {
+    } else if (!seen_reg_cabi && s.variant == Variant::kRegistry && s.via_c_abi &&
+               s.num_slots == 1) {
       indices.push_back(i);
       seen_reg_cabi = true;
     } else if (s.inject_alloc_failure || s.inject_publish_race) {
       indices.push_back(i);
+    } else if (!seen_multi && s.num_slots > 1 && !s.via_c_abi && !s.concurrent_daemon) {
+      indices.push_back(i);
+      seen_multi = true;
+    } else if (!seen_multi_cabi && s.num_slots > 1 && s.via_c_abi) {
+      indices.push_back(i);
+      seen_multi_cabi = true;
+    } else if (!seen_daemon && s.concurrent_daemon) {
+      indices.push_back(i);
+      seen_daemon = true;
     }
   }
-  ASSERT_GE(indices.size(), 10u);
+  ASSERT_GE(indices.size(), 13u);
 
   TestContext ctx;
   CheckOptions options;

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <string>
 #include <thread>
 
+#include "obs/telemetry.h"
 #include "runtime/daemon.h"
 #include "sim/machine_spec.h"
 
@@ -176,6 +178,128 @@ TEST_F(AdaptationDaemonTest, BackgroundThreadRunsPassesUntilStopped) {
   daemon.Stop();  // idempotent
   EXPECT_FALSE(daemon.running());
 }
+
+// ---- per-shard worker set ----
+
+TEST(DaemonWorkerSetTest, WorkersDrainSampleQueuesAcrossShards) {
+  const platform::Topology topo = platform::Topology::Synthetic(2, 2);
+  rts::WorkerPool pool(topo, rts::WorkerPool::Options{.num_threads = 2, .pin_threads = false});
+  ArrayRegistry::Options reg_options;
+  reg_options.num_shards = 8;
+  ArrayRegistry registry(topo, reg_options);
+  constexpr int kSlots = 64;
+  for (int i = 0; i < kSlots; ++i) {
+    registry.Create("drain-" + std::to_string(i), 64,
+                    smart::PlacementSpec::Interleaved(), 16);
+  }
+  // Touch every slot so each enqueues itself on its shard's sample queue.
+  for (ArraySlot* slot : registry.slots()) {
+    ArraySnapshot snap = slot->TryAcquire();
+    ASSERT_TRUE(snap.valid());
+    snap.SumRange(0, 64);
+  }
+  int64_t queued = 0;
+  for (int s = 0; s < registry.num_shards(); ++s) {
+    queued += registry.shard_queue_depth(s);
+  }
+  EXPECT_EQ(queued, kSlots);
+
+  DaemonOptions options;
+  options.interval = std::chrono::milliseconds(1);
+  options.num_workers = 3;
+  AdaptationDaemon daemon(registry, pool,
+                          adapt::MachineCaps::FromSpec(sim::MachineSpec::OracleX5_18Core()),
+                          adapt::ArrayCosts::FromCostModel(sim::CostModel::Default()),
+                          options);
+  daemon.Start();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  int64_t remaining = queued;
+  while (remaining != 0 && std::chrono::steady_clock::now() < deadline) {
+    remaining = 0;
+    for (int s = 0; s < registry.num_shards(); ++s) {
+      remaining += registry.shard_queue_depth(s);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  daemon.Stop();
+  EXPECT_EQ(remaining, 0) << "worker set left sample queues undrained";
+  EXPECT_GT(daemon.passes(), 0u);
+}
+
+#ifdef SA_OBS
+TEST(DaemonWorkerSetTest, SpareWorkerStealsTheOnlyShard) {
+  // One shard, two workers: every pass the spare worker services is by
+  // definition a steal. With continuous traffic and a 1 ms interval the
+  // steal counter has to move.
+  const platform::Topology topo = platform::Topology::Synthetic(2, 2);
+  rts::WorkerPool pool(topo, rts::WorkerPool::Options{.num_threads = 2, .pin_threads = false});
+  ArrayRegistry registry(topo);  // single shard
+  ArraySlot* slot = registry.Create("stolen", 64, smart::PlacementSpec::Interleaved(), 16);
+
+  const uint64_t claims_before = obs::CounterValue(obs::kDaemonShardClaims);
+  const uint64_t steals_before = obs::CounterValue(obs::kDaemonShardSteals);
+  DaemonOptions options;
+  options.interval = std::chrono::milliseconds(1);
+  options.num_workers = 2;
+  AdaptationDaemon daemon(registry, pool,
+                          adapt::MachineCaps::FromSpec(sim::MachineSpec::OracleX5_18Core()),
+                          adapt::ArrayCosts::FromCostModel(sim::CostModel::Default()),
+                          options);
+  daemon.Start();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (obs::CounterValue(obs::kDaemonShardSteals) == steals_before &&
+         std::chrono::steady_clock::now() < deadline) {
+    ArraySnapshot snap = slot->TryAcquire();
+    if (snap.valid()) {
+      snap.SumRange(0, 64);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  daemon.Stop();
+  EXPECT_GT(obs::CounterValue(obs::kDaemonShardSteals), steals_before);
+  EXPECT_GT(obs::CounterValue(obs::kDaemonShardClaims) +
+                obs::CounterValue(obs::kDaemonShardSteals),
+            claims_before + steals_before);
+}
+
+TEST_F(AdaptationDaemonTest, BackpressureDefersRestructuresUnderRetiredDebt) {
+  // A parked reader keeps retired versions alive; with max_retired_debt=0
+  // the daemon must keep draining samples but refuse new restructures,
+  // counting each deferral.
+  ArraySlot* slot = MakeReadOnlySlot("debt", 1 << 16);
+  // Park a pin, then publish once more: the retired version cannot drain.
+  ArraySnapshot parked = slot->TryAcquire();
+  ASSERT_TRUE(parked.valid());
+  {
+    auto storage = smart::SmartArray::Allocate(slot->length(),
+                                               smart::PlacementSpec::Interleaved(), 64, topo_);
+    for (uint64_t i = 0; i < slot->length(); ++i) {
+      storage->Init(i, i % 1024);
+    }
+    ASSERT_TRUE(registry_.Publish(*slot, std::move(storage), slot->write_count()));
+  }
+  // Rebuild the §5.1 adaptation-candidate profile on the new version.
+  for (int pass = 0; pass < 3; ++pass) {
+    ArraySnapshot snap = slot->Acquire();
+    snap.SumRange(0, slot->length());
+  }
+  const uint64_t drops_before = obs::CounterValue(obs::kDaemonBackpressureDrops);
+  DaemonOptions options;
+  options.min_sampled_accesses = 16;
+  options.max_retired_debt = 0;
+  AdaptationDaemon daemon = MakeDaemon(options);
+  EXPECT_EQ(daemon.RunOnce(), 0);  // deferred, not adapted
+  EXPECT_EQ(slot->sequence(), 2u);
+  EXPECT_GT(obs::CounterValue(obs::kDaemonBackpressureDrops), drops_before);
+
+  // Debt drains once the reader leaves; restructures go through again.
+  parked.Release();
+  while (registry_.Reclaim() == 0) {
+  }
+  EXPECT_TRUE(daemon.AdaptSlot(*slot, MemBoundStreamingCounters(machine_)));
+  EXPECT_EQ(slot->sequence(), 3u);
+}
+#endif  // SA_OBS
 
 }  // namespace
 }  // namespace sa::runtime

@@ -75,6 +75,77 @@ TEST(EpochManagerTest, ReaderPinnedAfterRetireDoesNotBlockThatGarbage) {
   epoch.Unpin(pin);
 }
 
+TEST(EpochManagerTest, TryPinFailsGracefullyWhenSlotsExhausted) {
+  EpochManager epoch(4);
+  std::vector<EpochManager::PinHandle> held;
+  for (int i = 0; i < 4; ++i) {
+    const EpochManager::PinHandle pin = epoch.TryPin();
+    ASSERT_TRUE(pin.valid());
+    held.push_back(pin);
+  }
+  // Every slot is claimed: further TryPin must return an invalid handle
+  // (admission control), never block or abort.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(epoch.TryPin().valid());
+  }
+  // Releasing one slot makes exactly one new pin admissible again.
+  epoch.Unpin(held.back());
+  held.pop_back();
+  const EpochManager::PinHandle regained = epoch.TryPin();
+  EXPECT_TRUE(regained.valid());
+  EXPECT_FALSE(epoch.TryPin().valid());
+  epoch.Unpin(regained);
+  for (const EpochManager::PinHandle pin : held) {
+    epoch.Unpin(pin);
+  }
+  EXPECT_EQ(epoch.pinned_count(), 0);
+}
+
+TEST(EpochManagerTest, MoreThreadsThanSlotsSomeRejectedAllRecover) {
+  // 16 threads hammer a 8-slot domain while holding pins briefly: rejects
+  // must surface as invalid handles (counted, never fatal), and once the
+  // threads drain the domain must be fully reusable.
+  EpochManager epoch(8);
+  constexpr int kThreads = 16;
+  constexpr int kItersPerThread = 5'000;
+  std::atomic<bool> go{false};
+  std::atomic<uint64_t> granted{0};
+  std::atomic<uint64_t> rejected{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const EpochManager::PinHandle pin = epoch.TryPin();
+        if (!pin.valid()) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        granted.fetch_add(1, std::memory_order_relaxed);
+        epoch.Unpin(pin);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_GT(granted.load(), 0u);
+  EXPECT_EQ(epoch.pinned_count(), 0);
+  // The domain still works at full capacity after the storm.
+  std::vector<EpochManager::PinHandle> held;
+  for (int i = 0; i < 8; ++i) {
+    const EpochManager::PinHandle pin = epoch.TryPin();
+    ASSERT_TRUE(pin.valid());
+    held.push_back(pin);
+  }
+  for (const EpochManager::PinHandle pin : held) {
+    epoch.Unpin(pin);
+  }
+}
+
 TEST(EpochManagerTest, DestructorRunsOutstandingDeleters) {
   std::atomic<int> freed{0};
   {

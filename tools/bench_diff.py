@@ -21,6 +21,16 @@ width/kernel/bytes_per_sec; BENCH_runtime.json entries carry a "metric"
 key instead and only support --assert-only (the required metric families,
 including the obs_scan_overhead telemetry-tax series, must be present with
 positive timings).
+
+BENCH_service.json (sa_loadgen output) entries carry a "series" key and
+also only support --assert-only: both the "sharded" and "single-shard"
+series must be present with positive throughput, ordered percentiles
+(p50 <= p99 <= p999 <= max for acquire and read latency), and a live
+daemon (passes > 0). The sharded series must cover the service envelope
+the registry is specced for (>= 64 client threads, >= 10^4 slots).
+Optional gates: --min-acquire-speedup fails when sharded acquire
+throughput is below N x the single-shard series; --gate-p99-acquire-ns
+fails when the sharded p99 acquire latency exceeds the bound.
 """
 
 import argparse
@@ -41,6 +51,17 @@ RUNTIME_REQUIRED_METRICS = {
 }
 
 
+SERVICE_REQUIRED_SERIES = ("sharded", "single-shard")
+SERVICE_POSITIVE_FIELDS = ("threads", "slots", "duration_sec", "ops",
+                           "throughput_ops_per_sec", "acquires",
+                           "acquire_throughput_per_sec")
+SERVICE_PERCENTILES = ("p50", "p99", "p999", "max")
+# The service envelope the sharded registry is specced for (ISSUE: open-loop
+# traffic at >= 64 clients over >= 10^4 registered slots).
+SERVICE_MIN_THREADS = 64
+SERVICE_MIN_SLOTS = 10_000
+
+
 def read_entries(path):
     with open(path) as f:
         return json.load(f)
@@ -50,11 +71,100 @@ def is_runtime_schema(entries):
     return bool(entries) and "metric" in entries[0]
 
 
+def is_service_schema(entries):
+    return bool(entries) and "series" in entries[0]
+
+
+def check_latency_block(problems, series, entry, key):
+    block = entry.get(key)
+    if not isinstance(block, dict):
+        problems.append(f"series '{series}' missing latency block '{key}'")
+        return
+    values = []
+    for pct in SERVICE_PERCENTILES:
+        value = block.get(pct)
+        if value is None:
+            problems.append(f"series '{series}' {key} missing '{pct}'")
+            return
+        if not value > 0:
+            problems.append(f"series '{series}' {key} {pct} not positive: {value}")
+            return
+        values.append(value)
+    if values != sorted(values):
+        problems.append(f"series '{series}' {key} percentiles not monotone: "
+                        + " <= ".join(f"{p}={v}" for p, v in zip(SERVICE_PERCENTILES, values)))
+    if not block.get("count", 0) > 0:
+        problems.append(f"series '{series}' {key} has no samples")
+
+
+def assert_service(path, entries, min_acquire_speedup, gate_p99_acquire_ns):
+    by_series = {}
+    for e in entries:
+        if e["series"] in by_series:
+            print(f"bench_diff: {path}: duplicate series '{e['series']}'")
+            return 1
+        by_series[e["series"]] = e
+    problems = []
+    for series in SERVICE_REQUIRED_SERIES:
+        entry = by_series.get(series)
+        if entry is None:
+            problems.append(f"missing series '{series}'")
+            continue
+        for field in SERVICE_POSITIVE_FIELDS:
+            value = entry.get(field)
+            if value is None:
+                problems.append(f"series '{series}' missing field '{field}'")
+            elif not value > 0:
+                problems.append(f"series '{series}' field '{field}' not positive: {value}")
+        check_latency_block(problems, series, entry, "acquire_latency_ns")
+        check_latency_block(problems, series, entry, "read_latency_ns")
+        daemon = entry.get("daemon")
+        if not isinstance(daemon, dict):
+            problems.append(f"series '{series}' missing daemon block")
+        elif not daemon.get("passes", 0) > 0:
+            problems.append(f"series '{series}' daemon made no passes (not live?)")
+    sharded = by_series.get("sharded")
+    if sharded is not None and not problems:
+        if sharded.get("threads", 0) < SERVICE_MIN_THREADS:
+            problems.append(f"sharded series ran {sharded.get('threads')} client threads, "
+                            f"spec floor is {SERVICE_MIN_THREADS}")
+        if sharded.get("slots", 0) < SERVICE_MIN_SLOTS:
+            problems.append(f"sharded series ran {sharded.get('slots')} slots, "
+                            f"spec floor is {SERVICE_MIN_SLOTS}")
+        if gate_p99_acquire_ns is not None:
+            p99 = sharded["acquire_latency_ns"]["p99"]
+            if p99 > gate_p99_acquire_ns:
+                problems.append(f"sharded p99 acquire latency {p99}ns exceeds "
+                                f"gate {gate_p99_acquire_ns}ns")
+    speedup = None
+    if not problems:
+        single = by_series["single-shard"]
+        speedup = (sharded["acquire_throughput_per_sec"]
+                   / single["acquire_throughput_per_sec"])
+        if min_acquire_speedup is not None and speedup < min_acquire_speedup:
+            problems.append(
+                f"sharded/single-shard acquire speedup {speedup:.2f}x below "
+                f"required {min_acquire_speedup:.2f}x "
+                f"({sharded['acquire_throughput_per_sec']} vs "
+                f"{single['acquire_throughput_per_sec']} acquires/s)")
+    if problems:
+        print(f"bench_diff: {path} failed structural checks:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"bench_diff: {path} OK — sharded {sharded['acquire_throughput_per_sec']:,} acq/s "
+          f"(p50 {sharded['acquire_latency_ns']['p50']}ns, "
+          f"p99 {sharded['acquire_latency_ns']['p99']}ns) "
+          f"= {speedup:.2f}x single-shard over {sharded['threads']} threads / "
+          f"{sharded['slots']} slots")
+    return 0
+
+
 def load(path):
     """-> {(width, kernel): bytes_per_sec}"""
     entries = read_entries(path)
-    if is_runtime_schema(entries):
-        sys.exit(f"bench_diff: {path} is a runtime-metrics file; "
+    if is_runtime_schema(entries) or is_service_schema(entries):
+        sys.exit(f"bench_diff: {path} is not a codec-schema file; "
                  "timing diffs only support the codec schema (use --assert-only)")
     series = {}
     for e in entries:
@@ -95,8 +205,13 @@ def assert_runtime(path, entries):
     return 0
 
 
-def assert_only(path):
+def assert_only(path, min_acquire_speedup=None, gate_p99_acquire_ns=None):
     entries = read_entries(path)
+    if is_service_schema(entries):
+        return assert_service(path, entries, min_acquire_speedup, gate_p99_acquire_ns)
+    if min_acquire_speedup is not None or gate_p99_acquire_ns is not None:
+        sys.exit(f"bench_diff: {path} is not a service-schema file; "
+                 "--min-acquire-speedup/--gate-p99-acquire-ns need sa_loadgen output")
     if is_runtime_schema(entries):
         return assert_runtime(path, entries)
     series = load(path)
@@ -175,12 +290,21 @@ def main():
                         help="fractional regression tolerance (default 0.10)")
     parser.add_argument("--assert-only", action="store_true",
                         help="structural checks on a single file, no timing comparison")
+    parser.add_argument("--min-acquire-speedup", type=float, default=None,
+                        help="service schema: fail when sharded acquire throughput is "
+                             "below N x the single-shard series")
+    parser.add_argument("--gate-p99-acquire-ns", type=int, default=None,
+                        help="service schema: fail when the sharded p99 acquire "
+                             "latency exceeds this bound in ns")
     args = parser.parse_args()
 
     if args.assert_only:
         if args.candidate is not None:
             parser.error("--assert-only takes exactly one file")
-        return assert_only(args.baseline)
+        return assert_only(args.baseline, args.min_acquire_speedup,
+                           args.gate_p99_acquire_ns)
+    if args.min_acquire_speedup is not None or args.gate_p99_acquire_ns is not None:
+        parser.error("--min-acquire-speedup/--gate-p99-acquire-ns require --assert-only")
     if args.candidate is None:
         parser.error("timing mode needs BASELINE and CANDIDATE (or use --assert-only)")
     return diff(args.baseline, args.candidate, args.threshold)

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "adapt/cases.h"
+#include "loadgen.h"
 #include "obs/entry_points.h"
 #include "obs/export.h"
 #include "obs/trace.h"
@@ -526,13 +527,21 @@ int Usage() {
       "             same, with the background adaptation daemon\n"
       "  obs        [--elements N] [--bits B] [--readers R] [--interval MS]\n"
       "             [--seconds S] [--bw-gbps G] [--json|--prom|--follow]\n"
-      "             runtime telemetry: counters, histograms, adaptation trace\n");
+      "             runtime telemetry: counters, histograms, adaptation trace\n"
+      "  loadgen    [--threads=N] [--slots=N] [--shards=N] [--duration=SEC]\n"
+      "             [--rate=OPS] [--zipf=S] [--out=PATH] ... (see sa_loadgen)\n"
+      "             sharded-registry traffic harness -> BENCH_service.json\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // loadgen keeps sa_loadgen's --key=value grammar; hand argv through
+  // untouched rather than round-tripping it through Args.
+  if (argc >= 2 && std::strcmp(argv[1], "loadgen") == 0) {
+    return sa::tools::LoadgenMain(argc - 1, argv + 1);
+  }
   const Args args = Parse(argc, argv);
   if (args.command == "topology") {
     return CmdTopology();

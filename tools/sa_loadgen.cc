@@ -1,0 +1,5 @@
+// Standalone entry point for the service traffic harness; the same driver
+// is reachable as `sa_cli loadgen`.
+#include "loadgen.h"
+
+int main(int argc, char** argv) { return sa::tools::LoadgenMain(argc, argv); }
