@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/telemetry.h"
 #include "rts/parallel_for.h"
 #include "smart/dispatch.h"
 #include "smart/parallel_ops.h"
@@ -19,46 +20,60 @@ std::vector<uint64_t> DegreeCentrality(const CsrGraph& graph) {
   return out;
 }
 
+void DegreeCentralitySmart(rts::WorkerPool& pool, const CsrView& graph,
+                           smart::SmartArray* out, AccessMix* mix) {
+  SA_CHECK(out != nullptr && out->length() == graph.num_vertices);
+
+  // Two streaming passes, one per offset array, each specialized on that
+  // array's own width (registry-held begin/rbegin adapt independently, so
+  // they need not share one). Pass 1 writes the forward degree, pass 2 adds
+  // the reverse; the ParallelFor barrier between them orders the read-back.
+  const auto& out_codec = smart::CodecFor(out->bits());
+  const auto pass = [&](const smart::SmartArray& offsets, const bool add) {
+    smart::WithBits(offsets.bits(), [&](auto bits_const) {
+      constexpr uint32_t kBits = bits_const();
+      using Codec = smart::BitCompressedArray<kBits>;
+      rts::ParallelFor(
+          pool, 0, graph.num_vertices, smart::kChunkAlignedGrain,
+          [&](int worker, uint64_t b, uint64_t e) {
+            const int socket = pool.worker_socket(worker);
+            const uint64_t* offsets_rep = offsets.GetReplica(socket);
+            const uint64_t* out_rep = out->GetReplica(socket);
+            const auto emit = [&](uint64_t v, uint64_t diff) {
+              out->Init(v, add ? out_codec.get(out_rep, v) + diff : diff);
+            };
+            // The offset array streams past once through the streaming
+            // decode seam: 65 elements per batch (always valid: the index
+            // arrays have num_vertices()+1 entries), so element v+64 seeds
+            // the chunk-crossing difference for free.
+            uint64_t buf[kChunkElems + 1];
+            uint64_t v = b;
+            for (; v % kChunkElems == 0 && v + kChunkElems <= e; v += kChunkElems) {
+              Codec::UnpackRange(offsets_rep, v, v + kChunkElems + 1, buf);
+              for (uint32_t j = 0; j < kChunkElems; ++j) {
+                emit(v + j, buf[j + 1] - buf[j]);
+              }
+            }
+            // Ragged tail (and any unaligned batch start): element-wise.
+            for (; v < e; ++v) {
+              emit(v, Codec::GetImpl(offsets_rep, v + 1) - Codec::GetImpl(offsets_rep, v));
+            }
+          });
+      return 0;
+    });
+  };
+  pass(*graph.begin, /*add=*/false);
+  pass(*graph.rbegin, /*add=*/true);
+  if (mix != nullptr) {
+    // One pure streaming pass over each offset array, nothing else.
+    mix->begin_seq += graph.num_vertices + 1;
+    mix->rbegin_seq += graph.num_vertices + 1;
+  }
+}
+
 void DegreeCentralitySmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
                            smart::SmartArray* out) {
-  SA_CHECK(out != nullptr && out->length() == graph.num_vertices());
-  const smart::SmartArray& begin = graph.begin();
-  const smart::SmartArray& rbegin = graph.rbegin();
-
-  smart::WithBits(graph.index_bits(), [&](auto bits_const) {
-    constexpr uint32_t kBits = bits_const();
-    using Codec = smart::BitCompressedArray<kBits>;
-    rts::ParallelFor(
-        pool, 0, graph.num_vertices(), smart::kChunkAlignedGrain,
-        [&](int worker, uint64_t b, uint64_t e) {
-          const int socket = pool.worker_socket(worker);
-          const uint64_t* begin_rep = begin.GetReplica(socket);
-          const uint64_t* rbegin_rep = rbegin.GetReplica(socket);
-          // begin[]/rbegin[] stream past once each through the streaming
-          // decode seam: 65 elements per batch (always valid: the index
-          // arrays have num_vertices()+1 entries), so element v+64 seeds
-          // the chunk-crossing difference for free.
-          uint64_t fwd[kChunkElems + 1];
-          uint64_t rev[kChunkElems + 1];
-          uint64_t v = b;
-          for (; v % kChunkElems == 0 && v + kChunkElems <= e;
-               v += kChunkElems) {
-            Codec::UnpackRange(begin_rep, v, v + kChunkElems + 1, fwd);
-            Codec::UnpackRange(rbegin_rep, v, v + kChunkElems + 1, rev);
-            for (uint32_t j = 0; j < kChunkElems; ++j) {
-              out->Init(v + j, (fwd[j + 1] - fwd[j]) + (rev[j + 1] - rev[j]));
-            }
-          }
-          // Ragged tail (and any unaligned batch start): element-wise.
-          for (; v < e; ++v) {
-            const uint64_t degree =
-                (Codec::GetImpl(begin_rep, v + 1) - Codec::GetImpl(begin_rep, v)) +
-                (Codec::GetImpl(rbegin_rep, v + 1) - Codec::GetImpl(rbegin_rep, v));
-            out->Init(v, degree);
-          }
-        });
-    return 0;
-  });
+  DegreeCentralitySmart(pool, graph.view(), out, nullptr);
 }
 
 PageRankResult PageRank(const CsrGraph& graph, const PageRankOptions& options) {
@@ -91,17 +106,17 @@ PageRankResult PageRank(const CsrGraph& graph, const PageRankOptions& options) {
   return result;
 }
 
-PageRankResult PageRankSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
+PageRankResult PageRankSmart(rts::WorkerPool& pool, const CsrView& graph,
                              const platform::Topology& topology,
-                             const PageRankOptions& options) {
-  const VertexId n = graph.num_vertices();
+                             const PageRankOptions& options, AccessMix* mix) {
+  const uint64_t n = graph.num_vertices;
   SA_CHECK(n > 0);
   const double base = (1.0 - options.damping) / n;
 
   // Rank vertex properties: 64-bit smart arrays holding bit-cast doubles.
   // The scratch/output array is always interleaved (§5.2); the readable one
   // follows the graph's placement so replication also covers the ranks.
-  auto rank = smart::SmartArray::Allocate(n, graph.options().placement, 64, topology);
+  auto rank = smart::SmartArray::Allocate(n, graph.begin->placement(), 64, topology);
   auto next = smart::SmartArray::Allocate(n, smart::PlacementSpec::Interleaved(), 64, topology);
   smart::ParallelFill(pool, *rank,
                       [n](uint64_t) { return std::bit_cast<uint64_t>(1.0 / n); });
@@ -110,18 +125,20 @@ PageRankResult PageRankSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     // Only the per-edge path is specialized on its width (it dominates the
     // run, §5.2); the per-vertex paths go through the runtime codec, whose
-    // dispatch amortizes over a whole neighborhood list.
-    const smart::CodecOps& index_codec = smart::CodecFor(graph.index_bits());
+    // dispatch amortizes over a whole neighborhood list. Every array is
+    // decoded at its own width — the pull direction reads rbegin/redge,
+    // whose widths diverge from begin/edge under registry adaptation.
+    const smart::CodecOps& index_codec = smart::CodecFor(graph.rbegin_bits());
     const smart::CodecOps& degree_codec = smart::CodecFor(graph.degree_bits());
-    const double delta = smart::WithBits(graph.edge_bits(), [&](auto edge_bits_const) -> double {
+    const double delta = smart::WithBits(graph.redge_bits(), [&](auto edge_bits_const) -> double {
       constexpr uint32_t kEdgeBits = edge_bits_const();
       return rts::ParallelReduce<double>(
           pool, 0, n, rts::kDefaultGrain, [&](int worker, uint64_t b, uint64_t e) {
             const int socket = pool.worker_socket(worker);
             const uint64_t* rank_rep = rank->GetReplica(socket);
-            const uint64_t* degree_rep = graph.out_degree().GetReplica(socket);
-            const uint64_t* redge_rep = graph.redge().GetReplica(socket);
-            const uint64_t* rbegin_rep = graph.rbegin().GetReplica(socket);
+            const uint64_t* degree_rep = graph.out_degree->GetReplica(socket);
+            const uint64_t* redge_rep = graph.redge->GetReplica(socket);
+            const uint64_t* rbegin_rep = graph.rbegin->GetReplica(socket);
             double local_delta = 0.0;
             for (uint64_t v = b; v < e; ++v) {
               const uint64_t first = index_codec.get(rbegin_rep, v);
@@ -165,12 +182,29 @@ PageRankResult PageRankSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
     }
   }
 
+  const uint64_t iters = static_cast<uint64_t>(result.iterations);
+  SA_OBS_COUNT_N(kGraphEdgesStreamed, iters * graph.num_edges);
+  SA_OBS_COUNT_N(kGraphRandomGathers, 2 * iters * graph.num_edges);
+  if (mix != nullptr) {
+    // Pull-based: the reverse pair streams once per iteration, the degree
+    // property is gathered at data-dependent sources.
+    mix->rbegin_seq += 2 * iters * n;
+    mix->redge_seq += iters * graph.num_edges;
+    mix->degree_rand += iters * graph.num_edges;
+  }
+
   result.ranks.resize(n);
   const uint64_t* rank_rep = rank->GetReplica(0);
-  for (VertexId v = 0; v < n; ++v) {
+  for (uint64_t v = 0; v < n; ++v) {
     result.ranks[v] = std::bit_cast<double>(smart::BitCompressedArray<64>::GetImpl(rank_rep, v));
   }
   return result;
+}
+
+PageRankResult PageRankSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
+                             const platform::Topology& topology,
+                             const PageRankOptions& options) {
+  return PageRankSmart(pool, graph.view(), topology, options, nullptr);
 }
 
 }  // namespace sa::graph

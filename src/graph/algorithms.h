@@ -10,6 +10,7 @@
 
 #include "graph/csr.h"
 #include "graph/smart_graph.h"
+#include "graph/view.h"
 #include "rts/worker_pool.h"
 #include "smart/smart_array.h"
 
@@ -22,6 +23,11 @@ std::vector<uint64_t> DegreeCentrality(const CsrGraph& graph);
 
 // Parallel smart-array version; writes into `out` (length V), which the
 // caller allocates — interleaved, as the paper fixes for output arrays.
+// The CsrView overload is the implementation: it reads only through the
+// view, so a GraphSnapshot caller (concurrent.h) is pinned against mid-run
+// restructures; `mix` optionally accumulates the access tallies.
+void DegreeCentralitySmart(rts::WorkerPool& pool, const CsrView& graph,
+                           smart::SmartArray* out, AccessMix* mix = nullptr);
 void DegreeCentralitySmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
                            smart::SmartArray* out);
 
@@ -44,7 +50,12 @@ PageRankResult PageRank(const CsrGraph& graph, const PageRankOptions& options = 
 
 // Parallel smart-array version. Rank vectors are 64-bit vertex properties
 // (doubles bit-cast into smart arrays, as PGX stores properties off-heap);
-// the output/scratch rank arrays are always interleaved.
+// the output/scratch rank arrays are always interleaved. The CsrView
+// overload is the implementation (snapshot-pin safe, like the rest of the
+// suite); the SmartCsrGraph form forwards to it.
+PageRankResult PageRankSmart(rts::WorkerPool& pool, const CsrView& graph,
+                             const platform::Topology& topology,
+                             const PageRankOptions& options = {}, AccessMix* mix = nullptr);
 PageRankResult PageRankSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
                              const platform::Topology& topology,
                              const PageRankOptions& options = {});

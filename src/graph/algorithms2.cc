@@ -5,7 +5,9 @@
 #include <queue>
 
 #include "common/macros.h"
+#include "obs/telemetry.h"
 #include "rts/parallel_for.h"
+#include "rts/worker_local.h"
 #include "smart/dispatch.h"
 #include "smart/parallel_ops.h"
 
@@ -13,35 +15,41 @@ namespace sa::graph {
 namespace {
 
 // Sorted unique neighbors of `v` (forward + reverse lists merged), keeping
-// only ids greater than `floor`, read through the runtime codec.
-void NeighborsAbove(const smart::SmartArray& begin, const smart::SmartArray& edge,
-                    const smart::SmartArray& rbegin, const smart::SmartArray& redge, int socket,
-                    uint64_t v, uint64_t floor, std::vector<uint64_t>* out) {
+// only ids greater than `floor`, read through the runtime codecs — one per
+// array, since registry-held arrays adapt their widths independently.
+// Returns the number of packed edge-list elements decoded (for the
+// access-mix tally).
+uint64_t NeighborsAbove(const CsrView& g, int socket, uint64_t v, uint64_t floor,
+                        std::vector<uint64_t>* out) {
   out->clear();
-  const auto& index_codec = smart::CodecFor(begin.bits());
-  const auto& edge_codec = smart::CodecFor(edge.bits());
-  const uint64_t* begin_rep = begin.GetReplica(socket);
-  const uint64_t* edge_rep = edge.GetReplica(socket);
-  const uint64_t* rbegin_rep = rbegin.GetReplica(socket);
-  const uint64_t* redge_rep = redge.GetReplica(socket);
+  const auto& begin_codec = smart::CodecFor(g.begin_bits());
+  const auto& edge_codec = smart::CodecFor(g.edge_bits());
+  const auto& rbegin_codec = smart::CodecFor(g.rbegin_bits());
+  const auto& redge_codec = smart::CodecFor(g.redge_bits());
+  const uint64_t* begin_rep = g.begin->GetReplica(socket);
+  const uint64_t* edge_rep = g.edge->GetReplica(socket);
+  const uint64_t* rbegin_rep = g.rbegin->GetReplica(socket);
+  const uint64_t* redge_rep = g.redge->GetReplica(socket);
 
-  uint64_t fwd = index_codec.get(begin_rep, v);
-  const uint64_t fwd_end = index_codec.get(begin_rep, v + 1);
-  uint64_t rev = index_codec.get(rbegin_rep, v);
-  const uint64_t rev_end = index_codec.get(rbegin_rep, v + 1);
+  uint64_t fwd = begin_codec.get(begin_rep, v);
+  const uint64_t fwd_end = begin_codec.get(begin_rep, v + 1);
+  uint64_t rev = rbegin_codec.get(rbegin_rep, v);
+  const uint64_t rev_end = rbegin_codec.get(rbegin_rep, v + 1);
+  const uint64_t decoded = (fwd_end - fwd) + (rev_end - rev);
   // Both lists ascend; merge, dedupe, filter.
   while (fwd < fwd_end || rev < rev_end) {
     uint64_t next;
     if (fwd < fwd_end &&
-        (rev >= rev_end || edge_codec.get(edge_rep, fwd) <= edge_codec.get(redge_rep, rev))) {
+        (rev >= rev_end || edge_codec.get(edge_rep, fwd) <= redge_codec.get(redge_rep, rev))) {
       next = edge_codec.get(edge_rep, fwd++);
     } else {
-      next = edge_codec.get(redge_rep, rev++);
+      next = redge_codec.get(redge_rep, rev++);
     }
     if (next > floor && next != v && (out->empty() || out->back() != next)) {
       out->push_back(next);
     }
   }
+  return decoded;
 }
 
 // Plain-CSR flavour of the same helper, for the serial reference.
@@ -83,6 +91,16 @@ uint64_t SortedIntersectionSize(const std::vector<uint64_t>& a, const std::vecto
   return count;
 }
 
+// 64-bit property arrays are word-per-element, so relaxed atomic access via
+// atomic_ref keeps the cross-worker races (level claims, label relaxations)
+// well-defined without any locking.
+inline uint64_t LoadRelaxed(const uint64_t* cell) {
+  return std::atomic_ref<const uint64_t>(*cell).load(std::memory_order_relaxed);
+}
+inline void StoreRelaxed(uint64_t* cell, uint64_t value) {
+  std::atomic_ref<uint64_t>(*cell).store(value, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -109,59 +127,110 @@ std::vector<uint64_t> BfsLevels(const CsrGraph& graph, VertexId source) {
   return level;
 }
 
-std::vector<uint64_t> BfsLevelsSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
-                                     VertexId source, const platform::Topology& topology) {
-  SA_CHECK(source < graph.num_vertices());
-  const uint64_t n = graph.num_vertices();
-  // Levels as a 64-bit interleaved property (concurrent relaxations of
-  // distinct vertices must not share packed words).
+std::vector<uint64_t> BfsLevelsSmart(rts::WorkerPool& pool, const CsrView& graph,
+                                     VertexId source, const platform::Topology& topology,
+                                     AccessMix* mix) {
+  SA_CHECK(source < graph.num_vertices);
+  const uint64_t n = graph.num_vertices;
+  // Levels as a 64-bit interleaved property (output arrays stay interleaved,
+  // §5.2; one word per element so CAS claims need no packing care).
   auto level = smart::SmartArray::Allocate(n, smart::PlacementSpec::Interleaved(), 64, topology);
   uint64_t* level_data = level->MutableReplica(0);
-  rts::ParallelFor(pool, 0, n, smart::kChunkAlignedGrain,
-                   [&](int, uint64_t b, uint64_t e) {
-                     for (uint64_t v = b; v < e; ++v) {
-                       level_data[v] = kUnreachable;
-                     }
-                   });
+  rts::ParallelFor(pool, 0, n, smart::kChunkAlignedGrain, [&](int, uint64_t b, uint64_t e) {
+    for (uint64_t v = b; v < e; ++v) {
+      level_data[v] = kUnreachable;
+    }
+  });
   level_data[source] = 0;
 
-  const auto& index_codec = smart::CodecFor(graph.index_bits());
-  for (uint64_t round = 0;; ++round) {
-    std::atomic<bool> advanced{false};
-    smart::WithBits(graph.edge_bits(), [&](auto edge_bits_const) {
-      constexpr uint32_t kEdgeBits = edge_bits_const();
-      rts::ParallelFor(pool, 0, n, rts::kDefaultGrain, [&](int worker, uint64_t b, uint64_t e) {
-        const int socket = pool.worker_socket(worker);
-        const uint64_t* begin_rep = graph.begin().GetReplica(socket);
-        const uint64_t* edge_rep = graph.edge().GetReplica(socket);
-        bool local_advanced = false;
-        for (uint64_t v = b; v < e; ++v) {
-          if (level_data[v] != round) {
-            continue;
-          }
-          const uint64_t first = index_codec.get(begin_rep, v);
-          const uint64_t last = index_codec.get(begin_rep, v + 1);
-          // Chunk-granular decode of the out-edge list (range kernel).
-          smart::BitCompressedArray<kEdgeBits>::ForEachRangeImpl(
-              edge_rep, first, last, [&](uint64_t u, uint64_t /*ei*/) {
-                // Benign race: concurrent writers all store round+1.
-                if (level_data[u] == kUnreachable) {
-                  level_data[u] = round + 1;
-                  local_advanced = true;
-                }
-              });
-        }
-        if (local_advanced) {
-          advanced.store(true, std::memory_order_relaxed);
-        }
+  const int workers = pool.num_workers();
+  const auto& index_codec = smart::CodecFor(graph.begin_bits());
+  // Private per-worker next-frontier queues, merged after each level
+  // barrier; hoisted out of the level loop so their capacity is reused.
+  rts::WorkerLocal<std::vector<uint64_t>> queues(workers);
+  rts::WorkerLocal<uint64_t> streamed(workers);
+  std::vector<uint64_t> frontier{source};
+  std::vector<uint64_t> next;
+
+  uint64_t rounds = 0;
+  uint64_t visited = 1;  // source
+  uint64_t edges_streamed = 0;
+
+  smart::WithBits(graph.edge_bits(), [&](auto edge_bits_const) {
+    constexpr uint32_t kEdgeBits = edge_bits_const();
+    for (uint64_t round = 0; !frontier.empty(); ++round) {
+      ++rounds;
+      // Frontier slices are per-edge heavy, so the grain is much finer than
+      // a vertex sweep's: keep every worker busy even on small frontiers.
+      const uint64_t grain =
+          std::max<uint64_t>(64, frontier.size() / (static_cast<uint64_t>(workers) * 8 + 1));
+      rts::ParallelFor(
+          pool, 0, frontier.size(), grain, [&](int worker, uint64_t b, uint64_t e) {
+            const int socket = pool.worker_socket(worker);
+            const uint64_t* begin_rep = graph.begin->GetReplica(socket);
+            const uint64_t* edge_rep = graph.edge->GetReplica(socket);
+            std::vector<uint64_t>& out = queues[worker];
+            uint64_t local_streamed = 0;
+            for (uint64_t i = b; i < e; ++i) {
+              const uint64_t v = frontier[i];
+              const uint64_t first = index_codec.get(begin_rep, v);
+              const uint64_t last = index_codec.get(begin_rep, v + 1);
+              local_streamed += last - first;
+              // Chunk-granular decode of the out-edge list (range kernel).
+              smart::BitCompressedArray<kEdgeBits>::ForEachRangeImpl(
+                  edge_rep, first, last, [&](uint64_t u, uint64_t /*ei*/) {
+                    // Claim u with a CAS on its level word: exactly one
+                    // worker wins, so u lands in exactly one private queue.
+                    std::atomic_ref<uint64_t> cell(level_data[u]);
+                    uint64_t unreached = kUnreachable;
+                    if (cell.load(std::memory_order_relaxed) == kUnreachable &&
+                        cell.compare_exchange_strong(unreached, round + 1,
+                                                     std::memory_order_relaxed)) {
+                      out.push_back(u);
+                    }
+                  });
+            }
+            streamed[worker] += local_streamed;
+          });
+
+      // Merge the private queues into the next frontier. The ParallelFor
+      // return above is the level barrier: every claim made this level
+      // happens-before this merge.
+      next.clear();
+      queues.ForEach([&](int, std::vector<uint64_t>& q) {
+        next.insert(next.end(), q.begin(), q.end());
+        q.clear();
       });
-      return 0;
-    });
-    if (!advanced.load()) {
-      break;
+#ifdef SA_GRAPH_MUTATION_CANARY
+      // Planted bug for the CI canary: the merge silently drops one claimed
+      // vertex per level, so its subtree gets a too-late (or no) level. The
+      // differential oracle must catch this.
+      if (next.size() > 1) {
+        next.pop_back();
+      }
+#endif
+      visited += next.size();
+      frontier.swap(next);
     }
+    return 0;
+  });
+
+  streamed.ForEach([&](int, uint64_t& c) { edges_streamed += c; });
+  SA_OBS_COUNT_N(kGraphBfsRounds, rounds);
+  SA_OBS_COUNT_N(kGraphFrontierPushes, visited);
+  SA_OBS_COUNT_N(kGraphEdgesStreamed, edges_streamed);
+  if (mix != nullptr) {
+    // Frontier order is data-dependent, so the offset reads are random
+    // gathers; the edge lists themselves stream.
+    mix->begin_rand += 2 * visited;
+    mix->edge_seq += edges_streamed;
   }
   return std::vector<uint64_t>(level_data, level_data + n);
+}
+
+std::vector<uint64_t> BfsLevelsSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
+                                     VertexId source, const platform::Topology& topology) {
+  return BfsLevelsSmart(pool, graph.view(), source, topology, nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -194,44 +263,47 @@ std::vector<uint64_t> ConnectedComponents(const CsrGraph& graph) {
   return label;
 }
 
-std::vector<uint64_t> ConnectedComponentsSmart(rts::WorkerPool& pool,
-                                               const SmartCsrGraph& graph,
-                                               const platform::Topology& topology) {
-  const uint64_t n = graph.num_vertices();
+std::vector<uint64_t> ConnectedComponentsSmart(rts::WorkerPool& pool, const CsrView& graph,
+                                               const platform::Topology& topology,
+                                               AccessMix* mix) {
+  const uint64_t n = graph.num_vertices;
+  if (n == 0) {
+    return {};
+  }
   auto labels = smart::SmartArray::Allocate(n, smart::PlacementSpec::Interleaved(), 64, topology);
   uint64_t* label = labels->MutableReplica(0);
-  rts::ParallelFor(pool, 0, n, smart::kChunkAlignedGrain,
-                   [&](int, uint64_t b, uint64_t e) {
-                     for (uint64_t v = b; v < e; ++v) {
-                       label[v] = v;
-                     }
-                   });
+  rts::ParallelFor(pool, 0, n, smart::kChunkAlignedGrain, [&](int, uint64_t b, uint64_t e) {
+    for (uint64_t v = b; v < e; ++v) {
+      label[v] = v;
+    }
+  });
 
-  const auto& index_codec = smart::CodecFor(graph.index_bits());
-  while (true) {
-    std::atomic<bool> changed{false};
-    smart::WithBits(graph.edge_bits(), [&](auto edge_bits_const) {
-      constexpr uint32_t kEdgeBits = edge_bits_const();
+  // One relaxation sweep over one (offsets, targets) pair, each array
+  // decoded at its own width (registry slots adapt independently, so the
+  // forward and reverse pairs can sit at different widths mid-program).
+  // Label propagation converges to the same fixpoint — the per-component
+  // minimum — whatever order the edges relax in, so sweeping the forward
+  // and reverse lists in separate passes preserves the oracle.
+  std::atomic<bool> changed{false};
+  const auto sweep = [&](const smart::SmartArray& offsets, const smart::SmartArray& targets) {
+    const auto& offset_codec = smart::CodecFor(offsets.bits());
+    smart::WithBits(targets.bits(), [&](auto target_bits_const) {
+      constexpr uint32_t kTargetBits = target_bits_const();
       rts::ParallelFor(pool, 0, n, rts::kDefaultGrain, [&](int worker, uint64_t b, uint64_t e) {
         const int socket = pool.worker_socket(worker);
-        const uint64_t* begin_rep = graph.begin().GetReplica(socket);
-        const uint64_t* edge_rep = graph.edge().GetReplica(socket);
-        const uint64_t* rbegin_rep = graph.rbegin().GetReplica(socket);
-        const uint64_t* redge_rep = graph.redge().GetReplica(socket);
+        const uint64_t* offsets_rep = offsets.GetReplica(socket);
+        const uint64_t* targets_rep = targets.GetReplica(socket);
         bool local_changed = false;
         for (uint64_t v = b; v < e; ++v) {
-          uint64_t m = label[v];
-          // Both neighbor lists stream through the chunk-granular range
+          uint64_t m = LoadRelaxed(&label[v]);
+          // The neighbor list streams through the chunk-granular range
           // kernel; the label reads stay per-element (random gathers).
-          const auto relax = [&](uint64_t u, uint64_t /*ei*/) { m = std::min(m, label[u]); };
-          smart::BitCompressedArray<kEdgeBits>::ForEachRangeImpl(
-              edge_rep, index_codec.get(begin_rep, v), index_codec.get(begin_rep, v + 1), relax);
-          smart::BitCompressedArray<kEdgeBits>::ForEachRangeImpl(
-              redge_rep, index_codec.get(rbegin_rep, v), index_codec.get(rbegin_rep, v + 1),
-              relax);
+          smart::BitCompressedArray<kTargetBits>::ForEachRangeImpl(
+              targets_rep, offset_codec.get(offsets_rep, v), offset_codec.get(offsets_rep, v + 1),
+              [&](uint64_t u, uint64_t /*ei*/) { m = std::min(m, LoadRelaxed(&label[u])); });
           // Monotone decrease; races only delay convergence.
-          if (m < label[v]) {
-            label[v] = m;
+          if (m < LoadRelaxed(&label[v])) {
+            StoreRelaxed(&label[v], m);
             local_changed = true;
           }
         }
@@ -241,11 +313,38 @@ std::vector<uint64_t> ConnectedComponentsSmart(rts::WorkerPool& pool,
       });
       return 0;
     });
+  };
+
+  uint64_t iterations = 0;
+  // Early-exit convergence: the loop ends the first round no label moved.
+  while (true) {
+    ++iterations;
+    changed.store(false);
+    sweep(*graph.begin, *graph.edge);
+    sweep(*graph.rbegin, *graph.redge);
     if (!changed.load()) {
       break;
     }
   }
+
+  SA_OBS_COUNT_N(kGraphCcIterations, iterations);
+  SA_OBS_COUNT_N(kGraphEdgesStreamed, 2 * iterations * graph.num_edges);
+  SA_OBS_COUNT_N(kGraphRandomGathers, 2 * iterations * graph.num_edges);
+  if (mix != nullptr) {
+    // A round sweeps every offset array in ascending vertex order and
+    // streams both edge lists end to end.
+    mix->begin_seq += 2 * iterations * n;
+    mix->rbegin_seq += 2 * iterations * n;
+    mix->edge_seq += iterations * graph.num_edges;
+    mix->redge_seq += iterations * graph.num_edges;
+  }
   return std::vector<uint64_t>(label, label + n);
+}
+
+std::vector<uint64_t> ConnectedComponentsSmart(rts::WorkerPool& pool,
+                                               const SmartCsrGraph& graph,
+                                               const platform::Topology& topology) {
+  return ConnectedComponentsSmart(pool, graph.view(), topology, nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -266,25 +365,65 @@ uint64_t CountTriangles(const CsrGraph& graph) {
   return count;
 }
 
-uint64_t CountTrianglesSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph) {
-  return static_cast<uint64_t>(rts::ParallelReduce<uint64_t>(
-      pool, 0, graph.num_vertices(), rts::kDefaultGrain,
+namespace {
+
+struct TriPartial {
+  uint64_t triangles = 0;
+  uint64_t decoded = 0;        // packed edge-list elements decoded
+  uint64_t offset_reads = 0;   // begin/rbegin offset pairs read (each array)
+  uint64_t intersections = 0;  // ordered-intersection merges performed
+
+  TriPartial& operator+=(const TriPartial& o) {
+    triangles += o.triangles;
+    decoded += o.decoded;
+    offset_reads += o.offset_reads;
+    intersections += o.intersections;
+    return *this;
+  }
+};
+
+}  // namespace
+
+uint64_t CountTrianglesSmart(rts::WorkerPool& pool, const CsrView& graph, AccessMix* mix) {
+  if (graph.num_vertices == 0) {
+    return 0;
+  }
+  const TriPartial total = rts::ParallelReduce<TriPartial>(
+      pool, 0, graph.num_vertices, rts::kDefaultGrain,
       [&](int worker, uint64_t b, uint64_t e) {
         const int socket = pool.worker_socket(worker);
         std::vector<uint64_t> nv;
         std::vector<uint64_t> nu;
-        uint64_t local = 0;
+        TriPartial local;
         for (uint64_t v = b; v < e; ++v) {
-          NeighborsAbove(graph.begin(), graph.edge(), graph.rbegin(), graph.redge(), socket, v,
-                         v, &nv);
+          local.decoded += NeighborsAbove(graph, socket, v, v, &nv);
+          local.offset_reads += 2;
           for (const uint64_t u : nv) {
-            NeighborsAbove(graph.begin(), graph.edge(), graph.rbegin(), graph.redge(), socket, u,
-                           u, &nu);
-            local += SortedIntersectionSize(nv, nu);
+            local.decoded += NeighborsAbove(graph, socket, u, u, &nu);
+            local.offset_reads += 2;
+            local.triangles += SortedIntersectionSize(nv, nu);
+            ++local.intersections;
           }
         }
         return local;
-      }));
+      });
+
+  SA_OBS_COUNT_N(kGraphTriIntersections, total.intersections);
+  SA_OBS_COUNT_N(kGraphRandomGathers, total.decoded);
+  if (mix != nullptr) {
+    // Neighbor lists are re-fetched at data-dependent vertices, so the whole
+    // access pattern — offsets and list elements alike — is gather-shaped
+    // (split evenly across the forward and reverse pairs).
+    mix->begin_rand += total.offset_reads;
+    mix->rbegin_rand += total.offset_reads;
+    mix->edge_rand += total.decoded / 2;
+    mix->redge_rand += total.decoded / 2;
+  }
+  return total.triangles;
+}
+
+uint64_t CountTrianglesSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph) {
+  return CountTrianglesSmart(pool, graph.view(), nullptr);
 }
 
 }  // namespace sa::graph

@@ -3,6 +3,13 @@
 // degree centrality and PageRank — §2.3 and its triangle-listing citation
 // [51]). Each kernel has a serial reference over plain CSR and a parallel
 // smart-array version scheduled on the Callisto-style runtime.
+//
+// The parallel kernels are written against CsrView (view.h), so the same
+// code runs over a SmartCsrGraph and over epoch-pinned registry snapshots
+// (concurrent.h) — the latter is what makes them safe while the adaptation
+// daemon restructures the property arrays mid-traversal. Each kernel
+// optionally reports its per-array access mix (AccessMix) so a registry
+// caller can feed the slots' workload counters.
 #ifndef SA_GRAPH_ALGORITHMS2_H_
 #define SA_GRAPH_ALGORITHMS2_H_
 
@@ -11,6 +18,7 @@
 
 #include "graph/csr.h"
 #include "graph/smart_graph.h"
+#include "graph/view.h"
 #include "rts/worker_pool.h"
 
 namespace sa::graph {
@@ -22,10 +30,15 @@ inline constexpr uint64_t kUnreachable = ~uint64_t{0};
 // Serial reference: BFS levels from `source` (kUnreachable if not reached).
 std::vector<uint64_t> BfsLevels(const CsrGraph& graph, VertexId source);
 
-// Parallel topology-driven BFS over the smart graph: each round sweeps all
-// vertices of the current level and relaxes their out-neighbors. Returns
-// levels (always a 64-bit property array internally: level writes from
-// concurrent batches must not share packed words).
+// Parallel frontier-based BFS: each level, workers drain a slice of the
+// current frontier into *private* per-worker next-frontier queues (no
+// sharing on the hot path; vertex ownership is claimed with a CAS on the
+// level array), and the queues are merged after the level barrier. Out-edge
+// lists stream through the chunk-granular decode seam. `mix`, when non-null,
+// accumulates the kernel's per-array access tallies.
+std::vector<uint64_t> BfsLevelsSmart(rts::WorkerPool& pool, const CsrView& graph,
+                                     VertexId source, const platform::Topology& topology,
+                                     AccessMix* mix = nullptr);
 std::vector<uint64_t> BfsLevelsSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph,
                                      VertexId source, const platform::Topology& topology);
 
@@ -35,7 +48,12 @@ std::vector<uint64_t> BfsLevelsSmart(rts::WorkerPool& pool, const SmartCsrGraph&
 // treating every edge as undirected.
 std::vector<uint64_t> ConnectedComponents(const CsrGraph& graph);
 
-// Parallel label propagation over the smart graph.
+// Parallel label propagation with early-exit convergence: rounds stop as
+// soon as no label moved. Labels relax monotonically downward through
+// relaxed atomics, so cross-worker races only delay convergence.
+std::vector<uint64_t> ConnectedComponentsSmart(rts::WorkerPool& pool, const CsrView& graph,
+                                               const platform::Topology& topology,
+                                               AccessMix* mix = nullptr);
 std::vector<uint64_t> ConnectedComponentsSmart(rts::WorkerPool& pool,
                                                const SmartCsrGraph& graph,
                                                const platform::Topology& topology);
@@ -47,8 +65,11 @@ std::vector<uint64_t> ConnectedComponentsSmart(rts::WorkerPool& pool,
 // reference over plain CSR.
 uint64_t CountTriangles(const CsrGraph& graph);
 
-// Parallel smart-array version: merge-intersections of bit-packed
-// neighborhood lists read through typed iterators.
+// Parallel smart-array version: ordered-neighbor intersection — per vertex,
+// the forward+reverse neighbor lists merge into an ascending filtered list,
+// and triangles are counted by sorted-intersection of neighbor pairs.
+uint64_t CountTrianglesSmart(rts::WorkerPool& pool, const CsrView& graph,
+                             AccessMix* mix = nullptr);
 uint64_t CountTrianglesSmart(rts::WorkerPool& pool, const SmartCsrGraph& graph);
 
 }  // namespace sa::graph

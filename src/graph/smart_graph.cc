@@ -23,10 +23,14 @@ std::unique_ptr<smart::SmartArray> MakeArray(const std::vector<T>& values, uint3
                                              const smart::PlacementSpec& placement,
                                              const platform::Topology& topology,
                                              rts::WorkerPool& pool) {
-  auto array =
-      smart::SmartArray::Allocate(values.size(), placement, bits, topology);
-  smart::ParallelFill(pool, *array,
-                      [&values](uint64_t i) { return static_cast<uint64_t>(values[i]); });
+  // Smart arrays cannot be empty; an edgeless (or vertexless) graph still
+  // gets one-element storage, and num_vertices/num_edges keep every kernel
+  // from reading past the logical end.
+  const uint64_t length = std::max<uint64_t>(values.size(), 1);
+  auto array = smart::SmartArray::Allocate(length, placement, bits, topology);
+  smart::ParallelFill(pool, *array, [&values](uint64_t i) {
+    return i < values.size() ? static_cast<uint64_t>(values[i]) : 0;
+  });
   return array;
 }
 

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "graph/csr.h"
+#include "graph/view.h"
 #include "rts/worker_pool.h"
 #include "smart/smart_array.h"
 
@@ -42,6 +43,13 @@ class SmartCsrGraph {
   const smart::SmartArray& redge() const { return *redge_; }
   // Out-degree vertex property (used by PageRank; 22-bit compressed in "V").
   const smart::SmartArray& out_degree() const { return *out_degree_; }
+
+  // Non-owning window the analytics kernels run over; valid while this
+  // graph is alive (the registry twin is GraphSnapshot::view()).
+  CsrView view() const {
+    return CsrView{begin_.get(), edge_.get(),      rbegin_.get(), redge_.get(),
+                   out_degree_.get(), num_vertices_, num_edges_};
+  }
 
   uint32_t index_bits() const { return begin_->bits(); }
   uint32_t edge_bits() const { return edge_->bits(); }

@@ -1,0 +1,86 @@
+// CsrView: one non-owning window over the five CSR property arrays every
+// graph kernel reads (begin/edge/rbegin/redge/out_degree).
+//
+// The kernels in algorithms.h / algorithms2.h are written against this view
+// rather than against SmartCsrGraph directly, so the same code runs over
+// two ownership regimes:
+//
+//   * SmartCsrGraph::view() — the arrays are owned by the graph object and
+//     immutable for its lifetime (the seed's standalone-benchmark shape).
+//   * GraphSnapshot::view() (concurrent.h) — the arrays are *pinned
+//     versions* of registry slots. The adaptation daemon may publish a
+//     restructure of any slot mid-traversal; the epoch pin keeps the
+//     version this view resolved alive and immutable until the snapshot is
+//     released, so a whole algorithm run observes one consistent
+//     representation per array. That is the snapshot-consistency contract
+//     the differential testkit proves.
+//
+// AccessMix carries the per-array sequential/random access tallies a kernel
+// accumulates while it runs; GraphSnapshot::Account feeds them into the
+// slots' workload counters, which is what lets the daemon adapt each
+// property array to the access pattern of the *algorithm* touching it
+// (paper §5.2: different access mixes want different layouts).
+#ifndef SA_GRAPH_VIEW_H_
+#define SA_GRAPH_VIEW_H_
+
+#include <cstdint>
+
+#include "smart/smart_array.h"
+
+namespace sa::graph {
+
+struct CsrView {
+  const smart::SmartArray* begin = nullptr;       // V+1 offsets into edge
+  const smart::SmartArray* edge = nullptr;        // forward targets
+  const smart::SmartArray* rbegin = nullptr;      // V+1 offsets into redge
+  const smart::SmartArray* redge = nullptr;       // reverse targets
+  const smart::SmartArray* out_degree = nullptr;  // per-vertex out-degree
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+
+  // Per-array widths. Kernels must decode each array with ITS OWN width:
+  // a SmartCsrGraph builds the forward/reverse pairs at matching widths,
+  // but registry-held graphs adapt every slot independently — the daemon
+  // may narrow `begin` while `rbegin` stays wide — so assuming any two
+  // arrays share a width reads garbage the moment they diverge.
+  uint32_t begin_bits() const { return begin->bits(); }
+  uint32_t edge_bits() const { return edge->bits(); }
+  uint32_t rbegin_bits() const { return rbegin->bits(); }
+  uint32_t redge_bits() const { return redge->bits(); }
+  uint32_t degree_bits() const { return out_degree->bits(); }
+};
+
+// Sequential/random access tallies per property array, accumulated by one
+// kernel run. "Sequential" counts elements consumed through the streaming
+// decode seam (whole neighborhood lists, offset scans); "random" counts
+// per-element gathers at data-dependent indices.
+struct AccessMix {
+  uint64_t begin_seq = 0;
+  uint64_t begin_rand = 0;
+  uint64_t edge_seq = 0;
+  uint64_t edge_rand = 0;
+  uint64_t rbegin_seq = 0;
+  uint64_t rbegin_rand = 0;
+  uint64_t redge_seq = 0;
+  uint64_t redge_rand = 0;
+  uint64_t degree_seq = 0;
+  uint64_t degree_rand = 0;
+
+  AccessMix& operator+=(const AccessMix& o) {
+    begin_seq += o.begin_seq;
+    begin_rand += o.begin_rand;
+    edge_seq += o.edge_seq;
+    edge_rand += o.edge_rand;
+    rbegin_seq += o.rbegin_seq;
+    rbegin_rand += o.rbegin_rand;
+    redge_seq += o.redge_seq;
+    redge_rand += o.redge_rand;
+    degree_seq += o.degree_seq;
+    degree_rand += o.degree_rand;
+    return *this;
+  }
+};
+
+}  // namespace sa::graph
+
+#endif  // SA_GRAPH_VIEW_H_

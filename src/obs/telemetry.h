@@ -63,6 +63,12 @@ enum CounterId : int {
   kDaemonShardClaims,
   kDaemonShardSteals,
   kDaemonBackpressureDrops,
+  kGraphBfsRounds,
+  kGraphCcIterations,
+  kGraphFrontierPushes,
+  kGraphEdgesStreamed,
+  kGraphRandomGathers,
+  kGraphTriIntersections,
   kCounterIdCount,
 };
 

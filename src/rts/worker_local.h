@@ -1,0 +1,52 @@
+// WorkerLocal<T>: one T per worker of a pool, padded to cache-line
+// granularity so concurrent workers never share a line.
+//
+// This is the storage behind the private-frontier-queue traversal idiom:
+// each ParallelFor worker pushes into its own slot (no synchronization on
+// the hot path), and the caller merges the slots after the loop's barrier.
+#ifndef SA_RTS_WORKER_LOCAL_H_
+#define SA_RTS_WORKER_LOCAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace sa::rts {
+
+template <typename T>
+class WorkerLocal {
+ public:
+  explicit WorkerLocal(int num_workers)
+      : entries_(static_cast<size_t>(num_workers > 0 ? num_workers : 1)) {}
+
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  T& operator[](int worker) {
+    SA_DCHECK(worker >= 0 && worker < size());
+    return entries_[static_cast<size_t>(worker)].value;
+  }
+  const T& operator[](int worker) const {
+    SA_DCHECK(worker >= 0 && worker < size());
+    return entries_[static_cast<size_t>(worker)].value;
+  }
+
+  // Applies `fn(worker, T&)` to every slot, in worker order (the caller runs
+  // this after the loop's barrier, so no synchronization is needed).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (int w = 0; w < size(); ++w) {
+      fn(w, entries_[static_cast<size_t>(w)].value);
+    }
+  }
+
+ private:
+  struct alignas(64) Padded {
+    T value{};
+  };
+  std::vector<Padded> entries_;
+};
+
+}  // namespace sa::rts
+
+#endif  // SA_RTS_WORKER_LOCAL_H_

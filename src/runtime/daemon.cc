@@ -312,9 +312,12 @@ adapt::WorkloadCounters AdaptationDaemon::SynthesizeCounters(const SlotSample& s
 
 adapt::SoftwareHints AdaptationDaemon::HintsFor(const ArraySlot& slot) {
   const SlotSample lifetime = slot.LifetimeSample();
+  // Post-seal writes only: SealWrites() lets an uploader exclude its bulk
+  // population traffic from the read-only / mostly-reads judgment.
+  const uint64_t writes = slot.unsealed_write_count();
   adapt::SoftwareHints hints;
-  hints.read_only = lifetime.writes == 0;
-  hints.mostly_reads = lifetime.writes * 20 < std::max<uint64_t>(lifetime.reads(), 1);
+  hints.read_only = writes == 0;
+  hints.mostly_reads = writes * 20 < std::max<uint64_t>(lifetime.reads(), 1);
   const double length = static_cast<double>(std::max<uint64_t>(slot.length(), 1));
   hints.linear_passes = static_cast<double>(lifetime.sequential_reads) / length;
   hints.random_passes = static_cast<double>(lifetime.random_reads) / length;

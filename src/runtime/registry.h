@@ -132,6 +132,17 @@ class ArraySnapshot {
   // kernels (counted as a sequential scan of the range).
   uint64_t SumRange(uint64_t begin, uint64_t end);
 
+  // Bulk workload accounting for kernels that stream this snapshot's pinned
+  // storage directly (graph traversals read raw replica pointers, so the
+  // per-element Get classification never sees their accesses). Adds to the
+  // locally accumulated counters flushed on Release. Like Get, not safe to
+  // call concurrently on one snapshot — parallel kernels reduce their
+  // per-worker tallies first and account once.
+  void AccountReads(uint64_t sequential, uint64_t random) {
+    local_sequential_ += sequential;
+    local_random_ += random;
+  }
+
   // Releases the pin early (destructor becomes a no-op).
   void Release();
 
@@ -212,6 +223,22 @@ class ArraySlot {
   // narrowed rebuild.
   uint32_t max_written_bits() const;
 
+  // §6.1 software hint: the uploader declares bulk population finished and
+  // the slot effectively read-only from here on. Writes made before the
+  // seal stop counting against the daemon's read-only / mostly-reads hints
+  // (a freshly uploaded immutable array would otherwise look write-heavy
+  // for its first ~20 read passes and never qualify for replication or
+  // compression). Writing after sealing stays legal — this is a hint, not
+  // an enforcement point — and re-sealing moves the baseline forward.
+  void SealWrites() {
+    sealed_writes_.store(writes_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  }
+  // Writes since the last SealWrites() (all writes when never sealed).
+  uint64_t unsealed_write_count() const {
+    return writes_.load(std::memory_order_relaxed) -
+           sealed_writes_.load(std::memory_order_relaxed);
+  }
+
   // Counters accumulated since the previous drain, with the elapsed wall
   // time. Single consumer (the daemon).
   SlotSample DrainSample();
@@ -270,6 +297,9 @@ class ArraySlot {
   // Serializes writers against each other and against Publish.
   std::mutex write_mu_;
   std::atomic<uint64_t> max_written_{0};  // updated under write_mu_
+  // Write-count baseline set by SealWrites(); writes at or below it are
+  // upload traffic the adaptation hints ignore.
+  std::atomic<uint64_t> sealed_writes_{0};
 
   // Daemon-side drain bookkeeping (single consumer).
   SlotSample drained_{};

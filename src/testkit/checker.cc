@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "common/random.h"
+#include "graph/algorithms2.h"
+#include "graph/concurrent.h"
+#include "graph/csr.h"
 #include "obs/entry_points.h"
 #include "platform/fault_injection.h"
 #include "runtime/daemon.h"
@@ -66,6 +69,7 @@ class Executor {
   Executor(const Program& program, TestContext& ctx)
       : program_(program),
         scenario_(program.scenario),
+        ctx_(ctx),
         len_(program.scenario.length),
         num_slots_(std::max(1, program.scenario.num_slots)),
         harness_(MakeHarness(program.scenario, ctx)),
@@ -355,6 +359,11 @@ class Executor {
       case OpKind::kRestructure:
         StepRestructure(i, op);
         break;
+      case OpKind::kGraphBfs:
+      case OpKind::kGraphCc:
+      case OpKind::kGraphTri:
+        StepGraph(i, op);
+        break;
       case OpKind::kObsSnapshot: {
         // Counters are cumulative across shards; whatever this program (or a
         // concurrent test in the same process) does, an aggregated counter
@@ -377,6 +386,76 @@ class Executor {
         break;
       }
     }
+  }
+
+  // Graph analytics as a differential op: a directed graph derived from the
+  // current model contents is uploaded into five fresh registry slots, the
+  // parallel smart-array kernel runs over an epoch-pinned snapshot, and its
+  // result must match the serial plain-CSR reference computed from the same
+  // contents. Everything (vertex count, placement, compression tier, BFS
+  // source) derives from the op parameters and the model, so the op stays
+  // shrink-safe and replayable. Under concurrent_daemon the daemon's worker
+  // set sees the five slots immediately and may restructure them mid-upload
+  // and mid-traversal — the pinned snapshot is what keeps the result exact.
+  void StepGraph(size_t i, const Op& op) {
+    runtime::ArrayRegistry* registry = harness_->registry();
+    if (registry == nullptr) {
+      return;  // graph ops are registry-only; a no-op elsewhere
+    }
+    const uint32_t nv = 2 + static_cast<uint32_t>(op.a % 31);
+    std::vector<std::pair<graph::VertexId, graph::VertexId>> edge_list;
+    edge_list.reserve(len_);
+    for (uint64_t k = 0; k < len_; ++k) {
+      edge_list.emplace_back(static_cast<graph::VertexId>(k % nv),
+                             static_cast<graph::VertexId>(model().Get(k) % nv));
+    }
+    const graph::CsrGraph csr =
+        graph::CsrGraph::FromEdges(static_cast<graph::VertexId>(nv), std::move(edge_list));
+
+    graph::SmartGraphOptions options;
+    options.placement = DecodePlacement(op.b);
+    options.compress_indexes = (op.c % 3) != 0;  // U / V / V+E tiers
+    options.compress_edges = (op.c % 3) == 2;
+    const graph::RegistryCsrGraph rgraph(*registry, "g" + std::to_string(graph_counter_++), csr,
+                                         options);
+    graph::GraphSnapshot snapshot = rgraph.Pin();
+
+    switch (op.kind) {
+      case OpKind::kGraphBfs: {
+        const graph::VertexId source = static_cast<graph::VertexId>(op.b % nv);
+        const std::vector<uint64_t> got =
+            graph::BfsLevels(ctx_.pool, snapshot, source, ctx_.topology);
+        const std::vector<uint64_t> want = graph::BfsLevels(csr, source);
+        for (uint32_t v = 0; v < nv; ++v) {
+          if (got[v] != want[v]) {
+            Fail(i, Diff(("bfs level[" + std::to_string(v) + "]").c_str(), got[v], want[v]));
+            break;
+          }
+        }
+        break;
+      }
+      case OpKind::kGraphCc: {
+        const std::vector<uint64_t> got =
+            graph::ConnectedComponents(ctx_.pool, snapshot, ctx_.topology);
+        const std::vector<uint64_t> want = graph::ConnectedComponents(csr);
+        for (uint32_t v = 0; v < nv; ++v) {
+          if (got[v] != want[v]) {
+            Fail(i, Diff(("cc label[" + std::to_string(v) + "]").c_str(), got[v], want[v]));
+            break;
+          }
+        }
+        break;
+      }
+      default: {  // kGraphTri
+        const uint64_t got = graph::CountTriangles(ctx_.pool, snapshot);
+        const uint64_t want = graph::CountTriangles(csr);
+        if (got != want) {
+          Fail(i, Diff("triangle count", got, want));
+        }
+        break;
+      }
+    }
+    snapshot.Release();
   }
 
   void StepRestructure(size_t i, const Op& op) {
@@ -551,11 +630,15 @@ class Executor {
 
   const Program& program_;
   const Scenario& scenario_;
+  TestContext& ctx_;
   const uint64_t len_;
   const int num_slots_;
   std::unique_ptr<Harness> harness_;
   std::vector<ArrayModel> models_;
   size_t active_slot_ = 0;
+  // Registry slot names must be unique per Create; each graph op gets a
+  // fresh "gN" prefix. Resets per Executor, so shrunk replays line up.
+  uint64_t graph_counter_ = 0;
   std::unique_ptr<runtime::AdaptationDaemon> daemon_;
   RunResult result_;
   std::map<std::string, uint64_t> last_obs_counters_;

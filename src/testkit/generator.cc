@@ -116,6 +116,26 @@ Op OpSequenceGenerator::Next(const Scenario& scenario) {
       break;
 
     case Variant::kRegistry:
+      if (scenario.graph_ops) {
+        // Graph scenarios: writes keep mutating the model (so successive
+        // graph ops see different edge lists), and the three analytics ops
+        // dominate. Snapshot reads/restructures stay in the mix so graph
+        // uploads interleave with ordinary registry traffic.
+        if (roll < 18) {
+          op.kind = OpKind::kWrite;
+        } else if (roll < 24) {
+          op.kind = OpKind::kSnapshotRead;
+        } else if (roll < 28) {
+          op.kind = OpKind::kRestructure;
+        } else if (roll < 42) {
+          op.kind = OpKind::kGraphBfs;
+        } else if (roll < 54) {
+          op.kind = OpKind::kGraphCc;
+        } else {
+          op.kind = OpKind::kGraphTri;
+        }
+        break;
+      }
       if (roll < 16) {
         op.kind = OpKind::kWrite;
       } else if (roll < 30) {

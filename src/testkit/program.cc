@@ -36,6 +36,12 @@ const char* ToString(OpKind kind) {
       return "restructure";
     case OpKind::kObsSnapshot:
       return "obs-snapshot";
+    case OpKind::kGraphBfs:
+      return "graph-bfs";
+    case OpKind::kGraphCc:
+      return "graph-cc";
+    case OpKind::kGraphTri:
+      return "graph-tri";
   }
   return "?";
 }

@@ -38,6 +38,17 @@ enum class OpKind : uint8_t {
   kRestructure,   // rebuild under placement a%4 / width derived from c%3
   kObsSnapshot,   // saObsSnapshot: every telemetry counter must be monotonic
                   //   vs the previous kObsSnapshot in this program
+  // Graph ops (registry scenarios with graph_ops): derive a directed graph
+  // from the *current model contents* — nv = 2 + a%31 vertices, edges
+  // (i % nv) -> (model[i] % nv) for i in [0, len) — upload it into five
+  // fresh registry slots (placement b%4, compression tier c%3), run the
+  // parallel smart-array kernel over an epoch-pinned snapshot, and diff
+  // against the serial plain-CSR reference computed from the same contents.
+  // Model-derived inputs keep the ops shrink-safe; under concurrent_daemon
+  // the upload+traversal races live restructures of the graph's own slots.
+  kGraphBfs,      // BFS levels from source b % nv
+  kGraphCc,       // connected components (undirected label propagation)
+  kGraphTri,      // triangle count (ordered-neighbor intersection)
 };
 
 const char* ToString(OpKind kind);

@@ -33,6 +33,9 @@ std::string ToString(const Scenario& scenario) {
   if (scenario.concurrent_daemon) {
     s += " +daemon";
   }
+  if (scenario.graph_ops) {
+    s += " +graph";
+  }
   return s;
 }
 
@@ -191,6 +194,60 @@ std::vector<Scenario> BuildGrid() {
     s.variant = Variant::kRegistry;
     s.num_slots = num_slots;
     s.concurrent_daemon = true;
+    grid.push_back(s);
+  }
+
+  // 8. Graph analytics over registry-held property arrays (appended for the
+  //    concurrent-graph suite; index 307 = the first graph scenario, a fact
+  //    tests/prop/prop_smoke_test.cc pins). The daemon-live entries are the
+  //    headline property: BFS/CC/triangles agree with the serial plain-CSR
+  //    oracle while the five graph slots are restructured mid-traversal.
+  for (const uint32_t bits : {13u, 33u}) {
+    Scenario s;
+    s.length = 130;
+    s.bits = bits;
+    s.placement = PlacementSpec::Interleaved();
+    s.variant = Variant::kRegistry;
+    s.graph_ops = true;
+    grid.push_back(s);
+  }
+  {
+    Scenario s;
+    s.length = 1000;
+    s.bits = 13;
+    s.placement = PlacementSpec::Replicated();
+    s.variant = Variant::kRegistry;
+    s.graph_ops = true;
+    grid.push_back(s);
+  }
+  {
+    Scenario s;
+    s.length = 130;
+    s.bits = 13;
+    s.placement = PlacementSpec::OsDefault();
+    s.variant = Variant::kRegistry;
+    s.num_slots = 3;
+    s.graph_ops = true;
+    grid.push_back(s);
+  }
+  {
+    Scenario s;
+    s.length = 130;
+    s.bits = 13;
+    s.placement = PlacementSpec::Interleaved();
+    s.variant = Variant::kRegistry;
+    s.concurrent_daemon = true;
+    s.graph_ops = true;
+    grid.push_back(s);
+  }
+  {
+    Scenario s;
+    s.length = 1000;
+    s.bits = 33;
+    s.placement = PlacementSpec::OsDefault();
+    s.variant = Variant::kRegistry;
+    s.concurrent_daemon = true;
+    s.graph_ops = true;
     grid.push_back(s);
   }
 

@@ -55,6 +55,13 @@ struct Scenario {
   // so the checker diffs contents only, not bits; replay of a failure is
   // best-effort (daemon timing is not seeded).
   bool concurrent_daemon = false;
+  // kRegistry only: mix graph-analytics ops (kGraphBfs/kGraphCc/kGraphTri)
+  // into the program. Each op derives a CSR graph from the current model
+  // contents (shrink-safe), uploads it into fresh registry slots, runs the
+  // parallel kernel over an epoch-pinned snapshot, and diffs against the
+  // serial plain-CSR reference — under concurrent_daemon, while the daemon
+  // restructures the graph's property arrays.
+  bool graph_ops = false;
 
   // Restructure ops are meaningful for kPlain (in-place swap) and kRegistry
   // (publish); SynchronizedArray owns a fixed representation.

@@ -5,9 +5,11 @@
 // §5.2 claim under test: the analytics answer is representation-independent.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "graph/algorithms.h"
+#include "graph/algorithms2.h"
 #include "graph/csr.h"
 #include "graph/generators.h"
 #include "graph/smart_graph.h"
@@ -17,6 +19,12 @@
 
 namespace {
 
+using sa::graph::BfsLevels;
+using sa::graph::BfsLevelsSmart;
+using sa::graph::ConnectedComponents;
+using sa::graph::ConnectedComponentsSmart;
+using sa::graph::CountTriangles;
+using sa::graph::CountTrianglesSmart;
 using sa::graph::CsrGraph;
 using sa::graph::DegreeCentrality;
 using sa::graph::DegreeCentralitySmart;
@@ -108,6 +116,83 @@ TEST_F(GraphDifferentialTest, PageRankMatchesScalarReferenceEverywhere) {
             << ToString(rep.options.placement) << " vertex " << v;
       }
       EXPECT_NEAR(got.final_delta, want.final_delta, 1e-9);
+    }
+  }
+}
+
+TEST_F(GraphDifferentialTest, BfsLevelsMatchScalarReferenceEverywhere) {
+  for (const auto& graph_case : Graphs()) {
+    // Two sources: vertex 0 and one deep in the id range (different frontier
+    // shapes; on the power-law graph the second often starts in the tail).
+    for (const VertexId source : {VertexId{0}, graph_case.csr.num_vertices() / 2}) {
+      const std::vector<uint64_t> want = BfsLevels(graph_case.csr, source);
+      for (const auto& rep : Representations()) {
+        SmartCsrGraph g(graph_case.csr, rep.options, topo_, pool_);
+        const std::vector<uint64_t> got = BfsLevelsSmart(pool_, g, source, topo_);
+        ASSERT_EQ(got, want) << graph_case.name << " " << rep.name << " "
+                             << ToString(rep.options.placement) << " source " << source;
+      }
+    }
+  }
+}
+
+TEST_F(GraphDifferentialTest, ConnectedComponentsMatchScalarReferenceEverywhere) {
+  for (const auto& graph_case : Graphs()) {
+    const std::vector<uint64_t> want = ConnectedComponents(graph_case.csr);
+    for (const auto& rep : Representations()) {
+      SmartCsrGraph g(graph_case.csr, rep.options, topo_, pool_);
+      ASSERT_EQ(ConnectedComponentsSmart(pool_, g, topo_), want)
+          << graph_case.name << " " << rep.name << " " << ToString(rep.options.placement);
+    }
+  }
+}
+
+TEST_F(GraphDifferentialTest, TriangleCountsMatchScalarReferenceEverywhere) {
+  for (const auto& graph_case : Graphs()) {
+    const uint64_t want = CountTriangles(graph_case.csr);
+    for (const auto& rep : Representations()) {
+      SmartCsrGraph g(graph_case.csr, rep.options, topo_, pool_);
+      ASSERT_EQ(CountTrianglesSmart(pool_, g), want)
+          << graph_case.name << " " << rep.name << " " << ToString(rep.options.placement);
+    }
+  }
+}
+
+// Degenerate topologies the generators never produce, swept through the
+// same representation grid: no edges at all, self-loops (a triangle-count
+// trap), zero-degree vertices inside the id range, and multiple components
+// (BFS must report kUnreachable, CC distinct labels).
+TEST_F(GraphDifferentialTest, EdgeCaseGraphsMatchScalarReferencesEverywhere) {
+  struct EdgeCase {
+    const char* name;
+    VertexId source;
+    CsrGraph csr;
+  };
+  const EdgeCase cases[] = {
+      {"edgeless", 2, CsrGraph::FromEdges(7, {})},
+      {"self-loops", 0,
+       CsrGraph::FromEdges(5, {{0, 0}, {1, 1}, {2, 0}, {0, 2}, {3, 4}, {4, 3}})},
+      {"disconnected", 0,
+       CsrGraph::FromEdges(10, {{0, 1}, {1, 2}, {2, 0}, {6, 7}, {7, 8}, {8, 6}, {6, 8}})},
+  };
+  for (const auto& edge_case : cases) {
+    const std::vector<uint64_t> want_bfs = BfsLevels(edge_case.csr, edge_case.source);
+    const std::vector<uint64_t> want_cc = ConnectedComponents(edge_case.csr);
+    const uint64_t want_tri = CountTriangles(edge_case.csr);
+    const std::vector<uint64_t> want_deg = DegreeCentrality(edge_case.csr);
+    for (const auto& rep : Representations()) {
+      SmartCsrGraph g(edge_case.csr, rep.options, topo_, pool_);
+      const std::string label = std::string(edge_case.name) + " " + rep.name + " " +
+                                ToString(rep.options.placement);
+      ASSERT_EQ(BfsLevelsSmart(pool_, g, edge_case.source, topo_), want_bfs) << label;
+      ASSERT_EQ(ConnectedComponentsSmart(pool_, g, topo_), want_cc) << label;
+      ASSERT_EQ(CountTrianglesSmart(pool_, g), want_tri) << label;
+      auto out = sa::smart::SmartArray::Allocate(
+          edge_case.csr.num_vertices(), sa::smart::PlacementSpec::Interleaved(), 64, topo_);
+      DegreeCentralitySmart(pool_, g, out.get());
+      for (VertexId v = 0; v < edge_case.csr.num_vertices(); ++v) {
+        ASSERT_EQ(out->Get(v, out->GetReplica(0)), want_deg[v]) << label << " vertex " << v;
+      }
     }
   }
 }

@@ -27,6 +27,7 @@ TEST(ScenarioGridTest, CoversEveryVariantAndAccessPath) {
   bool plain = false, synchronized = false, registry = false;
   bool c_abi = false, alloc_fault = false, publish_race = false;
   bool multi_slot = false, multi_slot_cabi = false, concurrent_daemon = false;
+  bool graph_ops = false, graph_under_daemon = false;
   for (const auto& s : grid) {
     plain |= s.variant == Variant::kPlain;
     synchronized |= s.variant == Variant::kSynchronized;
@@ -37,6 +38,8 @@ TEST(ScenarioGridTest, CoversEveryVariantAndAccessPath) {
     multi_slot |= s.num_slots > 1;
     multi_slot_cabi |= s.num_slots > 1 && s.via_c_abi;
     concurrent_daemon |= s.concurrent_daemon;
+    graph_ops |= s.graph_ops;
+    graph_under_daemon |= s.graph_ops && s.concurrent_daemon;
   }
   EXPECT_TRUE(plain && synchronized && registry);
   EXPECT_TRUE(c_abi);
@@ -45,6 +48,14 @@ TEST(ScenarioGridTest, CoversEveryVariantAndAccessPath) {
   EXPECT_TRUE(multi_slot);
   EXPECT_TRUE(multi_slot_cabi);
   EXPECT_TRUE(concurrent_daemon);
+  EXPECT_TRUE(graph_ops);
+  EXPECT_TRUE(graph_under_daemon);
+  // Replay commands bake scenario indices, so the grid is append-only:
+  // index 307 is pinned as the first graph-ops scenario (CI's mutation
+  // canary replays it by number).
+  ASSERT_GT(grid.size(), 307u);
+  EXPECT_TRUE(grid[307].graph_ops);
+  EXPECT_FALSE(grid[306].graph_ops);
 }
 
 TEST(GeneratorTest, SameSeedSameProgram) {
@@ -94,6 +105,7 @@ TEST_P(PropSmokeTest, ScenarioSliceRunsClean) {
   std::vector<size_t> indices;
   bool seen_plain_cabi = false, seen_sync = false, seen_reg = false, seen_reg_cabi = false;
   bool seen_multi = false, seen_multi_cabi = false, seen_daemon = false;
+  bool seen_graph = false, seen_graph_daemon = false;
   indices.push_back(0);
   for (size_t i = 0; i < grid.size(); ++i) {
     const auto& s = grid[i];
@@ -119,12 +131,18 @@ TEST_P(PropSmokeTest, ScenarioSliceRunsClean) {
     } else if (!seen_multi_cabi && s.num_slots > 1 && s.via_c_abi) {
       indices.push_back(i);
       seen_multi_cabi = true;
-    } else if (!seen_daemon && s.concurrent_daemon) {
+    } else if (!seen_daemon && s.concurrent_daemon && !s.graph_ops) {
       indices.push_back(i);
       seen_daemon = true;
+    } else if (!seen_graph && s.graph_ops && !s.concurrent_daemon) {
+      indices.push_back(i);
+      seen_graph = true;
+    } else if (!seen_graph_daemon && s.graph_ops && s.concurrent_daemon) {
+      indices.push_back(i);
+      seen_graph_daemon = true;
     }
   }
-  ASSERT_GE(indices.size(), 13u);
+  ASSERT_GE(indices.size(), 15u);
 
   TestContext ctx;
   CheckOptions options;

@@ -31,6 +31,19 @@ the registry is specced for (>= 64 client threads, >= 10^4 slots).
 Optional gates: --min-acquire-speedup fails when sharded acquire
 throughput is below N x the single-shard series; --gate-p99-acquire-ns
 fails when the sharded p99 acquire latency exceeds the bound.
+
+BENCH_graph.json (bench_graph output) entries carry an "algorithm" key
+and only support --assert-only: every graph algorithm (bfs, cc,
+triangles, degree, pagerank) must appear on both generators (uniform,
+power-law) with positive serial/parallel/live-daemon timings and
+checked=true (the bench diffs every run against the serial reference,
+including while the adaptation daemon restructures the arrays). The
+trailing summary entry must show a live daemon (passes > 0), observed
+adaptations, and >= 2 slots that diverged to >= 2 distinct
+placement/compression classes. Scale gates (>= 1M edges, parallel
+speedup >= 2x serial) apply only to non-fast runs on hosts with >= 4
+cores — single-core CI containers record their core count and are
+exempt from the parallelism gate, which would be dishonest there.
 """
 
 import argparse
@@ -73,6 +86,106 @@ def is_runtime_schema(entries):
 
 def is_service_schema(entries):
     return bool(entries) and "series" in entries[0]
+
+
+def is_graph_schema(entries):
+    return bool(entries) and "algorithm" in entries[0]
+
+
+GRAPH_ALGORITHMS = ("bfs", "cc", "triangles", "degree", "pagerank")
+GRAPH_GENERATORS = ("uniform", "power-law")
+GRAPH_TIMING_FIELDS = ("serial_sec", "parallel_sec", "live_daemon_sec")
+# Scale gates from the issue's acceptance bar (1M+ edge graph, parallel at
+# least 2x serial). Only meaningful on real multi-core hosts running the
+# full bench; fast mode and small containers are exempt but must say so.
+GRAPH_MIN_EDGES = 1_000_000
+GRAPH_MIN_SPEEDUP = 2.0
+GRAPH_MIN_CORES_FOR_SPEEDUP_GATE = 4
+
+
+def assert_graph(path, entries):
+    summary = None
+    by_key = {}
+    for e in entries:
+        if e["algorithm"] == "summary":
+            if summary is not None:
+                print(f"bench_diff: {path}: duplicate summary entry")
+                return 1
+            summary = e
+            continue
+        key = (e["algorithm"], e["graph"])
+        if key in by_key:
+            print(f"bench_diff: {path}: duplicate entry for {key}")
+            return 1
+        by_key[key] = e
+    problems = []
+    fast = any(e.get("fast") for e in by_key.values())
+    for algorithm in GRAPH_ALGORITHMS:
+        for graph in GRAPH_GENERATORS:
+            entry = by_key.get((algorithm, graph))
+            if entry is None:
+                problems.append(f"missing entry for {algorithm} on {graph}")
+                continue
+            for field in GRAPH_TIMING_FIELDS:
+                value = entry.get(field)
+                if value is None:
+                    problems.append(f"{algorithm}/{graph} missing field '{field}'")
+                elif not value > 0:
+                    problems.append(f"{algorithm}/{graph} field '{field}' not positive: {value}")
+            if not entry.get("live_iters", 0) > 0:
+                problems.append(f"{algorithm}/{graph} never ran under the live daemon")
+            if entry.get("checked") is not True:
+                problems.append(f"{algorithm}/{graph} did not verify against the serial reference")
+    if summary is None:
+        problems.append("missing summary entry")
+    else:
+        host_cores = summary.get("host_cores", 0)
+        if not summary.get("daemon_passes", 0) > 0:
+            problems.append("summary: daemon made no passes (not live?)")
+        adaptations = (summary.get("daemon_adaptations", 0)
+                       + summary.get("projected_adaptations", 0))
+        if not adaptations > 0:
+            problems.append("summary: no adaptations observed or projected")
+        adapted = summary.get("adapted", [])
+        if len(adapted) < 2:
+            problems.append(f"summary: only {len(adapted)} slots carry an adapted config, "
+                            "need >= 2 property arrays")
+        if summary.get("distinct_slot_configs", 0) < 2:
+            problems.append("summary: all slots converged to one config; the issue "
+                            "requires >= 2 arrays adapting to different configs")
+        gate_scale = not fast
+        gate_speedup = gate_scale and host_cores >= GRAPH_MIN_CORES_FOR_SPEEDUP_GATE
+        if gate_scale and not problems:
+            biggest = max(e.get("num_edges", 0) for e in by_key.values())
+            if biggest < GRAPH_MIN_EDGES:
+                problems.append(f"largest graph has {biggest} edges, "
+                                f"spec floor is {GRAPH_MIN_EDGES}")
+        if gate_speedup and not problems:
+            for (algorithm, graph), entry in sorted(by_key.items()):
+                if entry.get("num_edges", 0) < GRAPH_MIN_EDGES:
+                    continue
+                speedup = entry.get("parallel_speedup", 0)
+                if speedup < GRAPH_MIN_SPEEDUP:
+                    problems.append(f"{algorithm}/{graph} parallel speedup {speedup:.2f}x "
+                                    f"below {GRAPH_MIN_SPEEDUP:.1f}x on "
+                                    f"{host_cores}-core host")
+        elif not problems:
+            skipped = "speedup/scale gates" if fast else "speedup gate"
+            why = "fast mode" if fast else f"{host_cores}-core host"
+            print(f"bench_diff: {path}: {skipped} skipped ({why}; "
+                  "core count recorded in summary)")
+    if problems:
+        print(f"bench_diff: {path} failed structural checks:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"bench_diff: {path} OK — {len(by_key)} algorithm/graph runs all checked "
+          f"against serial references; daemon passes={summary['daemon_passes']}, "
+          f"adaptations={summary['daemon_adaptations']}"
+          f"+{summary.get('projected_adaptations', 0)} projected, "
+          f"{summary['distinct_slot_configs']} distinct slot configs across "
+          f"{len(summary.get('adapted', []))} slots")
+    return 0
 
 
 def check_latency_block(problems, series, entry, key):
@@ -163,7 +276,7 @@ def assert_service(path, entries, min_acquire_speedup, gate_p99_acquire_ns):
 def load(path):
     """-> {(width, kernel): bytes_per_sec}"""
     entries = read_entries(path)
-    if is_runtime_schema(entries) or is_service_schema(entries):
+    if is_runtime_schema(entries) or is_service_schema(entries) or is_graph_schema(entries):
         sys.exit(f"bench_diff: {path} is not a codec-schema file; "
                  "timing diffs only support the codec schema (use --assert-only)")
     series = {}
@@ -214,6 +327,8 @@ def assert_only(path, min_acquire_speedup=None, gate_p99_acquire_ns=None):
                  "--min-acquire-speedup/--gate-p99-acquire-ns need sa_loadgen output")
     if is_runtime_schema(entries):
         return assert_runtime(path, entries)
+    if is_graph_schema(entries):
+        return assert_graph(path, entries)
     series = load(path)
     problems = []
     for width in range(1, 65):

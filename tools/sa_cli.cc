@@ -10,9 +10,11 @@
 //   adapt    [--workload agg|degree|pagerank] [--machine 8|18]
 //                                    print the §6 two-step selection
 //   graph    [--algo degree|pagerank|bfs|wcc|triangles] [--vertices N]
-//            [--edges M] [--compress]
+//            [--edges M] [--compress] [--live-daemon]
 //                                    generate a power-law graph and run the
-//                                    algorithm for real on this host
+//                                    algorithm for real on this host; with
+//                                    --live-daemon, through registry slots
+//                                    under live adaptation, with telemetry
 #include <cstdio>
 #include <cstdlib>
 #include <algorithm>
@@ -26,7 +28,10 @@
 #include <vector>
 
 #include "adapt/cases.h"
+#include "adapt/selector.h"
+#include "graph/concurrent.h"
 #include "loadgen.h"
+#include "runtime/daemon.h"
 #include "obs/entry_points.h"
 #include "obs/export.h"
 #include "obs/trace.h"
@@ -455,6 +460,117 @@ void PrintObsTable() {
   }
 }
 
+// graph --live-daemon: the same generated graph, but uploaded into registry
+// slots (RegistryCsrGraph) and traversed through epoch-pinned snapshots
+// while the adaptation daemon restructures the five property arrays
+// underneath. Every iteration re-pins and is checked against the serial
+// reference, and the run ends with the obs counters, the per-slot layouts
+// the daemon chose, and the adaptation trace — the §5.2 story (different
+// algorithms push the same arrays toward different layouts) observable
+// from the command line.
+int CmdGraphLive(const Args& args) {
+  const auto vertices = static_cast<sa::graph::VertexId>(args.GetInt("vertices", 50'000));
+  const uint64_t edges = args.GetInt("edges", 6 * vertices);
+  const std::string algo = args.Get("algo", "pagerank");
+  const int iters = static_cast<int>(args.GetInt("iters", 5));
+
+  if (saObsCompiledIn() == 0) {
+    std::fprintf(stderr, "sa_cli graph: built without SA_OBS; telemetry reads all-zero\n");
+  }
+  saObsReset();
+  const auto topo = sa::platform::Topology::Host();
+  sa::rts::WorkerPool pool(topo);
+  // The daemon rebuilds on its own pool: analytics own `pool`, and one
+  // WorkerPool cannot run two parallel regions at once.
+  sa::rts::WorkerPool daemon_pool(
+      topo, sa::rts::WorkerPool::Options{.num_threads = 1, .pin_threads = false});
+
+  std::printf("generating power-law graph: %u vertices, %llu edges...\n", vertices,
+              static_cast<unsigned long long>(edges));
+  const auto csr = sa::graph::PowerLawGraph(vertices, edges, 0.55, 42);
+  sa::graph::SmartGraphOptions options;
+  options.compress_indexes = args.Has("compress");
+  options.compress_edges = args.Has("compress");
+
+  sa::runtime::ArrayRegistry registry(topo);
+  const sa::graph::RegistryCsrGraph g(registry, "cli", csr, options);
+
+  // Serial references computed once from the plain CSR; every live
+  // iteration must reproduce them exactly.
+  const auto ref_bfs = algo == "bfs" ? sa::graph::BfsLevels(csr, 0) : std::vector<uint64_t>{};
+  const auto ref_cc = algo == "wcc" ? sa::graph::ConnectedComponents(csr) : std::vector<uint64_t>{};
+  const uint64_t ref_tri = algo == "triangles" ? sa::graph::CountTriangles(csr) : 0;
+  const auto ref_deg = algo == "degree" ? sa::graph::DegreeCentrality(csr) : std::vector<uint64_t>{};
+  const auto ref_pr =
+      algo == "pagerank" ? sa::graph::PageRank(csr) : sa::graph::PageRankResult{};
+
+  sa::runtime::DaemonOptions daemon_options;
+  daemon_options.interval = std::chrono::milliseconds(args.GetInt("interval", 5));
+  daemon_options.min_predicted_win = -1.0;  // demo: adapt on any predicted delta
+  daemon_options.min_sampled_accesses = 256;
+  daemon_options.num_workers = 1;
+  sa::runtime::AdaptationDaemon daemon(
+      registry, daemon_pool, sa::adapt::MachineCaps::FromSpec(sa::sim::MachineSpec::OracleX5_18Core()),
+      sa::adapt::ArrayCosts::FromCostModel(sa::sim::CostModel::Default()), daemon_options);
+  daemon.Start();
+
+  bool all_ok = true;
+  for (int i = 0; i < iters; ++i) {
+    // Pin fresh per iteration so daemon publishes between runs take effect.
+    sa::graph::GraphSnapshot snapshot = g.Pin();
+    const sa::platform::Stopwatch timer;
+    bool ok = true;
+    std::string result;
+    char buf[96];
+    if (algo == "bfs") {
+      ok = sa::graph::BfsLevels(pool, snapshot, 0, topo) == ref_bfs;
+      result = "levels";
+    } else if (algo == "wcc") {
+      ok = sa::graph::ConnectedComponents(pool, snapshot, topo) == ref_cc;
+      result = "labels";
+    } else if (algo == "triangles") {
+      const uint64_t triangles = sa::graph::CountTriangles(pool, snapshot);
+      ok = triangles == ref_tri;
+      std::snprintf(buf, sizeof(buf), "%llu triangles", static_cast<unsigned long long>(triangles));
+      result = buf;
+    } else if (algo == "degree") {
+      ok = sa::graph::DegreeCentrality(pool, snapshot, topo) == ref_deg;
+      result = "centrality";
+    } else {
+      const auto pr = sa::graph::PageRank(pool, snapshot, topo);
+      ok = pr.iterations == ref_pr.iterations && pr.ranks == ref_pr.ranks;
+      std::snprintf(buf, sizeof(buf), "%d pagerank iterations", pr.iterations);
+      result = buf;
+    }
+    const double ms = timer.Millis();
+    const uint64_t fingerprint = snapshot.sequence_sum();
+    snapshot.Release();  // flushes this run's access mix into the slots
+    std::printf("  iter %d: %s in %.1f ms, pinned sequence-sum %llu, %s\n", i + 1,
+                result.empty() ? algo.c_str() : result.c_str(), ms,
+                static_cast<unsigned long long>(fingerprint),
+                ok ? "matches serial reference" : "MISMATCH vs serial reference");
+    all_ok = all_ok && ok;
+  }
+  daemon.Stop();
+
+  std::printf("daemon: %llu passes, %llu adaptations\n",
+              static_cast<unsigned long long>(daemon.passes()),
+              static_cast<unsigned long long>(daemon.adaptations()));
+  std::printf("slot layouts after adaptation:\n");
+  for (const auto* slot : g.slots()) {
+    std::printf("  %-12s sequence=%llu %s/%ub\n", slot->name().c_str(),
+                static_cast<unsigned long long>(slot->sequence()),
+                ToString(slot->placement().kind), slot->bits());
+  }
+  PrintObsTable();
+  std::printf("trace (%llu dropped by ring wraparound):\n",
+              static_cast<unsigned long long>(saObsTraceDropped()));
+  if (PrintTrace("  ") == 0) {
+    std::printf("  (empty)\n");
+  }
+  return all_ok ? 0 : 1;
+}
+
 int CmdObs(const Args& args) {
   if (saObsCompiledIn() == 0) {
     std::fprintf(stderr, "sa_cli obs: built without SA_OBS; telemetry reads all-zero\n");
@@ -520,6 +636,10 @@ int Usage() {
       "  adapt      [--workload agg|degree|pagerank] [--bits B] [--machine 8|18]\n"
       "  graph      [--algo degree|pagerank|bfs|wcc|triangles] [--vertices N]\n"
       "             [--edges M] [--compress]\n"
+      "             [--live-daemon [--iters I] [--interval MS]]\n"
+      "             with --live-daemon: registry-held arrays, pinned-snapshot\n"
+      "             traversals checked vs serial refs while the adaptation\n"
+      "             daemon restructures; prints obs counters + trace\n"
       "  registry   [--elements N] [--bits B] [--readers R] [--passes P] [--bw-gbps G]\n"
       "             concurrent snapshot readers + synchronous adaptation passes\n"
       "  daemon     [--elements N] [--bits B] [--readers R] [--interval MS]\n"
@@ -556,7 +676,7 @@ int main(int argc, char** argv) {
     return CmdAdapt(args);
   }
   if (args.command == "graph") {
-    return CmdGraph(args);
+    return args.Has("live-daemon") ? CmdGraphLive(args) : CmdGraph(args);
   }
   if (args.command == "registry") {
     return CmdRegistry(args);
