@@ -25,9 +25,12 @@
 
 #include "common/bits.h"
 #include "common/random.h"
+#include "platform/topology.h"
 #include "smart/dispatch.h"
 #include "smart/kernel_table.h"
 #include "smart/iterator.h"
+#include "smart/predicate.h"
+#include "smart/smart_array.h"
 
 namespace {
 
@@ -309,6 +312,118 @@ std::vector<double> MeasureInterleaved(
   return bps;
 }
 
+// ---------------------------------------------------------------------------
+// Predicate-pushdown scan series: pushdown CountIf (zone maps + packed-word
+// match kernels) vs unpack-then-filter (full decode through the streaming
+// seam, then a scalar filter over the materialized values) at four
+// selectivities and three value distributions. Runs over a real SmartArray
+// so the zone-map skip path is measured, not just the kernels: the sorted
+// distribution is where zones shine (a selective scan touches one chunk in
+// a hundred), uniform is where they are useless and the packed-word kernels
+// must win on their own.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kScanBits = 13;  // the paper's mid-width sweet spot
+
+std::vector<uint64_t> ScanValues(const char* distribution) {
+  const uint64_t max = sa::LowMask(kScanBits);
+  std::vector<uint64_t> values(kSumElems);
+  sa::Xoshiro256 rng(0x5ca9);
+  if (std::strcmp(distribution, "power-law") == 0) {
+    // u^4-skew: most mass near zero, a thin heavy tail — the shape column
+    // stores and degree arrays actually have.
+    for (auto& v : values) {
+      const double u = static_cast<double>(rng() >> 11) * 0x1.0p-53;
+      v = static_cast<uint64_t>(static_cast<double>(max) * u * u * u * u);
+    }
+    return values;
+  }
+  for (auto& v : values) {
+    v = rng() & max;
+  }
+  if (std::strcmp(distribution, "sorted") == 0) {
+    std::sort(values.begin(), values.end());
+  }
+  return values;
+}
+
+// Bulk-loads `values` into a fresh bit-packed SmartArray with *exact* zone
+// maps (whole-chunk ownership), the state PackRange leaves behind.
+std::unique_ptr<sa::smart::SmartArray> MakeScanArray(const std::vector<uint64_t>& values,
+                                                     const sa::platform::Topology& topology) {
+  auto array = sa::smart::SmartArray::Allocate(kSumElems, sa::smart::PlacementSpec::OsDefault(),
+                                               kScanBits, topology);
+  const auto& codec = sa::smart::CodecFor(kScanBits);
+  for (int r = 0; r < array->num_replicas(); ++r) {
+    codec.pack_range(array->MutableReplica(r), 0, kSumElems, values.data());
+  }
+  for (uint64_t chunk = 0; chunk < array->num_chunks(); ++chunk) {
+    uint64_t lo = ~uint64_t{0};
+    uint64_t hi = 0;
+    for (uint64_t k = chunk * sa::kChunkElems; k < (chunk + 1) * sa::kChunkElems; ++k) {
+      lo = std::min(lo, values[k]);
+      hi = std::max(hi, values[k]);
+    }
+    array->SetZoneBounds(chunk, lo, hi);
+  }
+  return array;
+}
+
+// The predicate whose true selectivity is closest to `target` for this data:
+// a quantile threshold — `v < q(s)` for low-heavy shapes, `v > q(1-s)` for
+// the power-law tail (its mass piles up at zero, so only the tail can be
+// rare).
+sa::smart::Predicate ScanPredicateFor(const std::vector<uint64_t>& values, double target,
+                                      bool tail) {
+  std::vector<uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size() - 1);
+  if (tail) {
+    return {sa::smart::CmpOp::kGt, sorted[static_cast<size_t>((1.0 - target) * n)]};
+  }
+  return {sa::smart::CmpOp::kLt, sorted[static_cast<size_t>(target * n)]};
+}
+
+struct ScanPoint {
+  const char* distribution;
+  double selectivity;
+  double pushdown_bps;
+  double unpack_filter_bps;
+};
+
+std::vector<ScanPoint> MeasureScanSeries() {
+  const sa::platform::Topology topology = sa::platform::Topology::Host();
+  std::vector<ScanPoint> points;
+  std::vector<uint64_t> buffer(kSumElems);
+  for (const char* distribution : {"uniform", "power-law", "sorted"}) {
+    const std::vector<uint64_t> values = ScanValues(distribution);
+    const auto array = MakeScanArray(values, topology);
+    const uint64_t* replica = array->GetReplica(0);
+    const auto& codec = sa::smart::CodecFor(kScanBits);
+    for (const double selectivity : {0.001, 0.01, 0.1, 1.0}) {
+      const sa::smart::Predicate p =
+          selectivity >= 1.0
+              ? sa::smart::Predicate{sa::smart::CmpOp::kGe, 0}
+              : ScanPredicateFor(values, selectivity,
+                                 std::strcmp(distribution, "power-law") == 0);
+      std::vector<std::pair<const char*, std::function<uint64_t()>>> series;
+      series.emplace_back("pushdown",
+                          [&] { return array->CountIf(replica, 0, kSumElems, p); });
+      series.emplace_back("unpack-filter", [&] {
+        codec.unpack_range(replica, 0, kSumElems, buffer.data());
+        uint64_t count = 0;
+        for (const uint64_t v : buffer) {
+          count += sa::smart::Matches(p, v) ? 1 : 0;
+        }
+        return count;
+      });
+      const std::vector<double> bps = MeasureInterleaved(kScanBits, series);
+      points.push_back({distribution, selectivity, bps[0], bps[1]});
+    }
+  }
+  return points;
+}
+
 void WriteBenchJson(const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -362,6 +477,36 @@ void WriteBenchJson(const char* path) {
     // timings of identical code.
     emit("selected",
          sa::smart::KernelsFor(bits).kind == sa::smart::KernelKind::kAvx2V2 ? v2_bps : block_bps);
+  }
+
+  // Scan series: one pair of entries per {distribution, selectivity} point,
+  // plus a summary row carrying the 1%-selectivity speedup the CI gate (and
+  // the PR acceptance bar) reads. `fast` marks SA_BENCH_FAST smoke runs,
+  // whose timings are structural-only — bench_diff.py skips ratio gates on
+  // them.
+  {
+    const std::vector<ScanPoint> points = MeasureScanSeries();
+    double best_speedup_at_1pct = 0.0;
+    for (const ScanPoint& point : points) {
+      for (const auto& [kernel, bps] :
+           {std::pair<const char*, double>{"scan-pushdown", point.pushdown_bps},
+            std::pair<const char*, double>{"scan-unpack-filter", point.unpack_filter_bps}}) {
+        std::fprintf(f,
+                     ",\n  {\"width\": %u, \"placement\": \"os-default\", \"kernel\": \"%s\", "
+                     "\"distribution\": \"%s\", \"selectivity\": %g, \"bytes_per_sec\": %.6e}",
+                     kScanBits, kernel, point.distribution, point.selectivity, bps);
+      }
+      if (point.selectivity == 0.01 && point.unpack_filter_bps > 0.0) {
+        best_speedup_at_1pct =
+            std::max(best_speedup_at_1pct, point.pushdown_bps / point.unpack_filter_bps);
+      }
+    }
+    const bool fast = MeasureWindow() < std::chrono::milliseconds(80);
+    std::fprintf(f,
+                 ",\n  {\"width\": %u, \"placement\": \"os-default\", "
+                 "\"kernel\": \"scan-summary\", \"fast\": %d, "
+                 "\"speedup_at_1pct\": %.4f}",
+                 kScanBits, fast ? 1 : 0, best_speedup_at_1pct);
   }
   std::fprintf(f, "\n]\n");
   std::fclose(f);

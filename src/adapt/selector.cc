@@ -54,6 +54,28 @@ SelectorResult ChooseConfiguration(const SelectorInputs& inputs) {
                                           result.uncompressed_candidate,
                                           result.compressed_candidate,
                                           inputs.compression_ratio);
+
+  // Encoding axis (the third §6 decision, after placement and compression):
+  // frame-of-reference+delta trades away in-place writes for narrower words
+  // and per-chunk zone maps. Eligibility is deliberately evidence-gated: the
+  // slot must be programmer-declared read-only AND have *observed* predicate
+  // scans (selectivity ≥ 0 means the workload sample actually contained
+  // CountIf/SelectIf/FilteredSum traffic; −1 means it never scanned).
+  // Without scan evidence there is no workload the re-encoding can win on —
+  // and read-only consumers that walk raw packed words (the graph kernels
+  // cache replica pointers + a width codec per pin) stay on the bit-packed
+  // geometry they assume. Within that gate the encoding must either shrink
+  // the packed words materially (ratio ≤ 0.75 ⇒ ≥25% fewer words scanned
+  // per pass) or serve a selective workload (selectivity < 10% ⇒ the
+  // tighter per-chunk frames convert mixed chunks into zone-map skips).
+  if (result.chosen.compressed && inputs.hints.read_only &&
+      inputs.hints.predicate_selectivity >= 0.0 && inputs.for_delta_ratio < 1.0) {
+    const bool shrinks_words = inputs.for_delta_ratio <= 0.75;
+    const bool selective_scans = inputs.hints.predicate_selectivity < 0.10;
+    if (shrinks_words || selective_scans) {
+      result.chosen.encoding = smart::Encoding::kForDelta;
+    }
+  }
   return result;
 }
 

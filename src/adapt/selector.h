@@ -26,6 +26,11 @@ struct SelectorInputs {
   WorkloadCounters counters;
   ArrayCosts costs;
   double compression_ratio = 1.0;  // bits_min / 64
+  // delta_bits / bits for a frame-of-reference+delta re-encoding of the
+  // current contents (ForDeltaArray::EstimateDeltaRatio). 1.0 = FoR saves
+  // nothing; values well below 1 mean clustered chunks where FoR shrinks
+  // the scanned words and tightens zone maps.
+  double for_delta_ratio = 1.0;
   // Overridable for the §6.3 "insufficient memory" scenarios; when nullopt
   // the space tests run against the machine/counters.
   std::optional<bool> space_for_uncompressed_replication;

@@ -15,6 +15,11 @@ MachineCaps MachineCaps::FromSpec(const sim::MachineSpec& spec) {
 std::string ToString(const Configuration& config) {
   std::string s = ToString(config.placement);
   s += config.compressed ? " + compressed" : " (uncompressed)";
+  if (config.compressed && config.encoding != smart::Encoding::kBitPacked) {
+    s += " [";
+    s += smart::ToString(config.encoding);
+    s += "]";
+  }
   return s;
 }
 

@@ -14,6 +14,7 @@
 #include "sim/machine_model.h"
 #include "sim/machine_spec.h"
 #include "smart/placement.h"
+#include "smart/smart_array.h"
 
 namespace sa::adapt {
 
@@ -40,6 +41,10 @@ struct SoftwareHints {
   // needs several to amortize replica initialization.
   double linear_passes = 1.0;
   double random_passes = 0.0;
+  // Observed predicate-scan selectivity in [0,1] from the slot's workload
+  // sample (-1 = no predicate scans observed). Selective scan workloads
+  // reward encodings that tighten zone maps and shrink the scanned words.
+  double predicate_selectivity = -1.0;
 };
 
 // "Runtime characteristics ... based on measurements of the workload" (§6):
@@ -84,13 +89,16 @@ struct ArrayCosts {
 // at least this fraction.
 inline constexpr double kDefaultAdaptationMargin = 0.05;
 
-// The outcome: a placement plus whether to bit-compress.
+// The outcome: a placement, whether to bit-compress, and — when compressed —
+// which encoding to pack with (§6 treats the data representation as a
+// selected axis; frame-of-reference+delta is the first alternative encoding).
 struct Configuration {
   smart::PlacementSpec placement = smart::PlacementSpec::Interleaved();
   bool compressed = false;
+  smart::Encoding encoding = smart::Encoding::kBitPacked;
 
   bool operator==(const Configuration& o) const {
-    return placement == o.placement && compressed == o.compressed;
+    return placement == o.placement && compressed == o.compressed && encoding == o.encoding;
   }
 };
 

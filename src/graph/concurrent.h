@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/macros.h"
 #include "graph/algorithms.h"
 #include "graph/algorithms2.h"
 #include "graph/csr.h"
@@ -47,8 +48,18 @@ class GraphSnapshot {
   uint64_t num_edges() const { return num_edges_; }
 
   // Non-owning kernel window over the five pinned versions. Valid until
-  // Release()/destruction.
+  // Release()/destruction. The kernels cache raw replica pointers and read
+  // them through the per-width codec, which is only sound on bit-packed
+  // geometry — the selector's encoding axis never re-encodes slots without
+  // observed predicate-scan traffic (graph slots have none), and this check
+  // turns any future violation of that contract into a loud failure instead
+  // of silently wrong traversals.
   CsrView view() const {
+    SA_CHECK(begin_.array().encoding() == smart::Encoding::kBitPacked &&
+             edge_.array().encoding() == smart::Encoding::kBitPacked &&
+             rbegin_.array().encoding() == smart::Encoding::kBitPacked &&
+             redge_.array().encoding() == smart::Encoding::kBitPacked &&
+             degree_.array().encoding() == smart::Encoding::kBitPacked);
     return CsrView{&begin_.array(),  &edge_.array(),  &rbegin_.array(),
                    &redge_.array(),  &degree_.array(), num_vertices_, num_edges_};
   }

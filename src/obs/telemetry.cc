@@ -92,6 +92,8 @@ constexpr const char* kCounterNames[kCounterIdCount] = {
     "sa_graph_edges_streamed_total",
     "sa_graph_random_gathers_total",
     "sa_graph_tri_intersections_total",
+    "sa_scan_chunks_scanned_total",
+    "sa_scan_chunks_skipped_total",
 };
 
 constexpr const char* kGaugeNames[kGaugeIdCount] = {

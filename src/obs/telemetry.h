@@ -69,6 +69,8 @@ enum CounterId : int {
   kGraphEdgesStreamed,
   kGraphRandomGathers,
   kGraphTriIntersections,
+  kScanChunksScanned,
+  kScanChunksSkipped,
   kCounterIdCount,
 };
 

@@ -10,6 +10,7 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "rts/claim_set.h"
+#include "smart/for_delta.h"
 #include "smart/restructure.h"
 
 namespace sa::runtime {
@@ -204,9 +205,16 @@ bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters&
   inputs.counters = counters;
   inputs.costs = costs_;
   inputs.compression_ratio = static_cast<double>(data_bits) / 64.0;
+  // Encoding axis input: how much narrower a frame-of-reference+delta
+  // re-encoding would pack the current contents (estimated from the zone
+  // maps the scan engine already maintains — no extra pass over the data).
+  inputs.for_delta_ratio = smart::ForDeltaArray::EstimateDeltaRatio(source);
   const adapt::SelectorResult result = adapt::ChooseConfiguration(inputs);
 
-  const adapt::Configuration current{source.placement(), source.bits() < 64};
+  const adapt::Configuration current{
+      source.placement(),
+      source.bits() < 64 || source.encoding() != smart::Encoding::kBitPacked,
+      source.encoding()};
   const uint32_t new_bits = result.chosen.compressed ? data_bits : 64;
   const uint64_t packed_current = PackConfig(source.placement(), source.bits());
   const uint64_t packed_chosen = PackConfig(result.chosen.placement, new_bits);
@@ -255,7 +263,7 @@ bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters&
   smart::RestructureStats stats;
   auto rebuilt =
       smart::TryRestructure(*pool_, source, result.chosen.placement, new_bits,
-                            registry_->topology(), &stats);
+                            registry_->topology(), &stats, result.chosen.encoding);
   SA_OBS_TRACE(kTraceRestructureEnd, slot_name, stats.wall_ns, stats.unpack_ns,
                stats.pack_ns, rebuilt != nullptr ? 1 : 0);
   slot.epoch_->Unpin(pin);
@@ -321,6 +329,7 @@ adapt::SoftwareHints AdaptationDaemon::HintsFor(const ArraySlot& slot) {
   const double length = static_cast<double>(std::max<uint64_t>(slot.length(), 1));
   hints.linear_passes = static_cast<double>(lifetime.sequential_reads) / length;
   hints.random_passes = static_cast<double>(lifetime.random_reads) / length;
+  hints.predicate_selectivity = lifetime.predicate_selectivity();
   return hints;
 }
 

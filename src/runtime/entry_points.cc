@@ -213,6 +213,33 @@ uint64_t saSnapshotSumRange(void* snap, uint64_t begin, uint64_t end) {
   return Snap(snap)->SumRange(begin, end);
 }
 
+uint64_t saSnapshotCountIf(void* snap, uint64_t begin, uint64_t end, int op,
+                           uint64_t constant) {
+  SA_CHECK_MSG(op >= 0 && op < 6, "unknown comparison operator");
+  return Snap(snap)->CountIf(begin, end, {static_cast<sa::smart::CmpOp>(op), constant});
+}
+
+uint64_t saSnapshotSelectIf(void* snap, uint64_t begin, uint64_t end, int op,
+                            uint64_t constant, uint64_t* bitmap, uint64_t bitmap_words) {
+  SA_CHECK_MSG(op >= 0 && op < 6, "unknown comparison operator");
+  SA_CHECK_MSG(begin <= end, "scan range out of bounds");
+  const uint64_t n = end - begin;
+  if (n == 0) {
+    return 0;
+  }
+  SA_CHECK_MSG(bitmap != nullptr, "selection bitmap must not be null");
+  SA_CHECK_MSG(bitmap_words >= (n + sa::kWordBits - 1) / sa::kWordBits,
+               "selection bitmap too small for the range");
+  return Snap(snap)->SelectIf(begin, end, {static_cast<sa::smart::CmpOp>(op), constant},
+                              bitmap);
+}
+
+uint64_t saSnapshotFilteredSum(void* snap, uint64_t begin, uint64_t end, int op,
+                               uint64_t constant) {
+  SA_CHECK_MSG(op >= 0 && op < 6, "unknown comparison operator");
+  return Snap(snap)->FilteredSum(begin, end, {static_cast<sa::smart::CmpOp>(op), constant});
+}
+
 uint64_t saSnapshotLength(const void* snap) { return Snap(snap)->length(); }
 uint32_t saSnapshotBits(const void* snap) { return Snap(snap)->bits(); }
 uint64_t saSnapshotSequence(const void* snap) { return Snap(snap)->sequence(); }

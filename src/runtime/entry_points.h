@@ -116,6 +116,20 @@ void saSnapshotUnpin(void* snap);
 uint64_t saSnapshotRead(void* snap, uint64_t index);
 // Chunk-granular block-kernel sum over [begin, end).
 uint64_t saSnapshotSumRange(void* snap, uint64_t begin, uint64_t end);
+
+// ---- Pushdown scans over a pinned snapshot ----
+// Same predicate ABI as saArrayCountIf (`op`: 0 ==, 1 !=, 2 <, 3 <=, 4 >,
+// 5 >=); the scans feed the slot's selectivity sample like the native
+// ArraySnapshot scan calls.
+uint64_t saSnapshotCountIf(void* snap, uint64_t begin, uint64_t end, int op,
+                           uint64_t constant);
+// Bitmap semantics follow saArraySelectIf: bit j describes element begin+j,
+// `bitmap_words` must cover (end - begin + 63) / 64 words (hard-checked).
+uint64_t saSnapshotSelectIf(void* snap, uint64_t begin, uint64_t end, int op,
+                            uint64_t constant, uint64_t* bitmap, uint64_t bitmap_words);
+uint64_t saSnapshotFilteredSum(void* snap, uint64_t begin, uint64_t end, int op,
+                               uint64_t constant);
+
 uint64_t saSnapshotLength(const void* snap);
 uint32_t saSnapshotBits(const void* snap);
 uint64_t saSnapshotSequence(const void* snap);

@@ -40,7 +40,12 @@ uint64_t MaskForBits(uint32_t bits) {
 
 // Binds the snapshot fast-path fields once the version's storage is final.
 void BindVersionFastPath(ArrayVersion& version, uint32_t flush_shift) {
-  version.codec = &smart::CodecFor(version.storage->bits());
+  // The codec shortcut is only sound when the packed words follow the
+  // bit-packed geometry; other encodings leave it null and snapshots route
+  // through the storage's virtual interface.
+  version.codec = version.storage->encoding() == smart::Encoding::kBitPacked
+                      ? &smart::CodecFor(version.storage->bits())
+                      : nullptr;
   // Only kReplicated storage resolves replicas per thread; every other
   // placement has a single replica, fetchable here once.
   version.fixed_replica = version.storage->replicated()
@@ -176,7 +181,9 @@ ArraySnapshot::ArraySnapshot(ArraySlot* slot, const ArrayVersion* version,
                    ? version->fixed_replica
                    : version->storage->GetReplicaForCurrentThread()),
       codec_(version->codec != nullptr ? version->codec
-                                       : &smart::CodecFor(version->storage->bits())),
+             : version->storage->encoding() == smart::Encoding::kBitPacked
+                 ? &smart::CodecFor(version->storage->bits())
+                 : nullptr),
       pin_(pin),
       flush_shift_(version->flush_shift) {}
 
@@ -189,6 +196,8 @@ ArraySnapshot::ArraySnapshot(ArraySnapshot&& other) noexcept
       prev_index_plus_one_(other.prev_index_plus_one_),
       local_sequential_(other.local_sequential_),
       local_random_(other.local_random_),
+      local_predicate_elems_(other.local_predicate_elems_),
+      local_predicate_matches_(other.local_predicate_matches_),
       flush_shift_(other.flush_shift_) {}
 
 ArraySnapshot& ArraySnapshot::operator=(ArraySnapshot&& other) noexcept {
@@ -202,6 +211,8 @@ ArraySnapshot& ArraySnapshot::operator=(ArraySnapshot&& other) noexcept {
     prev_index_plus_one_ = other.prev_index_plus_one_;
     local_sequential_ = other.local_sequential_;
     local_random_ = other.local_random_;
+    local_predicate_elems_ = other.local_predicate_elems_;
+    local_predicate_matches_ = other.local_predicate_matches_;
     flush_shift_ = other.flush_shift_;
   }
   return *this;
@@ -212,7 +223,43 @@ uint64_t ArraySnapshot::SumRange(uint64_t begin, uint64_t end) {
   local_sequential_ += end - begin;
   prev_index_plus_one_ = end;
   SA_OBS_COUNT_N(kSnapshotScannedElems, end - begin);
-  return codec_->sum_range(replica_, begin, end);
+  if (codec_ != nullptr) return codec_->sum_range(replica_, begin, end);
+  return version_->storage->RangeSum(replica_, begin, end);
+}
+
+uint64_t ArraySnapshot::CountIf(uint64_t begin, uint64_t end, smart::Predicate p) {
+  SA_CHECK(begin <= end && end <= length());
+  local_sequential_ += end - begin;
+  prev_index_plus_one_ = end;
+  SA_OBS_COUNT_N(kSnapshotScannedElems, end - begin);
+  const uint64_t matches = version_->storage->CountIf(replica_, begin, end, p);
+  local_predicate_elems_ += end - begin;
+  local_predicate_matches_ += matches;
+  return matches;
+}
+
+uint64_t ArraySnapshot::SelectIf(uint64_t begin, uint64_t end, smart::Predicate p,
+                                 uint64_t* bitmap) {
+  SA_CHECK(begin <= end && end <= length());
+  local_sequential_ += end - begin;
+  prev_index_plus_one_ = end;
+  SA_OBS_COUNT_N(kSnapshotScannedElems, end - begin);
+  const uint64_t matches = version_->storage->SelectIf(replica_, begin, end, p, bitmap);
+  local_predicate_elems_ += end - begin;
+  local_predicate_matches_ += matches;
+  return matches;
+}
+
+uint64_t ArraySnapshot::FilteredSum(uint64_t begin, uint64_t end, smart::Predicate p) {
+  SA_CHECK(begin <= end && end <= length());
+  local_sequential_ += end - begin;
+  prev_index_plus_one_ = end;
+  SA_OBS_COUNT_N(kSnapshotScannedElems, end - begin);
+  // The filtered sum reports the sum, not the match count, and re-counting
+  // just to sample selectivity would double the scan cost — so it stays out
+  // of the selectivity counters; CountIf/SelectIf traffic drives that
+  // estimate.
+  return version_->storage->FilteredSum(replica_, begin, end, p);
 }
 
 void ArraySnapshot::Release() {
@@ -223,7 +270,8 @@ void ArraySnapshot::Release() {
   SA_OBS_COUNT_N(kSnapshotReads, local_sequential_ + local_random_);
   SA_OBS_GAUGE_ADD(kLiveSnapshots, -1);
   if (flush_shift_ == 0) {
-    slot_->FlushSnapshotCounters(local_sequential_, local_random_, 1);
+    slot_->FlushSnapshotCounters(local_sequential_, local_random_, 1,
+                                 local_predicate_elems_, local_predicate_matches_);
   } else {
     // Sampled telemetry mode: only every 2^shift-th release (per thread)
     // writes the shared counter line, with counts scaled by 2^shift so the
@@ -232,7 +280,9 @@ void ArraySnapshot::Release() {
     if ((++flush_tick & ((uint64_t{1} << flush_shift_) - 1)) == 0) {
       slot_->FlushSnapshotCounters(local_sequential_ << flush_shift_,
                                    local_random_ << flush_shift_,
-                                   uint64_t{1} << flush_shift_);
+                                   uint64_t{1} << flush_shift_,
+                                   local_predicate_elems_ << flush_shift_,
+                                   local_predicate_matches_ << flush_shift_);
     }
   }
   slot_->epoch_->Unpin(pin_);
@@ -319,8 +369,7 @@ uint64_t ArraySlot::FetchAdd(uint64_t index, uint64_t delta) {
   std::lock_guard<std::mutex> lock(write_mu_);
   ArrayVersion* version = current_.load(std::memory_order_acquire);
   smart::SmartArray& storage = *version->storage;
-  const uint64_t old =
-      smart::CodecFor(storage.bits()).get(storage.GetReplicaForCurrentThread(), index);
+  const uint64_t old = storage.Get(index, storage.GetReplicaForCurrentThread());
   // Wrap at the declared width, not the live storage width: the arithmetic
   // contract must not depend on how far the daemon has narrowed storage.
   const uint64_t next = (old + delta) & MaskForBits(declared_bits());
@@ -336,8 +385,7 @@ bool ArraySlot::TryFetchAdd(uint64_t index, uint64_t delta, uint64_t* old_value)
   std::lock_guard<std::mutex> lock(write_mu_);
   ArrayVersion* version = current_.load(std::memory_order_acquire);
   smart::SmartArray& storage = *version->storage;
-  const uint64_t old =
-      smart::CodecFor(storage.bits()).get(storage.GetReplicaForCurrentThread(), index);
+  const uint64_t old = storage.Get(index, storage.GetReplicaForCurrentThread());
   const uint64_t next = (old + delta) & MaskForBits(declared_bits());
   if ((next & ~storage.max_value()) != 0) {
     return false;
@@ -356,12 +404,17 @@ uint32_t ArraySlot::max_written_bits() const {
   return v == 0 ? 0 : BitsForValue(v);
 }
 
-void ArraySlot::FlushSnapshotCounters(uint64_t sequential, uint64_t random, uint64_t pins) {
+void ArraySlot::FlushSnapshotCounters(uint64_t sequential, uint64_t random, uint64_t pins,
+                                      uint64_t predicate_elems, uint64_t predicate_matches) {
   if (sequential != 0) {
     sequential_reads_.fetch_add(sequential, std::memory_order_relaxed);
   }
   if (random != 0) {
     random_reads_.fetch_add(random, std::memory_order_relaxed);
+  }
+  if (predicate_elems != 0) {
+    predicate_elems_.fetch_add(predicate_elems, std::memory_order_relaxed);
+    predicate_matches_.fetch_add(predicate_matches, std::memory_order_relaxed);
   }
   pins_.fetch_add(pins, std::memory_order_relaxed);
   EnqueueForSampling();
@@ -396,6 +449,8 @@ SlotSample ArraySlot::DrainSample() {
   delta.random_reads = total.random_reads - drained_.random_reads;
   delta.writes = total.writes - drained_.writes;
   delta.pins = total.pins - drained_.pins;
+  delta.predicate_elems = total.predicate_elems - drained_.predicate_elems;
+  delta.predicate_matches = total.predicate_matches - drained_.predicate_matches;
   delta.seconds = std::chrono::duration<double>(now - last_drain_).count();
   drained_ = total;
   last_drain_ = now;
@@ -408,6 +463,8 @@ SlotSample ArraySlot::LifetimeSample() const {
   s.random_reads = random_reads_.load(std::memory_order_relaxed);
   s.writes = writes_.load(std::memory_order_relaxed);
   s.pins = pins_.load(std::memory_order_relaxed);
+  s.predicate_elems = predicate_elems_.load(std::memory_order_relaxed);
+  s.predicate_matches = predicate_matches_.load(std::memory_order_relaxed);
   return s;
 }
 

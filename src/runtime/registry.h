@@ -83,9 +83,19 @@ struct SlotSample {
   uint64_t random_reads = 0;
   uint64_t writes = 0;
   uint64_t pins = 0;
+  // Pushdown-scan workload: elements covered by snapshot predicate scans
+  // and how many of them matched. Their ratio is the observed selectivity
+  // the §6 selector uses to judge encodings that accelerate scans.
+  uint64_t predicate_elems = 0;
+  uint64_t predicate_matches = 0;
   double seconds = 0.0;
 
   uint64_t reads() const { return sequential_reads + random_reads; }
+  // Observed predicate selectivity in [0,1]; negative when no scans ran.
+  double predicate_selectivity() const {
+    if (predicate_elems == 0) return -1.0;
+    return static_cast<double>(predicate_matches) / static_cast<double>(predicate_elems);
+  }
 };
 
 // A consistent, immutable view of one slot's contents. Move-only RAII:
@@ -125,12 +135,25 @@ class ArraySnapshot {
       ++local_random_;
     }
     prev_index_plus_one_ = index + 1;
-    return codec_->get(replica_, index);
+    // codec_ is bound only for bit-packed storage; other encodings (§6's
+    // frame-of-reference arrays) answer through the virtual interface.
+    if (codec_ != nullptr) return codec_->get(replica_, index);
+    return version_->storage->Get(index, replica_);
   }
 
   // Sum of elements in [begin, end) through the chunk-granular block
   // kernels (counted as a sequential scan of the range).
   uint64_t SumRange(uint64_t begin, uint64_t end);
+
+  // ---- pushdown scans (zone-map skipping + calibrated match kernels) ----
+  // All three account the covered range as a sequential scan and feed the
+  // slot's predicate-selectivity counters, which the daemon reads as a §6
+  // hint. Like Get, not safe to call concurrently on one snapshot.
+  uint64_t CountIf(uint64_t begin, uint64_t end, smart::Predicate p);
+  // Bitmap semantics follow SmartArray::SelectIf: bit j of bitmap describes
+  // element begin+j; the caller supplies (end-begin+63)/64 words.
+  uint64_t SelectIf(uint64_t begin, uint64_t end, smart::Predicate p, uint64_t* bitmap);
+  uint64_t FilteredSum(uint64_t begin, uint64_t end, smart::Predicate p);
 
   // Bulk workload accounting for kernels that stream this snapshot's pinned
   // storage directly (graph traversals read raw replica pointers, so the
@@ -159,6 +182,8 @@ class ArraySnapshot {
   uint64_t prev_index_plus_one_ = ~uint64_t{0};
   uint64_t local_sequential_ = 0;
   uint64_t local_random_ = 0;
+  uint64_t local_predicate_elems_ = 0;
+  uint64_t local_predicate_matches_ = 0;
   uint32_t flush_shift_ = 0;  // copied from the version at construction
 };
 
@@ -259,7 +284,8 @@ class ArraySlot {
 
   ArraySnapshot MakeSnapshot(EpochManager::PinHandle pin);
 
-  void FlushSnapshotCounters(uint64_t sequential, uint64_t random, uint64_t pins);
+  void FlushSnapshotCounters(uint64_t sequential, uint64_t random, uint64_t pins,
+                             uint64_t predicate_elems, uint64_t predicate_matches);
 
   // Pushes this slot onto its shard's undrained-sample queue unless it is
   // already queued. One relaxed load on the repeat path; at most one
@@ -286,6 +312,8 @@ class ArraySlot {
   std::atomic<uint64_t> random_reads_{0};
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> pins_{0};
+  std::atomic<uint64_t> predicate_elems_{0};
+  std::atomic<uint64_t> predicate_matches_{0};
   // Intrusive MPSC sample-queue linkage (head lives on the shard).
   std::atomic<bool> queued_{false};
   std::atomic<ArraySlot*> next_queued_{nullptr};

@@ -27,6 +27,7 @@
 #include "obs/telemetry.h"
 #include "smart/chunk_kernels_avx2.h"
 #include "smart/kernel_table.h"
+#include "smart/predicate.h"
 #include "smart/smart_array.h"
 
 namespace sa::smart {
@@ -311,6 +312,194 @@ class BitCompressedArray final : public SmartArray {
                          [](const uint64_t* r, uint64_t chunk) { return SumChunkImpl(r, chunk); });
   }
 
+  // ---- Predicate chunk kernels (pushdown scans) ----
+  //
+  // A scan's unit of work is the 64-bit *match mask* of one chunk: bit k is
+  // set iff element k satisfies the normalized predicate (v < bound or
+  // v == bound, optionally complemented). CountIf is a popcount of the
+  // mask, SelectIf emits it into a selection bitmap, FilteredSum keeps the
+  // matching values in the accumulator. Ragged range edges slice the full
+  // chunk mask — reading the whole chunk is always in-bounds because
+  // allocation rounds up to whole chunks.
+
+  static uint64_t MatchMaskChunkImpl(const uint64_t* replica, uint64_t chunk, uint64_t bound,
+                                     bool is_eq, bool invert) {
+    uint64_t mask = 0;
+    if constexpr (BITS == 8 || BITS == 16 || BITS == 32 || BITS == 64) {
+      const auto* src = reinterpret_cast<const NativeType*>(replica + chunk * kWordsPerChunk);
+      for (uint32_t i = 0; i < kChunkElems; ++i) {
+        const uint64_t v = src[i];
+        mask |= static_cast<uint64_t>(is_eq ? v == bound : v < bound) << i;
+      }
+    } else {
+      const uint64_t* words = replica + chunk * kWordsPerChunk;
+      [&]<size_t... I>(std::index_sequence<I...>) {
+        ((mask |= static_cast<uint64_t>(is_eq ? ChunkElement<I>(words) == bound
+                                              : ChunkElement<I>(words) < bound)
+                  << I),
+         ...);
+      }(std::make_index_sequence<kChunkElems>{});
+    }
+    return invert ? ~mask : mask;
+  }
+
+  static uint64_t FilteredSumChunkImpl(const uint64_t* replica, uint64_t chunk, uint64_t bound,
+                                       bool is_eq, bool invert) {
+    const uint64_t inv = invert ? ~uint64_t{0} : uint64_t{0};
+    uint64_t sum = 0;
+    if constexpr (BITS == 8 || BITS == 16 || BITS == 32 || BITS == 64) {
+      const auto* src = reinterpret_cast<const NativeType*>(replica + chunk * kWordsPerChunk);
+      for (uint32_t i = 0; i < kChunkElems; ++i) {
+        const uint64_t v = src[i];
+        const uint64_t hit = (uint64_t{0} - static_cast<uint64_t>(is_eq ? v == bound : v < bound)) ^ inv;
+        sum += v & hit;
+      }
+    } else {
+      const uint64_t* words = replica + chunk * kWordsPerChunk;
+      [&]<size_t... I>(std::index_sequence<I...>) {
+        ((sum += [&] {
+           const uint64_t v = ChunkElement<I>(words);
+           const uint64_t hit =
+               (uint64_t{0} - static_cast<uint64_t>(is_eq ? v == bound : v < bound)) ^ inv;
+           return v & hit;
+         }()),
+         ...);
+      }(std::make_index_sequence<kChunkElems>{});
+    }
+    return sum;
+  }
+
+  // ---- Predicate range walkers (dispatching) ----
+  //
+  // The kernel table binds the chunk-mask flavour (block vs v2) once per
+  // width; the walkers below slice the full-chunk mask at ragged edges.
+  // Trivial predicates (kNone/kAll after normalization) answer in closed
+  // form. SelectIfRange only ORs bits in — callers zero the buffer, which
+  // is what lets chunk-aligned parallel grains share one bitmap.
+
+  static uint64_t CountIfRange(const uint64_t* replica, uint64_t begin, uint64_t end,
+                               ScanPredicate p) {
+    SA_DCHECK(begin <= end);
+    if (begin >= end || p.kind == ScanPredicate::Kind::kNone) {
+      return 0;
+    }
+    if (p.kind == ScanPredicate::Kind::kAll) {
+      return end - begin;
+    }
+    const auto match_mask = KernelsFor(BITS).match_mask_chunk;
+    const bool is_eq = p.kind == ScanPredicate::Kind::kEq;
+    uint64_t count = 0;
+    uint64_t chunk = begin / kChunkElems;
+    const auto head = static_cast<uint32_t>(begin % kChunkElems);
+    if (head != 0) {
+      const auto hi =
+          static_cast<uint32_t>(std::min<uint64_t>(kChunkElems, head + (end - begin)));
+      const uint64_t m = match_mask(replica, chunk, p.bound, is_eq, p.invert);
+      count += static_cast<uint64_t>(std::popcount((m >> head) & SliceMask(hi - head)));
+      begin += hi - head;
+      ++chunk;
+      if (begin >= end) {
+        return count;
+      }
+    }
+    for (; begin + kChunkElems <= end; begin += kChunkElems, ++chunk) {
+      count += static_cast<uint64_t>(
+          std::popcount(match_mask(replica, chunk, p.bound, is_eq, p.invert)));
+    }
+    if (begin < end) {
+      const uint64_t m = match_mask(replica, chunk, p.bound, is_eq, p.invert);
+      count += static_cast<uint64_t>(
+          std::popcount(m & SliceMask(static_cast<uint32_t>(end - begin))));
+    }
+    return count;
+  }
+
+  // Emits the match bit of every element of [begin, end) into `bitmap` at
+  // consecutive bit positions starting at `bit_offset`; returns the match
+  // count. Bits are OR-ed (caller zeroes the buffer).
+  static uint64_t SelectIfRange(const uint64_t* replica, uint64_t begin, uint64_t end,
+                                ScanPredicate p, uint64_t* bitmap, uint64_t bit_offset) {
+    SA_DCHECK(begin <= end);
+    if (begin >= end || p.kind == ScanPredicate::Kind::kNone) {
+      return 0;
+    }
+    if (p.kind == ScanPredicate::Kind::kAll) {
+      uint64_t pos = bit_offset;
+      for (uint64_t n = end - begin; n > 0;) {
+        const auto step = static_cast<uint32_t>(std::min<uint64_t>(n, kWordBits));
+        EmitMaskBits(bitmap, pos, ~uint64_t{0}, step);
+        pos += step;
+        n -= step;
+      }
+      return end - begin;
+    }
+    const auto match_mask = KernelsFor(BITS).match_mask_chunk;
+    const bool is_eq = p.kind == ScanPredicate::Kind::kEq;
+    uint64_t count = 0;
+    uint64_t pos = bit_offset;
+    uint64_t chunk = begin / kChunkElems;
+    const auto head = static_cast<uint32_t>(begin % kChunkElems);
+    if (head != 0) {
+      const auto hi =
+          static_cast<uint32_t>(std::min<uint64_t>(kChunkElems, head + (end - begin)));
+      const uint64_t m =
+          (match_mask(replica, chunk, p.bound, is_eq, p.invert) >> head) & SliceMask(hi - head);
+      EmitMaskBits(bitmap, pos, m, hi - head);
+      count += static_cast<uint64_t>(std::popcount(m));
+      pos += hi - head;
+      begin += hi - head;
+      ++chunk;
+      if (begin >= end) {
+        return count;
+      }
+    }
+    for (; begin + kChunkElems <= end; begin += kChunkElems, ++chunk, pos += kChunkElems) {
+      const uint64_t m = match_mask(replica, chunk, p.bound, is_eq, p.invert);
+      EmitMaskBits(bitmap, pos, m, kChunkElems);
+      count += static_cast<uint64_t>(std::popcount(m));
+    }
+    if (begin < end) {
+      const auto tail = static_cast<uint32_t>(end - begin);
+      const uint64_t m = match_mask(replica, chunk, p.bound, is_eq, p.invert) & SliceMask(tail);
+      EmitMaskBits(bitmap, pos, m, tail);
+      count += static_cast<uint64_t>(std::popcount(m));
+    }
+    return count;
+  }
+
+  static uint64_t FilteredSumRange(const uint64_t* replica, uint64_t begin, uint64_t end,
+                                   ScanPredicate p) {
+    SA_DCHECK(begin <= end);
+    if (begin >= end || p.kind == ScanPredicate::Kind::kNone) {
+      return 0;
+    }
+    if (p.kind == ScanPredicate::Kind::kAll) {
+      return SumRange(replica, begin, end);
+    }
+    const auto filtered_sum = KernelsFor(BITS).filtered_sum_chunk;
+    const bool is_eq = p.kind == ScanPredicate::Kind::kEq;
+    const auto slice_sum = [&](uint64_t lo, uint64_t hi) {
+      uint64_t s = 0;
+      for (uint64_t i = lo; i < hi; ++i) {
+        const uint64_t v = GetImpl(replica, i);
+        if ((is_eq ? v == p.bound : v < p.bound) != p.invert) {
+          s += v;
+        }
+      }
+      return s;
+    };
+    uint64_t sum = 0;
+    uint64_t i = begin;
+    const uint64_t head_end = std::min(end, AlignUp(begin, kChunkElems));
+    sum += slice_sum(i, head_end);
+    i = head_end;
+    for (; i + kChunkElems <= end; i += kChunkElems) {
+      sum += filtered_sum(replica, i / kChunkElems, p.bound, is_eq, p.invert);
+    }
+    sum += slice_sum(i, end);
+    return sum;
+  }
+
   // True when the v2 shift-network kernels exist for this width AND the
   // host can run them (CPUID minus the SA_DISABLE_AVX2 override). Candidacy
   // only: whether they are *selected* is the kernel table's measured call.
@@ -365,6 +554,28 @@ class BitCompressedArray final : public SmartArray {
       avx2::UnpackChunkV2<BITS>(replica + chunk * kWordsPerChunk, out);
     } else {
       UnpackUnrolledImpl(replica, chunk, out);
+    }
+  }
+
+  // (replica, chunk, ...) shapes of the v2 predicate kernels, addressable
+  // for the kernel table. Width 64 has no v2 flavour (the signed-compare
+  // trick needs bound < 2^63) and delegates to the block kernels.
+  static uint64_t MatchMaskChunkV2(const uint64_t* replica, uint64_t chunk, uint64_t bound,
+                                   bool is_eq, bool invert) {
+    if constexpr (kHasV2) {
+      return avx2::MatchMaskChunkV2<BITS>(replica + chunk * kWordsPerChunk, bound, is_eq, invert);
+    } else {
+      return MatchMaskChunkImpl(replica, chunk, bound, is_eq, invert);
+    }
+  }
+
+  static uint64_t FilteredSumChunkV2(const uint64_t* replica, uint64_t chunk, uint64_t bound,
+                                     bool is_eq, bool invert) {
+    if constexpr (kHasV2) {
+      return avx2::FilteredSumChunkV2<BITS>(replica + chunk * kWordsPerChunk, bound, is_eq,
+                                            invert);
+    } else {
+      return FilteredSumChunkImpl(replica, chunk, bound, is_eq, invert);
     }
   }
 #endif
@@ -464,9 +675,14 @@ class BitCompressedArray final : public SmartArray {
   }
 
   // ---- Virtual interface (Fig. 9) ----
+  //
+  // Both write paths widen the chunk's zone *before* any replica word
+  // changes, so a scan that classifies the chunk after the data write also
+  // sees the widened zone (scan-vs-write linearization, DESIGN.md §4j).
   void Init(uint64_t index, uint64_t value) override {
     SA_DCHECK(index < length_);
     SA_CHECK_MSG((value & ~kMask) == 0, "value exceeds the array's bit width");
+    WidenZone(index, value);
     for (uint64_t* replica : replica_ptrs_) {
       InitImpl(replica, index, value);
     }
@@ -475,6 +691,7 @@ class BitCompressedArray final : public SmartArray {
   void InitAtomic(uint64_t index, uint64_t value) override {
     SA_DCHECK(index < length_);
     SA_CHECK_MSG((value & ~kMask) == 0, "value exceeds the array's bit width");
+    WidenZone(index, value);
     for (uint64_t* replica : replica_ptrs_) {
       InitAtomicImpl(replica, index, value);
     }

@@ -171,6 +171,89 @@ __attribute__((target("avx2"))) inline void UnpackChunkV2(const uint64_t* words,
 }
 
 // ---------------------------------------------------------------------------
+// v2 predicate kernels (pushdown scans)
+// ---------------------------------------------------------------------------
+//
+// The same DecodeGroupV2 network feeds a 64-bit signed compare per group
+// instead of an add. Safe because normalization (smart/predicate.h)
+// guarantees bound <= 2^63 - 1 for every v2 width (<= 63 bits), so both
+// operands of the signed compare are non-negative. IS_EQ selects the
+// compare flavour at compile time; `invert` arrives as a pre-broadcast
+// 0 / ~0 mask XORed into the compare result.
+
+// 64-bit match mask of the chunk at `words`: bit k = 1 iff element k
+// matches. Lane sign bits of the compare result are harvested four at a
+// time via movemask over the double view.
+template <uint32_t BITS, bool IS_EQ, size_t... G>
+__attribute__((target("avx2"))) inline uint64_t MatchMaskChunkV2Impl(
+    const uint64_t* words, uint64_t bound, uint64_t invert_mask, std::index_sequence<G...>) {
+  const __m256i value_mask = _mm256_set1_epi64x(static_cast<long long>(LowMask(BITS)));
+  const __m256i b = _mm256_set1_epi64x(static_cast<long long>(bound));
+  uint64_t mask = 0;
+  ((mask |= static_cast<uint64_t>(static_cast<uint32_t>(_mm256_movemask_pd(_mm256_castsi256_pd(
+                IS_EQ ? _mm256_cmpeq_epi64(DecodeGroupV2<BITS, G>(words, value_mask), b)
+                      : _mm256_cmpgt_epi64(b, DecodeGroupV2<BITS, G>(words, value_mask))))))
+            << (4 * G)),
+   ...);
+  return mask ^ invert_mask;
+}
+
+template <uint32_t BITS>
+__attribute__((target("avx2"))) inline uint64_t MatchMaskChunkV2(const uint64_t* words,
+                                                                 uint64_t bound, bool is_eq,
+                                                                 bool invert) {
+  const uint64_t invert_mask = invert ? ~uint64_t{0} : uint64_t{0};
+  if (is_eq) {
+    return MatchMaskChunkV2Impl<BITS, true>(words, bound, invert_mask,
+                                            std::make_index_sequence<kChunkElems / 4>{});
+  }
+  return MatchMaskChunkV2Impl<BITS, false>(words, bound, invert_mask,
+                                           std::make_index_sequence<kChunkElems / 4>{});
+}
+
+// Sum of the matching elements of the chunk at `words`: the compare result
+// is a full-lane 0 / ~0 mask, so `v & (cmp ^ inv)` zeroes non-matching
+// lanes before they enter the accumulator. The per-group step is a named
+// function (not a lambda) because lambdas do not inherit the enclosing
+// function's target("avx2") attribute.
+template <uint32_t BITS, bool IS_EQ, size_t G>
+__attribute__((target("avx2"))) inline __m256i FilteredGroupV2(const uint64_t* words,
+                                                               __m256i value_mask, __m256i b,
+                                                               __m256i invert_lanes) {
+  const __m256i v = DecodeGroupV2<BITS, G>(words, value_mask);
+  const __m256i cmp = IS_EQ ? _mm256_cmpeq_epi64(v, b) : _mm256_cmpgt_epi64(b, v);
+  return _mm256_and_si256(v, _mm256_xor_si256(cmp, invert_lanes));
+}
+
+template <uint32_t BITS, bool IS_EQ, size_t... G>
+__attribute__((target("avx2"))) inline uint64_t FilteredSumChunkV2Impl(
+    const uint64_t* words, uint64_t bound, __m256i invert_lanes, std::index_sequence<G...>) {
+  const __m256i value_mask = _mm256_set1_epi64x(static_cast<long long>(LowMask(BITS)));
+  const __m256i b = _mm256_set1_epi64x(static_cast<long long>(bound));
+  __m256i acc = _mm256_setzero_si256();
+  ((acc = _mm256_add_epi64(
+        acc, FilteredGroupV2<BITS, IS_EQ, G>(words, value_mask, b, invert_lanes))),
+   ...);
+  const __m128i folded =
+      _mm_add_epi64(_mm256_castsi256_si128(acc), _mm256_extracti128_si256(acc, 1));
+  return static_cast<uint64_t>(_mm_cvtsi128_si64(folded)) +
+         static_cast<uint64_t>(_mm_extract_epi64(folded, 1));
+}
+
+template <uint32_t BITS>
+__attribute__((target("avx2"))) inline uint64_t FilteredSumChunkV2(const uint64_t* words,
+                                                                   uint64_t bound, bool is_eq,
+                                                                   bool invert) {
+  const __m256i invert_lanes = _mm256_set1_epi64x(invert ? -1LL : 0LL);
+  if (is_eq) {
+    return FilteredSumChunkV2Impl<BITS, true>(words, bound, invert_lanes,
+                                              std::make_index_sequence<kChunkElems / 4>{});
+  }
+  return FilteredSumChunkV2Impl<BITS, false>(words, bound, invert_lanes,
+                                             std::make_index_sequence<kChunkElems / 4>{});
+}
+
+// ---------------------------------------------------------------------------
 // Retired PR-1 gather decoder
 // ---------------------------------------------------------------------------
 //

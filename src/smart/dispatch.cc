@@ -19,7 +19,10 @@ constexpr std::array<CodecOps, 65> MakeCodecTable(std::index_sequence<I...>) {
                             &BitCompressedArray<I + 1>::SumRange,
                             &BitCompressedArray<I + 1>::Sum2Range,
                             &BitCompressedArray<I + 1>::UnpackRange,
-                            &BitCompressedArray<I + 1>::PackRange}),
+                            &BitCompressedArray<I + 1>::PackRange,
+                            &BitCompressedArray<I + 1>::CountIfRange,
+                            &BitCompressedArray<I + 1>::SelectIfRange,
+                            &BitCompressedArray<I + 1>::FilteredSumRange}),
    ...);
   return table;
 }

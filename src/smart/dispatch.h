@@ -32,6 +32,17 @@ struct CodecOps {
                        uint64_t* out) = nullptr;
   void (*pack_range)(uint64_t* replica, uint64_t begin, uint64_t end,
                      const uint64_t* in) = nullptr;
+  // Pushdown scans over a normalized predicate (predicate.h): evaluate
+  // `v ⊖ const` on the packed words through the calibrated match-mask
+  // kernels, never materializing decoded values. select_if_range only ORs
+  // bits into `bitmap` (bit `bit_offset + i` = element begin+i matches);
+  // callers zero the buffer. All three return/accumulate over [begin, end).
+  uint64_t (*count_if_range)(const uint64_t* replica, uint64_t begin, uint64_t end,
+                             ScanPredicate p) = nullptr;
+  uint64_t (*select_if_range)(const uint64_t* replica, uint64_t begin, uint64_t end,
+                              ScanPredicate p, uint64_t* bitmap, uint64_t bit_offset) = nullptr;
+  uint64_t (*filtered_sum_range)(const uint64_t* replica, uint64_t begin, uint64_t end,
+                                 ScanPredicate p) = nullptr;
 };
 
 // Indexed by bit width; entry 0 is unused. Defined out-of-line in

@@ -7,6 +7,8 @@
 #include "common/macros.h"
 #include "smart/dispatch.h"
 #include "smart/iterator.h"
+#include "smart/parallel_ops.h"
+#include "smart/predicate.h"
 #include "smart/smart_array.h"
 
 namespace {
@@ -124,22 +126,25 @@ void saArrayUnpack(const void* sa, uint64_t chunk, uint64_t* out) {
 void saArrayUnpackRange(const void* sa, uint64_t begin, uint64_t end, uint64_t* out) {
   const SmartArray* a = Array(sa);
   SA_CHECK(begin <= end && end <= a->length());
-  CodecFor(a->bits()).unpack_range(a->GetReplicaForCurrentThread(), begin, end, out);
+  // Virtual bulk decode: correct for every encoding, still one width
+  // dispatch + chunk-streaming kernels for the bit-packed default.
+  a->RangeUnpack(a->GetReplicaForCurrentThread(), begin, end, out);
 }
 
 void saArrayPackRange(void* sa, uint64_t begin, uint64_t end, const uint64_t* in) {
   SmartArray* a = Array(sa);
   SA_CHECK(begin <= end && end <= a->length());
+  SA_CHECK_MSG(a->encoding() == sa::smart::Encoding::kBitPacked,
+               "bulk pack requires the bit-packed encoding");
   const uint64_t mask = ~sa::LowMask(a->bits());
   uint64_t any = 0;
   for (uint64_t i = 0; i < end - begin; ++i) {
     any |= in[i];
   }
   SA_CHECK_MSG((any & mask) == 0, "value exceeds the array's bit width");
-  const auto& codec = CodecFor(a->bits());
-  for (int r = 0; r < a->num_replicas(); ++r) {
-    codec.pack_range(a->MutableReplica(r), begin, end, in);
-  }
+  // PackRange (parallel_ops.h) also maintains the chunk zone maps, which a
+  // raw codec pack would silently leave stale-narrow.
+  sa::smart::PackRange(*a, begin, end, in);
 }
 
 void saArrayInitWithBits(void* sa, uint64_t index, uint64_t value, uint32_t bits) {
@@ -149,7 +154,12 @@ void saArrayInitWithBits(void* sa, uint64_t index, uint64_t value, uint32_t bits
   // wider-than-actual widths. Foreign callers pass `bits` as a plain long,
   // so this boundary stays a hard check, not a debug assert.
   SA_CHECK_MSG(a->bits() == bits, "width does not match the array");
+  SA_CHECK_MSG(a->encoding() == sa::smart::Encoding::kBitPacked,
+               "width-branched access requires the bit-packed encoding");
   SA_CHECK_MSG(index < a->length(), "index out of range");
+  // Widen-before-write, same ordering as the virtual Init path: a scan that
+  // observes the new value must already see a zone admitting it.
+  a->WidenZone(index, value);
   const auto& codec = CodecFor(bits);
   for (int r = 0; r < a->num_replicas(); ++r) {
     codec.init(a->MutableReplica(r), index, value);
@@ -231,9 +241,10 @@ uint64_t saArraySumRange(const void* sa, uint64_t begin, uint64_t end) {
   const SmartArray* a = Array(sa);
   SA_CHECK(begin <= end && end <= a->length());
   // Straight to the chunk-granular block kernels (AVX2 when the host has
-  // it): foreign callers aggregate at the same speed as native ParallelSum
-  // batches, with no per-chunk callback round trips.
-  return CodecFor(a->bits()).sum_range(a->GetReplicaForCurrentThread(), begin, end);
+  // it) via the encoding-polymorphic seam: foreign callers aggregate at the
+  // same speed as native ParallelSum batches, with no per-chunk callback
+  // round trips.
+  return a->RangeSum(a->GetReplicaForCurrentThread(), begin, end);
 }
 
 uint64_t saArraySum2Range(const void* sa1, const void* sa2, uint64_t begin, uint64_t end) {
@@ -244,6 +255,43 @@ uint64_t saArraySum2Range(const void* sa1, const void* sa2, uint64_t begin, uint
   return CodecFor(a1->bits())
       .sum2_range(a1->GetReplicaForCurrentThread(), a2->GetReplicaForCurrentThread(), begin,
                   end);
+}
+
+uint64_t saArrayCountIf(const void* sa, uint64_t begin, uint64_t end, int op,
+                        uint64_t constant) {
+  const SmartArray* a = Array(sa);
+  SA_CHECK_MSG(begin <= end && end <= a->length(), "scan range out of bounds");
+  SA_CHECK_MSG(op >= 0 && op < 6, "unknown comparison operator");
+  const sa::smart::Predicate p{static_cast<sa::smart::CmpOp>(op), constant};
+  return a->CountIf(a->GetReplicaForCurrentThread(), begin, end, p);
+}
+
+uint64_t saArraySelectIf(const void* sa, uint64_t begin, uint64_t end, int op,
+                         uint64_t constant, uint64_t* bitmap, uint64_t bitmap_words) {
+  const SmartArray* a = Array(sa);
+  SA_CHECK_MSG(begin <= end && end <= a->length(), "scan range out of bounds");
+  SA_CHECK_MSG(op >= 0 && op < 6, "unknown comparison operator");
+  const uint64_t n = end - begin;
+  if (n == 0) {
+    return 0;
+  }
+  // The buffer size arrives from an untrusted caller: an undersized bitmap
+  // would turn the emit into a heap overwrite, so both the pointer and the
+  // capacity are hard checks, not debug asserts.
+  SA_CHECK_MSG(bitmap != nullptr, "selection bitmap must not be null");
+  SA_CHECK_MSG(bitmap_words >= (n + sa::kWordBits - 1) / sa::kWordBits,
+               "selection bitmap too small for the range");
+  const sa::smart::Predicate p{static_cast<sa::smart::CmpOp>(op), constant};
+  return a->SelectIf(a->GetReplicaForCurrentThread(), begin, end, p, bitmap);
+}
+
+uint64_t saArrayFilteredSum(const void* sa, uint64_t begin, uint64_t end, int op,
+                            uint64_t constant) {
+  const SmartArray* a = Array(sa);
+  SA_CHECK_MSG(begin <= end && end <= a->length(), "scan range out of bounds");
+  SA_CHECK_MSG(op >= 0 && op < 6, "unknown comparison operator");
+  const sa::smart::Predicate p{static_cast<sa::smart::CmpOp>(op), constant};
+  return a->FilteredSum(a->GetReplicaForCurrentThread(), begin, end, p);
 }
 
 }  // extern "C"

@@ -93,6 +93,27 @@ uint64_t saArraySumRange(const void* sa, uint64_t begin, uint64_t end);
 // must share one bit width.
 uint64_t saArraySum2Range(const void* sa1, const void* sa2, uint64_t begin, uint64_t end);
 
+// ---- Pushdown scans (src/smart/predicate.h) ----
+// `op` takes the stable CmpOp ABI values: 0 ==, 1 !=, 2 <, 3 <=, 4 >, 5 >=.
+// The predicate is evaluated on the packed words through the calibrated
+// match-mask kernels; chunks whose zone map proves them irrelevant are
+// never touched.
+
+// Number of elements in [begin, end) satisfying `v op constant`.
+uint64_t saArrayCountIf(const void* sa, uint64_t begin, uint64_t end, int op,
+                        uint64_t constant);
+
+// Emits bit j of `bitmap` = whether element begin+j matches, zeroing the
+// output words first. `bitmap_words` is the caller's buffer size in 64-bit
+// words and must cover (end - begin + 63) / 64 (hard-checked: untrusted
+// boundary). Returns the match count.
+uint64_t saArraySelectIf(const void* sa, uint64_t begin, uint64_t end, int op,
+                         uint64_t constant, uint64_t* bitmap, uint64_t bitmap_words);
+
+// Sum of the matching elements of [begin, end).
+uint64_t saArrayFilteredSum(const void* sa, uint64_t begin, uint64_t end, int op,
+                            uint64_t constant);
+
 }  // extern "C"
 
 #endif  // SA_SMART_ENTRY_POINTS_H_

@@ -53,11 +53,15 @@ template <uint32_t BITS>
 Candidates MakeCandidates() {
   using Codec = BitCompressedArray<BITS>;
   Candidates c;
-  c.block = {&Codec::SumRangeImpl, &Codec::Sum2RangeImpl, &Codec::UnpackUnrolledImpl,
+  c.block = {&Codec::SumRangeImpl,       &Codec::Sum2RangeImpl,
+             &Codec::UnpackUnrolledImpl, &Codec::MatchMaskChunkImpl,
+             &Codec::FilteredSumChunkImpl, KernelKind::kBlock,
              KernelKind::kBlock};
 #if defined(SA_HAVE_AVX2_KERNELS)
   if constexpr (Codec::kHasV2) {
-    c.v2 = {&Codec::SumRangeV2, &Codec::Sum2RangeV2, &Codec::UnpackChunkV2, KernelKind::kAvx2V2};
+    c.v2 = {&Codec::SumRangeV2,   &Codec::Sum2RangeV2,      &Codec::UnpackChunkV2,
+            &Codec::MatchMaskChunkV2, &Codec::FilteredSumChunkV2, KernelKind::kAvx2V2,
+            KernelKind::kAvx2V2};
     c.has_v2 = true;
   }
 #endif
@@ -88,6 +92,34 @@ CalibResult InterleavedBestNs(uint64_t (*block)(const uint64_t*, uint64_t, uint6
   const auto time_one = [&](uint64_t (*fn)(const uint64_t*, uint64_t, uint64_t)) {
     const Clock::time_point start = Clock::now();
     *sink ^= fn(words, 0, kCalibElems);
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count());
+  };
+  CalibResult result;
+  for (int rep = 0; rep < 5; ++rep) {
+    result.block_ns = std::min(result.block_ns, time_one(block));
+    result.v2_ns = std::min(result.v2_ns, time_one(v2));
+  }
+  return result;
+}
+
+using MatchMaskFn = uint64_t (*)(const uint64_t*, uint64_t, uint64_t, bool, bool);
+
+// Same interleaved best-of-5 discipline for the predicate kernels. The
+// calibration predicate is `v < mid`, a ~half-selective compare: match-mask
+// cost is selectivity-independent (every element is compared), so any bound
+// ranks the kernels identically, and mid keeps the compare honest against
+// branch-predictor artifacts in the scalar loop.
+CalibResult InterleavedBestMatchNs(MatchMaskFn block, MatchMaskFn v2, const uint64_t* words,
+                                   uint64_t bound, uint64_t* sink) {
+  using Clock = std::chrono::steady_clock;
+  const auto time_one = [&](MatchMaskFn fn) {
+    const Clock::time_point start = Clock::now();
+    uint64_t acc = 0;
+    for (uint64_t chunk = 0; chunk < kCalibChunks; ++chunk) {
+      acc ^= fn(words, chunk, bound, false, false);
+    }
+    *sink ^= acc;
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count());
   };
@@ -147,7 +179,27 @@ Table BuildTable() {
                                                 cand[bits].v2.sum_range, words.data(),
                                                 &local_sink);
     if (timed.v2_ns < timed.block_ns) {
+      const KernelKind pred_kind = table.ops[bits].predicate_kind;
+      const MatchMaskFn pred_match = table.ops[bits].match_mask_chunk;
+      const MatchMaskFn pred_sum = table.ops[bits].filtered_sum_chunk;
       table.ops[bits] = cand[bits].v2;
+      table.ops[bits].predicate_kind = pred_kind;
+      table.ops[bits].match_mask_chunk = pred_match;
+      table.ops[bits].filtered_sum_chunk = pred_sum;
+    }
+
+    // Predicate kernels race independently of the sum kernels: the compare
+    // shifts the compute/bandwidth balance, so the winner can differ.
+    const uint64_t mid = LowMask(bits) >> 1;
+    local_sink ^= cand[bits].block.match_mask_chunk(words.data(), 0, mid, false, false);
+    local_sink ^= cand[bits].v2.match_mask_chunk(words.data(), 0, mid, false, false);
+    const CalibResult pred_timed =
+        InterleavedBestMatchNs(cand[bits].block.match_mask_chunk,
+                               cand[bits].v2.match_mask_chunk, words.data(), mid, &local_sink);
+    if (pred_timed.v2_ns < pred_timed.block_ns) {
+      table.ops[bits].match_mask_chunk = cand[bits].v2.match_mask_chunk;
+      table.ops[bits].filtered_sum_chunk = cand[bits].v2.filtered_sum_chunk;
+      table.ops[bits].predicate_kind = KernelKind::kAvx2V2;
     }
   }
   sink = local_sink;

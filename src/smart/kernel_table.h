@@ -42,7 +42,17 @@ struct KernelOps {
                          uint64_t end) = nullptr;
   // Decodes one whole chunk into out[0..63] (out may be unaligned).
   void (*unpack_chunk)(const uint64_t* replica, uint64_t chunk, uint64_t* out) = nullptr;
+  // Predicate kernels (predicate.h): bit k of the returned mask says whether
+  // element k of `chunk` satisfies the normalized compare; filtered_sum
+  // accumulates the matching elements of one chunk. Calibrated separately
+  // from the sum kernels — the compare changes the arithmetic density enough
+  // that the block-vs-v2 ranking can differ per width.
+  uint64_t (*match_mask_chunk)(const uint64_t* replica, uint64_t chunk, uint64_t bound,
+                               bool is_eq, bool invert) = nullptr;
+  uint64_t (*filtered_sum_chunk)(const uint64_t* replica, uint64_t chunk, uint64_t bound,
+                                 bool is_eq, bool invert) = nullptr;
   KernelKind kind = KernelKind::kBlock;
+  KernelKind predicate_kind = KernelKind::kBlock;
 };
 
 // The selected kernels for `bits` (1..64). First call builds the whole

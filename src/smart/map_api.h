@@ -10,6 +10,8 @@
 #ifndef SA_SMART_MAP_API_H_
 #define SA_SMART_MAP_API_H_
 
+#include <algorithm>
+
 #include "common/bits.h"
 #include "smart/dispatch.h"
 #include "smart/smart_array.h"
@@ -26,6 +28,19 @@ void MapRange(const SmartArray& array, uint64_t begin, uint64_t end, int socket,
     return;
   }
   const uint64_t* replica = array.GetReplica(socket);
+  if (array.encoding() != Encoding::kBitPacked) {
+    // Non-bit-packed storage: the words do not follow the packed chunk
+    // geometry, so stream through the encoding's own bulk decode instead.
+    uint64_t buffer[16 * kChunkElems];
+    for (uint64_t batch = begin; batch < end; batch += 16 * kChunkElems) {
+      const uint64_t batch_end = std::min(end, batch + 16 * kChunkElems);
+      array.RangeUnpack(replica, batch, batch_end, buffer);
+      for (uint64_t i = batch; i < batch_end; ++i) {
+        fn(buffer[i - batch], i);
+      }
+    }
+    return;
+  }
   WithBits(array.bits(), [&](auto bits_const) {
     constexpr uint32_t kBits = bits_const();
     BitCompressedArray<kBits>::ForEachRangeImpl(replica, begin, end, fn);

@@ -7,6 +7,7 @@
 #ifndef SA_SMART_PARALLEL_OPS_H_
 #define SA_SMART_PARALLEL_OPS_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/bits.h"
@@ -31,11 +32,27 @@ void ParallelFill(rts::WorkerPool& pool, SmartArray& array, const Generator& gen
     const int replicas = array.num_replicas();
     rts::ParallelFor(pool, 0, array.length(), kChunkAlignedGrain,
                      [&](int /*worker*/, uint64_t begin, uint64_t end) {
-                       for (uint64_t i = begin; i < end; ++i) {
-                         const uint64_t value = generator(i);
-                         for (int r = 0; r < replicas; ++r) {
-                           BitCompressedArray<kBits>::InitImpl(array.MutableReplica(r), i, value);
+                       // Chunk-aligned grains own every element of each chunk
+                       // they touch, so the zone bounds computed during the
+                       // fill replace the chunk's zone exactly (the same
+                       // exclusivity that makes the unsynchronized word
+                       // writes safe).
+                       for (uint64_t i = begin; i < end;) {
+                         const uint64_t chunk = i / kChunkElems;
+                         const uint64_t chunk_end =
+                             std::min(end, (chunk + 1) * kChunkElems);
+                         uint64_t lo = ~uint64_t{0};
+                         uint64_t hi = 0;
+                         for (; i < chunk_end; ++i) {
+                           const uint64_t value = generator(i);
+                           lo = std::min(lo, value);
+                           hi = std::max(hi, value);
+                           for (int r = 0; r < replicas; ++r) {
+                             BitCompressedArray<kBits>::InitImpl(array.MutableReplica(r), i,
+                                                                 value);
+                           }
                          }
+                         array.SetZoneBounds(chunk, lo, hi);
                        }
                      });
     return 0;
@@ -100,6 +117,69 @@ inline void PackRange(SmartArray& array, uint64_t begin, uint64_t end, const uin
   for (int r = 0; r < array.num_replicas(); ++r) {
     codec.pack_range(array.MutableReplica(r), begin, end, in);
   }
+  // Zone maintenance: a chunk whose every live element is inside [begin, end)
+  // gets exact bounds (legal because PackRange writers own their chunks and
+  // run before the array is visible to concurrent scans — the existing bulk
+  // loader contract); chunks only partially covered can merely widen.
+  const uint64_t length = array.length();
+  for (uint64_t i = begin; i < end;) {
+    const uint64_t chunk = i / kChunkElems;
+    const uint64_t chunk_first = chunk * kChunkElems;
+    const uint64_t chunk_last = std::min(length, chunk_first + kChunkElems);
+    const uint64_t stop = std::min(end, chunk_last);
+    uint64_t lo = in[i - begin];
+    uint64_t hi = lo;
+    for (uint64_t j = i; j < stop; ++j) {
+      const uint64_t value = in[j - begin];
+      lo = std::min(lo, value);
+      hi = std::max(hi, value);
+    }
+    if (i == chunk_first && stop == chunk_last) {
+      array.SetZoneBounds(chunk, lo, hi);
+    } else {
+      array.WidenZoneBounds(chunk, lo, hi);
+    }
+    i = stop;
+  }
+}
+
+// ---- Parallel pushdown scans (predicate.h, smart_array.h) ----
+//
+// Each grain runs the array's zone-map pushdown walker against the worker's
+// socket-local replica. Grains are chunk-aligned, so every zone verdict is
+// owned by exactly one worker and SelectIf grains touch disjoint bitmap
+// words.
+
+inline uint64_t ParallelCountIf(rts::WorkerPool& pool, const SmartArray& array, Predicate p,
+                                uint64_t grain = kChunkAlignedGrain) {
+  SA_CHECK_MSG(grain % kChunkElems == 0, "scan grains must be chunk-aligned");
+  return rts::ParallelReduce<uint64_t>(
+      pool, 0, array.length(), grain, [&](int worker, uint64_t begin, uint64_t end) {
+        return array.CountIf(array.GetReplica(pool.worker_socket(worker)), begin, end, p);
+      });
+}
+
+inline uint64_t ParallelFilteredSum(rts::WorkerPool& pool, const SmartArray& array, Predicate p,
+                                    uint64_t grain = kChunkAlignedGrain) {
+  SA_CHECK_MSG(grain % kChunkElems == 0, "scan grains must be chunk-aligned");
+  return rts::ParallelReduce<uint64_t>(
+      pool, 0, array.length(), grain, [&](int worker, uint64_t begin, uint64_t end) {
+        return array.FilteredSum(array.GetReplica(pool.worker_socket(worker)), begin, end, p);
+      });
+}
+
+// Emits bit i of `bitmap` = whether array[i] matches; `bitmap` must hold
+// (length + 63) / 64 words. Each chunk-aligned grain zeroes and fills its
+// own word-disjoint slice, so no serial zeroing pass is needed. Returns the
+// match count.
+inline uint64_t ParallelSelectIf(rts::WorkerPool& pool, const SmartArray& array, Predicate p,
+                                 uint64_t* bitmap, uint64_t grain = kChunkAlignedGrain) {
+  SA_CHECK_MSG(grain % kChunkElems == 0, "scan grains must be chunk-aligned");
+  return rts::ParallelReduce<uint64_t>(
+      pool, 0, array.length(), grain, [&](int worker, uint64_t begin, uint64_t end) {
+        return array.SelectIf(array.GetReplica(pool.worker_socket(worker)), begin, end, p,
+                              bitmap + begin / kWordBits);
+      });
 }
 
 // Parallel bulk fill from a materialized buffer: values[i] becomes

@@ -7,6 +7,7 @@
 #include "obs/telemetry.h"
 #include "rts/parallel_for.h"
 #include "smart/dispatch.h"
+#include "smart/for_delta.h"
 #include "smart/map_api.h"
 #include "smart/parallel_ops.h"
 
@@ -43,7 +44,7 @@ std::unique_ptr<SmartArray> Restructure(rts::WorkerPool& pool, const SmartArray&
 std::unique_ptr<SmartArray> TryRestructure(rts::WorkerPool& pool, const SmartArray& source,
                                            PlacementSpec placement, uint32_t bits,
                                            const platform::Topology& topology,
-                                           RestructureStats* stats) {
+                                           RestructureStats* stats, Encoding encoding) {
   // Timing is collected when the caller wants the breakdown or the telemetry
   // layer is live; otherwise the rebuild runs clock-free.
   const bool timed = stats != nullptr || obs::Enabled();
@@ -73,6 +74,21 @@ std::unique_ptr<SmartArray> TryRestructure(rts::WorkerPool& pool, const SmartArr
 
   SA_OBS_COUNT(kRestructures);
   const uint32_t target_bits = bits == 0 ? source.bits() : bits;
+
+  // Frame-of-reference target: ForDeltaArray owns its build (the storage
+  // width is measured from the data, not requested). Serial by design — the
+  // daemon builds FoR only for sealed read-only slots.
+  if (encoding == Encoding::kForDelta) {
+    auto target = ForDeltaArray::TryBuild(source, placement, target_bits, topology);
+    if (target == nullptr) {
+      SA_OBS_COUNT(kRestructureOverflowAborts);
+      finish(/*same_width=*/false, 0);
+      return nullptr;
+    }
+    finish(/*same_width=*/false, target->num_replicas());
+    return target;
+  }
+
   // Non-aborting allocation: an injected (or future real) OOM during a
   // rebuild is a retryable outcome for the adaptation daemon, exactly like
   // a width overflow.
@@ -84,8 +100,9 @@ std::unique_ptr<SmartArray> TryRestructure(rts::WorkerPool& pool, const SmartArr
 
   // Same-width fast path: the packed layouts are identical, so a rebuild
   // that only changes placement is a straight word copy per replica — no
-  // decode, no width check (the source already fit).
-  if (target_bits == source.bits()) {
+  // decode, no width check (the source already fit). Only available when
+  // the source is itself bit-packed; other encodings take the decode path.
+  if (target_bits == source.bits() && source.encoding() == Encoding::kBitPacked) {
     const uint64_t words = source.words_per_replica();
     rts::ParallelFor(pool, 0, words, rts::kDefaultGrain,
                      [&](int worker, uint64_t b, uint64_t e) {
@@ -95,6 +112,11 @@ std::unique_ptr<SmartArray> TryRestructure(rts::WorkerPool& pool, const SmartArr
                          std::copy(src + b, src + e, dst + b);
                        }
                      });
+    // Contents are identical chunk-for-chunk, so the zones carry over
+    // verbatim — a scan against the replica must never see zones narrower
+    // than the data (the testkit's scan_ops fault scenarios interleave
+    // restructures, failed restructures, and writes with zone-mapped scans).
+    target->CopyZoneMapFrom(source);
     finish(/*same_width=*/true, target->num_replicas());
     return target;
   }
@@ -107,7 +129,6 @@ std::unique_ptr<SmartArray> TryRestructure(rts::WorkerPool& pool, const SmartArr
   // no per-value virtual Get and no per-element read-modify-write. Batches
   // are chunk-aligned (kChunkAlignedGrain is a multiple of kBatchElems), so
   // parallel packers never share a target word.
-  const CodecOps& src_codec = CodecFor(source.bits());
   const CodecOps& dst_codec = CodecFor(target_bits);
   std::atomic<bool> overflow{false};
   rts::ParallelFor(
@@ -121,12 +142,25 @@ std::unique_ptr<SmartArray> TryRestructure(rts::WorkerPool& pool, const SmartArr
         for (uint64_t batch = b; batch < e; batch += kBatchElems) {
           const uint64_t batch_end = std::min(e, batch + kBatchElems);
           const uint64_t t0 = timed ? obs::NowNs() : 0;
-          src_codec.unpack_range(src, batch, batch_end, buffer);
+          // Virtual bulk decode: the source may not be bit-packed.
+          source.RangeUnpack(src, batch, batch_end, buffer);
           const uint64_t t1 = timed ? obs::NowNs() : 0;
           local_unpack_ns += t1 - t0;
+          // The decoded batch is in hand anyway, so the overflow check and
+          // the target's zone bounds come from one chunk-granular pass
+          // (batches are chunk-aligned, so each chunk is wholly owned here
+          // and gets exact bounds).
           uint64_t any = 0;
-          for (uint64_t i = 0; i < batch_end - batch; ++i) {
-            any |= buffer[i];
+          for (uint64_t i = 0; i < batch_end - batch; i += kChunkElems) {
+            const uint64_t n = std::min<uint64_t>(kChunkElems, batch_end - batch - i);
+            uint64_t lo = buffer[i];
+            uint64_t hi = buffer[i];
+            for (uint64_t j = i; j < i + n; ++j) {
+              any |= buffer[j];
+              lo = std::min(lo, buffer[j]);
+              hi = std::max(hi, buffer[j]);
+            }
+            target->SetZoneBounds((batch + i) / kChunkElems, lo, hi);
           }
           if (SA_UNLIKELY((any & width_check_mask) != 0)) {
             overflow.store(true, std::memory_order_relaxed);

@@ -35,11 +35,15 @@ std::unique_ptr<SmartArray> Restructure(rts::WorkerPool& pool, const SmartArray&
 // `bits`. The adaptation daemon narrows arrays that concurrent writers may
 // still be widening, so overflow there is an expected outcome to retry
 // from, not a caller bug. `stats`, when non-null, receives the timing
-// breakdown (filled on success and on overflow aborts alike).
+// breakdown (filled on success and on overflow aborts alike). `encoding`
+// picks the target representation: kForDelta builds a ForDeltaArray
+// (for_delta.h) instead of a bit-packed array (then `bits` only bounds the
+// logical width; the storage width comes from the measured deltas).
 std::unique_ptr<SmartArray> TryRestructure(rts::WorkerPool& pool, const SmartArray& source,
                                            PlacementSpec placement, uint32_t bits,
                                            const platform::Topology& topology,
-                                           RestructureStats* stats = nullptr);
+                                           RestructureStats* stats = nullptr,
+                                           Encoding encoding = Encoding::kBitPacked);
 
 // Narrowest width that holds every element of `array` (a parallel max scan;
 // what "compress with the least number of bits required" needs, §5.2).

@@ -50,20 +50,26 @@ constexpr std::array<Creator, 65> kCreators = MakeCreatorTable(std::make_index_s
 
 SmartArray::SmartArray(uint64_t length, PlacementSpec placement, uint32_t bits,
                        const platform::Topology& topology)
+    : SmartArray(length, placement, bits, bits, topology) {}
+
+SmartArray::SmartArray(uint64_t length, PlacementSpec placement, uint32_t bits,
+                       uint32_t storage_bits, const platform::Topology& topology)
     : length_(length),
       bits_(bits),
+      storage_bits_(storage_bits),
       placement_(placement),
       num_sockets_(topology.num_sockets()),
       topology_(topology) {
   SA_CHECK_MSG(length > 0, "smart arrays cannot be empty");
   SA_CHECK_MSG(bits >= 1 && bits <= 64, "bit width must be 1..64");
+  SA_CHECK_MSG(storage_bits >= 1 && storage_bits <= 64, "storage width must be 1..64");
   if (placement.kind == Placement::kSingleSocket || placement.kind == Placement::kOsDefault) {
     SA_CHECK_MSG(placement.socket >= 0 && placement.socket < num_sockets_,
                  "placement socket out of range");
   }
 
-  const uint64_t bytes = ((length + kChunkElems - 1) / kChunkElems) * WordsPerChunk(bits) *
-                         sizeof(uint64_t);
+  const uint64_t chunks = (length + kChunkElems - 1) / kChunkElems;
+  const uint64_t bytes = chunks * WordsPerChunk(storage_bits) * sizeof(uint64_t);
   const int replicas = placement.kind == Placement::kReplicated ? num_sockets_ : 1;
   regions_.reserve(replicas);
   replica_ptrs_.reserve(replicas);
@@ -72,6 +78,32 @@ SmartArray::SmartArray(uint64_t length, PlacementSpec placement, uint32_t bits,
     const platform::PagePolicy policy = RegionPolicy(placement, r, &home);
     regions_.emplace_back(bytes, policy, home, topology);
     replica_ptrs_.push_back(static_cast<uint64_t*>(regions_.back().data()));
+  }
+
+  // Value-initialized atomics: [0, 0] per chunk, the exact bounds of the
+  // zero-filled fresh allocation (MappedRegion memory is zeroed).
+  zone_min_ = std::make_unique<std::atomic<uint64_t>[]>(chunks);
+  zone_max_ = std::make_unique<std::atomic<uint64_t>[]>(chunks);
+}
+
+const char* ToString(Encoding encoding) {
+  switch (encoding) {
+    case Encoding::kBitPacked:
+      return "bit-packed";
+    case Encoding::kForDelta:
+      return "for-delta";
+  }
+  return "?";
+}
+
+void SmartArray::CopyZoneMapFrom(const SmartArray& src) {
+  SA_DCHECK(src.num_chunks() == num_chunks());
+  const uint64_t chunks = num_chunks();
+  for (uint64_t c = 0; c < chunks; ++c) {
+    zone_min_[c].store(src.zone_min_[c].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    zone_max_[c].store(src.zone_max_[c].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
   }
 }
 

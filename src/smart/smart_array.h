@@ -10,6 +10,7 @@
 #ifndef SA_SMART_SMART_ARRAY_H_
 #define SA_SMART_SMART_ARRAY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -18,8 +19,27 @@
 #include "platform/numa_memory.h"
 #include "platform/topology.h"
 #include "smart/placement.h"
+#include "smart/predicate.h"
 
 namespace sa::smart {
+
+// How element values are represented in the backing words. kBitPacked is
+// the paper's layout (bits() == storage width); kForDelta stores per-chunk
+// frame-of-reference bases plus bit-packed deltas (for_delta.h), packing
+// clustered data narrower than its absolute value range.
+enum class Encoding : uint8_t {
+  kBitPacked = 0,
+  kForDelta = 1,
+};
+
+const char* ToString(Encoding encoding);
+
+// Per-scan accounting: how many chunks the pushdown walker touched vs
+// proved irrelevant from their zone alone.
+struct ScanStats {
+  uint64_t chunks_scanned = 0;
+  uint64_t chunks_skipped = 0;
+};
 
 class SmartArray {
  public:
@@ -71,11 +91,88 @@ class SmartArray {
   // Decodes the 64 elements of `chunk` from `replica` into out[0..63].
   virtual void Unpack(uint64_t chunk, const uint64_t* replica, uint64_t* out) const = 0;
 
+  // ---- Encoding-polymorphic range operations ----
+  //
+  // The defaults route through the bit-packed codec table (CodecFor(bits));
+  // non-bit-packed encodings override them. Callers that cannot assume the
+  // paper's packed word geometry (restructure sources, registry snapshots
+  // of daemon-chosen representations, entry points) go through these.
+  virtual Encoding encoding() const { return Encoding::kBitPacked; }
+
+  // Sum of elements [begin, end) read from `replica`.
+  virtual uint64_t RangeSum(const uint64_t* replica, uint64_t begin, uint64_t end) const;
+
+  // Decodes elements [begin, end) from `replica` into out[0 .. end-begin).
+  virtual void RangeUnpack(const uint64_t* replica, uint64_t begin, uint64_t end,
+                           uint64_t* out) const;
+
+  // ---- Pushdown scans (predicate.h) ----
+  //
+  // Evaluate `v ⊖ constant` over [begin, end) without materializing the
+  // values: chunks whose zone proves no element can match are skipped,
+  // all-match chunks answer in closed form, and only mixed chunks run the
+  // per-width match-mask kernels. `stats` (optional) receives the
+  // scanned/skipped split; the same split feeds the sa_scan_chunks_*
+  // telemetry counters.
+  virtual uint64_t CountIf(const uint64_t* replica, uint64_t begin, uint64_t end, Predicate p,
+                           ScanStats* stats = nullptr) const;
+
+  // Emits bit j of `bitmap` = whether element begin+j matches; the callee
+  // zeroes the (end-begin+63)/64 output words first. Returns the match
+  // count.
+  virtual uint64_t SelectIf(const uint64_t* replica, uint64_t begin, uint64_t end, Predicate p,
+                            uint64_t* bitmap, ScanStats* stats = nullptr) const;
+
+  virtual uint64_t FilteredSum(const uint64_t* replica, uint64_t begin, uint64_t end,
+                               Predicate p, ScanStats* stats = nullptr) const;
+
+  // ---- Chunk zone maps ----
+  //
+  // Per-chunk [min, max] value bounds, maintained conservatively: element
+  // writes only widen (before the data write — see bit_compressed_array.h),
+  // whole-chunk bulk writers install exact bounds under their existing
+  // no-concurrent-writer contracts, and restructure carries bounds to the
+  // rebuilt array. min > max means "unknown"; scans treat it as mixed.
+  // A fresh array's zones are the exact [0, 0] of its zero-filled memory.
+  uint64_t ZoneMin(uint64_t chunk) const {
+    return zone_min_[chunk].load(std::memory_order_relaxed);
+  }
+  uint64_t ZoneMax(uint64_t chunk) const {
+    return zone_max_[chunk].load(std::memory_order_relaxed);
+  }
+
+  // Grows chunk bounds to admit `value` (element write path).
+  void WidenZone(uint64_t index, uint64_t value) {
+    WidenZoneBounds(index / kChunkElems, value, value);
+  }
+
+  // Grows chunk bounds to admit the whole interval [lo, hi].
+  void WidenZoneBounds(uint64_t chunk, uint64_t lo, uint64_t hi) {
+    AtomicMin(zone_min_[chunk], lo);
+    AtomicMax(zone_max_[chunk], hi);
+  }
+
+  // Replaces chunk bounds outright. Only legal for writers that own every
+  // element of the chunk (whole-chunk PackRange, fills, restructure) —
+  // the same contract under which the word writes themselves are safe.
+  void SetZoneBounds(uint64_t chunk, uint64_t lo, uint64_t hi) {
+    zone_min_[chunk].store(lo, std::memory_order_relaxed);
+    zone_max_[chunk].store(hi, std::memory_order_relaxed);
+  }
+
+  // Adopts `src`'s zones chunk-for-chunk (contents-preserving rebuilds).
+  void CopyZoneMapFrom(const SmartArray& src);
+
   // ---- Geometry ----
   uint64_t num_chunks() const { return (length_ + kChunkElems - 1) / kChunkElems; }
   // 64-bit words allocated per replica (rounded up to whole chunks so that
-  // Unpack of the final partial chunk stays in bounds).
-  uint64_t words_per_replica() const { return num_chunks() * WordsPerChunk(bits_); }
+  // Unpack of the final partial chunk stays in bounds). Sized by the
+  // *storage* width, which non-bit-packed encodings decouple from bits().
+  uint64_t words_per_replica() const { return num_chunks() * WordsPerChunk(storage_bits_); }
+
+  // Width of the packed words actually allocated (== bits() for the
+  // bit-packed encoding; the delta width for kForDelta).
+  uint32_t storage_bits() const { return storage_bits_; }
   // Total bytes across all replicas.
   uint64_t footprint_bytes() const {
     return static_cast<uint64_t>(num_replicas()) * words_per_replica() * sizeof(uint64_t);
@@ -113,13 +210,37 @@ class SmartArray {
   SmartArray(uint64_t length, PlacementSpec placement, uint32_t bits,
              const platform::Topology& topology);
 
+  // Encoding-subclass constructor: `bits` is the logical width callers see,
+  // `storage_bits` sizes the allocated words (e.g. the delta width).
+  SmartArray(uint64_t length, PlacementSpec placement, uint32_t bits, uint32_t storage_bits,
+             const platform::Topology& topology);
+
+  static void AtomicMin(std::atomic<uint64_t>& slot, uint64_t value) {
+    uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  static void AtomicMax(std::atomic<uint64_t>& slot, uint64_t value) {
+    uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
   uint64_t length_ = 0;
   uint32_t bits_ = 64;
+  uint32_t storage_bits_ = 64;
   PlacementSpec placement_;
   int num_sockets_ = 1;
   platform::Topology topology_;  // copied: cheap, and avoids lifetime coupling
   std::vector<platform::MappedRegion> regions_;
   std::vector<uint64_t*> replica_ptrs_;
+  // Chunk zone maps (value-initialized atomics: the exact bounds of the
+  // zero-filled fresh allocation).
+  std::unique_ptr<std::atomic<uint64_t>[]> zone_min_;
+  std::unique_ptr<std::atomic<uint64_t>[]> zone_max_;
 };
 
 }  // namespace sa::smart

@@ -30,6 +30,7 @@ constexpr uint64_t kRaceIndexSalt = 0x726163652d69ULL;  // "race-i"
 constexpr uint64_t kRaceValueSalt = 0x726163652d76ULL;  // "race-v"
 constexpr uint64_t kEpilogueSalt = 0x6570696c6fULL;     // "epilo"
 constexpr uint64_t kSlotSalt = 0x736c6f74ULL;           // "slot"
+constexpr uint64_t kScanConstSalt = 0x7363616e2d63ULL;  // "scan-c"
 
 const char* ToString(RestructureResult r) {
   switch (r) {
@@ -356,6 +357,11 @@ class Executor {
         harness_->SnapshotUnpin(snap);
         break;
       }
+      case OpKind::kCountIf:
+      case OpKind::kSelectIf:
+      case OpKind::kFilteredSum:
+        StepScan(i, op);
+        break;
       case OpKind::kRestructure:
         StepRestructure(i, op);
         break;
@@ -456,6 +462,96 @@ class Executor {
       }
     }
     snapshot.Release();
+  }
+
+  // Pushdown scans as a differential op (program.h documents the parameter
+  // mapping): range = sorted (a,b) % (len+1), comparison op = c % 6, and the
+  // constant alternates between the boundary ladder the normalization layer
+  // branches on (0 / 1 / mid / max / max+1) and a c-derived random 64-bit
+  // value (out-of-domain constants must resolve to kNone/kAll closed forms).
+  // CountIf/FilteredSum diff one number; SelectIf diffs every bitmap bit
+  // against the scalar model, plus the popcount-equals-count invariant and
+  // the zeroed padding tail of the last bitmap word.
+  void StepScan(size_t i, const Op& op) {
+    const uint64_t x = op.a % (len_ + 1);
+    const uint64_t y = op.b % (len_ + 1);
+    const uint64_t begin = std::min(x, y);
+    const uint64_t end = std::max(x, y);
+    const uint64_t max = model().mask();
+    const uint64_t pick = SplitMix64(op.c ^ kScanConstSalt);
+    uint64_t constant;
+    if ((pick & 1) != 0) {
+      const uint64_t ladder[] = {0, 1, max / 2, max, max == ~uint64_t{0} ? max : max + 1};
+      constant = ladder[(pick >> 1) % 5];
+    } else {
+      constant = SplitMix64(pick);
+    }
+    const smart::Predicate p{static_cast<smart::CmpOp>(op.c % 6), constant};
+
+    uint64_t want_count = 0;
+    uint64_t want_sum = 0;
+    for (uint64_t k = begin; k < end; ++k) {
+      const uint64_t v = model().Get(k);
+      if (smart::Matches(p, v)) {
+        ++want_count;
+        want_sum += v;
+      }
+    }
+
+    switch (op.kind) {
+      case OpKind::kCountIf: {
+        uint64_t got = 0;
+        if (!harness_->CountIf(begin, end, p, &got)) {
+          break;  // variant has no scan surface
+        }
+        if (got != want_count) {
+          Fail(i, Diff("count-if", got, want_count));
+        }
+        break;
+      }
+      case OpKind::kFilteredSum: {
+        uint64_t got = 0;
+        if (!harness_->FilteredSum(begin, end, p, &got)) {
+          break;
+        }
+        if (got != want_sum) {
+          Fail(i, Diff("filtered-sum", got, want_sum));
+        }
+        break;
+      }
+      default: {  // kSelectIf
+        const uint64_t n = end - begin;
+        // Poisoned buffer: a kernel that forgets to clear non-matching bits
+        // (or the padding tail) diffs immediately.
+        std::vector<uint64_t> bitmap((n + 63) / 64, ~uint64_t{0});
+        uint64_t got = 0;
+        if (n == 0 || !harness_->SelectIf(begin, end, p, bitmap.data(), &got)) {
+          break;
+        }
+        if (got != want_count) {
+          Fail(i, Diff("select-if count", got, want_count));
+          break;
+        }
+        uint64_t popcount = 0;
+        for (const uint64_t word : bitmap) {
+          popcount += static_cast<uint64_t>(__builtin_popcountll(word));
+        }
+        if (popcount != want_count) {
+          Fail(i, Diff("select-if bitmap popcount", popcount, want_count));
+          break;
+        }
+        for (uint64_t k = 0; k < n; ++k) {
+          const bool got_bit = ((bitmap[k / 64] >> (k % 64)) & 1) != 0;
+          const bool want_bit = smart::Matches(p, model().Get(begin + k));
+          if (got_bit != want_bit) {
+            Fail(i, Diff(("select-if bit a[" + std::to_string(begin + k) + "]").c_str(),
+                         got_bit ? 1 : 0, want_bit ? 1 : 0));
+            break;
+          }
+        }
+        break;
+      }
+    }
   }
 
   void StepRestructure(size_t i, const Op& op) {

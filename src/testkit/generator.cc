@@ -67,6 +67,26 @@ Op OpSequenceGenerator::Next(const Scenario& scenario) {
     return op;
   }
 
+  // Scan scenarios: about a third of the ops become pushdown scans, drawn
+  // uniformly across the three kinds. Overlaying (rather than extending each
+  // variant's table) keeps the remaining two thirds exactly the existing
+  // write/read/restructure mix, so zone-map invalidation is exercised by the
+  // same traffic the non-scan grids already produce.
+  if (scenario.scan_ops && rng_.Below(3) == 0) {
+    switch (rng_.Below(3)) {
+      case 0:
+        op.kind = OpKind::kCountIf;
+        break;
+      case 1:
+        op.kind = OpKind::kSelectIf;
+        break;
+      default:
+        op.kind = OpKind::kFilteredSum;
+        break;
+    }
+    return op;
+  }
+
   // Weighted kind table per variant. Reads dominate (the paper's workloads
   // are read-mostly analytics); restructure is rare (~1/16) so programs keep
   // a stable width long enough for the read paths to bite, but common enough

@@ -123,6 +123,23 @@ class PlainHarness final : public Harness {
     return smart::CodecFor(array_->bits()).sum_range(array_->GetReplica(0), begin, end);
   }
 
+  bool CountIf(uint64_t begin, uint64_t end, smart::Predicate p, uint64_t* result) override {
+    *result = array_->CountIf(array_->GetReplica(0), begin, end, p);
+    return true;
+  }
+
+  bool SelectIf(uint64_t begin, uint64_t end, smart::Predicate p, uint64_t* bitmap,
+                uint64_t* result) override {
+    *result = array_->SelectIf(array_->GetReplica(0), begin, end, p, bitmap);
+    return true;
+  }
+
+  bool FilteredSum(uint64_t begin, uint64_t end, smart::Predicate p,
+                   uint64_t* result) override {
+    *result = array_->FilteredSum(array_->GetReplica(0), begin, end, p);
+    return true;
+  }
+
   RestructureResult Restructure(smart::PlacementSpec placement, uint32_t new_bits) override {
     auto rebuilt = smart::TryRestructure(ctx_->pool, *array_, placement, new_bits,
                                          ctx_->topology);
@@ -213,6 +230,24 @@ class CAbiPlainHarness final : public Harness {
     return saArraySumRange(handle_, begin, end);
   }
 
+  bool CountIf(uint64_t begin, uint64_t end, smart::Predicate p, uint64_t* result) override {
+    *result = saArrayCountIf(handle_, begin, end, static_cast<int>(p.op), p.constant);
+    return true;
+  }
+
+  bool SelectIf(uint64_t begin, uint64_t end, smart::Predicate p, uint64_t* bitmap,
+                uint64_t* result) override {
+    *result = saArraySelectIf(handle_, begin, end, static_cast<int>(p.op), p.constant,
+                              bitmap, (end - begin + kWordBits - 1) / kWordBits);
+    return true;
+  }
+
+  bool FilteredSum(uint64_t begin, uint64_t end, smart::Predicate p,
+                   uint64_t* result) override {
+    *result = saArrayFilteredSum(handle_, begin, end, static_cast<int>(p.op), p.constant);
+    return true;
+  }
+
   RestructureResult Restructure(smart::PlacementSpec placement, uint32_t new_bits) override {
     auto* array = static_cast<smart::SmartArray*>(handle_);
     auto rebuilt = smart::TryRestructure(ctx_->pool, *array, placement, new_bits,
@@ -266,6 +301,26 @@ class SynchronizedHarness final : public Harness {
 
   uint64_t SumRange(uint64_t begin, uint64_t end) override {
     return smart::CodecFor(bits()).sum_range(array_.storage().GetReplica(0), begin, end);
+  }
+
+  // Scans run on the underlying storage: Set/FetchAdd route through the
+  // virtual Init, which widens zone maps before the packed write, so a scan
+  // issued after any chunk-locked RMW must observe the new value.
+  bool CountIf(uint64_t begin, uint64_t end, smart::Predicate p, uint64_t* result) override {
+    *result = array_.storage().CountIf(array_.storage().GetReplica(0), begin, end, p);
+    return true;
+  }
+
+  bool SelectIf(uint64_t begin, uint64_t end, smart::Predicate p, uint64_t* bitmap,
+                uint64_t* result) override {
+    *result = array_.storage().SelectIf(array_.storage().GetReplica(0), begin, end, p, bitmap);
+    return true;
+  }
+
+  bool FilteredSum(uint64_t begin, uint64_t end, smart::Predicate p,
+                   uint64_t* result) override {
+    *result = array_.storage().FilteredSum(array_.storage().GetReplica(0), begin, end, p);
+    return true;
   }
 
   uint64_t FetchAdd(uint64_t index, uint64_t delta) override {
@@ -336,6 +391,37 @@ class RegistryHarness final : public Harness {
     const uint64_t sum = SnapshotSum(snap, begin, end);
     SnapshotUnpin(snap);
     return sum;
+  }
+
+  bool CountIf(uint64_t begin, uint64_t end, smart::Predicate p, uint64_t* result) override {
+    void* snap = SnapshotPin();
+    *result = c_abi_ ? saSnapshotCountIf(snap, begin, end, static_cast<int>(p.op), p.constant)
+                     : static_cast<runtime::ArraySnapshot*>(snap)->CountIf(begin, end, p);
+    SnapshotUnpin(snap);
+    return true;
+  }
+
+  bool SelectIf(uint64_t begin, uint64_t end, smart::Predicate p, uint64_t* bitmap,
+                uint64_t* result) override {
+    void* snap = SnapshotPin();
+    if (c_abi_) {
+      *result = saSnapshotSelectIf(snap, begin, end, static_cast<int>(p.op), p.constant,
+                                   bitmap, (end - begin + kWordBits - 1) / kWordBits);
+    } else {
+      *result = static_cast<runtime::ArraySnapshot*>(snap)->SelectIf(begin, end, p, bitmap);
+    }
+    SnapshotUnpin(snap);
+    return true;
+  }
+
+  bool FilteredSum(uint64_t begin, uint64_t end, smart::Predicate p,
+                   uint64_t* result) override {
+    void* snap = SnapshotPin();
+    *result = c_abi_
+                  ? saSnapshotFilteredSum(snap, begin, end, static_cast<int>(p.op), p.constant)
+                  : static_cast<runtime::ArraySnapshot*>(snap)->FilteredSum(begin, end, p);
+    SnapshotUnpin(snap);
+    return true;
   }
 
   RestructureResult Restructure(smart::PlacementSpec placement, uint32_t new_bits) override {

@@ -16,6 +16,7 @@
 #include "platform/topology.h"
 #include "rts/worker_pool.h"
 #include "smart/placement.h"
+#include "smart/predicate.h"
 #include "testkit/scenario.h"
 
 namespace sa::runtime {
@@ -102,6 +103,34 @@ class Harness {
   }
   // Chunk-granular block-kernel sum (AVX2 when the host dispatches to it).
   virtual uint64_t SumRange(uint64_t begin, uint64_t end) = 0;
+
+  // ---- pushdown scans (scan_ops scenarios) ----
+  // False when the variant has no scan surface. SelectIf fills `bitmap`
+  // ((end-begin+63)/64 caller-provided words) with bit j = element begin+j
+  // matches; all three report the match count / filtered sum via `result`.
+  virtual bool CountIf(uint64_t begin, uint64_t end, smart::Predicate p, uint64_t* result) {
+    (void)begin;
+    (void)end;
+    (void)p;
+    (void)result;
+    return false;
+  }
+  virtual bool SelectIf(uint64_t begin, uint64_t end, smart::Predicate p, uint64_t* bitmap,
+                        uint64_t* result) {
+    (void)begin;
+    (void)end;
+    (void)p;
+    (void)bitmap;
+    (void)result;
+    return false;
+  }
+  virtual bool FilteredSum(uint64_t begin, uint64_t end, smart::Predicate p, uint64_t* result) {
+    (void)begin;
+    (void)end;
+    (void)p;
+    (void)result;
+    return false;
+  }
 
   // ---- variant-specific ----
   // Chunk-locked read-modify-write (SynchronizedArray only).

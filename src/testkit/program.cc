@@ -42,6 +42,12 @@ const char* ToString(OpKind kind) {
       return "graph-cc";
     case OpKind::kGraphTri:
       return "graph-tri";
+    case OpKind::kCountIf:
+      return "count-if";
+    case OpKind::kSelectIf:
+      return "select-if";
+    case OpKind::kFilteredSum:
+      return "filtered-sum";
   }
   return "?";
 }

@@ -49,6 +49,13 @@ enum class OpKind : uint8_t {
   kGraphBfs,      // BFS levels from source b % nv
   kGraphCc,       // connected components (undirected label propagation)
   kGraphTri,      // triangle count (ordered-neighbor intersection)
+  // Pushdown scans (scan_ops scenarios): range = sorted (a,b) % (len+1),
+  // comparison op = c % 6, constant picked by c from a boundary ladder
+  // (0 / 1 / mid / max / max+1, the normalization edges) or a c-derived
+  // random value — each diffed element-for-element against the model.
+  kCountIf,       // zone-mapped predicate count over the range
+  kSelectIf,      // selection bitmap emit, popcount + every bit diffed
+  kFilteredSum,   // sum of matching elements over the range
 };
 
 const char* ToString(OpKind kind);

@@ -36,6 +36,9 @@ std::string ToString(const Scenario& scenario) {
   if (scenario.graph_ops) {
     s += " +graph";
   }
+  if (scenario.scan_ops) {
+    s += " +scan";
+  }
   return s;
 }
 
@@ -248,6 +251,93 @@ std::vector<Scenario> BuildGrid() {
     s.variant = Variant::kRegistry;
     s.concurrent_daemon = true;
     s.graph_ops = true;
+    grid.push_back(s);
+  }
+
+  // 9. Pushdown scans (appended for the predicate-scan engine; grid order
+  //    above is frozen by the replay contract). Every variant mixes
+  //    kCountIf/kSelectIf/kFilteredSum into the ordinary op stream, so scans
+  //    interleave with the writes and restructures that invalidate zone
+  //    maps. The fault entries are the zone-carry scenarios: an injected
+  //    restructure-allocation failure (and, for registry, a publish race)
+  //    must leave the surviving representation's zone maps exact — a stale
+  //    [min,max] would skip a chunk the model oracle counts.
+  for (const uint64_t length : {uint64_t{65}, uint64_t{130}, uint64_t{4113}}) {
+    for (const uint32_t bits : {1u, 13u, 33u, 64u}) {
+      Scenario s;
+      s.length = length;
+      s.bits = bits;
+      s.placement = PlacementSpec::Interleaved();
+      s.variant = Variant::kPlain;
+      s.scan_ops = true;
+      grid.push_back(s);
+    }
+  }
+  for (const uint32_t bits : {13u, 64u}) {
+    Scenario s;
+    s.length = 130;
+    s.bits = bits;
+    s.placement = PlacementSpec::OsDefault();
+    s.variant = Variant::kPlain;
+    s.via_c_abi = true;
+    s.scan_ops = true;
+    grid.push_back(s);
+  }
+  for (const uint32_t bits : {13u, 33u}) {
+    Scenario s;
+    s.length = 1000;
+    s.bits = bits;
+    s.placement = PlacementSpec::Interleaved();
+    s.variant = Variant::kSynchronized;
+    s.scan_ops = true;
+    grid.push_back(s);
+  }
+  for (const bool c_abi : {false, true}) {
+    for (const uint32_t bits : {13u, 33u}) {
+      Scenario s;
+      s.length = 1000;
+      s.bits = bits;
+      s.placement = PlacementSpec::Replicated();
+      s.variant = Variant::kRegistry;
+      s.via_c_abi = c_abi;
+      s.scan_ops = true;
+      grid.push_back(s);
+    }
+  }
+  {
+    // Zone-carry under fault: plain arrays keep the old representation when
+    // the restructure target allocation fails mid-program.
+    Scenario s;
+    s.length = 130;
+    s.bits = 13;
+    s.placement = PlacementSpec::Interleaved();
+    s.variant = Variant::kPlain;
+    s.inject_alloc_failure = true;
+    s.scan_ops = true;
+    grid.push_back(s);
+  }
+  {
+    // Zone-carry under fault: registry publishes refuse when a write races
+    // the rebuild; scans through the retained version must stay exact.
+    Scenario s;
+    s.length = 1000;
+    s.bits = 13;
+    s.placement = PlacementSpec::OsDefault();
+    s.variant = Variant::kRegistry;
+    s.inject_alloc_failure = true;
+    s.inject_publish_race = true;
+    s.scan_ops = true;
+    grid.push_back(s);
+  }
+  {
+    // Scans while the daemon live-restructures the slot underneath them.
+    Scenario s;
+    s.length = 1000;
+    s.bits = 13;
+    s.placement = PlacementSpec::Interleaved();
+    s.variant = Variant::kRegistry;
+    s.concurrent_daemon = true;
+    s.scan_ops = true;
     grid.push_back(s);
   }
 

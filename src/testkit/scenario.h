@@ -62,6 +62,13 @@ struct Scenario {
   // serial plain-CSR reference — under concurrent_daemon, while the daemon
   // restructures the graph's property arrays.
   bool graph_ops = false;
+  // Mix pushdown-scan ops (kCountIf/kSelectIf/kFilteredSum) into the
+  // program. Meaningful for every variant: plain and synchronized scan the
+  // storage directly, registry scans go through an epoch-pinned snapshot
+  // (and the saSnapshot* entry points under via_c_abi). Interleaved writes
+  // make the zone maps earn their keep — a stale [min,max] after a
+  // mid-program Init/FetchAdd would skip a chunk the oracle counts.
+  bool scan_ops = false;
 
   // Restructure ops are meaningful for kPlain (in-place swap) and kRegistry
   // (publish); SynchronizedArray owns a fixed representation.

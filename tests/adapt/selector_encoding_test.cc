@@ -1,0 +1,95 @@
+// The §6 encoding axis: frame-of-reference+delta is selected only for
+// read-only slots where it either shrinks the packed words materially or
+// serves a selective predicate-scan workload.
+#include <gtest/gtest.h>
+
+#include "adapt/selector.h"
+
+namespace sa::adapt {
+namespace {
+
+// Memory-bound streaming counters on a machine where compression wins, so
+// the placement/compression steps deterministically choose a compressed
+// candidate and the encoding decision is actually reached.
+SelectorInputs CompressedScanInputs() {
+  SelectorInputs in;
+  in.machine = MachineCaps::FromSpec(sim::MachineSpec::OracleX5_18Core());
+  WorkloadCounters c;
+  c.exec_current_per_socket = in.machine.exec_max_per_socket * 0.25;
+  c.bw_current_memory =
+      std::min(in.machine.bw_max_memory, 2.0 * in.machine.bw_max_interconnect) * 0.95;
+  c.max_mem_utilization = 0.95;
+  c.max_ic_utilization = 0.9;
+  c.accesses_per_second = c.bw_current_memory * 2 / 8.0;
+  c.elem_bytes = 8.0;
+  c.dataset_bytes = 8e9;
+  c.random_fraction = 0.0;
+  in.counters = c;
+  in.costs = ArrayCosts::FromCostModel(sim::CostModel::Default());
+  in.hints.read_only = true;
+  in.hints.mostly_reads = true;
+  in.hints.linear_passes = 10.0;
+  in.compression_ratio = 0.25;
+  return in;
+}
+
+TEST(SelectorEncodingTest, DefaultStaysBitPacked) {
+  const SelectorResult result = ChooseConfiguration(CompressedScanInputs());
+  ASSERT_TRUE(result.chosen.compressed);
+  EXPECT_EQ(result.chosen.encoding, smart::Encoding::kBitPacked);
+}
+
+TEST(SelectorEncodingTest, MaterialWordShrinkSelectsForDelta) {
+  SelectorInputs in = CompressedScanInputs();
+  in.for_delta_ratio = 0.5;
+  in.hints.predicate_selectivity = 0.4;  // scans observed, even unselective
+  const SelectorResult result = ChooseConfiguration(in);
+  ASSERT_TRUE(result.chosen.compressed);
+  EXPECT_EQ(result.chosen.encoding, smart::Encoding::kForDelta);
+}
+
+// The evidence gate: a read-only slot with a huge frame-of-reference win but
+// NO observed predicate scans keeps the bit-packed geometry. This is the
+// graph-slot shape — sealed CSR offset arrays are clustered (tiny FoR ratio)
+// but their consumers walk raw packed words through the width codec, and no
+// scan traffic means no workload the re-encoding could speed up.
+TEST(SelectorEncodingTest, NoObservedScansStaysBitPackedDespiteShrink) {
+  SelectorInputs in = CompressedScanInputs();
+  in.for_delta_ratio = 0.2;
+  in.hints.predicate_selectivity = -1.0;  // never scanned
+  const SelectorResult result = ChooseConfiguration(in);
+  ASSERT_TRUE(result.chosen.compressed);
+  EXPECT_EQ(result.chosen.encoding, smart::Encoding::kBitPacked);
+}
+
+TEST(SelectorEncodingTest, SelectiveScansSelectForDeltaEvenForModestShrink) {
+  SelectorInputs in = CompressedScanInputs();
+  in.for_delta_ratio = 0.9;  // below the shrink threshold on its own
+  in.hints.predicate_selectivity = 0.01;
+  const SelectorResult result = ChooseConfiguration(in);
+  ASSERT_TRUE(result.chosen.compressed);
+  EXPECT_EQ(result.chosen.encoding, smart::Encoding::kForDelta);
+
+  // Unselective scans do not justify the encoding at a modest shrink.
+  in.hints.predicate_selectivity = 0.5;
+  EXPECT_EQ(ChooseConfiguration(in).chosen.encoding, smart::Encoding::kBitPacked);
+}
+
+TEST(SelectorEncodingTest, WritableSlotsNeverGetForDelta) {
+  SelectorInputs in = CompressedScanInputs();
+  in.for_delta_ratio = 0.3;
+  in.hints.predicate_selectivity = 0.01;
+  in.hints.read_only = false;
+  const SelectorResult result = ChooseConfiguration(in);
+  EXPECT_EQ(result.chosen.encoding, smart::Encoding::kBitPacked);
+}
+
+TEST(SelectorEncodingTest, NoWinAtAllStaysBitPacked) {
+  SelectorInputs in = CompressedScanInputs();
+  in.for_delta_ratio = 1.0;
+  in.hints.predicate_selectivity = 0.01;  // selective, but FoR saves nothing
+  EXPECT_EQ(ChooseConfiguration(in).chosen.encoding, smart::Encoding::kBitPacked);
+}
+
+}  // namespace
+}  // namespace sa::adapt

@@ -28,6 +28,7 @@ TEST(ScenarioGridTest, CoversEveryVariantAndAccessPath) {
   bool c_abi = false, alloc_fault = false, publish_race = false;
   bool multi_slot = false, multi_slot_cabi = false, concurrent_daemon = false;
   bool graph_ops = false, graph_under_daemon = false;
+  bool scan_ops = false, scan_cabi = false, scan_under_fault = false, scan_under_daemon = false;
   for (const auto& s : grid) {
     plain |= s.variant == Variant::kPlain;
     synchronized |= s.variant == Variant::kSynchronized;
@@ -40,6 +41,10 @@ TEST(ScenarioGridTest, CoversEveryVariantAndAccessPath) {
     concurrent_daemon |= s.concurrent_daemon;
     graph_ops |= s.graph_ops;
     graph_under_daemon |= s.graph_ops && s.concurrent_daemon;
+    scan_ops |= s.scan_ops;
+    scan_cabi |= s.scan_ops && s.via_c_abi;
+    scan_under_fault |= s.scan_ops && (s.inject_alloc_failure || s.inject_publish_race);
+    scan_under_daemon |= s.scan_ops && s.concurrent_daemon;
   }
   EXPECT_TRUE(plain && synchronized && registry);
   EXPECT_TRUE(c_abi);
@@ -50,6 +55,10 @@ TEST(ScenarioGridTest, CoversEveryVariantAndAccessPath) {
   EXPECT_TRUE(concurrent_daemon);
   EXPECT_TRUE(graph_ops);
   EXPECT_TRUE(graph_under_daemon);
+  EXPECT_TRUE(scan_ops);
+  EXPECT_TRUE(scan_cabi);
+  EXPECT_TRUE(scan_under_fault);
+  EXPECT_TRUE(scan_under_daemon);
   // Replay commands bake scenario indices, so the grid is append-only:
   // index 307 is pinned as the first graph-ops scenario (CI's mutation
   // canary replays it by number).
@@ -106,6 +115,7 @@ TEST_P(PropSmokeTest, ScenarioSliceRunsClean) {
   bool seen_plain_cabi = false, seen_sync = false, seen_reg = false, seen_reg_cabi = false;
   bool seen_multi = false, seen_multi_cabi = false, seen_daemon = false;
   bool seen_graph = false, seen_graph_daemon = false;
+  bool seen_scan = false, seen_scan_cabi = false;
   indices.push_back(0);
   for (size_t i = 0; i < grid.size(); ++i) {
     const auto& s = grid[i];
@@ -140,6 +150,12 @@ TEST_P(PropSmokeTest, ScenarioSliceRunsClean) {
     } else if (!seen_graph_daemon && s.graph_ops && s.concurrent_daemon) {
       indices.push_back(i);
       seen_graph_daemon = true;
+    } else if (!seen_scan && s.scan_ops && !s.via_c_abi && !s.concurrent_daemon) {
+      indices.push_back(i);
+      seen_scan = true;
+    } else if (!seen_scan_cabi && s.scan_ops && s.via_c_abi) {
+      indices.push_back(i);
+      seen_scan_cabi = true;
     }
   }
   ASSERT_GE(indices.size(), 15u);

@@ -9,6 +9,7 @@
 
 #include "common/bits.h"
 #include "runtime/registry.h"
+#include "smart/for_delta.h"
 #include "smart/smart_array.h"
 
 namespace sa::runtime {
@@ -243,6 +244,76 @@ TEST_F(ArrayRegistryTest, ConcurrentReadersSeeOracleContentsAcrossRestructures) 
   }
   EXPECT_EQ(registry_.epoch().retired_count(), 0u);
   EXPECT_EQ(registry_.epoch().pinned_count(), 0);
+}
+
+TEST_F(ArrayRegistryTest, SnapshotScansMatchOracleAndSampleSelectivity) {
+  const uint64_t n = 2000;
+  std::vector<uint64_t> oracle(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    oracle[i] = (i * 131) & LowMask(14);
+  }
+  ArraySlot* slot = registry_.Create("scan", n, smart::PlacementSpec::Interleaved(), 14);
+  ASSERT_TRUE(registry_.Publish(*slot, Build(oracle, smart::PlacementSpec::Interleaved(), 14), 0));
+
+  const smart::Predicate p{smart::CmpOp::kLt, 1000};
+  uint64_t want_count = 0, want_sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (oracle[i] < 1000) {
+      ++want_count;
+      want_sum += oracle[i];
+    }
+  }
+  {
+    ArraySnapshot snap = slot->Acquire();
+    EXPECT_EQ(snap.CountIf(0, n, p), want_count);
+    EXPECT_EQ(snap.FilteredSum(0, n, p), want_sum);
+    std::vector<uint64_t> bitmap((n + 63) / 64);
+    EXPECT_EQ(snap.SelectIf(0, n, p, bitmap.data()), want_count);
+  }
+  // Two match-reporting scans over n elements each drive the selectivity
+  // sample the daemon feeds the §6 encoding decision.
+  const SlotSample sample = slot->DrainSample();
+  EXPECT_EQ(sample.predicate_elems, 2 * n);
+  EXPECT_EQ(sample.predicate_matches, 2 * want_count);
+  const double selectivity = sample.predicate_selectivity();
+  EXPECT_NEAR(selectivity, static_cast<double>(want_count) / n, 1e-9);
+  // A slot that never scanned reports "no sample", not zero selectivity.
+  ArraySlot* idle = registry_.Create("idle", 64, smart::PlacementSpec::Interleaved(), 8);
+  EXPECT_LT(idle->DrainSample().predicate_selectivity(), 0.0);
+}
+
+TEST_F(ArrayRegistryTest, ForDeltaVersionServesReadsWritesAndScans) {
+  const uint64_t n = 1500;
+  std::vector<uint64_t> oracle(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    oracle[i] = (i / sa::kChunkElems) * 500 + (i % 37);
+  }
+  ArraySlot* slot = registry_.Create("fd", n, smart::PlacementSpec::OsDefault(), 32);
+  // Publish a frame-of-reference version, as the daemon would after the
+  // selector picks the encoding.
+  auto packed = Build(oracle, smart::PlacementSpec::OsDefault(), 32);
+  auto fd = smart::ForDeltaArray::TryBuild(*packed, smart::PlacementSpec::OsDefault(), 32, topo_);
+  ASSERT_NE(fd, nullptr);
+  ASSERT_TRUE(registry_.Publish(*slot, std::move(fd), 0));
+
+  ArraySnapshot snap = slot->Acquire();
+  // Get and SumRange route through the virtual fallback (no codec shortcut
+  // for non-bit-packed versions).
+  EXPECT_EQ(snap.Get(1234), oracle[1234]);
+  uint64_t want = 0;
+  for (uint64_t i = 64; i < 1400; ++i) want += oracle[i];
+  EXPECT_EQ(snap.SumRange(64, 1400), want);
+  uint64_t want_count = 0;
+  for (uint64_t i = 0; i < n; ++i) want_count += oracle[i] < 3000 ? 1 : 0;
+  EXPECT_EQ(snap.CountIf(0, n, {smart::CmpOp::kLt, 3000}), want_count);
+  snap.Release();
+
+  // FetchAdd reads through the virtual interface and writes back through
+  // InitAtomic; the delta stays inside the chunk frame.
+  const uint64_t old = slot->FetchAdd(10, 3);
+  EXPECT_EQ(old, oracle[10]);
+  ArraySnapshot after = slot->Acquire();
+  EXPECT_EQ(after.Get(10), oracle[10] + 3);
 }
 
 }  // namespace

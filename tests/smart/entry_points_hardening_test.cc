@@ -59,6 +59,35 @@ TEST_F(EntryPointsHardeningTest, IteratorRejectsOutOfRangePositions) {
   saArrayFree(sa);
 }
 
+TEST_F(EntryPointsHardeningTest, ScanEntryPointsRejectBadRangesAndOps) {
+  void* sa = saArrayAllocate(130, 0, 0, -1, 13);
+  uint64_t bitmap[3] = {0, 0, 0};
+  EXPECT_DEATH(saArrayCountIf(sa, 0, 131, 2, 5), "out of bounds");
+  EXPECT_DEATH(saArrayCountIf(sa, 100, 99, 2, 5), "out of bounds");
+  EXPECT_DEATH(saArrayCountIf(sa, 0, 130, 6, 5), "comparison operator");
+  EXPECT_DEATH(saArrayCountIf(sa, 0, 130, -1, 5), "comparison operator");
+  EXPECT_DEATH(saArrayFilteredSum(sa, 0, 131, 2, 5), "out of bounds");
+  EXPECT_DEATH(saArrayFilteredSum(sa, 0, 130, 7, 5), "comparison operator");
+  EXPECT_DEATH(saArraySelectIf(sa, 0, 131, 2, 5, bitmap, 3), "out of bounds");
+  EXPECT_DEATH(saArraySelectIf(sa, 0, 130, 6, 5, bitmap, 3), "comparison operator");
+  saArrayFree(sa);
+}
+
+TEST_F(EntryPointsHardeningTest, SelectIfRejectsUndersizedOrNullBitmap) {
+  void* sa = saArrayAllocate(130, 0, 0, -1, 13);
+  uint64_t bitmap[3] = {0, 0, 0};
+  // 130 elements need 3 words; 2 is one short.
+  EXPECT_DEATH(saArraySelectIf(sa, 0, 130, 2, 5, bitmap, 2), "too small");
+  EXPECT_DEATH(saArraySelectIf(sa, 0, 130, 2, 5, nullptr, 3), "null");
+  // 65 elements starting mid-array need 2 words, so 2 is legal...
+  saArraySelectIf(sa, 60, 125, 2, 5, bitmap, 2);
+  // ...and 1 is not.
+  EXPECT_DEATH(saArraySelectIf(sa, 60, 125, 2, 5, bitmap, 1), "too small");
+  // The empty range needs no buffer at all and returns zero matches.
+  EXPECT_EQ(saArraySelectIf(sa, 7, 7, 2, 5, nullptr, 0), 0u);
+  saArrayFree(sa);
+}
+
 TEST_F(EntryPointsHardeningTest, InRangeAccessStillWorksAfterHardening) {
   void* sa = saArrayAllocate(130, 0, 0, -1, 13);
   for (uint64_t i = 0; i < 130; ++i) {

@@ -2,6 +2,8 @@
 // thin API) talks to.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/bits.h"
 #include "common/random.h"
 #include "smart/entry_points.h"
@@ -160,6 +162,43 @@ TEST_F(EntryPointsTest, Sum2RangeMatchesFusedParallelSum) {
         << "bits " << bits;
     saArrayFree(sa1);
     saArrayFree(sa2);
+  }
+}
+
+TEST_F(EntryPointsTest, ScanAbiMatchesScalarOracle) {
+  const uint64_t n = 3000;
+  for (const uint32_t bits : {1u, 9u, 13u, 33u, 64u}) {
+    void* sa = saArrayAllocate(n, 0, 0, -1, bits);
+    const uint64_t mask = sa::LowMask(bits);
+    std::vector<uint64_t> oracle(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      oracle[i] = sa::SplitMix64(i * 3 + bits) & mask;
+      saArrayInit(sa, i, oracle[i]);
+    }
+    const uint64_t c = mask / 2;
+    // op 2 is <, op 0 is ==, op 5 is >= in the stable ABI numbering.
+    uint64_t want_lt_count = 0, want_lt_sum = 0, want_eq = 0;
+    for (uint64_t i = 100; i < 2900; ++i) {
+      if (oracle[i] < c) {
+        ++want_lt_count;
+        want_lt_sum += oracle[i];
+      }
+      if (oracle[i] == c) ++want_eq;
+    }
+    EXPECT_EQ(saArrayCountIf(sa, 100, 2900, 2, c), want_lt_count) << "bits " << bits;
+    EXPECT_EQ(saArrayFilteredSum(sa, 100, 2900, 2, c), want_lt_sum) << "bits " << bits;
+    EXPECT_EQ(saArrayCountIf(sa, 100, 2900, 0, c), want_eq) << "bits " << bits;
+
+    std::vector<uint64_t> bitmap((2900 - 100 + 63) / 64);
+    EXPECT_EQ(saArraySelectIf(sa, 100, 2900, 2, c, bitmap.data(), bitmap.size()),
+              want_lt_count)
+        << "bits " << bits;
+    for (uint64_t i = 100; i < 2900; ++i) {
+      const uint64_t j = i - 100;
+      ASSERT_EQ((bitmap[j / 64] >> (j % 64)) & 1, oracle[i] < c ? 1u : 0u)
+          << "bits " << bits << " index " << i;
+    }
+    saArrayFree(sa);
   }
 }
 

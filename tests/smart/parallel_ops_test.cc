@@ -87,6 +87,30 @@ TEST_P(ParallelOpsTest, ParallelSum2MatchesPaperKernel) {
   EXPECT_EQ(ParallelSum2(pool_, *a1, *a2), want);
 }
 
+TEST_P(ParallelOpsTest, ParallelScansMatchSerialOracle) {
+  const uint64_t n = 40'000;
+  auto array = SmartArray::Allocate(n, Spec(), GetParam().bits, topo_);
+  const uint64_t mask = array->max_value();
+  auto gen = [mask](uint64_t i) { return SplitMix64(i * 7) & mask; };
+  ParallelFill(pool_, *array, gen);
+  const Predicate p{CmpOp::kLt, mask / 2 + 1};
+  uint64_t want_count = 0, want_sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (Matches(p, gen(i))) {
+      ++want_count;
+      want_sum += gen(i);
+    }
+  }
+  EXPECT_EQ(ParallelCountIf(pool_, *array, p), want_count);
+  EXPECT_EQ(ParallelFilteredSum(pool_, *array, p), want_sum);
+  std::vector<uint64_t> bitmap((n + kWordBits - 1) / kWordBits);
+  EXPECT_EQ(ParallelSelectIf(pool_, *array, p, bitmap.data()), want_count);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ((bitmap[i / kWordBits] >> (i % kWordBits)) & 1, Matches(p, gen(i)) ? 1u : 0u)
+        << "index " << i;
+  }
+}
+
 std::string ComboName(const ::testing::TestParamInfo<Combo>& info) {
   std::string placement = ToString(info.param.placement);
   for (char& c : placement) {

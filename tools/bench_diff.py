@@ -53,6 +53,18 @@ from collections import defaultdict
 
 REQUIRED_KERNELS = ("block", "selected", "unpack-range", "pack-range")
 
+# Predicate-pushdown scan series (micro_codec emits them into
+# BENCH_codec.json alongside the per-width kernel series): every
+# {kernel, distribution, selectivity} point must be present with positive
+# throughput, plus exactly one scan-summary row. The summary's
+# speedup_at_1pct (pushdown vs unpack-then-filter at 1% selectivity, best
+# distribution) is gated by --min-scan-speedup-at-1pct on non-fast
+# artifacts; fast (SA_BENCH_FAST) runs are structural-only — their 5 ms
+# windows make ratios meaningless.
+SCAN_KERNELS = ("scan-pushdown", "scan-unpack-filter")
+SCAN_DISTRIBUTIONS = ("uniform", "power-law", "sorted")
+SCAN_SELECTIVITIES = (0.001, 0.01, 0.1, 1.0)
+
 # metric name -> fields that must be present and strictly positive
 RUNTIME_REQUIRED_METRICS = {
     "snapshot_scan_overhead": ("raw_scan_sec", "snapshot_scan_sec"),
@@ -281,7 +293,12 @@ def load(path):
                  "timing diffs only support the codec schema (use --assert-only)")
     series = {}
     for e in entries:
-        series[(e["width"], e["kernel"])] = e["bytes_per_sec"]
+        kernel = e["kernel"]
+        if kernel == "scan-summary":
+            continue  # derived ratio row, not a timing series
+        if "distribution" in e:
+            kernel = f"{kernel}[{e['distribution']}@{e['selectivity']:g}]"
+        series[(e["width"], kernel)] = e["bytes_per_sec"]
     return series
 
 
@@ -318,7 +335,41 @@ def assert_runtime(path, entries):
     return 0
 
 
-def assert_only(path, min_acquire_speedup=None, gate_p99_acquire_ns=None):
+def scan_problems(path, entries, min_scan_speedup):
+    problems = []
+    summaries = [e for e in entries if e.get("kernel") == "scan-summary"]
+    points = {}
+    for e in entries:
+        if e.get("kernel") in SCAN_KERNELS:
+            points[(e["kernel"], e["distribution"], e["selectivity"])] = e["bytes_per_sec"]
+    for kernel in SCAN_KERNELS:
+        for distribution in SCAN_DISTRIBUTIONS:
+            for selectivity in SCAN_SELECTIVITIES:
+                value = points.get((kernel, distribution, selectivity))
+                where = f"{kernel} on {distribution} at {selectivity:g}"
+                if value is None:
+                    problems.append(f"missing scan series: {where}")
+                elif not value > 0:
+                    problems.append(f"scan series {where} has non-positive throughput {value}")
+    if len(summaries) != 1:
+        problems.append(f"expected exactly one scan-summary entry, found {len(summaries)}")
+        return problems
+    summary = summaries[0]
+    speedup = summary.get("speedup_at_1pct")
+    if speedup is None:
+        problems.append("scan-summary missing 'speedup_at_1pct'")
+    elif min_scan_speedup is not None:
+        if summary.get("fast"):
+            print(f"bench_diff: {path}: scan speedup gate skipped (fast run; "
+                  f"recorded speedup_at_1pct={speedup:.2f}x is structural-only)")
+        elif speedup < min_scan_speedup:
+            problems.append(f"pushdown speedup at 1% selectivity {speedup:.2f}x below "
+                            f"required {min_scan_speedup:.2f}x")
+    return problems
+
+
+def assert_only(path, min_acquire_speedup=None, gate_p99_acquire_ns=None,
+                min_scan_speedup=None):
     entries = read_entries(path)
     if is_service_schema(entries):
         return assert_service(path, entries, min_acquire_speedup, gate_p99_acquire_ns)
@@ -338,12 +389,16 @@ def assert_only(path, min_acquire_speedup=None, gate_p99_acquire_ns=None):
                 problems.append(f"width {width}: missing '{kernel}' series")
             elif not value > 0:
                 problems.append(f"width {width}: '{kernel}' has non-positive throughput {value}")
+    problems.extend(scan_problems(path, entries, min_scan_speedup))
     if problems:
         print(f"bench_diff: {path} failed structural checks:")
         for p in problems:
             print(f"  {p}")
         return 1
-    print(f"bench_diff: {path} OK ({len(series)} series, widths 1..64 complete)")
+    summary = next(e for e in entries if e.get("kernel") == "scan-summary")
+    print(f"bench_diff: {path} OK ({len(series)} series, widths 1..64 complete; "
+          f"scan grid {len(SCAN_DISTRIBUTIONS)}x{len(SCAN_SELECTIVITIES)} complete, "
+          f"pushdown at 1% = {summary['speedup_at_1pct']:.2f}x unpack-filter)")
     return 0
 
 
@@ -411,15 +466,21 @@ def main():
     parser.add_argument("--gate-p99-acquire-ns", type=int, default=None,
                         help="service schema: fail when the sharded p99 acquire "
                              "latency exceeds this bound in ns")
+    parser.add_argument("--min-scan-speedup-at-1pct", type=float, default=None,
+                        help="codec schema: fail when the scan-summary's pushdown "
+                             "speedup at 1%% selectivity is below N (skipped with a "
+                             "note on fast/smoke artifacts)")
     args = parser.parse_args()
 
     if args.assert_only:
         if args.candidate is not None:
             parser.error("--assert-only takes exactly one file")
         return assert_only(args.baseline, args.min_acquire_speedup,
-                           args.gate_p99_acquire_ns)
+                           args.gate_p99_acquire_ns, args.min_scan_speedup_at_1pct)
     if args.min_acquire_speedup is not None or args.gate_p99_acquire_ns is not None:
         parser.error("--min-acquire-speedup/--gate-p99-acquire-ns require --assert-only")
+    if args.min_scan_speedup_at_1pct is not None:
+        parser.error("--min-scan-speedup-at-1pct requires --assert-only")
     if args.candidate is None:
         parser.error("timing mode needs BASELINE and CANDIDATE (or use --assert-only)")
     return diff(args.baseline, args.candidate, args.threshold)

@@ -265,9 +265,14 @@ struct RuntimeDemo {
         while (!stop.load(std::memory_order_acquire)) {
           void* snap = saSlotPin(slot);
           const uint64_t sum = saSnapshotSumRange(snap, 0, elements);
+          // A selective predicate scan alongside the sum: feeds the slot's
+          // selectivity sample and moves the sa_scan_chunks_* counters that
+          // `sa_cli obs` exposes (op 2 = "<", ~1/16 of the value range).
+          const uint64_t matched =
+              saSnapshotCountIf(snap, 0, elements, /*op=*/2, (mask >> 4) + 1);
           saSnapshotUnpin(snap);
-          if (sum == ~uint64_t{0}) {
-            std::printf("impossible\n");  // keep the sum observable
+          if (sum == ~uint64_t{0} || matched > elements) {
+            std::printf("impossible\n");  // keep both results observable
           }
           scans.fetch_add(1, std::memory_order_relaxed);
         }
