@@ -24,7 +24,10 @@
 #include "common/random.h"
 #include "obs/entry_points.h"
 #include "rts/parallel_for.h"
+#include "runtime/daemon.h"
 #include "runtime/registry.h"
+#include "sim/cost_model.h"
+#include "sim/machine_spec.h"
 #include "smart/dispatch.h"
 #include "smart/map_api.h"
 #include "smart/parallel_ops.h"
@@ -306,6 +309,45 @@ ObsOverheadStats MeasureObsOverhead(Env& env) {
   return stats;
 }
 
+// Per-decision cost of the daemon's decision path (AdaptSlot: width scan +
+// selector + estimator + margin test) with the audit layer recording every
+// decision vs switched off. Counters are CPU-bound, so the selector keeps
+// the current configuration and no rebuild/publish pollutes the number —
+// this isolates what a DecisionRecord + ring push + flap/score bookkeeping
+// adds to every decision, accepted or not.
+struct AuditOverheadStats {
+  double audit_on_sec = 0.0;
+  double audit_off_sec = 0.0;
+  double overhead_pct = 0.0;
+};
+
+AuditOverheadStats MeasureAuditOverhead(Env& env) {
+  const auto machine =
+      sa::adapt::MachineCaps::FromSpec(sa::sim::MachineSpec::OracleX5_18Core());
+  const auto costs = sa::adapt::ArrayCosts::FromCostModel(sa::sim::CostModel::Default());
+  sa::adapt::WorkloadCounters counters;
+  counters.exec_current_per_socket = machine.exec_max_per_socket * 0.6;
+  counters.bw_current_memory = machine.bw_max_memory * 0.2;
+  counters.max_mem_utilization = 0.2;
+  counters.max_ic_utilization = 0.2;
+  counters.accesses_per_second = 1e8;
+  counters.dataset_bytes = static_cast<double>(kScanElems) * 8.0;
+
+  AuditOverheadStats stats;
+  const auto measure = [&](bool audit) {
+    sa::runtime::DaemonOptions options;
+    options.audit = audit;
+    sa::runtime::AdaptationDaemon daemon(env.registry, env.pool, machine, costs, options);
+    return MeasureSecondsPerCall(
+        [&] { return daemon.AdaptSlot(*env.slot, counters) ? 1 : 0; }, MeasureMs(200));
+  };
+  stats.audit_off_sec = measure(false);
+  stats.audit_on_sec = measure(true);
+  stats.overhead_pct =
+      (stats.audit_on_sec - stats.audit_off_sec) / stats.audit_off_sec * 100.0;
+  return stats;
+}
+
 void WriteBenchJson(const char* path) {
   Env& env = Env::Get();
 
@@ -325,6 +367,7 @@ void WriteBenchJson(const char* path) {
       },
       MeasureMs(100));
   const ObsOverheadStats obs = MeasureObsOverhead(env);
+  const AuditOverheadStats audit = MeasureAuditOverhead(env);
   const ReadableStats readable = MeasureTimeToReadable(env);
   const RestructureStats rebuild = MeasureRestructure(env);
 
@@ -360,9 +403,14 @@ void WriteBenchJson(const char* path) {
   std::fprintf(f,
                "  {\"metric\": \"obs_scan_overhead\", \"elems\": %llu, \"bits\": %u, "
                "\"compiled_in\": %d, \"enabled_scan_sec\": %.6e, \"disabled_scan_sec\": %.6e, "
-               "\"overhead_pct\": %.3f}\n",
+               "\"overhead_pct\": %.3f},\n",
                static_cast<unsigned long long>(kScanElems), kBits, saObsCompiledIn(),
                obs.enabled_sec, obs.disabled_sec, obs.overhead_pct);
+  std::fprintf(f,
+               "  {\"metric\": \"audit_decision_overhead\", \"elems\": %llu, "
+               "\"audit_on_sec\": %.6e, \"audit_off_sec\": %.6e, \"overhead_pct\": %.3f}\n",
+               static_cast<unsigned long long>(kScanElems), audit.audit_on_sec,
+               audit.audit_off_sec, audit.overhead_pct);
   std::fprintf(f, "]\n");
   std::fclose(f);
   std::fprintf(stderr,

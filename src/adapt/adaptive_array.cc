@@ -2,6 +2,7 @@
 
 #include "adapt/estimator.h"
 #include "common/macros.h"
+#include "obs/telemetry.h"
 
 namespace sa::adapt {
 
@@ -46,6 +47,11 @@ bool AdaptiveArray::MaybeAdapt() {
   const double chosen_speedup = EstimateConfigSpeedup(machine_, *last_profile_, costs_,
                                                       result.chosen, inputs.compression_ratio);
   if (chosen_speedup < current_speedup * (1.0 + policy_.min_predicted_win)) {
+    // Keep-current by hysteresis alone: the selector wanted a different
+    // configuration but the predicted win did not clear the margin. Counted
+    // separately from same-config keeps so margin tuning is observable
+    // (the daemon's equivalent is kDaemonRejectMargin).
+    SA_OBS_COUNT(kAdaptiveKeepMargin);
     return false;
   }
   const uint32_t new_bits = result.chosen.compressed ? data_bits_ : 64;

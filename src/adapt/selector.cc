@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "adapt/decision_record.h"
 #include "common/macros.h"
 
 namespace sa::adapt {
@@ -36,7 +37,21 @@ WorkloadCounters CountersFromReport(const sim::RunReport& report,
   return c;
 }
 
-SelectorResult ChooseConfiguration(const SelectorInputs& inputs) {
+const char* ToString(DecisionReason reason) {
+  switch (reason) {
+    case DecisionReason::kAccepted:
+      return "accepted";
+    case DecisionReason::kRejectSameConfig:
+      return "reject-same-config";
+    case DecisionReason::kRejectMargin:
+      return "reject-margin";
+    case DecisionReason::kFlapHold:
+      return "flap-hold";
+  }
+  return "?";
+}
+
+SelectorResult ChooseConfiguration(const SelectorInputs& inputs, DecisionRecord* record) {
   const bool space_uncompressed =
       inputs.space_for_uncompressed_replication.value_or(SpaceForReplication(
           inputs.machine, inputs.counters, inputs.compression_ratio, /*compressed=*/false));
@@ -75,6 +90,26 @@ SelectorResult ChooseConfiguration(const SelectorInputs& inputs) {
     if (shrinks_words || selective_scans) {
       result.chosen.encoding = smart::Encoding::kForDelta;
     }
+  }
+
+  if (record != nullptr) {
+    record->inputs = inputs;
+    record->num_candidates = 0;
+    const uint32_t data_bits = static_cast<uint32_t>(inputs.compression_ratio * 64.0 + 0.5);
+    const Configuration uncompressed{result.uncompressed_candidate, false,
+                                     smart::Encoding::kBitPacked};
+    record->AddCandidate("uncompressed", uncompressed, 64,
+                         EstimateConfigSpeedup(inputs.machine, inputs.counters, inputs.costs,
+                                               uncompressed, inputs.compression_ratio));
+    if (result.compressed_candidate.has_value()) {
+      const Configuration compressed{*result.compressed_candidate, true,
+                                     smart::Encoding::kBitPacked};
+      record->AddCandidate("compressed", compressed, data_bits,
+                           EstimateConfigSpeedup(inputs.machine, inputs.counters, inputs.costs,
+                                                 compressed, inputs.compression_ratio));
+    }
+    record->chosen = result.chosen;
+    record->chosen_bits = result.chosen.compressed ? data_bits : 64;
   }
   return result;
 }

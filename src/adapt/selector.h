@@ -43,8 +43,15 @@ struct SelectorResult {
   Configuration chosen;                                   // after step 2
 };
 
-// Runs the full two-step selection.
-SelectorResult ChooseConfiguration(const SelectorInputs& inputs);
+struct DecisionRecord;
+
+// Runs the full two-step selection. When `record` is non-null the selector
+// additionally writes its audit trail into it: the verbatim inputs, every
+// candidate it weighed with that candidate's estimated speedup, and the
+// chosen configuration (adapt/decision_record.h; the caller fills in the
+// margin math and outcome).
+SelectorResult ChooseConfiguration(const SelectorInputs& inputs,
+                                   DecisionRecord* record = nullptr);
 
 }  // namespace sa::adapt
 

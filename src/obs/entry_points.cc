@@ -94,6 +94,16 @@ int saObsTraceDrain(SaObsTraceEvent* out, int cap) {
 
 uint64_t saObsTraceDropped() { return sa::obs::TraceDropped(); }
 
+uint64_t saObsTraceExportJson(char* buf, uint64_t cap) {
+  const std::string text = sa::obs::ChromeTraceJson();
+  if (buf != nullptr && cap > 0) {
+    const uint64_t n = text.size() < cap - 1 ? text.size() : cap - 1;
+    std::memcpy(buf, text.data(), n);
+    buf[n] = '\0';
+  }
+  return text.size();
+}
+
 const char* saObsTraceKindName(uint32_t kind) {
   return sa::obs::TraceKindName(kind);
 }
@@ -118,6 +128,7 @@ void saObsReset() {
   std::lock_guard<std::mutex> lock(g_drain_mu);
   sa::obs::ResetForTesting();
   sa::obs::TraceResetForTesting();
+  sa::obs::ChromeTraceReset();
   g_drain_cursor = 0;
 }
 

@@ -71,6 +71,16 @@ int saObsTraceDrain(SaObsTraceEvent* out, int cap);
 // Events lost to ring wraparound before any drainer reached them.
 uint64_t saObsTraceDropped();
 
+// Chrome trace-event JSON of the adaptation timeline (loadable in Perfetto
+// or chrome://tracing): drains newly completed ring events into an internal
+// accumulator (its own cursor — independent of saObsTraceDrain) and renders
+// the accumulated timeline. Same buffer contract as saObsPrometheusText:
+// copies at most cap-1 bytes plus a NUL into buf (when cap > 0) and returns
+// the full untruncated length; call with buf == NULL to size. Events that
+// belong to one adaptation share an args.trace_id. With SA_OBS compiled out
+// this stays linkable and returns an empty (but valid) document.
+uint64_t saObsTraceExportJson(char* buf, uint64_t cap);
+
 const char* saObsTraceKindName(uint32_t kind);
 
 // ---- Exposition / control ----

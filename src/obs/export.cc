@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
+#include <vector>
 
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -99,6 +101,151 @@ std::string JsonText() {
           "},\"trace\":{\"events\":%" PRIu64 ",\"dropped\":%" PRIu64 "}}",
           TraceHead(), TraceDropped());
   return out;
+}
+
+namespace {
+
+// Accumulator behind ChromeTraceJson: its own drain cursor (independent of
+// the C-ABI saObsTraceDrain cursor, so exporting never steals events from a
+// raw drainer) plus the events drained so far. Bounded: a demo/CLI-lifetime
+// tool, not a production sink.
+constexpr size_t kChromeTraceMaxEvents = 1 << 16;
+std::mutex g_chrome_mu;
+uint64_t g_chrome_cursor = 0;
+uint64_t g_chrome_truncated = 0;
+std::vector<TraceEvent> g_chrome_events;
+
+// The per-adaptation trace id threaded through an event's payload words
+// (trace.h documents the per-kind packing); 0 = not part of an adaptation.
+uint64_t TraceIdOf(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case kTraceSampleDrain:
+      return ev.d >> 1;
+    case kTraceDecision:
+      return ev.c >> 8;
+    case kTraceRestructureBegin:
+      return ev.c;
+    case kTraceRestructureEnd:
+      return ev.d >> 1;
+    case kTracePublish:
+      return ev.c;
+    case kTraceFlapHold:
+      return ev.c;
+    case kTraceVersionReclaim:
+      return ev.c;
+    default:
+      return 0;
+  }
+}
+
+void AppendJsonString(std::string* out, const char* s) {
+  out->push_back('"');
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(static_cast<char>(c));
+    } else if (c < 0x20) {
+      AppendF(out, "\\u%04x", c);
+    } else {
+      out->push_back(static_cast<char>(c));
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendChromeEvent(std::string* out, const TraceEvent& ev) {
+  // "X" (complete) events: restructures get their measured wall time as the
+  // span; point events get a nominal 1us slice so every row renders.
+  uint64_t start_ns = ev.ns;
+  double dur_us = 1.0;
+  if (ev.kind == kTraceRestructureEnd && ev.a > 0 && ev.a < ev.ns) {
+    start_ns = ev.ns - ev.a;  // a = wall ns; emitted at completion
+    dur_us = static_cast<double>(ev.a) / 1000.0;
+  }
+  AppendF(out, "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,",
+          TraceKindName(ev.kind), static_cast<double>(start_ns) / 1000.0, dur_us, ev.shard);
+  out->append("\"args\":{\"slot\":");
+  AppendJsonString(out, ev.slot);
+  AppendF(out, ",\"seq\":%" PRIu64, ev.seq);
+  const uint64_t trace_id = TraceIdOf(ev);
+  if (trace_id != 0) {
+    AppendF(out, ",\"trace_id\":%" PRIu64, trace_id);
+  }
+  switch (ev.kind) {
+    case kTraceSampleDrain:
+      AppendF(out, ",\"reads\":%" PRIu64 ",\"writes\":%" PRIu64 ",\"interval_us\":%" PRIu64
+                   ",\"thin\":%" PRIu64,
+              ev.a, ev.b, ev.c, ev.d & 1);
+      break;
+    case kTraceDecision:
+      AppendF(out, ",\"cfg_current\":%" PRIu64 ",\"cfg_chosen\":%" PRIu64 ",\"reason\":%" PRIu64
+                   ",\"win_ppm\":%" PRIu64,
+              ev.a, ev.b, ev.c & 0xff, ev.d);
+      break;
+    case kTraceRestructureBegin:
+      AppendF(out, ",\"cfg_current\":%" PRIu64 ",\"cfg_chosen\":%" PRIu64, ev.a, ev.b);
+      break;
+    case kTraceRestructureEnd:
+      AppendF(out, ",\"wall_ns\":%" PRIu64 ",\"unpack_ns\":%" PRIu64 ",\"pack_ns\":%" PRIu64
+                   ",\"ok\":%" PRIu64,
+              ev.a, ev.b, ev.c, ev.d & 1);
+      break;
+    case kTracePublish:
+      AppendF(out, ",\"sequence\":%" PRIu64 ",\"ok\":%" PRIu64, ev.a, ev.b);
+      break;
+    case kTraceFlapHold:
+      AppendF(out, ",\"cfg_current\":%" PRIu64 ",\"cfg_held\":%" PRIu64
+                   ",\"hold_remaining\":%" PRIu64,
+              ev.a, ev.b, ev.d);
+      break;
+    case kTraceVersionReclaim:
+      AppendF(out, ",\"sequence\":%" PRIu64, ev.a);
+      break;
+    default:
+      AppendF(out, ",\"a\":%" PRIu64 ",\"b\":%" PRIu64, ev.a, ev.b);
+      break;
+  }
+  out->append("}}");
+}
+
+}  // namespace
+
+std::string ChromeTraceJson() {
+  std::lock_guard<std::mutex> lock(g_chrome_mu);
+  TraceEvent batch[256];
+  for (;;) {
+    const size_t n = TraceDrain(&g_chrome_cursor, batch, 256);
+    if (n == 0) {
+      break;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (g_chrome_events.size() >= kChromeTraceMaxEvents) {
+        ++g_chrome_truncated;
+      } else {
+        g_chrome_events.push_back(batch[i]);
+      }
+    }
+  }
+  std::string out;
+  out.reserve(128 + g_chrome_events.size() * 160);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < g_chrome_events.size(); ++i) {
+    if (i != 0) {
+      out += ",";
+    }
+    AppendChromeEvent(&out, g_chrome_events[i]);
+  }
+  AppendF(&out, "],\"truncated\":%" PRIu64 ",\"dropped\":%" PRIu64 "}", g_chrome_truncated,
+          TraceDropped());
+  return out;
+}
+
+void ChromeTraceReset() {
+  std::lock_guard<std::mutex> lock(g_chrome_mu);
+  g_chrome_cursor = 0;
+  g_chrome_truncated = 0;
+  g_chrome_events.clear();
 }
 
 }  // namespace sa::obs

@@ -16,6 +16,19 @@ std::string PrometheusText();
 //  "histograms":{name:{"count":...,"sum":...}},"trace":{...}}.
 std::string JsonText();
 
+// Chrome trace-event JSON (a {"traceEvents":[...]} object loadable in
+// Perfetto / chrome://tracing) rebuilt from the adaptation trace ring. Each
+// call drains newly completed ring events past an internal cursor into a
+// bounded accumulator and renders the whole accumulated timeline, so a
+// sizing call followed by a copy call sees the same events. Every event
+// carries its slot and — where the emitting site threads one — the
+// per-adaptation trace id in args, which is what links the decision ->
+// restructure -> publish -> version_reclaim spans of one adaptation.
+std::string ChromeTraceJson();
+
+// Clears the accumulator and its drain cursor (saObsReset calls this).
+void ChromeTraceReset();
+
 }  // namespace sa::obs
 
 #endif  // SA_OBS_EXPORT_H_

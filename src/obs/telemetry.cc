@@ -94,6 +94,9 @@ constexpr const char* kCounterNames[kCounterIdCount] = {
     "sa_graph_tri_intersections_total",
     "sa_scan_chunks_scanned_total",
     "sa_scan_chunks_skipped_total",
+    "sa_daemon_flap_holds_total",
+    "sa_daemon_decisions_scored_total",
+    "sa_adaptive_keep_current_margin_total",
 };
 
 constexpr const char* kGaugeNames[kGaugeIdCount] = {
@@ -110,6 +113,8 @@ constexpr const char* kHistogramNames[kHistogramIdCount] = {
     "sa_restructure_pack_ns",
     "sa_restructure_wall_ns",
     "sa_daemon_pass_ns",
+    "sa_daemon_calibration_error_ppm",
+    "sa_daemon_realized_speedup_ppm",
 };
 
 }  // namespace

@@ -71,6 +71,10 @@ enum CounterId : int {
   kGraphTriIntersections,
   kScanChunksScanned,
   kScanChunksSkipped,
+  // Decision audit + calibration loop (PR 10).
+  kDaemonFlapHolds,        // accepted-worthy decisions suppressed by hold-down
+  kDaemonDecisionsScored,  // published decisions scored realized-vs-predicted
+  kAdaptiveKeepMargin,     // AdaptiveArray keep-current due to hysteresis
   kCounterIdCount,
 };
 
@@ -89,6 +93,11 @@ enum HistogramId : int {
   kRestructurePackNs,
   kRestructureWallNs,
   kDaemonPassNs,
+  // Estimator calibration: per scored decision, |realized - predicted| /
+  // predicted and the realized post/pre access-rate ratio, both in ppm
+  // (1e6 = perfectly calibrated / rate unchanged).
+  kDaemonCalibrationErrPpm,
+  kDaemonRealizedSpeedupPpm,
   kHistogramIdCount,
 };
 

@@ -122,6 +122,10 @@ const char* TraceKindName(uint32_t kind) {
       return "epoch_advance";
     case kTraceEpochReclaim:
       return "epoch_reclaim";
+    case kTraceFlapHold:
+      return "flap_hold";
+    case kTraceVersionReclaim:
+      return "version_reclaim";
     default:
       return "unknown";
   }

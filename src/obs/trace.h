@@ -18,17 +18,34 @@
 namespace sa::obs {
 
 // Append-only; the C-ABI exposes these values verbatim.
+//
+// Causality: the daemon allocates one *trace id* per adaptation attempt and
+// threads it through every event of that attempt (sample_drain -> decision
+// -> restructure begin/end -> publish -> version_reclaim). The TraceEvent
+// layout is frozen at 10 u64 words, so the id rides the high bits of an
+// otherwise flag-valued payload word — consumers mask the documented low
+// bits for the flag and shift for the id (saObsTraceExportJson does this
+// when it rebuilds the per-adaptation span timeline). Id 0 means "not part
+// of a threaded adaptation" (e.g. hand-emitted test events).
 enum TraceKind : uint32_t {
   kTraceNone = 0,
-  kTraceSampleDrain = 1,    // a=reads, b=writes, c=seconds*1e6, d=dropped flag
+  kTraceSampleDrain = 1,    // a=reads, b=writes, c=seconds*1e6,
+                            // d=dropped flag | trace id << 1
   kTraceDecision = 2,       // a=packed old cfg, b=packed new cfg,
-                            // c=reason (see TraceDecisionReason), d=win ppm
-  kTraceRestructureBegin = 3,  // a=packed old cfg, b=packed new cfg
+                            // c=reason (TraceDecisionReason) | trace id << 8,
+                            // d=win ppm
+  kTraceRestructureBegin = 3,  // a=packed old cfg, b=packed new cfg,
+                               // c=trace id
   kTraceRestructureEnd = 4,    // a=wall ns, b=unpack ns, c=pack ns,
-                               // d=1 success / 0 abort
-  kTracePublish = 5,        // a=new version sequence, b=1 ok / 0 refused
+                               // d=(1 success / 0 abort) | trace id << 1
+  kTracePublish = 5,        // a=new version sequence, b=1 ok / 0 refused,
+                            // c=trace id
   kTraceEpochAdvance = 6,   // a=new epoch
   kTraceEpochReclaim = 7,   // a=freed count, b=epoch at reclaim
+  kTraceFlapHold = 8,       // a=packed cur cfg, b=packed (held) chosen cfg,
+                            // c=trace id, d=hold-down decisions remaining
+  kTraceVersionReclaim = 9,  // a=retired version sequence, c=trace id of the
+                             // publish that retired it (0 = untracked)
   kTraceKindCount,
 };
 
@@ -36,6 +53,7 @@ enum TraceDecisionReason : uint64_t {
   kDecisionAccepted = 0,
   kDecisionRejectSameConfig = 1,
   kDecisionRejectMargin = 2,
+  kDecisionFlapHold = 3,
 };
 
 // Mirrors the C-ABI SaObsTraceEvent layout exactly (10 u64 words).

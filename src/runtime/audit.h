@@ -1,0 +1,93 @@
+// Per-slot decision audit + calibration state (the explain/score loop).
+//
+// The daemon records a DecisionRecord for every selector run on a slot into
+// a small bounded ring here, tracks an EWMA of the slot's sampled access
+// rate across drains, scores each published decision realized-vs-predicted
+// on the first drain after its publish, and detects configuration flapping
+// (A -> B -> A within a few decisions) to hold the slot down.
+//
+// Allocation: lazily, on the slot's first recorded decision
+// (ArraySlot::EnsureAudit) — a 250k-slot loadgen registry whose slots never
+// adapt pays one null pointer per slot, not a record ring each. All fields
+// are guarded by `mu`; the daemon's writes are already serialized
+// (rebuild_mu_ / single drain consumer), the lock is for explain readers
+// (sa_cli, testkit, C-ABI) sampling mid-program.
+#ifndef SA_RUNTIME_AUDIT_H_
+#define SA_RUNTIME_AUDIT_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "adapt/decision_record.h"
+
+namespace sa::runtime {
+
+struct SlotAuditState {
+  static constexpr int kRingSize = 8;  // the "last K decisions" of explain
+
+  mutable std::mutex mu;
+
+  // Ring of the most recent decisions; record i of `decisions` total lives
+  // at ring[i % kRingSize].
+  adapt::DecisionRecord ring[kRingSize];
+  uint64_t decisions = 0;
+
+  // Sampled access-rate EWMA (accesses/second) across non-thin drains; the
+  // pre-restructure baseline a published decision is scored against.
+  double rate_ewma = 0.0;
+  bool has_rate = false;
+
+  // Pending realized-vs-predicted score for the latest published decision,
+  // consumed by the first drain after the publish.
+  bool pending_score = false;
+  uint64_t pending_index = 0;  // decisions-space index of that record
+  double pending_pre_rate = 0.0;
+  double pending_predicted = 0.0;
+
+  // Copy of the newest published decision, kept outside the ring: under
+  // reject-heavy traffic the bounded ring evicts the accepted record within
+  // kRingSize decisions, but "which decision produced the live
+  // configuration, and how did its prediction score" must stay answerable.
+  // The copy receives the calibration score even after eviction.
+  bool has_last_published = false;
+  uint64_t last_published_index = 0;  // decisions-space index of the copy
+  adapt::DecisionRecord last_published;
+
+  // Flap detection: the configuration the slot most recently moved away
+  // from, and when; an accepted decision choosing it again within the
+  // daemon's flap window starts a hold-down.
+  bool has_prev_config = false;
+  adapt::Configuration prev_config;
+  uint64_t last_accept_index = 0;
+  int hold_remaining = 0;
+
+  // All three require `mu` held.
+  adapt::DecisionRecord& Push(const adapt::DecisionRecord& record) {
+    adapt::DecisionRecord& slot = ring[decisions % kRingSize];
+    slot = record;
+    ++decisions;
+    return slot;
+  }
+
+  adapt::DecisionRecord* Find(uint64_t index) {
+    if (index >= decisions || decisions - index > kRingSize) {
+      return nullptr;  // never recorded, or already overwritten
+    }
+    return &ring[index % kRingSize];
+  }
+
+  // Copies up to `cap` records, most recent first; returns how many.
+  int Copy(adapt::DecisionRecord* out, int cap) const {
+    const uint64_t have =
+        decisions < static_cast<uint64_t>(kRingSize) ? decisions : kRingSize;
+    int n = 0;
+    for (uint64_t i = 0; i < have && n < cap; ++i, ++n) {
+      out[n] = ring[(decisions - 1 - i) % kRingSize];
+    }
+    return n;
+  }
+};
+
+}  // namespace sa::runtime
+
+#endif  // SA_RUNTIME_AUDIT_H_

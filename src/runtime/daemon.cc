@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 
+#include "adapt/decision_record.h"
 #include "adapt/estimator.h"
 #include "common/bits.h"
 #include "common/log.h"
@@ -10,18 +12,13 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "rts/claim_set.h"
+#include "runtime/audit.h"
 #include "smart/for_delta.h"
 #include "smart/restructure.h"
 
 namespace sa::runtime {
 
 namespace {
-
-// Trace encoding of one configuration: bits<<16 | placement kind<<8 | socket.
-uint64_t PackConfig(const smart::PlacementSpec& placement, uint32_t bits) {
-  return (uint64_t{bits} << 16) | (static_cast<uint64_t>(placement.kind) << 8) |
-         static_cast<uint64_t>(placement.socket & 0xff);
-}
 
 // Predicted-win ratio as parts-per-million above break-even (clamped at 0).
 uint64_t WinPpm(double chosen_speedup, double current_speedup) {
@@ -156,9 +153,18 @@ bool AdaptationDaemon::ProcessSlot(ArraySlot& slot, bool backpressure) {
     // Idle slot: nothing was sampled, nothing is dropped.
     return false;
   }
+  const uint64_t trace_id = NextTraceId();
   const bool thin = accesses < options_.min_sampled_accesses || sample.seconds <= 0.0;
+  if (options_.audit && !thin) {
+    // Calibration rides the drain the daemon already does: score the
+    // pending published decision (if any) against this interval's rate,
+    // then fold the rate into the slot's EWMA. No hot-path atomics — the
+    // sampled counters were flushed by readers regardless.
+    ObserveRate(slot, static_cast<double>(accesses) / sample.seconds);
+  }
   SA_OBS_TRACE(kTraceSampleDrain, slot.name().c_str(), sample.reads(), sample.writes,
-               static_cast<uint64_t>(sample.seconds * 1e6), thin ? 1 : 0);
+               static_cast<uint64_t>(sample.seconds * 1e6),
+               (thin ? 1 : 0) | (trace_id << 1));
   if (thin) {
     // The drained counters are consumed but lead to no decision — the
     // sample is dropped, and before the telemetry layer that happened
@@ -178,10 +184,60 @@ bool AdaptationDaemon::ProcessSlot(ArraySlot& slot, bool backpressure) {
   }
   const adapt::WorkloadCounters counters =
       SynthesizeCounters(sample, slot.length(), machine_, options_.cycles_per_access);
-  return AdaptSlot(slot, counters);
+  return AdaptSlotTraced(slot, counters, trace_id);
+}
+
+void AdaptationDaemon::ObserveRate(ArraySlot& slot, double rate) {
+  // Allocate on the first drain (not the first decision): the EWMA must be
+  // warm before the first accepted decision snapshots it as the
+  // pre-restructure baseline.
+  SlotAuditState* state = &slot.EnsureAudit();
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->pending_score) {
+    state->pending_score = false;
+    const double pre = state->pending_pre_rate;
+    const double predicted = state->pending_predicted;
+    if (pre > 0.0 && predicted > 0.0) {
+      const double realized = rate / pre;
+      const double error = std::abs(realized - predicted) / predicted;
+      if (adapt::DecisionRecord* record = state->Find(state->pending_index)) {
+        record->scored = true;
+        record->pre_rate = pre;
+        record->post_rate = rate;
+        record->realized_ratio = realized;
+        record->calibration_error = error;
+      }
+      // Score the surviving copy too — reject-heavy traffic may already
+      // have evicted the accepted record from the ring.
+      if (state->has_last_published &&
+          state->last_published_index == state->pending_index) {
+        state->last_published.scored = true;
+        state->last_published.pre_rate = pre;
+        state->last_published.post_rate = rate;
+        state->last_published.realized_ratio = realized;
+        state->last_published.calibration_error = error;
+      }
+      SA_OBS_COUNT(kDaemonDecisionsScored);
+      SA_OBS_HIST(kDaemonCalibrationErrPpm, error * 1e6);
+      SA_OBS_HIST(kDaemonRealizedSpeedupPpm, realized * 1e6);
+      SA_LOG(kDebug, "daemon",
+             "slot=%s score: predicted=%.3f realized=%.3f err=%.3f",
+             slot.name().c_str(), predicted, realized, error);
+    }
+  }
+  state->rate_ewma = state->has_rate
+                         ? options_.rate_ewma_alpha * rate +
+                               (1.0 - options_.rate_ewma_alpha) * state->rate_ewma
+                         : rate;
+  state->has_rate = true;
 }
 
 bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters& counters) {
+  return AdaptSlotTraced(slot, counters, NextTraceId());
+}
+
+bool AdaptationDaemon::AdaptSlotTraced(ArraySlot& slot, const adapt::WorkloadCounters& counters,
+                                       uint64_t trace_id) {
   // The shared pool's RunOnAll does not nest: one rebuild at a time across
   // every worker and direct caller.
   std::lock_guard<std::mutex> rebuild_lock(rebuild_mu_);
@@ -191,6 +247,9 @@ bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters&
   const EpochManager::PinHandle pin = slot.epoch_->Pin();
   const uint64_t writes_before = slot.write_count();
   const ArrayVersion* version = slot.Current();
+  // A successful publish retires `version`, after which it may be reclaimed
+  // at any epoch advance — snapshot the sequence while the pin holds it.
+  const uint64_t source_sequence = version->sequence;
   const smart::SmartArray& source = *version->storage;
 
   // Data width: the narrowest width holding every current element, floored
@@ -209,36 +268,91 @@ bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters&
   // re-encoding would pack the current contents (estimated from the zone
   // maps the scan engine already maintains — no extra pass over the data).
   inputs.for_delta_ratio = smart::ForDeltaArray::EstimateDeltaRatio(source);
-  const adapt::SelectorResult result = adapt::ChooseConfiguration(inputs);
+  adapt::DecisionRecord record;
+  const adapt::SelectorResult result =
+      adapt::ChooseConfiguration(inputs, options_.audit ? &record : nullptr);
 
   const adapt::Configuration current{
       source.placement(),
       source.bits() < 64 || source.encoding() != smart::Encoding::kBitPacked,
       source.encoding()};
   const uint32_t new_bits = result.chosen.compressed ? data_bits : 64;
-  const uint64_t packed_current = PackConfig(source.placement(), source.bits());
-  const uint64_t packed_chosen = PackConfig(result.chosen.placement, new_bits);
+  const uint64_t packed_current = adapt::PackConfigWord(current, source.bits());
+  const uint64_t packed_chosen = adapt::PackConfigWord(result.chosen, new_bits);
   const char* slot_name = slot.name().c_str();
 
+  // Margin math runs for every outcome, not just past the same-config test:
+  // the audit record always carries the full comparison. estimator_bias is a
+  // test hook (1.0 in production) applied on the same path the calibration
+  // scorer later checks, so a planted misprediction surfaces as calibration
+  // error.
+  const double current_speedup = adapt::EstimateConfigSpeedup(machine_, counters, costs_,
+                                                              current, inputs.compression_ratio);
+  const double chosen_speedup =
+      adapt::EstimateConfigSpeedup(machine_, counters, costs_, result.chosen,
+                                   inputs.compression_ratio) *
+      options_.estimator_bias;
+  const uint64_t win_ppm = WinPpm(chosen_speedup, current_speedup);
+
+  record.trace_id = trace_id;
+  record.ns = obs::NowNs();
+  record.AddCandidate("current", current, source.bits(), current_speedup);
+  record.current = current;
+  record.current_bits = source.bits();
+  record.current_speedup = current_speedup;
+  record.chosen_speedup = chosen_speedup;
+  record.margin = options_.min_predicted_win;
+  record.predicted_ratio = current_speedup > 0.0 ? chosen_speedup / current_speedup : 0.0;
+  record.predicted_win = record.predicted_ratio > 0.0 ? record.predicted_ratio - 1.0 : 0.0;
+
+  adapt::DecisionReason reason = adapt::DecisionReason::kAccepted;
   if (result.chosen == current) {
+    reason = adapt::DecisionReason::kRejectSameConfig;
+  } else if (chosen_speedup < current_speedup * (1.0 + options_.min_predicted_win)) {
+    // Hysteresis (shared with AdaptiveArray::MaybeAdapt): the estimated win
+    // over the *current* configuration must clear the margin.
+    reason = adapt::DecisionReason::kRejectMargin;
+  }
+
+  // Record the decision — refusals included, explain must show those too —
+  // and run the flap detector before acting on the outcome.
+  SlotAuditState* audit = nullptr;
+  uint64_t record_index = 0;
+  int hold_remaining = 0;
+  if (options_.audit) {
+    audit = &slot.EnsureAudit();
+    std::lock_guard<std::mutex> lock(audit->mu);
+    if (reason == adapt::DecisionReason::kAccepted && options_.flap_window > 0 &&
+        options_.flap_hold_decisions > 0) {
+      if (audit->hold_remaining > 0) {
+        --audit->hold_remaining;
+        reason = adapt::DecisionReason::kFlapHold;
+      } else if (audit->has_prev_config && result.chosen == audit->prev_config &&
+                 audit->decisions - audit->last_accept_index <=
+                     static_cast<uint64_t>(options_.flap_window)) {
+        // A -> B -> A within the window: the slot is oscillating on workload
+        // noise. Refuse, and hold further config changes down.
+        audit->hold_remaining = options_.flap_hold_decisions;
+        reason = adapt::DecisionReason::kFlapHold;
+      }
+      hold_remaining = audit->hold_remaining;
+    }
+    record.reason = reason;
+    record_index = audit->decisions;
+    audit->Push(record);
+  }
+
+  const uint64_t decision_word = static_cast<uint64_t>(reason) | (trace_id << 8);
+  if (reason == adapt::DecisionReason::kRejectSameConfig) {
     SA_OBS_COUNT(kDaemonRejectSame);
-    SA_OBS_TRACE(kTraceDecision, slot_name, packed_current, packed_chosen,
-                 obs::kDecisionRejectSameConfig);
+    SA_OBS_TRACE(kTraceDecision, slot_name, packed_current, packed_chosen, decision_word);
     slot.epoch_->Unpin(pin);
     return false;
   }
-
-  // Hysteresis (shared with AdaptiveArray::MaybeAdapt): the estimated win
-  // over the *current* configuration must clear the margin.
-  const double current_speedup = adapt::EstimateConfigSpeedup(machine_, counters, costs_,
-                                                              current, inputs.compression_ratio);
-  const double chosen_speedup = adapt::EstimateConfigSpeedup(
-      machine_, counters, costs_, result.chosen, inputs.compression_ratio);
-  const uint64_t win_ppm = WinPpm(chosen_speedup, current_speedup);
-  if (chosen_speedup < current_speedup * (1.0 + options_.min_predicted_win)) {
+  if (reason == adapt::DecisionReason::kRejectMargin) {
     SA_OBS_COUNT(kDaemonRejectMargin);
-    SA_OBS_TRACE(kTraceDecision, slot_name, packed_current, packed_chosen,
-                 obs::kDecisionRejectMargin, win_ppm);
+    SA_OBS_TRACE(kTraceDecision, slot_name, packed_current, packed_chosen, decision_word,
+                 win_ppm);
     SA_LOG(kDebug, "daemon",
            "slot=%s decision=reject-margin %s/%ub -> %s/%ub win=%.4f margin=%.4f",
            slot_name, smart::ToString(source.placement().kind), source.bits(),
@@ -248,9 +362,19 @@ bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters&
     slot.epoch_->Unpin(pin);
     return false;
   }
+  if (reason == adapt::DecisionReason::kFlapHold) {
+    SA_OBS_COUNT(kDaemonFlapHolds);
+    SA_OBS_TRACE(kTraceFlapHold, slot_name, packed_current, packed_chosen, trace_id,
+                 static_cast<uint64_t>(hold_remaining));
+    SA_LOG(kInfo, "daemon", "slot=%s decision=flap-hold %s/%ub -> %s/%ub hold=%d",
+           slot_name, smart::ToString(source.placement().kind), source.bits(),
+           smart::ToString(result.chosen.placement.kind), new_bits, hold_remaining);
+    slot.epoch_->Unpin(pin);
+    return false;
+  }
 
-  SA_OBS_TRACE(kTraceDecision, slot_name, packed_current, packed_chosen,
-               obs::kDecisionAccepted, win_ppm);
+  SA_OBS_TRACE(kTraceDecision, slot_name, packed_current, packed_chosen, decision_word,
+               win_ppm);
   SA_LOG(kInfo, "daemon",
          "slot=%s decision=accept %s/%ub -> %s/%ub win=%.4f reads=%.0f/s "
          "random=%.3f",
@@ -259,13 +383,13 @@ bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters&
          chosen_speedup / std::max(current_speedup, 1e-12) - 1.0,
          counters.accesses_per_second, counters.random_fraction);
 
-  SA_OBS_TRACE(kTraceRestructureBegin, slot_name, packed_current, packed_chosen);
+  SA_OBS_TRACE(kTraceRestructureBegin, slot_name, packed_current, packed_chosen, trace_id);
   smart::RestructureStats stats;
   auto rebuilt =
       smart::TryRestructure(*pool_, source, result.chosen.placement, new_bits,
                             registry_->topology(), &stats, result.chosen.encoding);
   SA_OBS_TRACE(kTraceRestructureEnd, slot_name, stats.wall_ns, stats.unpack_ns,
-               stats.pack_ns, rebuilt != nullptr ? 1 : 0);
+               stats.pack_ns, (rebuilt != nullptr ? 1 : 0) | (trace_id << 1));
   slot.epoch_->Unpin(pin);
   if (rebuilt == nullptr) {
     // A racing write stored a value wider than the target width mid-scan;
@@ -276,7 +400,8 @@ bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters&
            slot_name);
     return false;
   }
-  if (!registry_->Publish(slot, std::move(rebuilt), writes_before)) {
+  uint64_t new_sequence = source_sequence + 1;
+  if (!registry_->Publish(slot, std::move(rebuilt), writes_before, trace_id, &new_sequence)) {
     // Writes raced the rebuild; drop it (and the sample) and retry next
     // cycle.
     SA_OBS_COUNT(kDaemonSampleDrops);
@@ -285,6 +410,28 @@ bool AdaptationDaemon::AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters&
   }
   adaptations_.fetch_add(1, std::memory_order_relaxed);
   SA_OBS_COUNT(kDaemonRestructures);
+  if (audit != nullptr) {
+    // Close the books on the accepted decision: mark it published, remember
+    // the configuration the slot moved away from (flap detection), and arm
+    // the calibration score the next drain settles.
+    std::lock_guard<std::mutex> lock(audit->mu);
+    if (adapt::DecisionRecord* published = audit->Find(record_index)) {
+      published->published = true;
+      published->published_sequence = new_sequence;
+      // Ring-eviction-proof copy: this is the decision behind the slot's
+      // live configuration until the next publish.
+      audit->has_last_published = true;
+      audit->last_published_index = record_index;
+      audit->last_published = *published;
+    }
+    audit->has_prev_config = true;
+    audit->prev_config = current;
+    audit->last_accept_index = record_index;
+    audit->pending_score = true;
+    audit->pending_index = record_index;
+    audit->pending_pre_rate = audit->has_rate ? audit->rate_ewma : 0.0;
+    audit->pending_predicted = record.predicted_ratio;
+  }
   return true;
 }
 

@@ -58,6 +58,28 @@ struct DaemonOptions {
   // versions than this gets sample drains and reclamation but no new
   // restructures until the debt drains.
   size_t max_retired_debt = 64;
+
+  // ---- decision audit + calibration (runtime/audit.h) ----
+  // Record a DecisionRecord per selector run in the slot's audit ring,
+  // score published decisions realized-vs-predicted, and run the flap
+  // detector. Off only to measure the audit layer's own overhead
+  // (bench/micro_runtime.cc) — explain/flap/score all need it.
+  bool audit = true;
+  // EWMA weight for the per-slot sampled access rate the scorer uses as the
+  // pre-restructure baseline (1.0 = last drain only).
+  double rate_ewma_alpha = 0.5;
+  // Flap detector: an accepted decision that returns to the configuration
+  // the slot moved away from within the last `flap_window` recorded
+  // decisions is a flap; the slot is then held down (decisions that would
+  // change its configuration are refused with DecisionReason::kFlapHold)
+  // for the next `flap_hold_decisions` such decisions. 0 disables.
+  int flap_window = 4;
+  int flap_hold_decisions = 8;
+  // Test hook: scales the chosen configuration's estimated speedup before
+  // the margin test and the calibration score (1.0 = trust the estimator).
+  // Lets tests plant a misprediction and assert the calibration loop
+  // surfaces it as nonzero calibration error.
+  double estimator_bias = 1.0;
 };
 
 class AdaptationDaemon {
@@ -82,7 +104,9 @@ class AdaptationDaemon {
   // Decision + rebuild + publish for one slot under explicit counters — the
   // deterministic core of a pass. Serialized across workers (the shared
   // WorkerPool does not nest). Returns true when a new representation was
-  // published.
+  // published. Allocates a fresh trace id for the attempt; every decision
+  // (including rejects and flap holds) lands in the slot's audit ring when
+  // options.audit is on.
   bool AdaptSlot(ArraySlot& slot, const adapt::WorkloadCounters& counters);
 
   // §6-style counters synthesized from an interval sample: access rate and
@@ -108,6 +132,14 @@ class AdaptationDaemon {
   // Drains one shard's sample queue, adapts eligible slots, reclaims.
   int ProcessShard(int shard);
   bool ProcessSlot(ArraySlot& slot, bool backpressure);
+  // AdaptSlot with the caller's trace id (ProcessSlot threads the one it
+  // stamped on the sample_drain event).
+  bool AdaptSlotTraced(ArraySlot& slot, const adapt::WorkloadCounters& counters,
+                       uint64_t trace_id);
+  // Calibration: scores the pending published decision against this drain's
+  // observed rate, then folds the rate into the slot's EWMA.
+  void ObserveRate(ArraySlot& slot, double rate);
+  uint64_t NextTraceId() { return next_trace_id_.fetch_add(1, std::memory_order_relaxed); }
 
   ArrayRegistry* registry_;
   rts::WorkerPool* pool_;
@@ -117,6 +149,8 @@ class AdaptationDaemon {
 
   std::atomic<uint64_t> adaptations_{0};
   std::atomic<uint64_t> passes_{0};
+  // Per-adaptation trace ids start at 1: id 0 means "untracked" everywhere.
+  std::atomic<uint64_t> next_trace_id_{1};
 
   // The shared WorkerPool's RunOnAll is not reentrant, so rebuild work
   // (MinimalBits + TryRestructure) is serialized across daemon workers and

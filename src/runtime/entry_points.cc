@@ -1,10 +1,15 @@
 #include "runtime/entry_points.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <mutex>
 #include <utility>
 
+#include "adapt/decision_record.h"
 #include "common/macros.h"
 #include "rts/worker_pool.h"
+#include "runtime/audit.h"
 #include "runtime/daemon.h"
 #include "runtime/registry.h"
 #include "sim/cost_model.h"
@@ -193,6 +198,88 @@ void saSlotWrite(void* slot, uint64_t index, uint64_t value) {
 
 uint64_t saSlotFetchAdd(void* slot, uint64_t index, uint64_t delta) {
   return Slot(slot)->FetchAdd(index, delta);
+}
+
+namespace {
+
+void FlattenDecision(const sa::adapt::DecisionRecord& r, SaSlotDecision* out) {
+  SaSlotDecision& d = *out;
+  d = SaSlotDecision{};
+  d.trace_id = r.trace_id;
+  d.ns = r.ns;
+  d.reason = static_cast<uint32_t>(r.reason);
+  d.published = r.published ? 1 : 0;
+  d.published_sequence = r.published_sequence;
+  d.packed_current = sa::adapt::PackConfigWord(r.current, r.current_bits);
+  d.packed_chosen = sa::adapt::PackConfigWord(r.chosen, r.chosen_bits);
+  d.current_speedup = r.current_speedup;
+  d.chosen_speedup = r.chosen_speedup;
+  d.margin = r.margin;
+  d.predicted_win = r.predicted_win;
+  d.num_candidates = static_cast<uint32_t>(
+      std::min(r.num_candidates, sa::adapt::DecisionRecord::kMaxCandidates));
+  for (uint32_t c = 0; c < d.num_candidates; ++c) {
+    d.candidate_config[c] =
+        sa::adapt::PackConfigWord(r.candidates[c].config, r.candidates[c].bits);
+    d.candidate_speedup[c] = r.candidates[c].estimated_speedup;
+    std::snprintf(d.candidate_role[c], sizeof(d.candidate_role[c]), "%s",
+                  r.candidates[c].role);
+  }
+  d.in_accesses_per_second = r.inputs.counters.accesses_per_second;
+  d.in_random_fraction = r.inputs.counters.random_fraction;
+  d.in_mem_utilization = r.inputs.counters.max_mem_utilization;
+  d.in_ic_utilization = r.inputs.counters.max_ic_utilization;
+  d.in_compression_ratio = r.inputs.compression_ratio;
+  d.in_for_delta_ratio = r.inputs.for_delta_ratio;
+  d.in_read_only = r.inputs.hints.read_only ? 1 : 0;
+  d.in_mostly_reads = r.inputs.hints.mostly_reads ? 1 : 0;
+  d.scored = r.scored ? 1 : 0;
+  d.pre_rate = r.pre_rate;
+  d.post_rate = r.post_rate;
+  d.predicted_ratio = r.predicted_ratio;
+  d.realized_ratio = r.realized_ratio;
+  d.calibration_error = r.calibration_error;
+}
+
+}  // namespace
+
+uint64_t saSlotExplain(void* slot, SaSlotDecision* out, uint64_t cap) {
+  sa::runtime::SlotAuditState* audit = Slot(slot)->audit();
+  if (audit == nullptr) {
+    return 0;
+  }
+  sa::adapt::DecisionRecord records[sa::runtime::SlotAuditState::kRingSize];
+  uint64_t total = 0;
+  int copied = 0;
+  {
+    std::lock_guard<std::mutex> lock(audit->mu);
+    total = audit->decisions;
+    copied = audit->Copy(records, sa::runtime::SlotAuditState::kRingSize);
+  }
+  const uint64_t n = std::min<uint64_t>(cap, static_cast<uint64_t>(copied));
+  for (uint64_t i = 0; i < n; ++i) {
+    FlattenDecision(records[i], &out[i]);
+  }
+  return total;
+}
+
+uint32_t saSlotExplainPublished(void* slot, SaSlotDecision* out) {
+  sa::runtime::SlotAuditState* audit = Slot(slot)->audit();
+  if (audit == nullptr) {
+    return 0;
+  }
+  sa::adapt::DecisionRecord record;
+  {
+    std::lock_guard<std::mutex> lock(audit->mu);
+    if (!audit->has_last_published) {
+      return 0;
+    }
+    record = audit->last_published;
+  }
+  if (out != nullptr) {
+    FlattenDecision(record, out);
+  }
+  return 1;
 }
 
 void* saSlotPin(void* slot) { return new ArraySnapshot(Slot(slot)->Acquire()); }

@@ -104,6 +104,76 @@ void saSlotWrite(void* slot, uint64_t index, uint64_t value);
 // Aborts when the wrapped result exceeds the live storage width.
 uint64_t saSlotFetchAdd(void* slot, uint64_t index, uint64_t delta);
 
+// ---- Decision audit (explain) ----
+
+// Audit-ring capacity: saSlotExplain never yields more than this many
+// decisions (runtime/audit.h keeps the last 8 per slot).
+enum : uint32_t { SA_EXPLAIN_MAX_DECISIONS = 8 };
+
+// One adaptation decision, flattened for the C boundary. Configuration
+// words use the shared trace packing (adapt::PackConfigWord):
+//   encoding << 24 | bits << 16 | placement kind << 8 | socket & 0xff.
+struct SaSlotDecision {
+  uint64_t trace_id;  // links to SaObsTraceEvent payload ids (0 = untracked)
+  uint64_t ns;        // steady-clock nanoseconds at decision time
+  // Outcome: reason holds an adapt::DecisionReason value (0 accepted,
+  // 1 reject-same-config, 2 reject-margin, 3 flap-hold).
+  uint32_t reason;
+  uint32_t published;  // accepted and the rebuilt storage actually published
+  uint64_t published_sequence;
+  // Margin math.
+  uint64_t packed_current;
+  uint64_t packed_chosen;
+  double current_speedup;
+  double chosen_speedup;
+  double margin;
+  double predicted_win;  // chosen_speedup / current_speedup - 1
+  // Every candidate the selector weighed (role is NUL-terminated:
+  // "uncompressed" / "compressed" / "current").
+  uint32_t num_candidates;
+  uint32_t reserved;
+  uint64_t candidate_config[4];
+  double candidate_speedup[4];
+  char candidate_role[4][16];
+  // Selector inputs snapshot (the load the decision reasoned about).
+  double in_accesses_per_second;
+  double in_random_fraction;
+  double in_mem_utilization;
+  double in_ic_utilization;
+  double in_compression_ratio;
+  double in_for_delta_ratio;
+  uint32_t in_read_only;
+  uint32_t in_mostly_reads;
+  // Calibration score (valid when scored != 0): realized post/pre access
+  // rate vs the predicted speedup ratio.
+  uint32_t scored;
+  uint32_t reserved2;
+  double pre_rate;
+  double post_rate;
+  double predicted_ratio;
+  double realized_ratio;
+  double calibration_error;
+};
+
+// Copies up to cap audit-ring decisions for the slot into out, most recent
+// first, and returns the total number of decisions ever recorded (which may
+// exceed both cap and SA_EXPLAIN_MAX_DECISIONS; the copied count is
+// min(cap, total, SA_EXPLAIN_MAX_DECISIONS)). Returns 0 when the slot has
+// no audit state yet — the daemon has never decided on it, or runs with
+// audit off. cap == 0 (out may be NULL) is a cheap "any decisions?" probe.
+// Works with SA_OBS compiled out: the audit plane is runtime state, not
+// telemetry.
+uint64_t saSlotExplain(void* slot, SaSlotDecision* out, uint64_t cap);
+
+// Copies the newest *published* decision — the one behind the slot's live
+// configuration — into out (may be NULL for a probe) and returns 1, or
+// returns 0 when the slot has never published an audited decision. Unlike
+// saSlotExplain this survives ring eviction: under reject-heavy traffic the
+// accepted record ages out of the 8-deep ring, but the slot keeps a copy
+// that also receives its realized-vs-predicted calibration score. Works
+// with SA_OBS compiled out.
+uint32_t saSlotExplainPublished(void* slot, SaSlotDecision* out);
+
 // ---- Snapshot (consistent read view) ----
 // Pins the slot's current representation; all reads through the returned
 // handle observe exactly that representation.

@@ -9,6 +9,7 @@
 #include "common/macros.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "runtime/audit.h"
 
 namespace sa::runtime {
 namespace {
@@ -297,6 +298,22 @@ ArraySlot::ArraySlot(std::string name, uint64_t length, EpochManager* epoch)
       epoch_(epoch),
       length_(length),
       last_drain_(std::chrono::steady_clock::now()) {}
+
+ArraySlot::~ArraySlot() { delete audit_.load(std::memory_order_relaxed); }
+
+SlotAuditState& ArraySlot::EnsureAudit() {
+  SlotAuditState* state = audit_.load(std::memory_order_acquire);
+  if (state == nullptr) {
+    auto* fresh = new SlotAuditState();
+    if (audit_.compare_exchange_strong(state, fresh, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      state = fresh;
+    } else {
+      delete fresh;  // a racing creator won; `state` holds the winner
+    }
+  }
+  return *state;
+}
 
 ArraySnapshot ArraySlot::MakeSnapshot(EpochManager::PinHandle pin) {
   // The pin happens-before this load: the version read here cannot be freed
@@ -601,7 +618,8 @@ size_t ArrayRegistry::size() const {
 }
 
 bool ArrayRegistry::Publish(ArraySlot& slot, std::unique_ptr<smart::SmartArray> storage,
-                            uint64_t writes_before) {
+                            uint64_t writes_before, uint64_t trace_id,
+                            uint64_t* published_sequence) {
   SA_CHECK(storage != nullptr && storage->length() == slot.length());
   if (auto hook = PrePublishHook()) {
     // Deterministic race injection (testing::SetPrePublishHook): the hook
@@ -615,7 +633,7 @@ bool ArrayRegistry::Publish(ArraySlot& slot, std::unique_ptr<smart::SmartArray> 
     // may miss it. Refuse — the daemon rebuilds from fresh contents on its
     // next cycle.
     SA_OBS_COUNT(kPublishLostWrite);
-    SA_OBS_TRACE(kTracePublish, slot.name().c_str(), 0, /*ok=*/0);
+    SA_OBS_TRACE(kTracePublish, slot.name().c_str(), 0, /*ok=*/0, trace_id);
     return false;
   }
   ArrayVersion* old = slot.current_.load(std::memory_order_acquire);
@@ -626,10 +644,24 @@ bool ArrayRegistry::Publish(ArraySlot& slot, std::unique_ptr<smart::SmartArray> 
   const uint64_t sequence = next->sequence;
   slot.current_.store(next.release(), std::memory_order_seq_cst);
   // Retire through the slot's own shard domain: reclamation progress on one
-  // shard never waits on another shard's pinned readers.
-  slot.epoch_->Retire([old] { delete old; });
+  // shard never waits on another shard's pinned readers. The deleter runs
+  // when the epoch actually frees this version — emitting the reclaim event
+  // from inside it is what closes the adaptation's span timeline. The name
+  // is captured by value: the closure can run as late as the epoch domain's
+  // teardown, ordering it after the slot would be fragile.
+  const uint64_t retired_sequence = old->sequence;
+  slot.epoch_->Retire([old, name = slot.name(), retired_sequence, trace_id] {
+    SA_OBS_TRACE(kTraceVersionReclaim, name.c_str(), retired_sequence, 0, trace_id);
+    (void)name;
+    (void)retired_sequence;
+    (void)trace_id;
+    delete old;
+  });
   SA_OBS_COUNT(kPublishes);
-  SA_OBS_TRACE(kTracePublish, slot.name().c_str(), sequence, /*ok=*/1);
+  SA_OBS_TRACE(kTracePublish, slot.name().c_str(), sequence, /*ok=*/1, trace_id);
+  if (published_sequence != nullptr) {
+    *published_sequence = sequence;
+  }
   return true;
 }
 

@@ -58,6 +58,7 @@ class ArraySlot;
 class ArrayRegistry;
 class AdaptationDaemon;
 struct RegistryShard;
+struct SlotAuditState;
 
 // One published representation of a slot's contents. Immutable once
 // published except through ArraySlot::Write (which serializes with
@@ -270,6 +271,15 @@ class ArraySlot {
   // Lifetime totals (for the §6.1 pass-amortization hints).
   SlotSample LifetimeSample() const;
 
+  // ---- decision audit (runtime/audit.h) ----
+  // nullptr until the daemon records the slot's first decision. Readers
+  // (explain CLI/C-ABI/testkit) take audit()->mu before touching the ring.
+  SlotAuditState* audit() const { return audit_.load(std::memory_order_acquire); }
+  // Allocates the audit state on first use (safe against concurrent callers).
+  SlotAuditState& EnsureAudit();
+
+  ~ArraySlot();
+
  private:
   friend class ArrayRegistry;
   friend class ArraySnapshot;
@@ -332,6 +342,10 @@ class ArraySlot {
   // Daemon-side drain bookkeeping (single consumer).
   SlotSample drained_{};
   std::chrono::steady_clock::time_point last_drain_;
+
+  // Decision audit ring + calibration state; allocated by EnsureAudit on
+  // the first recorded decision, owned by the slot (freed in ~ArraySlot).
+  std::atomic<SlotAuditState*> audit_{nullptr};
 };
 
 class ArrayRegistry {
@@ -381,9 +395,16 @@ class ArrayRegistry {
   // write_count() observed before the rebuild that produced `storage`
   // started: when writes have happened since, the rebuild may have missed
   // them, so the publish is refused (returns false, `storage` is dropped)
-  // and the caller retries with a fresh rebuild.
+  // and the caller retries with a fresh rebuild. `trace_id` is the
+  // publisher's per-adaptation trace id (0 = untracked): it links the
+  // publish and the eventual version_reclaim trace events to the decision
+  // that caused them. On success `published_sequence` (when non-null)
+  // receives the new version's sequence — the authoritative value for audit
+  // records, since a racing publish may have advanced the slot past the
+  // sequence the rebuild started from.
   bool Publish(ArraySlot& slot, std::unique_ptr<smart::SmartArray> storage,
-               uint64_t writes_before);
+               uint64_t writes_before, uint64_t trace_id = 0,
+               uint64_t* published_sequence = nullptr);
 
   // Frees retired storage whose epochs have fully drained across every
   // shard; returns the number of versions reclaimed.

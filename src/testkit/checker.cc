@@ -15,6 +15,7 @@
 #include "obs/entry_points.h"
 #include "platform/fault_injection.h"
 #include "runtime/daemon.h"
+#include "runtime/entry_points.h"
 #include "runtime/registry.h"
 #include "sim/cost_model.h"
 #include "sim/machine_spec.h"
@@ -362,6 +363,9 @@ class Executor {
       case OpKind::kFilteredSum:
         StepScan(i, op);
         break;
+      case OpKind::kExplainSlot:
+        StepExplain(i);
+        break;
       case OpKind::kRestructure:
         StepRestructure(i, op);
         break;
@@ -403,6 +407,47 @@ class Executor {
   // shrink-safe and replayable. Under concurrent_daemon the daemon's worker
   // set sees the five slots immediately and may restructure them mid-upload
   // and mid-traversal — the pinned snapshot is what keeps the result exact.
+  // Cross-check the decision audit against reality: pin a snapshot, and if
+  // the audit ring still holds the decision whose publish produced the
+  // pinned version (matched by sequence — a sequence published by a manual
+  // Restructure has no record, and the bounded ring may have evicted old
+  // ones), that record's chosen configuration must describe what the
+  // snapshot actually observes. Under concurrent_daemon this runs while the
+  // daemon is republishing the same slot.
+  void StepExplain(size_t i) {
+    runtime::ArraySlot* slot = harness_->slot();
+    if (slot == nullptr) {
+      return;  // registry-only op; a no-op for plain/synchronized variants
+    }
+    SaSlotDecision decisions[SA_EXPLAIN_MAX_DECISIONS];
+    const uint64_t total = saSlotExplain(slot, decisions, SA_EXPLAIN_MAX_DECISIONS);
+    if (total == 0) {
+      return;  // no daemon decision yet (or audit disabled)
+    }
+    runtime::ArraySnapshot snap = slot->TryAcquire();
+    if (!snap.valid()) {
+      return;
+    }
+    const uint64_t copied = std::min<uint64_t>(total, SA_EXPLAIN_MAX_DECISIONS);
+    for (uint64_t k = 0; k < copied; ++k) {
+      const SaSlotDecision& d = decisions[k];
+      if (d.published == 0 || d.published_sequence != snap.sequence()) {
+        continue;
+      }
+      const uint64_t audited_bits = (d.packed_chosen >> 16) & 0xff;
+      const uint64_t audited_kind = (d.packed_chosen >> 8) & 0xff;
+      const uint64_t live_kind = static_cast<uint64_t>(snap.array().placement().kind);
+      if (audited_bits != snap.bits()) {
+        Fail(i, Diff("explain-slot audited bits vs pinned snapshot", audited_bits,
+                     snap.bits()));
+      } else if (audited_kind != live_kind) {
+        Fail(i, Diff("explain-slot audited placement vs pinned snapshot", audited_kind,
+                     live_kind));
+      }
+      return;  // records are newest-first; the first sequence match is it
+    }
+  }
+
   void StepGraph(size_t i, const Op& op) {
     runtime::ArrayRegistry* registry = harness_->registry();
     if (registry == nullptr) {

@@ -136,6 +136,14 @@ Op OpSequenceGenerator::Next(const Scenario& scenario) {
       break;
 
     case Variant::kRegistry:
+      // Occasionally (~1/24) audit the audit: assert the newest published
+      // decision in the slot's ring describes the configuration a pinned
+      // snapshot actually observes. Rare enough not to distort the op mix,
+      // common enough to land mid-restructure-storm under concurrent_daemon.
+      if (rng_.Below(24) == 0) {
+        op.kind = OpKind::kExplainSlot;
+        return op;
+      }
       if (scenario.graph_ops) {
         // Graph scenarios: writes keep mutating the model (so successive
         // graph ops see different edge lists), and the three analytics ops

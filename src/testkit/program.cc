@@ -48,6 +48,8 @@ const char* ToString(OpKind kind) {
       return "select-if";
     case OpKind::kFilteredSum:
       return "filtered-sum";
+    case OpKind::kExplainSlot:
+      return "explain-slot";
   }
   return "?";
 }

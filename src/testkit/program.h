@@ -56,6 +56,11 @@ enum class OpKind : uint8_t {
   kCountIf,       // zone-mapped predicate count over the range
   kSelectIf,      // selection bitmap emit, popcount + every bit diffed
   kFilteredSum,   // sum of matching elements over the range
+  kExplainSlot,   // registry only: pin a snapshot, saSlotExplain the slot, and
+                  //   assert the newest published audit record describes the
+                  //   pinned configuration (packed placement/bits/encoding);
+                  //   no-op when the daemon's audit ring has no published
+                  //   decision yet — parameters unused
 };
 
 const char* ToString(OpKind kind);

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/adaptive_array.h"
 #include "common/log.h"
 #include "obs/entry_points.h"
 #include "obs/telemetry.h"
@@ -147,6 +148,43 @@ TEST_F(ObsRuntimeTest, DecisionRejectionsAreCountedByReason) {
   EXPECT_EQ(CounterValue(obs::kDaemonRejectMargin), margin_before + 1);
 }
 
+// Satellite: an AdaptiveArray that wants to move but can't clear the margin
+// keeps the current configuration — and that keep has its own counter,
+// distinct from both same-config keeps and the daemon's margin rejects.
+TEST_F(ObsRuntimeTest, AdaptiveArrayMarginKeepHasDedicatedCounter) {
+  const uint64_t n = 4096;
+  auto storage =
+      smart::SmartArray::Allocate(n, smart::PlacementSpec::Interleaved(), 64, topo_);
+  for (uint64_t i = 0; i < n; ++i) {
+    storage->Init(i, i % 1024);  // 10 data bits: compression is on the table
+  }
+  // A margin no prediction can clear: the selector's choice (compressed)
+  // differs from the current config, so the keep is by hysteresis alone.
+  adapt::AdaptationPolicy cautious;
+  cautious.min_predicted_win = 100.0;
+  adapt::AdaptiveArray adaptive(std::move(storage), pool_, topo_, machine_,
+                                adapt::SoftwareHints{}, costs_, cautious);
+  adaptive.ObserveProfile(MemBoundStreamingCounters(machine_));
+
+  const uint64_t keeps_before = CounterValue(obs::kAdaptiveKeepMargin);
+  EXPECT_FALSE(adaptive.MaybeAdapt());
+  EXPECT_EQ(CounterValue(obs::kAdaptiveKeepMargin), keeps_before + 1);
+  EXPECT_EQ(adaptive.adaptations(), 0);
+
+  // With the default margin the same profile adapts — no margin keep.
+  auto storage2 =
+      smart::SmartArray::Allocate(n, smart::PlacementSpec::Interleaved(), 64, topo_);
+  for (uint64_t i = 0; i < n; ++i) {
+    storage2->Init(i, i % 1024);
+  }
+  adapt::AdaptiveArray eager(std::move(storage2), pool_, topo_, machine_,
+                             adapt::SoftwareHints{}, costs_, {});
+  eager.ObserveProfile(MemBoundStreamingCounters(machine_));
+  EXPECT_TRUE(eager.MaybeAdapt());
+  EXPECT_EQ(CounterValue(obs::kAdaptiveKeepMargin), keeps_before + 1);
+  EXPECT_EQ(eager.adaptations(), 1);
+}
+
 TEST_F(ObsRuntimeTest, SnapshotLifecycleFeedsCountersAndGauges) {
   const uint64_t n = 2048;
   ArraySlot* slot = MakeReadOnlySlot("metered", n);
@@ -211,7 +249,7 @@ TEST_F(ObsRuntimeTest, FullAdaptationCycleReconstructsFromTrace) {
 
   // 1. The daemon drained a healthy (non-thin) sample from "ranks".
   const size_t drain = find_after(0, obs::kTraceSampleDrain, [&](const SaObsTraceEvent& ev) {
-    return on_ranks(ev) && ev.d == 0;
+    return on_ranks(ev) && (ev.d & 1) == 0;  // low bit: thin/dropped flag
   });
   ASSERT_LT(drain, events.size());
   EXPECT_EQ(events[drain].a, 3 * n);  // reads
@@ -221,13 +259,13 @@ TEST_F(ObsRuntimeTest, FullAdaptationCycleReconstructsFromTrace) {
   // 2. An accepted decision from interleaved/64b to replicated/10b.
   const size_t decision =
       find_after(drain, obs::kTraceDecision, [&](const SaObsTraceEvent& ev) {
-        return on_ranks(ev) && ev.c == obs::kDecisionAccepted;
+        return on_ranks(ev) && (ev.c & 0xff) == obs::kDecisionAccepted;
       });
   ASSERT_LT(decision, events.size());
-  EXPECT_EQ(events[decision].a >> 16, 64u);                      // old bits
+  EXPECT_EQ((events[decision].a >> 16) & 0xff, 64u);             // old bits
   EXPECT_EQ((events[decision].a >> 8) & 0xff,
             static_cast<uint64_t>(smart::Placement::kInterleaved));
-  EXPECT_EQ(events[decision].b >> 16, 10u);                      // new bits
+  EXPECT_EQ((events[decision].b >> 16) & 0xff, 10u);             // new bits
   EXPECT_EQ((events[decision].b >> 8) & 0xff,
             static_cast<uint64_t>(smart::Placement::kReplicated));
   EXPECT_GT(events[decision].d, 0u);                             // win ppm
@@ -239,7 +277,7 @@ TEST_F(ObsRuntimeTest, FullAdaptationCycleReconstructsFromTrace) {
   EXPECT_EQ(events[begin].b, events[decision].b);
   const size_t end = find_after(begin, obs::kTraceRestructureEnd, on_ranks);
   ASSERT_LT(end, events.size());
-  EXPECT_EQ(events[end].d, 1u);                      // success
+  EXPECT_EQ(events[end].d & 1, 1u);                  // success
   EXPECT_GT(events[end].a, 0u);                      // wall ns
   // Per-phase timings are summed across workers, so they can individually
   // exceed the wall time; they just have to exist for a 64 -> 10 repack.
@@ -251,6 +289,14 @@ TEST_F(ObsRuntimeTest, FullAdaptationCycleReconstructsFromTrace) {
   });
   ASSERT_LT(publish, events.size());
   EXPECT_EQ(events[publish].a, 2u);
+
+  // Causality: one trace id threads the accepted decision through the
+  // restructure bracket and the publish (trace.h packing).
+  const uint64_t trace_id = events[decision].c >> 8;
+  EXPECT_GT(trace_id, 0u);
+  EXPECT_EQ(events[begin].c, trace_id);
+  EXPECT_EQ(events[end].d >> 1, trace_id);
+  EXPECT_EQ(events[publish].c, trace_id);
 
   // 5. The epoch advanced and reclaimed the retired version.
   const size_t advance = find_after(publish, obs::kTraceEpochAdvance,

@@ -1,0 +1,115 @@
+// Chrome trace-event JSON export (obs/export.h ChromeTraceJson +
+// saObsTraceExportJson): span names, the per-adaptation trace id threading,
+// the null-buffer sizing contract, and the accumulator's independence from
+// the raw saObsTraceDrain cursor.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/entry_points.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace sa::obs {
+namespace {
+
+class TraceExportTest : public ::testing::Test {
+ protected:
+  TraceExportTest() { saObsReset(); }
+  ~TraceExportTest() override { saObsReset(); }
+};
+
+// One synthetic adaptation, every event carrying trace id `id` in its
+// documented payload slot (trace.h).
+void EmitAdaptation(uint64_t id, const char* slot) {
+  EmitTrace(kTraceSampleDrain, slot, 9000, 0, 250000, (0 << 0) | (id << 1));
+  EmitTrace(kTraceDecision, slot, 0x400100, 0x0a0200, kDecisionAccepted | (id << 8), 310000);
+  EmitTrace(kTraceRestructureBegin, slot, 0x400100, 0x0a0200, id);
+  EmitTrace(kTraceRestructureEnd, slot, 5000, 3000, 2500, 1 | (id << 1));
+  EmitTrace(kTracePublish, slot, 2, 1, id);
+  EmitTrace(kTraceVersionReclaim, slot, 1, 0, id);
+}
+
+TEST_F(TraceExportTest, NewTraceKindsHaveNames) {
+  EXPECT_STREQ(TraceKindName(kTraceFlapHold), "flap_hold");
+  EXPECT_STREQ(TraceKindName(kTraceVersionReclaim), "version_reclaim");
+  EXPECT_STREQ(saObsTraceKindName(kTraceFlapHold), "flap_hold");
+}
+
+TEST_F(TraceExportTest, EmptyExportIsStillAValidDocument) {
+  const std::string json = ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST_F(TraceExportTest, ExportCarriesSpansLinkedByTraceId) {
+  EmitAdaptation(42, "ranks");
+  EmitTrace(kTraceFlapHold, "ranks", 0x400100, 0x0a0200, 43, 7);
+
+  const std::string json = ChromeTraceJson();
+  // Every lifecycle span is present, by its TraceKindName.
+  for (const char* name : {"sample_drain", "decision", "restructure_begin",
+                           "restructure_end", "publish", "version_reclaim", "flap_hold"}) {
+    EXPECT_NE(json.find(std::string("\"name\":\"") + name + "\""), std::string::npos)
+        << name;
+  }
+  // The decision/restructure/publish/reclaim chain shares args.trace_id 42;
+  // the flap hold carries its own id 43.
+  size_t count42 = 0;
+  for (size_t pos = 0; (pos = json.find("\"trace_id\":42", pos)) != std::string::npos;
+       ++pos) {
+    ++count42;
+  }
+  EXPECT_EQ(count42, 6u);
+  EXPECT_NE(json.find("\"trace_id\":43"), std::string::npos);
+  // Kind-specific payloads survive the flag-bit unpacking.
+  EXPECT_NE(json.find("\"wall_ns\":5000"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"hold_remaining\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"slot\":\"ranks\""), std::string::npos);
+  // The restructure span's duration is its measured wall time (5000 ns ->
+  // 5 us), not the nominal point-event slice.
+  EXPECT_NE(json.find("\"dur\":5.000"), std::string::npos);
+}
+
+TEST_F(TraceExportTest, CAbiSizingContractAndAccumulatorStability) {
+  EmitAdaptation(7, "s");
+
+  // Null-buffer call sizes; it must not consume the events it drained.
+  const uint64_t len = saObsTraceExportJson(nullptr, 0);
+  ASSERT_GT(len, 0u);
+  std::vector<char> buf(len + 1);
+  EXPECT_EQ(saObsTraceExportJson(buf.data(), buf.size()), len);
+  const std::string json(buf.data());
+  EXPECT_EQ(json.size(), len);
+  EXPECT_NE(json.find("\"trace_id\":7"), std::string::npos);
+
+  // A short buffer truncates but still reports the full length and
+  // NUL-terminates.
+  std::vector<char> small(16);
+  EXPECT_EQ(saObsTraceExportJson(small.data(), small.size()), len);
+  EXPECT_EQ(small[15], '\0');
+  EXPECT_EQ(std::string(small.data()), json.substr(0, 15));
+}
+
+TEST_F(TraceExportTest, ExportCursorIsIndependentOfRawDrain) {
+  EmitAdaptation(11, "s");
+  // A raw drainer consumes the stream first...
+  SaObsTraceEvent events[64];
+  EXPECT_GT(saObsTraceDrain(events, 64), 0);
+  // ...and the export still sees every event through its own cursor.
+  const std::string json = ChromeTraceJson();
+  EXPECT_NE(json.find("\"trace_id\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"publish\""), std::string::npos);
+}
+
+TEST_F(TraceExportTest, ResetClearsTheAccumulator) {
+  EmitAdaptation(5, "s");
+  EXPECT_NE(ChromeTraceJson().find("\"trace_id\":5"), std::string::npos);
+  saObsReset();
+  EXPECT_NE(ChromeTraceJson().find("\"traceEvents\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sa::obs

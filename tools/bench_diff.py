@@ -73,6 +73,7 @@ RUNTIME_REQUIRED_METRICS = {
     "restructure_wall": ("bulk_sec", "per_value_reference_sec"),
     "restructure_same_width": ("word_copy_sec",),
     "obs_scan_overhead": ("enabled_scan_sec", "disabled_scan_sec"),
+    "audit_decision_overhead": ("audit_on_sec", "audit_off_sec"),
 }
 
 

@@ -5,7 +5,10 @@
 Checks, in order:
   * every sample line after the first `# TYPE` parses as `name value` with a
     finite non-negative number (gauges may be negative),
-  * every family named in `# TYPE` has at least one sample,
+  * no family is declared by more than one `# TYPE` line,
+  * every family named in `# TYPE` has at least one sample, and every sample
+    belongs to a declared family — in particular `_bucket`/`_sum`/`_count`
+    samples must belong to a family `# TYPE`-declared as a histogram,
   * the expected counter/gauge/histogram families are all present,
   * each histogram is internally consistent: `le` buckets are cumulative and
     non-decreasing, the `+Inf` bucket equals `_count`, and `_sum`/`_count`
@@ -35,6 +38,9 @@ EXPECTED_COUNTERS = [
     "sa_daemon_restructures_total",
     "sa_daemon_reject_same_config_total",
     "sa_daemon_reject_margin_total",
+    "sa_daemon_flap_holds_total",
+    "sa_daemon_decisions_scored_total",
+    "sa_adaptive_keep_current_margin_total",
     "sa_restructures_total",
     "sa_restructure_overflow_aborts_total",
     "sa_unpack_range_calls_total",
@@ -62,6 +68,8 @@ EXPECTED_HISTOGRAMS = [
     "sa_restructure_pack_ns",
     "sa_restructure_wall_ns",
     "sa_daemon_pass_ns",
+    "sa_daemon_calibration_error_ppm",
+    "sa_daemon_realized_speedup_ppm",
 ]
 
 SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
@@ -83,6 +91,8 @@ def parse(text):
             parts = line.split()
             if len(parts) != 4:
                 fail(f"line {lineno}: malformed TYPE line: {line!r}")
+            if parts[2] in types:
+                fail(f"line {lineno}: duplicate TYPE line for family {parts[2]}")
             types[parts[2]] = parts[3]
             continue
         if not started or not line.strip() or line.startswith("#"):
@@ -125,6 +135,21 @@ def main():
         )
         if not any(n in by_name for n in names):
             fail(f"family {family} declared by TYPE but has no samples")
+
+    # Every sample must trace back to a declared family; a name that only
+    # matches one via a _bucket/_sum/_count suffix must belong to a family
+    # declared as a histogram (a counter named *_count would be caught here).
+    for name in by_name:
+        if name in types:
+            continue
+        family = family_of(name)
+        if family == name or family not in types:
+            fail(f"sample {name} does not belong to any TYPE-declared family")
+        if types[family] != "histogram":
+            fail(
+                f"sample {name} uses a histogram suffix but family {family} "
+                f"is a {types[family]}"
+            )
 
     for name in EXPECTED_COUNTERS:
         if types.get(name) != "counter":

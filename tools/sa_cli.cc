@@ -240,14 +240,14 @@ struct RuntimeDemo {
   std::atomic<uint64_t> scans{0};
   std::vector<std::thread> readers;
 
-  void Start(const Args& args) {
+  void Start(const Args& args, int default_bw_gbps = 10) {
     elements = args.GetInt("elements", 2'000'000);
     const auto data_bits = static_cast<uint32_t>(args.GetInt("bits", 10));
     reg = saRegistryCreate(0, 0);
     // The selector reasons against a machine spec; --bw-gbps sets the
     // per-socket memory bandwidth it assumes (default modest, so host scan
     // traffic registers as memory-bound and the demo visibly adapts).
-    const double bw_gbps = static_cast<double>(args.GetInt("bw-gbps", 10));
+    const double bw_gbps = static_cast<double>(args.GetInt("bw-gbps", default_bw_gbps));
     saRegistryConfigureMachine(reg, /*mem_bytes_per_socket=*/64e9,
                                /*exec_cycles_per_socket=*/1e11,
                                /*bw_memory=*/bw_gbps * 1e9,
@@ -353,44 +353,72 @@ int CmdDaemon(const Args& args) {
 
 // ---- obs: run the daemon demo, then expose the telemetry three ways ----
 
-// Inverse of the daemon's trace config packing: bits<<16 | kind<<8 | socket.
+// Inverse of adapt::PackConfigWord: encoding<<24 | bits<<16 | kind<<8 |
+// socket.
 std::string DecodeTraceConfig(uint64_t packed) {
   const auto kind = static_cast<sa::smart::Placement>((packed >> 8) & 0xff);
-  const auto bits = static_cast<uint32_t>(packed >> 16);
+  const auto bits = static_cast<uint32_t>((packed >> 16) & 0xff);
+  const auto encoding = static_cast<sa::smart::Encoding>((packed >> 24) & 0xff);
   std::string s = sa::smart::ToString(kind);
   if (kind == sa::smart::Placement::kSingleSocket) {
     s += "(" + std::to_string(packed & 0xff) + ")";
   }
-  return s + "/" + std::to_string(bits) + "b";
+  s += "/" + std::to_string(bits) + "b";
+  if (encoding != sa::smart::Encoding::kBitPacked) {
+    s += std::string("/") + sa::smart::ToString(encoding);
+  }
+  return s;
+}
+
+const char* DecisionReasonName(uint64_t reason) {
+  switch (reason) {
+    case 0:
+      return "accept";
+    case 1:
+      return "reject-same";
+    case 2:
+      return "reject-margin";
+    case 3:
+      return "flap-hold";
+    default:
+      return "?";
+  }
 }
 
 std::string FormatTraceEvent(const SaObsTraceEvent& ev) {
   char buf[256];
   const char* kind = saObsTraceKindName(ev.kind);
+  // Events of one adaptation share a trace id riding the high bits of a
+  // payload word (see obs/trace.h); 0 means untracked.
+  uint64_t trace_id = 0;
   switch (ev.kind) {
-    case 1:  // sample_drain
+    case 1:  // sample_drain: d = thin flag | id << 1
+      trace_id = ev.d >> 1;
       std::snprintf(buf, sizeof(buf), "reads=%llu writes=%llu interval=%.3fs%s",
                     static_cast<unsigned long long>(ev.a),
                     static_cast<unsigned long long>(ev.b),
-                    static_cast<double>(ev.c) / 1e6, ev.d != 0 ? " (thin, dropped)" : "");
+                    static_cast<double>(ev.c) / 1e6,
+                    (ev.d & 1) != 0 ? " (thin, dropped)" : "");
       break;
-    case 2: {  // decision
-      const char* verdict = ev.c == 0 ? "accept" : (ev.c == 1 ? "reject-same" : "reject-margin");
-      std::snprintf(buf, sizeof(buf), "%s %s -> %s win=+%.2f%%", verdict,
-                    DecodeTraceConfig(ev.a).c_str(), DecodeTraceConfig(ev.b).c_str(),
-                    static_cast<double>(ev.d) / 1e4);
+    case 2:  // decision: c = reason | id << 8
+      trace_id = ev.c >> 8;
+      std::snprintf(buf, sizeof(buf), "%s %s -> %s win=+%.2f%%",
+                    DecisionReasonName(ev.c & 0xff), DecodeTraceConfig(ev.a).c_str(),
+                    DecodeTraceConfig(ev.b).c_str(), static_cast<double>(ev.d) / 1e4);
       break;
-    }
-    case 3:  // restructure_begin
+    case 3:  // restructure_begin: c = id
+      trace_id = ev.c;
       std::snprintf(buf, sizeof(buf), "%s -> %s", DecodeTraceConfig(ev.a).c_str(),
                     DecodeTraceConfig(ev.b).c_str());
       break;
-    case 4:  // restructure_end
+    case 4:  // restructure_end: d = ok | id << 1
+      trace_id = ev.d >> 1;
       std::snprintf(buf, sizeof(buf), "wall=%.2fms unpack=%.2fms pack=%.2fms %s",
                     static_cast<double>(ev.a) / 1e6, static_cast<double>(ev.b) / 1e6,
-                    static_cast<double>(ev.c) / 1e6, ev.d != 0 ? "ok" : "ABORTED");
+                    static_cast<double>(ev.c) / 1e6, (ev.d & 1) != 0 ? "ok" : "ABORTED");
       break;
-    case 5:  // publish
+    case 5:  // publish: c = id
+      trace_id = ev.c;
       std::snprintf(buf, sizeof(buf), "sequence=%llu %s",
                     static_cast<unsigned long long>(ev.a),
                     ev.b != 0 ? "ok" : "REFUSED (lost write)");
@@ -403,6 +431,17 @@ std::string FormatTraceEvent(const SaObsTraceEvent& ev) {
                     static_cast<unsigned long long>(ev.a),
                     static_cast<unsigned long long>(ev.b));
       break;
+    case 8:  // flap_hold: c = id
+      trace_id = ev.c;
+      std::snprintf(buf, sizeof(buf), "%s held against %s, %llu hold(s) left",
+                    DecodeTraceConfig(ev.a).c_str(), DecodeTraceConfig(ev.b).c_str(),
+                    static_cast<unsigned long long>(ev.d));
+      break;
+    case 9:  // version_reclaim: c = id of the publish that retired it
+      trace_id = ev.c;
+      std::snprintf(buf, sizeof(buf), "retired sequence=%llu",
+                    static_cast<unsigned long long>(ev.a));
+      break;
     default:
       std::snprintf(buf, sizeof(buf), "a=%llu b=%llu c=%llu d=%llu",
                     static_cast<unsigned long long>(ev.a),
@@ -412,9 +451,16 @@ std::string FormatTraceEvent(const SaObsTraceEvent& ev) {
       break;
   }
   char line[384];
-  std::snprintf(line, sizeof(line), "#%-5llu %-17s %-8s %s",
-                static_cast<unsigned long long>(ev.seq), kind,
-                ev.slot[0] != '\0' ? ev.slot : "-", buf);
+  if (trace_id != 0) {
+    std::snprintf(line, sizeof(line), "#%-5llu %-17s %-8s [id %llu] %s",
+                  static_cast<unsigned long long>(ev.seq), kind,
+                  ev.slot[0] != '\0' ? ev.slot : "-",
+                  static_cast<unsigned long long>(trace_id), buf);
+  } else {
+    std::snprintf(line, sizeof(line), "#%-5llu %-17s %-8s %s",
+                  static_cast<unsigned long long>(ev.seq), kind,
+                  ev.slot[0] != '\0' ? ev.slot : "-", buf);
+  }
   return line;
 }
 
@@ -630,6 +676,133 @@ int CmdObs(const Args& args) {
   return 0;
 }
 
+// One audit-ring decision, in full: inputs, every candidate with its
+// estimate, the margin math, and the realized-vs-predicted score when the
+// calibration loop has settled it.
+// index >= 0 labels a ring entry; index < 0 labels the eviction-proof copy
+// of the newest published decision.
+void PrintDecision(const SaSlotDecision& d, int index) {
+  if (index >= 0) {
+    std::printf("  [%d]", index);
+  } else {
+    std::printf("  [published]");
+  }
+  std::printf(" id=%llu %s %s -> %s\n",
+              static_cast<unsigned long long>(d.trace_id), DecisionReasonName(d.reason),
+              DecodeTraceConfig(d.packed_current).c_str(),
+              DecodeTraceConfig(d.packed_chosen).c_str());
+  std::printf("      inputs: rate=%.3g/s random=%.3f mem-util=%.2f ic-util=%.2f "
+              "compress-ratio=%.3f fordelta-ratio=%.3f%s%s\n",
+              d.in_accesses_per_second, d.in_random_fraction, d.in_mem_utilization,
+              d.in_ic_utilization, d.in_compression_ratio, d.in_for_delta_ratio,
+              d.in_read_only != 0 ? " read-only" : "",
+              d.in_mostly_reads != 0 ? " mostly-reads" : "");
+  std::printf("      candidates:");
+  for (uint32_t c = 0; c < d.num_candidates; ++c) {
+    std::printf("%s %s %s est=%.3f", c == 0 ? "" : " |", d.candidate_role[c],
+                DecodeTraceConfig(d.candidate_config[c]).c_str(), d.candidate_speedup[c]);
+  }
+  std::printf("\n");
+  std::printf("      margin: chosen=%.3f current=%.3f win=%+.2f%% needed>%+.2f%% -> %s\n",
+              d.chosen_speedup, d.current_speedup, d.predicted_win * 100.0,
+              d.margin * 100.0, DecisionReasonName(d.reason));
+  if (d.published != 0) {
+    std::printf("      published as sequence %llu\n",
+                static_cast<unsigned long long>(d.published_sequence));
+  }
+  if (d.scored != 0) {
+    std::printf("      score: predicted x%.3f, realized x%.3f (rate %.3g/s -> %.3g/s), "
+                "calibration error %.1f%%\n",
+                d.predicted_ratio, d.realized_ratio, d.pre_rate, d.post_rate,
+                d.calibration_error * 100.0);
+  }
+}
+
+// explain: the daemon demo workload, then the decision audit — why the slot
+// runs the configuration it runs, every decision's candidates and margin
+// math, and the calibration loop's realized-vs-predicted scores. With
+// --trace-out, also exports the causally-linked adaptation timeline as
+// Chrome trace-event JSON (open in Perfetto / chrome://tracing).
+int CmdExplain(const Args& args) {
+  if (saObsCompiledIn() == 0) {
+    std::fprintf(stderr, "sa_cli explain: built without SA_OBS; the audit ring still "
+                         "records, but the trace export will be empty\n");
+  }
+  saObsReset();
+  RuntimeDemo demo;
+  // Lower assumed bandwidth than the other demos: explain is the decision
+  // showcase, so by default the scan traffic must register as memory-bound
+  // and produce at least one accepted (hence scorable) adaptation.
+  demo.Start(args, /*default_bw_gbps=*/4);
+  const auto interval_ms = args.GetInt("interval", 100);
+  const auto seconds = args.GetInt("seconds", 2);
+  std::fprintf(stderr, "explain: %llu elements, %d reader(s), daemon interval %llu ms, %llu s\n",
+               static_cast<unsigned long long>(demo.elements),
+               static_cast<int>(demo.readers.size()),
+               static_cast<unsigned long long>(interval_ms),
+               static_cast<unsigned long long>(seconds));
+  saRegistryDaemonStart(demo.reg, static_cast<double>(interval_ms),
+                        /*min_predicted_win=*/-1.0);
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  saRegistryDaemonStop(demo.reg);
+
+  SaSlotDecision decisions[SA_EXPLAIN_MAX_DECISIONS];
+  const uint64_t total = saSlotExplain(demo.slot, decisions, SA_EXPLAIN_MAX_DECISIONS);
+  const int shown = static_cast<int>(
+      std::min<uint64_t>(total, SA_EXPLAIN_MAX_DECISIONS));
+  std::printf("slot \"demo\": sequence=%llu bits=%u replicated=%s\n",
+              static_cast<unsigned long long>(saSlotSequence(demo.slot)),
+              saSlotBits(demo.slot), saSlotIsReplicated(demo.slot) != 0 ? "yes" : "no");
+  int scored = 0;
+  for (int i = 0; i < shown; ++i) {
+    scored += decisions[i].scored != 0 ? 1 : 0;
+  }
+  // The decision behind the live configuration lives in the slot's
+  // eviction-proof copy — under reject-heavy traffic the accepted record
+  // ages out of the ring long before explain runs.
+  SaSlotDecision published;
+  const bool have_published = saSlotExplainPublished(demo.slot, &published) != 0;
+  bool published_in_ring = false;
+  if (have_published) {
+    for (int i = 0; i < shown; ++i) {
+      published_in_ring |= decisions[i].trace_id == published.trace_id;
+    }
+    if (!published_in_ring && published.scored != 0) {
+      ++scored;
+    }
+    std::printf("current configuration %s from decision id=%llu%s\n",
+                DecodeTraceConfig(published.packed_chosen).c_str(),
+                static_cast<unsigned long long>(published.trace_id),
+                published.scored != 0 ? " (scored)" : " (not yet scored)");
+  }
+  std::printf("decisions recorded: %llu, scored: %d; last %d, newest first:\n",
+              static_cast<unsigned long long>(total), scored, shown);
+  for (int i = 0; i < shown; ++i) {
+    PrintDecision(decisions[i], i);
+  }
+  if (have_published && !published_in_ring) {
+    PrintDecision(published, /*index=*/-1);
+  }
+
+  if (args.Has("trace-out")) {
+    const std::string path = args.Get("trace-out", "trace.json");
+    const uint64_t len = saObsTraceExportJson(nullptr, 0);
+    std::vector<char> json(len + 1);
+    saObsTraceExportJson(json.data(), json.size());
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "explain: cannot write %s\n", path.c_str());
+    } else {
+      std::fwrite(json.data(), 1, len, f);
+      std::fclose(f);
+      std::printf("trace timeline written to %s (%llu bytes; open in Perfetto)\n",
+                  path.c_str(), static_cast<unsigned long long>(len));
+    }
+  }
+  demo.Finish();
+  return total > 0 ? 0 : 1;
+}
+
 int Usage() {
   std::printf(
       "usage: sa_cli <command> [options]\n"
@@ -653,6 +826,11 @@ int Usage() {
       "  obs        [--elements N] [--bits B] [--readers R] [--interval MS]\n"
       "             [--seconds S] [--bw-gbps G] [--json|--prom|--follow]\n"
       "             runtime telemetry: counters, histograms, adaptation trace\n"
+      "  explain    [--elements N] [--bits B] [--readers R] [--interval MS]\n"
+      "             [--seconds S] [--bw-gbps G] [--trace-out FILE]\n"
+      "             decision audit: every adaptation decision with its\n"
+      "             candidates, margin math and realized-vs-predicted score;\n"
+      "             --trace-out exports Chrome trace JSON (Perfetto)\n"
       "  loadgen    [--threads=N] [--slots=N] [--shards=N] [--duration=SEC]\n"
       "             [--rate=OPS] [--zipf=S] [--out=PATH] ... (see sa_loadgen)\n"
       "             sharded-registry traffic harness -> BENCH_service.json\n");
@@ -691,6 +869,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "obs") {
     return CmdObs(args);
+  }
+  if (args.command == "explain") {
+    return CmdExplain(args);
   }
   return Usage();
 }
